@@ -1,0 +1,44 @@
+//! The global heartbeat table (paper Sec. 3.1).
+//!
+//! "We have a global heartbeat table at the back-end, containing one row
+//! for each currency region. The table has two columns: a currency region
+//! id and a timestamp. At regular intervals ... the region's heart beats,
+//! that is, the timestamp column of the region's row is set to the current
+//! timestamp."
+//!
+//! Heartbeat updates travel through the ordinary replication log, so the
+//! timestamp found in a region's *local* heartbeat table bounds the
+//! staleness of everything the region's agent has applied: "because we are
+//! using transactional replication, we know that all updates up to time T
+//! have been propagated and hence reflect a database snapshot no older than
+//! t − T."
+
+use rcc_common::{Column, DataType, Schema};
+
+/// Name of the global heartbeat table at the back-end.
+pub const HEARTBEAT_TABLE: &str = "heartbeat";
+/// Region-id column name.
+pub const HEARTBEAT_REGION_COL: &str = "region_id";
+/// Timestamp column name.
+pub const HEARTBEAT_TS_COL: &str = "ts";
+
+/// Schema of the global heartbeat table (and of each region's local copy).
+pub fn heartbeat_schema() -> Schema {
+    Schema::new(vec![
+        Column::new(HEARTBEAT_REGION_COL, DataType::Int),
+        Column::new(HEARTBEAT_TS_COL, DataType::Timestamp),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let s = heartbeat_schema();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column(0).name, "region_id");
+        assert_eq!(s.column(1).data_type, DataType::Timestamp);
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! The back-end (master) database server substrate.
+//!
+//! The paper's architecture has a single back-end SQL Server holding the
+//! master copy of every table; all updates execute there as transactions
+//! with monotonically increasing commit timestamps, and committed changes
+//! flow to mid-tier caches through transactional replication. This crate
+//! provides that substrate:
+//!
+//! * [`MasterDb`] — master tables, serialized update transactions, and the
+//!   ordered **replication log** distribution agents drain,
+//! * the **heartbeat** mechanism of Sec. 3.1: a global heartbeat table with
+//!   one row per currency region whose timestamp column "beats" at a fixed
+//!   interval and is replicated like any other update, giving the cache a
+//!   bound on its own staleness.
+
+pub mod heartbeat;
+pub mod master;
+
+pub use heartbeat::{HEARTBEAT_REGION_COL, HEARTBEAT_TABLE, HEARTBEAT_TS_COL};
+pub use master::{CommittedTxn, MasterDb, TableChange};

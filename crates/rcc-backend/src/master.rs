@@ -1,0 +1,368 @@
+//! The master database: tables, serialized transactions, replication log.
+
+use crate::heartbeat::{heartbeat_schema, HEARTBEAT_TABLE};
+use parking_lot::RwLock;
+use rcc_catalog::{Catalog, TableMeta};
+use rcc_common::{
+    Clock, Error, RegionId, Result, Row, Timestamp, TxnId, Value,
+};
+use rcc_storage::{RowChange, StorageEngine, Table, TableHandle, TableStats};
+use std::sync::Arc;
+
+/// One change to one table inside a transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableChange {
+    /// Target table name (lower-cased).
+    pub table: String,
+    /// The row-level change.
+    pub change: RowChange,
+}
+
+impl TableChange {
+    /// Convenience constructor.
+    pub fn new(table: impl Into<String>, change: RowChange) -> TableChange {
+        TableChange { table: table.into().to_ascii_lowercase(), change }
+    }
+}
+
+/// A committed update transaction, as recorded in the replication log.
+///
+/// Transactions "are assigned an integer id — a timestamp — in increasing
+/// order" (paper appendix 8.1); we also record the wall/simulated commit
+/// time because currency is measured in elapsed time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedTxn {
+    /// Monotonically increasing transaction id (the appendix's `xtime`).
+    pub id: TxnId,
+    /// Commit time on the back-end clock.
+    pub commit_time: Timestamp,
+    /// Row changes, in statement order.
+    pub changes: Vec<TableChange>,
+}
+
+/// The back-end master database.
+///
+/// All updates are serialized through [`MasterDb::execute_txn`] (the
+/// paper's model assumes Strict 2PL at the master; a single writer lock
+/// realizes the same serial history), applied to the master tables, and
+/// appended to an ordered log that distribution agents drain.
+#[derive(Debug)]
+pub struct MasterDb {
+    storage: Arc<StorageEngine>,
+    catalog: Arc<Catalog>,
+    clock: Arc<dyn Clock>,
+    log: RwLock<LogState>,
+}
+
+#[derive(Debug, Default)]
+struct LogState {
+    txns: Vec<CommittedTxn>,
+    next_id: u64,
+}
+
+impl MasterDb {
+    /// Create an empty master database. The global heartbeat table is
+    /// created eagerly.
+    pub fn new(catalog: Arc<Catalog>, clock: Arc<dyn Clock>) -> MasterDb {
+        let db = MasterDb {
+            storage: Arc::new(StorageEngine::new()),
+            catalog,
+            clock,
+            log: RwLock::new(LogState::default()),
+        };
+        let hb = Table::new(HEARTBEAT_TABLE, heartbeat_schema(), vec![0]);
+        db.storage.create_table(hb).expect("fresh engine cannot collide");
+        db
+    }
+
+    /// The catalog this master serves.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The clock the master stamps commits with.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Direct access to a master table.
+    pub fn table(&self, name: &str) -> Result<TableHandle> {
+        self.storage.table(name)
+    }
+
+    /// The storage engine holding the master tables (used by the back-end
+    /// server's executor).
+    pub fn storage(&self) -> &Arc<StorageEngine> {
+        &self.storage
+    }
+
+    /// Create the master copy of a table described by `meta`, including its
+    /// clustered layout and secondary indexes.
+    pub fn create_table(&self, meta: &TableMeta) -> Result<TableHandle> {
+        let mut table = Table::new(meta.name.clone(), meta.schema.clone(), meta.key_ordinals());
+        for ix in &meta.indexes {
+            let ordinals: Vec<usize> = ix
+                .columns
+                .iter()
+                .map(|c| meta.schema.resolve(None, c))
+                .collect::<Result<_>>()?;
+            table.create_index(ix.name.clone(), ordinals)?;
+        }
+        self.storage.create_table(table)
+    }
+
+    /// Bulk-load initial rows into a master table *without* logging — this
+    /// models the pre-existing database state (history H0). Views created
+    /// later are populated from the current snapshot, so initial data never
+    /// needs to travel through the log.
+    pub fn bulk_load(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        let handle = self.storage.table(table)?;
+        let mut t = handle.write();
+        let n = rows.len();
+        for row in rows {
+            t.insert(row)?;
+        }
+        Ok(n)
+    }
+
+    /// Execute and commit an update transaction: apply every change to the
+    /// master tables (all-or-nothing is approximated by validating targets
+    /// first) and append it to the replication log with the next id and the
+    /// current clock time.
+    pub fn execute_txn(&self, changes: Vec<TableChange>) -> Result<CommittedTxn> {
+        if changes.is_empty() {
+            return Err(Error::Execution("empty transaction".into()));
+        }
+        // Validate all target tables exist before touching anything.
+        for c in &changes {
+            self.storage.table(&c.table)?;
+        }
+        // Take the log lock across apply+append so concurrent committers
+        // serialize and log order equals apply order.
+        let mut log = self.log.write();
+        // Inserts are strict at the master (duplicate keys fail the
+        // transaction before anything is applied); replication agents use
+        // the idempotent `Table::apply` instead.
+        for c in &changes {
+            if let RowChange::Insert(row) = &c.change {
+                let handle = self.storage.table(&c.table)?;
+                let t = handle.read();
+                if t.get(&t.key_of(row)).is_some() {
+                    return Err(Error::Storage(format!(
+                        "duplicate clustered key in INSERT into {}",
+                        c.table
+                    )));
+                }
+            }
+        }
+        for c in &changes {
+            let handle = self.storage.table(&c.table)?;
+            handle.write().apply(&c.change)?;
+        }
+        log.next_id += 1;
+        let txn = CommittedTxn {
+            id: TxnId(log.next_id),
+            commit_time: self.clock.now(),
+            changes,
+        };
+        log.txns.push(txn.clone());
+        Ok(txn)
+    }
+
+    /// Beat the heart of `region`: set its heartbeat row to the current
+    /// time, as an ordinary logged transaction (so it replicates).
+    pub fn beat(&self, region: RegionId) -> Result<CommittedTxn> {
+        let now = self.clock.now();
+        let row = Row::new(vec![Value::Int(region.raw() as i64), Value::Timestamp(now.millis())]);
+        self.execute_txn(vec![TableChange::new(
+            HEARTBEAT_TABLE,
+            RowChange::Update { key: vec![Value::Int(region.raw() as i64)], row },
+        )])
+    }
+
+    /// Number of committed transactions in the log.
+    pub fn log_len(&self) -> usize {
+        self.log.read().txns.len()
+    }
+
+    /// Transactions with index `>= cursor`, in commit order. Agents track a
+    /// cursor; the returned slice index becomes the new cursor.
+    pub fn log_since(&self, cursor: usize) -> Vec<CommittedTxn> {
+        self.log.read().txns.get(cursor..).unwrap_or(&[]).to_vec()
+    }
+
+    /// Transactions with index `>= cursor` whose commit time is at or
+    /// before `as_of` — what a distribution agent propagating at time
+    /// `t` with delivery delay `d` sees (`as_of = t − d`).
+    pub fn log_since_until(&self, cursor: usize, as_of: Timestamp) -> Vec<CommittedTxn> {
+        self.log
+            .read()
+            .txns
+            .get(cursor..)
+            .unwrap_or(&[])
+            .iter()
+            .take_while(|t| t.commit_time <= as_of)
+            .cloned()
+            .collect()
+    }
+
+    /// Id and time of the latest committed transaction (zero / epoch if no
+    /// update has ever committed).
+    pub fn latest_commit(&self) -> (TxnId, Timestamp) {
+        let log = self.log.read();
+        log.txns
+            .last()
+            .map(|t| (t.id, t.commit_time))
+            .unwrap_or((TxnId::ZERO, Timestamp::ZERO))
+    }
+
+    /// Compute fresh statistics for a master table.
+    pub fn compute_stats(&self, table: &str) -> Result<TableStats> {
+        let handle = self.storage.table(table)?;
+        let t = handle.read();
+        Ok(TableStats::compute(&t))
+    }
+
+    /// Snapshot (clone) of a master table's current rows, used to populate
+    /// a newly created cached view. Returns the rows plus the log cursor at
+    /// copy time, so the subscribing agent knows where to resume.
+    pub fn snapshot_table(&self, table: &str) -> Result<(Vec<Row>, usize)> {
+        // Hold the log lock so no transaction commits between reading the
+        // rows and reading the cursor — the copy is a consistent snapshot.
+        let log = self.log.read();
+        let handle = self.storage.table(table)?;
+        let rows = handle.read().collect_all();
+        Ok((rows, log.txns.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::{Column, DataType, Duration, Schema, SimClock};
+
+    fn setup() -> (MasterDb, SimClock) {
+        let clock = SimClock::new();
+        let catalog = Arc::new(Catalog::new());
+        let db = MasterDb::new(catalog.clone(), Arc::new(clock.clone()));
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("val", DataType::Int),
+        ]);
+        let meta = TableMeta::new(catalog.next_table_id(), "t", schema, vec!["id".into()]).unwrap();
+        db.create_table(&meta).unwrap();
+        catalog.register_table(meta).unwrap();
+        (db, clock)
+    }
+
+    fn ins(id: i64, val: i64) -> TableChange {
+        TableChange::new("t", RowChange::Insert(Row::new(vec![Value::Int(id), Value::Int(val)])))
+    }
+
+    #[test]
+    fn txn_ids_and_times_monotonic() {
+        let (db, clock) = setup();
+        let t1 = db.execute_txn(vec![ins(1, 10)]).unwrap();
+        clock.advance(Duration::from_secs(3));
+        let t2 = db.execute_txn(vec![ins(2, 20)]).unwrap();
+        assert!(t2.id > t1.id);
+        assert!(t2.commit_time > t1.commit_time);
+        assert_eq!(db.latest_commit(), (t2.id, t2.commit_time));
+    }
+
+    #[test]
+    fn txn_applies_to_master_table() {
+        let (db, _) = setup();
+        db.execute_txn(vec![ins(1, 10), ins(2, 20)]).unwrap();
+        let t = db.table("t").unwrap();
+        assert_eq!(t.read().row_count(), 2);
+        db.execute_txn(vec![TableChange::new(
+            "t",
+            RowChange::Delete { key: vec![Value::Int(1)] },
+        )])
+        .unwrap();
+        assert_eq!(t.read().row_count(), 1);
+    }
+
+    #[test]
+    fn empty_and_bad_txns_rejected() {
+        let (db, _) = setup();
+        assert!(db.execute_txn(vec![]).is_err());
+        assert!(db
+            .execute_txn(vec![TableChange::new("ghost", RowChange::Delete { key: vec![] })])
+            .is_err());
+        assert_eq!(db.log_len(), 0, "failed txns must not reach the log");
+    }
+
+    #[test]
+    fn log_cursors() {
+        let (db, _) = setup();
+        db.execute_txn(vec![ins(1, 1)]).unwrap();
+        db.execute_txn(vec![ins(2, 2)]).unwrap();
+        db.execute_txn(vec![ins(3, 3)]).unwrap();
+        assert_eq!(db.log_len(), 3);
+        assert_eq!(db.log_since(0).len(), 3);
+        assert_eq!(db.log_since(2).len(), 1);
+        assert_eq!(db.log_since(99).len(), 0);
+    }
+
+    #[test]
+    fn log_until_respects_commit_time() {
+        let (db, clock) = setup();
+        db.execute_txn(vec![ins(1, 1)]).unwrap(); // t=0
+        clock.advance(Duration::from_secs(10));
+        db.execute_txn(vec![ins(2, 2)]).unwrap(); // t=10s
+        let visible = db.log_since_until(0, Timestamp(5_000));
+        assert_eq!(visible.len(), 1);
+        let visible = db.log_since_until(0, Timestamp(10_000));
+        assert_eq!(visible.len(), 2);
+    }
+
+    #[test]
+    fn heartbeat_beats_through_log() {
+        let (db, clock) = setup();
+        clock.advance(Duration::from_secs(7));
+        let txn = db.beat(RegionId(3)).unwrap();
+        assert_eq!(txn.changes.len(), 1);
+        let hb = db.table(HEARTBEAT_TABLE).unwrap();
+        let row = hb.read().get(&[Value::Int(3)]).unwrap().clone();
+        assert_eq!(row.get(1), &Value::Timestamp(7_000));
+        // second beat updates in place
+        clock.advance(Duration::from_secs(2));
+        db.beat(RegionId(3)).unwrap();
+        assert_eq!(hb.read().row_count(), 1);
+        assert_eq!(
+            hb.read().get(&[Value::Int(3)]).unwrap().get(1),
+            &Value::Timestamp(9_000)
+        );
+    }
+
+    #[test]
+    fn bulk_load_is_unlogged() {
+        let (db, _) = setup();
+        db.bulk_load("t", vec![Row::new(vec![Value::Int(1), Value::Int(1)])]).unwrap();
+        assert_eq!(db.log_len(), 0);
+        assert_eq!(db.table("t").unwrap().read().row_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_returns_rows_and_cursor() {
+        let (db, _) = setup();
+        db.execute_txn(vec![ins(1, 1)]).unwrap();
+        let (rows, cursor) = db.snapshot_table("t").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(cursor, 1);
+        db.execute_txn(vec![ins(2, 2)]).unwrap();
+        assert_eq!(db.log_since(cursor).len(), 1);
+    }
+
+    #[test]
+    fn stats_computed_from_master() {
+        let (db, _) = setup();
+        for i in 0..50 {
+            db.execute_txn(vec![ins(i, i * 2)]).unwrap();
+        }
+        let stats = db.compute_stats("t").unwrap();
+        assert_eq!(stats.row_count, 50);
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion: execution time with vs. without currency guards (the
+//! Table 4.4 comparison as a statistically rigorous microbenchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcc_executor::{execute_plan, ExecContext, RemoteService};
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let cache = paper_setup(0.02, 42).expect("rig");
+    warm_up(&cache).expect("warm-up");
+    let ctx = ExecContext::new(
+        Arc::clone(cache.cache_storage()),
+        Some(Arc::clone(cache.backend()) as Arc<dyn RemoteService>),
+        Arc::new(cache.clock().clone()),
+    );
+
+    let queries = [
+        ("q1_point",
+         "SELECT c_custkey, c_name, c_acctbal FROM customer WHERE c_custkey = 77 \
+          CURRENCY BOUND 60 SEC ON (customer)"),
+        ("q2_nl_join",
+         "SELECT c.c_custkey, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
+          WHERE c.c_custkey = o.o_custkey AND c.c_custkey = 77 \
+          CURRENCY BOUND 60 SEC ON (c), 60 SEC ON (o)"),
+        ("q3_scan",
+         "SELECT c_custkey, c_name, c_acctbal FROM customer \
+          WHERE c_acctbal BETWEEN 0.0 AND 440.0 CURRENCY BOUND 60 SEC ON (customer)"),
+    ];
+
+    for (name, sql) in &queries {
+        let opt = cache.explain(sql, &HashMap::new()).expect(name);
+        let guarded = opt.plan.clone();
+        let plain = opt.plan.strip_guards(true);
+        let mut group = c.benchmark_group(*name);
+        group.bench_function("local_no_guard", |b| {
+            b.iter(|| execute_plan(std::hint::black_box(&plain), &ctx).unwrap())
+        });
+        group.bench_function("local_guarded", |b| {
+            b.iter(|| execute_plan(std::hint::black_box(&guarded), &ctx).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

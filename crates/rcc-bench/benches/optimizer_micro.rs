@@ -1,0 +1,66 @@
+//! Criterion: the front-end micro-costs — lexing+parsing the currency
+//! clause, binding/decorrelation, and constraint normalization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcc_common::Duration;
+use rcc_mtcache::paper::{paper_setup_sf1_stats, warm_up};
+use rcc_optimizer::{bind_select, CCConstraint};
+use rcc_sql::{parse_statement, Statement};
+use std::collections::{BTreeSet, HashMap};
+
+const SQL: &str = "SELECT c.c_custkey, c.c_name, o.o_orderkey, o.o_totalprice \
+                   FROM customer c, orders o \
+                   WHERE c.c_custkey = o.o_custkey AND c.c_custkey <= 100 \
+                   CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)";
+
+fn bench(c: &mut Criterion) {
+    let cache = paper_setup_sf1_stats(0.002, 42).expect("rig");
+    warm_up(&cache).expect("warm-up");
+
+    c.bench_function("parse_with_currency_clause", |b| {
+        b.iter(|| parse_statement(std::hint::black_box(SQL)).unwrap())
+    });
+
+    let stmt = match parse_statement(SQL).unwrap() {
+        Statement::Select(s) => *s,
+        _ => unreachable!(),
+    };
+    let no_params = HashMap::new();
+    c.bench_function("bind_and_normalize", |b| {
+        b.iter(|| bind_select(cache.catalog(), std::hint::black_box(&stmt), &no_params).unwrap())
+    });
+
+    // plan-cache hit vs. full re-optimization: the payoff of the paper's
+    // "re-optimization only if a view's consistency properties change"
+    c.bench_function("execute_with_plan_cache_hit", |b| {
+        let q = "SELECT c_custkey FROM customer WHERE c_custkey = 5 \
+                 CURRENCY BOUND 30 SEC ON (customer)";
+        cache.execute(q).unwrap(); // prime
+        b.iter(|| cache.execute(std::hint::black_box(q)).unwrap())
+    });
+    c.bench_function("execute_with_forced_reoptimize", |b| {
+        let q = "SELECT c_custkey FROM customer WHERE c_custkey = 5 \
+                 CURRENCY BOUND 30 SEC ON (customer)";
+        b.iter(|| {
+            cache.plan_cache().invalidate();
+            cache.execute(std::hint::black_box(q)).unwrap()
+        })
+    });
+
+    c.bench_function("normalize_constraint_8_classes", |b| {
+        #[allow(clippy::type_complexity)]
+        let raw: Vec<(Duration, BTreeSet<u32>, Vec<(String, String)>)> = (0..8u32)
+            .map(|i| {
+                (
+                    Duration::from_secs((i + 1) as i64),
+                    [i, (i + 1) % 8].into_iter().collect(),
+                    vec![],
+                )
+            })
+            .collect();
+        b.iter(|| CCConstraint::normalize(std::hint::black_box(raw.clone()), 0..8))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

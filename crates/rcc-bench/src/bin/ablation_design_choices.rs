@@ -1,0 +1,115 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Cost-based vs. always-prefer-local view selection** — the paper's
+//!    Q6 point: "the optimizer may choose not to use a local view even
+//!    though it satisfies all requirements if it is cheaper to get the
+//!    data from the back-end server." We measure what forcing the local
+//!    view would cost.
+//! 2. **SwitchUnion pull-up vs. per-leaf guards** — the paper's future-work
+//!    extension: a multi-table consistency class over one region served
+//!    locally under one guard instead of going remote.
+//! 3. **Compile-time bound check (B < d)** — how many optimizer candidates
+//!    the early discard removes.
+//!
+//! ```sh
+//! cargo run -p rcc-bench --bin ablation_design_choices --release
+//! ```
+
+use rcc_bench::{mean, ms};
+use rcc_executor::{execute_plan, ExecContext, RemoteService};
+use rcc_mtcache::paper::{paper_setup_sf1_stats, warm_up};
+use rcc_mtcache::MTCache;
+use rcc_optimizer::optimize::PlanChoice;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn time(cache: &MTCache, plan: &rcc_optimizer::PhysicalPlan, iters: usize) -> f64 {
+    let ctx = ExecContext::new(
+        Arc::clone(cache.cache_storage()),
+        Some(Arc::clone(cache.backend()) as Arc<dyn RemoteService>),
+        Arc::new(cache.clock().clone()),
+    );
+    let _ = execute_plan(plan, &ctx).expect("warm");
+    let mut xs = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        xs.push(ms(execute_plan(plan, &ctx).expect("run").timings.total()));
+    }
+    mean(&xs)
+}
+
+fn main() {
+    // physical scale 0.1 with SF 1.0 statistics: the optimizer decides at
+    // paper scale, execution runs on the 15k/150k-row physical data
+    let cache = paper_setup_sf1_stats(0.1, 42).expect("rig");
+    warm_up(&cache).expect("warm-up");
+    cache.backend().set_simulated_network(150, 20);
+
+    // ------------------------------------------------------- ablation 1
+    println!("== Ablation 1: cost-based routing vs. always-prefer-local (paper Q6)");
+    let q6 = "SELECT c_custkey, c_name, c_acctbal FROM customer \
+              WHERE c_acctbal BETWEEN 0.0 AND 4.0 CURRENCY BOUND 30 SEC ON (customer)";
+    let chosen = cache.explain(q6, &HashMap::new()).expect("q6");
+    assert_eq!(chosen.choice, PlanChoice::FullRemote, "cost-based choice is remote");
+    // force the local view: strip the guard out of a synthetic guarded plan
+    // built by temporarily making remote prohibitively expensive
+    let mut expensive_remote = rcc_optimizer::cost::CostParams::default();
+    expensive_remote.remote_roundtrip *= 1e6;
+    cache.set_cost_params(expensive_remote);
+    let forced_local = cache.explain(q6, &HashMap::new()).expect("q6 forced");
+    cache.set_cost_params(rcc_optimizer::cost::CostParams::default());
+    let t_remote = time(&cache, &chosen.plan, 200);
+    let t_local = time(&cache, &forced_local.plan, 200);
+    println!("   narrow range (~0.035% of rows):");
+    println!("   cost-based (remote, back-end index): {t_remote:.4} ms");
+    println!("   forced local (full view scan):       {t_local:.4} ms");
+    println!(
+        "   → cost-based routing wins {:.1}× — a freshness-only policy that always\n\
+         \x20    prefers the cache pays a full scan for 50-ish rows\n",
+        t_local / t_remote.max(1e-9)
+    );
+
+    // ------------------------------------------------------- ablation 2
+    println!("== Ablation 2: SwitchUnion pull-up vs. per-leaf guards");
+    let e1 = "SELECT a.c_custkey, b.c_name FROM customer a, customer b \
+              WHERE a.c_custkey = b.c_custkey AND a.c_custkey <= 200 \
+              CURRENCY BOUND 30 SEC ON (a, b)";
+    cache.set_pullup_switch_union(false);
+    let baseline = cache.explain(e1, &HashMap::new()).expect("e1 base");
+    cache.set_pullup_switch_union(true);
+    let pulled = cache.explain(e1, &HashMap::new()).expect("e1 pullup");
+    cache.set_pullup_switch_union(false);
+    let t_base = time(&cache, &baseline.plan, 100);
+    let t_pull = time(&cache, &pulled.plan, 100);
+    println!("   self-join with a two-table consistency class (one region):");
+    println!(
+        "   per-leaf guards (paper prototype): {:?}, {t_base:.4} ms",
+        baseline.choice
+    );
+    println!("   pulled-up guard (extension):       {:?}, {t_pull:.4} ms", pulled.choice);
+    println!(
+        "   → the extension keeps the class local and runs {:.1}× faster\n",
+        t_base / t_pull.max(1e-9)
+    );
+
+    // ------------------------------------------------------- ablation 3
+    println!("== Ablation 3: compile-time B < d discard");
+    // 3s bound vs CR1's 5s delay: local alternatives are discarded before
+    // costing; the plan has no guard for customer at all
+    let q4c = "SELECT c_custkey, c_name FROM customer WHERE c_custkey <= 500 \
+               CURRENCY BOUND 3 SEC ON (customer)";
+    let opt = cache.explain(q4c, &HashMap::new()).expect("q4c");
+    println!("   bound 3 s < delay 5 s → plan: {:?}, guards: {}", opt.choice, opt.plan.guard_count());
+    assert_eq!(opt.plan.guard_count(), 0, "no run-time check needed at all");
+    let q5c = "SELECT c_custkey, c_name FROM customer WHERE c_custkey <= 500 \
+               CURRENCY BOUND 30 SEC ON (customer)";
+    let opt2 = cache.explain(q5c, &HashMap::new()).expect("q5c");
+    println!(
+        "   bound 30 s ≥ delay 5 s → plan: {:?}, guards: {}",
+        opt2.choice,
+        opt2.plan.guard_count()
+    );
+    println!(
+        "   → the compile-time rule removes provably useless dynamic plans and\n\
+         \x20    their guard overhead (paper Sec. 3.2.2, last paragraph)"
+    );
+}

@@ -1,0 +1,91 @@
+//! Extension experiment: the user-visible payoff of relaxed currency.
+//!
+//! The paper's motivation — replicas exist "to improve scalability,
+//! performance and availability" — implies that relaxing a query's bound
+//! should buy latency and shed back-end load. This report sweeps the
+//! currency bound of a fixed read workload and measures mean latency, the
+//! fraction served locally, and bytes shipped from the back-end, against
+//! the two straw-man routers (always-remote = bound 0; always-local =
+//! freshness-blind).
+//!
+//! ```sh
+//! cargo run -p rcc-bench --bin extension_latency_vs_bound --release
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcc_bench::{mean, ms, print_region_config};
+use rcc_common::Duration;
+use rcc_mtcache::paper::{paper_setup, warm_up};
+
+const QUERIES_PER_POINT: usize = 200;
+
+fn main() {
+    let cache = paper_setup(0.05, 42).expect("rig"); // 7.5k customers
+    warm_up(&cache).expect("warm-up");
+    cache.backend().set_simulated_network(150, 20);
+
+    println!("Extension — mean read latency & back-end traffic vs. currency bound");
+    print_region_config(&cache);
+    println!(
+        "{:>9} | {:>11} | {:>8} | {:>12} | {:>12}",
+        "bound", "latency(ms)", "% local", "remote calls", "rows shipped"
+    );
+
+    // CR1: f=15s, d=5s → the interesting region for B is [0, 20s]
+    for bound_s in [0i64, 2, 5, 7, 10, 13, 16, 20, 30, 60] {
+        let mut rng = StdRng::seed_from_u64(bound_s as u64 + 1);
+        cache.counters().reset();
+        let mut latencies = Vec::with_capacity(QUERIES_PER_POINT);
+        let mut local = 0usize;
+        for _ in 0..QUERIES_PER_POINT {
+            // drift through the propagation cycle so guard outcomes sample
+            // the whole staleness ramp
+            cache.advance(Duration::from_millis(rng.gen_range(50..450))).expect("advance");
+            let key = rng.gen_range(1..=7000);
+            let sql = if bound_s == 0 {
+                // bound 0 == the always-remote baseline (tight default)
+                format!(
+                    "SELECT c_custkey, c_name, c_acctbal FROM customer \
+                     WHERE c_custkey BETWEEN {key} AND {}",
+                    key + 40
+                )
+            } else {
+                format!(
+                    "SELECT c_custkey, c_name, c_acctbal FROM customer \
+                     WHERE c_custkey BETWEEN {key} AND {} \
+                     CURRENCY BOUND {bound_s} SEC ON (customer)",
+                    key + 40
+                )
+            };
+            let r = cache.execute(&sql).expect("query");
+            latencies.push(ms(r.timings.total()));
+            if !r.used_remote {
+                local += 1;
+            }
+        }
+        let remote_calls = cache
+            .counters()
+            .remote_queries
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let shipped = cache
+            .counters()
+            .rows_shipped
+            .load(std::sync::atomic::Ordering::Relaxed);
+        println!(
+            "{:>8}s | {:>11.4} | {:>7.1}% | {:>12} | {:>12}",
+            bound_s,
+            mean(&latencies),
+            100.0 * local as f64 / QUERIES_PER_POINT as f64,
+            remote_calls,
+            shipped
+        );
+    }
+
+    println!(
+        "\nShape: latency and back-end traffic drop monotonically as the bound\n\
+         relaxes past the region delay (5 s) and saturate once B > d + f (20 s):\n\
+         saying \"good enough\" in SQL converts staleness tolerance into speed\n\
+         while the guards keep every answer within its declared bound."
+    );
+}

@@ -1,0 +1,88 @@
+//! Regenerates **Table 4.3 + Figure 4.1** (paper Sec. 4.1): the
+//! optimizer's plan choice for query variants Q1–Q7 as the currency clause
+//! and predicates change, with the chosen logical plan printed for each.
+//!
+//! ```sh
+//! cargo run -p rcc-bench --bin table_4_3_plan_choice --release
+//! ```
+
+use rcc_bench::print_region_config;
+use rcc_mtcache::paper::{paper_setup_sf1_stats, warm_up};
+use rcc_optimizer::optimize::PlanChoice;
+use std::collections::HashMap;
+
+fn plan_label(c: PlanChoice) -> &'static str {
+    match c {
+        PlanChoice::FullRemote => "plan 1 (full remote)",
+        PlanChoice::RemoteFetchLocalJoin => "plan 2 (remote fetches + local join)",
+        PlanChoice::Mixed => "plan 4 (mixed local/remote)",
+        PlanChoice::AllLocalGuarded => "plan 5 (all local, guarded)",
+        PlanChoice::PulledUpSwitchUnion => "pulled-up SwitchUnion (extension)",
+        PlanChoice::BackendLocal => "backend-local",
+    }
+}
+
+fn main() {
+    // physical scale 0.01 with statistics scaled to the paper's SF 1.0
+    let cache = paper_setup_sf1_stats(0.01, 42).expect("rig");
+    warm_up(&cache).expect("warm-up");
+    print_region_config(&cache);
+
+    let s1 = |k: i64, clause: &str| {
+        format!(
+            "SELECT c.c_custkey, c.c_name, o.o_orderkey, o.o_totalprice \
+             FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey AND c.c_custkey <= {k} {clause}"
+        )
+    };
+    let s2 = |a: f64, b: f64| {
+        format!(
+            "SELECT c_custkey, c_name, c_acctbal FROM customer \
+             WHERE c_acctbal BETWEEN {a} AND {b} CURRENCY BOUND 10 SEC ON (customer)"
+        )
+    };
+
+    // $K in the physical key domain [1, 1500]; fractions match the paper
+    let k_sel = 10; // 0.67% — "highly selective"
+    let k_all = 1_500; // 100%
+
+    let variants: Vec<(&str, String, &str)> = vec![
+        ("Q1", s1(k_sel, ""), "plan 1"),
+        ("Q2", s1(k_all, ""), "plan 2"),
+        ("Q3", s1(k_sel, "CURRENCY BOUND 10 SEC ON (c, o)"), "plan 1"),
+        ("Q4", s1(k_all, "CURRENCY BOUND 3 SEC ON (c), 15 SEC ON (o)"), "plan 4"),
+        ("Q5", s1(k_all, "CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)"), "plan 5"),
+        ("Q6", s2(0.0, 4.0), "remote (plan 1)"),
+        ("Q7", s2(0.0, 1400.0), "local (plan 5)"),
+    ];
+
+    println!("Table 4.3 — plan chosen per query variant:");
+    println!("{:<4} {:<42} {:<42} est. cost", "Q", "paper expects", "we chose");
+    let mut plans = Vec::new();
+    for (name, sql, expected) in &variants {
+        let opt = cache.explain(sql, &HashMap::new()).expect(name);
+        println!(
+            "{:<4} {:<42} {:<42} {:.0}",
+            name,
+            expected,
+            plan_label(opt.choice),
+            opt.cost
+        );
+        plans.push((name.to_string(), sql.clone(), opt));
+    }
+
+    println!("\nFigure 4.1 — generated plans:");
+    for (name, sql, opt) in &plans {
+        println!("--- {name}: {sql}");
+        print!("{}", opt.plan.explain());
+        println!();
+    }
+
+    // sanity: execute each and report row counts
+    println!("Execution check (row counts):");
+    for (name, sql, _) in &plans {
+        let r = cache.execute(sql).expect(name);
+        println!("{name}: {} rows ({} guards passed, remote={})",
+            r.rows.len(), r.local_branches(), r.used_remote);
+    }
+}

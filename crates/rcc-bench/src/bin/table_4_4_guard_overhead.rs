@@ -1,0 +1,160 @@
+//! Regenerates **Table 4.4** (paper Sec. 4.3): the absolute (ms) and
+//! relative (%) overhead of currency guards for the three benchmark
+//! queries, executed both locally and remotely.
+//!
+//! Methodology mirrors the paper: for each query we build a traditional
+//! plan without currency checking and a dynamic plan with guards, run each
+//! repeatedly against a warm cache, and compare average elapsed times —
+//! once with the guards passing (local execution) and once with them
+//! failing (remote execution).
+//!
+//! ```sh
+//! cargo run -p rcc-bench --bin table_4_4_guard_overhead --release
+//! ```
+
+use rcc_bench::{mean, ms, print_region_config};
+use rcc_common::Duration;
+use rcc_executor::{execute_plan, ExecContext, RemoteService};
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use rcc_mtcache::MTCache;
+use rcc_optimizer::PhysicalPlan;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Iterations per measurement (paper: 100 000 for the cheap local queries,
+/// 1 000 for the rest — scaled down to keep the report quick).
+fn iterations(query: &str, local: bool) -> usize {
+    match (query, local) {
+        ("Q1", true) | ("Q2", true) => 20_000,
+        ("Q3", true) => 600,
+        _ => 300,
+    }
+}
+
+struct Rig {
+    cache: MTCache,
+}
+
+impl Rig {
+    fn ctx(&self) -> ExecContext {
+        ExecContext::new(
+            Arc::clone(self.cache.cache_storage()),
+            Some(Arc::clone(self.cache.backend()) as Arc<dyn RemoteService>),
+            Arc::new(self.cache.clock().clone()),
+        )
+    }
+
+    /// Time two plans interleaved (A, B, A, B, ...) so cache warming and
+    /// scheduling noise hit both equally. Returns (mean_a_ms, mean_b_ms,
+    /// rows_of_a).
+    fn time_pair(&self, a: &PhysicalPlan, b: &PhysicalPlan, iters: usize) -> (f64, f64, usize) {
+        let ctx = self.ctx();
+        let rows = execute_plan(a, &ctx).expect("warm a").rows.len();
+        let _ = execute_plan(b, &ctx).expect("warm b");
+        let mut ta = Vec::with_capacity(iters);
+        let mut tb = Vec::with_capacity(iters);
+        // alternate execution order so allocator/cache warmth cannot
+        // systematically favour either plan
+        for i in 0..iters {
+            if i % 2 == 0 {
+                ta.push(ms(execute_plan(a, &ctx).expect("a").timings.total()));
+                tb.push(ms(execute_plan(b, &ctx).expect("b").timings.total()));
+            } else {
+                tb.push(ms(execute_plan(b, &ctx).expect("b").timings.total()));
+                ta.push(ms(execute_plan(a, &ctx).expect("a").timings.total()));
+            }
+        }
+        (mean(&ta), mean(&tb), rows)
+    }
+}
+
+fn main() {
+    // scale 0.1: 15 000 customers / ~150 000 orders — big enough that the
+    // Q3 scan is meaningful, small enough to load quickly
+    let cache = paper_setup(0.1, 42).expect("rig");
+    warm_up(&cache).expect("warm-up");
+    // a LAN-ish simulated network: 150 µs per round trip + 20 µs/KiB —
+    // without it the in-process back-end is as fast as local reads
+    cache.backend().set_simulated_network(150, 20);
+    print_region_config(&cache);
+    let rig = Rig { cache };
+
+    // the paper's three queries (Table 4.4 top): point lookup, small NL
+    // join, large scan. Bounds chosen so the guards PASS (local case).
+    let queries: Vec<(&str, String)> = vec![
+        (
+            "Q1",
+            "SELECT c_custkey, c_name, c_acctbal FROM customer WHERE c_custkey = 77 \
+             CURRENCY BOUND 60 SEC ON (customer)"
+                .to_string(),
+        ),
+        (
+            "Q2",
+            "SELECT c.c_custkey, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey AND c.c_custkey = 77 \
+             CURRENCY BOUND 60 SEC ON (c), 60 SEC ON (o)"
+                .to_string(),
+        ),
+        (
+            "Q3",
+            // ~4% of the table (≈ the paper's 5 975 of 150 000)
+            "SELECT c_custkey, c_name, c_acctbal FROM customer \
+             WHERE c_acctbal BETWEEN 0.0 AND 440.0 \
+             CURRENCY BOUND 60 SEC ON (customer)"
+                .to_string(),
+        ),
+    ];
+
+    println!("Table 4.4 — overhead of currency guards");
+    println!(
+        "{:<4} {:>6} | {:>12} {:>12} {:>9} {:>8} | {:>12} {:>12} {:>9} {:>8}",
+        "", "rows", "local-noCG", "local-CG", "ovh(ms)", "ovh(%)", "remote-noCG", "remote-CG", "ovh(ms)", "ovh(%)"
+    );
+
+    for (name, sql) in &queries {
+        let opt = rig.cache.explain(sql, &HashMap::new()).expect(name);
+        assert!(opt.plan.guard_count() > 0, "{name} must have a guarded plan");
+
+        // --- local side: guards pass (fresh heartbeats after warm_up)
+        let guarded = opt.plan.clone();
+        let plain_local = opt.plan.strip_guards(true);
+        let it = iterations(name, true);
+        let (t_plain_local, t_guard_local, rows) =
+            rig.time_pair(&plain_local, &guarded, it);
+
+        // --- remote side: strip to the remote branch for the baseline;
+        // for the guarded run, stall replication so the guard fails
+        let plain_remote = opt.plan.strip_guards(false);
+        let it_r = iterations(name, false);
+        rig.cache.set_region_stalled("CR1", true);
+        rig.cache.set_region_stalled("CR2", true);
+        rig.cache.advance(Duration::from_secs(300)).expect("advance");
+        let (t_plain_remote, t_guard_remote, _) =
+            rig.time_pair(&plain_remote, &guarded, it_r);
+        rig.cache.set_region_stalled("CR1", false);
+        rig.cache.set_region_stalled("CR2", false);
+        rig.cache.advance(Duration::from_secs(60)).expect("advance");
+
+        let ovh_l = t_guard_local - t_plain_local;
+        let ovh_r = t_guard_remote - t_plain_remote;
+        println!(
+            "{:<4} {:>6} | {:>10.4}ms {:>10.4}ms {:>9.4} {:>7.2}% | {:>10.4}ms {:>10.4}ms {:>9.4} {:>7.2}%",
+            name,
+            rows,
+            t_plain_local,
+            t_guard_local,
+            ovh_l,
+            100.0 * ovh_l / t_plain_local.max(1e-9),
+            t_plain_remote,
+            t_guard_remote,
+            ovh_r,
+            100.0 * ovh_r / t_plain_remote.max(1e-9),
+        );
+    }
+
+    println!(
+        "\nPaper shape: absolute overhead well under a millisecond for the point\n\
+         queries; relative overhead noticeable locally (~15-21%) because local\n\
+         execution is so cheap, small (<5%) remotely where round trips dominate."
+    );
+}

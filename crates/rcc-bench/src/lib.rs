@@ -1,0 +1,85 @@
+//! Shared harness for the experiment report binaries and Criterion
+//! benches. Each binary regenerates one table or figure of the paper's
+//! Section 4; see EXPERIMENTS.md at the repository root for the recorded
+//! paper-vs-measured comparison.
+
+use rcc_common::{Duration, Result};
+use rcc_mtcache::MTCache;
+
+/// Print the Table 4.1 currency-region configuration header every report
+/// starts with.
+pub fn print_region_config(cache: &MTCache) {
+    println!("Currency region settings (paper Table 4.1):");
+    println!("{:<6} {:>10} {:>8}   views", "cid", "interval", "delay");
+    for region in cache.catalog().regions() {
+        let views: Vec<String> = cache
+            .catalog()
+            .all_views()
+            .iter()
+            .filter(|v| v.region == region.id)
+            .map(|v| v.name.clone())
+            .collect();
+        println!(
+            "{:<6} {:>9}s {:>7}s   {}",
+            region.name,
+            region.update_interval.millis() / 1000,
+            region.update_delay.millis() / 1000,
+            views.join(", ")
+        );
+    }
+    println!();
+}
+
+/// Build a minimal single-table rig with one currency region configured
+/// with the given propagation interval `f` and delay `d` (in seconds) —
+/// the substrate for the Fig. 4.2 workload-shift experiment.
+pub fn single_region_rig(f_secs: i64, d_secs: i64, rows: i64) -> Result<MTCache> {
+    let cache = MTCache::new();
+    cache.execute("CREATE TABLE items (id INT, v INT, PRIMARY KEY (id))")?;
+    for i in 0..rows {
+        cache.execute(&format!("INSERT INTO items VALUES ({i}, {i})"))?;
+    }
+    cache.analyze("items")?;
+    cache.create_region("R", Duration::from_secs(f_secs), Duration::from_secs(d_secs))?;
+    cache.execute("CREATE CACHED VIEW items_v REGION r AS SELECT id, v FROM items")?;
+    // warm up for several propagation cycles so the steady-state cycle of
+    // Fig. 3.2 is established
+    cache.advance(Duration::from_secs(4 * f_secs.max(d_secs + 1)))?;
+    Ok(cache)
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Format a `std::time::Duration` as fractional milliseconds.
+pub fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_builds() {
+        let cache = single_region_rig(10, 2, 20).unwrap();
+        let r = cache
+            .execute("SELECT v FROM items WHERE id = 3 CURRENCY BOUND 30 SEC ON (items)")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert!(!r.used_remote);
+    }
+
+    #[test]
+    fn mean_and_ms() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((ms(std::time::Duration::from_micros(1500)) - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! Catalog for the RCC mini-DBMS.
+//!
+//! Holds the metadata both servers need: base-table descriptions (the
+//! *shadow database* on the cache has the same table definitions as the
+//! back-end but empty tables — paper Sec. 3 point 1), cached materialized
+//! view definitions (point 2), **currency regions** (Sec. 3.1) and
+//! back-end statistics used for cost estimation.
+
+pub mod catalog;
+pub mod region;
+pub mod table_meta;
+pub mod view;
+
+pub use catalog::Catalog;
+pub use region::CurrencyRegion;
+pub use table_meta::{IndexMeta, TableMeta};
+pub use view::{CachedViewDef, ViewPredicate};

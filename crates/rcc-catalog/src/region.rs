@@ -1,0 +1,100 @@
+//! Currency regions.
+
+use rcc_common::{Duration, RegionId};
+
+/// A *currency region*: the set of cached views maintained by one
+/// distribution agent, hence guaranteed mutually consistent at all times
+/// (paper Sec. 3.1).
+///
+/// The paper's prototype models regions as three catalog columns on views —
+/// `cid`, `update_interval`, `update_delay` — where interval and delay "can
+/// be estimates because they are used only for cost estimation". We promote
+/// the region to a first-class catalog object carrying the same data plus
+/// the heartbeat rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CurrencyRegion {
+    /// Region id (`cid` in the paper's catalog).
+    pub id: RegionId,
+    /// Human-readable name, e.g. `"CR1"`.
+    pub name: String,
+    /// How often the distribution agent wakes up and propagates updates
+    /// (`update_interval`, the paper's `f`).
+    pub update_interval: Duration,
+    /// Delay for an update to reach the cache once propagated
+    /// (`update_delay`, the paper's `d`): the minimal currency this region
+    /// can guarantee.
+    pub update_delay: Duration,
+    /// How often the back-end heartbeat row for this region beats
+    /// (Sec. 3.1: "at regular intervals, say every 2 seconds").
+    pub heartbeat_interval: Duration,
+}
+
+impl CurrencyRegion {
+    /// Construct a region with the default 2-second heartbeat.
+    pub fn new(
+        id: RegionId,
+        name: impl Into<String>,
+        update_interval: Duration,
+        update_delay: Duration,
+    ) -> CurrencyRegion {
+        CurrencyRegion {
+            id,
+            name: name.into(),
+            update_interval,
+            update_delay,
+            heartbeat_interval: Duration::from_secs(2),
+        }
+    }
+
+    /// The minimal staleness bound any data in this region can ever meet:
+    /// the propagation delay `d`. A query whose currency bound is below
+    /// this can never be answered from this region, and the optimizer
+    /// discards local plans outright (paper Sec. 3.2.2, last paragraph).
+    pub fn min_guaranteed_currency(&self) -> Duration {
+        self.update_delay
+    }
+
+    /// The worst-case staleness of data in this region under healthy
+    /// replication: `d + f` (paper Fig. 3.2 — currency ramps from `d` to
+    /// `d + f` over a propagation cycle).
+    pub fn max_healthy_staleness(&self) -> Duration {
+        self.update_delay.plus(self.update_interval)
+    }
+
+    /// Name of this region's local heartbeat table at the cache
+    /// (`Heartbeat_R` in the paper's currency-guard predicate).
+    pub fn heartbeat_table_name(&self) -> String {
+        format!("heartbeat_{}", self.name.to_ascii_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cr1() -> CurrencyRegion {
+        CurrencyRegion::new(
+            RegionId(1),
+            "CR1",
+            Duration::from_secs(15),
+            Duration::from_secs(5),
+        )
+    }
+
+    #[test]
+    fn derived_bounds() {
+        let r = cr1();
+        assert_eq!(r.min_guaranteed_currency(), Duration::from_secs(5));
+        assert_eq!(r.max_healthy_staleness(), Duration::from_secs(20));
+    }
+
+    #[test]
+    fn heartbeat_table_name_is_lowercased() {
+        assert_eq!(cr1().heartbeat_table_name(), "heartbeat_cr1");
+    }
+
+    #[test]
+    fn default_heartbeat_rate() {
+        assert_eq!(cr1().heartbeat_interval, Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,124 @@
+//! Base-table and index metadata.
+
+use rcc_common::{Error, IndexId, Result, Schema, TableId};
+
+/// Metadata for one index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// Index id.
+    pub id: IndexId,
+    /// Index name.
+    pub name: String,
+    /// Indexed column names, in key order.
+    pub columns: Vec<String>,
+    /// True for the clustered (primary-key) index.
+    pub clustered: bool,
+}
+
+/// Metadata for one base table (master copy at the back-end; shadow copy at
+/// the cache with the same definition but no rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Table id — the atom of consistency properties.
+    pub id: TableId,
+    /// Table name (lower-cased).
+    pub name: String,
+    /// Column layout.
+    pub schema: Schema,
+    /// Clustered key column names, in key order.
+    pub key: Vec<String>,
+    /// Secondary indexes *at the back-end*. The cache's local views declare
+    /// their own (usually poorer) indexing, which is what makes the paper's
+    /// Q6/Q7 experiment interesting.
+    pub indexes: Vec<IndexMeta>,
+}
+
+impl TableMeta {
+    /// Create table metadata; validates the key references real columns.
+    pub fn new(
+        id: TableId,
+        name: impl Into<String>,
+        schema: Schema,
+        key: Vec<String>,
+    ) -> Result<TableMeta> {
+        let name = name.into().to_ascii_lowercase();
+        if key.is_empty() {
+            return Err(Error::Config(format!("table {name} needs a primary key")));
+        }
+        for k in &key {
+            schema.resolve(None, k).map_err(|_| {
+                Error::Config(format!("key column {k} not in schema of table {name}"))
+            })?;
+        }
+        Ok(TableMeta { id, name, schema, key, indexes: Vec::new() })
+    }
+
+    /// Ordinals of the clustered key columns.
+    pub fn key_ordinals(&self) -> Vec<usize> {
+        self.key.iter().map(|k| self.schema.resolve(None, k).expect("validated key")).collect()
+    }
+
+    /// Register a secondary index at the back-end.
+    pub fn add_index(&mut self, id: IndexId, name: impl Into<String>, columns: Vec<String>) -> Result<()> {
+        for c in &columns {
+            self.schema.resolve(None, c).map_err(|_| {
+                Error::Config(format!("index column {c} not in schema of table {}", self.name))
+            })?;
+        }
+        self.indexes.push(IndexMeta { id, name: name.into(), columns, clustered: false });
+        Ok(())
+    }
+
+    /// Find a back-end index whose leading column is `column`.
+    pub fn index_on(&self, column: &str) -> Option<&IndexMeta> {
+        self.indexes
+            .iter()
+            .find(|ix| ix.columns.first().map(|c| c.eq_ignore_ascii_case(column)).unwrap_or(false))
+    }
+
+    /// Is `column` the leading clustered-key column (so a range predicate on
+    /// it turns a scan into a clustered seek)?
+    pub fn is_leading_key(&self, column: &str) -> bool {
+        self.key.first().map(|k| k.eq_ignore_ascii_case(column)).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::{Column, DataType};
+
+    fn customer() -> TableMeta {
+        let schema = Schema::new(vec![
+            Column::new("c_custkey", DataType::Int),
+            Column::new("c_name", DataType::Str),
+            Column::new("c_acctbal", DataType::Float),
+        ]);
+        TableMeta::new(TableId(1), "Customer", schema, vec!["c_custkey".into()]).unwrap()
+    }
+
+    #[test]
+    fn name_lowercased_and_key_validated() {
+        let t = customer();
+        assert_eq!(t.name, "customer");
+        assert_eq!(t.key_ordinals(), vec![0]);
+        assert!(t.is_leading_key("C_CUSTKEY"));
+        assert!(!t.is_leading_key("c_name"));
+    }
+
+    #[test]
+    fn bad_key_rejected() {
+        let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+        assert!(TableMeta::new(TableId(1), "t", schema.clone(), vec!["zz".into()]).is_err());
+        assert!(TableMeta::new(TableId(1), "t", schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn index_lookup_by_leading_column() {
+        let mut t = customer();
+        t.add_index(IndexId(1), "ix_bal", vec!["c_acctbal".into()]).unwrap();
+        assert!(t.index_on("c_acctbal").is_some());
+        assert!(t.index_on("c_name").is_none());
+        assert!(t.add_index(IndexId(2), "bad", vec!["ghost".into()]).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Cached materialized view definitions.
+
+use rcc_common::{Error, RegionId, Result, Schema, TableId, ViewId};
+use rcc_storage::KeyRange;
+
+/// The selection predicate of a cached view, restricted to a single-column
+/// range — the paper's prototype caches "selections and projections of
+/// tables or materialized views on the back-end server" (Sec. 3 point 2),
+/// and a column range is the selection shape its view-matching machinery
+/// (and ours) reasons about for subsumption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewPredicate {
+    /// Name of the restricted column (must be one of the view's columns).
+    pub column: String,
+    /// The retained range.
+    pub range: KeyRange,
+}
+
+/// Definition of a materialized view cached at the mid-tier DBMS: a
+/// projection (and optional selection) over one back-end base table,
+/// maintained by the distribution agent of its currency region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedViewDef {
+    /// View id.
+    pub id: ViewId,
+    /// View name (lower-cased).
+    pub name: String,
+    /// The currency region maintaining this view.
+    pub region: RegionId,
+    /// The base table this view projects.
+    pub base_table: TableId,
+    /// Base table name, for convenience.
+    pub base_table_name: String,
+    /// Names of the retained base-table columns, in view column order.
+    /// Must include the base table's full clustered key so replication can
+    /// apply deletes/updates by key.
+    pub columns: Vec<String>,
+    /// Optional selection predicate over a retained column.
+    pub predicate: Option<ViewPredicate>,
+    /// Schema of the view (the retained columns, qualified by view name).
+    pub schema: Schema,
+    /// Clustered key ordinals *within the view schema*.
+    pub key_ordinals: Vec<usize>,
+    /// Secondary indexes declared on the view at the cache: (name, leading
+    /// column name). The paper's cust_prj/orders_prj have none, which is
+    /// load-bearing for the Q6 experiment.
+    pub local_indexes: Vec<(String, String)>,
+}
+
+impl CachedViewDef {
+    /// Validate internal consistency of a definition.
+    pub fn validate(&self) -> Result<()> {
+        if self.columns.len() != self.schema.len() {
+            return Err(Error::Config(format!(
+                "view {}: column list and schema disagree",
+                self.name
+            )));
+        }
+        for &k in &self.key_ordinals {
+            if k >= self.schema.len() {
+                return Err(Error::Config(format!("view {}: key ordinal out of range", self.name)));
+            }
+        }
+        if let Some(p) = &self.predicate {
+            if !self.columns.iter().any(|c| c.eq_ignore_ascii_case(&p.column)) {
+                return Err(Error::Config(format!(
+                    "view {}: predicate column {} not retained",
+                    self.name, p.column
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Does this view retain base-table column `name`?
+    pub fn covers_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Ordinal of base-table column `name` within the view, if retained.
+    pub fn ordinal_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Does the view have a local secondary index led by `column`?
+    pub fn local_index_on(&self, column: &str) -> Option<&str> {
+        self.local_indexes
+            .iter()
+            .find(|(_, lead)| lead.eq_ignore_ascii_case(column))
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Is `column` the leading clustered-key column of the view?
+    pub fn is_leading_key(&self, column: &str) -> bool {
+        self.key_ordinals
+            .first()
+            .map(|&k| self.columns[k].eq_ignore_ascii_case(column))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::{Column, DataType, Value};
+
+    fn cust_prj() -> CachedViewDef {
+        let schema = Schema::new(vec![
+            Column::new("c_custkey", DataType::Int).with_source(TableId(1)),
+            Column::new("c_name", DataType::Str).with_source(TableId(1)),
+            Column::new("c_acctbal", DataType::Float).with_source(TableId(1)),
+        ])
+        .with_qualifier("cust_prj");
+        CachedViewDef {
+            id: ViewId(1),
+            name: "cust_prj".into(),
+            region: RegionId(1),
+            base_table: TableId(1),
+            base_table_name: "customer".into(),
+            columns: vec!["c_custkey".into(), "c_name".into(), "c_acctbal".into()],
+            predicate: None,
+            schema,
+            key_ordinals: vec![0],
+            local_indexes: vec![],
+        }
+    }
+
+    #[test]
+    fn validates_clean_definition() {
+        assert!(cust_prj().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_mismatched_columns() {
+        let mut v = cust_prj();
+        v.columns.pop();
+        assert!(v.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_unretained_predicate_column() {
+        let mut v = cust_prj();
+        v.predicate = Some(ViewPredicate {
+            column: "c_nationkey".into(),
+            range: KeyRange::eq(Value::Int(1)),
+        });
+        assert!(v.validate().is_err());
+        v.predicate = Some(ViewPredicate {
+            column: "c_acctbal".into(),
+            range: KeyRange::at_least(Value::Float(0.0)),
+        });
+        assert!(v.validate().is_ok());
+    }
+
+    #[test]
+    fn column_coverage_and_ordinals() {
+        let v = cust_prj();
+        assert!(v.covers_column("C_NAME"));
+        assert!(!v.covers_column("c_nationkey"));
+        assert_eq!(v.ordinal_of("c_acctbal"), Some(2));
+        assert!(v.is_leading_key("c_custkey"));
+        assert!(!v.is_leading_key("c_name"));
+    }
+
+    #[test]
+    fn local_index_lookup() {
+        let mut v = cust_prj();
+        assert!(v.local_index_on("c_acctbal").is_none());
+        v.local_indexes.push(("ix_bal".into(), "c_acctbal".into()));
+        assert_eq!(v.local_index_on("C_ACCTBAL"), Some("ix_bal"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all RCC crates.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the RCC stack.
+///
+/// The variants are grouped by pipeline stage so callers can react to the
+/// class of failure (e.g. report a [`Error::CurrencyViolation`] to the
+/// application with a warning instead of failing the query outright).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error while tokenizing SQL text.
+    Lex {
+        /// Byte offset into the source text.
+        pos: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Syntax error while parsing SQL.
+    Parse {
+        /// Byte offset into the source text.
+        pos: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Name resolution / semantic analysis failure (unknown table, ambiguous
+    /// column, type mismatch, ...).
+    Analysis(String),
+    /// A catalog object was not found.
+    NotFound(String),
+    /// A catalog object already exists.
+    AlreadyExists(String),
+    /// Type error during expression evaluation.
+    Type(String),
+    /// The optimizer could not produce any plan satisfying the query's
+    /// consistency constraints (e.g. mutually-consistent views required but
+    /// the only applicable views live in different currency regions and the
+    /// back-end is unreachable).
+    NoPlan(String),
+    /// A currency or consistency constraint could not be met at run time and
+    /// the session's violation policy is `Reject`.
+    CurrencyViolation(String),
+    /// The back-end server could not be reached or failed the request.
+    Remote(String),
+    /// Storage-level failure (duplicate key, missing index, ...).
+    Storage(String),
+    /// Execution-time failure not covered by the above.
+    Execution(String),
+    /// Invalid configuration (bad region parameters, zero heartbeat, ...).
+    Config(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand for an [`Error::Analysis`] with a formatted message.
+    pub fn analysis(msg: impl Into<String>) -> Self {
+        Error::Analysis(msg.into())
+    }
+
+    /// Shorthand for an [`Error::Internal`] with a formatted message.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            Error::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            Error::Analysis(m) => write!(f, "analysis error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::NoPlan(m) => write!(f, "no valid plan: {m}"),
+            Error::CurrencyViolation(m) => write!(f, "currency/consistency violation: {m}"),
+            Error::Remote(m) => write!(f, "remote error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = Error::Parse { pos: 17, message: "expected FROM".into() };
+        assert_eq!(e.to_string(), "parse error at byte 17: expected FROM");
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants = vec![
+            Error::Lex { pos: 0, message: "x".into() },
+            Error::Parse { pos: 0, message: "x".into() },
+            Error::Analysis("x".into()),
+            Error::NotFound("x".into()),
+            Error::AlreadyExists("x".into()),
+            Error::Type("x".into()),
+            Error::NoPlan("x".into()),
+            Error::CurrencyViolation("x".into()),
+            Error::Remote("x".into()),
+            Error::Storage("x".into()),
+            Error::Execution("x".into()),
+            Error::Config("x".into()),
+            Error::Internal("x".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert!(matches!(Error::analysis("a"), Error::Analysis(_)));
+        assert!(matches!(Error::internal("b"), Error::Internal(_)));
+    }
+}

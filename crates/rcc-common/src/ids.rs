@@ -1,0 +1,113 @@
+//! Strongly typed identifiers for catalog and replication objects.
+//!
+//! Using newtypes instead of bare `u32`/`u64` prevents the classic bug of
+//! passing a table id where a region id is expected — which matters here
+//! because the consistency machinery constantly pairs the two.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw numeric value.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a base table in the master (back-end) database.
+    ///
+    /// Consistency properties always refer to base tables (Sec. 3.2.1 of the
+    /// paper: "Consistency properties always refer to base tables"), so this
+    /// id is the atom of the whole property algebra.
+    TableId,
+    "T"
+);
+define_id!(
+    /// Identifies a materialized view cached at the mid-tier cache DBMS.
+    ViewId,
+    "V"
+);
+define_id!(
+    /// Identifies a *currency region*: the set of cached views kept mutually
+    /// consistent because they are maintained by the same distribution agent
+    /// (Sec. 3.1).
+    RegionId,
+    "CR"
+);
+define_id!(
+    /// Identifies a secondary or clustered index.
+    IndexId,
+    "I"
+);
+define_id!(
+    /// Identifies a replication distribution agent.
+    AgentId,
+    "A"
+);
+
+/// Commit timestamp of an update transaction on the master database.
+///
+/// The paper's appendix assigns committing transactions increasing integer
+/// ids ("timestamps"); `TxnId` is exactly that. `TxnId(0)` denotes the
+/// initial database state before any update committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// The initial (pre-history) state.
+    pub const ZERO: TxnId = TxnId(0);
+
+    /// The next transaction id.
+    pub fn next(self) -> TxnId {
+        TxnId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(TableId(3).to_string(), "T3");
+        assert_eq!(RegionId(1).to_string(), "CR1");
+        assert_eq!(ViewId(9).to_string(), "V9");
+        assert_eq!(IndexId(2).to_string(), "I2");
+        assert_eq!(AgentId(7).to_string(), "A7");
+        assert_eq!(TxnId(12).to_string(), "txn12");
+    }
+
+    #[test]
+    fn txn_ids_order_and_advance() {
+        let t = TxnId::ZERO;
+        assert!(t < t.next());
+        assert_eq!(t.next().next(), TxnId(2));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<TableId> = [TableId(1), TableId(2), TableId(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Simulated and wall clocks.
+//!
+//! All replication machinery (distribution agents, heartbeats, currency
+//! guards) reads time through the [`Clock`] trait so experiments can run on
+//! a deterministic, discrete-event [`SimClock`] while the guard-overhead
+//! benchmarks (paper Tables 4.4/4.5) use the real [`WallClock`].
+//!
+//! The canonical tick is one **millisecond**. The paper's experiments quote
+//! region intervals/delays and currency bounds in abstract "time units"
+//! (seconds in the prose); helpers like [`Duration::from_secs`] keep
+//! experiment code readable.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A point in time, in milliseconds since the clock's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Millisecond ticks since epoch.
+    pub fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero if `earlier` is in
+    /// the future (e.g. mild clock skew).
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0).max(0))
+    }
+
+    /// This timestamp advanced by `d`.
+    pub fn plus(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+
+    /// This timestamp moved back by `d`, saturating at the epoch.
+    pub fn minus(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 - d.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// A span of time in milliseconds. Currency bounds, propagation intervals
+/// and delays are all `Duration`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub i64);
+
+impl Duration {
+    /// Zero-length duration (the default currency bound: data must be
+    /// completely current).
+    pub const ZERO: Duration = Duration(0);
+
+    /// An effectively infinite bound ("any staleness accepted").
+    pub const MAX: Duration = Duration(i64::MAX / 4);
+
+    /// From milliseconds.
+    pub fn from_millis(ms: i64) -> Duration {
+        Duration(ms)
+    }
+
+    /// From seconds.
+    pub fn from_secs(s: i64) -> Duration {
+        Duration(s * 1_000)
+    }
+
+    /// From minutes.
+    pub fn from_mins(m: i64) -> Duration {
+        Duration(m * 60_000)
+    }
+
+    /// From hours.
+    pub fn from_hours(h: i64) -> Duration {
+        Duration(h * 3_600_000)
+    }
+
+    /// Milliseconds in this duration.
+    pub fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction, clamped at zero.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration((self.0 - other.0).max(0))
+    }
+
+    /// Sum of two durations.
+    pub fn plus(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+
+    /// Smaller of two durations.
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this is the zero duration.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 60_000 && self.0 % 60_000 == 0 {
+            write!(f, "{}min", self.0 / 60_000)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{}s", self.0 / 1_000)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+/// Source of "now", equivalent to SQL Server's `getdate()` in the paper's
+/// currency-guard predicate.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current time.
+    fn now(&self) -> Timestamp;
+}
+
+/// Deterministic, manually advanced clock shared across the simulation.
+///
+/// Cloning yields a handle to the *same* underlying time, so the back-end,
+/// the replication agents and the cache all observe one timeline.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Arc<AtomicI64>,
+}
+
+impl SimClock {
+    /// A clock starting at the epoch.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// A clock starting at `t`.
+    pub fn starting_at(t: Timestamp) -> SimClock {
+        SimClock { now: Arc::new(AtomicI64::new(t.0)) }
+    }
+
+    /// Advance by `d` and return the new time.
+    pub fn advance(&self, d: Duration) -> Timestamp {
+        Timestamp(self.now.fetch_add(d.0, Ordering::SeqCst) + d.0)
+    }
+
+    /// Jump to an absolute time; panics if that would move time backwards
+    /// (the simulation invariant "time moves forward").
+    pub fn set(&self, t: Timestamp) {
+        let prev = self.now.swap(t.0, Ordering::SeqCst);
+        assert!(prev <= t.0, "SimClock must not move backwards ({prev} -> {})", t.0);
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.now.load(Ordering::SeqCst))
+    }
+}
+
+/// Real wall-clock time, used by the overhead benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now(&self) -> Timestamp {
+        let dur = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default();
+        Timestamp(dur.as_millis() as i64)
+    }
+}
+
+/// Shared trait-object clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_convert_units() {
+        assert_eq!(Duration::from_secs(2).millis(), 2000);
+        assert_eq!(Duration::from_mins(3).millis(), 180_000);
+        assert_eq!(Duration::from_hours(1).millis(), 3_600_000);
+    }
+
+    #[test]
+    fn duration_display_picks_unit() {
+        assert_eq!(Duration::from_mins(10).to_string(), "10min");
+        assert_eq!(Duration::from_secs(5).to_string(), "5s");
+        assert_eq!(Duration::from_millis(1500).to_string(), "1500ms");
+        assert_eq!(Duration::from_millis(7).to_string(), "7ms");
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Timestamp(100);
+        let b = Timestamp(40);
+        assert_eq!(a.since(b), Duration(60));
+        assert_eq!(b.since(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn sim_clock_shares_time_across_clones() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        c.advance(Duration::from_secs(5));
+        assert_eq!(c2.now(), Timestamp(5000));
+        c2.advance(Duration::from_millis(1));
+        assert_eq!(c.now(), Timestamp(5001));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not move backwards")]
+    fn sim_clock_rejects_backwards_set() {
+        let c = SimClock::starting_at(Timestamp(10));
+        c.set(Timestamp(5));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_enough() {
+        let w = WallClock;
+        let a = w.now();
+        let b = w.now();
+        assert!(b >= a);
+        assert!(a.millis() > 1_600_000_000_000, "expected a post-2020 epoch time");
+    }
+
+    #[test]
+    fn duration_arith() {
+        let d = Duration::from_secs(10);
+        assert_eq!(d.saturating_sub(Duration::from_secs(4)), Duration::from_secs(6));
+        assert_eq!(Duration::from_secs(4).saturating_sub(d), Duration::ZERO);
+        assert_eq!(d.plus(Duration::from_secs(1)), Duration::from_secs(11));
+        assert_eq!(d.min(Duration::from_secs(3)), Duration::from_secs(3));
+        assert!(Duration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn timestamp_arith() {
+        let t = Timestamp(1000);
+        assert_eq!(t.plus(Duration(500)), Timestamp(1500));
+        assert_eq!(t.minus(Duration(400)), Timestamp(600));
+    }
+}

@@ -1,0 +1,369 @@
+//! SQL values and data types.
+
+use crate::error::{Error, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The SQL data types supported by the engine.
+///
+/// This is the subset needed by the paper's workloads (TPC-D Customer and
+/// Orders projections, heartbeat tables) plus booleans for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (used for `c_acctbal`, `o_totalprice`).
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean, produced by predicates.
+    Bool,
+    /// A point on the (simulated) timeline, stored as integer ticks.
+    /// Heartbeat tables hold these.
+    Timestamp,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "VARCHAR",
+            DataType::Bool => "BOOL",
+            DataType::Timestamp => "TIMESTAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single SQL value.
+///
+/// `Value` implements a *total* order (needed for BTree index keys): `NULL`
+/// sorts first, numeric types compare by value with `Int`/`Float` unified,
+/// and `NaN` floats sort after all other floats so ordering never panics.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Timestamp in clock ticks (milliseconds of simulated or wall time).
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for NULL (which is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// True iff this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an integer, coercing from float/bool where lossless-ish.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Timestamp(t) => Ok(*t),
+            Value::Bool(b) => Ok(*b as i64),
+            other => Err(Error::Type(format!("expected INT, got {other}"))),
+        }
+    }
+
+    /// Extract a float, coercing from int.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::Type(format!("expected FLOAT, got {other}"))),
+        }
+    }
+
+    /// Extract a boolean. NULL is *not* accepted; use
+    /// [`Value::is_truthy`] for three-valued WHERE evaluation.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::Type(format!("expected BOOL, got {other}"))),
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::Type(format!("expected VARCHAR, got {other}"))),
+        }
+    }
+
+    /// SQL WHERE-clause truth: TRUE is truthy; FALSE and NULL are not.
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// SQL three-valued comparison: returns `None` if either side is NULL.
+    ///
+    /// Numeric types compare cross-type (`Int` vs `Float`); any other type
+    /// mixture is a type error surfaced as `None` ordering at evaluation
+    /// sites that tolerate it, or an explicit error via [`Value::compare`].
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// Strict comparison that rejects incomparable types.
+    pub fn compare(&self, other: &Value) -> Result<Option<Ordering>> {
+        if self.is_null() || other.is_null() {
+            return Ok(None);
+        }
+        match (self, other) {
+            (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+            | (Value::Str(_), Value::Str(_))
+            | (Value::Bool(_), Value::Bool(_))
+            | (Value::Timestamp(_), Value::Timestamp(_))
+            | (Value::Timestamp(_), Value::Int(_))
+            | (Value::Int(_), Value::Timestamp(_)) => Ok(Some(self.total_cmp(other))),
+            _ => Err(Error::Type(format!("cannot compare {self} with {other}"))),
+        }
+    }
+
+    /// Total order used by indexes and sorting. NULL < everything; values of
+    /// different type classes order by a fixed type rank.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let fa = numeric(a);
+                let fb = numeric(b);
+                fa.total_cmp(&fb)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Approximate serialized width in bytes, used by the cost model to
+    /// estimate bytes shipped from the back-end.
+    pub fn byte_width(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => 4 + s.len(),
+        }
+    }
+}
+
+fn numeric(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        Value::Timestamp(t) => *t as f64,
+        _ => f64::NAN,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int/Float/Timestamp must hash identically when equal under
+            // total_cmp, so hash through the f64 bit pattern of the numeric
+            // value.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Timestamp(t) => {
+                2u8.hash(state);
+                (*t as f64).to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            Value::Timestamp(t) => write!(f, "ts({t})"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Str("".into()));
+        assert!(Value::Null < Value::Bool(false));
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.0)), Ordering::Equal);
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.9) < Value::Int(3));
+        assert_eq!(Value::Timestamp(5).total_cmp(&Value::Int(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn nan_sorts_after_numbers() {
+        assert!(Value::Float(f64::NAN) > Value::Float(f64::MAX));
+        assert!(Value::Float(f64::NAN) > Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn sql_cmp_returns_none_on_null() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(1)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn compare_rejects_mixed_types() {
+        assert!(Value::Int(1).compare(&Value::Str("a".into())).is_err());
+        assert!(Value::Bool(true).compare(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn equal_values_hash_equal_across_numeric_types() {
+        assert_eq!(Value::Int(7), Value::Float(7.0));
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn truthiness_is_three_valued() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(1).is_truthy());
+    }
+
+    #[test]
+    fn display_escapes_strings() {
+        assert_eq!(Value::Str("o'brien".into()).to_string(), "'o''brien'");
+    }
+
+    #[test]
+    fn byte_width_models_varlen_strings() {
+        assert_eq!(Value::Int(1).byte_width(), 8);
+        assert_eq!(Value::Str("abcd".into()).byte_width(), 8);
+        assert_eq!(Value::Null.byte_width(), 1);
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(4).as_float().unwrap(), 4.0);
+        assert_eq!(Value::Timestamp(9).as_int().unwrap(), 9);
+        assert_eq!(Value::Bool(true).as_int().unwrap(), 1);
+        assert!(Value::Str("x".into()).as_int().is_err());
+        assert_eq!(Value::Str("x".into()).as_str().unwrap(), "x");
+    }
+
+    #[test]
+    fn data_type_reporting() {
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(DataType::Str.to_string(), "VARCHAR");
+    }
+}

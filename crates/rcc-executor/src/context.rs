@@ -1,0 +1,163 @@
+//! Execution context: storage, the remote service, clock, counters.
+
+use parking_lot::Mutex;
+use rcc_common::{Clock, RegionId, Result, Row, Schema, Timestamp};
+use rcc_storage::StorageEngine;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The cache's window to the back-end server. Implemented by the MTCache
+/// crate's `BackendServer`; the executor only knows it can ship SQL text
+/// and get rows back.
+pub trait RemoteService: Send + Sync + std::fmt::Debug {
+    /// Execute `sql` at the back-end against the latest snapshot.
+    fn execute(&self, sql: &str) -> Result<(Schema, Vec<Row>)>;
+}
+
+/// Execution statistics, shared across queries so experiments can measure
+/// workload distribution (paper Fig. 4.2).
+#[derive(Debug, Default)]
+pub struct ExecCounters {
+    /// Currency guards that passed (local branch taken).
+    pub local_branches: AtomicU64,
+    /// Currency guards that failed (remote branch taken).
+    pub remote_branches: AtomicU64,
+    /// Remote queries actually shipped.
+    pub remote_queries: AtomicU64,
+    /// Rows received from the back-end.
+    pub rows_shipped: AtomicU64,
+}
+
+impl ExecCounters {
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.local_branches.store(0, Ordering::Relaxed);
+        self.remote_branches.store(0, Ordering::Relaxed);
+        self.remote_queries.store(0, Ordering::Relaxed);
+        self.rows_shipped.store(0, Ordering::Relaxed);
+    }
+
+    /// Fraction of guard evaluations that chose the local branch.
+    pub fn local_fraction(&self) -> f64 {
+        let l = self.local_branches.load(Ordering::Relaxed) as f64;
+        let r = self.remote_branches.load(Ordering::Relaxed) as f64;
+        if l + r == 0.0 {
+            0.0
+        } else {
+            l / (l + r)
+        }
+    }
+}
+
+/// One guard evaluation, recorded for the session layer (timeline
+/// consistency) and for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardObservation {
+    /// Region checked.
+    pub region: RegionId,
+    /// Heartbeat timestamp found (None: table/row missing).
+    pub heartbeat: Option<Timestamp>,
+    /// Whether the local branch was chosen.
+    pub chose_local: bool,
+}
+
+/// Everything an operator needs at run time.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Local storage engine (cached views + heartbeat tables at the cache;
+    /// master tables at the back-end).
+    pub storage: Arc<StorageEngine>,
+    /// Back-end access for remote branches (None at the back-end itself).
+    pub remote: Option<Arc<dyn RemoteService>>,
+    /// Clock supplying `getdate()` for guards and expressions.
+    pub clock: Arc<dyn Clock>,
+    /// Shared statistics.
+    pub counters: Arc<ExecCounters>,
+    /// Timeline-consistency floors: a guard for region R additionally
+    /// requires `heartbeat ≥ floor[R]` so later queries in a TIMEORDERED
+    /// session never read older data than earlier ones (paper Sec. 2.3).
+    pub timeline_floor: Arc<HashMap<RegionId, Timestamp>>,
+    /// Guard evaluations observed while executing, in plan order.
+    pub observations: Arc<Mutex<Vec<GuardObservation>>>,
+    /// When true, currency guards pass unconditionally (the `ServeStale`
+    /// violation policy: return possibly stale data, flagged via the
+    /// recorded observations). Never set on the normal path.
+    pub force_local: bool,
+}
+
+impl ExecContext {
+    /// Context for executing at the cache.
+    pub fn new(
+        storage: Arc<StorageEngine>,
+        remote: Option<Arc<dyn RemoteService>>,
+        clock: Arc<dyn Clock>,
+    ) -> ExecContext {
+        ExecContext {
+            storage,
+            remote,
+            clock,
+            counters: Arc::new(ExecCounters::default()),
+            timeline_floor: Arc::new(HashMap::new()),
+            observations: Arc::new(Mutex::new(Vec::new())),
+            force_local: false,
+        }
+    }
+
+    /// Same context with different timeline floors (used per session).
+    pub fn with_timeline_floor(&self, floor: HashMap<RegionId, Timestamp>) -> ExecContext {
+        ExecContext { timeline_floor: Arc::new(floor), ..self.clone() }
+    }
+
+    /// Drain the observations recorded so far.
+    pub fn take_observations(&self) -> Vec<GuardObservation> {
+        std::mem::take(&mut self.observations.lock())
+    }
+
+    /// Record a guard outcome.
+    pub fn record_guard(&self, obs: GuardObservation) {
+        if obs.chose_local {
+            self.counters.local_branches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.remote_branches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.observations.lock().push(obs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::SimClock;
+
+    #[test]
+    fn counters_track_fractions() {
+        let c = ExecCounters::default();
+        assert_eq!(c.local_fraction(), 0.0);
+        c.local_branches.fetch_add(3, Ordering::Relaxed);
+        c.remote_branches.fetch_add(1, Ordering::Relaxed);
+        assert!((c.local_fraction() - 0.75).abs() < 1e-9);
+        c.reset();
+        assert_eq!(c.local_branches.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn record_guard_updates_counters_and_log() {
+        let ctx = ExecContext::new(
+            Arc::new(StorageEngine::new()),
+            None,
+            Arc::new(SimClock::new()),
+        );
+        ctx.record_guard(GuardObservation {
+            region: RegionId(1),
+            heartbeat: Some(Timestamp(5)),
+            chose_local: true,
+        });
+        ctx.record_guard(GuardObservation { region: RegionId(1), heartbeat: None, chose_local: false });
+        assert_eq!(ctx.counters.local_branches.load(Ordering::Relaxed), 1);
+        assert_eq!(ctx.counters.remote_branches.load(Ordering::Relaxed), 1);
+        let obs = ctx.take_observations();
+        assert_eq!(obs.len(), 2);
+        assert!(ctx.take_observations().is_empty());
+    }
+}

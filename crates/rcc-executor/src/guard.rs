@@ -1,0 +1,134 @@
+//! Currency-guard evaluation.
+
+use crate::context::{ExecContext, GuardObservation};
+use rcc_common::{Result, Timestamp, Value};
+use rcc_optimizer::CurrencyGuard;
+
+/// Evaluate a currency guard: semantically the paper's selector predicate
+///
+/// ```sql
+/// EXISTS (SELECT 1 FROM Heartbeat_R WHERE TimeStamp > getdate() - B)
+/// ```
+///
+/// plus the timeline-consistency floor (our extension of Sec. 2.3): the
+/// heartbeat must also be at least the session's floor for the region so a
+/// later query never observes an older snapshot than an earlier one.
+///
+/// A missing heartbeat table or row fails the guard — conservative in the
+/// safe direction (the query goes remote and sees current data).
+pub fn evaluate_guard(ctx: &ExecContext, guard: &CurrencyGuard) -> Result<bool> {
+    let heartbeat = read_heartbeat(ctx, guard);
+    if ctx.force_local {
+        // ServeStale policy: take the local branch regardless, but record
+        // the (possibly violated) observation so callers can warn.
+        ctx.record_guard(GuardObservation { region: guard.region, heartbeat, chose_local: true });
+        return Ok(true);
+    }
+    let now = ctx.clock.now();
+    let fresh_enough = match heartbeat {
+        Some(ts) => {
+            let cutoff = now.minus(guard.bound);
+            let floor =
+                ctx.timeline_floor.get(&guard.region).copied().unwrap_or(Timestamp::ZERO);
+            ts > cutoff && ts >= floor
+        }
+        None => false,
+    };
+    ctx.record_guard(GuardObservation {
+        region: guard.region,
+        heartbeat,
+        chose_local: fresh_enough,
+    });
+    Ok(fresh_enough)
+}
+
+/// Read the region's local heartbeat timestamp, if present.
+pub fn read_heartbeat(ctx: &ExecContext, guard: &CurrencyGuard) -> Option<Timestamp> {
+    let handle = ctx.storage.table(&guard.heartbeat_table).ok()?;
+    let table = handle.read();
+    let row = table.get(&[Value::Int(guard.region.raw() as i64)])?;
+    row.get(1).as_int().ok().map(Timestamp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::{Column, DataType, Duration, RegionId, Row, Schema, SimClock};
+    use rcc_storage::{StorageEngine, Table};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn setup(hb_ts: Option<i64>) -> (ExecContext, CurrencyGuard, SimClock) {
+        let storage = Arc::new(StorageEngine::new());
+        let schema = Schema::new(vec![
+            Column::new("region_id", DataType::Int),
+            Column::new("ts", DataType::Timestamp),
+        ]);
+        let mut t = Table::new("heartbeat_cr1", schema, vec![0]);
+        if let Some(ts) = hb_ts {
+            t.insert(Row::new(vec![Value::Int(1), Value::Timestamp(ts)])).unwrap();
+        }
+        storage.create_table(t).unwrap();
+        let clock = SimClock::starting_at(Timestamp(100_000));
+        let ctx = ExecContext::new(storage, None, Arc::new(clock.clone()));
+        let guard = CurrencyGuard {
+            region: RegionId(1),
+            heartbeat_table: "heartbeat_cr1".into(),
+            bound: Duration::from_secs(10),
+        };
+        (ctx, guard, clock)
+    }
+
+    #[test]
+    fn fresh_heartbeat_passes() {
+        // now=100s, bound=10s, hb=95s → 95s > 90s → pass
+        let (ctx, guard, _) = setup(Some(95_000));
+        assert!(evaluate_guard(&ctx, &guard).unwrap());
+        assert_eq!(ctx.counters.local_branches.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stale_heartbeat_fails() {
+        // hb=89s ≤ cutoff 90s → fail (boundary exclusive like the paper's >)
+        let (ctx, guard, _) = setup(Some(89_000));
+        assert!(!evaluate_guard(&ctx, &guard).unwrap());
+        let (ctx, guard, _) = setup(Some(90_000));
+        assert!(!evaluate_guard(&ctx, &guard).unwrap(), "ts must be strictly newer");
+    }
+
+    #[test]
+    fn missing_heartbeat_fails_conservatively() {
+        let (ctx, guard, _) = setup(None);
+        assert!(!evaluate_guard(&ctx, &guard).unwrap());
+        // missing table entirely
+        let ctx2 = ExecContext::new(
+            Arc::new(StorageEngine::new()),
+            None,
+            Arc::new(SimClock::new()),
+        );
+        assert!(!evaluate_guard(&ctx2, &guard).unwrap());
+    }
+
+    #[test]
+    fn timeline_floor_blocks_old_snapshots() {
+        let (ctx, guard, _) = setup(Some(95_000));
+        // a floor above the heartbeat forces remote even though fresh
+        let mut floor = HashMap::new();
+        floor.insert(RegionId(1), Timestamp(96_000));
+        let ctx2 = ctx.with_timeline_floor(floor);
+        assert!(!evaluate_guard(&ctx2, &guard).unwrap());
+        // equal floor is fine
+        let mut floor = HashMap::new();
+        floor.insert(RegionId(1), Timestamp(95_000));
+        let ctx3 = ctx.with_timeline_floor(floor);
+        assert!(evaluate_guard(&ctx3, &guard).unwrap());
+    }
+
+    #[test]
+    fn guard_tracks_clock_movement() {
+        let (ctx, guard, clock) = setup(Some(95_000));
+        assert!(evaluate_guard(&ctx, &guard).unwrap());
+        clock.advance(Duration::from_secs(10)); // now=110s, cutoff=100s > 95s
+        assert!(!evaluate_guard(&ctx, &guard).unwrap());
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! Volcano-style execution engine.
+//!
+//! Interprets [`rcc_optimizer::PhysicalPlan`] trees with classic
+//! open/next/close operators. The three phases are instrumented separately
+//! because the paper's guard-overhead experiment (Tables 4.4/4.5) breaks
+//! elapsed time down into **setup** (instantiating the executable tree),
+//! **run** (producing rows) and **shutdown** (closing the tree).
+//!
+//! The star of the show is the [`ops::SwitchUnionOp`]: when opened it
+//! evaluates its *currency guard* — a point lookup in the region's local
+//! heartbeat table, `ts > getdate() − B` — and then opens exactly one of
+//! its branches; "the other inputs are not touched" (paper Sec. 3).
+//! Branch decisions are counted in [`context::ExecCounters`], which is what
+//! the workload-shift experiment (Fig. 4.2) measures.
+
+pub mod build;
+pub mod context;
+pub mod guard;
+pub mod ops;
+pub mod wire;
+
+pub use build::{build_operator, execute_plan, ExecutionResult, PhaseTimings};
+pub use context::{ExecContext, ExecCounters, RemoteService};

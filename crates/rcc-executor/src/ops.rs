@@ -1,0 +1,1112 @@
+//! The physical operators.
+//!
+//! Every operator follows the volcano discipline: `open` acquires resources
+//! and computes whatever the strategy needs up front (hash tables, guard
+//! decisions, buffered scans), `next` yields one row at a time, `close`
+//! releases. In-memory tables make buffering scans at open both simple and
+//! honest — the real system's scan also materializes the qualifying rows'
+//! pages in the buffer pool.
+
+use crate::context::ExecContext;
+use crate::guard::evaluate_guard;
+use rcc_common::{Error, Result, Row, Schema, Value};
+use rcc_optimizer::graph::JoinKind;
+use rcc_optimizer::physical::{AccessPath, InnerAccess};
+use rcc_optimizer::{AggCall, AggFunc, BoundExpr, CurrencyGuard};
+use rcc_storage::KeyRange;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The operator interface.
+pub trait Operator: Send {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// Prepare for producing rows.
+    fn open(&mut self, ctx: &ExecContext) -> Result<()>;
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>>;
+    /// Release resources.
+    fn close(&mut self, ctx: &ExecContext) -> Result<()>;
+}
+
+/// Boxed operator tree node.
+pub type BoxedOp = Box<dyn Operator>;
+
+fn now_millis(ctx: &ExecContext) -> i64 {
+    ctx.clock.now().millis()
+}
+
+// ----------------------------------------------------------------- OneRow
+
+/// Emits a single empty row.
+pub struct OneRowOp {
+    schema: Schema,
+    done: bool,
+}
+
+impl OneRowOp {
+    /// Build.
+    pub fn new() -> OneRowOp {
+        OneRowOp { schema: Schema::empty(), done: false }
+    }
+}
+
+impl Default for OneRowOp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Operator for OneRowOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn open(&mut self, _ctx: &ExecContext) -> Result<()> {
+        self.done = false;
+        Ok(())
+    }
+    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+        if self.done {
+            Ok(None)
+        } else {
+            self.done = true;
+            Ok(Some(Row::new(vec![])))
+        }
+    }
+    fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------- LocalScan
+
+/// Scan of a local storage object with access-path pushdown.
+pub struct LocalScanOp {
+    object: String,
+    schema: Schema,
+    access: AccessPath,
+    residual: Option<BoundExpr>,
+    buffer: VecDeque<Row>,
+}
+
+impl LocalScanOp {
+    /// Build from plan-node fields.
+    pub fn new(
+        object: String,
+        schema: Schema,
+        access: AccessPath,
+        residual: Option<BoundExpr>,
+    ) -> LocalScanOp {
+        LocalScanOp { object, schema, access, residual, buffer: VecDeque::new() }
+    }
+}
+
+impl Operator for LocalScanOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        let handle = ctx.storage.table(&self.object)?;
+        let table = handle.read();
+        // map output columns to stored ordinals by name
+        let mapping: Vec<usize> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| table.schema().resolve(None, &c.name))
+            .collect::<Result<_>>()?;
+        let now = now_millis(ctx);
+        let project = |row: &Row| Row::new(mapping.iter().map(|&i| row.get(i).clone()).collect());
+        let mut push = |row: &Row| -> Result<()> {
+            let projected = project(row);
+            let keep = match &self.residual {
+                Some(p) => p.eval_predicate(&projected, &self.schema, now)?,
+                None => true,
+            };
+            if keep {
+                self.buffer.push_back(projected);
+            }
+            Ok(())
+        };
+        match &self.access {
+            AccessPath::FullScan => {
+                for row in table.iter() {
+                    push(row)?;
+                }
+            }
+            AccessPath::ClusteredRange { range, .. } => {
+                let mut err = None;
+                table.scan_range(range, |_| true, |row| {
+                    if err.is_none() {
+                        if let Err(e) = push(row) {
+                            err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+            AccessPath::IndexRange { index, range, .. } => {
+                for row in table.index_scan(index, range)? {
+                    push(&row)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+        Ok(self.buffer.pop_front())
+    }
+
+    fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
+        self.buffer.clear();
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------ RemoteQuery
+
+/// Ships SQL to the back-end and streams the returned rows.
+pub struct RemoteQueryOp {
+    sql: String,
+    schema: Schema,
+    buffer: VecDeque<Row>,
+}
+
+impl RemoteQueryOp {
+    /// Build.
+    pub fn new(sql: String, schema: Schema) -> RemoteQueryOp {
+        RemoteQueryOp { sql, schema, buffer: VecDeque::new() }
+    }
+}
+
+impl Operator for RemoteQueryOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        let remote = ctx
+            .remote
+            .as_ref()
+            .ok_or_else(|| Error::Remote("no back-end connection configured".into()))?;
+        let (_, rows) = remote.execute(&self.sql)?;
+        ctx.counters.remote_queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        ctx.counters
+            .rows_shipped
+            .fetch_add(rows.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        for row in &rows {
+            if row.len() != self.schema.len() {
+                return Err(Error::Remote(format!(
+                    "remote result arity {} does not match expected schema arity {}",
+                    row.len(),
+                    self.schema.len()
+                )));
+            }
+        }
+        self.buffer = rows.into();
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+        Ok(self.buffer.pop_front())
+    }
+
+    fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
+        self.buffer.clear();
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------ SwitchUnion
+
+/// The dynamic-plan operator: its selector (the currency guard) is
+/// evaluated once at open; all rows then come from the chosen branch.
+pub struct SwitchUnionOp {
+    guard: CurrencyGuard,
+    local: BoxedOp,
+    remote: BoxedOp,
+    use_local: bool,
+    opened: bool,
+}
+
+impl SwitchUnionOp {
+    /// Build.
+    pub fn new(guard: CurrencyGuard, local: BoxedOp, remote: BoxedOp) -> SwitchUnionOp {
+        SwitchUnionOp { guard, local, remote, use_local: false, opened: false }
+    }
+}
+
+impl Operator for SwitchUnionOp {
+    fn schema(&self) -> &Schema {
+        self.local.schema()
+    }
+
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.use_local = evaluate_guard(ctx, &self.guard)?;
+        self.opened = true;
+        if self.use_local {
+            self.local.open(ctx)
+        } else {
+            self.remote.open(ctx)
+        }
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        if self.use_local {
+            self.local.next(ctx)
+        } else {
+            self.remote.next(ctx)
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        if !self.opened {
+            return Ok(());
+        }
+        self.opened = false;
+        if self.use_local {
+            self.local.close(ctx)
+        } else {
+            self.remote.close(ctx)
+        }
+    }
+}
+
+// ----------------------------------------------------------------- Filter
+
+/// Predicate filter.
+pub struct FilterOp {
+    input: BoxedOp,
+    predicate: BoundExpr,
+}
+
+impl FilterOp {
+    /// Build.
+    pub fn new(input: BoxedOp, predicate: BoundExpr) -> FilterOp {
+        FilterOp { input, predicate }
+    }
+}
+
+impl Operator for FilterOp {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.input.open(ctx)
+    }
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        let now = now_millis(ctx);
+        let schema = self.input.schema().clone();
+        while let Some(row) = self.input.next(ctx)? {
+            if self.predicate.eval_predicate(&row, &schema, now)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.input.close(ctx)
+    }
+}
+
+// ---------------------------------------------------------------- Project
+
+/// Expression projection.
+pub struct ProjectOp {
+    input: BoxedOp,
+    exprs: Vec<BoundExpr>,
+    schema: Schema,
+}
+
+impl ProjectOp {
+    /// Build; `exprs` paired with output names.
+    pub fn new(input: BoxedOp, exprs: Vec<(BoundExpr, String)>) -> ProjectOp {
+        use rcc_common::{Column, DataType};
+        let schema = Schema::new(
+            exprs.iter().map(|(_, n)| Column::new(n.clone(), DataType::Int)).collect(),
+        );
+        ProjectOp { input, exprs: exprs.into_iter().map(|(e, _)| e).collect(), schema }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.input.open(ctx)
+    }
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        let now = now_millis(ctx);
+        let in_schema = self.input.schema().clone();
+        match self.input.next(ctx)? {
+            Some(row) => {
+                let values: Vec<Value> = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval(&row, &in_schema, now))
+                    .collect::<Result<_>>()?;
+                Ok(Some(Row::new(values)))
+            }
+            None => Ok(None),
+        }
+    }
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.input.close(ctx)
+    }
+}
+
+// --------------------------------------------------------------- HashJoin
+
+/// Hash join: builds on the right input, probes with the left.
+pub struct HashJoinOp {
+    left: BoxedOp,
+    right: BoxedOp,
+    left_keys: Vec<BoundExpr>,
+    right_keys: Vec<BoundExpr>,
+    kind: JoinKind,
+    schema: Schema,
+    table: HashMap<Vec<Value>, Vec<Row>>,
+    pending: VecDeque<Row>,
+}
+
+impl HashJoinOp {
+    /// Build.
+    pub fn new(
+        left: BoxedOp,
+        right: BoxedOp,
+        left_keys: Vec<BoundExpr>,
+        right_keys: Vec<BoundExpr>,
+        kind: JoinKind,
+    ) -> HashJoinOp {
+        let schema = match kind {
+            JoinKind::Inner => left.schema().join(right.schema()),
+            JoinKind::Semi | JoinKind::Anti => left.schema().clone(),
+        };
+        HashJoinOp {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+            schema,
+            table: HashMap::new(),
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+fn eval_keys(keys: &[BoundExpr], row: &Row, schema: &Schema, now: i64) -> Result<Option<Vec<Value>>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for k in keys {
+        let v = k.eval(row, schema, now)?;
+        if v.is_null() {
+            return Ok(None); // NULL keys never match
+        }
+        out.push(v);
+    }
+    Ok(Some(out))
+}
+
+impl Operator for HashJoinOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        let now = now_millis(ctx);
+        self.right.open(ctx)?;
+        let right_schema = self.right.schema().clone();
+        while let Some(row) = self.right.next(ctx)? {
+            if let Some(key) = eval_keys(&self.right_keys, &row, &right_schema, now)? {
+                self.table.entry(key).or_default().push(row);
+            }
+        }
+        self.right.close(ctx)?;
+        self.left.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        if let Some(row) = self.pending.pop_front() {
+            return Ok(Some(row));
+        }
+        let now = now_millis(ctx);
+        let left_schema = self.left.schema().clone();
+        while let Some(left_row) = self.left.next(ctx)? {
+            let key = eval_keys(&self.left_keys, &left_row, &left_schema, now)?;
+            let matches = key.as_ref().and_then(|k| self.table.get(k));
+            match self.kind {
+                JoinKind::Inner => {
+                    if let Some(ms) = matches {
+                        for m in ms {
+                            self.pending.push_back(left_row.concat(m));
+                        }
+                        if let Some(row) = self.pending.pop_front() {
+                            return Ok(Some(row));
+                        }
+                    }
+                }
+                JoinKind::Semi => {
+                    if matches.map(|m| !m.is_empty()).unwrap_or(false) {
+                        return Ok(Some(left_row));
+                    }
+                }
+                JoinKind::Anti => {
+                    if matches.map(|m| m.is_empty()).unwrap_or(true) {
+                        return Ok(Some(left_row));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.table.clear();
+        self.pending.clear();
+        self.left.close(ctx)
+    }
+}
+
+
+// -------------------------------------------------------------- MergeJoin
+
+/// Merge join over inputs already sorted (non-decreasing) on the join
+/// keys. Handles duplicate keys on both sides by buffering the right-hand
+/// group. Inner joins only — the optimizer routes semi/anti joins through
+/// the hash path.
+pub struct MergeJoinOp {
+    left: BoxedOp,
+    right: BoxedOp,
+    left_key: BoundExpr,
+    right_key: BoundExpr,
+    schema: Schema,
+    /// current right-hand duplicate group and its key
+    right_group: Vec<Row>,
+    right_group_key: Option<Value>,
+    /// lookahead row already pulled from the right input
+    right_pending: Option<Row>,
+    /// current left row and the index into the right group
+    left_current: Option<(Row, usize)>,
+    right_done: bool,
+}
+
+impl MergeJoinOp {
+    /// Build.
+    pub fn new(left: BoxedOp, right: BoxedOp, left_key: BoundExpr, right_key: BoundExpr) -> MergeJoinOp {
+        let schema = left.schema().join(right.schema());
+        MergeJoinOp {
+            left,
+            right,
+            left_key,
+            right_key,
+            schema,
+            right_group: Vec::new(),
+            right_group_key: None,
+            right_pending: None,
+            left_current: None,
+            right_done: false,
+        }
+    }
+
+    fn next_right(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        if let Some(r) = self.right_pending.take() {
+            return Ok(Some(r));
+        }
+        if self.right_done {
+            return Ok(None);
+        }
+        match self.right.next(ctx)? {
+            Some(r) => Ok(Some(r)),
+            None => {
+                self.right_done = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Advance the right-hand group until its key is ≥ `key`; returns true
+    /// when the group's key equals `key`.
+    fn align_right_group(&mut self, ctx: &ExecContext, key: &Value) -> Result<bool> {
+        let now = now_millis(ctx);
+        let right_schema = self.right.schema().clone();
+        loop {
+            if let Some(gk) = &self.right_group_key {
+                match gk.total_cmp(key) {
+                    std::cmp::Ordering::Equal => return Ok(true),
+                    std::cmp::Ordering::Greater => return Ok(false),
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            // build the next group
+            let first = match self.next_right(ctx)? {
+                Some(r) => r,
+                None => {
+                    // exhausted: only match if the last group equals key
+                    return Ok(self
+                        .right_group_key
+                        .as_ref()
+                        .map(|gk| gk == key)
+                        .unwrap_or(false));
+                }
+            };
+            let gk = self.right_key.eval(&first, &right_schema, now)?;
+            let mut group = vec![first];
+            while let Some(r) = self.next_right(ctx)? {
+                let k = self.right_key.eval(&r, &right_schema, now)?;
+                if k == gk {
+                    group.push(r);
+                } else {
+                    self.right_pending = Some(r);
+                    break;
+                }
+            }
+            self.right_group = group;
+            self.right_group_key = Some(gk);
+        }
+    }
+}
+
+impl Operator for MergeJoinOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.right_group.clear();
+        self.right_group_key = None;
+        self.right_pending = None;
+        self.left_current = None;
+        self.right_done = false;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        let now = now_millis(ctx);
+        let left_schema = self.left.schema().clone();
+        loop {
+            // emit the remainder of the current (left row × right group)
+            if let Some((row, idx)) = &mut self.left_current {
+                if *idx < self.right_group.len() {
+                    let out = row.concat(&self.right_group[*idx]);
+                    *idx += 1;
+                    return Ok(Some(out));
+                }
+                self.left_current = None;
+            }
+            let left_row = match self.left.next(ctx)? {
+                Some(r) => r,
+                None => return Ok(None),
+            };
+            let key = self.left_key.eval(&left_row, &left_schema, now)?;
+            if key.is_null() {
+                continue; // NULL keys never match
+            }
+            if self.align_right_group(ctx, &key)? {
+                self.left_current = Some((left_row, 0));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.right_group.clear();
+        self.left.close(ctx)?;
+        self.right.close(ctx)
+    }
+}
+
+// ------------------------------------------------------------ IndexNLJoin
+
+enum InnerMode {
+    /// Seek the local object per outer row.
+    Local,
+    /// The guard failed: inner rows were fetched remotely and hashed.
+    Hashed(HashMap<Value, Vec<Row>>),
+}
+
+/// Index nested-loop join with an optionally guarded inner side.
+pub struct IndexNLJoinOp {
+    outer: BoxedOp,
+    outer_key: BoundExpr,
+    inner: InnerAccess,
+    kind: JoinKind,
+    schema: Schema,
+    mode: InnerMode,
+    pending: VecDeque<Row>,
+    /// precomputed mapping from inner schema to the stored table (local mode)
+    mapping: Vec<usize>,
+}
+
+impl IndexNLJoinOp {
+    /// Build.
+    pub fn new(outer: BoxedOp, outer_key: BoundExpr, inner: InnerAccess, kind: JoinKind) -> IndexNLJoinOp {
+        let schema = match kind {
+            JoinKind::Inner => outer.schema().join(&inner.schema),
+            JoinKind::Semi | JoinKind::Anti => outer.schema().clone(),
+        };
+        IndexNLJoinOp {
+            outer,
+            outer_key,
+            inner,
+            kind,
+            schema,
+            mode: InnerMode::Local,
+            pending: VecDeque::new(),
+            mapping: Vec::new(),
+        }
+    }
+
+    fn seek_local(&self, ctx: &ExecContext, key: &Value) -> Result<Vec<Row>> {
+        let handle = ctx.storage.table(&self.inner.object)?;
+        let table = handle.read();
+        let range = KeyRange::eq(key.clone());
+        let raw: Vec<Row> = match &self.inner.use_index {
+            Some(ix) => table.index_scan(ix, &range)?,
+            None => table.collect_range(&range, |_| true),
+        };
+        let now = now_millis(ctx);
+        let mut out = Vec::with_capacity(raw.len());
+        for row in raw {
+            let projected =
+                Row::new(self.mapping.iter().map(|&i| row.get(i).clone()).collect());
+            let keep = match &self.inner.residual {
+                Some(p) => p.eval_predicate(&projected, &self.inner.schema, now)?,
+                None => true,
+            };
+            if keep {
+                out.push(projected);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Operator for IndexNLJoinOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        let use_local = if self.inner.force_remote {
+            false
+        } else {
+            match &self.inner.guard {
+                Some(g) => evaluate_guard(ctx, g)?,
+                None => true,
+            }
+        };
+        if use_local {
+            let handle = ctx.storage.table(&self.inner.object)?;
+            let table = handle.read();
+            self.mapping = self
+                .inner
+                .schema
+                .columns()
+                .iter()
+                .map(|c| table.schema().resolve(None, &c.name))
+                .collect::<Result<_>>()?;
+            self.mode = InnerMode::Local;
+        } else {
+            let sql = self.inner.remote_sql.as_ref().ok_or_else(|| {
+                Error::internal("guarded NL inner without a remote fallback")
+            })?;
+            let remote = ctx
+                .remote
+                .as_ref()
+                .ok_or_else(|| Error::Remote("no back-end connection configured".into()))?;
+            let (_, rows) = remote.execute(sql)?;
+            ctx.counters.remote_queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            ctx.counters
+                .rows_shipped
+                .fetch_add(rows.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            let seek_ord = self.inner.schema.resolve(None, &self.inner.seek_col)?;
+            let mut map: HashMap<Value, Vec<Row>> = HashMap::new();
+            for row in rows {
+                let k = row.get(seek_ord).clone();
+                if !k.is_null() {
+                    map.entry(k).or_default().push(row);
+                }
+            }
+            self.mode = InnerMode::Hashed(map);
+        }
+        self.outer.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        if let Some(row) = self.pending.pop_front() {
+            return Ok(Some(row));
+        }
+        let now = now_millis(ctx);
+        let outer_schema = self.outer.schema().clone();
+        while let Some(outer_row) = self.outer.next(ctx)? {
+            let key = self.outer_key.eval(&outer_row, &outer_schema, now)?;
+            let matches: Vec<Row> = if key.is_null() {
+                Vec::new()
+            } else {
+                match &self.mode {
+                    InnerMode::Local => self.seek_local(ctx, &key)?,
+                    InnerMode::Hashed(map) => map.get(&key).cloned().unwrap_or_default(),
+                }
+            };
+            match self.kind {
+                JoinKind::Inner => {
+                    for m in &matches {
+                        self.pending.push_back(outer_row.concat(m));
+                    }
+                    if let Some(row) = self.pending.pop_front() {
+                        return Ok(Some(row));
+                    }
+                }
+                JoinKind::Semi => {
+                    if !matches.is_empty() {
+                        return Ok(Some(outer_row));
+                    }
+                }
+                JoinKind::Anti => {
+                    if matches.is_empty() {
+                        return Ok(Some(outer_row));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.pending.clear();
+        self.mode = InnerMode::Local;
+        self.outer.close(ctx)
+    }
+}
+
+// ---------------------------------------------------------- HashAggregate
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum { total: f64, seen: bool, int: bool },
+    Avg { total: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(call: &AggCall) -> AggState {
+        match call.func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum { total: 0.0, seen: false, int: true },
+            AggFunc::Avg => AggState::Avg { total: 0.0, count: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) gets None-argument calls counted unconditionally;
+                // COUNT(e) skips NULLs — the builder passes Some(NULL) there.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            AggState::Sum { total, seen, int } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        if matches!(val, Value::Float(_)) {
+                            *int = false;
+                        }
+                        *total += val.as_float()?;
+                        *seen = true;
+                    }
+                }
+            }
+            AggState::Avg { total, count } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *total += val.as_float()?;
+                        *count += 1;
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() && cur.as_ref().map(|c| &val < c).unwrap_or(true) {
+                        *cur = Some(val);
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() && cur.as_ref().map(|c| &val > c).unwrap_or(true) {
+                        *cur = Some(val);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::Sum { total, seen, int } => {
+                if !seen {
+                    Value::Null
+                } else if int {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Float(total)
+                }
+            }
+            AggState::Avg { total, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Hash aggregation with HAVING.
+pub struct HashAggregateOp {
+    input: BoxedOp,
+    group_by: Vec<BoundExpr>,
+    aggs: Vec<AggCall>,
+    having: Option<BoundExpr>,
+    schema: Schema,
+    results: VecDeque<Row>,
+}
+
+impl HashAggregateOp {
+    /// Build.
+    pub fn new(
+        input: BoxedOp,
+        group_by: Vec<(BoundExpr, String)>,
+        aggs: Vec<AggCall>,
+        having: Option<BoundExpr>,
+    ) -> HashAggregateOp {
+        use rcc_common::{Column, DataType};
+        let mut cols = Vec::new();
+        for (_, name) in &group_by {
+            cols.push(Column::new(name.clone(), DataType::Int).with_qualifier("#agg"));
+        }
+        for a in &aggs {
+            cols.push(Column::new(a.output_name.clone(), DataType::Float).with_qualifier("#agg"));
+        }
+        HashAggregateOp {
+            input,
+            group_by: group_by.into_iter().map(|(e, _)| e).collect(),
+            aggs,
+            having,
+            schema: Schema::new(cols),
+            results: VecDeque::new(),
+        }
+    }
+}
+
+impl Operator for HashAggregateOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.input.open(ctx)?;
+        let now = now_millis(ctx);
+        let in_schema = self.input.schema().clone();
+        // insertion-ordered groups for deterministic output
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        let mut saw_row = false;
+        while let Some(row) = self.input.next(ctx)? {
+            saw_row = true;
+            let key: Vec<Value> = self
+                .group_by
+                .iter()
+                .map(|e| e.eval(&row, &in_schema, now))
+                .collect::<Result<_>>()?;
+            let states = match groups.get_mut(&key) {
+                Some(s) => s,
+                None => {
+                    order.push(key.clone());
+                    groups
+                        .entry(key.clone())
+                        .or_insert_with(|| self.aggs.iter().map(AggState::new).collect())
+                }
+            };
+            for (call, state) in self.aggs.iter().zip(states.iter_mut()) {
+                let v = match &call.arg {
+                    Some(e) => Some(e.eval(&row, &in_schema, now)?),
+                    None => None,
+                };
+                state.update(v)?;
+            }
+        }
+        self.input.close(ctx)?;
+
+        // global aggregation over an empty input still yields one row
+        if !saw_row && self.group_by.is_empty() {
+            order.push(vec![]);
+            groups.insert(vec![], self.aggs.iter().map(AggState::new).collect());
+        }
+
+        for key in order {
+            let states = groups.remove(&key).expect("group recorded");
+            let mut values = key;
+            for s in states {
+                values.push(s.finalize());
+            }
+            let row = Row::new(values);
+            let keep = match &self.having {
+                Some(h) => h.eval_predicate(&row, &self.schema, now)?,
+                None => true,
+            };
+            if keep {
+                self.results.push_back(row);
+            }
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+        Ok(self.results.pop_front())
+    }
+
+    fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
+        self.results.clear();
+        Ok(())
+    }
+}
+
+// --------------------------------------------------- Sort, Limit, Distinct
+
+/// Full sort on output ordinals.
+pub struct SortOp {
+    input: BoxedOp,
+    keys: Vec<(usize, bool)>,
+    buffer: VecDeque<Row>,
+}
+
+impl SortOp {
+    /// Build.
+    pub fn new(input: BoxedOp, keys: Vec<(usize, bool)>) -> SortOp {
+        SortOp { input, keys, buffer: VecDeque::new() }
+    }
+}
+
+impl Operator for SortOp {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.input.open(ctx)?;
+        let mut rows = Vec::new();
+        while let Some(row) = self.input.next(ctx)? {
+            rows.push(row);
+        }
+        self.input.close(ctx)?;
+        let keys = self.keys.clone();
+        rows.sort_by(|a, b| {
+            for (ord, asc) in &keys {
+                let cmp = a.get(*ord).total_cmp(b.get(*ord));
+                let cmp = if *asc { cmp } else { cmp.reverse() };
+                if cmp != std::cmp::Ordering::Equal {
+                    return cmp;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.buffer = rows.into();
+        Ok(())
+    }
+    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+        Ok(self.buffer.pop_front())
+    }
+    fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
+        self.buffer.clear();
+        Ok(())
+    }
+}
+
+/// LIMIT n.
+pub struct LimitOp {
+    input: BoxedOp,
+    n: u64,
+    produced: u64,
+}
+
+impl LimitOp {
+    /// Build.
+    pub fn new(input: BoxedOp, n: u64) -> LimitOp {
+        LimitOp { input, n, produced: 0 }
+    }
+}
+
+impl Operator for LimitOp {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.produced = 0;
+        self.input.open(ctx)
+    }
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        if self.produced >= self.n {
+            return Ok(None);
+        }
+        match self.input.next(ctx)? {
+            Some(row) => {
+                self.produced += 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.input.close(ctx)
+    }
+}
+
+/// DISTINCT over whole rows.
+pub struct DistinctOp {
+    input: BoxedOp,
+    seen: HashSet<Row>,
+}
+
+impl DistinctOp {
+    /// Build.
+    pub fn new(input: BoxedOp) -> DistinctOp {
+        DistinctOp { input, seen: HashSet::new() }
+    }
+}
+
+impl Operator for DistinctOp {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.seen.clear();
+        self.input.open(ctx)
+    }
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next(ctx)? {
+            if self.seen.insert(row.clone()) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.seen.clear();
+        self.input.close(ctx)
+    }
+}

@@ -1,0 +1,240 @@
+//! Wire format for remote query results.
+//!
+//! The cache and the back-end run in one process here, but the experiments
+//! charge remote plans by *bytes shipped*, so results really are encoded to
+//! a byte buffer and decoded again on receipt — the byte counts the
+//! counters and the simulated network use are the true serialized sizes,
+//! not estimates.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! u32 column count
+//!   per column: u16 name length, name bytes, u8 type tag
+//! u32 row count
+//!   per row, per column: u8 value tag, payload
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rcc_common::{Column, DataType, Error, Result, Row, Schema, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BOOL: u8 = 4;
+const TAG_TS: u8 = 5;
+
+fn type_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Int => TAG_INT,
+        DataType::Float => TAG_FLOAT,
+        DataType::Str => TAG_STR,
+        DataType::Bool => TAG_BOOL,
+        DataType::Timestamp => TAG_TS,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        TAG_INT => DataType::Int,
+        TAG_FLOAT => DataType::Float,
+        TAG_STR => DataType::Str,
+        TAG_BOOL => DataType::Bool,
+        TAG_TS => DataType::Timestamp,
+        other => return Err(Error::Remote(format!("bad wire type tag {other}"))),
+    })
+}
+
+/// Encode a result set.
+pub fn encode_result(schema: &Schema, rows: &[Row]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + rows.len() * schema.len() * 12);
+    buf.put_u32_le(schema.len() as u32);
+    for c in schema.columns() {
+        let name = c.name.as_bytes();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        buf.put_u8(type_tag(c.data_type));
+    }
+    buf.put_u32_le(rows.len() as u32);
+    for row in rows {
+        for v in row.values() {
+            match v {
+                Value::Null => buf.put_u8(TAG_NULL),
+                Value::Int(i) => {
+                    buf.put_u8(TAG_INT);
+                    buf.put_i64_le(*i);
+                }
+                Value::Float(f) => {
+                    buf.put_u8(TAG_FLOAT);
+                    buf.put_f64_le(*f);
+                }
+                Value::Str(s) => {
+                    buf.put_u8(TAG_STR);
+                    buf.put_u32_le(s.len() as u32);
+                    buf.put_slice(s.as_bytes());
+                }
+                Value::Bool(b) => {
+                    buf.put_u8(TAG_BOOL);
+                    buf.put_u8(*b as u8);
+                }
+                Value::Timestamp(t) => {
+                    buf.put_u8(TAG_TS);
+                    buf.put_i64_le(*t);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a result set; validates framing and rejects truncated buffers.
+pub fn decode_result(mut buf: Bytes) -> Result<(Schema, Vec<Row>)> {
+    fn need(buf: &Bytes, n: usize) -> Result<()> {
+        if buf.remaining() < n {
+            Err(Error::Remote("truncated wire payload".into()))
+        } else {
+            Ok(())
+        }
+    }
+    need(&buf, 4)?;
+    let ncols = buf.get_u32_le() as usize;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        need(&buf, 2)?;
+        let nlen = buf.get_u16_le() as usize;
+        need(&buf, nlen + 1)?;
+        let name = String::from_utf8(buf.copy_to_bytes(nlen).to_vec())
+            .map_err(|_| Error::Remote("bad column name encoding".into()))?;
+        let dt = tag_type(buf.get_u8())?;
+        columns.push(Column::new(name, dt));
+    }
+    need(&buf, 4)?;
+    let nrows = buf.get_u32_le() as usize;
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let mut values = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            need(&buf, 1)?;
+            let tag = buf.get_u8();
+            let v = match tag {
+                TAG_NULL => Value::Null,
+                TAG_INT => {
+                    need(&buf, 8)?;
+                    Value::Int(buf.get_i64_le())
+                }
+                TAG_FLOAT => {
+                    need(&buf, 8)?;
+                    Value::Float(buf.get_f64_le())
+                }
+                TAG_STR => {
+                    need(&buf, 4)?;
+                    let len = buf.get_u32_le() as usize;
+                    need(&buf, len)?;
+                    Value::Str(
+                        String::from_utf8(buf.copy_to_bytes(len).to_vec())
+                            .map_err(|_| Error::Remote("bad string encoding".into()))?,
+                    )
+                }
+                TAG_BOOL => {
+                    need(&buf, 1)?;
+                    Value::Bool(buf.get_u8() != 0)
+                }
+                TAG_TS => {
+                    need(&buf, 8)?;
+                    Value::Timestamp(buf.get_i64_le())
+                }
+                other => return Err(Error::Remote(format!("bad wire value tag {other}"))),
+            };
+            values.push(v);
+        }
+        rows.push(Row::new(values));
+    }
+    if buf.has_remaining() {
+        return Err(Error::Remote("trailing bytes in wire payload".into()));
+    }
+    Ok((Schema::new(columns), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Schema, Vec<Row>) {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("s", DataType::Str),
+            Column::new("f", DataType::Float),
+            Column::new("b", DataType::Bool),
+            Column::new("t", DataType::Timestamp),
+        ]);
+        let rows = vec![
+            Row::new(vec![
+                Value::Int(42),
+                Value::from("héllo"),
+                Value::Float(-1.5),
+                Value::Bool(true),
+                Value::Timestamp(99),
+            ]),
+            Row::new(vec![
+                Value::Null,
+                Value::from(""),
+                Value::Float(f64::MAX),
+                Value::Bool(false),
+                Value::Null,
+            ]),
+        ];
+        (schema, rows)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (schema, rows) = sample();
+        let bytes = encode_result(&schema, &rows);
+        let (schema2, rows2) = decode_result(bytes).unwrap();
+        assert_eq!(rows, rows2);
+        assert_eq!(schema.len(), schema2.len());
+        for (a, b) in schema.columns().iter().zip(schema2.columns()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.data_type, b.data_type);
+        }
+    }
+
+    #[test]
+    fn empty_result() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let bytes = encode_result(&schema, &[]);
+        let (s2, rows) = decode_result(bytes).unwrap();
+        assert_eq!(s2.len(), 1);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let (schema, rows) = sample();
+        let bytes = encode_result(&schema, &rows);
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            let truncated = bytes.slice(0..cut);
+            assert!(decode_result(truncated).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let (schema, rows) = sample();
+        let mut extended = encode_result(&schema, &rows).to_vec();
+        extended.push(0xFF);
+        assert!(decode_result(Bytes::from(extended)).is_err());
+    }
+
+    #[test]
+    fn wire_size_tracks_content() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Str)]);
+        let small = encode_result(&schema, &[Row::new(vec![Value::from("a")])]);
+        let big = encode_result(
+            &schema,
+            &[Row::new(vec![Value::Str("a".repeat(1000))])],
+        );
+        assert!(big.len() > small.len() + 990);
+    }
+}

@@ -1,0 +1,186 @@
+//! The paper's experimental rig (Sec. 4).
+//!
+//! "For the experiments we used a single cache DBMS and a back-end server.
+//! The back-end server hosted a TPCD database with scale factor 1.0 ...
+//! The experiments used only the Customer and Orders tables, which
+//! contained 150,000 and 1,500,000 rows ... There were two local views:
+//! `cust_prj(c_custkey, c_name, c_nationkey, c_acctbal)` and
+//! `orders_prj(o_custkey, o_orderkey, o_totalprice)` ... The views were in
+//! different currency regions" with the Table 4.1 settings:
+//!
+//! | cid | interval | delay | views      |
+//! |-----|----------|-------|------------|
+//! | CR1 | 15       | 5     | cust_prj   |
+//! | CR2 | 10       | 5     | orders_prj |
+//!
+//! Units are seconds here (the paper leaves them abstract; its heartbeat
+//! example uses seconds). `paper_setup` builds the whole rig at any scale
+//! factor; `warm_up` advances simulated time far enough that both regions
+//! have propagated at least once and their heartbeats are live.
+
+use crate::server::MTCache;
+use rcc_common::{Duration, Result};
+use rcc_sql::{parse_statement, Statement};
+use rcc_tpcd::TpcdGenerator;
+
+/// CR1 propagation interval (seconds) — Table 4.1.
+pub const CR1_INTERVAL_S: i64 = 15;
+/// CR2 propagation interval (seconds) — Table 4.1.
+pub const CR2_INTERVAL_S: i64 = 10;
+/// Propagation delay for both regions (seconds) — Table 4.1.
+pub const DELAY_S: i64 = 5;
+
+/// Build the paper's cache + back-end rig at `scale` (1.0 = the paper's
+/// sizes; tests use much smaller scales — plan *choices* depend on catalog
+/// statistics, whose ratios are scale-invariant).
+pub fn paper_setup(scale: f64, seed: u64) -> Result<MTCache> {
+    let cache = MTCache::new();
+
+    // base tables with the paper's physical design
+    let cm = rcc_tpcd::customer_meta(cache.catalog().next_table_id());
+    let om = rcc_tpcd::orders_meta(cache.catalog().next_table_id());
+    cache.register_table(cm)?;
+    cache.register_table(om)?;
+
+    // load TPC-D data and install back-end statistics in the shadow catalog
+    let gen = TpcdGenerator::new(scale, seed);
+    gen.load_into(|t, rows| cache.bulk_load(t, rows))?;
+    cache.analyze("customer")?;
+    cache.analyze("orders")?;
+
+    // currency regions per Table 4.1
+    cache.create_region("CR1", Duration::from_secs(CR1_INTERVAL_S), Duration::from_secs(DELAY_S))?;
+    cache.create_region("CR2", Duration::from_secs(CR2_INTERVAL_S), Duration::from_secs(DELAY_S))?;
+
+    // the two local views
+    create_view(
+        &cache,
+        "cust_prj",
+        "CR1",
+        "SELECT c_custkey, c_name, c_nationkey, c_acctbal FROM customer",
+    )?;
+    create_view(&cache, "orders_prj", "CR2", "SELECT o_custkey, o_orderkey, o_totalprice FROM orders")?;
+    Ok(cache)
+}
+
+fn create_view(cache: &MTCache, name: &str, region: &str, select: &str) -> Result<()> {
+    let stmt = parse_statement(select)?;
+    let query = match stmt {
+        Statement::Select(s) => s,
+        other => panic!("static view SQL must be a SELECT, got {other:?}"),
+    };
+    cache.create_cached_view(name, region, &query, Vec::new())?;
+    Ok(())
+}
+
+/// Advance simulated time until both regions have live heartbeats (several
+/// propagation cycles), leaving the clock at a propagation-aligned instant.
+pub fn warm_up(cache: &MTCache) -> Result<()> {
+    // lcm(15, 10) = 30s cycles; two full cycles leave everything steady
+    cache.advance(Duration::from_secs(60))
+}
+
+/// Scale the installed statistics of `objects` by `factor`, simulating a
+/// paper-scale (SF 1.0) back-end over a small test database. The shadow
+/// database carries back-end *estimates* (Sec. 3 point 1), so plan-choice
+/// experiments can reproduce the paper's decisions — which depend on
+/// absolute cardinalities vs. fixed remote costs — without loading 1.65 M
+/// rows. Row counts and histogram buckets scale linearly; distinct counts
+/// scale only for near-unique columns (a key has 150 k distinct values at
+/// SF 1.0; `c_nationkey` still has 25).
+pub fn scale_stats(cache: &MTCache, objects: &[&str], factor: f64) {
+    for name in objects {
+        let stats = cache.catalog().stats(name);
+        let mut scaled = (*stats).clone();
+        let old_rows = scaled.row_count;
+        scaled.row_count = (scaled.row_count as f64 * factor).round() as u64;
+        for col in scaled.columns.values_mut() {
+            if old_rows > 0 && col.distinct as f64 >= 0.5 * old_rows as f64 {
+                col.distinct = (col.distinct as f64 * factor).round() as u64;
+            }
+            col.nulls = (col.nulls as f64 * factor).round() as u64;
+            for bucket in &mut col.histogram {
+                *bucket = (*bucket as f64 * factor).round() as u64;
+            }
+        }
+        cache.catalog().set_stats(name, scaled);
+    }
+}
+
+/// [`paper_setup`] at a small physical scale with statistics scaled up to
+/// the paper's SF 1.0 — the configuration the plan-choice experiments
+/// (Table 4.3) run under.
+pub fn paper_setup_sf1_stats(physical_scale: f64, seed: u64) -> Result<MTCache> {
+    let cache = paper_setup(physical_scale, seed)?;
+    let factor = 1.0 / physical_scale;
+    scale_stats(&cache, &["customer", "orders", "cust_prj", "orders_prj"], factor);
+    Ok(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::Timestamp;
+
+    #[test]
+    fn rig_builds_and_warms_up() {
+        let cache = paper_setup(0.001, 42).unwrap();
+        assert_eq!(cache.catalog().regions().len(), 2);
+        assert_eq!(cache.catalog().all_views().len(), 2);
+        let v = cache.cache_storage().table("cust_prj").unwrap();
+        assert_eq!(v.read().row_count(), 150);
+        let v = cache.cache_storage().table("orders_prj").unwrap();
+        assert!(v.read().row_count() > 1000);
+
+        assert!(cache.local_heartbeat("CR1").is_none(), "no heartbeat before warm-up");
+        warm_up(&cache).unwrap();
+        let hb1 = cache.local_heartbeat("CR1").unwrap();
+        let hb2 = cache.local_heartbeat("CR2").unwrap();
+        assert!(hb1 > Timestamp::ZERO);
+        assert!(hb2 > Timestamp::ZERO);
+        // right after a CR2 propagation at t=60s: staleness = delay = 5s
+        assert_eq!(cache.region_staleness("CR2").unwrap(), Duration::from_secs(5));
+        // CR1's last propagation was also at 60s (60 = 4×15)
+        assert_eq!(cache.region_staleness("CR1").unwrap(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stats_installed_for_views() {
+        let cache = paper_setup(0.001, 42).unwrap();
+        assert_eq!(cache.catalog().stats("cust_prj").row_count, 150);
+        assert_eq!(cache.catalog().stats("customer").row_count, 150);
+        assert!(cache.catalog().stats("orders_prj").row_count > 0);
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+
+    #[test]
+    fn scale_stats_multiplies_counts_but_not_low_cardinality_distincts() {
+        let cache = paper_setup(0.001, 42).unwrap();
+        let before = cache.catalog().stats("customer");
+        assert_eq!(before.row_count, 150);
+        scale_stats(&cache, &["customer"], 1000.0);
+        let after = cache.catalog().stats("customer");
+        assert_eq!(after.row_count, 150_000);
+        // key column is near-unique: distinct scales with rows
+        assert_eq!(after.column("c_custkey").distinct, 150_000);
+        // nationkey has 25 distinct values regardless of scale
+        assert_eq!(after.column("c_nationkey").distinct, before.column("c_nationkey").distinct);
+        // histograms scale so selectivities stay put
+        let hist_sum: u64 = after.column("c_custkey").histogram.iter().sum();
+        assert_eq!(hist_sum, 150_000);
+    }
+
+    #[test]
+    fn sf1_rig_reports_paper_cardinalities() {
+        let cache = paper_setup_sf1_stats(0.001, 42).unwrap();
+        assert_eq!(cache.catalog().stats("customer").row_count, 150_000);
+        let orders = cache.catalog().stats("orders").row_count;
+        assert!((1_300_000..=1_700_000).contains(&orders), "orders={orders}");
+        // physical data stays small
+        assert_eq!(cache.master().table("customer").unwrap().read().row_count(), 150);
+    }
+}

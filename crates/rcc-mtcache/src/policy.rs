@@ -1,0 +1,20 @@
+//! Violation policies.
+//!
+//! The paper's introduction lists the actions a system can take once
+//! currency requirements are explicit and a request cannot meet them:
+//! "possible actions include logging the violation, returning the data but
+//! with an error code, or aborting the request." These matter most in the
+//! *traditional replicated database* scenario — a cache whose back-end link
+//! is down (or absent by design) cannot fall back to remote execution.
+
+/// What to do when a query's C&C requirements cannot be met.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViolationPolicy {
+    /// Enforce strictly: fail the query with
+    /// [`rcc_common::Error::CurrencyViolation`] ("aborting the request").
+    #[default]
+    Reject,
+    /// Serve the freshest local data anyway and attach a warning per
+    /// violated guard ("returning the data but with an error code").
+    ServeStale,
+}

@@ -1,0 +1,128 @@
+//! Query-result caching (paper Sec. 1, third scenario).
+//!
+//! "Suppose we have a component that caches SQL query results ... The
+//! cache can easily keep track of the staleness of its cached results and
+//! if a result does not satisfy a query's currency requirements,
+//! transparently recompute it. In this way, an application can always be
+//! assured that its currency requirements are met."
+//!
+//! Cached entries carry a conservative `as_of` snapshot time: the oldest
+//! heartbeat among local reads (remote-only results use the execution
+//! time). A hit is served only when `now − as_of` is within the *tightest*
+//! currency bound of the incoming query; otherwise the result is
+//! recomputed through the ordinary C&C-enforcing pipeline.
+
+use crate::result::QueryResult;
+use crate::server::MTCache;
+use parking_lot::Mutex;
+use rcc_common::{Clock, Duration, Result, Timestamp, Value};
+use rcc_optimizer::bind_select;
+use rcc_sql::{parse_statement, Statement};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    result: QueryResult,
+    as_of: Timestamp,
+}
+
+/// A result cache layered over an [`MTCache`].
+#[derive(Debug, Default)]
+pub struct QueryResultCache {
+    entries: Mutex<HashMap<String, Entry>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl QueryResultCache {
+    /// An empty cache.
+    pub fn new() -> QueryResultCache {
+        QueryResultCache::default()
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Drop every cached result.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Serve `sql` from cache when a stored result still satisfies the
+    /// query's tightest currency bound; recompute (and store) otherwise.
+    pub fn execute(&self, cache: &MTCache, sql: &str) -> Result<QueryResult> {
+        let bound = tightest_bound(cache, sql)?;
+        let now = cache.clock().now();
+        if bound.is_zero() {
+            // tight-default queries demand the latest snapshot: never serve
+            // them from this cache (an update may have committed since)
+            *self.misses.lock() += 1;
+            return cache.execute(sql);
+        }
+        if let Some(entry) = self.entries.lock().get(sql) {
+            if now.since(entry.as_of) <= bound {
+                *self.hits.lock() += 1;
+                return Ok(entry.result.clone());
+            }
+        }
+        *self.misses.lock() += 1;
+        let result = cache.execute(sql)?;
+        let as_of = conservative_as_of(&result, now);
+        self.entries
+            .lock()
+            .insert(sql.to_string(), Entry { result: result.clone(), as_of });
+        Ok(result)
+    }
+}
+
+/// The tightest currency bound across the query's consistency classes
+/// (zero when the query carries no clause — such results are never served
+/// from this cache, matching the paper's "traditional semantics" default).
+fn tightest_bound(cache: &MTCache, sql: &str) -> Result<Duration> {
+    let stmt = parse_statement(sql)?;
+    let select = match stmt {
+        Statement::Select(s) => *s,
+        other => {
+            return Err(rcc_common::Error::analysis(format!(
+                "result cache only handles queries, got {other:?}"
+            )))
+        }
+    };
+    let graph = bind_select(cache.catalog(), &select, &HashMap::new())?;
+    Ok(graph
+        .constraint
+        .classes
+        .iter()
+        .map(|c| c.bound)
+        .min()
+        .unwrap_or(Duration::ZERO))
+}
+
+/// Conservative snapshot time of a computed result: the oldest heartbeat
+/// among local reads; pure-remote results reflect `now`.
+fn conservative_as_of(result: &QueryResult, now: Timestamp) -> Timestamp {
+    result
+        .guards
+        .iter()
+        .filter(|g| g.chose_local)
+        .filter_map(|g| g.heartbeat)
+        .min()
+        .unwrap_or(now)
+}
+
+/// Convenience: value of the single cell of a single-row result.
+pub fn scalar(result: &QueryResult) -> Option<&Value> {
+    result.rows.first().map(|r| r.get(0))
+}

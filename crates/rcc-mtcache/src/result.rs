@@ -1,0 +1,63 @@
+//! Query results.
+
+use rcc_common::{Row, Schema, TableId};
+use rcc_executor::context::GuardObservation;
+use rcc_executor::PhaseTimings;
+use rcc_optimizer::optimize::PlanChoice;
+
+/// The outcome of one query at the cache: rows plus full provenance — which
+/// plan shape won, what every currency guard observed, and the per-phase
+/// timings the overhead experiments report.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output schema.
+    pub schema: Schema,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Shape of the chosen plan (paper plans 1–5).
+    pub plan_choice: PlanChoice,
+    /// EXPLAIN rendering of the executed plan.
+    pub plan_explain: String,
+    /// Estimated optimizer cost of the chosen plan.
+    pub est_cost: f64,
+    /// Every currency-guard evaluation during execution.
+    pub guards: Vec<GuardObservation>,
+    /// Did execution actually contact the back-end?
+    pub used_remote: bool,
+    /// Human-readable warnings (e.g. stale data served under a relaxed
+    /// violation policy).
+    pub warnings: Vec<String>,
+    /// Setup / run / shutdown wall-time breakdown.
+    pub timings: PhaseTimings,
+    /// Base tables the query read (for timeline-consistency bookkeeping).
+    pub tables: Vec<TableId>,
+}
+
+impl QueryResult {
+    /// Number of guards that chose their local branch.
+    pub fn local_branches(&self) -> usize {
+        self.guards.iter().filter(|g| g.chose_local).count()
+    }
+
+    /// Number of guards that fell back to the remote branch.
+    pub fn remote_branches(&self) -> usize {
+        self.guards.iter().filter(|g| !g.chose_local).count()
+    }
+
+    /// Pretty-print rows for examples and debugging.
+    pub fn display_rows(&self, max: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let names: Vec<&str> =
+            self.schema.columns().iter().map(|c| c.name.as_str()).collect();
+        let _ = writeln!(out, "{}", names.join(" | "));
+        for row in self.rows.iter().take(max) {
+            let vals: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "{}", vals.join(" | "));
+        }
+        if self.rows.len() > max {
+            let _ = writeln!(out, "... ({} rows total)", self.rows.len());
+        }
+        out
+    }
+}

@@ -1,0 +1,828 @@
+//! The MTCache server.
+
+use crate::backend_server::BackendServer;
+use crate::plan_cache::{CompiledQuery, PlanCache};
+use crate::policy::ViolationPolicy;
+use crate::result::QueryResult;
+use crate::session::Session;
+use parking_lot::{Mutex, RwLock};
+use rcc_backend::{MasterDb, TableChange};
+use rcc_catalog::{CachedViewDef, Catalog, CurrencyRegion, TableMeta};
+use rcc_common::{
+    AgentId, Clock, Column, Duration, Error, RegionId, Result, Row, Schema, SimClock, TableId,
+    Timestamp, Value,
+};
+use rcc_executor::{execute_plan, ExecContext, ExecCounters, RemoteService};
+use rcc_optimizer::cost::column_ranges;
+use rcc_optimizer::optimize::{Optimized, PlanChoice};
+use rcc_optimizer::{bind_select, optimize, BoundExpr, OptimizerConfig};
+use rcc_replication::{DistributionAgent, ReplicationRuntime};
+use rcc_sql::{parse_statement, Expr, SelectItem, SelectStmt, Statement, TableRef};
+use rcc_storage::{RowChange, StorageEngine, TableStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// The mid-tier database cache.
+///
+/// Owns the whole rig: the back-end master database (with its replication
+/// log and heartbeats), the cache-side storage holding cached views and
+/// local heartbeat tables, the distribution agents on a simulated clock,
+/// the shadow catalog, and the C&C-aware optimizer/executor pipeline.
+#[derive(Debug)]
+pub struct MTCache {
+    clock: SimClock,
+    clock_arc: Arc<dyn Clock>,
+    catalog: Arc<Catalog>,
+    master: Arc<MasterDb>,
+    backend: Arc<BackendServer>,
+    cache_storage: Arc<StorageEngine>,
+    runtime: ReplicationRuntime,
+    config: RwLock<OptimizerConfig>,
+    plan_cache: PlanCache,
+    counters: Arc<ExecCounters>,
+    backend_available: AtomicBool,
+    next_agent: AtomicU32,
+    next_region: AtomicU32,
+}
+
+impl Default for MTCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MTCache {
+    /// A fresh cache + back-end pair on a shared simulated clock starting
+    /// at the epoch.
+    pub fn new() -> MTCache {
+        let clock = SimClock::new();
+        let clock_arc: Arc<dyn Clock> = Arc::new(clock.clone());
+        let catalog = Arc::new(Catalog::new());
+        let master = Arc::new(MasterDb::new(Arc::clone(&catalog), Arc::clone(&clock_arc)));
+        let backend = Arc::new(BackendServer::new(Arc::clone(&master)));
+        let runtime = ReplicationRuntime::new(clock.clone(), Arc::clone(&master));
+        MTCache {
+            clock,
+            clock_arc,
+            catalog,
+            master,
+            backend,
+            cache_storage: Arc::new(StorageEngine::new()),
+            runtime,
+            config: RwLock::new(OptimizerConfig::default()),
+            plan_cache: PlanCache::new(),
+            counters: Arc::new(ExecCounters::default()),
+            backend_available: AtomicBool::new(true),
+            next_agent: AtomicU32::new(0),
+            next_region: AtomicU32::new(0),
+        }
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The shadow catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The master database at the back-end.
+    pub fn master(&self) -> &Arc<MasterDb> {
+        &self.master
+    }
+
+    /// The back-end server.
+    pub fn backend(&self) -> &Arc<BackendServer> {
+        &self.backend
+    }
+
+    /// Cache-side storage (cached views + local heartbeat tables).
+    pub fn cache_storage(&self) -> &Arc<StorageEngine> {
+        &self.cache_storage
+    }
+
+    /// Global execution counters (guard outcomes, remote traffic).
+    pub fn counters(&self) -> &Arc<ExecCounters> {
+        &self.counters
+    }
+
+    /// The compiled-plan cache (invalidated on every catalog change).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Simulate losing (or restoring) the link to the back-end — the
+    /// *traditional replicated database* scenario.
+    pub fn set_backend_available(&self, up: bool) {
+        self.backend_available.store(up, Ordering::SeqCst);
+        self.config.write().backend_available = up;
+        self.plan_cache.invalidate();
+    }
+
+    /// Enable/disable the SwitchUnion pull-up extension.
+    pub fn set_pullup_switch_union(&self, on: bool) {
+        self.config.write().pullup_switch_union = on;
+        self.plan_cache.invalidate();
+    }
+
+    /// Replace the optimizer's cost constants (for ablations).
+    pub fn set_cost_params(&self, cost: rcc_optimizer::cost::CostParams) {
+        self.config.write().cost = cost;
+        self.plan_cache.invalidate();
+    }
+
+    /// Advance simulated time, firing heartbeats and agent propagation.
+    pub fn advance(&self, d: Duration) -> Result<()> {
+        self.runtime.advance_to(self.clock.now().plus(d))
+    }
+
+    /// Create a currency region with a distribution agent. Heartbeats
+    /// default to 1 s so that the paper's "propagation interval is a
+    /// multiple of the heartbeat interval" alignment holds for any whole-
+    /// second interval.
+    pub fn create_region(
+        &self,
+        name: &str,
+        update_interval: Duration,
+        update_delay: Duration,
+    ) -> Result<Arc<CurrencyRegion>> {
+        self.create_region_with_heartbeat(name, update_interval, update_delay, Duration::from_secs(1))
+    }
+
+    /// [`MTCache::create_region`] with an explicit heartbeat interval — a
+    /// coarser beat makes the guard's staleness estimate conservative (the
+    /// heartbeat-granularity extension of Fig. 4.2).
+    pub fn create_region_with_heartbeat(
+        &self,
+        name: &str,
+        update_interval: Duration,
+        update_delay: Duration,
+        heartbeat_interval: Duration,
+    ) -> Result<Arc<CurrencyRegion>> {
+        if heartbeat_interval.is_zero() {
+            return Err(Error::Config("heartbeat interval must be positive".into()));
+        }
+        let id = RegionId(self.next_region.fetch_add(1, Ordering::SeqCst) + 1);
+        let mut region = CurrencyRegion::new(id, name, update_interval, update_delay);
+        region.heartbeat_interval = heartbeat_interval;
+        let region = self.catalog.register_region(region)?;
+        let agent = DistributionAgent::new(
+            AgentId(self.next_agent.fetch_add(1, Ordering::SeqCst) + 1),
+            Arc::clone(&region),
+            Arc::clone(&self.master),
+            Arc::clone(&self.cache_storage),
+        )?;
+        self.runtime.add_agent(agent);
+        self.plan_cache.invalidate();
+        Ok(region)
+    }
+
+    /// Stall / resume a region's distribution agent (failure injection).
+    pub fn set_region_stalled(&self, region_name: &str, stalled: bool) -> bool {
+        self.runtime.with_agent(region_name, |a| a.set_stalled(stalled))
+    }
+
+    /// The region's current local heartbeat, if any.
+    pub fn local_heartbeat(&self, region_name: &str) -> Option<Timestamp> {
+        self.runtime.local_heartbeat(region_name)
+    }
+
+    /// Current staleness bound for a region: `now − local heartbeat`.
+    pub fn region_staleness(&self, region_name: &str) -> Option<Duration> {
+        self.local_heartbeat(region_name).map(|hb| self.clock.now().since(hb))
+    }
+
+    /// Bulk-load initial rows into a master table (unlogged: models the
+    /// pre-existing database state).
+    pub fn bulk_load(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        self.master.bulk_load(table, rows)
+    }
+
+    /// Recompute and install back-end statistics for a table (the shadow
+    /// database carries back-end stats — paper Sec. 3 point 1).
+    pub fn analyze(&self, table: &str) -> Result<()> {
+        let stats = self.master.compute_stats(table)?;
+        self.catalog.set_stats(table, stats);
+        self.plan_cache.invalidate();
+        Ok(())
+    }
+
+    /// Register a base table directly from metadata (programmatic DDL).
+    pub fn register_table(&self, meta: TableMeta) -> Result<Arc<TableMeta>> {
+        self.master.create_table(&meta)?;
+        self.plan_cache.invalidate();
+        self.catalog.register_table(meta)
+    }
+
+    /// Start a session (needed for `BEGIN TIMEORDERED`).
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    // ------------------------------------------------------------ execute
+
+    /// Execute one SQL statement with no parameters.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_with_params(sql, &HashMap::new())
+    }
+
+    /// Execute one SQL statement with `$name` parameters bound.
+    pub fn execute_with_params(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        self.execute_internal(sql, params, &HashMap::new(), ViolationPolicy::Reject)
+    }
+
+    /// Execute with an explicit violation policy (matters when the
+    /// back-end is unavailable).
+    pub fn execute_with_policy(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+        policy: ViolationPolicy,
+    ) -> Result<QueryResult> {
+        self.execute_internal(sql, params, &HashMap::new(), policy)
+    }
+
+    /// Optimize without executing (EXPLAIN).
+    pub fn explain(&self, sql: &str, params: &HashMap<String, Value>) -> Result<Optimized> {
+        let stmt = parse_statement(sql)?;
+        let select = match stmt {
+            Statement::Select(s) => *s,
+            other => return Err(Error::analysis(format!("EXPLAIN expects a query, got {other:?}"))),
+        };
+        let graph = bind_select(&self.catalog, &select, params)?;
+        optimize(&self.catalog, &graph, &self.config.read())
+    }
+
+    pub(crate) fn execute_internal(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+        floors: &HashMap<RegionId, Timestamp>,
+        policy: ViolationPolicy,
+    ) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(select) => {
+                self.execute_select(sql, &select, params, floors, policy)
+            }
+            Statement::Insert { table, columns, rows } => self.execute_insert(&table, &columns, &rows),
+            Statement::Update { table, assignments, filter } => {
+                self.execute_update(&table, &assignments, filter.as_ref())
+            }
+            Statement::Delete { table, filter } => self.execute_delete(&table, filter.as_ref()),
+            Statement::CreateTable { name, columns, primary_key } => {
+                self.create_table_ddl(&name, columns, primary_key)
+            }
+            Statement::CreateIndex { name, table, columns } => {
+                self.create_index_ddl(&name, &table, columns)
+            }
+            Statement::CreateCachedView { name, region, query } => {
+                self.create_cached_view(&name, &region, &query, Vec::new())?;
+                Ok(self.ddl_result())
+            }
+            Statement::CreateRegion { name, interval, delay } => {
+                self.create_region(&name, interval, delay)?;
+                Ok(self.ddl_result())
+            }
+            Statement::DropCachedView { name } => {
+                self.drop_cached_view(&name)?;
+                Ok(self.ddl_result())
+            }
+            Statement::BeginTimeordered | Statement::EndTimeordered => Err(Error::analysis(
+                "BEGIN/END TIMEORDERED requires a session; use MTCache::session()",
+            )),
+        }
+    }
+
+    pub(crate) fn execute_select(
+        &self,
+        sql: &str,
+        select: &SelectStmt,
+        params: &HashMap<String, Value>,
+        floors: &HashMap<RegionId, Timestamp>,
+        policy: ViolationPolicy,
+    ) -> Result<QueryResult> {
+        // "re-optimization only if a view's consistency properties change":
+        // the compiled dynamic plan is reused until the catalog epoch moves
+        let key = PlanCache::key(sql, params);
+        let compiled = match self.plan_cache.get(&key) {
+            Some(c) => c,
+            None => {
+                let graph = bind_select(&self.catalog, select, params)?;
+                let tables: Vec<TableId> =
+                    graph.operands.iter().map(|o| o.table.id).collect();
+                let optimized = optimize(&self.catalog, &graph, &self.config.read())?;
+                let c = Arc::new(CompiledQuery { optimized, tables });
+                self.plan_cache.put(key, Arc::clone(&c));
+                c
+            }
+        };
+        let optimized = &compiled.optimized;
+        let tables = compiled.tables.clone();
+        let ctx = self.fresh_ctx(floors.clone());
+
+        let remote_before = self
+            .counters
+            .remote_queries
+            .load(Ordering::Relaxed);
+        let exec = execute_plan(&optimized.plan, &ctx);
+        match exec {
+            Ok(result) => {
+                let guards = ctx.take_observations();
+                let used_remote = self.counters.remote_queries.load(Ordering::Relaxed)
+                    > remote_before;
+                Ok(QueryResult {
+                    schema: result.schema,
+                    rows: result.rows,
+                    plan_choice: optimized.choice,
+                    plan_explain: optimized.plan.explain(),
+                    est_cost: optimized.cost,
+                    guards,
+                    used_remote,
+                    warnings: Vec::new(),
+                    timings: result.timings,
+                    tables,
+                })
+            }
+            Err(Error::Remote(msg)) if !self.backend_available.load(Ordering::SeqCst) => {
+                match policy {
+                    ViolationPolicy::Reject => Err(Error::CurrencyViolation(format!(
+                        "local data too stale for the query's currency bound and the \
+                         back-end is unreachable ({msg})"
+                    ))),
+                    ViolationPolicy::ServeStale => {
+                        let mut ctx2 = self.fresh_ctx(floors.clone());
+                        ctx2.force_local = true;
+                        let result = execute_plan(&optimized.plan, &ctx2)?;
+                        let guards = ctx2.take_observations();
+                        let now = self.clock.now();
+                        let warnings = guards
+                            .iter()
+                            .map(|g| match g.heartbeat {
+                                Some(hb) => format!(
+                                    "served region {} data that is up to {} stale (policy: ServeStale)",
+                                    g.region,
+                                    now.since(hb)
+                                ),
+                                None => format!(
+                                    "served region {} data of unknown staleness (no heartbeat)",
+                                    g.region
+                                ),
+                            })
+                            .collect();
+                        Ok(QueryResult {
+                            schema: result.schema,
+                            rows: result.rows,
+                            plan_choice: optimized.choice,
+                            plan_explain: optimized.plan.explain(),
+                            est_cost: optimized.cost,
+                            guards,
+                            used_remote: false,
+                            warnings,
+                            timings: result.timings,
+                            tables,
+                        })
+                    }
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn fresh_ctx(&self, floors: HashMap<RegionId, Timestamp>) -> ExecContext {
+        let remote: Option<Arc<dyn RemoteService>> =
+            if self.backend_available.load(Ordering::SeqCst) {
+                Some(Arc::clone(&self.backend) as Arc<dyn RemoteService>)
+            } else {
+                None
+            };
+        ExecContext {
+            storage: Arc::clone(&self.cache_storage),
+            remote,
+            clock: Arc::clone(&self.clock_arc),
+            counters: Arc::clone(&self.counters),
+            timeline_floor: Arc::new(floors),
+            observations: Arc::new(Mutex::new(Vec::new())),
+            force_local: false,
+        }
+    }
+
+    fn ddl_result(&self) -> QueryResult {
+        QueryResult {
+            schema: Schema::empty(),
+            rows: Vec::new(),
+            plan_choice: PlanChoice::BackendLocal,
+            plan_explain: String::new(),
+            est_cost: 0.0,
+            guards: Vec::new(),
+            used_remote: false,
+            warnings: Vec::new(),
+            timings: Default::default(),
+            tables: Vec::new(),
+        }
+    }
+
+    // ---------------------------------------------------------------- DML
+
+    fn execute_insert(
+        &self,
+        table: &str,
+        columns: &[String],
+        rows: &[Vec<Expr>],
+    ) -> Result<QueryResult> {
+        let meta = self.catalog.table(table)?;
+        let ordinals: Vec<usize> = if columns.is_empty() {
+            (0..meta.schema.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| meta.schema.resolve(None, c))
+                .collect::<Result<_>>()?
+        };
+        let mut changes = Vec::with_capacity(rows.len());
+        for exprs in rows {
+            if exprs.len() != ordinals.len() {
+                return Err(Error::analysis("INSERT arity mismatch"));
+            }
+            let mut values = vec![Value::Null; meta.schema.len()];
+            for (ord, e) in ordinals.iter().zip(exprs) {
+                values[*ord] = eval_const(e)?;
+            }
+            changes.push(TableChange::new(
+                meta.name.clone(),
+                RowChange::Insert(Row::new(values)),
+            ));
+        }
+        let n = changes.len();
+        self.master.execute_txn(changes)?;
+        let mut r = self.ddl_result();
+        r.warnings.push(format!("{n} row(s) inserted (forwarded to back-end)"));
+        Ok(r)
+    }
+
+    fn execute_update(
+        &self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        filter: Option<&Expr>,
+    ) -> Result<QueryResult> {
+        let meta = self.catalog.table(table)?;
+        let schema = meta.schema.clone().with_qualifier(&meta.name);
+        let predicate = filter.map(|f| bind_table_expr(&meta, f)).transpose()?;
+        let assigns: Vec<(usize, BoundExpr)> = assignments
+            .iter()
+            .map(|(c, e)| Ok((meta.schema.resolve(None, c)?, bind_table_expr(&meta, e)?)))
+            .collect::<Result<_>>()?;
+        let handle = self.master.table(&meta.name)?;
+        let now = self.clock.now().millis();
+        let mut changes = Vec::new();
+        {
+            let t = handle.read();
+            for row in t.iter() {
+                let hit = match &predicate {
+                    Some(p) => p.eval_predicate(row, &schema, now)?,
+                    None => true,
+                };
+                if !hit {
+                    continue;
+                }
+                let mut new_values = row.values().to_vec();
+                for (ord, e) in &assigns {
+                    new_values[*ord] = e.eval(row, &schema, now)?;
+                }
+                changes.push(TableChange::new(
+                    meta.name.clone(),
+                    RowChange::Update { key: t.key_of(row), row: Row::new(new_values) },
+                ));
+            }
+        }
+        let n = changes.len();
+        if !changes.is_empty() {
+            self.master.execute_txn(changes)?;
+        }
+        let mut r = self.ddl_result();
+        r.warnings.push(format!("{n} row(s) updated (forwarded to back-end)"));
+        Ok(r)
+    }
+
+    fn execute_delete(&self, table: &str, filter: Option<&Expr>) -> Result<QueryResult> {
+        let meta = self.catalog.table(table)?;
+        let schema = meta.schema.clone().with_qualifier(&meta.name);
+        let predicate = filter.map(|f| bind_table_expr(&meta, f)).transpose()?;
+        let handle = self.master.table(&meta.name)?;
+        let now = self.clock.now().millis();
+        let mut changes = Vec::new();
+        {
+            let t = handle.read();
+            for row in t.iter() {
+                let hit = match &predicate {
+                    Some(p) => p.eval_predicate(row, &schema, now)?,
+                    None => true,
+                };
+                if hit {
+                    changes.push(TableChange::new(
+                        meta.name.clone(),
+                        RowChange::Delete { key: t.key_of(row) },
+                    ));
+                }
+            }
+        }
+        let n = changes.len();
+        if !changes.is_empty() {
+            self.master.execute_txn(changes)?;
+        }
+        let mut r = self.ddl_result();
+        r.warnings.push(format!("{n} row(s) deleted (forwarded to back-end)"));
+        Ok(r)
+    }
+
+    // ---------------------------------------------------------------- DDL
+
+    fn create_table_ddl(
+        &self,
+        name: &str,
+        columns: Vec<(String, rcc_common::DataType)>,
+        primary_key: Vec<String>,
+    ) -> Result<QueryResult> {
+        let schema =
+            Schema::new(columns.into_iter().map(|(n, t)| Column::new(n, t)).collect());
+        let meta = TableMeta::new(self.catalog.next_table_id(), name, schema, primary_key)?;
+        self.register_table(meta)?;
+        Ok(self.ddl_result())
+    }
+
+    fn create_index_ddl(
+        &self,
+        name: &str,
+        table: &str,
+        columns: Vec<String>,
+    ) -> Result<QueryResult> {
+        let meta = self.catalog.table(table)?;
+        let mut meta = (*meta).clone();
+        let id = rcc_common::IndexId(meta.indexes.len() as u32 + 1);
+        meta.add_index(id, name, columns.clone())?;
+        // create on the master storage table too
+        let handle = self.master.table(table)?;
+        {
+            let ordinals: Vec<usize> = columns
+                .iter()
+                .map(|c| meta.schema.resolve(None, c))
+                .collect::<Result<_>>()?;
+            handle.write().create_index(name, ordinals)?;
+        }
+        self.catalog.update_table(meta)?;
+        self.plan_cache.invalidate();
+        Ok(self.ddl_result())
+    }
+
+    /// Define a cached materialized view (the programmatic form also
+    /// accepts local secondary indexes: `(index_name, leading_column)`).
+    pub fn create_cached_view(
+        &self,
+        name: &str,
+        region_name: &str,
+        query: &SelectStmt,
+        local_indexes: Vec<(String, String)>,
+    ) -> Result<Arc<CachedViewDef>> {
+        let region = self.catalog.region_by_name(region_name)?;
+        // shape: single base table, plain column projections, optional
+        // single-column range predicate
+        let (table_name, alias) = match query.from.as_slice() {
+            [TableRef::Named { name, alias }] => (name.clone(), alias.clone()),
+            _ => {
+                return Err(Error::analysis(
+                    "cached views must select from exactly one base table",
+                ))
+            }
+        };
+        if query.distinct
+            || !query.group_by.is_empty()
+            || query.having.is_some()
+            || !query.order_by.is_empty()
+            || query.limit.is_some()
+            || query.currency.is_some()
+        {
+            return Err(Error::analysis(
+                "cached views are projections/selections of one base table",
+            ));
+        }
+        let meta = self.catalog.table(&table_name)?;
+        let binding = alias.unwrap_or_else(|| meta.name.clone());
+
+        let mut columns: Vec<String> = Vec::new();
+        for item in &query.projections {
+            match item {
+                SelectItem::Wildcard => {
+                    columns.extend(meta.schema.columns().iter().map(|c| c.name.clone()))
+                }
+                SelectItem::QualifiedWildcard(q) if q.eq_ignore_ascii_case(&binding) => {
+                    columns.extend(meta.schema.columns().iter().map(|c| c.name.clone()))
+                }
+                SelectItem::Expr { expr: Expr::Column { name, .. }, alias: None } => {
+                    meta.schema.resolve(None, name)?;
+                    columns.push(name.clone());
+                }
+                other => {
+                    return Err(Error::analysis(format!(
+                        "cached view projections must be plain columns, got {other:?}"
+                    )))
+                }
+            }
+        }
+        for key_col in &meta.key {
+            if !columns.iter().any(|c| c.eq_ignore_ascii_case(key_col)) {
+                return Err(Error::Config(format!(
+                    "cached view {name} must retain base key column {key_col}"
+                )));
+            }
+        }
+
+        let predicate = match &query.filter {
+            None => None,
+            Some(f) => {
+                let bound = bind_table_expr_with_binding(&meta, &binding, f)?;
+                let conjuncts = split_conjuncts(&bound);
+                let ranges = column_ranges(&conjuncts);
+                if ranges.len() != 1 || ranges.len() != conjuncts.len() {
+                    return Err(Error::analysis(
+                        "cached view predicates must be a range over one column",
+                    ));
+                }
+                let (col, range) = ranges.into_iter().next().expect("checked len");
+                if !columns.iter().any(|c| c.eq_ignore_ascii_case(&col)) {
+                    return Err(Error::Config(format!(
+                        "cached view {name} predicate column {col} must be retained"
+                    )));
+                }
+                Some(rcc_catalog::ViewPredicate { column: col, range })
+            }
+        };
+
+        let schema = Schema::new(
+            columns
+                .iter()
+                .map(|c| {
+                    let ord = meta.schema.resolve(None, c).expect("validated");
+                    let mut col = meta.schema.column(ord).clone();
+                    col.qualifier = Some(name.to_ascii_lowercase());
+                    col.source = Some(meta.id);
+                    col
+                })
+                .collect(),
+        );
+        let key_ordinals: Vec<usize> = meta
+            .key
+            .iter()
+            .map(|k| {
+                columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(k))
+                    .expect("key retained (validated above)")
+            })
+            .collect();
+
+        let def = CachedViewDef {
+            id: self.catalog.next_view_id(),
+            name: name.to_ascii_lowercase(),
+            region: region.id,
+            base_table: meta.id,
+            base_table_name: meta.name.clone(),
+            columns,
+            predicate,
+            schema,
+            key_ordinals,
+            local_indexes,
+        };
+        let def = self.catalog.register_view(def)?;
+
+        // subscribe through the region's agent (creates + populates the
+        // view table at the cache)
+        let mut sub_result: Result<()> = Err(Error::NotFound(format!("region {region_name}")));
+        let found = self.runtime.with_agent(&region.name, |agent| {
+            sub_result = agent.subscribe(Arc::clone(&def), &meta);
+        });
+        if !found {
+            return Err(Error::NotFound(format!("no agent for region {region_name}")));
+        }
+        sub_result?;
+
+        // install stats computed over the freshly populated view
+        let handle = self.cache_storage.table(&def.name)?;
+        let stats = TableStats::compute(&handle.read());
+        self.catalog.set_stats(&def.name, stats);
+        self.plan_cache.invalidate();
+        Ok(def)
+    }
+}
+
+impl MTCache {
+    /// Drop a cached view: end its replication subscription, remove its
+    /// table from the cache storage and its catalog entry, and invalidate
+    /// compiled plans (a view disappearing changes the consistency
+    /// properties available — the paper's trigger for re-optimization).
+    pub fn drop_cached_view(&self, name: &str) -> Result<()> {
+        let def = self.catalog.view(name)?;
+        let region = self.catalog.region(def.region)?;
+        let mut removed = false;
+        self.runtime.with_agent(&region.name, |agent| {
+            removed = agent.unsubscribe(name);
+        });
+        if !removed {
+            return Err(Error::internal(format!(
+                "view {name} registered but its agent had no subscription"
+            )));
+        }
+        self.cache_storage.drop_table(name);
+        self.catalog.drop_view(name)?;
+        self.plan_cache.invalidate();
+        Ok(())
+    }
+}
+
+/// Evaluate a constant expression (INSERT VALUES).
+fn eval_const(e: &Expr) -> Result<Value> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Unary { op: rcc_sql::UnaryOp::Neg, expr } => match eval_const(expr)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(Error::Type(format!("cannot negate {other}"))),
+        },
+        other => Err(Error::analysis(format!(
+            "INSERT values must be literals, got {other:?}"
+        ))),
+    }
+}
+
+/// Bind an expression against one table's schema, qualifying columns by
+/// the table name (used by DML and view-definition predicates).
+fn bind_table_expr(meta: &TableMeta, e: &Expr) -> Result<BoundExpr> {
+    bind_table_expr_with_binding(meta, &meta.name.clone(), e)
+}
+
+fn bind_table_expr_with_binding(meta: &TableMeta, binding: &str, e: &Expr) -> Result<BoundExpr> {
+    match e {
+        Expr::Column { qualifier, name } => {
+            if let Some(q) = qualifier {
+                if !q.eq_ignore_ascii_case(binding) && !q.eq_ignore_ascii_case(&meta.name) {
+                    return Err(Error::Analysis(format!("unknown table alias '{q}'")));
+                }
+            }
+            meta.schema
+                .resolve(None, name)
+                .map_err(|_| Error::Analysis(format!("unknown column '{name}'")))?;
+            Ok(BoundExpr::col(&meta.name, name))
+        }
+        Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+        Expr::Parameter(p) => Err(Error::Analysis(format!("unbound parameter ${p}"))),
+        Expr::Binary { left, op, right } => Ok(BoundExpr::Binary {
+            left: Box::new(bind_table_expr_with_binding(meta, binding, left)?),
+            op: *op,
+            right: Box::new(bind_table_expr_with_binding(meta, binding, right)?),
+        }),
+        Expr::Unary { op, expr } => Ok(BoundExpr::Unary {
+            op: *op,
+            expr: Box::new(bind_table_expr_with_binding(meta, binding, expr)?),
+        }),
+        Expr::Between { expr, low, high, negated } => Ok(BoundExpr::Between {
+            expr: Box::new(bind_table_expr_with_binding(meta, binding, expr)?),
+            low: Box::new(bind_table_expr_with_binding(meta, binding, low)?),
+            high: Box::new(bind_table_expr_with_binding(meta, binding, high)?),
+            negated: *negated,
+        }),
+        Expr::InList { expr, list, negated } => Ok(BoundExpr::InList {
+            expr: Box::new(bind_table_expr_with_binding(meta, binding, expr)?),
+            list: list
+                .iter()
+                .map(|e| bind_table_expr_with_binding(meta, binding, e))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        }),
+        Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
+            expr: Box::new(bind_table_expr_with_binding(meta, binding, expr)?),
+            negated: *negated,
+        }),
+        Expr::Function { name, args, .. } if name.eq_ignore_ascii_case("getdate") && args.is_empty() => {
+            Ok(BoundExpr::GetDate)
+        }
+        other => Err(Error::analysis(format!("unsupported expression {other:?}"))),
+    }
+}
+
+fn split_conjuncts(e: &BoundExpr) -> Vec<BoundExpr> {
+    match e {
+        BoundExpr::Binary { left, op: rcc_sql::BinaryOp::And, right } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}

@@ -1,0 +1,93 @@
+//! Thread-safety smoke tests: concurrent readers against the cache while
+//! DML commits at the back-end. Replication runs on the simulated clock
+//! (advanced from the main thread between phases), so these tests exercise
+//! lock discipline rather than wall-clock races.
+
+use rcc_common::{Duration, Value};
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn concurrent_readers_and_writers() {
+    let cache = Arc::new(paper_setup(0.005, 42).unwrap());
+    warm_up(&cache).unwrap();
+
+    let mut handles = Vec::new();
+    // 4 reader threads hammering bounded and unbounded reads
+    for t in 0..4 {
+        let cache = Arc::clone(&cache);
+        handles.push(thread::spawn(move || {
+            for i in 0..50 {
+                let key = (t * 50 + i) % 700 + 1;
+                let bounded = cache
+                    .execute(&format!(
+                        "SELECT c_acctbal FROM customer WHERE c_custkey = {key} \
+                         CURRENCY BOUND 60 SEC ON (customer)"
+                    ))
+                    .unwrap();
+                assert_eq!(bounded.rows.len(), 1);
+                let current = cache
+                    .execute(&format!("SELECT c_acctbal FROM customer WHERE c_custkey = {key}"))
+                    .unwrap();
+                assert_eq!(current.rows.len(), 1);
+            }
+        }));
+    }
+    // 2 writer threads committing updates at the back-end
+    for t in 0..2 {
+        let cache = Arc::clone(&cache);
+        handles.push(thread::spawn(move || {
+            for i in 0..40 {
+                let key = (t * 40 + i) % 700 + 1;
+                cache
+                    .execute(&format!(
+                        "UPDATE customer SET c_acctbal = {}.0 WHERE c_custkey = {key}",
+                        i
+                    ))
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+
+    // replication catches up afterwards and bounded reads converge
+    cache.advance(Duration::from_secs(60)).unwrap();
+    let bounded = cache
+        .execute(
+            "SELECT c_acctbal FROM customer WHERE c_custkey = 1 \
+             CURRENCY BOUND 60 SEC ON (customer)",
+        )
+        .unwrap();
+    let current =
+        cache.execute("SELECT c_acctbal FROM customer WHERE c_custkey = 1").unwrap();
+    assert_eq!(bounded.rows[0].get(0), current.rows[0].get(0));
+}
+
+#[test]
+fn concurrent_plan_cache_access() {
+    let cache = Arc::new(paper_setup(0.002, 7).unwrap());
+    warm_up(&cache).unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let cache = Arc::clone(&cache);
+        handles.push(thread::spawn(move || {
+            for _ in 0..50 {
+                let r = cache
+                    .execute(
+                        "SELECT c_name FROM customer WHERE c_custkey = 3 \
+                         CURRENCY BOUND 60 SEC ON (customer)",
+                    )
+                    .unwrap();
+                assert_eq!(r.rows[0].get(0), &Value::from("Customer#000000003"));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+    let (hits, misses) = cache.plan_cache().stats();
+    assert!(hits >= 290, "hits={hits} misses={misses}");
+}

@@ -1,0 +1,56 @@
+//! Session-level violation-policy and display-surface tests.
+
+use rcc_common::Duration;
+use rcc_mtcache::{MTCache, ViolationPolicy};
+
+fn rig() -> MTCache {
+    let cache = MTCache::new();
+    cache.execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))").unwrap();
+    cache.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    cache.analyze("t").unwrap();
+    cache.execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC").unwrap();
+    cache.execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t").unwrap();
+    cache.advance(Duration::from_secs(20)).unwrap();
+    cache
+}
+
+const Q: &str = "SELECT v FROM t WHERE a = 1 CURRENCY BOUND 10 SEC ON (t)";
+
+#[test]
+fn session_serve_stale_policy_applies_to_its_queries() {
+    let cache = rig();
+    cache.set_backend_available(false);
+    cache.set_region_stalled("r", true);
+    cache.advance(Duration::from_secs(60)).unwrap();
+
+    let mut strict = cache.session();
+    assert!(strict.execute(Q).is_err(), "default session policy rejects");
+
+    let mut lenient = cache.session();
+    lenient.set_policy(ViolationPolicy::ServeStale);
+    let r = lenient.execute(Q).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(!r.warnings.is_empty());
+}
+
+#[test]
+fn display_rows_truncates() {
+    let cache = rig();
+    let r = cache.execute("SELECT a, v FROM t ORDER BY a").unwrap();
+    let shown = r.display_rows(1);
+    assert!(shown.contains("a | v"));
+    assert!(shown.contains("(2 rows total)"));
+    let full = r.display_rows(10);
+    assert!(!full.contains("rows total"));
+}
+
+#[test]
+fn session_dml_and_ddl_pass_through() {
+    let cache = rig();
+    let mut session = cache.session();
+    session.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+    let r = session.execute("SELECT v FROM t WHERE a = 3").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    session.execute("CREATE REGION r2 INTERVAL 5 SEC DELAY 1 SEC").unwrap();
+    assert!(cache.catalog().region_by_name("r2").is_ok());
+}

@@ -1,0 +1,67 @@
+//! Sort elision through delivered order properties: `ORDER BY` a clustered
+//! key the scan already delivers in order needs no Sort operator.
+
+use rcc_common::Duration;
+use rcc_mtcache::MTCache;
+use std::collections::HashMap;
+
+fn rig() -> MTCache {
+    let cache = MTCache::new();
+    cache.execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))").unwrap();
+    for i in (0..200).rev() {
+        cache.execute(&format!("INSERT INTO t VALUES ({i}, {})", 199 - i)).unwrap();
+    }
+    cache.analyze("t").unwrap();
+    cache.execute("CREATE REGION r INTERVAL 10 SEC DELAY 2 SEC").unwrap();
+    cache.execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t").unwrap();
+    cache.advance(Duration::from_secs(30)).unwrap();
+    cache
+}
+
+#[test]
+fn clustered_order_by_skips_the_sort() {
+    let cache = rig();
+    // local plan: clustered range scan on `a` delivers ascending `a`
+    let sql = "SELECT a, v FROM t WHERE a < 50 ORDER BY a CURRENCY BOUND 30 SEC ON (t)";
+    let opt = cache.explain(sql, &HashMap::new()).unwrap();
+    // NOTE: the local branch is under a SwitchUnion, which gives no order
+    // guarantee (the remote branch could return anything) — so elision must
+    // NOT fire for guarded plans...
+    let guarded_plan = opt.plan.explain();
+    assert!(guarded_plan.contains("Sort"), "guarded plans keep the sort:\n{guarded_plan}");
+
+    // ...but the back-end role plan elides it
+    use rcc_optimizer::{bind_select, optimize, OptimizerConfig};
+    let stmt = match rcc_sql::parse_statement("SELECT a, v FROM t WHERE a < 50 ORDER BY a").unwrap()
+    {
+        rcc_sql::Statement::Select(s) => *s,
+        _ => unreachable!(),
+    };
+    let graph = bind_select(cache.catalog(), &stmt, &HashMap::new()).unwrap();
+    let opt = optimize(cache.catalog(), &graph, &OptimizerConfig::backend()).unwrap();
+    let plan = opt.plan.explain();
+    assert!(!plan.contains("Sort"), "clustered order already delivered:\n{plan}");
+}
+
+#[test]
+fn results_still_ordered_with_and_without_elision() {
+    let cache = rig();
+    for sql in [
+        "SELECT a, v FROM t WHERE a < 50 ORDER BY a CURRENCY BOUND 30 SEC ON (t)",
+        "SELECT a, v FROM t WHERE a < 50 ORDER BY a",
+        "SELECT a, v FROM t WHERE a < 50 ORDER BY v", // non-key: real sort
+        "SELECT a, v FROM t WHERE a < 50 ORDER BY a DESC", // desc: real sort
+    ] {
+        let r = cache.execute(sql).unwrap();
+        assert_eq!(r.rows.len(), 50, "{sql}");
+        let ord = if sql.contains("ORDER BY v") { 1 } else { 0 };
+        let desc = sql.contains("DESC");
+        for w in r.rows.windows(2) {
+            if desc {
+                assert!(w[0].get(ord) >= w[1].get(ord), "{sql}");
+            } else {
+                assert!(w[0].get(ord) <= w[1].get(ord), "{sql}");
+            }
+        }
+    }
+}

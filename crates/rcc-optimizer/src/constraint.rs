@@ -1,0 +1,325 @@
+//! Normalized currency & consistency constraints (paper Sec. 3.2.1).
+
+use rcc_common::Duration;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies one *input operand*: a particular instance of a base table in
+/// the query (the same table referenced twice yields two operands). After
+/// binding, every operand references a base table, which is what the
+/// normalized-form definition requires.
+pub type OperandId = u32;
+
+/// One consistency class of a normalized constraint: a currency bound, the
+/// operand set that must be mutually consistent, and optional grouping
+/// columns (the `BY` phrase — rows grouped on these columns must come from
+/// one snapshot, different groups may differ).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CCClass {
+    /// Maximum acceptable staleness for the operands in this class.
+    pub bound: Duration,
+    /// Operands that must originate from the same database snapshot.
+    pub operands: BTreeSet<OperandId>,
+    /// Grouping columns (empty ⇒ whole-table consistency, the strictest
+    /// granularity and the one the runtime enforces; finer granularity is
+    /// recorded for the semantic checker).
+    pub by: Vec<(String, String)>,
+}
+
+impl fmt::Display for CCClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ops: Vec<String> = self.operands.iter().map(|o| format!("#{o}")).collect();
+        write!(f, "{} ON ({})", self.bound, ops.join(", "))?;
+        if !self.by.is_empty() {
+            let cols: Vec<String> = self.by.iter().map(|(q, c)| format!("{q}.{c}")).collect();
+            write!(f, " BY {}", cols.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A normalized C&C constraint: disjoint consistency classes covering every
+/// operand of the query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CCConstraint {
+    /// The disjoint classes.
+    pub classes: Vec<CCClass>,
+}
+
+impl CCConstraint {
+    /// The paper's default for queries without a currency clause: "the
+    /// tightest requirements, namely, that the input operands must be
+    /// mutually consistent and from the latest snapshots" — bound zero, one
+    /// class containing every operand. Queries without a clause thus retain
+    /// their traditional semantics (computed at the back-end).
+    pub fn tight_default(operands: impl IntoIterator<Item = OperandId>) -> CCConstraint {
+        let set: BTreeSet<OperandId> = operands.into_iter().collect();
+        if set.is_empty() {
+            return CCConstraint::default();
+        }
+        CCConstraint { classes: vec![CCClass { bound: Duration::ZERO, operands: set, by: vec![] }] }
+    }
+
+    /// Normalize a union of raw (bound, operand-set, by) tuples collected
+    /// from every block of the query:
+    ///
+    /// 1. operands not covered by any tuple get tight singleton classes
+    ///    (bound 0), preserving traditional semantics for unmentioned
+    ///    inputs;
+    /// 2. tuples with overlapping operand sets are merged repeatedly, the
+    ///    merged bound being the min of the two ("if two different tuples
+    ///    have any input operands in common, they must all be from the same
+    ///    snapshot, and the snapshot must satisfy the tighter of the two
+    ///    bounds");
+    /// 3. merging continues until all classes are disjoint.
+    ///
+    /// Grouping columns survive a merge only when both sides agree —
+    /// otherwise the merged class falls back to whole-table granularity
+    /// (the strictest interpretation, hence always safe).
+    #[allow(clippy::type_complexity)]
+    pub fn normalize(
+        raw: Vec<(Duration, BTreeSet<OperandId>, Vec<(String, String)>)>,
+        all_operands: impl IntoIterator<Item = OperandId>,
+    ) -> CCConstraint {
+        let mut classes: Vec<CCClass> = raw
+            .into_iter()
+            .filter(|(_, ops, _)| !ops.is_empty())
+            .map(|(bound, operands, by)| CCClass { bound, operands, by })
+            .collect();
+
+        // Step 1: uncovered operands get tight singletons.
+        let covered: BTreeSet<OperandId> =
+            classes.iter().flat_map(|c| c.operands.iter().copied()).collect();
+        for op in all_operands {
+            if !covered.contains(&op) {
+                classes.push(CCClass {
+                    bound: Duration::ZERO,
+                    operands: [op].into_iter().collect(),
+                    by: vec![],
+                });
+            }
+        }
+
+        // Steps 2-3: merge until disjoint (fixpoint).
+        loop {
+            let mut merged_any = false;
+            'outer: for i in 0..classes.len() {
+                for j in (i + 1)..classes.len() {
+                    if !classes[i].operands.is_disjoint(&classes[j].operands) {
+                        let b = classes.swap_remove(j);
+                        let a = &mut classes[i];
+                        a.bound = a.bound.min(b.bound);
+                        a.operands.extend(b.operands);
+                        if a.by != b.by {
+                            a.by.clear();
+                        }
+                        merged_any = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+        classes.sort_by(|a, b| a.operands.iter().next().cmp(&b.operands.iter().next()));
+        CCConstraint { classes }
+    }
+
+    /// The class containing `operand`, if any.
+    pub fn class_of(&self, operand: OperandId) -> Option<&CCClass> {
+        self.classes.iter().find(|c| c.operands.contains(&operand))
+    }
+
+    /// The currency bound applicable to `operand` (zero — the tight default
+    /// — if the operand appears in no class, which normalization prevents
+    /// for bound graphs).
+    pub fn bound_of(&self, operand: OperandId) -> Duration {
+        self.class_of(operand).map(|c| c.bound).unwrap_or(Duration::ZERO)
+    }
+
+    /// Is the constraint the trivial "everything current" default?
+    pub fn is_tight_default(&self) -> bool {
+        self.classes.len() <= 1
+            && self.classes.iter().all(|c| c.bound.is_zero() && c.by.is_empty())
+    }
+
+    /// All operands mentioned by the constraint.
+    pub fn operands(&self) -> BTreeSet<OperandId> {
+        self.classes.iter().flat_map(|c| c.operands.iter().copied()).collect()
+    }
+}
+
+impl fmt::Display for CCConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.classes.is_empty() {
+            return f.write_str("(unconstrained)");
+        }
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<OperandId> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn tight_default_single_class_zero_bound() {
+        let c = CCConstraint::tight_default([0, 1, 2]);
+        assert_eq!(c.classes.len(), 1);
+        assert_eq!(c.classes[0].bound, Duration::ZERO);
+        assert_eq!(c.classes[0].operands, set(&[0, 1, 2]));
+        assert!(c.is_tight_default());
+    }
+
+    #[test]
+    fn disjoint_classes_unchanged() {
+        let c = CCConstraint::normalize(
+            vec![
+                (Duration::from_mins(10), set(&[0]), vec![]),
+                (Duration::from_mins(30), set(&[1]), vec![]),
+            ],
+            [0, 1],
+        );
+        assert_eq!(c.classes.len(), 2);
+        assert_eq!(c.bound_of(0), Duration::from_mins(10));
+        assert_eq!(c.bound_of(1), Duration::from_mins(30));
+        assert!(!c.is_tight_default());
+    }
+
+    #[test]
+    fn overlapping_classes_merge_with_min_bound() {
+        // paper Q2 example: outer says 5min(S,T) where T expands to {B,R};
+        // inner says 10min(B,R). Result: one class {S,B,R} bound 5min.
+        let c = CCConstraint::normalize(
+            vec![
+                (Duration::from_mins(5), set(&[2, 0, 1]), vec![]),
+                (Duration::from_mins(10), set(&[0, 1]), vec![]),
+            ],
+            [0, 1, 2],
+        );
+        assert_eq!(c.classes.len(), 1);
+        assert_eq!(c.classes[0].bound, Duration::from_mins(5));
+        assert_eq!(c.classes[0].operands, set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn transitive_merging() {
+        // {0,1} ∩ {1,2} ∩ {2,3} chains into one class
+        let c = CCConstraint::normalize(
+            vec![
+                (Duration::from_mins(10), set(&[0, 1]), vec![]),
+                (Duration::from_mins(20), set(&[1, 2]), vec![]),
+                (Duration::from_mins(30), set(&[2, 3]), vec![]),
+            ],
+            [0, 1, 2, 3],
+        );
+        assert_eq!(c.classes.len(), 1);
+        assert_eq!(c.classes[0].bound, Duration::from_mins(10));
+        assert_eq!(c.classes[0].operands, set(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn uncovered_operands_get_tight_singletons() {
+        let c = CCConstraint::normalize(
+            vec![(Duration::from_mins(10), set(&[0]), vec![])],
+            [0, 1],
+        );
+        assert_eq!(c.classes.len(), 2);
+        assert_eq!(c.bound_of(1), Duration::ZERO);
+        assert_eq!(c.class_of(1).unwrap().operands, set(&[1]));
+    }
+
+    #[test]
+    fn merge_order_independent() {
+        let raw = |perm: Vec<usize>| {
+            let tuples = [
+                (Duration::from_mins(10), set(&[0, 1]), vec![]),
+                (Duration::from_mins(5), set(&[1, 2]), vec![]),
+                (Duration::from_mins(30), set(&[3]), vec![]),
+            ];
+            let permuted: Vec<_> = perm.into_iter().map(|i| tuples[i].clone()).collect();
+            CCConstraint::normalize(permuted, [0, 1, 2, 3])
+        };
+        let a = raw(vec![0, 1, 2]);
+        let b = raw(vec![2, 1, 0]);
+        let c = raw(vec![1, 2, 0]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.classes.len(), 2);
+        assert_eq!(a.bound_of(0), Duration::from_mins(5));
+    }
+
+    #[test]
+    fn by_columns_survive_only_when_agreeing() {
+        let by = vec![("b".to_string(), "isbn".to_string())];
+        // agreeing merge keeps the grouping
+        let c = CCConstraint::normalize(
+            vec![
+                (Duration::from_mins(10), set(&[0, 1]), by.clone()),
+                (Duration::from_mins(5), set(&[1]), by.clone()),
+            ],
+            [0, 1],
+        );
+        assert_eq!(c.classes[0].by, by);
+        // disagreeing merge drops to whole-table granularity
+        let c = CCConstraint::normalize(
+            vec![
+                (Duration::from_mins(10), set(&[0, 1]), by.clone()),
+                (Duration::from_mins(5), set(&[1]), vec![]),
+            ],
+            [0, 1],
+        );
+        assert!(c.classes[0].by.is_empty());
+    }
+
+    #[test]
+    fn classes_are_disjoint_after_normalize() {
+        let c = CCConstraint::normalize(
+            vec![
+                (Duration::from_mins(1), set(&[0, 1]), vec![]),
+                (Duration::from_mins(2), set(&[2, 3]), vec![]),
+                (Duration::from_mins(3), set(&[1, 2]), vec![]),
+                (Duration::from_mins(4), set(&[5]), vec![]),
+            ],
+            [0, 1, 2, 3, 4, 5],
+        );
+        let mut seen = BTreeSet::new();
+        for class in &c.classes {
+            for op in &class.operands {
+                assert!(seen.insert(*op), "operand {op} appears twice");
+            }
+        }
+        assert_eq!(seen, set(&[0, 1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = CCConstraint::normalize(
+            vec![(Duration::from_mins(10), set(&[0, 1]), vec![("b".into(), "isbn".into())])],
+            [0, 1],
+        );
+        let s = c.to_string();
+        assert!(s.contains("10min"));
+        assert!(s.contains("BY b.isbn"));
+        assert_eq!(CCConstraint::default().to_string(), "(unconstrained)");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = CCConstraint::tight_default([]);
+        assert!(c.classes.is_empty());
+        let c = CCConstraint::normalize(vec![], []);
+        assert!(c.classes.is_empty());
+    }
+}

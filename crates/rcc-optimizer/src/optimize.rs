@@ -1,0 +1,1075 @@
+//! Plan enumeration and selection.
+//!
+//! "Optimization is entirely cost based" (paper Sec. 3). For each operand
+//! the enumerator builds the available access paths — a remote fetch, and
+//! one guarded SwitchUnion per matching cached view (discarded at compile
+//! time when the bound can never be met: `B < d`, Sec. 3.2.2 last
+//! paragraph) — then runs Selinger-style dynamic programming over join
+//! orders with hash and index-nested-loop methods. Partial plans violating
+//! the consistency rules are pruned as they are built; at the root the
+//! satisfaction rule filters the candidates, the fully remote plan is
+//! always among them, and the cheapest survivor wins.
+//!
+//! Per DP subset the enumerator keeps the cheapest candidate *per delivered
+//! consistency property* (the memo-with-properties discipline of
+//! transformation-based optimizers): a pricier sub-plan whose property can
+//! still satisfy the constraint must not be shadowed by a cheaper one that
+//! cannot.
+
+use crate::constraint::OperandId;
+use crate::cost::{CostParams, filter_selectivity};
+use crate::expr::BoundExpr;
+use crate::graph::{JoinKind, QueryGraph};
+use crate::physical::{
+    AccessPath, CurrencyGuard, InnerAccess, LocalScanNode, PhysicalPlan, RemoteQueryNode,
+};
+use crate::ordering::delivered_order;
+use crate::property::DeliveredProperty;
+use crate::sqlgen;
+use crate::viewmatch;
+use rcc_catalog::Catalog;
+use rcc_common::{Error, Result};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which server the plan is produced for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The mid-tier cache: base tables are reachable only through cached
+    /// views (guarded) or remote queries.
+    Cache,
+    /// The back-end server: every base table is local and current.
+    Backend,
+}
+
+/// Optimizer settings.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Server role.
+    pub role: Role,
+    /// Enable the paper's future-work *SwitchUnion pull-up*: when every
+    /// operand of a consistency class has a view in one region, consider a
+    /// single guard over the whole local sub-plan instead of per-leaf
+    /// guards — this lets multi-table consistency classes be answered
+    /// locally.
+    pub pullup_switch_union: bool,
+    /// Cost constants.
+    pub cost: CostParams,
+    /// Whether the back-end can be reached. When false (the *traditional
+    /// replicated database* scenario — a replica with no master link), the
+    /// optimizer never plans plain remote fetches or fully remote queries;
+    /// guarded local plans keep their remote branch, which then acts as the
+    /// run-time violation detector.
+    pub backend_available: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> OptimizerConfig {
+        OptimizerConfig {
+            role: Role::Cache,
+            pullup_switch_union: false,
+            cost: CostParams::default(),
+            backend_available: true,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Config for the back-end server.
+    pub fn backend() -> OptimizerConfig {
+        OptimizerConfig { role: Role::Backend, ..OptimizerConfig::default() }
+    }
+}
+
+/// Shape classification of the chosen plan, mirroring the paper's plans
+/// 1–5 (Fig. 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanChoice {
+    /// Plan 1: the whole query shipped to the back-end.
+    FullRemote,
+    /// Plan 2: base tables fetched remotely, joined locally.
+    RemoteFetchLocalJoin,
+    /// Plan 4: some inputs local (guarded), some remote.
+    Mixed,
+    /// Plan 5: every input served by a guarded local view.
+    AllLocalGuarded,
+    /// Back-end role: everything local and current.
+    BackendLocal,
+    /// Extension: one pulled-up SwitchUnion over a fully local sub-plan.
+    PulledUpSwitchUnion,
+}
+
+/// The optimizer's output.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The executable plan.
+    pub plan: PhysicalPlan,
+    /// Estimated cost in abstract units.
+    pub cost: f64,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Shape classification.
+    pub choice: PlanChoice,
+}
+
+#[derive(Debug, Clone)]
+struct Cand {
+    plan: PhysicalPlan,
+    cost: f64,
+    rows: f64,
+    delivered: DeliveredProperty,
+    applied_residuals: BTreeSet<usize>,
+}
+
+/// Optimize a bound query graph.
+pub fn optimize(catalog: &Catalog, graph: &QueryGraph, config: &OptimizerConfig) -> Result<Optimized> {
+    if graph.operands.is_empty() {
+        let plan = finish(catalog, graph, config, PhysicalPlan::OneRow, 1.0).0;
+        return Ok(Optimized { plan, cost: 1.0, est_rows: 1.0, choice: PlanChoice::BackendLocal });
+    }
+
+    let n = graph.operands.len();
+    if n > 20 {
+        return Err(Error::analysis("too many tables in one query block (max 20)"));
+    }
+
+    // ---------- per-operand access alternatives
+    let mut leaf_alts: Vec<Vec<Cand>> = Vec::with_capacity(n);
+    for id in 0..n as OperandId {
+        let alts = operand_alternatives(catalog, graph, config, id)?;
+        if alts.is_empty() {
+            return Err(Error::NoPlan(format!(
+                "no access path for operand {} ({})",
+                id,
+                graph.operand(id).binding
+            )));
+        }
+        leaf_alts.push(alts);
+    }
+
+    // ---------- DP over join orders
+    let full_mask: u64 = (1 << n) - 1;
+    // best candidates per (mask): cheapest per delivered-property signature
+    let mut memo: HashMap<u64, Vec<Cand>> = HashMap::new();
+    #[allow(clippy::needless_range_loop)]
+    for id in 0..n {
+        if graph.operand(id as OperandId).existential {
+            continue; // existential operands never stand alone
+        }
+        let mut cands = leaf_alts[id].clone();
+        for c in &mut cands {
+            apply_ready_residuals(graph, config, c, 1 << id);
+        }
+        memo.insert(1 << id, prune(cands));
+    }
+
+    let masks_by_size = |memo: &HashMap<u64, Vec<Cand>>, size: u32| -> Vec<u64> {
+        let mut m: Vec<u64> = memo.keys().copied().filter(|m| m.count_ones() == size).collect();
+        m.sort();
+        m
+    };
+
+    for size in 1..n as u32 {
+        for mask in masks_by_size(&memo, size) {
+            let lefts = memo.get(&mask).cloned().unwrap_or_default();
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..n {
+                let bit = 1u64 << j;
+                if mask & bit != 0 {
+                    continue;
+                }
+                let j_id = j as OperandId;
+                // connecting edges between mask and j
+                let edges: Vec<&crate::graph::JoinEdge> = graph
+                    .edges
+                    .iter()
+                    .filter(|e| {
+                        (mask & (1 << e.left) != 0 && e.right == j_id)
+                            || (mask & (1 << e.right) != 0
+                                && e.left == j_id
+                                && e.kind == JoinKind::Inner)
+                    })
+                    .collect();
+                let op_j = graph.operand(j_id);
+                if op_j.existential {
+                    // all semi/anti edges for j must have their outer side present
+                    let ready = graph
+                        .edges
+                        .iter()
+                        .filter(|e| e.right == j_id && e.kind != JoinKind::Inner)
+                        .all(|e| mask & (1 << e.left) != 0);
+                    if !ready || edges.is_empty() {
+                        continue;
+                    }
+                } else if edges.is_empty() {
+                    // allow cross joins only when j connects to nothing at all
+                    let connects_somewhere = graph
+                        .edges
+                        .iter()
+                        .any(|e| e.left == j_id || e.right == j_id);
+                    if connects_somewhere {
+                        continue;
+                    }
+                }
+
+                let new_mask = mask | bit;
+                let mut new_cands = Vec::new();
+                for left in &lefts {
+                    for alt in &leaf_alts[j] {
+                        if let Some(c) = try_hash_join(catalog, graph, config, left, alt, j_id, &edges) {
+                            new_cands.push(c);
+                        }
+                        if let Some(c) =
+                            try_merge_join(catalog, graph, config, left, alt, j_id, &edges)
+                        {
+                            new_cands.push(c);
+                        }
+                    }
+                    if let Some(c) = try_index_nl_join(catalog, graph, config, left, j_id, &edges) {
+                        new_cands.push(c);
+                    }
+                }
+                let mut new_cands: Vec<Cand> = new_cands
+                    .into_iter()
+                    .filter(|c| !c.delivered.violates(&graph.constraint))
+                    .collect();
+                for c in &mut new_cands {
+                    apply_ready_residuals(graph, config, c, new_mask);
+                }
+                let entry = memo.entry(new_mask).or_default();
+                entry.extend(new_cands);
+                let pruned = prune(std::mem::take(entry));
+                *entry = pruned;
+            }
+        }
+    }
+
+    // ---------- root alternatives
+    // the bool records whether the candidate still needs the finishing
+    // operators (projection/aggregation/sort/limit): memo plans do, fully
+    // remote and pulled-up plans computed them already
+    let mut root: Vec<(Cand, PlanChoice, bool)> = Vec::new();
+    if let Some(cands) = memo.get(&full_mask) {
+        for c in cands {
+            if c.delivered.satisfies(&graph.constraint) {
+                let choice = classify(&c.plan, config.role);
+                root.push((c.clone(), choice, true));
+            }
+        }
+    }
+
+    if config.role == Role::Cache && config.backend_available {
+        // the fully remote plan is always available and always satisfies
+        let (sql, schema) = sqlgen::full_query_sql(graph);
+        let (rows, bytes_per_row, backend_cost) = estimate_full_query(catalog, graph, config);
+        let cost = config.cost.remote(backend_cost, rows, bytes_per_row);
+        let plan = PhysicalPlan::RemoteQuery(RemoteQueryNode {
+            sql,
+            schema,
+            operands: (0..n as OperandId).collect(),
+            est_rows: rows,
+        });
+        root.push((
+            Cand {
+                plan,
+                cost,
+                rows,
+                delivered: DeliveredProperty::remote_leaf(0..n as OperandId),
+                applied_residuals: (0..graph.residuals.len()).collect(),
+            },
+            PlanChoice::FullRemote,
+            false,
+        ));
+
+        if config.pullup_switch_union {
+            if let Some((cand, choice)) = try_pullup(catalog, graph, config) {
+                root.push((cand, choice, false));
+            }
+        }
+    }
+
+    let (best, choice, needs_finish) = root
+        .into_iter()
+        .min_by(|a, b| a.0.cost.total_cmp(&b.0.cost))
+        .ok_or_else(|| {
+            Error::NoPlan(format!(
+                "no plan satisfies the consistency constraint {}",
+                graph.constraint
+            ))
+        })?;
+
+    // Whole-query-remote plans perform aggregation/ordering/projection at
+    // the back-end, and pulled-up SwitchUnions finished both branches in
+    // try_pullup; everything out of the memo gets the local finishing
+    // operators here.
+    let (plan, cost, rows) = if needs_finish {
+        let (plan, extra, rows) = finish(catalog, graph, config, best.plan, best.rows);
+        (plan, best.cost + extra, rows)
+    } else {
+        (best.plan, best.cost, best.rows)
+    };
+
+    Ok(Optimized { plan, cost, est_rows: rows, choice })
+}
+
+// ------------------------------------------------------------ leaf access
+
+fn operand_alternatives(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    config: &OptimizerConfig,
+    id: OperandId,
+) -> Result<Vec<Cand>> {
+    let mut alts = Vec::new();
+    if config.role == Role::Backend {
+        let scan = viewmatch::master_scan(catalog, graph, id);
+        let stats = catalog.stats(&graph.operand(id).table.name);
+        let cost = scan_cost(config, &scan, stats.row_count as f64);
+        let rows = scan.est_rows;
+        alts.push(Cand {
+            plan: PhysicalPlan::LocalScan(scan),
+            cost,
+            rows,
+            delivered: DeliveredProperty::remote_leaf([id]),
+            applied_residuals: BTreeSet::new(),
+        });
+        return Ok(alts);
+    }
+
+    // remote fetch of this operand
+    let remote = remote_fetch(catalog, graph, config, id);
+    let remote_cost = remote.1;
+    let rows = remote.2;
+    if config.backend_available {
+        alts.push(Cand {
+            plan: PhysicalPlan::RemoteQuery(remote.0.clone()),
+            cost: remote.1,
+            rows,
+            delivered: DeliveredProperty::remote_leaf([id]),
+            applied_residuals: BTreeSet::new(),
+        });
+    }
+
+    // guarded local views
+    let bound = graph.constraint.bound_of(id);
+    for m in viewmatch::match_views(catalog, graph, id) {
+        // compile-time discard: the region can never meet the bound
+        if bound < m.region.min_guaranteed_currency() || bound.is_zero() {
+            continue;
+        }
+        let view_stats = {
+            let s = catalog.stats(&m.view.name);
+            if s.row_count > 0 {
+                s
+            } else {
+                catalog.stats(&graph.operand(id).table.name)
+            }
+        };
+        let local_cost = scan_cost(config, &m.scan, view_stats.row_count as f64);
+        let p = config.cost.p_local(bound, &m.region);
+        let guard = CurrencyGuard {
+            region: m.region.id,
+            heartbeat_table: m.region.heartbeat_table_name(),
+            bound,
+        };
+        let est_rows = m.scan.est_rows;
+        let cost = config.cost.switch_union(p, local_cost, remote_cost, est_rows);
+        let plan = PhysicalPlan::SwitchUnion {
+            guard,
+            local: Box::new(PhysicalPlan::LocalScan(m.scan)),
+            remote: Box::new(PhysicalPlan::RemoteQuery(remote.0.clone())),
+        };
+        let delivered = plan.delivered();
+        alts.push(Cand { plan, cost, rows: est_rows, delivered, applied_residuals: BTreeSet::new() });
+    }
+    Ok(alts)
+}
+
+/// Remote fetch node + cost + estimated rows for one operand.
+fn remote_fetch(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    config: &OptimizerConfig,
+    id: OperandId,
+) -> (RemoteQueryNode, f64, f64) {
+    let required = graph.required_columns(id);
+    let (sql, schema) = sqlgen::operand_sql(graph, id, &required);
+    // what the back-end pays to serve it
+    let master = viewmatch::master_scan(catalog, graph, id);
+    let stats = catalog.stats(&graph.operand(id).table.name);
+    let backend_cost = scan_cost(config, &master, stats.row_count as f64);
+    let rows = master.est_rows;
+    let bytes_per_row = schema.estimated_row_width() as f64;
+    let cost = config.cost.remote(backend_cost, rows, bytes_per_row);
+    (RemoteQueryNode { sql, schema, operands: [id].into_iter().collect(), est_rows: rows }, cost, rows)
+}
+
+fn scan_cost(config: &OptimizerConfig, scan: &LocalScanNode, total_rows: f64) -> f64 {
+    match &scan.access {
+        AccessPath::FullScan => config.cost.scan(total_rows, scan.est_rows),
+        AccessPath::ClusteredRange { .. } => {
+            // touched rows ≈ output rows before residual; est_rows already
+            // includes all filters, which is close enough for ranges that
+            // drive the access path
+            config.cost.range_seek(scan.est_rows.max(1.0))
+        }
+        AccessPath::IndexRange { .. } => config.cost.index_range(scan.est_rows.max(1.0)),
+    }
+}
+
+// ------------------------------------------------------------------ joins
+
+fn try_hash_join(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    config: &OptimizerConfig,
+    left: &Cand,
+    right: &Cand,
+    right_id: OperandId,
+    edges: &[&crate::graph::JoinEdge],
+) -> Option<Cand> {
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut kind = JoinKind::Inner;
+    for e in edges {
+        // orient: the side already in `left` provides the probe key
+        if e.right == right_id {
+            left_keys.push(BoundExpr::col(&graph.operand(e.left).binding, &e.left_col));
+            right_keys.push(BoundExpr::col(&graph.operand(e.right).binding, &e.right_col));
+            if e.kind != JoinKind::Inner {
+                kind = e.kind;
+            }
+        } else {
+            left_keys.push(BoundExpr::col(&graph.operand(e.right).binding, &e.right_col));
+            right_keys.push(BoundExpr::col(&graph.operand(e.left).binding, &e.left_col));
+        }
+    }
+    let _ = right_id;
+    let out_rows = join_cardinality(catalog, graph, left.rows, right.rows, edges, kind);
+    let cost = left.cost
+        + right.cost
+        + config.cost.hash_join(left.rows, right.rows, out_rows);
+    let plan = PhysicalPlan::HashJoin {
+        left: Box::new(left.plan.clone()),
+        right: Box::new(right.plan.clone()),
+        left_keys,
+        right_keys,
+        kind,
+    };
+    let delivered = left.delivered.join(&right.delivered);
+    let mut applied = left.applied_residuals.clone();
+    applied.extend(right.applied_residuals.iter().copied());
+    Some(Cand { plan, cost, rows: out_rows, delivered, applied_residuals: applied })
+}
+
+
+/// Merge join: admissible only when *both* inputs already deliver the
+/// join-key order (no sort enforcers are inserted — BTree scans provide
+/// key order for free, which is the case the paper's sort-property example
+/// is about). Inner joins only; semi/anti stay on the hash path.
+fn try_merge_join(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    config: &OptimizerConfig,
+    left: &Cand,
+    right: &Cand,
+    right_id: OperandId,
+    edges: &[&crate::graph::JoinEdge],
+) -> Option<Cand> {
+    if edges.len() != 1 || edges[0].kind != JoinKind::Inner {
+        return None;
+    }
+    let e = edges[0];
+    let (left_key, right_key) = if e.right == right_id {
+        (
+            BoundExpr::col(&graph.operand(e.left).binding, &e.left_col),
+            BoundExpr::col(&graph.operand(e.right).binding, &e.right_col),
+        )
+    } else {
+        (
+            BoundExpr::col(&graph.operand(e.right).binding, &e.right_col),
+            BoundExpr::col(&graph.operand(e.left).binding, &e.left_col),
+        )
+    };
+    // required sort properties: each input must deliver its key's order
+    let lo = delivered_order(&left.plan)?;
+    if !lo.matches(&left_key) {
+        return None;
+    }
+    let ro = delivered_order(&right.plan)?;
+    if !ro.matches(&right_key) {
+        return None;
+    }
+    let out_rows = join_cardinality(catalog, graph, left.rows, right.rows, edges, JoinKind::Inner);
+    // linear merge: one pass over each input plus output materialization
+    let cost = left.cost
+        + right.cost
+        + (left.rows + right.rows) * config.cost.cpu_row
+        + out_rows * config.cost.output_row;
+    let plan = PhysicalPlan::MergeJoin {
+        left: Box::new(left.plan.clone()),
+        right: Box::new(right.plan.clone()),
+        left_key,
+        right_key,
+        kind: JoinKind::Inner,
+    };
+    let delivered = left.delivered.join(&right.delivered);
+    let mut applied = left.applied_residuals.clone();
+    applied.extend(right.applied_residuals.iter().copied());
+    Some(Cand { plan, cost, rows: out_rows, delivered, applied_residuals: applied })
+}
+
+fn try_index_nl_join(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    config: &OptimizerConfig,
+    left: &Cand,
+    right_id: OperandId,
+    edges: &[&crate::graph::JoinEdge],
+) -> Option<Cand> {
+    // need exactly one connecting equi edge whose inner column is seekable
+    if edges.len() != 1 {
+        return None;
+    }
+    let e = edges[0];
+    let (outer_binding, outer_col, inner_col, kind) = if e.right == right_id {
+        (&graph.operand(e.left).binding, &e.left_col, &e.right_col, e.kind)
+    } else {
+        (&graph.operand(e.right).binding, &e.right_col, &e.left_col, JoinKind::Inner)
+    };
+    let op = graph.operand(right_id);
+    let stats = catalog.stats(&op.table.name);
+    let distinct = stats.column(inner_col).distinct.max(1) as f64;
+    let table_rows = stats.row_count as f64;
+    let sel = filter_selectivity(&op.filters, &stats);
+    let per_probe = (table_rows / distinct * sel).max(0.0);
+
+    let bound = graph.constraint.bound_of(right_id);
+    let required = graph.required_columns(right_id);
+
+    let (inner, local_nl_cost, guarded) = match config.role {
+        Role::Backend => {
+            // seek the master table: leading clustered key or secondary ix
+            let use_index = if op.table.is_leading_key(inner_col) {
+                None
+            } else {
+                Some(op.table.index_on(inner_col)?.name.clone())
+            };
+            let inner = InnerAccess {
+                object: op.table.name.clone(),
+                schema: viewmatch::operand_schema(graph, right_id, &required),
+                seek_col: inner_col.clone(),
+                use_index,
+                residual: BoundExpr::and_all(op.filters.clone()),
+                guard: None,
+                remote_sql: None,
+                operand: right_id,
+                est_rows_per_probe: per_probe,
+                force_remote: false,
+            };
+            let cost = config.cost.index_nl_join(left.rows, per_probe);
+            (inner, cost, false)
+        }
+        Role::Cache => {
+            // seek a guarded local view
+            let m = viewmatch::match_views(catalog, graph, right_id)
+                .into_iter()
+                .find(|m| {
+                    m.view.is_leading_key(inner_col) || m.view.local_index_on(inner_col).is_some()
+                })?;
+            if bound < m.region.min_guaranteed_currency() || bound.is_zero() {
+                return None;
+            }
+            let use_index = if m.view.is_leading_key(inner_col) {
+                None
+            } else {
+                m.view.local_index_on(inner_col).map(str::to_string)
+            };
+            let (remote_node, remote_cost, _) = remote_fetch(catalog, graph, config, right_id);
+            let guard = CurrencyGuard {
+                region: m.region.id,
+                heartbeat_table: m.region.heartbeat_table_name(),
+                bound,
+            };
+            let p = config.cost.p_local(bound, &m.region);
+            let nl_local = config.cost.index_nl_join(left.rows, per_probe);
+            let fallback = remote_cost
+                + config.cost.hash_join(left.rows, remote_node.est_rows, left.rows * per_probe);
+            let blended = config.cost.switch_union(p, nl_local, fallback, left.rows * per_probe);
+            let inner = InnerAccess {
+                object: m.view.name.clone(),
+                schema: viewmatch::operand_schema(graph, right_id, &required),
+                seek_col: inner_col.clone(),
+                use_index,
+                residual: BoundExpr::and_all(op.filters.clone()),
+                guard: Some(guard),
+                remote_sql: Some(remote_node.sql),
+                operand: right_id,
+                est_rows_per_probe: per_probe,
+                force_remote: false,
+            };
+            (inner, blended, true)
+        }
+    };
+    let _ = guarded;
+
+    let out_rows = match kind {
+        JoinKind::Inner => left.rows * per_probe,
+        _ => join_cardinality(catalog, graph, left.rows, per_probe * left.rows, edges, kind),
+    };
+    let plan = PhysicalPlan::IndexNLJoin {
+        outer: Box::new(left.plan.clone()),
+        outer_key: BoundExpr::col(outer_binding, outer_col),
+        inner,
+        kind,
+    };
+    let delivered = plan.delivered();
+    Some(Cand {
+        plan,
+        cost: left.cost + local_nl_cost,
+        rows: out_rows.max(0.0),
+        delivered,
+        applied_residuals: left.applied_residuals.clone(),
+    })
+}
+
+fn join_cardinality(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    left_rows: f64,
+    right_rows: f64,
+    edges: &[&crate::graph::JoinEdge],
+    kind: JoinKind,
+) -> f64 {
+    // classic containment assumption: |L ⋈ R| = |L|·|R| / max(d_l, d_r)
+    // per equi edge, with distinct counts from base-table statistics
+    let mut inner = left_rows * right_rows;
+    let mut d_left_max = 1.0f64;
+    for e in edges {
+        let d_l = catalog
+            .stats(&graph.operand(e.left).table.name)
+            .column(&e.left_col)
+            .distinct
+            .max(1) as f64;
+        let d_r = catalog
+            .stats(&graph.operand(e.right).table.name)
+            .column(&e.right_col)
+            .distinct
+            .max(1) as f64;
+        inner /= d_l.max(d_r);
+        d_left_max = d_left_max.max(d_l);
+    }
+    if edges.is_empty() {
+        // cross join
+        return match kind {
+            JoinKind::Inner => inner,
+            JoinKind::Semi => left_rows,
+            JoinKind::Anti => 1.0,
+        };
+    }
+    match kind {
+        JoinKind::Inner => inner.max(0.0),
+        JoinKind::Semi => {
+            // P(left row has a match) ≈ min(1, |R| / d_left)
+            let p = (right_rows / d_left_max).min(1.0);
+            (left_rows * p).max(1.0)
+        }
+        JoinKind::Anti => {
+            let p = (right_rows / d_left_max).min(1.0);
+            (left_rows * (1.0 - p)).max(1.0)
+        }
+    }
+}
+
+// --------------------------------------------------------------- residuals
+
+fn apply_ready_residuals(graph: &QueryGraph, config: &OptimizerConfig, cand: &mut Cand, mask: u64) {
+    let bindings: BTreeSet<&str> = graph
+        .operands
+        .iter()
+        .filter(|o| mask & (1 << o.id) != 0)
+        .map(|o| o.binding.as_str())
+        .collect();
+    for (i, r) in graph.residuals.iter().enumerate() {
+        if cand.applied_residuals.contains(&i) {
+            continue;
+        }
+        let refs = r.referenced_qualifiers();
+        if refs.iter().all(|q| bindings.contains(q.as_str())) {
+            cand.plan = PhysicalPlan::Filter {
+                input: Box::new(cand.plan.clone()),
+                predicate: r.clone(),
+            };
+            cand.cost += cand.rows * config.cost.cpu_row;
+            cand.rows = (cand.rows * 0.33).max(0.0);
+            cand.applied_residuals.insert(i);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- pruning
+
+fn prop_signature(p: &DeliveredProperty) -> String {
+    let mut parts: Vec<String> = p
+        .groups
+        .iter()
+        .map(|g| {
+            let ops: Vec<String> = g.operands.iter().map(|o| o.to_string()).collect();
+            format!("{}:{}", g.tag, ops.join("."))
+        })
+        .collect();
+    parts.sort();
+    parts.join("|")
+}
+
+fn prune(cands: Vec<Cand>) -> Vec<Cand> {
+    let mut best: HashMap<String, Cand> = HashMap::new();
+    for c in cands {
+        // keep the cheapest per (consistency property, delivered order,
+        // applied residuals): an ordered-but-pricier sub-plan may enable a
+        // merge join above and must not be shadowed
+        let order = delivered_order(&c.plan)
+            .map(|o| format!("{}.{}", o.qualifier, o.column))
+            .unwrap_or_default();
+        let sig = format!("{}#{:?}#{order}", prop_signature(&c.delivered), c.applied_residuals);
+        match best.get(&sig) {
+            Some(existing) if existing.cost <= c.cost => {}
+            _ => {
+                best.insert(sig, c);
+            }
+        }
+    }
+    let mut out: Vec<Cand> = best.into_values().collect();
+    out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    out.truncate(12);
+    out
+}
+
+// ------------------------------------------------------------- finishing
+
+/// Attach aggregation, distinct, projection, sort and limit. Returns the
+/// finished plan, the extra cost, and the final row estimate.
+fn finish(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    config: &OptimizerConfig,
+    mut plan: PhysicalPlan,
+    mut rows: f64,
+) -> (PhysicalPlan, f64, f64) {
+    let _ = catalog;
+    let mut extra = 0.0;
+    match &graph.aggregate {
+        Some(agg) => {
+            let groups = if agg.group_by.is_empty() { 1.0 } else { (rows / 10.0).max(1.0) };
+            extra += config.cost.aggregate(rows, groups);
+            plan = PhysicalPlan::HashAggregate {
+                input: Box::new(plan),
+                group_by: agg.group_by.clone(),
+                aggs: agg.aggs.clone(),
+                having: agg.having.clone(),
+            };
+            rows = groups;
+            // rename #agg columns to plain output names
+            let out = graph.output_schema();
+            let exprs: Vec<(BoundExpr, String)> = out
+                .columns()
+                .iter()
+                .map(|c| (BoundExpr::col("#agg", &c.name), c.name.clone()))
+                .collect();
+            extra += rows * config.cost.cpu_row;
+            plan = PhysicalPlan::Project { input: Box::new(plan), exprs };
+        }
+        None => {
+            extra += rows * config.cost.cpu_row;
+            plan = PhysicalPlan::Project { input: Box::new(plan), exprs: graph.projections.clone() };
+        }
+    }
+    if graph.distinct {
+        extra += rows * config.cost.hash_build;
+        plan = PhysicalPlan::Distinct { input: Box::new(plan) };
+        rows = (rows * 0.9).max(1.0);
+    }
+    if !graph.order_by.is_empty() {
+        // sort elision via the delivered order property: a single ascending
+        // ORDER BY over a column the plan already delivers in order (e.g. a
+        // clustered-range scan) needs no Sort operator
+        let elidable = match (graph.order_by.as_slice(), &graph.aggregate) {
+            ([(ordinal, true)], None) => graph
+                .projections
+                .get(*ordinal)
+                .and_then(|(expr, _)| {
+                    // the Project on top preserved the column; check what
+                    // the plan under it delivers
+                    delivered_order(&plan).map(|o| o.matches(expr))
+                })
+                .unwrap_or(false),
+            _ => false,
+        };
+        if !elidable {
+            extra += config.cost.sort(rows);
+            plan = PhysicalPlan::Sort { input: Box::new(plan), keys: graph.order_by.clone() };
+        }
+    }
+    if let Some(nl) = graph.limit {
+        plan = PhysicalPlan::Limit { input: Box::new(plan), n: nl };
+        rows = rows.min(nl as f64);
+    }
+    (plan, extra, rows)
+}
+
+// ------------------------------------------------------- full-query remote
+
+fn estimate_full_query(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    config: &OptimizerConfig,
+) -> (f64, f64, f64) {
+    // back-end execution: best access per operand, then joins in operand
+    // order, each costed as min(hash join, index NL when the join column
+    // leads the inner's clustered key)
+    let mut backend_cost = 0.0;
+    let mut rows = 0.0f64;
+    let mut width = 0.0f64;
+    let mut joined: Vec<OperandId> = Vec::new();
+    for op in &graph.operands {
+        let scan = viewmatch::master_scan(catalog, graph, op.id);
+        let stats = catalog.stats(&op.table.name);
+        let scan_c = scan_cost(config, &scan, stats.row_count as f64);
+        let op_rows = scan.est_rows;
+        if joined.is_empty() {
+            backend_cost += scan_c;
+            rows = op_rows;
+            if !op.existential {
+                let required = graph.required_columns(op.id);
+                width = viewmatch::operand_schema(graph, op.id, &required).estimated_row_width()
+                    as f64;
+            }
+            joined.push(op.id);
+            continue;
+        }
+        let edges: Vec<&crate::graph::JoinEdge> = graph
+            .edges
+            .iter()
+            .filter(|e| {
+                (joined.contains(&e.left) && e.right == op.id)
+                    || (joined.contains(&e.right) && e.left == op.id)
+            })
+            .collect();
+        let kind = edges
+            .iter()
+            .find(|e| e.kind != JoinKind::Inner)
+            .map(|e| e.kind)
+            .unwrap_or(JoinKind::Inner);
+        let out = join_cardinality(catalog, graph, rows, op_rows, &edges, kind);
+        // hash: scan the operand fully and build
+        let hash = scan_c + config.cost.hash_join(rows, op_rows, out);
+        // NL: seek the operand's clustered key per outer row, if possible
+        let nl = edges
+            .iter()
+            .find(|e| {
+                let (inner_col, inner_op) =
+                    if e.right == op.id { (&e.right_col, e.right) } else { (&e.left_col, e.left) };
+                inner_op == op.id && op.table.is_leading_key(inner_col)
+            })
+            .map(|_| {
+                let d = stats
+                    .column(op.table.key.first().map(String::as_str).unwrap_or(""))
+                    .distinct
+                    .max(1) as f64;
+                let per_probe = stats.row_count as f64 / d;
+                config.cost.index_nl_join(rows, per_probe)
+            })
+            .unwrap_or(f64::INFINITY);
+        backend_cost += hash.min(nl);
+        rows = out;
+        if !op.existential {
+            let required = graph.required_columns(op.id);
+            width +=
+                viewmatch::operand_schema(graph, op.id, &required).estimated_row_width() as f64;
+        }
+        joined.push(op.id);
+    }
+    // residuals cut cardinality
+    for _ in &graph.residuals {
+        rows *= 0.33;
+    }
+    // aggregation shrinks the shipped result
+    if graph.aggregate.is_some() {
+        rows = (rows / 10.0).max(1.0);
+        width = graph.output_schema().estimated_row_width() as f64;
+    } else if !graph.projections.is_empty() {
+        // shipped width is the projected width
+        width = (graph.projections.len() as f64 * 10.0).min(width).max(8.0);
+    }
+    if let Some(nl) = graph.limit {
+        rows = rows.min(nl as f64);
+    }
+    (rows.max(1.0), width.max(8.0), backend_cost)
+}
+
+// -------------------------------------------------------------- pull-up
+
+/// The SwitchUnion pull-up extension: if every operand has a matching view
+/// and all those views live in ONE region, build
+/// `SwitchUnion(local-only join plan, full remote)` with a single guard
+/// whose bound is the tightest class bound.
+fn try_pullup(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    config: &OptimizerConfig,
+) -> Option<(Cand, PlanChoice)> {
+    let mut region = None;
+    let mut scans = Vec::new();
+    for op in &graph.operands {
+        let m = viewmatch::match_views(catalog, graph, op.id).into_iter().next()?;
+        match region {
+            None => region = Some(m.region.clone()),
+            Some(ref r) if r.id == m.region.id => {}
+            _ => return None,
+        }
+        scans.push(m);
+    }
+    let region = region?;
+    let bound = graph
+        .constraint
+        .classes
+        .iter()
+        .map(|c| c.bound)
+        .min()
+        .unwrap_or(rcc_common::Duration::ZERO);
+    if bound < region.min_guaranteed_currency() || bound.is_zero() {
+        return None;
+    }
+
+    // local-only plan: left-deep hash joins in operand order
+    let mut iter = scans.into_iter();
+    let first = iter.next()?;
+    let mut local = PhysicalPlan::LocalScan(first.scan.clone());
+    let mut local_cost = scan_cost(config, &first.scan, catalog.stats(&first.view.name).row_count.max(1) as f64);
+    let mut rows = first.scan.est_rows;
+    let mut joined: Vec<OperandId> = vec![first.scan.operand];
+    for m in iter {
+        let edges: Vec<&crate::graph::JoinEdge> = graph
+            .edges
+            .iter()
+            .filter(|e| {
+                (joined.contains(&e.left) && e.right == m.scan.operand)
+                    || (joined.contains(&e.right) && e.left == m.scan.operand)
+            })
+            .collect();
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut kind = JoinKind::Inner;
+        for e in &edges {
+            if e.right == m.scan.operand {
+                left_keys.push(BoundExpr::col(&graph.operand(e.left).binding, &e.left_col));
+                right_keys.push(BoundExpr::col(&graph.operand(e.right).binding, &e.right_col));
+                if e.kind != JoinKind::Inner {
+                    kind = e.kind;
+                }
+            } else {
+                left_keys.push(BoundExpr::col(&graph.operand(e.right).binding, &e.right_col));
+                right_keys.push(BoundExpr::col(&graph.operand(e.left).binding, &e.left_col));
+            }
+        }
+        let right_rows = m.scan.est_rows;
+        local_cost += scan_cost(config, &m.scan, catalog.stats(&m.view.name).row_count.max(1) as f64)
+            + config.cost.hash_join(rows, right_rows, rows.max(right_rows));
+        rows = match kind {
+            JoinKind::Inner => rows.max(right_rows),
+            JoinKind::Semi => rows * 0.8,
+            JoinKind::Anti => rows * 0.2,
+        };
+        joined.push(m.scan.operand);
+        local = PhysicalPlan::HashJoin {
+            left: Box::new(local),
+            right: Box::new(PhysicalPlan::LocalScan(m.scan)),
+            left_keys,
+            right_keys,
+            kind,
+        };
+    }
+
+    let (sql, schema) = sqlgen::full_query_sql(graph);
+    let (r_rows, r_width, backend_cost) = estimate_full_query(catalog, graph, config);
+    let remote_cost = config.cost.remote(backend_cost, r_rows, r_width);
+    // the remote branch computes the FULL query, so the local branch must
+    // be finished to the same shape before being unioned
+    let (local_finished, local_extra, _) = finish(catalog, graph, config, local, rows);
+    let remote_plan =
+        PhysicalPlan::RemoteQuery(RemoteQueryNode {
+            sql,
+            schema,
+            operands: (0..graph.operands.len() as OperandId).collect(),
+            est_rows: r_rows,
+        });
+    let p = config.cost.p_local(bound, &region);
+    let cost = config
+        .cost
+        .switch_union(p, local_cost + local_extra, remote_cost, rows);
+    let guard = CurrencyGuard {
+        region: region.id,
+        heartbeat_table: region.heartbeat_table_name(),
+        bound,
+    };
+    let plan = PhysicalPlan::SwitchUnion {
+        guard,
+        local: Box::new(local_finished),
+        remote: Box::new(remote_plan),
+    };
+    // delivered: all operands consistent in both branches (single region
+    // vs. backend) → one Mixed group covering everything
+    let delivered = plan.delivered();
+    if !delivered.satisfies(&graph.constraint) {
+        return None;
+    }
+    Some((
+        Cand {
+            plan,
+            cost,
+            rows,
+            delivered,
+            applied_residuals: (0..graph.residuals.len()).collect(),
+        },
+        PlanChoice::PulledUpSwitchUnion,
+    ))
+}
+
+// ----------------------------------------------------------- classification
+
+fn classify(plan: &PhysicalPlan, role: Role) -> PlanChoice {
+    if role == Role::Backend {
+        return PlanChoice::BackendLocal;
+    }
+    let guards = plan.guard_count();
+    let leaves = count_remote_leaves(plan);
+    match (guards, leaves) {
+        (0, 0) => PlanChoice::AllLocalGuarded, // unreachable at the cache
+        (0, 1) => PlanChoice::FullRemote,      // one remote fetch serves everything
+        (0, _) => PlanChoice::RemoteFetchLocalJoin,
+        (_, 0) => PlanChoice::AllLocalGuarded,
+        _ => PlanChoice::Mixed,
+    }
+}
+
+/// Remote leaves that are NOT the fallback branch of a SwitchUnion.
+#[allow(dead_code)]
+fn count_remote_leaves(plan: &PhysicalPlan) -> usize {
+    match plan {
+        PhysicalPlan::OneRow | PhysicalPlan::LocalScan(_) => 0,
+        PhysicalPlan::RemoteQuery(_) => 1,
+        PhysicalPlan::SwitchUnion { local, .. } => count_remote_leaves(local),
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::HashAggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Distinct { input } => count_remote_leaves(input),
+        PhysicalPlan::HashJoin { left, right, .. }
+        | PhysicalPlan::MergeJoin { left, right, .. } => {
+            count_remote_leaves(left) + count_remote_leaves(right)
+        }
+        PhysicalPlan::IndexNLJoin { outer, .. } => count_remote_leaves(outer),
+    }
+}
+
+

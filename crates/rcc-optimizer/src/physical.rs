@@ -1,0 +1,682 @@
+//! Physical plans.
+//!
+//! The executable plan shape produced by the optimizer and interpreted by
+//! `rcc-executor`. Dynamic plans use [`PhysicalPlan::SwitchUnion`] exactly
+//! as in the paper (Sec. 3.2.3): a *currency guard* selector — equivalent
+//! to `EXISTS (SELECT 1 FROM Heartbeat_R WHERE TimeStamp > getdate() − B)`
+//! — chooses between a local branch over a cached view and a remote branch
+//! that ships SQL to the back-end. For index-nested-loop joins the guarded
+//! choice lives inside [`InnerAccess`]: the selector is evaluated once when
+//! the join opens (the paper evaluates guards once per operator open) and
+//! either seeks the local view per outer row or fetches the inner data with
+//! one remote query and probes it hashed.
+
+use crate::constraint::OperandId;
+use crate::expr::{AggCall, BoundExpr};
+use crate::graph::JoinKind;
+use crate::property::DeliveredProperty;
+use rcc_common::{Duration, RegionId, Schema};
+use rcc_storage::KeyRange;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// How a local scan reaches its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Scan every row.
+    FullScan,
+    /// Range (or point) restriction on the leading clustered-key column.
+    ClusteredRange {
+        /// Column name.
+        column: String,
+        /// The key range.
+        range: KeyRange,
+    },
+    /// Range over a secondary index.
+    IndexRange {
+        /// Secondary index name.
+        index: String,
+        /// Column name.
+        column: String,
+        /// The key range.
+        range: KeyRange,
+    },
+}
+
+/// The runtime currency check attached to a guarded local access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrencyGuard {
+    /// The region whose staleness is checked.
+    pub region: RegionId,
+    /// Name of the region's local heartbeat table (`Heartbeat_R`).
+    pub heartbeat_table: String,
+    /// The applicable currency bound `B` from the query.
+    pub bound: Duration,
+}
+
+/// A scan over a locally stored object (a cached view at the mid-tier
+/// cache, or a master table when planning in back-end role).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalScanNode {
+    /// Storage object name.
+    pub object: String,
+    /// Output schema (columns qualified by the operand binding).
+    pub schema: Schema,
+    /// Access path.
+    pub access: AccessPath,
+    /// Residual predicate evaluated on each fetched row.
+    pub residual: Option<BoundExpr>,
+    /// The operand this scan implements.
+    pub operand: OperandId,
+    /// Cardinality estimate (for EXPLAIN; costing happens in the optimizer).
+    pub est_rows: f64,
+}
+
+/// A query shipped to the back-end server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteQueryNode {
+    /// The SQL text sent to the back-end.
+    pub sql: String,
+    /// Schema of the returned rows (qualified by operand bindings).
+    pub schema: Schema,
+    /// Operands the remote result covers.
+    pub operands: BTreeSet<OperandId>,
+    /// Cardinality estimate.
+    pub est_rows: f64,
+}
+
+/// Inner side of an index nested-loop join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerAccess {
+    /// Local object to seek.
+    pub object: String,
+    /// Inner schema (qualified).
+    pub schema: Schema,
+    /// Column seeked per outer row.
+    pub seek_col: String,
+    /// Secondary index to use (None = leading clustered-key seek).
+    pub use_index: Option<String>,
+    /// Residual predicate on inner rows.
+    pub residual: Option<BoundExpr>,
+    /// Currency guard; when it fails at open, the executor falls back to
+    /// fetching `remote_sql` once and probing it hashed.
+    pub guard: Option<CurrencyGuard>,
+    /// Remote fallback SQL fetching the full (filtered) inner input.
+    pub remote_sql: Option<String>,
+    /// The operand this access implements.
+    pub operand: OperandId,
+    /// Expected matching rows per probe.
+    pub est_rows_per_probe: f64,
+    /// Force the remote (fetch + hash probe) mode unconditionally — used
+    /// only by guard-stripped baseline plans in the overhead experiments.
+    pub force_remote: bool,
+}
+
+/// A physical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// A single empty row — source for FROM-less queries (`SELECT 1`).
+    OneRow,
+    /// Local scan leaf.
+    LocalScan(LocalScanNode),
+    /// Remote query leaf.
+    RemoteQuery(RemoteQueryNode),
+    /// Dynamic plan: guard picks local or remote at open time.
+    SwitchUnion {
+        /// The currency guard (selector expression).
+        guard: CurrencyGuard,
+        /// Branch used when the guard passes.
+        local: Box<PhysicalPlan>,
+        /// Branch used when the guard fails.
+        remote: Box<PhysicalPlan>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Predicate.
+        predicate: BoundExpr,
+    },
+    /// Projection / expression evaluation.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Output expressions with names.
+        exprs: Vec<(BoundExpr, String)>,
+    },
+    /// Hash join (inner/semi/anti).
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysicalPlan>,
+        /// Build side.
+        right: Box<PhysicalPlan>,
+        /// Probe keys.
+        left_keys: Vec<BoundExpr>,
+        /// Build keys.
+        right_keys: Vec<BoundExpr>,
+        /// Join kind.
+        kind: JoinKind,
+    },
+    /// Merge join over inputs already ordered on the join keys — the plan
+    /// shape enabled by *delivered sort properties* (the paper's Sec. 3.2.2
+    /// uses the sort property as its canonical plan-property example:
+    /// "a merge join operator requires that its inputs be sorted on the
+    /// join columns").
+    MergeJoin {
+        /// Left input, ordered on `left_key`.
+        left: Box<PhysicalPlan>,
+        /// Right input, ordered on `right_key`.
+        right: Box<PhysicalPlan>,
+        /// Left join key.
+        left_key: BoundExpr,
+        /// Right join key.
+        right_key: BoundExpr,
+        /// Join kind.
+        kind: JoinKind,
+    },
+    /// Index nested-loop join: per outer row, seek the inner access.
+    IndexNLJoin {
+        /// Outer input.
+        outer: Box<PhysicalPlan>,
+        /// Expression over the outer row producing the seek key.
+        outer_key: BoundExpr,
+        /// Inner access descriptor.
+        inner: InnerAccess,
+        /// Join kind.
+        kind: JoinKind,
+    },
+    /// Hash aggregation with optional HAVING.
+    HashAggregate {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Group-by expressions with output names.
+        group_by: Vec<(BoundExpr, String)>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+        /// HAVING predicate over the aggregate output (qualifier `#agg`).
+        having: Option<BoundExpr>,
+    },
+    /// Full sort on output ordinals.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// (output ordinal, ascending) keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Maximum rows.
+        n: u64,
+    },
+    /// Duplicate elimination over whole rows.
+    Distinct {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output schema, computed recursively.
+    pub fn schema(&self) -> Schema {
+        use rcc_common::{Column, DataType};
+        match self {
+            PhysicalPlan::OneRow => Schema::empty(),
+            PhysicalPlan::LocalScan(n) => n.schema.clone(),
+            PhysicalPlan::RemoteQuery(n) => n.schema.clone(),
+            PhysicalPlan::SwitchUnion { local, .. } => local.schema(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => input.schema(),
+            PhysicalPlan::Project { exprs, .. } => Schema::new(
+                exprs
+                    .iter()
+                    .map(|(_, name)| Column::new(name.clone(), DataType::Int))
+                    .collect(),
+            ),
+            PhysicalPlan::HashJoin { left, right, kind, .. }
+            | PhysicalPlan::MergeJoin { left, right, kind, .. } => match kind {
+                JoinKind::Inner => left.schema().join(&right.schema()),
+                JoinKind::Semi | JoinKind::Anti => left.schema(),
+            },
+            PhysicalPlan::IndexNLJoin { outer, inner, kind, .. } => match kind {
+                JoinKind::Inner => outer.schema().join(&inner.schema),
+                JoinKind::Semi | JoinKind::Anti => outer.schema(),
+            },
+            PhysicalPlan::HashAggregate { group_by, aggs, .. } => {
+                let mut cols = Vec::new();
+                for (_, name) in group_by {
+                    cols.push(Column::new(name.clone(), DataType::Int).with_qualifier("#agg"));
+                }
+                for a in aggs {
+                    cols.push(
+                        Column::new(a.output_name.clone(), DataType::Float).with_qualifier("#agg"),
+                    );
+                }
+                Schema::new(cols)
+            }
+        }
+    }
+
+    /// Delivered consistency property (paper Sec. 3.2.2), bottom-up.
+    pub fn delivered(&self) -> DeliveredProperty {
+        match self {
+            PhysicalPlan::OneRow => DeliveredProperty::default(),
+            PhysicalPlan::LocalScan(_) => {
+                // Local scans only appear guarded at the cache; in back-end
+                // role every scan reads the master = latest snapshot.
+                // The optimizer tags the property when it *builds* guarded
+                // plans, so a bare LocalScan is treated as backend data.
+                DeliveredProperty::remote_leaf(self.operand_set())
+            }
+            PhysicalPlan::RemoteQuery(n) => {
+                DeliveredProperty::remote_leaf(n.operands.iter().copied())
+            }
+            PhysicalPlan::SwitchUnion { guard, local, remote } => {
+                let mut local_prop = DeliveredProperty::default();
+                // the local branch's operands are served from the guard's region
+                for op in local.operand_set() {
+                    local_prop =
+                        local_prop.join(&DeliveredProperty::local_leaf(guard.region, op));
+                }
+                DeliveredProperty::switch_union(&[local_prop, remote.delivered()])
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => input.delivered(),
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. } => {
+                left.delivered().join(&right.delivered())
+            }
+            PhysicalPlan::IndexNLJoin { outer, inner, .. } => {
+                let inner_prop = match (&inner.guard, &inner.remote_sql) {
+                    (Some(g), Some(_)) => DeliveredProperty::switch_union(&[
+                        DeliveredProperty::local_leaf(g.region, inner.operand),
+                        DeliveredProperty::remote_leaf([inner.operand]),
+                    ]),
+                    _ => DeliveredProperty::remote_leaf([inner.operand]),
+                };
+                outer.delivered().join(&inner_prop)
+            }
+        }
+    }
+
+    /// All operands contributing rows to this plan.
+    pub fn operand_set(&self) -> BTreeSet<OperandId> {
+        match self {
+            PhysicalPlan::OneRow => BTreeSet::new(),
+            PhysicalPlan::LocalScan(n) => [n.operand].into_iter().collect(),
+            PhysicalPlan::RemoteQuery(n) => n.operands.clone(),
+            PhysicalPlan::SwitchUnion { local, .. } => local.operand_set(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => input.operand_set(),
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. } => {
+                let mut s = left.operand_set();
+                s.extend(right.operand_set());
+                s
+            }
+            PhysicalPlan::IndexNLJoin { outer, inner, .. } => {
+                let mut s = outer.operand_set();
+                s.insert(inner.operand);
+                s
+            }
+        }
+    }
+
+    /// Number of currency guards in the plan.
+    pub fn guard_count(&self) -> usize {
+        match self {
+            PhysicalPlan::OneRow => 0,
+            PhysicalPlan::LocalScan(_) => 0,
+            PhysicalPlan::RemoteQuery(_) => 0,
+            PhysicalPlan::SwitchUnion { local, remote, .. } => {
+                1 + local.guard_count() + remote.guard_count()
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => input.guard_count(),
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. } => {
+                left.guard_count() + right.guard_count()
+            }
+            PhysicalPlan::IndexNLJoin { outer, inner, .. } => {
+                outer.guard_count() + usize::from(inner.guard.is_some())
+            }
+        }
+    }
+
+    /// Does any part of the plan reference the back-end (remote branches
+    /// included)?
+    pub fn touches_remote(&self) -> bool {
+        match self {
+            PhysicalPlan::OneRow => false,
+            PhysicalPlan::LocalScan(_) => false,
+            PhysicalPlan::RemoteQuery(_) => true,
+            PhysicalPlan::SwitchUnion { local, remote, .. } => {
+                local.touches_remote() || remote.touches_remote()
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => input.touches_remote(),
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. } => {
+                left.touches_remote() || right.touches_remote()
+            }
+            PhysicalPlan::IndexNLJoin { outer, inner, .. } => {
+                outer.touches_remote() || inner.remote_sql.is_some()
+            }
+        }
+    }
+
+    /// Strip every currency guard, keeping the chosen branch — used by the
+    /// guard-overhead experiments (paper Sec. 4.3) to build the
+    /// "traditional plans without currency checking" baseline. `use_local`
+    /// keeps local branches (the local baseline); otherwise remote
+    /// branches are kept.
+    pub fn strip_guards(&self, use_local: bool) -> PhysicalPlan {
+        match self {
+            PhysicalPlan::SwitchUnion { local, remote, .. } => {
+                if use_local {
+                    local.strip_guards(use_local)
+                } else {
+                    remote.strip_guards(use_local)
+                }
+            }
+            PhysicalPlan::OneRow => PhysicalPlan::OneRow,
+            PhysicalPlan::LocalScan(n) => PhysicalPlan::LocalScan(n.clone()),
+            PhysicalPlan::RemoteQuery(n) => PhysicalPlan::RemoteQuery(n.clone()),
+            PhysicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+                input: Box::new(input.strip_guards(use_local)),
+                predicate: predicate.clone(),
+            },
+            PhysicalPlan::Project { input, exprs } => PhysicalPlan::Project {
+                input: Box::new(input.strip_guards(use_local)),
+                exprs: exprs.clone(),
+            },
+            PhysicalPlan::HashJoin { left, right, left_keys, right_keys, kind } => {
+                PhysicalPlan::HashJoin {
+                    left: Box::new(left.strip_guards(use_local)),
+                    right: Box::new(right.strip_guards(use_local)),
+                    left_keys: left_keys.clone(),
+                    right_keys: right_keys.clone(),
+                    kind: *kind,
+                }
+            }
+            PhysicalPlan::MergeJoin { left, right, left_key, right_key, kind } => {
+                PhysicalPlan::MergeJoin {
+                    left: Box::new(left.strip_guards(use_local)),
+                    right: Box::new(right.strip_guards(use_local)),
+                    left_key: left_key.clone(),
+                    right_key: right_key.clone(),
+                    kind: *kind,
+                }
+            }
+            PhysicalPlan::IndexNLJoin { outer, outer_key, inner, kind } => {
+                let mut inner = inner.clone();
+                let had_guard = inner.guard.is_some();
+                inner.guard = None;
+                if !use_local && had_guard && inner.remote_sql.is_some() {
+                    inner.force_remote = true;
+                }
+                PhysicalPlan::IndexNLJoin {
+                    outer: Box::new(outer.strip_guards(use_local)),
+                    outer_key: outer_key.clone(),
+                    inner,
+                    kind: *kind,
+                }
+            }
+            PhysicalPlan::HashAggregate { input, group_by, aggs, having } => {
+                PhysicalPlan::HashAggregate {
+                    input: Box::new(input.strip_guards(use_local)),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                    having: having.clone(),
+                }
+            }
+            PhysicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+                input: Box::new(input.strip_guards(use_local)),
+                keys: keys.clone(),
+            },
+            PhysicalPlan::Limit { input, n } => {
+                PhysicalPlan::Limit { input: Box::new(input.strip_guards(use_local)), n: *n }
+            }
+            PhysicalPlan::Distinct { input } => {
+                PhysicalPlan::Distinct { input: Box::new(input.strip_guards(use_local)) }
+            }
+        }
+    }
+
+    /// Multi-line EXPLAIN rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::OneRow => {
+                let _ = writeln!(out, "{pad}OneRow");
+            }
+            PhysicalPlan::LocalScan(n) => {
+                let access = match &n.access {
+                    AccessPath::FullScan => "scan".to_string(),
+                    AccessPath::ClusteredRange { column, .. } => format!("clustered seek on {column}"),
+                    AccessPath::IndexRange { index, column, .. } => {
+                        format!("index {index} seek on {column}")
+                    }
+                };
+                let _ = writeln!(out, "{pad}LocalScan {} [{access}] (~{:.0} rows)", n.object, n.est_rows);
+            }
+            PhysicalPlan::RemoteQuery(n) => {
+                let _ = writeln!(out, "{pad}RemoteQuery (~{:.0} rows): {}", n.est_rows, n.sql);
+            }
+            PhysicalPlan::SwitchUnion { guard, local, remote } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}SwitchUnion [guard: {} fresh within {}]",
+                    guard.heartbeat_table, guard.bound
+                );
+                local.explain_into(out, depth + 1);
+                remote.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter {predicate}");
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Project { input, exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+                let _ = writeln!(out, "{pad}Project [{}]", names.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::HashJoin { left, right, left_keys, right_keys, kind } => {
+                let keys: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(l, r)| format!("{l} = {r}"))
+                    .collect();
+                let _ = writeln!(out, "{pad}HashJoin[{kind:?}] on {}", keys.join(" AND "));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::MergeJoin { left, right, left_key, right_key, kind } => {
+                let _ = writeln!(out, "{pad}MergeJoin[{kind:?}] on {left_key} = {right_key}");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::IndexNLJoin { outer, outer_key, inner, kind } => {
+                let guard = match &inner.guard {
+                    Some(g) => format!(" [guard: {} fresh within {}]", g.heartbeat_table, g.bound),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexNLJoin[{kind:?}] {outer_key} -> {}.{}{guard}",
+                    inner.object, inner.seek_col
+                );
+                outer.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::HashAggregate { input, group_by, aggs, having } => {
+                let gs: Vec<&str> = group_by.iter().map(|(_, n)| n.as_str()).collect();
+                let asum: Vec<String> = aggs
+                    .iter()
+                    .map(|a| format!("{}({})", a.func.sql(), a.arg.as_ref().map(|e| e.to_string()).unwrap_or_else(|| "*".into())))
+                    .collect();
+                let h = having.as_ref().map(|h| format!(" having {h}")).unwrap_or_default();
+                let _ = writeln!(out, "{pad}HashAggregate by [{}] computing [{}]{h}", gs.join(", "), asum.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(o, asc)| format!("#{o}{}", if *asc { "" } else { " desc" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort [{}]", ks.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit {n}");
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::{Column, DataType};
+
+    fn scan(operand: OperandId) -> PhysicalPlan {
+        PhysicalPlan::LocalScan(LocalScanNode {
+            object: format!("v{operand}"),
+            schema: Schema::new(vec![Column::new("id", DataType::Int).with_qualifier("t")]),
+            access: AccessPath::FullScan,
+            residual: None,
+            operand,
+            est_rows: 100.0,
+        })
+    }
+
+    fn remote(ops: &[OperandId]) -> PhysicalPlan {
+        PhysicalPlan::RemoteQuery(RemoteQueryNode {
+            sql: "SELECT 1 x".into(),
+            schema: Schema::new(vec![Column::new("id", DataType::Int).with_qualifier("t")]),
+            operands: ops.iter().copied().collect(),
+            est_rows: 100.0,
+        })
+    }
+
+    fn guard(region: u32) -> CurrencyGuard {
+        CurrencyGuard {
+            region: RegionId(region),
+            heartbeat_table: format!("heartbeat_cr{region}"),
+            bound: Duration::from_secs(10),
+        }
+    }
+
+    fn guarded(operand: OperandId, region: u32) -> PhysicalPlan {
+        PhysicalPlan::SwitchUnion {
+            guard: guard(region),
+            local: Box::new(scan(operand)),
+            remote: Box::new(remote(&[operand])),
+        }
+    }
+
+    #[test]
+    fn guard_counting() {
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(guarded(0, 1)),
+            right: Box::new(guarded(1, 2)),
+            left_keys: vec![],
+            right_keys: vec![],
+            kind: JoinKind::Inner,
+        };
+        assert_eq!(plan.guard_count(), 2);
+        assert!(plan.touches_remote());
+        assert_eq!(remote(&[0]).guard_count(), 0);
+        assert!(!scan(0).touches_remote());
+    }
+
+    #[test]
+    fn operand_sets_accumulate() {
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(guarded(0, 1)),
+            right: Box::new(remote(&[1, 2])),
+            left_keys: vec![],
+            right_keys: vec![],
+            kind: JoinKind::Inner,
+        };
+        assert_eq!(plan.operand_set(), [0, 1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn delivered_property_of_guarded_leaf_is_mixed() {
+        let d = guarded(0, 1).delivered();
+        assert_eq!(d.groups.len(), 1);
+        assert_eq!(d.groups[0].tag, crate::property::RegionTag::Mixed);
+    }
+
+    #[test]
+    fn semi_join_schema_is_left_only() {
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            left_keys: vec![],
+            right_keys: vec![],
+            kind: JoinKind::Semi,
+        };
+        assert_eq!(plan.schema().len(), 1);
+        let inner_plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            left_keys: vec![],
+            right_keys: vec![],
+            kind: JoinKind::Inner,
+        };
+        assert_eq!(inner_plan.schema().len(), 2);
+    }
+
+    #[test]
+    fn strip_guards_keeps_chosen_branch() {
+        let plan = PhysicalPlan::Limit { input: Box::new(guarded(0, 1)), n: 5 };
+        let local = plan.strip_guards(true);
+        assert_eq!(local.guard_count(), 0);
+        assert!(!local.touches_remote());
+        let remote = plan.strip_guards(false);
+        assert_eq!(remote.guard_count(), 0);
+        assert!(remote.touches_remote());
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = PhysicalPlan::Limit { input: Box::new(guarded(0, 1)), n: 5 };
+        let text = plan.explain();
+        assert!(text.contains("Limit 5"));
+        assert!(text.contains("SwitchUnion"));
+        assert!(text.contains("heartbeat_cr1"));
+        assert!(text.contains("LocalScan v0"));
+        assert!(text.contains("RemoteQuery"));
+    }
+}

@@ -1,0 +1,413 @@
+//! Required and delivered consistency plan properties (paper Sec. 3.2.2).
+//!
+//! The *required* property is the normalized [`crate::CCConstraint`]
+//! attached to the query root. The *delivered* property is computed
+//! bottom-up per physical operator:
+//!
+//! * **leaves** — a local view scan delivers its base-table operand tagged
+//!   with the view's currency region; a remote query delivers its operands
+//!   tagged [`RegionTag::Backend`] (the latest snapshot);
+//! * **unary operators** (filter, project, aggregate, sort) copy their
+//!   input's property;
+//! * **joins** union the two child properties, merging groups with the same
+//!   region tag ("if they have two tuples with the same region id, the
+//!   input sets of the two tuples are merged");
+//! * **SwitchUnion** keeps two operands together only if they are together
+//!   in *every* child ("we can only guarantee that two input operands are
+//!   consistent if they are consistent in all children"); a group whose
+//!   children disagree on the source is tagged [`RegionTag::Mixed`].
+//!
+//! The paper's three rules are implemented verbatim, with one documented
+//! refinement: the early-violation rule (2) exempts
+//! [`RegionTag::Backend`] groups, because back-end data reflects the
+//! latest snapshot and therefore satisfies *any* combination of consistency
+//! classes — pruning remote plans would contradict the satisfaction rule
+//! under which they are always admissible.
+
+use crate::constraint::{CCConstraint, OperandId};
+use rcc_common::RegionId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Where a group of operands was sourced from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionTag {
+    /// Fetched from the back-end server: the latest committed snapshot,
+    /// mutually consistent with any other back-end fetch in the plan (the
+    /// prototype's model of remote data).
+    Backend,
+    /// Served by a cached view in this currency region.
+    Region(RegionId),
+    /// A SwitchUnion whose branches source the operands differently; the
+    /// operands in the group are mutually consistent, but the group can
+    /// never merge with another.
+    Mixed,
+}
+
+impl RegionTag {
+    /// Can two groups with these tags merge into one consistency group?
+    pub fn mergeable(self, other: RegionTag) -> bool {
+        match (self, other) {
+            (RegionTag::Backend, RegionTag::Backend) => true,
+            (RegionTag::Region(a), RegionTag::Region(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for RegionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionTag::Backend => f.write_str("backend"),
+            RegionTag::Region(r) => write!(f, "{r}"),
+            RegionTag::Mixed => f.write_str("mixed"),
+        }
+    }
+}
+
+/// One delivered consistency group: a set of operands guaranteed mutually
+/// consistent, with the region they are sourced from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveredGroup {
+    /// Source tag.
+    pub tag: RegionTag,
+    /// Mutually consistent operands.
+    pub operands: BTreeSet<OperandId>,
+}
+
+/// The delivered consistency property of a (partial) plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeliveredProperty {
+    /// Consistency groups; operands appear in at most one group in
+    /// properties built by this module.
+    pub groups: Vec<DeliveredGroup>,
+}
+
+impl DeliveredProperty {
+    /// Property of a local view scan leaf.
+    pub fn local_leaf(region: RegionId, operand: OperandId) -> DeliveredProperty {
+        DeliveredProperty {
+            groups: vec![DeliveredGroup {
+                tag: RegionTag::Region(region),
+                operands: [operand].into_iter().collect(),
+            }],
+        }
+    }
+
+    /// Property of a remote-query leaf covering `operands`.
+    pub fn remote_leaf(operands: impl IntoIterator<Item = OperandId>) -> DeliveredProperty {
+        DeliveredProperty {
+            groups: vec![DeliveredGroup {
+                tag: RegionTag::Backend,
+                operands: operands.into_iter().collect(),
+            }],
+        }
+    }
+
+    /// All operands covered.
+    pub fn operands(&self) -> BTreeSet<OperandId> {
+        self.groups.iter().flat_map(|g| g.operands.iter().copied()).collect()
+    }
+
+    /// Join rule: union the groups, merging groups with mergeable tags.
+    pub fn join(&self, other: &DeliveredProperty) -> DeliveredProperty {
+        let mut groups = self.groups.clone();
+        for g in &other.groups {
+            if let Some(existing) =
+                groups.iter_mut().find(|e| e.tag.mergeable(g.tag))
+            {
+                existing.operands.extend(g.operands.iter().copied());
+            } else {
+                groups.push(g.clone());
+            }
+        }
+        DeliveredProperty { groups }
+    }
+
+    /// SwitchUnion rule: operands stay together only if together in every
+    /// child; the tag survives only if every child agrees on it.
+    pub fn switch_union(children: &[DeliveredProperty]) -> DeliveredProperty {
+        let Some(first) = children.first() else { return DeliveredProperty::default() };
+        let mut groups: Vec<DeliveredGroup> = first.groups.clone();
+        for child in &children[1..] {
+            let mut refined = Vec::new();
+            for g in &groups {
+                // split g by the child's grouping
+                for cg in &child.groups {
+                    let inter: BTreeSet<OperandId> =
+                        g.operands.intersection(&cg.operands).copied().collect();
+                    if inter.is_empty() {
+                        continue;
+                    }
+                    let tag = if g.tag == cg.tag { g.tag } else { RegionTag::Mixed };
+                    refined.push(DeliveredGroup { tag, operands: inter });
+                }
+            }
+            groups = refined;
+        }
+        DeliveredProperty { groups }
+    }
+
+    /// Conflicting-property rule: "there exist two tuples <Ri, Si> and
+    /// <Rj, Sj> such that Si ∩ Sj ≠ ∅ and Ri ≠ Rj" — the same operand
+    /// claimed from two different regions.
+    pub fn is_conflicting(&self) -> bool {
+        for i in 0..self.groups.len() {
+            for j in (i + 1)..self.groups.len() {
+                if self.groups[i].tag != self.groups[j].tag
+                    && !self.groups[i].operands.is_disjoint(&self.groups[j].operands)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Early violation rule for partial plans: the property is conflicting,
+    /// or some *cache-region* group straddles two required consistency
+    /// classes (it can then never be teased apart by operators above).
+    ///
+    /// Backend and Mixed groups are exempt: both deliver consistency that
+    /// is *at least* as strong as any combination of classes they span —
+    /// back-end data is the latest snapshot, and a Mixed group certifies
+    /// mutual consistency across every branch of its SwitchUnion — so
+    /// flagging them would prune plans the satisfaction rule accepts
+    /// (verified by the `satisfaction_implies_no_violation` property test).
+    pub fn violates(&self, required: &CCConstraint) -> bool {
+        if self.is_conflicting() {
+            return true;
+        }
+        for g in &self.groups {
+            if matches!(g.tag, RegionTag::Backend | RegionTag::Mixed) {
+                continue;
+            }
+            let classes_hit = required
+                .classes
+                .iter()
+                .filter(|c| !c.operands.is_disjoint(&g.operands))
+                .count();
+            if classes_hit > 1 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Satisfaction rule for complete plans: not conflicting, and every
+    /// required class is fully contained in some delivered group.
+    pub fn satisfies(&self, required: &CCConstraint) -> bool {
+        if self.is_conflicting() {
+            return false;
+        }
+        required.classes.iter().all(|c| {
+            self.groups.iter().any(|g| c.operands.is_subset(&g.operands))
+        })
+    }
+}
+
+impl fmt::Display for DeliveredProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let ops: Vec<String> = g.operands.iter().map(|o| format!("#{o}")).collect();
+            write!(f, "<{}: {}>", g.tag, ops.join(","))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::Duration;
+
+    fn required(classes: &[(&[u32], i64)]) -> CCConstraint {
+        CCConstraint::normalize(
+            classes
+                .iter()
+                .map(|(ops, secs)| {
+                    (
+                        Duration::from_secs(*secs),
+                        ops.iter().copied().collect::<BTreeSet<u32>>(),
+                        vec![],
+                    )
+                })
+                .collect(),
+            classes.iter().flat_map(|(ops, _)| ops.iter().copied()),
+        )
+    }
+
+    #[test]
+    fn join_merges_same_region() {
+        let a = DeliveredProperty::local_leaf(RegionId(1), 0);
+        let b = DeliveredProperty::local_leaf(RegionId(1), 1);
+        let j = a.join(&b);
+        assert_eq!(j.groups.len(), 1);
+        assert_eq!(j.groups[0].operands.len(), 2);
+    }
+
+    #[test]
+    fn join_keeps_different_regions_apart() {
+        let a = DeliveredProperty::local_leaf(RegionId(1), 0);
+        let b = DeliveredProperty::local_leaf(RegionId(2), 1);
+        let j = a.join(&b);
+        assert_eq!(j.groups.len(), 2);
+    }
+
+    #[test]
+    fn backend_fetches_merge() {
+        let a = DeliveredProperty::remote_leaf([0]);
+        let b = DeliveredProperty::remote_leaf([1]);
+        let j = a.join(&b);
+        assert_eq!(j.groups.len(), 1);
+        assert_eq!(j.groups[0].tag, RegionTag::Backend);
+    }
+
+    #[test]
+    fn switch_union_intersects_children() {
+        // local branch: (CR1, {0}); remote branch: (backend, {0})
+        let su = DeliveredProperty::switch_union(&[
+            DeliveredProperty::local_leaf(RegionId(1), 0),
+            DeliveredProperty::remote_leaf([0]),
+        ]);
+        assert_eq!(su.groups.len(), 1);
+        assert_eq!(su.groups[0].tag, RegionTag::Mixed);
+        assert_eq!(su.groups[0].operands, [0].into_iter().collect());
+    }
+
+    #[test]
+    fn switch_union_splits_groups_children_disagree_on() {
+        // child 1 groups {0,1} together (same region); child 2 splits them
+        let c1 = DeliveredProperty {
+            groups: vec![DeliveredGroup {
+                tag: RegionTag::Region(RegionId(1)),
+                operands: [0, 1].into_iter().collect(),
+            }],
+        };
+        let c2 = DeliveredProperty {
+            groups: vec![
+                DeliveredGroup { tag: RegionTag::Backend, operands: [0].into_iter().collect() },
+                DeliveredGroup {
+                    tag: RegionTag::Region(RegionId(2)),
+                    operands: [1].into_iter().collect(),
+                },
+            ],
+        };
+        let su = DeliveredProperty::switch_union(&[c1, c2]);
+        assert_eq!(su.groups.len(), 2, "0 and 1 no longer guaranteed consistent");
+        assert!(su.groups.iter().all(|g| g.tag == RegionTag::Mixed));
+    }
+
+    #[test]
+    fn switch_union_preserves_agreeing_tag() {
+        let c1 = DeliveredProperty::local_leaf(RegionId(1), 0);
+        let c2 = DeliveredProperty::local_leaf(RegionId(1), 0);
+        let su = DeliveredProperty::switch_union(&[c1, c2]);
+        assert_eq!(su.groups[0].tag, RegionTag::Region(RegionId(1)));
+    }
+
+    #[test]
+    fn conflict_detection() {
+        // the paper's example: two projection views of T in different
+        // regions joined — operand 0 claimed by CR1 and CR2
+        let p = DeliveredProperty {
+            groups: vec![
+                DeliveredGroup {
+                    tag: RegionTag::Region(RegionId(1)),
+                    operands: [0].into_iter().collect(),
+                },
+                DeliveredGroup {
+                    tag: RegionTag::Region(RegionId(2)),
+                    operands: [0].into_iter().collect(),
+                },
+            ],
+        };
+        assert!(p.is_conflicting());
+        assert!(!p.satisfies(&required(&[(&[0], 10)])));
+        assert!(p.violates(&required(&[(&[0], 10)])));
+    }
+
+    #[test]
+    fn satisfaction_requires_class_containment() {
+        let req = required(&[(&[0, 1], 10)]);
+        // both operands from the same region: satisfied
+        let ok = DeliveredProperty::local_leaf(RegionId(1), 0)
+            .join(&DeliveredProperty::local_leaf(RegionId(1), 1));
+        assert!(ok.satisfies(&req));
+        // different regions: Q3's failure mode
+        let bad = DeliveredProperty::local_leaf(RegionId(1), 0)
+            .join(&DeliveredProperty::local_leaf(RegionId(2), 1));
+        assert!(!bad.satisfies(&req));
+        // all-remote always satisfies
+        let remote = DeliveredProperty::remote_leaf([0, 1]);
+        assert!(remote.satisfies(&req));
+    }
+
+    #[test]
+    fn mixed_singletons_satisfy_singleton_classes() {
+        // Q5's shape: two guarded views, classes {0} and {1}
+        let req = required(&[(&[0], 10), (&[1], 15)]);
+        let su0 = DeliveredProperty::switch_union(&[
+            DeliveredProperty::local_leaf(RegionId(1), 0),
+            DeliveredProperty::remote_leaf([0]),
+        ]);
+        let su1 = DeliveredProperty::switch_union(&[
+            DeliveredProperty::local_leaf(RegionId(2), 1),
+            DeliveredProperty::remote_leaf([1]),
+        ]);
+        let plan = su0.join(&su1);
+        assert!(plan.satisfies(&req));
+    }
+
+    #[test]
+    fn leaf_level_guards_cannot_satisfy_multi_table_class() {
+        // both views in the same region, but independent guards: the
+        // branches may disagree at run time, so {0,1} is NOT delivered —
+        // exactly why the paper leaves SwitchUnion pull-up as future work.
+        let req = required(&[(&[0, 1], 10)]);
+        let su0 = DeliveredProperty::switch_union(&[
+            DeliveredProperty::local_leaf(RegionId(1), 0),
+            DeliveredProperty::remote_leaf([0]),
+        ]);
+        let su1 = DeliveredProperty::switch_union(&[
+            DeliveredProperty::local_leaf(RegionId(1), 1),
+            DeliveredProperty::remote_leaf([1]),
+        ]);
+        assert!(!su0.join(&su1).satisfies(&req));
+    }
+
+    #[test]
+    fn violation_rule_prunes_cross_class_region_groups() {
+        let req = required(&[(&[0], 10), (&[1], 30)]);
+        // a single region group spanning both classes: early violation
+        let p = DeliveredProperty {
+            groups: vec![DeliveredGroup {
+                tag: RegionTag::Region(RegionId(1)),
+                operands: [0, 1].into_iter().collect(),
+            }],
+        };
+        assert!(p.violates(&req));
+        // the Backend exemption: a remote fetch spanning classes is fine
+        let remote = DeliveredProperty::remote_leaf([0, 1]);
+        assert!(!remote.violates(&req));
+        assert!(remote.satisfies(&req));
+    }
+
+    #[test]
+    fn empty_property_and_constraint() {
+        let p = DeliveredProperty::default();
+        assert!(!p.is_conflicting());
+        assert!(p.satisfies(&CCConstraint::default()));
+        assert_eq!(DeliveredProperty::switch_union(&[]), p);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = DeliveredProperty::local_leaf(RegionId(1), 0);
+        assert_eq!(p.to_string(), "{<CR1: #0>}");
+    }
+}

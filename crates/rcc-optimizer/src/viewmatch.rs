@@ -1,0 +1,343 @@
+//! View matching (paper Sec. 3.2.3, after Goldstein & Larson, SIGMOD'01).
+//!
+//! "Logical plans making use of a local view are always created through
+//! view matching: the view matching algorithm finds an expression that can
+//! be computed from a local view and produces a new substitute exploiting
+//! the view." Our cached views are projections (with optional single-column
+//! range selections) of one base table, so matching an operand reduces to:
+//!
+//! 1. the view is over the operand's base table;
+//! 2. the view **covers** every column the query needs from the operand;
+//! 3. the view's selection range **subsumes** the query's range on that
+//!    column (the substitute re-applies the query predicate as a residual,
+//!    so a wider view is always safe — a narrower one never is).
+//!
+//! The substitute is a [`LocalScanNode`]; the optimizer wraps it in a
+//! SwitchUnion with a currency guard.
+
+use crate::constraint::OperandId;
+use crate::cost::{column_ranges, filter_selectivity};
+use crate::expr::BoundExpr;
+use crate::graph::QueryGraph;
+use crate::physical::{AccessPath, LocalScanNode};
+use rcc_catalog::{CachedViewDef, Catalog, CurrencyRegion};
+use rcc_common::Schema;
+use rcc_storage::KeyRange;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// A successful view match for one operand.
+#[derive(Debug, Clone)]
+pub struct ViewMatch {
+    /// The matched view.
+    pub view: Arc<CachedViewDef>,
+    /// The view's currency region.
+    pub region: Arc<CurrencyRegion>,
+    /// Ready-to-use scan substitute.
+    pub scan: LocalScanNode,
+}
+
+/// Find every cached view that can substitute for `operand`.
+pub fn match_views(catalog: &Catalog, graph: &QueryGraph, operand: OperandId) -> Vec<ViewMatch> {
+    let op = graph.operand(operand);
+    let required = graph.required_columns(operand);
+    let ranges = column_ranges(&op.filters);
+    let mut out = Vec::new();
+
+    for view in catalog.views_over(op.table.id) {
+        if !required.iter().all(|c| view.covers_column(c)) {
+            continue;
+        }
+        if let Some(pred) = &view.predicate {
+            let query_range =
+                ranges.get(&pred.column.to_ascii_lowercase()).cloned().unwrap_or_else(KeyRange::all);
+            if !pred.range.contains_range(&query_range) {
+                continue;
+            }
+        }
+        let Ok(region) = catalog.region(view.region) else { continue };
+
+        let view_key_lead = view
+            .key_ordinals
+            .first()
+            .map(|&k| view.columns[k].clone())
+            .unwrap_or_default();
+        let access = pick_access(&ranges, &view_key_lead, |col| {
+            view.local_index_on(col).map(str::to_string)
+        });
+
+        let stats = {
+            let s = catalog.stats(&view.name);
+            if s.row_count > 0 {
+                s
+            } else {
+                catalog.stats(&op.table.name)
+            }
+        };
+        let est_rows = stats.row_count as f64 * filter_selectivity(&op.filters, &stats);
+
+        out.push(ViewMatch {
+            region,
+            scan: LocalScanNode {
+                object: view.name.clone(),
+                schema: operand_schema(graph, operand, &required),
+                access,
+                residual: BoundExpr::and_all(op.filters.clone()),
+                operand,
+                est_rows,
+            },
+            view,
+        });
+    }
+    out
+}
+
+/// Scan substitute over the *master* table itself — used when planning in
+/// back-end role, and to estimate the back-end's cost of serving a remote
+/// fetch. Uses the back-end's clustered layout and secondary indexes.
+pub fn master_scan(catalog: &Catalog, graph: &QueryGraph, operand: OperandId) -> LocalScanNode {
+    let op = graph.operand(operand);
+    let required = graph.required_columns(operand);
+    let ranges = column_ranges(&op.filters);
+    let leading = op.table.key.first().cloned().unwrap_or_default();
+    let access = pick_access(&ranges, &leading, |col| {
+        op.table.index_on(col).map(|ix| ix.name.clone())
+    });
+    let stats = catalog.stats(&op.table.name);
+    let est_rows = stats.row_count as f64 * filter_selectivity(&op.filters, &stats);
+    LocalScanNode {
+        object: op.table.name.clone(),
+        schema: operand_schema(graph, operand, &required),
+        access,
+        residual: BoundExpr::and_all(op.filters.clone()),
+        operand,
+        est_rows,
+    }
+}
+
+/// Output schema for an operand scan: the required columns (sorted for
+/// determinism), typed from the base table and qualified by the operand
+/// binding.
+pub fn operand_schema(graph: &QueryGraph, operand: OperandId, required: &BTreeSet<String>) -> Schema {
+    let op = graph.operand(operand);
+    Schema::new(
+        required
+            .iter()
+            .map(|c| {
+                let ord = op.table.schema.resolve(None, c).expect("required column exists");
+                let mut col = op.table.schema.column(ord).clone();
+                col.qualifier = Some(op.binding.clone());
+                col.source = Some(op.table.id);
+                col
+            })
+            .collect(),
+    )
+}
+
+/// Choose the best access path given the filter-implied ranges: leading
+/// clustered-key range beats a secondary index beats a full scan.
+fn pick_access(
+    ranges: &HashMap<String, KeyRange>,
+    leading_key: &str,
+    index_on: impl Fn(&str) -> Option<String>,
+) -> AccessPath {
+    if !leading_key.is_empty() {
+        if let Some(r) = ranges.get(&leading_key.to_ascii_lowercase()) {
+            if !r.is_full() {
+                return AccessPath::ClusteredRange { column: leading_key.to_string(), range: r.clone() };
+            }
+        }
+    }
+    for (col, r) in ranges {
+        if r.is_full() {
+            continue;
+        }
+        if let Some(index) = index_on(col) {
+            return AccessPath::IndexRange { index, column: col.clone(), range: r.clone() };
+        }
+    }
+    AccessPath::FullScan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::bind_select;
+    use rcc_catalog::{TableMeta, ViewPredicate};
+    use rcc_common::{Column, DataType, Duration, RegionId, TableId, Value, ViewId};
+    use rcc_sql::parse_statement;
+
+    fn setup() -> Catalog {
+        let cat = Catalog::new();
+        let customer = Schema::new(vec![
+            Column::new("c_custkey", DataType::Int),
+            Column::new("c_name", DataType::Str),
+            Column::new("c_nationkey", DataType::Int),
+            Column::new("c_acctbal", DataType::Float),
+        ]);
+        let mut meta =
+            TableMeta::new(TableId(1), "customer", customer, vec!["c_custkey".into()]).unwrap();
+        meta.add_index(rcc_common::IndexId(1), "ix_acctbal", vec!["c_acctbal".into()]).unwrap();
+        cat.register_table(meta).unwrap();
+        cat.register_region(CurrencyRegion::new(
+            RegionId(1),
+            "CR1",
+            Duration::from_secs(15),
+            Duration::from_secs(5),
+        ))
+        .unwrap();
+        // cust_prj: projection of customer WITHOUT c_nationkey, no indexes
+        let schema = Schema::new(vec![
+            Column::new("c_custkey", DataType::Int).with_source(TableId(1)),
+            Column::new("c_name", DataType::Str).with_source(TableId(1)),
+            Column::new("c_acctbal", DataType::Float).with_source(TableId(1)),
+        ])
+        .with_qualifier("cust_prj");
+        cat.register_view(CachedViewDef {
+            id: ViewId(1),
+            name: "cust_prj".into(),
+            region: RegionId(1),
+            base_table: TableId(1),
+            base_table_name: "customer".into(),
+            columns: vec!["c_custkey".into(), "c_name".into(), "c_acctbal".into()],
+            predicate: None,
+            schema,
+            key_ordinals: vec![0],
+            local_indexes: vec![],
+        })
+        .unwrap();
+        cat
+    }
+
+    fn graph(cat: &Catalog, sql: &str) -> QueryGraph {
+        let stmt = match parse_statement(sql).unwrap() {
+            rcc_sql::Statement::Select(s) => *s,
+            other => panic!("{other:?}"),
+        };
+        bind_select(cat, &stmt, &HashMap::new()).unwrap()
+    }
+
+    #[test]
+    fn covering_view_matches() {
+        let cat = setup();
+        let g = graph(&cat, "SELECT c_name FROM customer WHERE c_custkey <= 10");
+        let ms = match_views(&cat, &g, 0);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].view.name, "cust_prj");
+        assert!(matches!(
+            ms[0].scan.access,
+            AccessPath::ClusteredRange { ref column, .. } if column == "c_custkey"
+        ));
+    }
+
+    #[test]
+    fn uncovered_column_rejects_view() {
+        let cat = setup();
+        let g = graph(&cat, "SELECT c_nationkey FROM customer");
+        assert!(match_views(&cat, &g, 0).is_empty());
+    }
+
+    #[test]
+    fn no_local_index_means_full_scan() {
+        let cat = setup();
+        let g = graph(&cat, "SELECT c_name FROM customer WHERE c_acctbal BETWEEN 1.0 AND 2.0");
+        let ms = match_views(&cat, &g, 0);
+        assert_eq!(ms.len(), 1);
+        assert!(matches!(ms[0].scan.access, AccessPath::FullScan), "view has no ix_acctbal");
+        // but the master table does
+        let m = master_scan(&cat, &g, 0);
+        assert!(matches!(
+            m.access,
+            AccessPath::IndexRange { ref index, .. } if index == "ix_acctbal"
+        ));
+    }
+
+    #[test]
+    fn selection_view_subsumption() {
+        let cat = setup();
+        // add a selection view keeping only c_custkey <= 100
+        let schema = Schema::new(vec![
+            Column::new("c_custkey", DataType::Int).with_source(TableId(1)),
+            Column::new("c_name", DataType::Str).with_source(TableId(1)),
+            Column::new("c_acctbal", DataType::Float).with_source(TableId(1)),
+        ])
+        .with_qualifier("cust_top");
+        cat.register_view(CachedViewDef {
+            id: ViewId(2),
+            name: "cust_top".into(),
+            region: RegionId(1),
+            base_table: TableId(1),
+            base_table_name: "customer".into(),
+            columns: vec!["c_custkey".into(), "c_name".into(), "c_acctbal".into()],
+            predicate: Some(ViewPredicate {
+                column: "c_custkey".into(),
+                range: KeyRange::at_most(Value::Int(100)),
+            }),
+            schema,
+            key_ordinals: vec![0],
+            local_indexes: vec![],
+        })
+        .unwrap();
+
+        // narrow query: both views match
+        let g = graph(&cat, "SELECT c_name FROM customer WHERE c_custkey <= 50");
+        let names: Vec<String> =
+            match_views(&cat, &g, 0).into_iter().map(|m| m.view.name.clone()).collect();
+        assert!(names.contains(&"cust_prj".to_string()));
+        assert!(names.contains(&"cust_top".to_string()));
+
+        // wide query: only the full projection matches
+        let g = graph(&cat, "SELECT c_name FROM customer WHERE c_custkey <= 500");
+        let names: Vec<String> =
+            match_views(&cat, &g, 0).into_iter().map(|m| m.view.name.clone()).collect();
+        assert_eq!(names, vec!["cust_prj".to_string()]);
+
+        // unrestricted query: selection view cannot serve it
+        let g = graph(&cat, "SELECT c_name FROM customer");
+        let names: Vec<String> =
+            match_views(&cat, &g, 0).into_iter().map(|m| m.view.name.clone()).collect();
+        assert_eq!(names, vec!["cust_prj".to_string()]);
+    }
+
+    #[test]
+    fn scan_schema_qualified_by_binding() {
+        let cat = setup();
+        let g = graph(&cat, "SELECT c.c_name FROM customer c WHERE c.c_custkey = 5");
+        let ms = match_views(&cat, &g, 0);
+        let schema = &ms[0].scan.schema;
+        assert!(schema.resolve(Some("c"), "c_name").is_ok());
+        assert!(schema.resolve(Some("c"), "c_custkey").is_ok(), "key always carried");
+    }
+
+    #[test]
+    fn local_index_used_when_present() {
+        let cat = setup();
+        // register a second view WITH a local index on c_acctbal
+        let schema = Schema::new(vec![
+            Column::new("c_custkey", DataType::Int).with_source(TableId(1)),
+            Column::new("c_acctbal", DataType::Float).with_source(TableId(1)),
+            Column::new("c_name", DataType::Str).with_source(TableId(1)),
+        ])
+        .with_qualifier("cust_ix");
+        cat.register_view(CachedViewDef {
+            id: ViewId(3),
+            name: "cust_ix".into(),
+            region: RegionId(1),
+            base_table: TableId(1),
+            base_table_name: "customer".into(),
+            columns: vec!["c_custkey".into(), "c_acctbal".into(), "c_name".into()],
+            predicate: None,
+            schema,
+            key_ordinals: vec![0],
+            local_indexes: vec![("ix_bal_local".into(), "c_acctbal".into())],
+        })
+        .unwrap();
+        let g = graph(&cat, "SELECT c_name FROM customer WHERE c_acctbal BETWEEN 1.0 AND 2.0");
+        let ms = match_views(&cat, &g, 0);
+        let with_ix = ms.iter().find(|m| m.view.name == "cust_ix").unwrap();
+        assert!(matches!(
+            with_ix.scan.access,
+            AccessPath::IndexRange { ref index, .. } if index == "ix_bal_local"
+        ));
+    }
+}

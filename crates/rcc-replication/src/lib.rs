@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Transactional-replication substrate (paper Sec. 3.1).
+//!
+//! SQL Server's transactional replication — which the paper's prototype
+//! relies on — propagates committed transactions to subscribing caches *in
+//! commit order*, one transaction at a time, via **distribution agents**
+//! that wake up at a fixed interval. Everything the paper's consistency
+//! machinery assumes follows from that discipline:
+//!
+//! * all cached views updated by the same agent are mutually consistent and
+//!   always reflect a committed snapshot ⇒ they form a *currency region*;
+//! * the replicated heartbeat row bounds a region's staleness.
+//!
+//! [`DistributionAgent`] reproduces the agent; [`ReplicationRuntime`] is a
+//! discrete-event driver that fires heartbeats and propagation events in
+//! timestamp order on the shared [`rcc_common::SimClock`].
+
+pub mod agent;
+pub mod runtime;
+
+pub use agent::DistributionAgent;
+pub use runtime::ReplicationRuntime;

@@ -1,0 +1,272 @@
+//! Histories, staleness, currency and Δ-consistency.
+
+use rcc_common::{Duration, Timestamp, TxnId};
+use std::collections::HashMap;
+
+/// Identity of a master database object. Granularity is caller-chosen —
+/// "the granularity of an object may be a view, a table, a column, a row or
+/// even a single cell" (paper Sec. 8.1). The prototype (and our system)
+/// reasons at table granularity, so tests typically use table names.
+pub type ObjectId = String;
+
+/// One committed update transaction: its integer timestamp (id), its commit
+/// time on the master clock, and the objects it modified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnEvent {
+    /// Increasing integer transaction id (the appendix's timestamp).
+    pub id: TxnId,
+    /// Wall/simulated commit time.
+    pub time: Timestamp,
+    /// Objects modified by this transaction.
+    pub objects: Vec<ObjectId>,
+}
+
+/// A cached copy of a master object, as of the snapshot it was last
+/// synchronized with: `synced` is the id of the last master transaction the
+/// copy reflects (the copy-transaction copied the master state as of that
+/// snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Copy {
+    /// The master object this is a copy of (`master(C)` in the paper).
+    pub object: ObjectId,
+    /// The snapshot the copy reflects.
+    pub synced: TxnId,
+}
+
+impl Copy {
+    /// Convenience constructor.
+    pub fn new(object: impl Into<String>, synced: TxnId) -> Copy {
+        Copy { object: object.into(), synced }
+    }
+}
+
+/// A history `Hn`: the ordered list of committed update transactions.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    txns: Vec<TxnEvent>,
+    /// Per-object list of (txn id, commit time) modifications, in order.
+    by_object: HashMap<ObjectId, Vec<(TxnId, Timestamp)>>,
+}
+
+impl History {
+    /// The empty history `H0`.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Append a committed transaction. Ids must be strictly increasing.
+    ///
+    /// # Panics
+    /// Panics if `id` does not exceed the previous transaction's id or time
+    /// moves backwards — both would make the history ill-formed.
+    pub fn record(&mut self, event: TxnEvent) {
+        if let Some(last) = self.txns.last() {
+            assert!(event.id > last.id, "txn ids must increase");
+            assert!(event.time >= last.time, "commit times must not go backwards");
+        }
+        for obj in &event.objects {
+            self.by_object
+                .entry(obj.clone())
+                .or_default()
+                .push((event.id, event.time));
+        }
+        self.txns.push(event);
+    }
+
+    /// Number of committed transactions (`n` of `Hn`).
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// True for the empty history.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Commit time of transaction `id`, if it exists.
+    pub fn time_of(&self, id: TxnId) -> Option<Timestamp> {
+        self.txns.iter().find(|t| t.id == id).map(|t| t.time)
+    }
+
+    /// `xtime(O, Hn)`: id of the latest transaction modifying `object`
+    /// (TxnId::ZERO if never modified — the initial load).
+    pub fn master_xtime(&self, object: &str) -> TxnId {
+        self.by_object
+            .get(object)
+            .and_then(|mods| mods.last())
+            .map(|(id, _)| *id)
+            .unwrap_or(TxnId::ZERO)
+    }
+
+    /// `stale(C, Hn)`: the first transaction modifying `master(C)` after
+    /// the copy's sync point — the moment the copy became stale. `None` if
+    /// the copy is not stale.
+    pub fn stale_point(&self, copy: &Copy) -> Option<(TxnId, Timestamp)> {
+        self.by_object
+            .get(&copy.object)?
+            .iter()
+            .find(|(id, _)| *id > copy.synced)
+            .copied()
+    }
+
+    /// `currency(C, Hn) = xtime(Tn) − stale(C, Hn)`: how long the copy has
+    /// been stale as of time `now`. Zero when the copy is current.
+    pub fn currency(&self, copy: &Copy, now: Timestamp) -> Duration {
+        match self.stale_point(copy) {
+            Some((_, stale_time)) => now.since(stale_time),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Snapshot consistency of a set of copies (paper Sec. 8.5): does a
+    /// snapshot `Hm` exist with respect to which *every* copy in `K` is
+    /// snapshot consistent?
+    ///
+    /// A copy synced at `s` equals the master at snapshot `m ≥ s` iff its
+    /// object is unmodified in `(s, m]`. Taking `m` = the maximum sync
+    /// point over the set is optimal (any larger `m` only adds
+    /// modification-freedom requirements), so the check reduces to: for
+    /// every copy, no modification of its object in `(synced, max_synced]`.
+    pub fn snapshot_consistent(&self, copies: &[Copy]) -> bool {
+        let Some(m) = copies.iter().map(|c| c.synced).max() else {
+            return true; // the empty set is vacuously consistent
+        };
+        copies.iter().all(|c| match self.stale_point(c) {
+            None => true,
+            Some((first_stale, _)) => first_stale > m,
+        })
+    }
+
+    /// `distance(A, B, Hn)` (paper Sec. 8.5): with `xtime(A) ≤ xtime(B) =
+    /// Tm`, the distance is `currency(A, Hm)` — how stale A already was at
+    /// the moment B was current. Symmetric in the call (we order
+    /// internally).
+    pub fn distance(&self, a: &Copy, b: &Copy) -> Duration {
+        let (older, newer) = if a.synced <= b.synced { (a, b) } else { (b, a) };
+        let m_time = self
+            .time_of(newer.synced)
+            .unwrap_or(Timestamp::ZERO);
+        // currency of `older` evaluated at snapshot Hm (time of newer's sync)
+        match self.stale_point(older) {
+            Some((id, stale_time)) if id <= newer.synced => m_time.since(stale_time),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Δ-consistency of a set with bound `t`: maximum pairwise distance
+    /// does not exceed `t` (paper: "we extend the notion of Δ-consistency
+    /// for a set of objects K by defining the bound t to be the maximum
+    /// distance between any pair of objects in K").
+    pub fn delta_consistent(&self, copies: &[Copy], bound: Duration) -> bool {
+        for (i, a) in copies.iter().enumerate() {
+            for b in &copies[i + 1..] {
+                if self.distance(a, b) > bound {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// t1@10s touches x; t2@20s touches y; t3@30s touches x.
+    fn h() -> History {
+        let mut h = History::new();
+        h.record(TxnEvent { id: TxnId(1), time: Timestamp(10_000), objects: vec!["x".into()] });
+        h.record(TxnEvent { id: TxnId(2), time: Timestamp(20_000), objects: vec!["y".into()] });
+        h.record(TxnEvent { id: TxnId(3), time: Timestamp(30_000), objects: vec!["x".into()] });
+        h
+    }
+
+    #[test]
+    fn master_xtime_tracks_latest_modification() {
+        let h = h();
+        assert_eq!(h.master_xtime("x"), TxnId(3));
+        assert_eq!(h.master_xtime("y"), TxnId(2));
+        assert_eq!(h.master_xtime("never"), TxnId::ZERO);
+    }
+
+    #[test]
+    fn stale_point_is_first_modification_after_sync() {
+        let h = h();
+        let c = Copy::new("x", TxnId(1));
+        assert_eq!(h.stale_point(&c), Some((TxnId(3), Timestamp(30_000))));
+        let current = Copy::new("x", TxnId(3));
+        assert_eq!(h.stale_point(&current), None);
+        let never_synced = Copy::new("x", TxnId::ZERO);
+        assert_eq!(h.stale_point(&never_synced), Some((TxnId(1), Timestamp(10_000))));
+    }
+
+    #[test]
+    fn currency_measures_time_since_stale() {
+        let h = h();
+        let c = Copy::new("x", TxnId(1));
+        // stale since t=30s; at t=45s it has been stale 15s
+        assert_eq!(h.currency(&c, Timestamp(45_000)), Duration::from_secs(15));
+        let fresh = Copy::new("x", TxnId(3));
+        assert_eq!(h.currency(&fresh, Timestamp(45_000)), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_consistency_requires_gap_free_interval() {
+        let h = h();
+        // x@1 and y@2: max sync = 2; x modified at txn 3 > 2 → consistent.
+        assert!(h.snapshot_consistent(&[Copy::new("x", TxnId(1)), Copy::new("y", TxnId(2))]));
+        // x@0 and y@2: x modified at txn 1 ∈ (0, 2] → inconsistent.
+        assert!(!h.snapshot_consistent(&[Copy::new("x", TxnId(0)), Copy::new("y", TxnId(2))]));
+        // singleton and empty sets always consistent
+        assert!(h.snapshot_consistent(&[Copy::new("x", TxnId(0))]));
+        assert!(h.snapshot_consistent(&[]));
+    }
+
+    #[test]
+    fn distance_matches_paper_definition() {
+        let h = h();
+        // A = x synced@1, B = y synced@2 (time 20s). x becomes stale at
+        // txn 3 (30s) which is AFTER B's snapshot → A still current at Hm →
+        // distance 0.
+        assert_eq!(
+            h.distance(&Copy::new("x", TxnId(1)), &Copy::new("y", TxnId(2))),
+            Duration::ZERO
+        );
+        // A = x synced@0 (stale at txn1, 10s), B = y synced@2 (20s):
+        // distance = 20s - 10s = 10s. Order of args must not matter.
+        let a = Copy::new("x", TxnId(0));
+        let b = Copy::new("y", TxnId(2));
+        assert_eq!(h.distance(&a, &b), Duration::from_secs(10));
+        assert_eq!(h.distance(&b, &a), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn delta_consistency_uses_max_pairwise_distance() {
+        let h = h();
+        let copies =
+            vec![Copy::new("x", TxnId(0)), Copy::new("y", TxnId(2)), Copy::new("x", TxnId(3))];
+        // pairwise distances include 10s (x@0 vs y@2) and 20s (x@0 vs x@3)
+        assert!(h.delta_consistent(&copies, Duration::from_secs(20)));
+        assert!(!h.delta_consistent(&copies, Duration::from_secs(15)));
+        // Δ-consistency with bound 0 == snapshot consistency here
+        let consistent = vec![Copy::new("x", TxnId(1)), Copy::new("y", TxnId(2))];
+        assert!(h.delta_consistent(&consistent, Duration::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "txn ids must increase")]
+    fn non_monotonic_ids_rejected() {
+        let mut h = h();
+        h.record(TxnEvent { id: TxnId(2), time: Timestamp(40_000), objects: vec![] });
+    }
+
+    #[test]
+    fn empty_history_behaviour() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.currency(&Copy::new("x", TxnId::ZERO), Timestamp(5)), Duration::ZERO);
+        assert!(h.snapshot_consistent(&[Copy::new("x", TxnId::ZERO)]));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Executable formal semantics of C&C constraints (paper Sec. 8, Appendix).
+//!
+//! The paper defines the meaning of currency and consistency constraints in
+//! terms of *histories*: transactions commit on the master database with
+//! increasing integer timestamps, copies are synchronized by
+//! copy-transactions, and notions like staleness, currency and
+//! Δ-consistency are defined over the resulting timeline. This crate makes
+//! those definitions executable so they can serve as a **test oracle**: the
+//! integration suite replays what the system actually did (commits,
+//! propagations, reads) into a [`History`] and asks the oracle whether every
+//! answer honoured its constraints.
+//!
+//! Correspondence to the paper:
+//!
+//! | Paper (Sec. 8)                     | Here                               |
+//! |------------------------------------|------------------------------------|
+//! | history `Hn = T1 ∘ … ∘ Tn`         | [`History`] (ordered commits)      |
+//! | `xtime(O, Hn)` for master objects  | [`History::master_xtime`]          |
+//! | copy timestamp (sync-time xtime)   | [`Copy::synced`]                   |
+//! | `stale(C, Hn)` stale point         | [`History::stale_point`]           |
+//! | `currency(C, Hn)`                  | [`History::currency`]              |
+//! | snapshot consistency of a set K    | [`History::snapshot_consistent`]   |
+//! | `distance(A, B, Hn)` / Δ-consistency | [`History::distance`], [`History::delta_consistent`] |
+//! | timeline consistency (Sec. 8.7)    | [`timeline_consistent`]            |
+
+pub mod history;
+pub mod oracle;
+
+pub use history::{Copy, History, ObjectId, TxnEvent};
+pub use oracle::{timeline_consistent, GroupObservation};

@@ -1,0 +1,108 @@
+//! Inter-group and timeline consistency checks (paper Sec. 8.7).
+
+use crate::history::Copy;
+use rcc_common::TxnId;
+
+/// What one statement in a session observed: the copies (with their sync
+/// snapshots) its answer was computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupObservation {
+    /// Label for diagnostics (e.g. the query text or an index).
+    pub label: String,
+    /// Copies read by the statement.
+    pub copies: Vec<Copy>,
+}
+
+impl GroupObservation {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, copies: Vec<Copy>) -> GroupObservation {
+        GroupObservation { label: label.into(), copies }
+    }
+
+    /// The newest snapshot this group observed.
+    pub fn max_synced(&self) -> TxnId {
+        self.copies.iter().map(|c| c.synced).max().unwrap_or(TxnId::ZERO)
+    }
+
+    /// The oldest snapshot this group observed.
+    pub fn min_synced(&self) -> TxnId {
+        self.copies.iter().map(|c| c.synced).min().unwrap_or(TxnId::ZERO)
+    }
+}
+
+/// Timeline consistency across an ordered sequence of groups: "for any
+/// i < j, any objects A ∈ Gi, B ∈ Gj: xtime(A, Hn) ≤ xtime(B, Hn)" — time
+/// always moves forward (paper Sec. 8.7; surface syntax `BEGIN TIMEORDERED`
+/// / `END TIMEORDERED`, Sec. 2.3).
+///
+/// Returns `Ok(())` or the pair of group labels that violate the ordering.
+pub fn timeline_consistent(groups: &[GroupObservation]) -> Result<(), (String, String)> {
+    for i in 0..groups.len() {
+        for j in (i + 1)..groups.len() {
+            let newest_earlier = groups[i].max_synced();
+            let oldest_later = groups[j].min_synced();
+            if oldest_later < newest_earlier {
+                return Err((groups[i].label.clone(), groups[j].label.clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(label: &str, syncs: &[u64]) -> GroupObservation {
+        GroupObservation::new(
+            label,
+            syncs.iter().map(|&s| Copy::new("obj", TxnId(s))).collect(),
+        )
+    }
+
+    #[test]
+    fn forward_moving_sequence_passes() {
+        let groups = vec![g("q1", &[1, 2]), g("q2", &[2, 3]), g("q3", &[5])];
+        assert!(timeline_consistent(&groups).is_ok());
+    }
+
+    #[test]
+    fn backwards_read_detected() {
+        // q1 saw snapshot 5, q2 saw snapshot 3: user's perceived time moved
+        // backwards — exactly the anomaly Sec. 2.3 warns about.
+        let groups = vec![g("q1", &[5]), g("q2", &[3])];
+        assert_eq!(
+            timeline_consistent(&groups),
+            Err(("q1".to_string(), "q2".to_string()))
+        );
+    }
+
+    #[test]
+    fn non_adjacent_violation_detected() {
+        let groups = vec![g("q1", &[4]), g("q2", &[4]), g("q3", &[2])];
+        assert_eq!(
+            timeline_consistent(&groups),
+            Err(("q1".to_string(), "q3".to_string()))
+        );
+    }
+
+    #[test]
+    fn equal_snapshots_are_fine() {
+        let groups = vec![g("q1", &[3]), g("q2", &[3])];
+        assert!(timeline_consistent(&groups).is_ok());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(timeline_consistent(&[]).is_ok());
+        assert!(timeline_consistent(&[g("q", &[9])]).is_ok());
+        assert_eq!(g("q", &[]).max_synced(), TxnId::ZERO);
+    }
+
+    #[test]
+    fn min_max_synced() {
+        let group = g("q", &[3, 7, 5]);
+        assert_eq!(group.max_synced(), TxnId(7));
+        assert_eq!(group.min_synced(), TxnId(3));
+    }
+}

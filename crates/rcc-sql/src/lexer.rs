@@ -1,0 +1,353 @@
+//! SQL lexer.
+
+use rcc_common::{Error, Result};
+use std::fmt;
+
+/// A lexical token with its starting byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset into the source where the token starts.
+    pub pos: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and carried as
+/// their canonical upper-case spelling inside `Keyword`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved word (`SELECT`, `CURRENCY`, ...).
+    Keyword(String),
+    /// An unquoted identifier, lower-cased.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// A `$name` query parameter.
+    Param(String),
+    /// `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    Op(String),
+    /// `+ - * /`.
+    Arith(char),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `;`.
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(i) => write!(f, "{i}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Param(p) => write!(f, "${p}"),
+            TokenKind::Op(o) => write!(f, "{o}"),
+            TokenKind::Arith(c) => write!(f, "{c}"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Semi => f.write_str(";"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// Every word treated as a keyword by the parser. Includes the currency
+/// clause vocabulary from the paper (`CURRENCY`, `BOUND`, `ON`, `BY`, time
+/// units) and the session brackets (`TIMEORDERED`).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "AS", "AND", "OR", "NOT",
+    "IN", "EXISTS", "BETWEEN", "IS", "NULL", "TRUE", "FALSE", "JOIN", "INNER", "LEFT", "OUTER",
+    "ON", "DISTINCT", "LIMIT", "ASC", "DESC", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "TABLE", "INDEX", "VIEW", "CACHED", "PRIMARY", "KEY", "INT", "FLOAT",
+    "VARCHAR", "BOOL", "TIMESTAMP", "CURRENCY", "BOUND", "MS", "SEC", "SECOND", "SECONDS",
+    "MIN", "MINUTE", "MINUTES", "HOUR", "HOURS", "BEGIN", "END", "TIMEORDERED", "REGION",
+    "COUNT", "SUM", "AVG", "MAX", "GETDATE", "CLUSTERED", "DROP", "REFRESH", "INTERVAL", "DELAY",
+];
+
+/// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos: i });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semi, pos: i });
+                i += 1;
+            }
+            '.' if !(i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+                tokens.push(Token { kind: TokenKind::Dot, pos: i });
+                i += 1;
+            }
+            '+' | '*' | '/' => {
+                tokens.push(Token { kind: TokenKind::Arith(c), pos: i });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Arith('-'), pos: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Op("=".into()), pos: i });
+                i += 1;
+            }
+            '<' => {
+                let (op, adv) = if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    ("<=", 2)
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    ("<>", 2)
+                } else {
+                    ("<", 1)
+                };
+                tokens.push(Token { kind: TokenKind::Op(op.into()), pos: i });
+                i += adv;
+            }
+            '>' => {
+                let (op, adv) = if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    (">=", 2)
+                } else {
+                    (">", 1)
+                };
+                tokens.push(Token { kind: TokenKind::Op(op.into()), pos: i });
+                i += adv;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token { kind: TokenKind::Op("<>".into()), pos: i });
+                i += 2;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Lex {
+                            pos: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+            }
+            '$' => {
+                let start = i;
+                i += 1;
+                let begin = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if begin == i {
+                    return Err(Error::Lex { pos: start, message: "empty parameter name".into() });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Param(input[begin..i].to_ascii_lowercase()),
+                    pos: start,
+                });
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || (bytes[i] == b'.' && !saw_dot))
+                {
+                    if bytes[i] == b'.' {
+                        saw_dot = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let kind = if saw_dot {
+                    TokenKind::Float(text.parse().map_err(|_| Error::Lex {
+                        pos: start,
+                        message: format!("bad float literal '{text}'"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| Error::Lex {
+                        pos: start,
+                        message: format!("bad integer literal '{text}'"),
+                    })?)
+                };
+                tokens.push(Token { kind, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(word.to_ascii_lowercase())
+                };
+                tokens.push(Token { kind, pos: start });
+            }
+            other => {
+                return Err(Error::Lex { pos: i, message: format!("unexpected character '{other}'") })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, pos: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let ks = kinds("SELECT c_name FROM Customer");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Ident("c_name".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Ident("customer".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword("SELECT".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
+        assert_eq!(kinds(".5")[0], TokenKind::Float(0.5));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'o''brien'")[0], TokenKind::Str("o'brien".into()));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("a <= b <> c >= d != e < f > g = h");
+        let ops: Vec<String> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Op(o) => Some(o.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["<=", "<>", ">=", "<>", "<", ">", "="]);
+    }
+
+    #[test]
+    fn params() {
+        assert_eq!(kinds("$K")[0], TokenKind::Param("k".into()));
+        assert!(tokenize("$ ").is_err());
+    }
+
+    #[test]
+    fn currency_clause_tokens() {
+        let ks = kinds("CURRENCY BOUND 10 MIN ON (b, r) BY b.isbn");
+        assert_eq!(ks[0], TokenKind::Keyword("CURRENCY".into()));
+        assert_eq!(ks[1], TokenKind::Keyword("BOUND".into()));
+        assert_eq!(ks[2], TokenKind::Int(10));
+        assert_eq!(ks[3], TokenKind::Keyword("MIN".into()));
+        assert!(ks.contains(&TokenKind::Keyword("BY".into())));
+        assert!(ks.contains(&TokenKind::Dot));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT -- the projection\n 1");
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1], TokenKind::Int(1));
+    }
+
+    #[test]
+    fn punctuation_and_arith() {
+        let ks = kinds("(a, b); a.b + 1 - 2 * 3 / 4");
+        assert!(ks.contains(&TokenKind::LParen));
+        assert!(ks.contains(&TokenKind::Comma));
+        assert!(ks.contains(&TokenKind::Semi));
+        assert!(ks.contains(&TokenKind::Dot));
+        for c in ['+', '-', '*', '/'] {
+            assert!(ks.contains(&TokenKind::Arith(c)));
+        }
+    }
+
+    #[test]
+    fn unexpected_char_errors_with_position() {
+        let err = tokenize("SELECT #").unwrap_err();
+        match err {
+            Error::Lex { pos, .. } => assert_eq!(pos, 7),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let ts = tokenize("SELECT a").unwrap();
+        assert_eq!(ts[0].pos, 0);
+        assert_eq!(ts[1].pos, 7);
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! In-memory table storage for the RCC mini-DBMS.
+//!
+//! This crate plays the role SQL Server's storage engine plays in the paper:
+//! heap-less tables organized by a clustered BTree index, optional secondary
+//! indexes, range scans/seeks, and per-table statistics used by the cost
+//! model. Everything is deliberately simple and in-memory — the paper's
+//! experiments depend only on *relative* access-path costs and data volumes,
+//! both of which this engine models and actually executes.
+
+pub mod engine;
+pub mod index;
+pub mod range;
+pub mod stats;
+pub mod table;
+
+pub use engine::{StorageEngine, TableHandle};
+pub use index::SecondaryIndex;
+pub use range::KeyRange;
+pub use stats::{ColumnStats, TableStats};
+pub use table::{RowChange, Table};

@@ -1,0 +1,464 @@
+//! Tables organized by a clustered BTree index.
+
+use crate::index::SecondaryIndex;
+use crate::range::KeyRange;
+use rcc_common::{Error, Result, Row, Schema, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A logged change to a single row, the unit shipped through the
+/// replication log and applied by distribution agents in commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowChange {
+    /// Insert a full row.
+    Insert(Row),
+    /// Replace the row with clustered key `key` by `row`.
+    Update {
+        /// Clustered key of the target row.
+        key: Vec<Value>,
+        /// The (new) row value.
+        row: Row,
+    },
+    /// Delete the row with clustered key `key`.
+    Delete {
+        /// Clustered key of the target row.
+        key: Vec<Value>,
+    },
+}
+
+/// An in-memory table: rows stored in clustered-key order inside a BTree,
+/// plus any number of secondary indexes kept in sync on every mutation.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    /// Ordinals of the clustered key columns, in key order.
+    key: Vec<usize>,
+    rows: BTreeMap<Vec<Value>, Row>,
+    indexes: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Create an empty table clustered on the given key-column ordinals.
+    ///
+    /// # Panics
+    /// Panics if `key` is empty or references columns outside the schema —
+    /// both are construction-time programming errors.
+    pub fn new(name: impl Into<String>, schema: Schema, key: Vec<usize>) -> Table {
+        assert!(!key.is_empty(), "a table needs a clustered key");
+        assert!(key.iter().all(|&k| k < schema.len()), "key ordinal out of range");
+        Table { name: name.into(), schema, key, rows: BTreeMap::new(), indexes: Vec::new() }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema of stored rows.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Clustered key column ordinals.
+    pub fn key_ordinals(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Extract the clustered key of a row.
+    pub fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.key.iter().map(|&i| row.get(i).clone()).collect()
+    }
+
+    /// Add a secondary index over the given column ordinals. Existing rows
+    /// are indexed immediately.
+    pub fn create_index(&mut self, name: impl Into<String>, columns: Vec<usize>) -> Result<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|ix| ix.name() == name) {
+            return Err(Error::AlreadyExists(format!("index {name}")));
+        }
+        let mut ix = SecondaryIndex::new(name, columns);
+        for (key, row) in &self.rows {
+            ix.insert(row, key.clone());
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// All secondary indexes.
+    pub fn indexes(&self) -> &[SecondaryIndex] {
+        &self.indexes
+    }
+
+    /// Find a secondary index whose *first* column is `col`, if any.
+    pub fn index_on(&self, col: usize) -> Option<&SecondaryIndex> {
+        self.indexes.iter().find(|ix| ix.columns().first() == Some(&col))
+    }
+
+    /// Insert a row; errors on duplicate clustered key.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(Error::Storage(format!(
+                "row arity {} does not match schema arity {} for table {}",
+                row.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        let key = self.key_of(&row);
+        if self.rows.contains_key(&key) {
+            return Err(Error::Storage(format!(
+                "duplicate clustered key {key:?} in table {}",
+                self.name
+            )));
+        }
+        for ix in &mut self.indexes {
+            ix.insert(&row, key.clone());
+        }
+        self.rows.insert(key, row);
+        Ok(())
+    }
+
+    /// Insert or replace by clustered key (used by replication apply).
+    pub fn upsert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(Error::Storage(format!(
+                "row arity {} does not match schema arity {} for table {}",
+                row.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        let key = self.key_of(&row);
+        if let Some(old) = self.rows.remove(&key) {
+            for ix in &mut self.indexes {
+                ix.remove(&old, &key);
+            }
+        }
+        for ix in &mut self.indexes {
+            ix.insert(&row, key.clone());
+        }
+        self.rows.insert(key, row);
+        Ok(())
+    }
+
+    /// Delete by clustered key; returns the old row if present.
+    pub fn delete(&mut self, key: &[Value]) -> Option<Row> {
+        let old = self.rows.remove(key)?;
+        for ix in &mut self.indexes {
+            ix.remove(&old, key);
+        }
+        Some(old)
+    }
+
+    /// Replace the row at `key` with `row` (key columns of `row` must match
+    /// `key`; enforced).
+    pub fn update(&mut self, key: &[Value], row: Row) -> Result<()> {
+        if self.key_of(&row) != key {
+            return Err(Error::Storage(
+                "update row's key columns do not match the target key".into(),
+            ));
+        }
+        if !self.rows.contains_key(key) {
+            return Err(Error::Storage(format!("update target {key:?} not found")));
+        }
+        self.upsert(row)
+    }
+
+    /// Apply a logged [`RowChange`]. Replication delivers these in commit
+    /// order; apply is idempotent for inserts (they degrade to upserts) so a
+    /// re-delivered batch cannot wedge an agent.
+    pub fn apply(&mut self, change: &RowChange) -> Result<()> {
+        match change {
+            RowChange::Insert(row) => self.upsert(row.clone()),
+            RowChange::Update { row, .. } => self.upsert(row.clone()),
+            RowChange::Delete { key } => {
+                self.delete(key);
+                Ok(())
+            }
+        }
+    }
+
+    /// Point lookup by full clustered key.
+    pub fn get(&self, key: &[Value]) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Visit every row that falls in `range` on the *first* clustered key
+    /// column and passes `filter`; `emit` receives survivors.
+    ///
+    /// This is the single scan primitive: executors push residual predicates
+    /// down as `filter` so only qualifying rows are materialized.
+    pub fn scan_range<F, E>(&self, range: &KeyRange, mut filter: F, mut emit: E)
+    where
+        F: FnMut(&Row) -> bool,
+        E: FnMut(&Row),
+    {
+        // Translate the single-column range into a range over full composite
+        // keys: bound the first component, leave the rest open.
+        let low: Bound<Vec<Value>> = match &range.low {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(v) => Bound::Included(vec![v.clone()]),
+            // For an excluded lower bound on a composite key we must skip
+            // every key with that first component, so scan from Included and
+            // filter below.
+            Bound::Excluded(v) => Bound::Included(vec![v.clone()]),
+        };
+        let high: Bound<Vec<Value>> = match &range.high {
+            Bound::Unbounded => Bound::Unbounded,
+            // Included upper bound v: all keys [v, ...] qualify; since key
+            // vectors compare lexicographically and any suffix extends the
+            // prefix upward, use an artificial upper sentinel by filtering.
+            Bound::Included(_) | Bound::Excluded(_) => Bound::Unbounded,
+        };
+        for (key, row) in self.rows.range((low, high)) {
+            let first = &key[0];
+            if !range.contains(first) {
+                // Keys are sorted by first component, so once we pass the
+                // high bound we can stop; below the low bound (excluded
+                // case) keep going.
+                let above_high = match &range.high {
+                    Bound::Unbounded => false,
+                    Bound::Included(h) => first > h,
+                    Bound::Excluded(h) => first >= h,
+                };
+                if above_high {
+                    break;
+                }
+                continue;
+            }
+            if filter(row) {
+                emit(row);
+            }
+        }
+    }
+
+    /// Collect rows in `range` passing `filter` into a vector.
+    pub fn collect_range<F>(&self, range: &KeyRange, filter: F) -> Vec<Row>
+    where
+        F: FnMut(&Row) -> bool,
+    {
+        let mut out = Vec::new();
+        let mut filter = filter;
+        self.scan_range(range, |r| filter(r), |r| out.push(r.clone()));
+        out
+    }
+
+    /// Full-table scan collecting everything.
+    pub fn collect_all(&self) -> Vec<Row> {
+        self.rows.values().cloned().collect()
+    }
+
+    /// Seek a secondary index named `index` with `range`, returning matching
+    /// rows in index order (then clustered-key order).
+    pub fn index_scan(&self, index: &str, range: &KeyRange) -> Result<Vec<Row>> {
+        let ix = self
+            .indexes
+            .iter()
+            .find(|ix| ix.name() == index)
+            .ok_or_else(|| Error::NotFound(format!("index {index} on table {}", self.name)))?;
+        let mut out = Vec::new();
+        ix.scan(range, |pk| {
+            if let Some(row) = self.rows.get(pk) {
+                out.push(row.clone());
+            }
+        });
+        Ok(out)
+    }
+
+    /// Iterate all rows in clustered order.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.values()
+    }
+
+    /// Remove all rows (keeps schema and index definitions).
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        for ix in &mut self.indexes {
+            ix.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::{Column, DataType};
+
+    fn books() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("isbn", DataType::Int),
+            Column::new("title", DataType::Str),
+            Column::new("price", DataType::Float),
+        ]);
+        let mut t = Table::new("books", schema, vec![0]);
+        for (isbn, title, price) in
+            [(3, "c", 30.0), (1, "a", 10.0), (2, "b", 20.0), (5, "e", 50.0), (4, "d", 40.0)]
+        {
+            t.insert(Row::new(vec![Value::Int(isbn), Value::from(title), Value::Float(price)]))
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_maintains_clustered_order() {
+        let t = books();
+        let isbns: Vec<i64> =
+            t.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        assert_eq!(isbns, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = books();
+        let err = t
+            .insert(Row::new(vec![Value::Int(1), Value::from("dup"), Value::Float(0.0)]))
+            .unwrap_err();
+        assert!(matches!(err, Error::Storage(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = books();
+        assert!(t.insert(Row::new(vec![Value::Int(9)])).is_err());
+    }
+
+    #[test]
+    fn point_lookup() {
+        let t = books();
+        let r = t.get(&[Value::Int(3)]).unwrap();
+        assert_eq!(r.get(1).as_str().unwrap(), "c");
+        assert!(t.get(&[Value::Int(99)]).is_none());
+    }
+
+    #[test]
+    fn range_scan_half_open() {
+        let t = books();
+        let rows = t.collect_range(&KeyRange::less_than(Value::Int(3)), |_| true);
+        assert_eq!(rows.len(), 2);
+        let rows = t.collect_range(&KeyRange::between(Value::Int(2), Value::Int(4)), |_| true);
+        assert_eq!(rows.len(), 3);
+        let rows = t.collect_range(&KeyRange::greater_than(Value::Int(4)), |_| true);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn scan_filter_pushdown() {
+        let t = books();
+        let rows = t.collect_range(&KeyRange::all(), |r| {
+            r.get(2).as_float().unwrap() > 25.0
+        });
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn update_and_delete_maintain_state() {
+        let mut t = books();
+        t.update(
+            &[Value::Int(2)],
+            Row::new(vec![Value::Int(2), Value::from("b2"), Value::Float(21.0)]),
+        )
+        .unwrap();
+        assert_eq!(t.get(&[Value::Int(2)]).unwrap().get(1).as_str().unwrap(), "b2");
+        assert!(t
+            .update(&[Value::Int(2)], Row::new(vec![Value::Int(3), Value::from("x"), Value::Float(0.0)]))
+            .is_err());
+        let old = t.delete(&[Value::Int(2)]).unwrap();
+        assert_eq!(old.get(1).as_str().unwrap(), "b2");
+        assert_eq!(t.row_count(), 4);
+        assert!(t.delete(&[Value::Int(2)]).is_none());
+    }
+
+    #[test]
+    fn secondary_index_scan() {
+        let mut t = books();
+        t.create_index("ix_price", vec![2]).unwrap();
+        let rows = t
+            .index_scan("ix_price", &KeyRange::between(Value::Float(15.0), Value::Float(45.0)))
+            .unwrap();
+        let prices: Vec<f64> = rows.iter().map(|r| r.get(2).as_float().unwrap()).collect();
+        assert_eq!(prices, vec![20.0, 30.0, 40.0]);
+        assert!(t.index_scan("nope", &KeyRange::all()).is_err());
+    }
+
+    #[test]
+    fn index_tracks_mutations() {
+        let mut t = books();
+        t.create_index("ix_price", vec![2]).unwrap();
+        t.upsert(Row::new(vec![Value::Int(1), Value::from("a"), Value::Float(99.0)])).unwrap();
+        t.delete(&[Value::Int(5)]);
+        let rows = t.index_scan("ix_price", &KeyRange::at_least(Value::Float(45.0))).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0).as_int().unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = books();
+        t.create_index("ix", vec![2]).unwrap();
+        assert!(t.create_index("ix", vec![1]).is_err());
+    }
+
+    #[test]
+    fn apply_row_changes() {
+        let mut t = books();
+        t.apply(&RowChange::Delete { key: vec![Value::Int(1)] }).unwrap();
+        t.apply(&RowChange::Insert(Row::new(vec![
+            Value::Int(10),
+            Value::from("j"),
+            Value::Float(1.0),
+        ])))
+        .unwrap();
+        t.apply(&RowChange::Update {
+            key: vec![Value::Int(10)],
+            row: Row::new(vec![Value::Int(10), Value::from("j2"), Value::Float(2.0)]),
+        })
+        .unwrap();
+        assert_eq!(t.get(&[Value::Int(10)]).unwrap().get(1).as_str().unwrap(), "j2");
+        assert!(t.get(&[Value::Int(1)]).is_none());
+        // idempotent re-delivery
+        t.apply(&RowChange::Insert(Row::new(vec![
+            Value::Int(10),
+            Value::from("j2"),
+            Value::Float(2.0),
+        ])))
+        .unwrap();
+        assert_eq!(t.row_count(), 5);
+    }
+
+    #[test]
+    fn truncate_clears_rows_and_indexes() {
+        let mut t = books();
+        t.create_index("ix_price", vec![2]).unwrap();
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+        assert!(t.index_scan("ix_price", &KeyRange::all()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn composite_key_prefix_scan() {
+        let schema = Schema::new(vec![
+            Column::new("cust", DataType::Int),
+            Column::new("order", DataType::Int),
+        ]);
+        let mut t = Table::new("orders", schema, vec![0, 1]);
+        for c in 1..=3 {
+            for o in 1..=4 {
+                t.insert(Row::new(vec![Value::Int(c), Value::Int(o * 10)])).unwrap();
+            }
+        }
+        let rows = t.collect_range(&KeyRange::eq(Value::Int(2)), |_| true);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.get(0).as_int().unwrap() == 2));
+        // prefix scan respects excluded lower bound
+        let rows = t.collect_range(&KeyRange::greater_than(Value::Int(2)), |_| true);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.get(0).as_int().unwrap() == 3));
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! TPC-D-style data and workload generator.
+//!
+//! The paper's experiments run on a TPC-D database at scale factor 1.0 and
+//! use only the Customer (150,000 rows) and Orders (1,500,000 rows) tables
+//! (Sec. 4): Customer clustered on `c_custkey` with a secondary index on
+//! `c_acctbal`; Orders clustered on `(o_custkey, o_orderkey)`; "customers
+//! have 10 orders on average". This crate generates that data
+//! deterministically at any scale factor, plus the update workload used by
+//! the replication experiments.
+
+pub mod gen;
+pub mod workload;
+
+pub use gen::{customer_meta, orders_meta, TpcdGenerator};
+pub use workload::UpdateWorkload;

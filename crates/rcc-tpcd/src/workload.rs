@@ -1,0 +1,142 @@
+//! Update workload generation.
+//!
+//! The replication experiments need a stream of update transactions at the
+//! back-end so cached views actually go stale. This generator produces
+//! balance updates on Customer and price updates / inserts on Orders,
+//! deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcc_common::{Row, Value};
+use rcc_storage::RowChange;
+
+/// A deterministic stream of single-row update transactions over the
+/// generated TPC-D data.
+#[derive(Debug)]
+pub struct UpdateWorkload {
+    rng: StdRng,
+    customer_count: u64,
+    next_orderkey: i64,
+}
+
+/// One generated change: the target table plus the row change.
+pub type WorkloadChange = (String, RowChange);
+
+impl UpdateWorkload {
+    /// Workload over a database with `customer_count` customers.
+    pub fn new(customer_count: u64, seed: u64) -> UpdateWorkload {
+        UpdateWorkload {
+            rng: StdRng::seed_from_u64(seed),
+            customer_count,
+            // new orders get keys far above the generated 5..=15 range
+            next_orderkey: 1_000_000,
+        }
+    }
+
+    /// Next customer balance update.
+    pub fn customer_update(&mut self) -> WorkloadChange {
+        let k = self.rng.gen_range(1..=self.customer_count) as i64;
+        let bal = self.rng.gen_range(-999.99f64..9999.99);
+        (
+            "customer".to_string(),
+            RowChange::Update {
+                key: vec![Value::Int(k)],
+                row: Row::new(vec![
+                    Value::Int(k),
+                    Value::Str(format!("Customer#{k:09}")),
+                    Value::Int(self.rng.gen_range(0..25)),
+                    Value::Float((bal * 100.0).round() / 100.0),
+                ]),
+            },
+        )
+    }
+
+    /// Next new-order insert.
+    pub fn order_insert(&mut self) -> WorkloadChange {
+        let cust = self.rng.gen_range(1..=self.customer_count) as i64;
+        self.next_orderkey += 1;
+        let price = self.rng.gen_range(10.0f64..10_000.0);
+        (
+            "orders".to_string(),
+            RowChange::Insert(Row::new(vec![
+                Value::Int(cust),
+                Value::Int(self.next_orderkey),
+                Value::Float((price * 100.0).round() / 100.0),
+                Value::Str("O".to_string()),
+            ])),
+        )
+    }
+
+    /// A mixed change: 70% customer updates, 30% order inserts.
+    pub fn next_change(&mut self) -> WorkloadChange {
+        if self.rng.gen_bool(0.7) {
+            self.customer_update()
+        } else {
+            self.order_insert()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = UpdateWorkload::new(100, 5);
+        let mut b = UpdateWorkload::new(100, 5);
+        for _ in 0..20 {
+            assert_eq!(a.next_change(), b.next_change());
+        }
+    }
+
+    #[test]
+    fn customer_updates_target_valid_keys() {
+        let mut w = UpdateWorkload::new(50, 1);
+        for _ in 0..100 {
+            let (table, change) = w.customer_update();
+            assert_eq!(table, "customer");
+            match change {
+                RowChange::Update { key, row } => {
+                    let k = key[0].as_int().unwrap();
+                    assert!((1..=50).contains(&k));
+                    assert_eq!(row.get(0), &key[0]);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn order_inserts_use_fresh_keys() {
+        let mut w = UpdateWorkload::new(50, 2);
+        let mut keys = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let (table, change) = w.order_insert();
+            assert_eq!(table, "orders");
+            match change {
+                RowChange::Insert(row) => {
+                    let key = (row.get(0).as_int().unwrap(), row.get(1).as_int().unwrap());
+                    assert!(key.1 > 1_000_000);
+                    assert!(keys.insert(key.1), "order keys must be unique");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mix_has_both_kinds() {
+        let mut w = UpdateWorkload::new(50, 3);
+        let mut cust = 0;
+        let mut ord = 0;
+        for _ in 0..200 {
+            match w.next_change().0.as_str() {
+                "customer" => cust += 1,
+                "orders" => ord += 1,
+                other => panic!("{other}"),
+            }
+        }
+        assert!(cust > 100 && ord > 30, "cust={cust} ord={ord}");
+    }
+}

@@ -1,0 +1,60 @@
+//! The paper's third usage scenario (Sec. 1): *caching of query results*.
+//!
+//! "Suppose we have a component that caches SQL query results (e.g.,
+//! application level caching) ... The cache can easily keep track of the
+//! staleness of its cached results and if a result does not satisfy a
+//! query's currency requirements, transparently recompute it. In this way,
+//! an application can always be assured that its currency requirements are
+//! met."
+//!
+//! ```sh
+//! cargo run -p rcc-mtcache --example result_cache
+//! ```
+
+use rcc_common::Duration;
+use rcc_mtcache::{MTCache, QueryResultCache};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = MTCache::new();
+    cache.execute("CREATE TABLE scores (team INT, points INT, PRIMARY KEY (team))")?;
+    for t in 1..=20 {
+        cache.execute(&format!("INSERT INTO scores VALUES ({t}, {})", t * 7 % 50))?;
+    }
+    cache.analyze("scores")?;
+    cache.execute("CREATE REGION league INTERVAL 10 SEC DELAY 2 SEC")?;
+    cache.execute("CREATE CACHED VIEW scores_v REGION league AS SELECT team, points FROM scores")?;
+    cache.advance(Duration::from_secs(30))?;
+
+    let results = QueryResultCache::new();
+    // a leaderboard query that tolerates 60 s of staleness
+    const LEADERBOARD: &str = "SELECT team, points FROM scores \
+                               ORDER BY points DESC LIMIT 5 \
+                               CURRENCY BOUND 60 SEC ON (scores)";
+
+    println!("== first request: computed through the C&C pipeline");
+    let r = results.execute(&cache, LEADERBOARD)?;
+    print!("{}", r.display_rows(5));
+    println!("   (hits, misses) = {:?}", results.stats());
+
+    println!("\n== repeated requests within the bound: served from the result cache");
+    for _ in 0..3 {
+        results.execute(&cache, LEADERBOARD)?;
+    }
+    println!("   (hits, misses) = {:?}", results.stats());
+
+    println!("\n== a score changes and 2 minutes pass: the entry no longer");
+    println!("   satisfies the 60 s requirement → transparent recompute");
+    cache.execute("UPDATE scores SET points = 99 WHERE team = 13")?;
+    cache.advance(Duration::from_secs(120))?;
+    let fresh = results.execute(&cache, LEADERBOARD)?;
+    print!("{}", fresh.display_rows(5));
+    println!("   (hits, misses) = {:?}", results.stats());
+
+    println!("\n== a query with NO currency clause demands the latest snapshot");
+    println!("   and always bypasses the result cache:");
+    let strict = "SELECT points FROM scores WHERE team = 13";
+    results.execute(&cache, strict)?;
+    results.execute(&cache, strict)?;
+    println!("   (hits, misses) = {:?} — both recomputed", results.stats());
+    Ok(())
+}

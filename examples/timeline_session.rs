@@ -1,0 +1,74 @@
+//! Timeline consistency (paper Sec. 2.3): "users may not even see their
+//! own changes unless timeline consistency is specified, because a later
+//! query may use a replica that has not yet been updated."
+//!
+//! ```sh
+//! cargo run -p rcc-mtcache --example timeline_session
+//! ```
+
+use rcc_common::Duration;
+use rcc_mtcache::MTCache;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = MTCache::new();
+    cache.execute("CREATE TABLE cart (item INT, qty INT, PRIMARY KEY (item))")?;
+    cache.execute("INSERT INTO cart VALUES (1, 2)")?;
+    cache.analyze("cart")?;
+    cache.create_region("carts", Duration::from_secs(30), Duration::from_secs(2))?;
+    cache.execute("CREATE CACHED VIEW cart_v REGION carts AS SELECT item, qty FROM cart")?;
+    cache.advance(Duration::from_secs(60))?;
+
+    const READ: &str = "SELECT qty FROM cart WHERE item = 1 CURRENCY BOUND 5 MIN ON (cart)";
+
+    // ------------------------------------------------ without TIMEORDERED
+    println!("== plain session (no timeline guarantee)");
+    cache.execute("UPDATE cart SET qty = 5 WHERE item = 1")?;
+    let r = cache.execute(READ)?;
+    println!(
+        "   after setting qty=5, a relaxed read returns qty={} (stale replica!), local={}",
+        r.rows[0].get(0),
+        !r.used_remote
+    );
+
+    // let the view catch up and reset
+    cache.advance(Duration::from_secs(60))?;
+
+    // --------------------------------------------------- with TIMEORDERED
+    println!("== BEGIN TIMEORDERED session");
+    let mut session = cache.session();
+    session.execute("BEGIN TIMEORDERED")?;
+
+    let before = session.execute(READ)?;
+    println!("   read qty = {} (local: {})", before.rows[0].get(0), !before.used_remote);
+
+    session.execute("UPDATE cart SET qty = 9 WHERE item = 1")?;
+    println!("   UPDATE cart SET qty = 9 (committed at the back-end)");
+
+    // a current read inside the bracket raises the session's snapshot
+    // floor for every region caching `cart`
+    let own = session.execute("SELECT qty FROM cart WHERE item = 1")?;
+    println!("   current read sees qty = {}", own.rows[0].get(0));
+
+    // the relaxed read would LOVE the (fresh-enough-by-bound) replica, but
+    // the replica predates the session's floor: the guard refuses and the
+    // read is routed to the back-end — the user sees their own change
+    let after = session.execute(READ)?;
+    println!(
+        "   relaxed read under TIMEORDERED: qty = {} (remote: {}) — own change visible",
+        after.rows[0].get(0),
+        after.used_remote
+    );
+
+    session.execute("END TIMEORDERED")?;
+
+    // once replication propagates the update, relaxed reads serve locally
+    // again with the new value
+    cache.advance(Duration::from_secs(60))?;
+    let settled = cache.execute(READ)?;
+    println!(
+        "== after propagation: relaxed read qty = {} (local: {})",
+        settled.rows[0].get(0),
+        !settled.used_remote
+    );
+    Ok(())
+}

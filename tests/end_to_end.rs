@@ -1,0 +1,335 @@
+//! End-to-end integration tests: SQL in, rows out, through the full
+//! cache + replication + back-end stack on simulated time.
+
+use rcc_common::{Duration, Error, Value};
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use rcc_mtcache::{MTCache, ViolationPolicy};
+use rcc_optimizer::optimize::PlanChoice;
+use std::collections::HashMap;
+
+fn rig() -> MTCache {
+    let cache = paper_setup(0.001, 42).unwrap(); // 150 customers, ~1500 orders
+    warm_up(&cache).unwrap();
+    cache
+}
+
+#[test]
+fn default_semantics_query_goes_remote() {
+    let cache = rig();
+    let r = cache.execute("SELECT c_name FROM customer WHERE c_custkey = 7").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].get(0).as_str().unwrap(), "Customer#000000007");
+    assert_eq!(r.plan_choice, PlanChoice::FullRemote, "no currency clause → back-end");
+    assert!(r.used_remote);
+    assert!(r.guards.is_empty());
+}
+
+#[test]
+fn bounded_query_served_from_cached_view() {
+    let cache = rig();
+    let r = cache
+        .execute(
+            "SELECT c_name FROM customer WHERE c_custkey = 7 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.local_branches(), 1, "fresh view: guard passes");
+    assert!(!r.used_remote);
+}
+
+#[test]
+fn stale_view_falls_back_to_backend_transparently() {
+    let cache = rig();
+    // stall CR1's agent and let time pass: cust_prj goes stale
+    assert!(cache.set_region_stalled("CR1", true));
+    cache.advance(Duration::from_secs(120)).unwrap();
+    let r = cache
+        .execute(
+            "SELECT c_name FROM customer WHERE c_custkey = 7 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "result still produced");
+    assert_eq!(r.remote_branches(), 1, "guard failed");
+    assert!(r.used_remote);
+}
+
+#[test]
+fn updates_flow_to_cache_through_replication() {
+    let cache = rig();
+    cache
+        .execute("UPDATE customer SET c_acctbal = 1234.5 WHERE c_custkey = 3")
+        .unwrap();
+    // not yet propagated: bounded read of the view sees the old value,
+    // current read sees the new one
+    let bounded = cache
+        .execute(
+            "SELECT c_acctbal FROM customer WHERE c_custkey = 3 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+        )
+        .unwrap();
+    assert_ne!(bounded.rows[0].get(0), &Value::Float(1234.5), "stale but within bound");
+    let current = cache.execute("SELECT c_acctbal FROM customer WHERE c_custkey = 3").unwrap();
+    assert_eq!(current.rows[0].get(0), &Value::Float(1234.5));
+    // after a propagation cycle the view catches up
+    cache.advance(Duration::from_secs(30)).unwrap();
+    let bounded = cache
+        .execute(
+            "SELECT c_acctbal FROM customer WHERE c_custkey = 3 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+        )
+        .unwrap();
+    assert_eq!(bounded.rows[0].get(0), &Value::Float(1234.5));
+}
+
+#[test]
+fn insert_and_delete_forwarded() {
+    let cache = rig();
+    cache
+        .execute(
+            "INSERT INTO customer (c_custkey, c_name, c_nationkey, c_acctbal) \
+             VALUES (9999, 'New Customer', 1, 0.0)",
+        )
+        .unwrap();
+    let r = cache.execute("SELECT c_name FROM customer WHERE c_custkey = 9999").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    cache.execute("DELETE FROM customer WHERE c_custkey = 9999").unwrap();
+    let r = cache.execute("SELECT c_name FROM customer WHERE c_custkey = 9999").unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn join_with_relaxed_bounds_matches_backend_truth() {
+    let cache = rig();
+    let r = cache
+        .execute(
+            "SELECT c.c_name, o.o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey AND c.c_custkey <= 150 \
+             CURRENCY BOUND 30 SEC ON (c), 30 SEC ON (o)",
+        )
+        .unwrap();
+    assert!(!r.rows.is_empty());
+    let truth = cache
+        .execute(
+            "SELECT c.c_name, o.o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey AND c.c_custkey <= 150",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), truth.rows.len());
+}
+
+#[test]
+fn aggregates_match_backend_truth() {
+    let cache = rig();
+    let local = cache
+        .execute(
+            "SELECT o_custkey, COUNT(*) AS n FROM orders \
+             GROUP BY o_custkey HAVING COUNT(*) >= 12 ORDER BY n DESC, o_custkey \
+             CURRENCY BOUND 60 SEC ON (orders)",
+        )
+        .unwrap();
+    let remote = cache
+        .execute(
+            "SELECT o_custkey, COUNT(*) AS n FROM orders \
+             GROUP BY o_custkey HAVING COUNT(*) >= 12 ORDER BY n DESC, o_custkey",
+        )
+        .unwrap();
+    assert!(!local.rows.is_empty());
+    assert_eq!(local.rows, remote.rows);
+}
+
+#[test]
+fn consistency_requirement_across_regions_forces_remote() {
+    let cache = rig();
+    // both views are fresh enough for 30s bounds, but they live in
+    // different regions, so mutual consistency cannot be guaranteed
+    // locally (the paper's Q3)
+    let r = cache
+        .execute(
+            "SELECT c.c_name, o.o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey AND c.c_custkey <= 5 \
+             CURRENCY BOUND 30 SEC ON (c, o)",
+        )
+        .unwrap();
+    assert_eq!(r.plan_choice, PlanChoice::FullRemote);
+    assert!(!r.rows.is_empty());
+}
+
+#[test]
+fn exists_subquery_with_consistency_class() {
+    let cache = rig();
+    let r = cache
+        .execute(
+            "SELECT c.c_name FROM customer c WHERE c.c_custkey <= 10 AND \
+             EXISTS (SELECT * FROM orders s WHERE s.o_custkey = c.c_custkey AND \
+                     s.o_totalprice > 100.0 CURRENCY BOUND 30 SEC ON (s, c)) \
+             CURRENCY BOUND 30 SEC ON (c)",
+        )
+        .unwrap();
+    assert!(!r.rows.is_empty());
+    let truth = cache
+        .execute(
+            "SELECT c.c_name FROM customer c WHERE c.c_custkey <= 10 AND \
+             EXISTS (SELECT * FROM orders s WHERE s.o_custkey = c.c_custkey AND \
+                     s.o_totalprice > 100.0)",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), truth.rows.len());
+}
+
+#[test]
+fn violation_policies_without_backend() {
+    let cache = rig();
+    cache.set_backend_available(false);
+    assert!(cache.set_region_stalled("CR1", true));
+    cache.advance(Duration::from_secs(120)).unwrap();
+
+    // Reject: error
+    let err = cache
+        .execute(
+            "SELECT c_name FROM customer WHERE c_custkey = 7 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::CurrencyViolation(_)), "{err}");
+
+    // ServeStale: rows plus warnings
+    let r = cache
+        .execute_with_policy(
+            "SELECT c_name FROM customer WHERE c_custkey = 7 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+            &HashMap::new(),
+            ViolationPolicy::ServeStale,
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(!r.warnings.is_empty());
+    assert!(r.warnings[0].contains("stale"), "{:?}", r.warnings);
+}
+
+#[test]
+fn no_backend_but_fresh_view_works() {
+    let cache = rig();
+    cache.set_backend_available(false);
+    let r = cache
+        .execute(
+            "SELECT c_name FROM customer WHERE c_custkey = 7 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(!r.used_remote);
+}
+
+#[test]
+fn parameters_bind() {
+    let cache = rig();
+    let mut params = HashMap::new();
+    params.insert("k".to_string(), Value::Int(5));
+    let r = cache
+        .execute_with_params("SELECT c_name FROM customer WHERE c_custkey = $k", &params)
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn explain_reports_plan_without_executing() {
+    let cache = rig();
+    let before = cache.counters().remote_queries.load(std::sync::atomic::Ordering::Relaxed);
+    let opt = cache
+        .explain(
+            "SELECT c_name FROM customer WHERE c_custkey = 7 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+            &HashMap::new(),
+        )
+        .unwrap();
+    assert!(opt.plan.explain().contains("SwitchUnion"));
+    let after = cache.counters().remote_queries.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn order_by_and_limit() {
+    let cache = rig();
+    let r = cache
+        .execute(
+            "SELECT c_custkey, c_acctbal FROM customer \
+             ORDER BY c_acctbal DESC LIMIT 5 CURRENCY BOUND 60 SEC ON (customer)",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 5);
+    for w in r.rows.windows(2) {
+        assert!(w[0].get(1) >= w[1].get(1));
+    }
+}
+
+#[test]
+fn timeordered_outside_session_rejected() {
+    let cache = rig();
+    assert!(cache.execute("BEGIN TIMEORDERED").is_err());
+}
+
+#[test]
+fn create_table_view_region_roundtrip() {
+    let cache = MTCache::new();
+    cache
+        .execute("CREATE TABLE books (isbn INT, title VARCHAR, price FLOAT, PRIMARY KEY (isbn))")
+        .unwrap();
+    cache
+        .execute("INSERT INTO books VALUES (1, 'A Book', 10.0), (2, 'Another', 20.0)")
+        .unwrap();
+    cache.analyze("books").unwrap();
+    cache.create_region("R", Duration::from_secs(5), Duration::from_secs(1)).unwrap();
+    cache.execute("CREATE CACHED VIEW books_v REGION r AS SELECT isbn, title FROM books").unwrap();
+    cache.advance(Duration::from_secs(20)).unwrap();
+    let r = cache
+        .execute("SELECT title FROM books WHERE isbn = 2 CURRENCY BOUND 10 SEC ON (books)")
+        .unwrap();
+    assert_eq!(r.rows[0].get(0).as_str().unwrap(), "Another");
+    assert!(!r.used_remote);
+}
+
+#[test]
+fn selection_view_serves_only_subsumed_queries() {
+    let cache = MTCache::new();
+    cache.execute("CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))").unwrap();
+    for i in 0..100 {
+        cache.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2)).unwrap();
+    }
+    cache.analyze("t").unwrap();
+    cache.create_region("R", Duration::from_secs(5), Duration::from_secs(1)).unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_low REGION r AS SELECT id, v FROM t WHERE id < 50")
+        .unwrap();
+    cache.advance(Duration::from_secs(20)).unwrap();
+
+    let subsumed = cache
+        .execute("SELECT v FROM t WHERE id < 10 CURRENCY BOUND 10 SEC ON (t)")
+        .unwrap();
+    assert!(!subsumed.used_remote, "query range inside view range → local");
+    assert_eq!(subsumed.rows.len(), 10);
+
+    let not_subsumed = cache
+        .execute("SELECT v FROM t WHERE id < 80 CURRENCY BOUND 10 SEC ON (t)")
+        .unwrap();
+    assert!(not_subsumed.used_remote, "range exceeds the view → remote");
+    assert_eq!(not_subsumed.rows.len(), 80);
+}
+
+#[test]
+fn query_result_cache_scenario() {
+    use rcc_mtcache::QueryResultCache;
+    let cache = rig();
+    let qc = QueryResultCache::new();
+    let sql = "SELECT c_acctbal FROM customer WHERE c_custkey = 3 \
+               CURRENCY BOUND 30 SEC ON (customer)";
+    let r1 = qc.execute(&cache, sql).unwrap();
+    let r2 = qc.execute(&cache, sql).unwrap();
+    assert_eq!(r1.rows, r2.rows);
+    assert_eq!(qc.stats(), (1, 1), "second call hits");
+    // age the entry past the bound: recompute
+    cache.advance(Duration::from_secs(120)).unwrap();
+    let _ = qc.execute(&cache, sql).unwrap();
+    assert_eq!(qc.stats(), (1, 2), "stale entry recomputed");
+}
