@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`/`Throughput`/`sample_size`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! mean-of-N timing loop. No statistics, plots, or CLI; results print as
+//! one line per benchmark. Good enough to keep `cargo bench` runnable and
+//! the bench targets compiling offline.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Default iteration sample count.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement: Duration::from_millis(400),
+            sample_size: 60,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a single benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, self.measurement, self.sample_size, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput (printed with the timing line).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.measurement,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            f,
+        );
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `iters` invocations of `routine`, rebuilding its input with
+    /// `setup` before each one; only the routine is timed.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn run_one<F>(
+    name: &str,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+    samples: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // calibrate: find an iteration count that takes roughly
+    // measurement/samples, starting from a single timed call
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget = measurement.as_secs_f64() / samples as f64;
+    let iters = (budget / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters as u32;
+        best = best.min(per);
+        total += b.elapsed;
+        total_iters += b.iters;
+    }
+    let mean = total.as_secs_f64() / total_iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(" ({:.0} elem/s)", n as f64 / mean),
+        Some(Throughput::Bytes(n)) => {
+            format!(" ({:.1} MiB/s)", n as f64 / mean / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<50} time: [mean {} best {}]{rate}",
+        fmt_ns(mean * 1e9),
+        fmt_ns(best.as_secs_f64() * 1e9)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions into a single runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| std::hint::black_box(2 * 2)));
+        group.finish();
+    }
+}

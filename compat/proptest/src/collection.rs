@@ -1,0 +1,189 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// Target size for a generated collection, inclusive on both ends.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.usize_inclusive(self.lo, self.hi)
+    }
+}
+
+// Retry budget per element before the whole collection draw is rejected.
+const ELEMENT_RETRIES: usize = 32;
+
+fn draw<S: Strategy>(element: &S, rng: &mut TestRng) -> Option<S::Value> {
+    (0..ELEMENT_RETRIES).find_map(|_| element.generate(rng))
+}
+
+/// `Vec` of values drawn from `element`, with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| draw(&self.element, rng)).collect()
+    }
+}
+
+/// `BTreeSet` of values drawn from `element`, with a size in `size`.
+///
+/// If the element space is too small to reach the requested size the draw
+/// is rejected rather than looping forever.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<BTreeSet<S::Value>> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        for _ in 0..(ELEMENT_RETRIES * (target + 1)) {
+            if out.len() == target {
+                break;
+            }
+            out.insert(self.element.generate(rng)?);
+        }
+        (out.len() >= self.size.lo).then_some(out)
+    }
+}
+
+/// `BTreeMap` with keys from `key`, values from `value`, size in `size`.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<BTreeMap<K::Value, V::Value>> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        for _ in 0..(ELEMENT_RETRIES * (target + 1)) {
+            if out.len() == target {
+                break;
+            }
+            out.insert(self.key.generate(rng)?, self.value.generate(rng)?);
+        }
+        (out.len() >= self.size.lo).then_some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let s = vec(0i64..10, 2..5);
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn set_rejects_when_space_too_small() {
+        // only 2 distinct elements but 3 requested: must reject, not hang
+        let s = btree_set(0u32..2, 3..4);
+        let mut rng = TestRng::seed_from_u64(8);
+        assert!(s.generate(&mut rng).is_none());
+    }
+
+    #[test]
+    fn map_hits_requested_sizes() {
+        let s = btree_map(0i64..1000, 0i64..10, 5..6);
+        let mut rng = TestRng::seed_from_u64(2);
+        let m = s.generate(&mut rng).unwrap();
+        assert_eq!(m.len(), 5);
+    }
+}

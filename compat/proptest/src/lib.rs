@@ -1,0 +1,178 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of proptest its property tests use: the [`Strategy`] trait
+//! with `prop_map`/`prop_filter`, range and regex-literal strategies,
+//! tuples, [`collection`] (vec / btree_set / btree_map), [`option::of`],
+//! `Just`, `prop_oneof!`, and the `proptest!` / `prop_assert!` family of
+//! macros. Cases are generated from a fixed deterministic seed; there is
+//! **no shrinking** — a failure reports the assert message and case number
+//! only, which is enough for the deterministic suites in this repo.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+///     #[test]
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ( $( $strat, )+ );
+                $crate::test_runner::run(&config, &strategy, |( $( $arg, )+ )| {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts only the current case
+/// with a formatted message (and fails the test — no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: both sides equal `{:?}`", l);
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::arm($strat) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in -50i64..50, b in 1u64..=15) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!((1..=15).contains(&b), "b={b}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((0u32..6, 0u8..4), 1..7),
+            s in "[a-z][a-z0-9_]{0,8}",
+            o in crate::option::of(0i64..10),
+            pick in prop_oneof![Just(1i64), 10i64..20, (100i64..200).prop_map(|x| x)],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+            for (a, b) in &v {
+                prop_assert!(*a < 6 && *b < 4);
+            }
+            prop_assert!(!s.is_empty() && s.len() <= 9, "s={s}");
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            if let Some(x) = o {
+                prop_assert!((0..10).contains(&x));
+            }
+            prop_assert!(pick == 1 || (10..20).contains(&pick) || (100..200).contains(&pick));
+        }
+
+        #[test]
+        fn filter_retries(x in (0i64..100).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn sets_and_maps_respect_sizes(
+            set in crate::collection::btree_set(0u32..6, 1..4),
+            map in crate::collection::btree_map(-50i64..50, -50i64..50, 0..60),
+        ) {
+            prop_assert!(!set.is_empty() && set.len() < 4);
+            prop_assert!(map.len() < 60);
+        }
+    }
+
+    #[test]
+    #[allow(unnameable_test_items)]
+    fn early_return_ok_compiles() {
+        proptest! {
+            #[test]
+            fn inner(x in 0i64..10) {
+                if x > 100 {
+                    return Ok(());
+                }
+                prop_assert!(x < 10);
+            }
+        }
+        inner();
+    }
+}

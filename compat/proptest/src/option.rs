@@ -1,0 +1,48 @@
+//! `Option` strategy: `proptest::option::of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Produce `None` or `Some(value)` with equal probability.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+        if rng.below(2) == 0 {
+            Some(None)
+        } else {
+            self.inner.generate(rng).map(Some)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0i64..10);
+        let mut rng = TestRng::seed_from_u64(6);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..200 {
+            match s.generate(&mut rng).unwrap() {
+                Some(v) => {
+                    assert!((0..10).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

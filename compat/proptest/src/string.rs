@@ -1,0 +1,141 @@
+//! Tiny regex-subset generator backing the `&str` strategy.
+//!
+//! Supports exactly what the workspace's property tests use: literal
+//! characters, character classes `[a-z0-9_]` (ranges and singletons, with
+//! a literal leading space as in `[ -~]`), and counted repetition
+//! `{min,max}` / `{n}` after an atom. Anything else panics loudly so a new
+//! pattern is noticed at the first test run, not silently mis-generated.
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in regex {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in regex {pattern:?}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex {pattern:?}");
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in regex {pattern:?}");
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c @ ('+' | '*' | '?' | '(' | ')' | '|' | '.' | '^' | '$') => {
+                panic!("regex feature {c:?} in {pattern:?} not supported by the offline proptest stand-in")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in regex {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern` (see module docs for the subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = rng.usize_inclusive(atom.min, atom.max);
+        for _ in 0..count {
+            out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ident_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,8}", &mut r);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[ -~]{0,80}", &mut r);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut r = rng();
+        let s = generate_matching("ab[0-1]{3}z", &mut r);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("ab") && s.ends_with('z'));
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn unsupported_feature_panics() {
+        generate_matching("a+", &mut rng());
+    }
+}

@@ -3,9 +3,7 @@
 use crate::heartbeat::{heartbeat_schema, HEARTBEAT_TABLE};
 use parking_lot::RwLock;
 use rcc_catalog::{Catalog, TableMeta};
-use rcc_common::{
-    Clock, Error, RegionId, Result, Row, Timestamp, TxnId, Value,
-};
+use rcc_common::{Clock, Error, RegionId, Result, Row, Timestamp, TxnId, Value};
 use rcc_storage::{RowChange, StorageEngine, Table, TableHandle, TableStats};
 use std::sync::Arc;
 
@@ -21,7 +19,10 @@ pub struct TableChange {
 impl TableChange {
     /// Convenience constructor.
     pub fn new(table: impl Into<String>, change: RowChange) -> TableChange {
-        TableChange { table: table.into().to_ascii_lowercase(), change }
+        TableChange {
+            table: table.into().to_ascii_lowercase(),
+            change,
+        }
     }
 }
 
@@ -71,7 +72,9 @@ impl MasterDb {
             log: RwLock::new(LogState::default()),
         };
         let hb = Table::new(HEARTBEAT_TABLE, heartbeat_schema(), vec![0]);
-        db.storage.create_table(hb).expect("fresh engine cannot collide");
+        db.storage
+            .create_table(hb)
+            .expect("fresh engine cannot collide");
         db
     }
 
@@ -173,10 +176,16 @@ impl MasterDb {
     /// time, as an ordinary logged transaction (so it replicates).
     pub fn beat(&self, region: RegionId) -> Result<CommittedTxn> {
         let now = self.clock.now();
-        let row = Row::new(vec![Value::Int(region.raw() as i64), Value::Timestamp(now.millis())]);
+        let row = Row::new(vec![
+            Value::Int(region.raw() as i64),
+            Value::Timestamp(now.millis()),
+        ]);
         self.execute_txn(vec![TableChange::new(
             HEARTBEAT_TABLE,
-            RowChange::Update { key: vec![Value::Int(region.raw() as i64)], row },
+            RowChange::Update {
+                key: vec![Value::Int(region.raw() as i64)],
+                row,
+            },
         )])
     }
 
@@ -256,7 +265,10 @@ mod tests {
     }
 
     fn ins(id: i64, val: i64) -> TableChange {
-        TableChange::new("t", RowChange::Insert(Row::new(vec![Value::Int(id), Value::Int(val)])))
+        TableChange::new(
+            "t",
+            RowChange::Insert(Row::new(vec![Value::Int(id), Value::Int(val)])),
+        )
     }
 
     #[test]
@@ -278,7 +290,9 @@ mod tests {
         assert_eq!(t.read().row_count(), 2);
         db.execute_txn(vec![TableChange::new(
             "t",
-            RowChange::Delete { key: vec![Value::Int(1)] },
+            RowChange::Delete {
+                key: vec![Value::Int(1)],
+            },
         )])
         .unwrap();
         assert_eq!(t.read().row_count(), 1);
@@ -289,7 +303,10 @@ mod tests {
         let (db, _) = setup();
         assert!(db.execute_txn(vec![]).is_err());
         assert!(db
-            .execute_txn(vec![TableChange::new("ghost", RowChange::Delete { key: vec![] })])
+            .execute_txn(vec![TableChange::new(
+                "ghost",
+                RowChange::Delete { key: vec![] }
+            )])
             .is_err());
         assert_eq!(db.log_len(), 0, "failed txns must not reach the log");
     }
@@ -340,7 +357,8 @@ mod tests {
     #[test]
     fn bulk_load_is_unlogged() {
         let (db, _) = setup();
-        db.bulk_load("t", vec![Row::new(vec![Value::Int(1), Value::Int(1)])]).unwrap();
+        db.bulk_load("t", vec![Row::new(vec![Value::Int(1), Value::Int(1)])])
+            .unwrap();
         assert_eq!(db.log_len(), 0);
         assert_eq!(db.table("t").unwrap().read().row_count(), 1);
     }

@@ -17,23 +17,29 @@ fn bench(c: &mut Criterion) {
     );
 
     let queries = [
-        ("q1_point",
-         "SELECT c_custkey, c_name, c_acctbal FROM customer WHERE c_custkey = 77 \
-          CURRENCY BOUND 60 SEC ON (customer)"),
-        ("q2_nl_join",
-         "SELECT c.c_custkey, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
+        (
+            "q1_point",
+            "SELECT c_custkey, c_name, c_acctbal FROM customer WHERE c_custkey = 77 \
+          CURRENCY BOUND 60 SEC ON (customer)",
+        ),
+        (
+            "q2_nl_join",
+            "SELECT c.c_custkey, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
           WHERE c.c_custkey = o.o_custkey AND c.c_custkey = 77 \
-          CURRENCY BOUND 60 SEC ON (c), 60 SEC ON (o)"),
-        ("q3_scan",
-         "SELECT c_custkey, c_name, c_acctbal FROM customer \
-          WHERE c_acctbal BETWEEN 0.0 AND 440.0 CURRENCY BOUND 60 SEC ON (customer)"),
+          CURRENCY BOUND 60 SEC ON (c), 60 SEC ON (o)",
+        ),
+        (
+            "q3_scan",
+            "SELECT c_custkey, c_name, c_acctbal FROM customer \
+          WHERE c_acctbal BETWEEN 0.0 AND 440.0 CURRENCY BOUND 60 SEC ON (customer)",
+        ),
     ];
 
     for (name, sql) in &queries {
         let opt = cache.explain(sql, &HashMap::new()).expect(name);
         let guarded = opt.plan.clone();
         let plain = opt.plan.strip_guards(true);
-        let mut group = c.benchmark_group(*name);
+        let mut group = c.benchmark_group(name);
         group.bench_function("local_no_guard", |b| {
             b.iter(|| execute_plan(std::hint::black_box(&plain), &ctx).unwrap())
         });

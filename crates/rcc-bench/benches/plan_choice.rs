@@ -12,27 +12,43 @@ fn bench(c: &mut Criterion) {
     let no_params = HashMap::new();
 
     let variants = [
-        ("q1_selective_no_clause",
-         "SELECT c.c_custkey, c.c_name, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
-          WHERE c.c_custkey = o.o_custkey AND c.c_custkey <= 10".to_string()),
-        ("q3_consistency_class",
-         "SELECT c.c_custkey, c.c_name, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
+        (
+            "q1_selective_no_clause",
+            "SELECT c.c_custkey, c.c_name, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
+          WHERE c.c_custkey = o.o_custkey AND c.c_custkey <= 10"
+                .to_string(),
+        ),
+        (
+            "q3_consistency_class",
+            "SELECT c.c_custkey, c.c_name, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
           WHERE c.c_custkey = o.o_custkey AND c.c_custkey <= 10 \
-          CURRENCY BOUND 10 SEC ON (c, o)".to_string()),
-        ("q5_all_local_guarded",
-         "SELECT c.c_custkey, c.c_name, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
+          CURRENCY BOUND 10 SEC ON (c, o)"
+                .to_string(),
+        ),
+        (
+            "q5_all_local_guarded",
+            "SELECT c.c_custkey, c.c_name, o.o_orderkey, o.o_totalprice FROM customer c, orders o \
           WHERE c.c_custkey = o.o_custkey AND c.c_custkey <= 750 \
-          CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)".to_string()),
-        ("q7_single_table_guarded",
-         "SELECT c_custkey, c_name, c_acctbal FROM customer \
+          CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)"
+                .to_string(),
+        ),
+        (
+            "q7_single_table_guarded",
+            "SELECT c_custkey, c_name, c_acctbal FROM customer \
           WHERE c_acctbal BETWEEN 0.0 AND 1400.0 \
-          CURRENCY BOUND 10 SEC ON (customer)".to_string()),
+          CURRENCY BOUND 10 SEC ON (customer)"
+                .to_string(),
+        ),
     ];
 
     let mut group = c.benchmark_group("optimize");
     for (name, sql) in &variants {
-        group.bench_function(*name, |b| {
-            b.iter(|| cache.explain(std::hint::black_box(sql), &no_params).unwrap())
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                cache
+                    .explain(std::hint::black_box(sql), &no_params)
+                    .unwrap()
+            })
         });
     }
     group.finish();

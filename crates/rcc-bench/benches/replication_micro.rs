@@ -76,7 +76,9 @@ fn bench(c: &mut Criterion) {
     {
         let gen = rcc_tpcd::TpcdGenerator::new(0.01, 42);
         let rows = gen.customers();
-        let schema = rcc_tpcd::customer_meta(rcc_common::TableId(1)).schema.clone();
+        let schema = rcc_tpcd::customer_meta(rcc_common::TableId(1))
+            .schema
+            .clone();
         let payload = rcc_executor::wire::encode_result(&schema, &rows);
         let mut group = c.benchmark_group("wire_codec");
         group.throughput(Throughput::Bytes(payload.len() as u64));
@@ -84,7 +86,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| rcc_executor::wire::encode_result(&schema, std::hint::black_box(&rows)))
         });
         group.bench_function("decode_1500_rows", |b| {
-            b.iter(|| rcc_executor::wire::decode_result(std::hint::black_box(payload.clone())).unwrap())
+            b.iter(|| {
+                rcc_executor::wire::decode_result(std::hint::black_box(payload.clone())).unwrap()
+            })
         });
         group.finish();
         let _ = Value::Int(0);

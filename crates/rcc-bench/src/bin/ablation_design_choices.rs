@@ -49,7 +49,11 @@ fn main() {
     let q6 = "SELECT c_custkey, c_name, c_acctbal FROM customer \
               WHERE c_acctbal BETWEEN 0.0 AND 4.0 CURRENCY BOUND 30 SEC ON (customer)";
     let chosen = cache.explain(q6, &HashMap::new()).expect("q6");
-    assert_eq!(chosen.choice, PlanChoice::FullRemote, "cost-based choice is remote");
+    assert_eq!(
+        chosen.choice,
+        PlanChoice::FullRemote,
+        "cost-based choice is remote"
+    );
     // force the local view: strip the guard out of a synthetic guarded plan
     // built by temporarily making remote prohibitively expensive
     let mut expensive_remote = rcc_optimizer::cost::CostParams::default();
@@ -85,7 +89,10 @@ fn main() {
         "   per-leaf guards (paper prototype): {:?}, {t_base:.4} ms",
         baseline.choice
     );
-    println!("   pulled-up guard (extension):       {:?}, {t_pull:.4} ms", pulled.choice);
+    println!(
+        "   pulled-up guard (extension):       {:?}, {t_pull:.4} ms",
+        pulled.choice
+    );
     println!(
         "   → the extension keeps the class local and runs {:.1}× faster\n",
         t_base / t_pull.max(1e-9)
@@ -98,7 +105,11 @@ fn main() {
     let q4c = "SELECT c_custkey, c_name FROM customer WHERE c_custkey <= 500 \
                CURRENCY BOUND 3 SEC ON (customer)";
     let opt = cache.explain(q4c, &HashMap::new()).expect("q4c");
-    println!("   bound 3 s < delay 5 s → plan: {:?}, guards: {}", opt.choice, opt.plan.guard_count());
+    println!(
+        "   bound 3 s < delay 5 s → plan: {:?}, guards: {}",
+        opt.choice,
+        opt.plan.guard_count()
+    );
     assert_eq!(opt.plan.guard_count(), 0, "no run-time check needed at all");
     let q5c = "SELECT c_custkey, c_name FROM customer WHERE c_custkey <= 500 \
                CURRENCY BOUND 30 SEC ON (customer)";

@@ -41,7 +41,9 @@ fn main() {
         for _ in 0..QUERIES_PER_POINT {
             // drift through the propagation cycle so guard outcomes sample
             // the whole staleness ramp
-            cache.advance(Duration::from_millis(rng.gen_range(50..450))).expect("advance");
+            cache
+                .advance(Duration::from_millis(rng.gen_range(50..450)))
+                .expect("advance");
             let key = rng.gen_range(1..=7000);
             let sql = if bound_s == 0 {
                 // bound 0 == the always-remote baseline (tight default)

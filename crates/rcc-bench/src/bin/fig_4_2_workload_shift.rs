@@ -24,9 +24,7 @@ const SAMPLES: usize = 300;
 fn measured_local_fraction(f_secs: i64, d_secs: i64, b_secs: i64, seed: u64) -> f64 {
     let cache = single_region_rig(f_secs.max(1), d_secs, 10).expect("rig");
     let mut rng = StdRng::seed_from_u64(seed);
-    let sql = format!(
-        "SELECT v FROM items WHERE id = 1 CURRENCY BOUND {b_secs} SEC ON (items)"
-    );
+    let sql = format!("SELECT v FROM items WHERE id = 1 CURRENCY BOUND {b_secs} SEC ON (items)");
     let mut local = 0usize;
     for _ in 0..SAMPLES {
         // jump to a uniformly random point of a later cycle (millisecond
@@ -115,9 +113,13 @@ fn main() {
 fn measured_with_heartbeat(f_secs: i64, d_secs: i64, b_secs: i64, hb_secs: i64, seed: u64) -> f64 {
     use rcc_mtcache::MTCache;
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE items (id INT, v INT, PRIMARY KEY (id))").expect("ddl");
+    cache
+        .execute("CREATE TABLE items (id INT, v INT, PRIMARY KEY (id))")
+        .expect("ddl");
     for i in 0..10 {
-        cache.execute(&format!("INSERT INTO items VALUES ({i}, {i})")).expect("dml");
+        cache
+            .execute(&format!("INSERT INTO items VALUES ({i}, {i})"))
+            .expect("dml");
     }
     cache.analyze("items").expect("analyze");
     cache
@@ -131,7 +133,9 @@ fn measured_with_heartbeat(f_secs: i64, d_secs: i64, b_secs: i64, hb_secs: i64, 
     cache
         .execute("CREATE CACHED VIEW items_v REGION r AS SELECT id, v FROM items")
         .expect("view");
-    cache.advance(Duration::from_secs(4 * f_secs.max(d_secs + 1))).expect("warm");
+    cache
+        .advance(Duration::from_secs(4 * f_secs.max(d_secs + 1)))
+        .expect("warm");
     let mut rng = StdRng::seed_from_u64(seed);
     let sql = format!("SELECT v FROM items WHERE id = 1 CURRENCY BOUND {b_secs} SEC ON (items)");
     let mut local = 0usize;

@@ -50,14 +50,25 @@ fn main() {
         ("Q1", s1(k_sel, ""), "plan 1"),
         ("Q2", s1(k_all, ""), "plan 2"),
         ("Q3", s1(k_sel, "CURRENCY BOUND 10 SEC ON (c, o)"), "plan 1"),
-        ("Q4", s1(k_all, "CURRENCY BOUND 3 SEC ON (c), 15 SEC ON (o)"), "plan 4"),
-        ("Q5", s1(k_all, "CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)"), "plan 5"),
+        (
+            "Q4",
+            s1(k_all, "CURRENCY BOUND 3 SEC ON (c), 15 SEC ON (o)"),
+            "plan 4",
+        ),
+        (
+            "Q5",
+            s1(k_all, "CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)"),
+            "plan 5",
+        ),
         ("Q6", s2(0.0, 4.0), "remote (plan 1)"),
         ("Q7", s2(0.0, 1400.0), "local (plan 5)"),
     ];
 
     println!("Table 4.3 — plan chosen per query variant:");
-    println!("{:<4} {:<42} {:<42} est. cost", "Q", "paper expects", "we chose");
+    println!(
+        "{:<4} {:<42} {:<42} est. cost",
+        "Q", "paper expects", "we chose"
+    );
     let mut plans = Vec::new();
     for (name, sql, expected) in &variants {
         let opt = cache.explain(sql, &HashMap::new()).expect(name);
@@ -82,7 +93,11 @@ fn main() {
     println!("Execution check (row counts):");
     for (name, sql, _) in &plans {
         let r = cache.execute(sql).expect(name);
-        println!("{name}: {} rows ({} guards passed, remote={})",
-            r.rows.len(), r.local_branches(), r.used_remote);
+        println!(
+            "{name}: {} rows ({} guards passed, remote={})",
+            r.rows.len(),
+            r.local_branches(),
+            r.used_remote
+        );
     }
 }

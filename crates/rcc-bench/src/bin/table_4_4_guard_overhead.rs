@@ -108,19 +108,30 @@ fn main() {
     println!("Table 4.4 — overhead of currency guards");
     println!(
         "{:<4} {:>6} | {:>12} {:>12} {:>9} {:>8} | {:>12} {:>12} {:>9} {:>8}",
-        "", "rows", "local-noCG", "local-CG", "ovh(ms)", "ovh(%)", "remote-noCG", "remote-CG", "ovh(ms)", "ovh(%)"
+        "",
+        "rows",
+        "local-noCG",
+        "local-CG",
+        "ovh(ms)",
+        "ovh(%)",
+        "remote-noCG",
+        "remote-CG",
+        "ovh(ms)",
+        "ovh(%)"
     );
 
     for (name, sql) in &queries {
         let opt = rig.cache.explain(sql, &HashMap::new()).expect(name);
-        assert!(opt.plan.guard_count() > 0, "{name} must have a guarded plan");
+        assert!(
+            opt.plan.guard_count() > 0,
+            "{name} must have a guarded plan"
+        );
 
         // --- local side: guards pass (fresh heartbeats after warm_up)
         let guarded = opt.plan.clone();
         let plain_local = opt.plan.strip_guards(true);
         let it = iterations(name, true);
-        let (t_plain_local, t_guard_local, rows) =
-            rig.time_pair(&plain_local, &guarded, it);
+        let (t_plain_local, t_guard_local, rows) = rig.time_pair(&plain_local, &guarded, it);
 
         // --- remote side: strip to the remote branch for the baseline;
         // for the guarded run, stall replication so the guard fails
@@ -128,9 +139,10 @@ fn main() {
         let it_r = iterations(name, false);
         rig.cache.set_region_stalled("CR1", true);
         rig.cache.set_region_stalled("CR2", true);
-        rig.cache.advance(Duration::from_secs(300)).expect("advance");
-        let (t_plain_remote, t_guard_remote, _) =
-            rig.time_pair(&plain_remote, &guarded, it_r);
+        rig.cache
+            .advance(Duration::from_secs(300))
+            .expect("advance");
+        let (t_plain_remote, t_guard_remote, _) = rig.time_pair(&plain_remote, &guarded, it_r);
         rig.cache.set_region_stalled("CR1", false);
         rig.cache.set_region_stalled("CR2", false);
         rig.cache.advance(Duration::from_secs(60)).expect("advance");

@@ -1,8 +1,10 @@
 //! Regenerates **Table 4.5** (paper Sec. 4.3): the currency-guard overhead
 //! of *local* execution broken down by execution phase — setup plan, run
-//! plan, shutdown plan — plus the paper's "ideal" estimate (the cost of a
-//! single guard evaluation and the extra shutdown, i.e. the floor a tuned
-//! implementation could reach).
+//! plan, shutdown plan — plus the paper's "ideal" estimate (the cost of the
+//! guard evaluations alone, i.e. the floor a tuned implementation could
+//! reach). The ideal is read straight from the executor's query meter (the
+//! `guard_eval` phase of `QueryStats`) instead of being inferred by
+//! differencing guarded and unguarded runs.
 //!
 //! ```sh
 //! cargo run -p rcc-bench --bin table_4_5_phase_breakdown --release
@@ -33,7 +35,11 @@ fn phases(cache: &MTCache, plan: &PhysicalPlan, iters: usize) -> (f64, f64, f64)
     let mut shutdown = Vec::with_capacity(iters);
     for _ in 0..iters {
         let r = execute_plan(plan, &ctx).expect("exec");
-        let PhaseTimings { setup: s, run: rn, shutdown: sd } = r.timings;
+        let PhaseTimings {
+            setup: s,
+            run: rn,
+            shutdown: sd,
+        } = r.timings;
         setup.push(ms(s));
         run.push(ms(rn));
         shutdown.push(ms(sd));
@@ -85,26 +91,19 @@ fn main() {
         let (s0, r0, d0) = phases(&cache, &plain, *iters);
         let (s1, r1, d1) = phases(&cache, &guarded, *iters);
         let (ds, dr, dd) = (s1 - s0, r1 - r0, d1 - d0);
-        // the paper's "ideal" estimate: the inherent guard cost — one
-        // heartbeat lookup per guard during the run phase, plus the extra
-        // operator's shutdown; setup inflation is implementation slack
-        let guards = guarded.guard_count() as f64;
-        let heartbeat_probe = {
-            // measure a bare guard evaluation via a 1-row heartbeat read
-            let probe = cache
-                .explain(
-                    "SELECT c_custkey FROM customer WHERE c_custkey = 1 \
-                     CURRENCY BOUND 60 SEC ON (customer)",
-                    &HashMap::new(),
-                )
-                .expect("probe");
-            let g = probe.plan.clone();
-            let p = probe.plan.strip_guards(true);
-            let (gs, gr, gd) = phases(&cache, &g, 2_000);
-            let (ps, pr, pd) = phases(&cache, &p, 2_000);
-            ((gs + gr + gd) - (ps + pr + pd)).max(0.0)
+        // the paper's "ideal" estimate: the inherent guard cost. The query
+        // meter times every guard evaluation (QueryStats' guard_eval
+        // phase), so read it directly — no differencing noise.
+        let ideal = {
+            let probe_iters = 2_000usize;
+            let ctx = ctx(&cache);
+            let _ = execute_plan(&guarded, &ctx).expect("warm");
+            let before = ctx.meter.guard_eval();
+            for _ in 0..probe_iters {
+                execute_plan(&guarded, &ctx).expect("exec");
+            }
+            ms(ctx.meter.guard_eval() - before) / probe_iters as f64
         };
-        let ideal = guards * heartbeat_probe;
         println!(
             "{:<4} | {:>10.4} {:>7.1}% | {:>10.4} {:>7.1}% | {:>10.4} {:>7.1}% | {:>10.4}",
             name,
@@ -116,6 +115,16 @@ fn main() {
             100.0 * dd / d0.max(1e-9),
             ideal,
         );
+    }
+
+    // the same queries through the full pipeline: per-statement phase
+    // stats as the cache reports them (parse → bind → optimize →
+    // guard_eval → local_exec → remote_ship)
+    println!("\nFull-pipeline QueryStats (one warm execution each):");
+    for (name, sql, _) in &queries {
+        let _ = cache.execute(sql).expect(name); // compile + warm plan cache
+        let r = cache.execute(sql).expect(name);
+        println!("{name}: {}", r.stats.render());
     }
 
     println!(

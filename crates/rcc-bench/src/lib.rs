@@ -40,7 +40,11 @@ pub fn single_region_rig(f_secs: i64, d_secs: i64, rows: i64) -> Result<MTCache>
         cache.execute(&format!("INSERT INTO items VALUES ({i}, {i})"))?;
     }
     cache.analyze("items")?;
-    cache.create_region("R", Duration::from_secs(f_secs), Duration::from_secs(d_secs))?;
+    cache.create_region(
+        "R",
+        Duration::from_secs(f_secs),
+        Duration::from_secs(d_secs),
+    )?;
     cache.execute("CREATE CACHED VIEW items_v REGION r AS SELECT id, v FROM items")?;
     // warm up for several propagation cycles so the steady-state cycle of
     // Fig. 3.2 is established

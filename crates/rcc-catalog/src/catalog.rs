@@ -142,8 +142,12 @@ impl Catalog {
     /// the candidate set for view matching.
     pub fn views_over(&self, table: TableId) -> Vec<Arc<CachedViewDef>> {
         let inner = self.inner.read();
-        let mut views: Vec<Arc<CachedViewDef>> =
-            inner.views.values().filter(|v| v.base_table == table).cloned().collect();
+        let mut views: Vec<Arc<CachedViewDef>> = inner
+            .views
+            .values()
+            .filter(|v| v.base_table == table)
+            .cloned()
+            .collect();
         views.sort_by_key(|v| v.id);
         views
     }
@@ -160,12 +164,16 @@ impl Catalog {
     pub fn register_region(&self, region: CurrencyRegion) -> Result<Arc<CurrencyRegion>> {
         let mut inner = self.inner.write();
         if inner.regions.contains_key(&region.id)
-            || inner.regions_by_name.contains_key(&region.name.to_ascii_lowercase())
+            || inner
+                .regions_by_name
+                .contains_key(&region.name.to_ascii_lowercase())
         {
             return Err(Error::AlreadyExists(format!("region {}", region.name)));
         }
         let arc = Arc::new(region);
-        inner.regions_by_name.insert(arc.name.to_ascii_lowercase(), arc.id);
+        inner
+            .regions_by_name
+            .insert(arc.name.to_ascii_lowercase(), arc.id);
         inner.regions.insert(arc.id, Arc::clone(&arc));
         Ok(arc)
     }
@@ -201,7 +209,10 @@ impl Catalog {
     /// Install statistics for a table or view (the shadow database carries
     /// back-end stats — paper Sec. 3 point 1).
     pub fn set_stats(&self, object: &str, stats: TableStats) {
-        self.inner.write().stats.insert(object.to_ascii_lowercase(), Arc::new(stats));
+        self.inner
+            .write()
+            .stats
+            .insert(object.to_ascii_lowercase(), Arc::new(stats));
     }
 
     /// Statistics for a table or view; empty stats if never installed.
@@ -259,7 +270,10 @@ mod tests {
         assert_eq!(cat.table_by_id(t.id).unwrap().name, "customer");
         assert!(cat.table("nope").is_err());
         assert!(cat
-            .register_table(TableMeta::new(TableId(99), "customer", t.schema.clone(), vec!["id".into()]).unwrap())
+            .register_table(
+                TableMeta::new(TableId(99), "customer", t.schema.clone(), vec!["id".into()])
+                    .unwrap()
+            )
             .is_err());
     }
 
@@ -284,9 +298,12 @@ mod tests {
         let t1 = table(&cat, "customer");
         let t2 = table(&cat, "orders");
         region(&cat, 1, "CR1");
-        cat.register_view(view_over(&cat, "v1", &t1, RegionId(1))).unwrap();
-        cat.register_view(view_over(&cat, "v2", &t2, RegionId(1))).unwrap();
-        cat.register_view(view_over(&cat, "v3", &t1, RegionId(1))).unwrap();
+        cat.register_view(view_over(&cat, "v1", &t1, RegionId(1)))
+            .unwrap();
+        cat.register_view(view_over(&cat, "v2", &t2, RegionId(1)))
+            .unwrap();
+        cat.register_view(view_over(&cat, "v3", &t1, RegionId(1)))
+            .unwrap();
         let vs = cat.views_over(t1.id);
         assert_eq!(vs.len(), 2);
         assert_eq!(vs[0].name, "v1");
@@ -308,7 +325,11 @@ mod tests {
     fn stats_roundtrip_with_default() {
         let cat = Catalog::new();
         assert_eq!(cat.stats("t").row_count, 0);
-        let stats = TableStats { row_count: 42, avg_row_bytes: 10.0, columns: Default::default() };
+        let stats = TableStats {
+            row_count: 42,
+            avg_row_bytes: 10.0,
+            columns: Default::default(),
+        };
         cat.set_stats("T", stats);
         assert_eq!(cat.stats("t").row_count, 42);
     }

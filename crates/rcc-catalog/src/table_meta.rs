@@ -50,36 +50,64 @@ impl TableMeta {
                 Error::Config(format!("key column {k} not in schema of table {name}"))
             })?;
         }
-        Ok(TableMeta { id, name, schema, key, indexes: Vec::new() })
+        Ok(TableMeta {
+            id,
+            name,
+            schema,
+            key,
+            indexes: Vec::new(),
+        })
     }
 
     /// Ordinals of the clustered key columns.
     pub fn key_ordinals(&self) -> Vec<usize> {
-        self.key.iter().map(|k| self.schema.resolve(None, k).expect("validated key")).collect()
+        self.key
+            .iter()
+            .map(|k| self.schema.resolve(None, k).expect("validated key"))
+            .collect()
     }
 
     /// Register a secondary index at the back-end.
-    pub fn add_index(&mut self, id: IndexId, name: impl Into<String>, columns: Vec<String>) -> Result<()> {
+    pub fn add_index(
+        &mut self,
+        id: IndexId,
+        name: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Result<()> {
         for c in &columns {
             self.schema.resolve(None, c).map_err(|_| {
-                Error::Config(format!("index column {c} not in schema of table {}", self.name))
+                Error::Config(format!(
+                    "index column {c} not in schema of table {}",
+                    self.name
+                ))
             })?;
         }
-        self.indexes.push(IndexMeta { id, name: name.into(), columns, clustered: false });
+        self.indexes.push(IndexMeta {
+            id,
+            name: name.into(),
+            columns,
+            clustered: false,
+        });
         Ok(())
     }
 
     /// Find a back-end index whose leading column is `column`.
     pub fn index_on(&self, column: &str) -> Option<&IndexMeta> {
-        self.indexes
-            .iter()
-            .find(|ix| ix.columns.first().map(|c| c.eq_ignore_ascii_case(column)).unwrap_or(false))
+        self.indexes.iter().find(|ix| {
+            ix.columns
+                .first()
+                .map(|c| c.eq_ignore_ascii_case(column))
+                .unwrap_or(false)
+        })
     }
 
     /// Is `column` the leading clustered-key column (so a range predicate on
     /// it turns a scan into a clustered seek)?
     pub fn is_leading_key(&self, column: &str) -> bool {
-        self.key.first().map(|k| k.eq_ignore_ascii_case(column)).unwrap_or(false)
+        self.key
+            .first()
+            .map(|k| k.eq_ignore_ascii_case(column))
+            .unwrap_or(false)
     }
 }
 
@@ -116,9 +144,12 @@ mod tests {
     #[test]
     fn index_lookup_by_leading_column() {
         let mut t = customer();
-        t.add_index(IndexId(1), "ix_bal", vec!["c_acctbal".into()]).unwrap();
+        t.add_index(IndexId(1), "ix_bal", vec!["c_acctbal".into()])
+            .unwrap();
         assert!(t.index_on("c_acctbal").is_some());
         assert!(t.index_on("c_name").is_none());
-        assert!(t.add_index(IndexId(2), "bad", vec!["ghost".into()]).is_err());
+        assert!(t
+            .add_index(IndexId(2), "bad", vec!["ghost".into()])
+            .is_err());
     }
 }

@@ -58,11 +58,18 @@ impl CachedViewDef {
         }
         for &k in &self.key_ordinals {
             if k >= self.schema.len() {
-                return Err(Error::Config(format!("view {}: key ordinal out of range", self.name)));
+                return Err(Error::Config(format!(
+                    "view {}: key ordinal out of range",
+                    self.name
+                )));
             }
         }
         if let Some(p) = &self.predicate {
-            if !self.columns.iter().any(|c| c.eq_ignore_ascii_case(&p.column)) {
+            if !self
+                .columns
+                .iter()
+                .any(|c| c.eq_ignore_ascii_case(&p.column))
+            {
                 return Err(Error::Config(format!(
                     "view {}: predicate column {} not retained",
                     self.name, p.column
@@ -79,7 +86,9 @@ impl CachedViewDef {
 
     /// Ordinal of base-table column `name` within the view, if retained.
     pub fn ordinal_of(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
     }
 
     /// Does the view have a local secondary index led by `column`?

@@ -95,15 +95,24 @@ mod tests {
 
     #[test]
     fn display_includes_position() {
-        let e = Error::Parse { pos: 17, message: "expected FROM".into() };
+        let e = Error::Parse {
+            pos: 17,
+            message: "expected FROM".into(),
+        };
         assert_eq!(e.to_string(), "parse error at byte 17: expected FROM");
     }
 
     #[test]
     fn display_covers_all_variants() {
         let variants = vec![
-            Error::Lex { pos: 0, message: "x".into() },
-            Error::Parse { pos: 0, message: "x".into() },
+            Error::Lex {
+                pos: 0,
+                message: "x".into(),
+            },
+            Error::Parse {
+                pos: 0,
+                message: "x".into(),
+            },
             Error::Analysis("x".into()),
             Error::NotFound("x".into()),
             Error::AlreadyExists("x".into()),

@@ -27,7 +27,12 @@ pub struct Column {
 impl Column {
     /// A column with no qualifier or source table.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Column { name: name.into(), data_type, qualifier: None, source: None }
+        Column {
+            name: name.into(),
+            data_type,
+            qualifier: None,
+            source: None,
+        }
     }
 
     /// Attach a qualifier (table alias).
@@ -78,7 +83,9 @@ pub struct Schema {
 impl Schema {
     /// Build a schema from columns.
     pub fn new(columns: Vec<Column>) -> Self {
-        Schema { columns: Arc::new(columns) }
+        Schema {
+            columns: Arc::new(columns),
+        }
     }
 
     /// The empty schema (zero columns), used by constant-only expressions.

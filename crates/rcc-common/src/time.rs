@@ -154,7 +154,9 @@ impl SimClock {
 
     /// A clock starting at `t`.
     pub fn starting_at(t: Timestamp) -> SimClock {
-        SimClock { now: Arc::new(AtomicI64::new(t.0)) }
+        SimClock {
+            now: Arc::new(AtomicI64::new(t.0)),
+        }
     }
 
     /// Advance by `d` and return the new time.
@@ -166,7 +168,11 @@ impl SimClock {
     /// (the simulation invariant "time moves forward").
     pub fn set(&self, t: Timestamp) {
         let prev = self.now.swap(t.0, Ordering::SeqCst);
-        assert!(prev <= t.0, "SimClock must not move backwards ({prev} -> {})", t.0);
+        assert!(
+            prev <= t.0,
+            "SimClock must not move backwards ({prev} -> {})",
+            t.0
+        );
     }
 }
 
@@ -242,13 +248,19 @@ mod tests {
         let a = w.now();
         let b = w.now();
         assert!(b >= a);
-        assert!(a.millis() > 1_600_000_000_000, "expected a post-2020 epoch time");
+        assert!(
+            a.millis() > 1_600_000_000_000,
+            "expected a post-2020 epoch time"
+        );
     }
 
     #[test]
     fn duration_arith() {
         let d = Duration::from_secs(10);
-        assert_eq!(d.saturating_sub(Duration::from_secs(4)), Duration::from_secs(6));
+        assert_eq!(
+            d.saturating_sub(Duration::from_secs(4)),
+            Duration::from_secs(6)
+        );
         assert_eq!(Duration::from_secs(4).saturating_sub(d), Duration::ZERO);
         assert_eq!(d.plus(Duration::from_secs(1)), Duration::from_secs(11));
         assert_eq!(d.min(Duration::from_secs(3)), Duration::from_secs(3));

@@ -303,7 +303,10 @@ mod tests {
         assert_eq!(Value::Int(3).total_cmp(&Value::Float(3.0)), Ordering::Equal);
         assert!(Value::Int(3) < Value::Float(3.5));
         assert!(Value::Float(2.9) < Value::Int(3));
-        assert_eq!(Value::Timestamp(5).total_cmp(&Value::Int(5)), Ordering::Equal);
+        assert_eq!(
+            Value::Timestamp(5).total_cmp(&Value::Int(5)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub fn build_operator(plan: &PhysicalPlan) -> BoxedOp {
         PhysicalPlan::RemoteQuery(n) => {
             Box::new(RemoteQueryOp::new(n.sql.clone(), n.schema.clone()))
         }
-        PhysicalPlan::SwitchUnion { guard, local, remote } => Box::new(SwitchUnionOp::new(
+        PhysicalPlan::SwitchUnion {
+            guard,
+            local,
+            remote,
+        } => Box::new(SwitchUnionOp::new(
             guard.clone(),
             build_operator(local),
             build_operator(remote),
@@ -60,16 +64,26 @@ pub fn build_operator(plan: &PhysicalPlan) -> BoxedOp {
         PhysicalPlan::Project { input, exprs } => {
             Box::new(ProjectOp::new(build_operator(input), exprs.clone()))
         }
-        PhysicalPlan::HashJoin { left, right, left_keys, right_keys, kind } => {
-            Box::new(HashJoinOp::new(
-                build_operator(left),
-                build_operator(right),
-                left_keys.clone(),
-                right_keys.clone(),
-                *kind,
-            ))
-        }
-        PhysicalPlan::MergeJoin { left, right, left_key, right_key, kind } => {
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => Box::new(HashJoinOp::new(
+            build_operator(left),
+            build_operator(right),
+            left_keys.clone(),
+            right_keys.clone(),
+            *kind,
+        )),
+        PhysicalPlan::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+        } => {
             debug_assert_eq!(*kind, rcc_optimizer::graph::JoinKind::Inner);
             Box::new(MergeJoinOp::new(
                 build_operator(left),
@@ -78,17 +92,28 @@ pub fn build_operator(plan: &PhysicalPlan) -> BoxedOp {
                 right_key.clone(),
             ))
         }
-        PhysicalPlan::IndexNLJoin { outer, outer_key, inner, kind } => Box::new(
-            IndexNLJoinOp::new(build_operator(outer), outer_key.clone(), inner.clone(), *kind),
-        ),
-        PhysicalPlan::HashAggregate { input, group_by, aggs, having } => {
-            Box::new(HashAggregateOp::new(
-                build_operator(input),
-                group_by.clone(),
-                aggs.clone(),
-                having.clone(),
-            ))
-        }
+        PhysicalPlan::IndexNLJoin {
+            outer,
+            outer_key,
+            inner,
+            kind,
+        } => Box::new(IndexNLJoinOp::new(
+            build_operator(outer),
+            outer_key.clone(),
+            inner.clone(),
+            *kind,
+        )),
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => Box::new(HashAggregateOp::new(
+            build_operator(input),
+            group_by.clone(),
+            aggs.clone(),
+            having.clone(),
+        )),
         PhysicalPlan::Sort { input, keys } => {
             Box::new(SortOp::new(build_operator(input), keys.clone()))
         }
@@ -117,7 +142,11 @@ pub fn execute_plan(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<ExecutionR
     Ok(ExecutionResult {
         schema,
         rows,
-        timings: PhaseTimings { setup: t1 - t0, run: t2 - t1, shutdown: t3 - t2 },
+        timings: PhaseTimings {
+            setup: t1 - t0,
+            run: t2 - t1,
+            shutdown: t3 - t2,
+        },
     })
 }
 
@@ -127,9 +156,7 @@ mod tests {
     use parking_lot::Mutex;
     use rcc_common::{Column, DataType, Duration, Error, RegionId, SimClock, Timestamp, Value};
     use rcc_optimizer::graph::JoinKind;
-    use rcc_optimizer::physical::{
-        AccessPath, InnerAccess, LocalScanNode, RemoteQueryNode,
-    };
+    use rcc_optimizer::physical::{AccessPath, InnerAccess, LocalScanNode, RemoteQueryNode};
     use rcc_optimizer::{AggCall, AggFunc, BoundExpr, CurrencyGuard};
     use rcc_sql::BinaryOp;
     use rcc_storage::{KeyRange, StorageEngine, Table};
@@ -168,7 +195,8 @@ mod tests {
         ]);
         let mut t = Table::new("items", schema, vec![0]);
         for i in 0..10i64 {
-            t.insert(Row::new(vec![Value::Int(i), Value::Int(i % 3)])).unwrap();
+            t.insert(Row::new(vec![Value::Int(i), Value::Int(i % 3)]))
+                .unwrap();
         }
         t.create_index("ix_grp", vec![1]).unwrap();
         storage.create_table(t).unwrap();
@@ -178,7 +206,8 @@ mod tests {
             Column::new("ts", DataType::Timestamp),
         ]);
         let mut hb = Table::new("heartbeat_cr1", hb_schema, vec![0]);
-        hb.insert(Row::new(vec![Value::Int(1), Value::Timestamp(95_000)])).unwrap();
+        hb.insert(Row::new(vec![Value::Int(1), Value::Timestamp(95_000)]))
+            .unwrap();
         storage.create_table(hb).unwrap();
         let clock = SimClock::starting_at(Timestamp(100_000));
         let ctx = ExecContext::new(
@@ -259,13 +288,19 @@ mod tests {
         };
         // hb=95s, now=100s, bound=10s → local
         assert_eq!(run(&plan, &ctx).len(), 10);
-        assert!(remote.calls.lock().is_empty(), "remote branch must not be touched");
+        assert!(
+            remote.calls.lock().is_empty(),
+            "remote branch must not be touched"
+        );
     }
 
     #[test]
     fn switch_union_takes_remote_when_stale() {
         let remote = Arc::new(FakeRemote::default());
-        remote.rows.lock().push(Row::new(vec![Value::Int(99), Value::Int(0)]));
+        remote
+            .rows
+            .lock()
+            .push(Row::new(vec![Value::Int(99), Value::Int(0)]));
         let (ctx, clock) = ctx_with_items(Some(remote.clone()));
         clock.advance(Duration::from_secs(60)); // hb 95s now ancient
         let plan = PhysicalPlan::SwitchUnion {
@@ -287,7 +322,9 @@ mod tests {
         assert_eq!(rows[0].get(0), &Value::Int(99));
         assert_eq!(remote.calls.lock().len(), 1);
         assert_eq!(
-            ctx.counters.remote_branches.load(std::sync::atomic::Ordering::Relaxed),
+            ctx.counters
+                .remote_branches
+                .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
     }
@@ -359,7 +396,10 @@ mod tests {
     #[test]
     fn index_nl_join_guarded_fallback() {
         let remote = Arc::new(FakeRemote::default());
-        remote.rows.lock().push(Row::new(vec![Value::Int(77), Value::Int(0)]));
+        remote
+            .rows
+            .lock()
+            .push(Row::new(vec![Value::Int(77), Value::Int(0)]));
         let (ctx, clock) = ctx_with_items(Some(remote.clone()));
         clock.advance(Duration::from_secs(60)); // guard will fail
         let plan = PhysicalPlan::IndexNLJoin {
@@ -406,7 +446,11 @@ mod tests {
             input: Box::new(scan(AccessPath::FullScan, None)),
             group_by: vec![(BoundExpr::col("t", "grp"), "grp".into())],
             aggs: vec![
-                AggCall { func: AggFunc::Count, arg: None, output_name: "n".into() },
+                AggCall {
+                    func: AggFunc::Count,
+                    arg: None,
+                    output_name: "n".into(),
+                },
                 AggCall {
                     func: AggFunc::Sum,
                     arg: Some(BoundExpr::col("t", "id")),
@@ -436,7 +480,11 @@ mod tests {
                 None,
             )),
             group_by: vec![],
-            aggs: vec![AggCall { func: AggFunc::Count, arg: None, output_name: "n".into() }],
+            aggs: vec![AggCall {
+                func: AggFunc::Count,
+                arg: None,
+                output_name: "n".into(),
+            }],
             having: None,
         };
         let rows = run(&empty, &ctx);
@@ -505,7 +553,10 @@ mod tests {
 
     #[test]
     fn remote_error_propagates() {
-        let remote = Arc::new(FakeRemote { fail: true, ..Default::default() });
+        let remote = Arc::new(FakeRemote {
+            fail: true,
+            ..Default::default()
+        });
         let (ctx, _) = ctx_with_items(Some(remote));
         let plan = PhysicalPlan::RemoteQuery(RemoteQueryNode {
             sql: "SELECT 1 x".into(),
@@ -548,7 +599,8 @@ mod merge_join_tests {
         // left: keys 1..=5, right: keys with duplicates {2, 2, 4, 4, 4, 9}
         let mut l = Table::new("l", schema.clone(), vec![0]);
         for k in 1..=5 {
-            l.insert(Row::new(vec![Value::Int(k), Value::Int(k * 10)])).unwrap();
+            l.insert(Row::new(vec![Value::Int(k), Value::Int(k * 10)]))
+                .unwrap();
         }
         storage.create_table(l).unwrap();
         let schema_r = Schema::new(vec![
@@ -557,7 +609,8 @@ mod merge_join_tests {
         ]);
         let mut r = Table::new("r", schema_r, vec![1]); // clustered on id, but we
         for (id, k) in [(1, 2), (2, 2), (3, 4), (4, 4), (5, 4), (6, 9)] {
-            r.insert(Row::new(vec![Value::Int(k), Value::Int(id)])).unwrap();
+            r.insert(Row::new(vec![Value::Int(k), Value::Int(id)]))
+                .unwrap();
         }
         r.create_index("ix_k", vec![0]).unwrap();
         storage.create_table(r).unwrap();
@@ -584,7 +637,10 @@ mod merge_join_tests {
                 "l",
                 "a",
                 ["k", "v"],
-                AccessPath::ClusteredRange { column: "k".into(), range: KeyRange::all() },
+                AccessPath::ClusteredRange {
+                    column: "k".into(),
+                    range: KeyRange::all(),
+                },
             )),
             // right side ordered on k via the secondary index
             right: Box::new(scan(
@@ -609,8 +665,11 @@ mod merge_join_tests {
         let result = execute_plan(&merge_plan(), &ctx).unwrap();
         // matches: k=2 → 2 rows, k=4 → 3 rows; k=1,3,5 unmatched; k=9 right-only
         assert_eq!(result.rows.len(), 5);
-        let mut keys: Vec<i64> =
-            result.rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        let mut keys: Vec<i64> = result
+            .rows
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .collect();
         keys.sort();
         assert_eq!(keys, vec![2, 2, 4, 4, 4]);
         // joined rows carry columns from both sides
@@ -626,7 +685,10 @@ mod merge_join_tests {
                 "l",
                 "a",
                 ["k", "v"],
-                AccessPath::ClusteredRange { column: "k".into(), range: KeyRange::all() },
+                AccessPath::ClusteredRange {
+                    column: "k".into(),
+                    range: KeyRange::all(),
+                },
             )),
             right: Box::new(scan("r", "b", ["k", "id"], AccessPath::FullScan)),
             left_keys: vec![BoundExpr::col("a", "k")],
@@ -692,7 +754,13 @@ mod edge_case_tests {
             Column::new("k", DataType::Int),
         ]);
         let mut t = Table::new("n", schema, vec![0]);
-        for (id, k) in [(1, Some(10)), (2, None), (3, Some(10)), (4, None), (5, Some(20))] {
+        for (id, k) in [
+            (1, Some(10)),
+            (2, None),
+            (3, Some(10)),
+            (4, None),
+            (5, Some(20)),
+        ] {
             t.insert(Row::new(vec![
                 Value::Int(id),
                 k.map(Value::Int).unwrap_or(Value::Null),
@@ -710,7 +778,10 @@ mod edge_case_tests {
                 Column::new("id", DataType::Int).with_qualifier(qual),
                 Column::new("k", DataType::Int).with_qualifier(qual),
             ]),
-            access: AccessPath::ClusteredRange { column: "id".into(), range: KeyRange::all() },
+            access: AccessPath::ClusteredRange {
+                column: "id".into(),
+                range: KeyRange::all(),
+            },
             residual: None,
             operand: 0,
             est_rows: 5.0,
@@ -739,7 +810,11 @@ mod edge_case_tests {
         // anti: NULL-keyed rows never match → they survive (SQL NOT EXISTS
         // with a null correlation finds no match)
         let anti = execute_plan(&self_join(JoinKind::Anti), &ctx).unwrap();
-        let ids: Vec<i64> = anti.rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        let ids: Vec<i64> = anti
+            .rows
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .collect();
         assert_eq!(ids, vec![2, 4]);
     }
 
@@ -793,9 +868,15 @@ mod edge_case_tests {
     #[test]
     fn limit_zero_and_overlong() {
         let ctx = rig_with_nulls();
-        let zero = PhysicalPlan::Limit { input: Box::new(scan("a")), n: 0 };
+        let zero = PhysicalPlan::Limit {
+            input: Box::new(scan("a")),
+            n: 0,
+        };
         assert!(execute_plan(&zero, &ctx).unwrap().rows.is_empty());
-        let long = PhysicalPlan::Limit { input: Box::new(scan("a")), n: 1000 };
+        let long = PhysicalPlan::Limit {
+            input: Box::new(scan("a")),
+            n: 1000,
+        };
         assert_eq!(execute_plan(&long, &ctx).unwrap().rows.len(), 5);
     }
 

@@ -2,6 +2,7 @@
 
 use parking_lot::Mutex;
 use rcc_common::{Clock, RegionId, Result, Row, Schema, Timestamp};
+use rcc_obs::MetricsRegistry;
 use rcc_storage::StorageEngine;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,10 +14,24 @@ use std::sync::Arc;
 pub trait RemoteService: Send + Sync + std::fmt::Debug {
     /// Execute `sql` at the back-end against the latest snapshot.
     fn execute(&self, sql: &str) -> Result<(Schema, Vec<Row>)>;
+
+    /// Like [`RemoteService::execute`], also reporting the wire-payload
+    /// size in bytes. The default (used by test fakes) reports 0 bytes.
+    fn execute_with_bytes(&self, sql: &str) -> Result<(Schema, Vec<Row>, u64)> {
+        self.execute(sql).map(|(schema, rows)| (schema, rows, 0))
+    }
 }
 
 /// Execution statistics, shared across queries so experiments can measure
 /// workload distribution (paper Fig. 4.2).
+///
+/// This is a thin facade over [`rcc_obs::MetricsRegistry`]: the atomics
+/// here remain the source of truth (bench binaries poke them directly),
+/// and [`ExecCounters::register_metrics`] installs a collector that mirrors
+/// them into the registry at every snapshot/render — so [`reset`] is
+/// reflected there too.
+///
+/// [`reset`]: ExecCounters::reset
 #[derive(Debug, Default)]
 pub struct ExecCounters {
     /// Currency guards that passed (local branch taken).
@@ -27,18 +42,27 @@ pub struct ExecCounters {
     pub remote_queries: AtomicU64,
     /// Rows received from the back-end.
     pub rows_shipped: AtomicU64,
+    /// Guard observations discarded because the per-context log was full.
+    pub observations_dropped: AtomicU64,
 }
 
 impl ExecCounters {
-    /// Reset all counters to zero.
+    /// Reset all counters to zero. Mirrored registries pick the reset up
+    /// at their next snapshot/render.
     pub fn reset(&self) {
         self.local_branches.store(0, Ordering::Relaxed);
         self.remote_branches.store(0, Ordering::Relaxed);
         self.remote_queries.store(0, Ordering::Relaxed);
         self.rows_shipped.store(0, Ordering::Relaxed);
+        self.observations_dropped.store(0, Ordering::Relaxed);
     }
 
     /// Fraction of guard evaluations that chose the local branch.
+    ///
+    /// Returns `0.0` (never `NaN`) when no guards have fired yet: with no
+    /// evidence, the conservative claim is that nothing was served
+    /// locally. Callers that must distinguish "no guards" from "all
+    /// remote" should check `local_branches + remote_branches` first.
     pub fn local_fraction(&self) -> f64 {
         let l = self.local_branches.load(Ordering::Relaxed) as f64;
         let r = self.remote_branches.load(Ordering::Relaxed) as f64;
@@ -47,6 +71,69 @@ impl ExecCounters {
         } else {
             l / (l + r)
         }
+    }
+
+    /// Mirror these counters into `registry` (names under `rcc_*`). The
+    /// installed collector runs before every registry snapshot/render, so
+    /// increments *and* [`ExecCounters::reset`] stay visible there.
+    pub fn register_metrics(self: &Arc<Self>, registry: &MetricsRegistry) {
+        registry.describe(
+            "rcc_guard_local_total",
+            "Currency guards that chose the local branch.",
+        );
+        registry.describe(
+            "rcc_guard_remote_total",
+            "Currency guards that chose the remote branch.",
+        );
+        registry.describe(
+            "rcc_remote_queries_total",
+            "Queries shipped to the back-end.",
+        );
+        registry.describe("rcc_rows_shipped_total", "Rows received from the back-end.");
+        registry.describe(
+            "rcc_observations_dropped_total",
+            "Guard observations discarded because a context log hit its cap.",
+        );
+        let local = registry.counter("rcc_guard_local_total", &[]);
+        let remote = registry.counter("rcc_guard_remote_total", &[]);
+        let queries = registry.counter("rcc_remote_queries_total", &[]);
+        let rows = registry.counter("rcc_rows_shipped_total", &[]);
+        let dropped = registry.counter("rcc_observations_dropped_total", &[]);
+        let this = Arc::clone(self);
+        registry.register_collector(move || {
+            local.set(this.local_branches.load(Ordering::Relaxed));
+            remote.set(this.remote_branches.load(Ordering::Relaxed));
+            queries.set(this.remote_queries.load(Ordering::Relaxed));
+            rows.set(this.rows_shipped.load(Ordering::Relaxed));
+            dropped.set(this.observations_dropped.load(Ordering::Relaxed));
+        });
+    }
+}
+
+/// Per-query accumulators feeding `QueryStats` phase timings: nanoseconds
+/// spent in guard evaluation and remote shipping, plus remote volume.
+/// A fresh meter is attached to each query's [`ExecContext`].
+#[derive(Debug, Default)]
+pub struct QueryMeter {
+    /// Nanoseconds spent evaluating currency guards.
+    pub guard_nanos: AtomicU64,
+    /// Nanoseconds spent in remote round trips (including decode).
+    pub remote_nanos: AtomicU64,
+    /// Remote sub-queries issued.
+    pub remote_queries: AtomicU64,
+    /// Wire-payload bytes received from the back-end.
+    pub bytes_shipped: AtomicU64,
+}
+
+impl QueryMeter {
+    /// Nanoseconds→`Duration` helper for the guard-eval total.
+    pub fn guard_eval(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.guard_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Nanoseconds→`Duration` helper for the remote-ship total.
+    pub fn remote_ship(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.remote_nanos.load(Ordering::Relaxed))
     }
 }
 
@@ -84,7 +171,17 @@ pub struct ExecContext {
     /// violation policy: return possibly stale data, flagged via the
     /// recorded observations). Never set on the normal path.
     pub force_local: bool,
+    /// Per-query phase accumulators (guard/remote time, bytes).
+    pub meter: Arc<QueryMeter>,
+    /// Registry for guard-staleness histograms and wire counters; `None`
+    /// outside a metered server (e.g. unit tests, back-end execution).
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
+
+/// Cap on the per-context guard-observation log. Sessions that never call
+/// [`ExecContext::take_observations`] stop accumulating here and count
+/// drops in [`ExecCounters::observations_dropped`] instead.
+pub const MAX_OBSERVATIONS: usize = 4096;
 
 impl ExecContext {
     /// Context for executing at the cache.
@@ -101,12 +198,25 @@ impl ExecContext {
             timeline_floor: Arc::new(HashMap::new()),
             observations: Arc::new(Mutex::new(Vec::new())),
             force_local: false,
+            meter: Arc::new(QueryMeter::default()),
+            metrics: None,
         }
     }
 
     /// Same context with different timeline floors (used per session).
     pub fn with_timeline_floor(&self, floor: HashMap<RegionId, Timestamp>) -> ExecContext {
-        ExecContext { timeline_floor: Arc::new(floor), ..self.clone() }
+        ExecContext {
+            timeline_floor: Arc::new(floor),
+            ..self.clone()
+        }
+    }
+
+    /// Same context reporting into `registry`.
+    pub fn with_metrics(&self, registry: Arc<MetricsRegistry>) -> ExecContext {
+        ExecContext {
+            metrics: Some(registry),
+            ..self.clone()
+        }
     }
 
     /// Drain the observations recorded so far.
@@ -114,14 +224,26 @@ impl ExecContext {
         std::mem::take(&mut self.observations.lock())
     }
 
-    /// Record a guard outcome.
+    /// Record a guard outcome. The log is bounded by [`MAX_OBSERVATIONS`];
+    /// overflow is counted in [`ExecCounters::observations_dropped`] (and
+    /// the counters above still advance), so long-running sessions that
+    /// never drain cannot grow memory without limit.
     pub fn record_guard(&self, obs: GuardObservation) {
         if obs.chose_local {
             self.counters.local_branches.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.counters.remote_branches.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .remote_branches
+                .fetch_add(1, Ordering::Relaxed);
         }
-        self.observations.lock().push(obs);
+        let mut log = self.observations.lock();
+        if log.len() < MAX_OBSERVATIONS {
+            log.push(obs);
+        } else {
+            self.counters
+                .observations_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -153,11 +275,65 @@ mod tests {
             heartbeat: Some(Timestamp(5)),
             chose_local: true,
         });
-        ctx.record_guard(GuardObservation { region: RegionId(1), heartbeat: None, chose_local: false });
+        ctx.record_guard(GuardObservation {
+            region: RegionId(1),
+            heartbeat: None,
+            chose_local: false,
+        });
         assert_eq!(ctx.counters.local_branches.load(Ordering::Relaxed), 1);
         assert_eq!(ctx.counters.remote_branches.load(Ordering::Relaxed), 1);
         let obs = ctx.take_observations();
         assert_eq!(obs.len(), 2);
         assert!(ctx.take_observations().is_empty());
+    }
+
+    #[test]
+    fn observation_log_is_bounded() {
+        let ctx = ExecContext::new(
+            Arc::new(StorageEngine::new()),
+            None,
+            Arc::new(SimClock::new()),
+        );
+        for _ in 0..(MAX_OBSERVATIONS + 10) {
+            ctx.record_guard(GuardObservation {
+                region: RegionId(1),
+                heartbeat: None,
+                chose_local: false,
+            });
+        }
+        assert_eq!(ctx.observations.lock().len(), MAX_OBSERVATIONS);
+        assert_eq!(
+            ctx.counters.observations_dropped.load(Ordering::Relaxed),
+            10
+        );
+        // counters still saw every evaluation
+        assert_eq!(
+            ctx.counters.remote_branches.load(Ordering::Relaxed),
+            (MAX_OBSERVATIONS + 10) as u64
+        );
+        // draining frees the log for new entries
+        ctx.take_observations();
+        ctx.record_guard(GuardObservation {
+            region: RegionId(1),
+            heartbeat: None,
+            chose_local: true,
+        });
+        assert_eq!(ctx.observations.lock().len(), 1);
+    }
+
+    #[test]
+    fn facade_mirror_follows_increments_and_resets() {
+        let counters = Arc::new(ExecCounters::default());
+        let registry = MetricsRegistry::new();
+        counters.register_metrics(&registry);
+        counters.local_branches.fetch_add(3, Ordering::Relaxed);
+        counters.rows_shipped.fetch_add(7, Ordering::Relaxed);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rcc_guard_local_total"), 3);
+        assert_eq!(snap.counter("rcc_rows_shipped_total"), 7);
+        counters.reset();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rcc_guard_local_total"), 0);
+        assert_eq!(snap.counter("rcc_rows_shipped_total"), 0);
     }
 }

@@ -2,7 +2,19 @@
 
 use crate::context::{ExecContext, GuardObservation};
 use rcc_common::{Result, Timestamp, Value};
+use rcc_obs::DEFAULT_STALENESS_BUCKETS;
 use rcc_optimizer::CurrencyGuard;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// The region label for staleness metrics: the heartbeat table name with
+/// its `heartbeat_` prefix stripped (`heartbeat_cr1` → `cr1`).
+fn region_label(guard: &CurrencyGuard) -> &str {
+    guard
+        .heartbeat_table
+        .strip_prefix("heartbeat_")
+        .unwrap_or(&guard.heartbeat_table)
+}
 
 /// Evaluate a currency guard: semantically the paper's selector predicate
 ///
@@ -17,29 +29,45 @@ use rcc_optimizer::CurrencyGuard;
 /// A missing heartbeat table or row fails the guard — conservative in the
 /// safe direction (the query goes remote and sees current data).
 pub fn evaluate_guard(ctx: &ExecContext, guard: &CurrencyGuard) -> Result<bool> {
+    let started = Instant::now();
     let heartbeat = read_heartbeat(ctx, guard);
-    if ctx.force_local {
-        // ServeStale policy: take the local branch regardless, but record
-        // the (possibly violated) observation so callers can warn.
-        ctx.record_guard(GuardObservation { region: guard.region, heartbeat, chose_local: true });
-        return Ok(true);
-    }
     let now = ctx.clock.now();
-    let fresh_enough = match heartbeat {
-        Some(ts) => {
-            let cutoff = now.minus(guard.bound);
-            let floor =
-                ctx.timeline_floor.get(&guard.region).copied().unwrap_or(Timestamp::ZERO);
-            ts > cutoff && ts >= floor
+    if let (Some(ts), Some(metrics)) = (heartbeat, ctx.metrics.as_deref()) {
+        metrics
+            .histogram(
+                "rcc_guard_staleness_seconds",
+                &[("region", region_label(guard))],
+                DEFAULT_STALENESS_BUCKETS,
+            )
+            .observe(now.since(ts).as_secs_f64());
+    }
+    let chose_local = if ctx.force_local {
+        // ServeStale policy: take the local branch regardless; the recorded
+        // observation below is how callers learn the bound may be violated.
+        true
+    } else {
+        match heartbeat {
+            Some(ts) => {
+                let cutoff = now.minus(guard.bound);
+                let floor = ctx
+                    .timeline_floor
+                    .get(&guard.region)
+                    .copied()
+                    .unwrap_or(Timestamp::ZERO);
+                ts > cutoff && ts >= floor
+            }
+            None => false,
         }
-        None => false,
     };
     ctx.record_guard(GuardObservation {
         region: guard.region,
         heartbeat,
-        chose_local: fresh_enough,
+        chose_local,
     });
-    Ok(fresh_enough)
+    ctx.meter
+        .guard_nanos
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    Ok(chose_local)
 }
 
 /// Read the region's local heartbeat timestamp, if present.
@@ -66,7 +94,8 @@ mod tests {
         ]);
         let mut t = Table::new("heartbeat_cr1", schema, vec![0]);
         if let Some(ts) = hb_ts {
-            t.insert(Row::new(vec![Value::Int(1), Value::Timestamp(ts)])).unwrap();
+            t.insert(Row::new(vec![Value::Int(1), Value::Timestamp(ts)]))
+                .unwrap();
         }
         storage.create_table(t).unwrap();
         let clock = SimClock::starting_at(Timestamp(100_000));
@@ -84,7 +113,12 @@ mod tests {
         // now=100s, bound=10s, hb=95s → 95s > 90s → pass
         let (ctx, guard, _) = setup(Some(95_000));
         assert!(evaluate_guard(&ctx, &guard).unwrap());
-        assert_eq!(ctx.counters.local_branches.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            ctx.counters
+                .local_branches
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
     }
 
     #[test]
@@ -93,7 +127,10 @@ mod tests {
         let (ctx, guard, _) = setup(Some(89_000));
         assert!(!evaluate_guard(&ctx, &guard).unwrap());
         let (ctx, guard, _) = setup(Some(90_000));
-        assert!(!evaluate_guard(&ctx, &guard).unwrap(), "ts must be strictly newer");
+        assert!(
+            !evaluate_guard(&ctx, &guard).unwrap(),
+            "ts must be strictly newer"
+        );
     }
 
     #[test]
@@ -122,6 +159,35 @@ mod tests {
         floor.insert(RegionId(1), Timestamp(95_000));
         let ctx3 = ctx.with_timeline_floor(floor);
         assert!(evaluate_guard(&ctx3, &guard).unwrap());
+    }
+
+    #[test]
+    fn staleness_histogram_and_timer_record() {
+        let (ctx, guard, _) = setup(Some(95_000));
+        let registry = Arc::new(rcc_obs::MetricsRegistry::new());
+        let ctx = ctx.with_metrics(registry.clone());
+        evaluate_guard(&ctx, &guard).unwrap();
+        let snap = registry.snapshot();
+        let h = snap
+            .histogram("rcc_guard_staleness_seconds{region=\"cr1\"}")
+            .unwrap();
+        assert_eq!(h.count, 1);
+        // now=100s, hb=95s → observed staleness is 5s
+        assert!((h.sum - 5.0).abs() < 1e-9, "sum={}", h.sum);
+        assert!(
+            ctx.meter
+                .guard_nanos
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
+        // a missing heartbeat records no staleness sample
+        let (ctx2, guard2, _) = setup(None);
+        let registry2 = Arc::new(rcc_obs::MetricsRegistry::new());
+        evaluate_guard(&ctx2.with_metrics(registry2.clone()), &guard2).unwrap();
+        assert!(registry2
+            .snapshot()
+            .histogram("rcc_guard_staleness_seconds{region=\"cr1\"}")
+            .is_none());
     }
 
     #[test]

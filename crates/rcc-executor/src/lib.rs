@@ -14,11 +14,13 @@
 //! Branch decisions are counted in [`context::ExecCounters`], which is what
 //! the workload-shift experiment (Fig. 4.2) measures.
 
+pub mod analyze;
 pub mod build;
 pub mod context;
 pub mod guard;
 pub mod ops;
 pub mod wire;
 
+pub use analyze::{execute_plan_analyzed, AnalyzedExecution, OpReport};
 pub use build::{build_operator, execute_plan, ExecutionResult, PhaseTimings};
-pub use context::{ExecContext, ExecCounters, RemoteService};
+pub use context::{ExecContext, ExecCounters, QueryMeter, RemoteService, MAX_OBSERVATIONS};

@@ -35,6 +35,30 @@ fn now_millis(ctx: &ExecContext) -> i64 {
     ctx.clock.now().millis()
 }
 
+/// Ship SQL to the back-end with remote-ship accounting: round-trip wall
+/// time, sub-query count and wire bytes flow into the per-query meter;
+/// aggregate counts into the shared [`crate::context::ExecCounters`].
+fn ship_remote(ctx: &ExecContext, sql: &str) -> Result<(Schema, Vec<Row>)> {
+    use std::sync::atomic::Ordering;
+    let remote = ctx
+        .remote
+        .as_ref()
+        .ok_or_else(|| Error::Remote("no back-end connection configured".into()))?;
+    let started = std::time::Instant::now();
+    let result = remote.execute_with_bytes(sql);
+    ctx.meter
+        .remote_nanos
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let (schema, rows, bytes) = result?;
+    ctx.meter.remote_queries.fetch_add(1, Ordering::Relaxed);
+    ctx.meter.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+    ctx.counters.remote_queries.fetch_add(1, Ordering::Relaxed);
+    ctx.counters
+        .rows_shipped
+        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+    Ok((schema, rows))
+}
+
 // ----------------------------------------------------------------- OneRow
 
 /// Emits a single empty row.
@@ -46,7 +70,10 @@ pub struct OneRowOp {
 impl OneRowOp {
     /// Build.
     pub fn new() -> OneRowOp {
-        OneRowOp { schema: Schema::empty(), done: false }
+        OneRowOp {
+            schema: Schema::empty(),
+            done: false,
+        }
     }
 }
 
@@ -96,7 +123,13 @@ impl LocalScanOp {
         access: AccessPath,
         residual: Option<BoundExpr>,
     ) -> LocalScanOp {
-        LocalScanOp { object, schema, access, residual, buffer: VecDeque::new() }
+        LocalScanOp {
+            object,
+            schema,
+            access,
+            residual,
+            buffer: VecDeque::new(),
+        }
     }
 }
 
@@ -136,13 +169,17 @@ impl Operator for LocalScanOp {
             }
             AccessPath::ClusteredRange { range, .. } => {
                 let mut err = None;
-                table.scan_range(range, |_| true, |row| {
-                    if err.is_none() {
-                        if let Err(e) = push(row) {
-                            err = Some(e);
+                table.scan_range(
+                    range,
+                    |_| true,
+                    |row| {
+                        if err.is_none() {
+                            if let Err(e) = push(row) {
+                                err = Some(e);
+                            }
                         }
-                    }
-                });
+                    },
+                );
                 if let Some(e) = err {
                     return Err(e);
                 }
@@ -178,7 +215,11 @@ pub struct RemoteQueryOp {
 impl RemoteQueryOp {
     /// Build.
     pub fn new(sql: String, schema: Schema) -> RemoteQueryOp {
-        RemoteQueryOp { sql, schema, buffer: VecDeque::new() }
+        RemoteQueryOp {
+            sql,
+            schema,
+            buffer: VecDeque::new(),
+        }
     }
 }
 
@@ -188,15 +229,7 @@ impl Operator for RemoteQueryOp {
     }
 
     fn open(&mut self, ctx: &ExecContext) -> Result<()> {
-        let remote = ctx
-            .remote
-            .as_ref()
-            .ok_or_else(|| Error::Remote("no back-end connection configured".into()))?;
-        let (_, rows) = remote.execute(&self.sql)?;
-        ctx.counters.remote_queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        ctx.counters
-            .rows_shipped
-            .fetch_add(rows.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let (_, rows) = ship_remote(ctx, &self.sql)?;
         for row in &rows {
             if row.len() != self.schema.len() {
                 return Err(Error::Remote(format!(
@@ -235,7 +268,13 @@ pub struct SwitchUnionOp {
 impl SwitchUnionOp {
     /// Build.
     pub fn new(guard: CurrencyGuard, local: BoxedOp, remote: BoxedOp) -> SwitchUnionOp {
-        SwitchUnionOp { guard, local, remote, use_local: false, opened: false }
+        SwitchUnionOp {
+            guard,
+            local,
+            remote,
+            use_local: false,
+            opened: false,
+        }
     }
 }
 
@@ -326,9 +365,16 @@ impl ProjectOp {
     pub fn new(input: BoxedOp, exprs: Vec<(BoundExpr, String)>) -> ProjectOp {
         use rcc_common::{Column, DataType};
         let schema = Schema::new(
-            exprs.iter().map(|(_, n)| Column::new(n.clone(), DataType::Int)).collect(),
+            exprs
+                .iter()
+                .map(|(_, n)| Column::new(n.clone(), DataType::Int))
+                .collect(),
         );
-        ProjectOp { input, exprs: exprs.into_iter().map(|(e, _)| e).collect(), schema }
+        ProjectOp {
+            input,
+            exprs: exprs.into_iter().map(|(e, _)| e).collect(),
+            schema,
+        }
     }
 }
 
@@ -399,7 +445,12 @@ impl HashJoinOp {
     }
 }
 
-fn eval_keys(keys: &[BoundExpr], row: &Row, schema: &Schema, now: i64) -> Result<Option<Vec<Value>>> {
+fn eval_keys(
+    keys: &[BoundExpr],
+    row: &Row,
+    schema: &Schema,
+    now: i64,
+) -> Result<Option<Vec<Value>>> {
     let mut out = Vec::with_capacity(keys.len());
     for k in keys {
         let v = k.eval(row, schema, now)?;
@@ -471,7 +522,6 @@ impl Operator for HashJoinOp {
     }
 }
 
-
 // -------------------------------------------------------------- MergeJoin
 
 /// Merge join over inputs already sorted (non-decreasing) on the join
@@ -496,7 +546,12 @@ pub struct MergeJoinOp {
 
 impl MergeJoinOp {
     /// Build.
-    pub fn new(left: BoxedOp, right: BoxedOp, left_key: BoundExpr, right_key: BoundExpr) -> MergeJoinOp {
+    pub fn new(
+        left: BoxedOp,
+        right: BoxedOp,
+        left_key: BoundExpr,
+        right_key: BoundExpr,
+    ) -> MergeJoinOp {
         let schema = left.schema().join(right.schema());
         MergeJoinOp {
             left,
@@ -643,7 +698,12 @@ pub struct IndexNLJoinOp {
 
 impl IndexNLJoinOp {
     /// Build.
-    pub fn new(outer: BoxedOp, outer_key: BoundExpr, inner: InnerAccess, kind: JoinKind) -> IndexNLJoinOp {
+    pub fn new(
+        outer: BoxedOp,
+        outer_key: BoundExpr,
+        inner: InnerAccess,
+        kind: JoinKind,
+    ) -> IndexNLJoinOp {
         let schema = match kind {
             JoinKind::Inner => outer.schema().join(&inner.schema),
             JoinKind::Semi | JoinKind::Anti => outer.schema().clone(),
@@ -671,8 +731,7 @@ impl IndexNLJoinOp {
         let now = now_millis(ctx);
         let mut out = Vec::with_capacity(raw.len());
         for row in raw {
-            let projected =
-                Row::new(self.mapping.iter().map(|&i| row.get(i).clone()).collect());
+            let projected = Row::new(self.mapping.iter().map(|&i| row.get(i).clone()).collect());
             let keep = match &self.inner.residual {
                 Some(p) => p.eval_predicate(&projected, &self.inner.schema, now)?,
                 None => true,
@@ -711,18 +770,12 @@ impl Operator for IndexNLJoinOp {
                 .collect::<Result<_>>()?;
             self.mode = InnerMode::Local;
         } else {
-            let sql = self.inner.remote_sql.as_ref().ok_or_else(|| {
-                Error::internal("guarded NL inner without a remote fallback")
-            })?;
-            let remote = ctx
-                .remote
+            let sql = self
+                .inner
+                .remote_sql
                 .as_ref()
-                .ok_or_else(|| Error::Remote("no back-end connection configured".into()))?;
-            let (_, rows) = remote.execute(sql)?;
-            ctx.counters.remote_queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            ctx.counters
-                .rows_shipped
-                .fetch_add(rows.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                .ok_or_else(|| Error::internal("guarded NL inner without a remote fallback"))?;
+            let (_, rows) = ship_remote(ctx, sql)?;
             let seek_ord = self.inner.schema.resolve(None, &self.inner.seek_col)?;
             let mut map: HashMap<Value, Vec<Row>> = HashMap::new();
             for row in rows {
@@ -798,8 +851,15 @@ impl AggState {
     fn new(call: &AggCall) -> AggState {
         match call.func {
             AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => AggState::Sum { total: 0.0, seen: false, int: true },
-            AggFunc::Avg => AggState::Avg { total: 0.0, count: 0 },
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                seen: false,
+                int: true,
+            },
+            AggFunc::Avg => AggState::Avg {
+                total: 0.0,
+                count: 0,
+            },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
         }
@@ -999,7 +1059,11 @@ pub struct SortOp {
 impl SortOp {
     /// Build.
     pub fn new(input: BoxedOp, keys: Vec<(usize, bool)>) -> SortOp {
-        SortOp { input, keys, buffer: VecDeque::new() }
+        SortOp {
+            input,
+            keys,
+            buffer: VecDeque::new(),
+        }
     }
 }
 
@@ -1047,7 +1111,11 @@ pub struct LimitOp {
 impl LimitOp {
     /// Build.
     pub fn new(input: BoxedOp, n: u64) -> LimitOp {
-        LimitOp { input, n, produced: 0 }
+        LimitOp {
+            input,
+            n,
+            produced: 0,
+        }
     }
 }
 
@@ -1085,7 +1153,10 @@ pub struct DistinctOp {
 impl DistinctOp {
     /// Build.
     pub fn new(input: BoxedOp) -> DistinctOp {
-        DistinctOp { input, seen: HashSet::new() }
+        DistinctOp {
+            input,
+            seen: HashSet::new(),
+        }
     }
 }
 

@@ -231,10 +231,7 @@ mod tests {
     fn wire_size_tracks_content() {
         let schema = Schema::new(vec![Column::new("x", DataType::Str)]);
         let small = encode_result(&schema, &[Row::new(vec![Value::from("a")])]);
-        let big = encode_result(
-            &schema,
-            &[Row::new(vec![Value::Str("a".repeat(1000))])],
-        );
+        let big = encode_result(&schema, &[Row::new(vec![Value::Str("a".repeat(1000))])]);
         assert!(big.len() > small.len() + 990);
     }
 }

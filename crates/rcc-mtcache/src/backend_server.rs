@@ -1,9 +1,11 @@
 //! The back-end server: executes shipped SQL against the master database.
 
+use parking_lot::Mutex;
 use rcc_backend::MasterDb;
 use rcc_catalog::Catalog;
 use rcc_common::{Error, Result, Row, Schema};
 use rcc_executor::{execute_plan, ExecContext, RemoteService};
+use rcc_obs::{MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
 use rcc_optimizer::{bind_select, optimize, OptimizerConfig};
 use rcc_sql::{parse_statement, Statement};
 use std::collections::HashMap;
@@ -22,6 +24,8 @@ pub struct BackendServer {
     latency_fixed_us: AtomicU64,
     /// Simulated network latency: microseconds per KiB of result shipped.
     latency_per_kib_us: AtomicU64,
+    /// Optional registry for remote-latency and wire-byte metrics.
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
 }
 
 impl BackendServer {
@@ -34,7 +38,25 @@ impl BackendServer {
             config: OptimizerConfig::backend(),
             latency_fixed_us: AtomicU64::new(0),
             latency_per_kib_us: AtomicU64::new(0),
+            metrics: Mutex::new(None),
         }
+    }
+
+    /// Publish remote-call latency and wire-byte metrics to `registry`.
+    pub fn set_metrics(&self, registry: Arc<MetricsRegistry>) {
+        registry.describe(
+            "rcc_remote_latency_seconds",
+            "Wall time of remote calls shipped from the cache to the back-end.",
+        );
+        registry.describe(
+            "rcc_wire_bytes_encoded_total",
+            "Result bytes serialized into the wire format at the back-end.",
+        );
+        registry.describe(
+            "rcc_wire_bytes_decoded_total",
+            "Wire-format bytes successfully decoded back into rows.",
+        );
+        *self.metrics.lock() = Some(registry);
     }
 
     /// Enable a simulated network: every remote call busy-waits for
@@ -68,6 +90,28 @@ impl BackendServer {
 
     /// Parse, optimize and execute a SELECT against the master tables.
     pub fn query(&self, sql: &str) -> Result<(Schema, Vec<Row>)> {
+        self.query_with_bytes(sql)
+            .map(|(schema, rows, _)| (schema, rows))
+    }
+
+    /// [`BackendServer::query`], also returning the wire-payload size in
+    /// bytes — what the cache's per-query byte accounting consumes.
+    pub fn query_with_bytes(&self, sql: &str) -> Result<(Schema, Vec<Row>, u64)> {
+        let metrics = self.metrics.lock().clone();
+        let started = std::time::Instant::now();
+        let out = self.query_inner(sql, metrics.as_deref());
+        if let Some(m) = &metrics {
+            m.histogram("rcc_remote_latency_seconds", &[], DEFAULT_LATENCY_BUCKETS)
+                .observe(started.elapsed().as_secs_f64());
+        }
+        out
+    }
+
+    fn query_inner(
+        &self,
+        sql: &str,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<(Schema, Vec<Row>, u64)> {
         let stmt = parse_statement(sql)?;
         let select = match stmt {
             Statement::Select(s) => *s,
@@ -96,15 +140,26 @@ impl BackendServer {
         // rows are returned (the planner-side schema keeps its binding
         // qualifiers, which the wire format does not carry)
         let payload = rcc_executor::wire::encode_result(&result.schema, &result.rows);
+        let bytes = payload.len() as u64;
+        if let Some(m) = metrics {
+            m.counter("rcc_wire_bytes_encoded_total", &[]).add(bytes);
+        }
         self.apply_latency(payload.len());
         let (_, rows) = rcc_executor::wire::decode_result(payload)?;
-        Ok((result.schema, rows))
+        if let Some(m) = metrics {
+            m.counter("rcc_wire_bytes_decoded_total", &[]).add(bytes);
+        }
+        Ok((result.schema, rows, bytes))
     }
 }
 
 impl RemoteService for BackendServer {
     fn execute(&self, sql: &str) -> Result<(Schema, Vec<Row>)> {
         self.query(sql)
+    }
+
+    fn execute_with_bytes(&self, sql: &str) -> Result<(Schema, Vec<Row>, u64)> {
+        self.query_with_bytes(sql)
     }
 }
 
@@ -134,7 +189,9 @@ mod tests {
     #[test]
     fn point_query() {
         let b = backend();
-        let (schema, rows) = b.query("SELECT c_name FROM customer WHERE c_custkey = 5").unwrap();
+        let (schema, rows) = b
+            .query("SELECT c_name FROM customer WHERE c_custkey = 5")
+            .unwrap();
         assert_eq!(schema.len(), 1);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(0).as_str().unwrap(), "Customer#000000005");
@@ -163,7 +220,10 @@ mod tests {
     #[test]
     fn rejects_non_select_and_currency() {
         let b = backend();
-        assert!(matches!(b.query("DELETE FROM customer"), Err(Error::Remote(_))));
+        assert!(matches!(
+            b.query("DELETE FROM customer"),
+            Err(Error::Remote(_))
+        ));
         assert!(matches!(
             b.query("SELECT c_name FROM customer CURRENCY BOUND 5 SEC ON (customer)"),
             Err(Error::Remote(_))
@@ -173,8 +233,9 @@ mod tests {
     #[test]
     fn secondary_index_range() {
         let b = backend();
-        let (_, rows) =
-            b.query("SELECT c_custkey FROM customer WHERE c_acctbal BETWEEN 0.0 AND 1000.0").unwrap();
+        let (_, rows) = b
+            .query("SELECT c_custkey FROM customer WHERE c_acctbal BETWEEN 0.0 AND 1000.0")
+            .unwrap();
         assert!(!rows.is_empty());
     }
 }

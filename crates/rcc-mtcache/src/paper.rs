@@ -49,8 +49,16 @@ pub fn paper_setup(scale: f64, seed: u64) -> Result<MTCache> {
     cache.analyze("orders")?;
 
     // currency regions per Table 4.1
-    cache.create_region("CR1", Duration::from_secs(CR1_INTERVAL_S), Duration::from_secs(DELAY_S))?;
-    cache.create_region("CR2", Duration::from_secs(CR2_INTERVAL_S), Duration::from_secs(DELAY_S))?;
+    cache.create_region(
+        "CR1",
+        Duration::from_secs(CR1_INTERVAL_S),
+        Duration::from_secs(DELAY_S),
+    )?;
+    cache.create_region(
+        "CR2",
+        Duration::from_secs(CR2_INTERVAL_S),
+        Duration::from_secs(DELAY_S),
+    )?;
 
     // the two local views
     create_view(
@@ -59,7 +67,12 @@ pub fn paper_setup(scale: f64, seed: u64) -> Result<MTCache> {
         "CR1",
         "SELECT c_custkey, c_name, c_nationkey, c_acctbal FROM customer",
     )?;
-    create_view(&cache, "orders_prj", "CR2", "SELECT o_custkey, o_orderkey, o_totalprice FROM orders")?;
+    create_view(
+        &cache,
+        "orders_prj",
+        "CR2",
+        "SELECT o_custkey, o_orderkey, o_totalprice FROM orders",
+    )?;
     Ok(cache)
 }
 
@@ -113,7 +126,11 @@ pub fn scale_stats(cache: &MTCache, objects: &[&str], factor: f64) {
 pub fn paper_setup_sf1_stats(physical_scale: f64, seed: u64) -> Result<MTCache> {
     let cache = paper_setup(physical_scale, seed)?;
     let factor = 1.0 / physical_scale;
-    scale_stats(&cache, &["customer", "orders", "cust_prj", "orders_prj"], factor);
+    scale_stats(
+        &cache,
+        &["customer", "orders", "cust_prj", "orders_prj"],
+        factor,
+    );
     Ok(cache)
 }
 
@@ -132,16 +149,25 @@ mod tests {
         let v = cache.cache_storage().table("orders_prj").unwrap();
         assert!(v.read().row_count() > 1000);
 
-        assert!(cache.local_heartbeat("CR1").is_none(), "no heartbeat before warm-up");
+        assert!(
+            cache.local_heartbeat("CR1").is_none(),
+            "no heartbeat before warm-up"
+        );
         warm_up(&cache).unwrap();
         let hb1 = cache.local_heartbeat("CR1").unwrap();
         let hb2 = cache.local_heartbeat("CR2").unwrap();
         assert!(hb1 > Timestamp::ZERO);
         assert!(hb2 > Timestamp::ZERO);
         // right after a CR2 propagation at t=60s: staleness = delay = 5s
-        assert_eq!(cache.region_staleness("CR2").unwrap(), Duration::from_secs(5));
+        assert_eq!(
+            cache.region_staleness("CR2").unwrap(),
+            Duration::from_secs(5)
+        );
         // CR1's last propagation was also at 60s (60 = 4×15)
-        assert_eq!(cache.region_staleness("CR1").unwrap(), Duration::from_secs(5));
+        assert_eq!(
+            cache.region_staleness("CR1").unwrap(),
+            Duration::from_secs(5)
+        );
     }
 
     #[test]
@@ -168,7 +194,10 @@ mod scale_tests {
         // key column is near-unique: distinct scales with rows
         assert_eq!(after.column("c_custkey").distinct, 150_000);
         // nationkey has 25 distinct values regardless of scale
-        assert_eq!(after.column("c_nationkey").distinct, before.column("c_nationkey").distinct);
+        assert_eq!(
+            after.column("c_nationkey").distinct,
+            before.column("c_nationkey").distinct
+        );
         // histograms scale so selectivities stay put
         let hist_sum: u64 = after.column("c_custkey").histogram.iter().sum();
         assert_eq!(hist_sum, 150_000);
@@ -181,6 +210,9 @@ mod scale_tests {
         let orders = cache.catalog().stats("orders").row_count;
         assert!((1_300_000..=1_700_000).contains(&orders), "orders={orders}");
         // physical data stays small
-        assert_eq!(cache.master().table("customer").unwrap().read().row_count(), 150);
+        assert_eq!(
+            cache.master().table("customer").unwrap().read().row_count(),
+            150
+        );
     }
 }

@@ -63,7 +63,10 @@ impl PlanCache {
 
     /// (hits, misses) so far.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of live entries (stale entries are evicted lazily).

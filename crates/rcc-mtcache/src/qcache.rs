@@ -80,9 +80,13 @@ impl QueryResultCache {
         *self.misses.lock() += 1;
         let result = cache.execute(sql)?;
         let as_of = conservative_as_of(&result, now);
-        self.entries
-            .lock()
-            .insert(sql.to_string(), Entry { result: result.clone(), as_of });
+        self.entries.lock().insert(
+            sql.to_string(),
+            Entry {
+                result: result.clone(),
+                as_of,
+            },
+        );
         Ok(result)
     }
 }

@@ -3,6 +3,7 @@
 use rcc_common::{Row, Schema, TableId};
 use rcc_executor::context::GuardObservation;
 use rcc_executor::PhaseTimings;
+use rcc_obs::QueryStats;
 use rcc_optimizer::optimize::PlanChoice;
 
 /// The outcome of one query at the cache: rows plus full provenance — which
@@ -31,6 +32,8 @@ pub struct QueryResult {
     pub timings: PhaseTimings,
     /// Base tables the query read (for timeline-consistency bookkeeping).
     pub tables: Vec<TableId>,
+    /// Per-phase statement statistics (parse → remote-ship pipeline).
+    pub stats: QueryStats,
 }
 
 impl QueryResult {
@@ -48,8 +51,12 @@ impl QueryResult {
     pub fn display_rows(&self, max: usize) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let names: Vec<&str> =
-            self.schema.columns().iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         let _ = writeln!(out, "{}", names.join(" | "));
         for row in self.rows.iter().take(max) {
             let vals: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();

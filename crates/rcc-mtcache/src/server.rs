@@ -12,7 +12,12 @@ use rcc_common::{
     AgentId, Clock, Column, Duration, Error, RegionId, Result, Row, Schema, SimClock, TableId,
     Timestamp, Value,
 };
-use rcc_executor::{execute_plan, ExecContext, ExecCounters, RemoteService};
+use rcc_executor::{
+    execute_plan, execute_plan_analyzed, ExecContext, ExecCounters, QueryMeter, RemoteService,
+};
+use rcc_obs::{
+    MetricsRegistry, QueryPhase, QueryStats, TraceHandle, Tracer, DEFAULT_LATENCY_BUCKETS,
+};
 use rcc_optimizer::cost::column_ranges;
 use rcc_optimizer::optimize::{Optimized, PlanChoice};
 use rcc_optimizer::{bind_select, optimize, BoundExpr, OptimizerConfig};
@@ -22,6 +27,7 @@ use rcc_storage::{RowChange, StorageEngine, TableStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
 
 /// The mid-tier database cache.
 ///
@@ -39,8 +45,10 @@ pub struct MTCache {
     cache_storage: Arc<StorageEngine>,
     runtime: ReplicationRuntime,
     config: RwLock<OptimizerConfig>,
-    plan_cache: PlanCache,
+    plan_cache: Arc<PlanCache>,
     counters: Arc<ExecCounters>,
+    metrics: Arc<MetricsRegistry>,
+    tracer: Tracer,
     backend_available: AtomicBool,
     next_agent: AtomicU32,
     next_region: AtomicU32,
@@ -62,6 +70,13 @@ impl MTCache {
         let master = Arc::new(MasterDb::new(Arc::clone(&catalog), Arc::clone(&clock_arc)));
         let backend = Arc::new(BackendServer::new(Arc::clone(&master)));
         let runtime = ReplicationRuntime::new(clock.clone(), Arc::clone(&master));
+        let metrics = Arc::new(MetricsRegistry::new());
+        let counters = Arc::new(ExecCounters::default());
+        counters.register_metrics(&metrics);
+        backend.set_metrics(Arc::clone(&metrics));
+        runtime.set_metrics(Arc::clone(&metrics));
+        let plan_cache = Arc::new(PlanCache::new());
+        Self::register_cache_metrics(&metrics, &plan_cache, &master);
         MTCache {
             clock,
             clock_arc,
@@ -71,12 +86,68 @@ impl MTCache {
             cache_storage: Arc::new(StorageEngine::new()),
             runtime,
             config: RwLock::new(OptimizerConfig::default()),
-            plan_cache: PlanCache::new(),
-            counters: Arc::new(ExecCounters::default()),
+            plan_cache,
+            counters,
+            metrics,
+            tracer: Tracer::default(),
             backend_available: AtomicBool::new(true),
             next_agent: AtomicU32::new(0),
             next_region: AtomicU32::new(0),
         }
+    }
+
+    /// Describe the cache-level metric names and mirror the plan cache's
+    /// internal hit/miss/size counters (and the master's committed-txn
+    /// count) into the registry via a collector, so external resets and
+    /// epoch evictions are always reflected in snapshots.
+    fn register_cache_metrics(
+        metrics: &Arc<MetricsRegistry>,
+        plan_cache: &Arc<PlanCache>,
+        master: &Arc<MasterDb>,
+    ) {
+        metrics.describe("rcc_queries_total", "Statements executed at the cache.");
+        metrics.describe(
+            "rcc_query_rows_returned_total",
+            "Rows returned to clients by cache queries.",
+        );
+        metrics.describe(
+            "rcc_query_phase_seconds",
+            "Per-statement phase latency (parse, bind, optimize, guard_eval, local_exec, remote_ship).",
+        );
+        metrics.describe(
+            "rcc_guard_staleness_seconds",
+            "Staleness observed by currency guards, per region heartbeat.",
+        );
+        metrics.describe(
+            "rcc_stale_served_total",
+            "Queries answered from stale local data under ViolationPolicy::ServeStale.",
+        );
+        metrics.describe(
+            "rcc_plan_cache_hits_total",
+            "Plan-cache lookups that reused a compiled dynamic plan.",
+        );
+        metrics.describe(
+            "rcc_plan_cache_misses_total",
+            "Plan-cache lookups that had to bind and re-optimize.",
+        );
+        metrics.describe("rcc_plan_cache_entries", "Compiled plans currently cached.");
+        metrics.describe(
+            "rcc_master_txns_total",
+            "Transactions committed in the back-end master's replication log.",
+        );
+        let hits = metrics.counter("rcc_plan_cache_hits_total", &[]);
+        let misses = metrics.counter("rcc_plan_cache_misses_total", &[]);
+        let entries = metrics.gauge("rcc_plan_cache_entries", &[]);
+        let master_txns = metrics.counter("rcc_master_txns_total", &[]);
+        let pc = Arc::clone(plan_cache);
+        let master = Arc::clone(master);
+        metrics.register_collector(move || {
+            let (h, m) = pc.stats();
+            hits.set(h);
+            misses.set(m);
+            entries.set(pc.len() as f64);
+            master_txns.set(master.log_len() as u64);
+        });
     }
 
     /// The shared simulated clock.
@@ -114,6 +185,20 @@ impl MTCache {
         &self.plan_cache
     }
 
+    /// The metrics registry covering the whole pipeline; render with
+    /// [`MetricsRegistry::render_prometheus`] or inspect via
+    /// [`MetricsRegistry::snapshot`].
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The query tracer: every statement records a trace with parse /
+    /// bind / optimize / execute spans, kept in a bounded ring buffer
+    /// ([`Tracer::recent`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Simulate losing (or restoring) the link to the back-end — the
     /// *traditional replicated database* scenario.
     pub fn set_backend_available(&self, up: bool) {
@@ -149,7 +234,12 @@ impl MTCache {
         update_interval: Duration,
         update_delay: Duration,
     ) -> Result<Arc<CurrencyRegion>> {
-        self.create_region_with_heartbeat(name, update_interval, update_delay, Duration::from_secs(1))
+        self.create_region_with_heartbeat(
+            name,
+            update_interval,
+            update_delay,
+            Duration::from_secs(1),
+        )
     }
 
     /// [`MTCache::create_region`] with an explicit heartbeat interval — a
@@ -182,7 +272,8 @@ impl MTCache {
 
     /// Stall / resume a region's distribution agent (failure injection).
     pub fn set_region_stalled(&self, region_name: &str, stalled: bool) -> bool {
-        self.runtime.with_agent(region_name, |a| a.set_stalled(stalled))
+        self.runtime
+            .with_agent(region_name, |a| a.set_stalled(stalled))
     }
 
     /// The region's current local heartbeat, if any.
@@ -192,7 +283,8 @@ impl MTCache {
 
     /// Current staleness bound for a region: `now − local heartbeat`.
     pub fn region_staleness(&self, region_name: &str) -> Option<Duration> {
-        self.local_heartbeat(region_name).map(|hb| self.clock.now().since(hb))
+        self.local_heartbeat(region_name)
+            .map(|hb| self.clock.now().since(hb))
     }
 
     /// Bulk-load initial rows into a master table (unlogged: models the
@@ -254,10 +346,28 @@ impl MTCache {
         let stmt = parse_statement(sql)?;
         let select = match stmt {
             Statement::Select(s) => *s,
-            other => return Err(Error::analysis(format!("EXPLAIN expects a query, got {other:?}"))),
+            other => {
+                return Err(Error::analysis(format!(
+                    "EXPLAIN expects a query, got {other:?}"
+                )))
+            }
         };
         let graph = bind_select(&self.catalog, &select, params)?;
         optimize(&self.catalog, &graph, &self.config.read())
+    }
+
+    /// Execute a query with per-operator instrumentation and return the
+    /// result with `plan_explain` replaced by the EXPLAIN ANALYZE printout
+    /// (per-operator actual row counts and wall times; untaken SwitchUnion
+    /// branches are marked `never executed`). `sql` may carry the
+    /// `EXPLAIN ANALYZE` prefix or be the bare query.
+    pub fn explain_analyze(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        let body = strip_explain_analyze(sql).unwrap_or(sql);
+        self.execute_analyzed(body, params, &HashMap::new())
     }
 
     pub(crate) fn execute_internal(
@@ -267,27 +377,50 @@ impl MTCache {
         floors: &HashMap<RegionId, Timestamp>,
         policy: ViolationPolicy,
     ) -> Result<QueryResult> {
+        if let Some(body) = strip_explain_analyze(sql) {
+            return self.execute_analyzed(body, params, floors);
+        }
+        let parse_started = Instant::now();
         let stmt = parse_statement(sql)?;
+        let parse_time = parse_started.elapsed();
         match stmt {
             Statement::Select(select) => {
-                self.execute_select(sql, &select, params, floors, policy)
+                self.execute_select(sql, &select, params, floors, policy, parse_time)
             }
-            Statement::Insert { table, columns, rows } => self.execute_insert(&table, &columns, &rows),
-            Statement::Update { table, assignments, filter } => {
-                self.execute_update(&table, &assignments, filter.as_ref())
-            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.execute_insert(&table, &columns, &rows),
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => self.execute_update(&table, &assignments, filter.as_ref()),
             Statement::Delete { table, filter } => self.execute_delete(&table, filter.as_ref()),
-            Statement::CreateTable { name, columns, primary_key } => {
-                self.create_table_ddl(&name, columns, primary_key)
-            }
-            Statement::CreateIndex { name, table, columns } => {
-                self.create_index_ddl(&name, &table, columns)
-            }
-            Statement::CreateCachedView { name, region, query } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => self.create_table_ddl(&name, columns, primary_key),
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => self.create_index_ddl(&name, &table, columns),
+            Statement::CreateCachedView {
+                name,
+                region,
+                query,
+            } => {
                 self.create_cached_view(&name, &region, &query, Vec::new())?;
                 Ok(self.ddl_result())
             }
-            Statement::CreateRegion { name, interval, delay } => {
+            Statement::CreateRegion {
+                name,
+                interval,
+                delay,
+            } => {
                 self.create_region(&name, interval, delay)?;
                 Ok(self.ddl_result())
             }
@@ -301,6 +434,87 @@ impl MTCache {
         }
     }
 
+    /// Look up or compile the dynamic plan for `sql`, tracing and timing
+    /// the bind and optimize steps (both zero on a plan-cache hit).
+    fn compile(
+        &self,
+        sql: &str,
+        select: &SelectStmt,
+        params: &HashMap<String, Value>,
+        trace: &TraceHandle,
+    ) -> Result<(Arc<CompiledQuery>, bool, StdDuration, StdDuration)> {
+        // "re-optimization only if a view's consistency properties change":
+        // the compiled dynamic plan is reused until the catalog epoch moves
+        let key = PlanCache::key(sql, params);
+        if let Some(c) = self.plan_cache.get(&key) {
+            return Ok((c, true, StdDuration::ZERO, StdDuration::ZERO));
+        }
+        let span = trace.span("bind");
+        let started = Instant::now();
+        let graph = bind_select(&self.catalog, select, params)?;
+        let bind_time = started.elapsed();
+        drop(span);
+        let tables: Vec<TableId> = graph.operands.iter().map(|o| o.table.id).collect();
+        let span = trace.span("optimize");
+        let started = Instant::now();
+        let optimized = optimize(&self.catalog, &graph, &self.config.read())?;
+        let optimize_time = started.elapsed();
+        drop(span);
+        let c = Arc::new(CompiledQuery { optimized, tables });
+        self.plan_cache.put(key, Arc::clone(&c));
+        Ok((c, false, bind_time, optimize_time))
+    }
+
+    /// Assemble per-statement [`QueryStats`] from the query meter and
+    /// publish the per-query metrics (query counter, row counter, phase
+    /// histograms). `local_exec` is the executor total minus guard and
+    /// remote time.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_stats(
+        &self,
+        trace_id: u64,
+        plan_cache_hit: bool,
+        parse: StdDuration,
+        bind: StdDuration,
+        optimize: StdDuration,
+        meter: &QueryMeter,
+        exec_total: StdDuration,
+        rows_returned: u64,
+    ) -> QueryStats {
+        let guard_eval = meter.guard_eval();
+        let remote_ship = meter.remote_ship();
+        let local_exec = exec_total
+            .saturating_sub(guard_eval)
+            .saturating_sub(remote_ship);
+        let stats = QueryStats {
+            trace_id,
+            plan_cache_hit,
+            parse,
+            bind,
+            optimize,
+            guard_eval,
+            local_exec,
+            remote_ship,
+            rows_returned,
+            bytes_shipped: meter.bytes_shipped.load(Ordering::Relaxed),
+            remote_queries: meter.remote_queries.load(Ordering::Relaxed),
+        };
+        self.metrics.counter("rcc_queries_total", &[]).inc();
+        self.metrics
+            .counter("rcc_query_rows_returned_total", &[])
+            .add(rows_returned);
+        for phase in QueryPhase::ALL {
+            self.metrics
+                .histogram(
+                    "rcc_query_phase_seconds",
+                    &[("phase", phase.name())],
+                    DEFAULT_LATENCY_BUCKETS,
+                )
+                .observe(stats.phase(phase).as_secs_f64());
+        }
+        stats
+    }
+
     pub(crate) fn execute_select(
         &self,
         sql: &str,
@@ -308,36 +522,34 @@ impl MTCache {
         params: &HashMap<String, Value>,
         floors: &HashMap<RegionId, Timestamp>,
         policy: ViolationPolicy,
+        parse_time: StdDuration,
     ) -> Result<QueryResult> {
-        // "re-optimization only if a view's consistency properties change":
-        // the compiled dynamic plan is reused until the catalog epoch moves
-        let key = PlanCache::key(sql, params);
-        let compiled = match self.plan_cache.get(&key) {
-            Some(c) => c,
-            None => {
-                let graph = bind_select(&self.catalog, select, params)?;
-                let tables: Vec<TableId> =
-                    graph.operands.iter().map(|o| o.table.id).collect();
-                let optimized = optimize(&self.catalog, &graph, &self.config.read())?;
-                let c = Arc::new(CompiledQuery { optimized, tables });
-                self.plan_cache.put(key, Arc::clone(&c));
-                c
-            }
-        };
+        let trace = self.tracer.trace(sql);
+        let (compiled, cache_hit, bind_time, optimize_time) =
+            self.compile(sql, select, params, &trace)?;
         let optimized = &compiled.optimized;
         let tables = compiled.tables.clone();
         let ctx = self.fresh_ctx(floors.clone());
 
-        let remote_before = self
-            .counters
-            .remote_queries
-            .load(Ordering::Relaxed);
+        let remote_before = self.counters.remote_queries.load(Ordering::Relaxed);
+        let exec_span = trace.span("execute");
         let exec = execute_plan(&optimized.plan, &ctx);
+        drop(exec_span);
         match exec {
             Ok(result) => {
                 let guards = ctx.take_observations();
-                let used_remote = self.counters.remote_queries.load(Ordering::Relaxed)
-                    > remote_before;
+                let used_remote =
+                    self.counters.remote_queries.load(Ordering::Relaxed) > remote_before;
+                let stats = self.finish_stats(
+                    trace.id(),
+                    cache_hit,
+                    parse_time,
+                    bind_time,
+                    optimize_time,
+                    &ctx.meter,
+                    result.timings.total(),
+                    result.rows.len() as u64,
+                );
                 Ok(QueryResult {
                     schema: result.schema,
                     rows: result.rows,
@@ -349,6 +561,7 @@ impl MTCache {
                     warnings: Vec::new(),
                     timings: result.timings,
                     tables,
+                    stats,
                 })
             }
             Err(Error::Remote(msg)) if !self.backend_available.load(Ordering::SeqCst) => {
@@ -360,7 +573,9 @@ impl MTCache {
                     ViolationPolicy::ServeStale => {
                         let mut ctx2 = self.fresh_ctx(floors.clone());
                         ctx2.force_local = true;
+                        let stale_span = trace.span("execute_stale");
                         let result = execute_plan(&optimized.plan, &ctx2)?;
+                        drop(stale_span);
                         let guards = ctx2.take_observations();
                         let now = self.clock.now();
                         let warnings = guards
@@ -377,6 +592,17 @@ impl MTCache {
                                 ),
                             })
                             .collect();
+                        self.metrics.counter("rcc_stale_served_total", &[]).inc();
+                        let stats = self.finish_stats(
+                            trace.id(),
+                            cache_hit,
+                            parse_time,
+                            bind_time,
+                            optimize_time,
+                            &ctx2.meter,
+                            result.timings.total(),
+                            result.rows.len() as u64,
+                        );
                         Ok(QueryResult {
                             schema: result.schema,
                             rows: result.rows,
@@ -388,12 +614,76 @@ impl MTCache {
                             warnings,
                             timings: result.timings,
                             tables,
+                            stats,
                         })
                     }
                 }
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// The shared EXPLAIN ANALYZE path: compile (through the plan cache),
+    /// execute with per-operator metering, and return the result with the
+    /// instrumented printout. Unlike the normal path it never falls back
+    /// to serving stale data — a currency violation surfaces as an error.
+    fn execute_analyzed(
+        &self,
+        body: &str,
+        params: &HashMap<String, Value>,
+        floors: &HashMap<RegionId, Timestamp>,
+    ) -> Result<QueryResult> {
+        let trace = self.tracer.trace(body);
+        let parse_started = Instant::now();
+        let stmt = parse_statement(body)?;
+        let parse_time = parse_started.elapsed();
+        let select = match stmt {
+            Statement::Select(s) => *s,
+            other => {
+                return Err(Error::analysis(format!(
+                    "EXPLAIN ANALYZE expects a query, got {other:?}"
+                )))
+            }
+        };
+        let (compiled, cache_hit, bind_time, optimize_time) =
+            self.compile(body, &select, params, &trace)?;
+        let optimized = &compiled.optimized;
+        let tables = compiled.tables.clone();
+        let ctx = self.fresh_ctx(floors.clone());
+        let exec_span = trace.span("execute");
+        let analyzed = execute_plan_analyzed(&optimized.plan, &ctx)?;
+        drop(exec_span);
+        let guards = ctx.take_observations();
+        let used_remote = ctx.meter.remote_queries.load(Ordering::Relaxed) > 0;
+        let stats = self.finish_stats(
+            trace.id(),
+            cache_hit,
+            parse_time,
+            bind_time,
+            optimize_time,
+            &ctx.meter,
+            analyzed.elapsed,
+            analyzed.rows.len() as u64,
+        );
+        let plan_explain = analyzed.render();
+        let timings = rcc_executor::PhaseTimings {
+            setup: StdDuration::ZERO,
+            run: analyzed.elapsed,
+            shutdown: StdDuration::ZERO,
+        };
+        Ok(QueryResult {
+            schema: analyzed.schema,
+            rows: analyzed.rows,
+            plan_choice: optimized.choice,
+            plan_explain,
+            est_cost: optimized.cost,
+            guards,
+            used_remote,
+            warnings: Vec::new(),
+            timings,
+            tables,
+            stats,
+        })
     }
 
     fn fresh_ctx(&self, floors: HashMap<RegionId, Timestamp>) -> ExecContext {
@@ -411,6 +701,8 @@ impl MTCache {
             timeline_floor: Arc::new(floors),
             observations: Arc::new(Mutex::new(Vec::new())),
             force_local: false,
+            meter: Arc::new(QueryMeter::default()),
+            metrics: Some(Arc::clone(&self.metrics)),
         }
     }
 
@@ -426,6 +718,7 @@ impl MTCache {
             warnings: Vec::new(),
             timings: Default::default(),
             tables: Vec::new(),
+            stats: Default::default(),
         }
     }
 
@@ -463,7 +756,8 @@ impl MTCache {
         let n = changes.len();
         self.master.execute_txn(changes)?;
         let mut r = self.ddl_result();
-        r.warnings.push(format!("{n} row(s) inserted (forwarded to back-end)"));
+        r.warnings
+            .push(format!("{n} row(s) inserted (forwarded to back-end)"));
         Ok(r)
     }
 
@@ -499,7 +793,10 @@ impl MTCache {
                 }
                 changes.push(TableChange::new(
                     meta.name.clone(),
-                    RowChange::Update { key: t.key_of(row), row: Row::new(new_values) },
+                    RowChange::Update {
+                        key: t.key_of(row),
+                        row: Row::new(new_values),
+                    },
                 ));
             }
         }
@@ -508,7 +805,8 @@ impl MTCache {
             self.master.execute_txn(changes)?;
         }
         let mut r = self.ddl_result();
-        r.warnings.push(format!("{n} row(s) updated (forwarded to back-end)"));
+        r.warnings
+            .push(format!("{n} row(s) updated (forwarded to back-end)"));
         Ok(r)
     }
 
@@ -539,7 +837,8 @@ impl MTCache {
             self.master.execute_txn(changes)?;
         }
         let mut r = self.ddl_result();
-        r.warnings.push(format!("{n} row(s) deleted (forwarded to back-end)"));
+        r.warnings
+            .push(format!("{n} row(s) deleted (forwarded to back-end)"));
         Ok(r)
     }
 
@@ -551,8 +850,12 @@ impl MTCache {
         columns: Vec<(String, rcc_common::DataType)>,
         primary_key: Vec<String>,
     ) -> Result<QueryResult> {
-        let schema =
-            Schema::new(columns.into_iter().map(|(n, t)| Column::new(n, t)).collect());
+        let schema = Schema::new(
+            columns
+                .into_iter()
+                .map(|(n, t)| Column::new(n, t))
+                .collect(),
+        );
         let meta = TableMeta::new(self.catalog.next_table_id(), name, schema, primary_key)?;
         self.register_table(meta)?;
         Ok(self.ddl_result())
@@ -625,7 +928,10 @@ impl MTCache {
                 SelectItem::QualifiedWildcard(q) if q.eq_ignore_ascii_case(&binding) => {
                     columns.extend(meta.schema.columns().iter().map(|c| c.name.clone()))
                 }
-                SelectItem::Expr { expr: Expr::Column { name, .. }, alias: None } => {
+                SelectItem::Expr {
+                    expr: Expr::Column { name, .. },
+                    alias: None,
+                } => {
                     meta.schema.resolve(None, name)?;
                     columns.push(name.clone());
                 }
@@ -709,7 +1015,9 @@ impl MTCache {
             sub_result = agent.subscribe(Arc::clone(&def), &meta);
         });
         if !found {
-            return Err(Error::NotFound(format!("no agent for region {region_name}")));
+            return Err(Error::NotFound(format!(
+                "no agent for region {region_name}"
+            )));
         }
         sub_result?;
 
@@ -746,11 +1054,37 @@ impl MTCache {
     }
 }
 
+/// If `sql` starts with `EXPLAIN ANALYZE` (any case), return the query
+/// body after the prefix. A bare `EXPLAIN` is *not* matched — that form
+/// is served by [`MTCache::explain`] without executing.
+fn strip_explain_analyze(sql: &str) -> Option<&str> {
+    let rest = strip_keyword(sql.trim_start(), "EXPLAIN")?;
+    strip_keyword(rest, "ANALYZE")
+}
+
+/// Strip a leading keyword (case-insensitive) plus at least one trailing
+/// whitespace character separating it from what follows.
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    if s.len() <= kw.len() || !s[..kw.len()].eq_ignore_ascii_case(kw) {
+        return None;
+    }
+    let rest = &s[kw.len()..];
+    let trimmed = rest.trim_start();
+    if trimmed.len() < rest.len() {
+        Some(trimmed)
+    } else {
+        None
+    }
+}
+
 /// Evaluate a constant expression (INSERT VALUES).
 fn eval_const(e: &Expr) -> Result<Value> {
     match e {
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Unary { op: rcc_sql::UnaryOp::Neg, expr } => match eval_const(expr)? {
+        Expr::Unary {
+            op: rcc_sql::UnaryOp::Neg,
+            expr,
+        } => match eval_const(expr)? {
             Value::Int(i) => Ok(Value::Int(-i)),
             Value::Float(f) => Ok(Value::Float(-f)),
             other => Err(Error::Type(format!("cannot negate {other}"))),
@@ -791,13 +1125,22 @@ fn bind_table_expr_with_binding(meta: &TableMeta, binding: &str, e: &Expr) -> Re
             op: *op,
             expr: Box::new(bind_table_expr_with_binding(meta, binding, expr)?),
         }),
-        Expr::Between { expr, low, high, negated } => Ok(BoundExpr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Ok(BoundExpr::Between {
             expr: Box::new(bind_table_expr_with_binding(meta, binding, expr)?),
             low: Box::new(bind_table_expr_with_binding(meta, binding, low)?),
             high: Box::new(bind_table_expr_with_binding(meta, binding, high)?),
             negated: *negated,
         }),
-        Expr::InList { expr, list, negated } => Ok(BoundExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(BoundExpr::InList {
             expr: Box::new(bind_table_expr_with_binding(meta, binding, expr)?),
             list: list
                 .iter()
@@ -809,7 +1152,9 @@ fn bind_table_expr_with_binding(meta: &TableMeta, binding: &str, e: &Expr) -> Re
             expr: Box::new(bind_table_expr_with_binding(meta, binding, expr)?),
             negated: *negated,
         }),
-        Expr::Function { name, args, .. } if name.eq_ignore_ascii_case("getdate") && args.is_empty() => {
+        Expr::Function { name, args, .. }
+            if name.eq_ignore_ascii_case("getdate") && args.is_empty() =>
+        {
             Ok(BoundExpr::GetDate)
         }
         other => Err(Error::analysis(format!("unsupported expression {other:?}"))),
@@ -818,7 +1163,11 @@ fn bind_table_expr_with_binding(meta: &TableMeta, binding: &str, e: &Expr) -> Re
 
 fn split_conjuncts(e: &BoundExpr) -> Vec<BoundExpr> {
     match e {
-        BoundExpr::Binary { left, op: rcc_sql::BinaryOp::And, right } => {
+        BoundExpr::Binary {
+            left,
+            op: rcc_sql::BinaryOp::And,
+            right,
+        } => {
             let mut out = split_conjuncts(left);
             out.extend(split_conjuncts(right));
             out

@@ -34,7 +34,12 @@ pub struct Session<'a> {
 
 impl<'a> Session<'a> {
     pub(crate) fn new(cache: &'a MTCache) -> Session<'a> {
-        Session { cache, timeline: false, floors: HashMap::new(), policy: ViolationPolicy::Reject }
+        Session {
+            cache,
+            timeline: false,
+            floors: HashMap::new(),
+            policy: ViolationPolicy::Reject,
+        }
     }
 
     /// Is a TIMEORDERED bracket active?
@@ -78,8 +83,14 @@ impl<'a> Session<'a> {
             }
             _ => {}
         }
-        let floors = if self.timeline { self.floors.clone() } else { HashMap::new() };
-        let result = self.cache.execute_internal(sql, params, &floors, self.policy)?;
+        let floors = if self.timeline {
+            self.floors.clone()
+        } else {
+            HashMap::new()
+        };
+        let result = self
+            .cache
+            .execute_internal(sql, params, &floors, self.policy)?;
         if self.timeline {
             self.ratchet(&result);
         }
@@ -127,5 +138,6 @@ fn empty_result() -> QueryResult {
         warnings: Vec::new(),
         timings: Default::default(),
         tables: Vec::new(),
+        stats: Default::default(),
     }
 }

@@ -28,7 +28,9 @@ fn concurrent_readers_and_writers() {
                     .unwrap();
                 assert_eq!(bounded.rows.len(), 1);
                 let current = cache
-                    .execute(&format!("SELECT c_acctbal FROM customer WHERE c_custkey = {key}"))
+                    .execute(&format!(
+                        "SELECT c_acctbal FROM customer WHERE c_custkey = {key}"
+                    ))
                     .unwrap();
                 assert_eq!(current.rows.len(), 1);
             }
@@ -61,8 +63,9 @@ fn concurrent_readers_and_writers() {
              CURRENCY BOUND 60 SEC ON (customer)",
         )
         .unwrap();
-    let current =
-        cache.execute("SELECT c_acctbal FROM customer WHERE c_custkey = 1").unwrap();
+    let current = cache
+        .execute("SELECT c_acctbal FROM customer WHERE c_custkey = 1")
+        .unwrap();
     assert_eq!(bounded.rows[0].get(0), current.rows[0].get(0));
 }
 

@@ -12,9 +12,9 @@
 //! to the back-end.
 
 use rcc_common::{Duration, RegionId, Value};
+use rcc_mtcache::MTCache;
 use rcc_optimizer::property::{DeliveredGroup, DeliveredProperty};
 use rcc_optimizer::RegionTag;
-use rcc_mtcache::MTCache;
 use std::collections::HashMap;
 
 fn rig() -> MTCache {
@@ -28,11 +28,19 @@ fn rig() -> MTCache {
             .unwrap();
     }
     cache.analyze("t").unwrap();
-    cache.create_region("R1", Duration::from_secs(10), Duration::from_secs(2)).unwrap();
-    cache.create_region("R2", Duration::from_secs(10), Duration::from_secs(2)).unwrap();
+    cache
+        .create_region("R1", Duration::from_secs(10), Duration::from_secs(2))
+        .unwrap();
+    cache
+        .create_region("R2", Duration::from_secs(10), Duration::from_secs(2))
+        .unwrap();
     // two projection views of T, different column subsets, different regions
-    cache.execute("CREATE CACHED VIEW t_x REGION r1 AS SELECT id, x FROM t").unwrap();
-    cache.execute("CREATE CACHED VIEW t_y REGION r2 AS SELECT id, y FROM t").unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_x REGION r1 AS SELECT id, x FROM t")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_y REGION r2 AS SELECT id, y FROM t")
+        .unwrap();
     cache.advance(Duration::from_secs(30)).unwrap();
     cache
 }

@@ -15,7 +15,9 @@ fn fully_sql_scripted_setup() {
         "CREATE REGION warehouse INTERVAL 10 SEC DELAY 2 SEC",
         "CREATE CACHED VIEW inv_v REGION warehouse AS SELECT sku, qty FROM inv",
     ] {
-        cache.execute(stmt).unwrap_or_else(|e| panic!("{stmt}: {e}"));
+        cache
+            .execute(stmt)
+            .unwrap_or_else(|e| panic!("{stmt}: {e}"));
     }
     cache.analyze("inv").unwrap();
     cache.advance(Duration::from_secs(30)).unwrap();
@@ -29,38 +31,60 @@ fn fully_sql_scripted_setup() {
 #[test]
 fn create_region_duplicate_rejected() {
     let cache = MTCache::new();
-    cache.execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC").unwrap();
-    let err = cache.execute("CREATE REGION r INTERVAL 9 SEC DELAY 1 SEC").unwrap_err();
+    cache
+        .execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC")
+        .unwrap();
+    let err = cache
+        .execute("CREATE REGION r INTERVAL 9 SEC DELAY 1 SEC")
+        .unwrap_err();
     assert!(matches!(err, Error::AlreadyExists(_)));
 }
 
 #[test]
 fn insert_variants_and_errors() {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, b VARCHAR, c FLOAT, PRIMARY KEY (a))").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, b VARCHAR, c FLOAT, PRIMARY KEY (a))")
+        .unwrap();
     // full-row insert, multi-row
-    cache.execute("INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', 2.5)").unwrap();
+    cache
+        .execute("INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', 2.5)")
+        .unwrap();
     // column-list insert: missing column becomes NULL
-    cache.execute("INSERT INTO t (a, b) VALUES (3, 'z')").unwrap();
+    cache
+        .execute("INSERT INTO t (a, b) VALUES (3, 'z')")
+        .unwrap();
     let r = cache.execute("SELECT c FROM t WHERE a = 3").unwrap();
     assert!(r.rows[0].get(0).is_null());
     // negative literals
-    cache.execute("INSERT INTO t VALUES (4, 'n', -2.5)").unwrap();
+    cache
+        .execute("INSERT INTO t VALUES (4, 'n', -2.5)")
+        .unwrap();
     // arity mismatch
     assert!(cache.execute("INSERT INTO t (a, b) VALUES (5)").is_err());
     // duplicate key propagates a storage error
-    assert!(cache.execute("INSERT INTO t VALUES (1, 'dup', 0.0)").is_err());
+    assert!(cache
+        .execute("INSERT INTO t VALUES (1, 'dup', 0.0)")
+        .is_err());
     // non-literal values rejected
-    assert!(cache.execute("INSERT INTO t VALUES (6, 'e', a + 1)").is_err());
+    assert!(cache
+        .execute("INSERT INTO t VALUES (6, 'e', a + 1)")
+        .is_err());
 }
 
 #[test]
 fn update_with_expressions_and_no_match() {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))").unwrap();
-    cache.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))")
+        .unwrap();
+    cache
+        .execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        .unwrap();
     // expression referencing the row
-    cache.execute("UPDATE t SET v = v * 2 + 1 WHERE a = 1").unwrap();
+    cache
+        .execute("UPDATE t SET v = v * 2 + 1 WHERE a = 1")
+        .unwrap();
     let r = cache.execute("SELECT v FROM t WHERE a = 1").unwrap();
     assert_eq!(r.rows[0].get(0), &Value::Int(21));
     // predicate matching nothing is a no-op, not an error
@@ -76,9 +100,13 @@ fn update_with_expressions_and_no_match() {
 #[test]
 fn delete_with_in_list_and_unqualified() {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, PRIMARY KEY (a))").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, PRIMARY KEY (a))")
+        .unwrap();
     for i in 0..10 {
-        cache.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        cache
+            .execute(&format!("INSERT INTO t VALUES ({i})"))
+            .unwrap();
     }
     cache.execute("DELETE FROM t WHERE a IN (1, 3, 5)").unwrap();
     assert_eq!(cache.execute("SELECT a FROM t").unwrap().rows.len(), 7);
@@ -89,16 +117,22 @@ fn delete_with_in_list_and_unqualified() {
 #[test]
 fn create_index_makes_backend_range_queries_cheap() {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, v FLOAT, PRIMARY KEY (a))").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, v FLOAT, PRIMARY KEY (a))")
+        .unwrap();
     for i in 0..500 {
-        cache.execute(&format!("INSERT INTO t VALUES ({i}, {})", i as f64 / 2.0)).unwrap();
+        cache
+            .execute(&format!("INSERT INTO t VALUES ({i}, {})", i as f64 / 2.0))
+            .unwrap();
     }
     cache.execute("CREATE INDEX ix_v ON t (v)").unwrap();
     cache.analyze("t").unwrap();
     // the catalog now advertises the index and the master table has it
     let meta = cache.catalog().table("t").unwrap();
     assert!(meta.index_on("v").is_some());
-    let r = cache.execute("SELECT a FROM t WHERE v BETWEEN 10.0 AND 12.0").unwrap();
+    let r = cache
+        .execute("SELECT a FROM t WHERE v BETWEEN 10.0 AND 12.0")
+        .unwrap();
     assert_eq!(r.rows.len(), 5);
     // duplicate index name rejected
     assert!(cache.execute("CREATE INDEX ix_v ON t (a)").is_err());
@@ -109,8 +143,12 @@ fn create_index_makes_backend_range_queries_cheap() {
 #[test]
 fn cached_view_ddl_validation() {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a))").unwrap();
-    cache.execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a))")
+        .unwrap();
+    cache
+        .execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC")
+        .unwrap();
     // must retain the key
     assert!(cache
         .execute("CREATE CACHED VIEW v1 REGION r AS SELECT b FROM t")
@@ -128,7 +166,9 @@ fn cached_view_ddl_validation() {
         .execute("CREATE CACHED VIEW v4 REGION r AS SELECT a, b FROM t WHERE a < 5 AND b > 2")
         .is_err());
     // a valid selection view works and its predicate column must be retained
-    cache.execute("CREATE CACHED VIEW v5 REGION r AS SELECT a, b FROM t WHERE a < 100").unwrap();
+    cache
+        .execute("CREATE CACHED VIEW v5 REGION r AS SELECT a, b FROM t WHERE a < 100")
+        .unwrap();
     // duplicate view name
     assert!(cache
         .execute("CREATE CACHED VIEW v5 REGION r AS SELECT a, b FROM t")
@@ -138,11 +178,17 @@ fn cached_view_ddl_validation() {
 #[test]
 fn qcache_distinguishes_queries_and_clears() {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, PRIMARY KEY (a))").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, PRIMARY KEY (a))")
+        .unwrap();
     cache.execute("INSERT INTO t VALUES (1), (2)").unwrap();
     cache.analyze("t").unwrap();
-    cache.execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC").unwrap();
-    cache.execute("CREATE CACHED VIEW t_v REGION r AS SELECT a FROM t").unwrap();
+    cache
+        .execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_v REGION r AS SELECT a FROM t")
+        .unwrap();
     cache.advance(Duration::from_secs(20)).unwrap();
 
     let qc = QueryResultCache::new();
@@ -168,21 +214,38 @@ fn qcache_distinguishes_queries_and_clears() {
 #[test]
 fn dml_on_unknown_table_fails_cleanly() {
     let cache = MTCache::new();
-    assert!(matches!(cache.execute("INSERT INTO ghost VALUES (1)"), Err(Error::NotFound(_))));
-    assert!(matches!(cache.execute("UPDATE ghost SET a = 1"), Err(Error::NotFound(_))));
-    assert!(matches!(cache.execute("DELETE FROM ghost"), Err(Error::NotFound(_))));
+    assert!(matches!(
+        cache.execute("INSERT INTO ghost VALUES (1)"),
+        Err(Error::NotFound(_))
+    ));
+    assert!(matches!(
+        cache.execute("UPDATE ghost SET a = 1"),
+        Err(Error::NotFound(_))
+    ));
+    assert!(matches!(
+        cache.execute("DELETE FROM ghost"),
+        Err(Error::NotFound(_))
+    ));
 }
 
 #[test]
 fn drop_cached_view_ends_subscription_and_recompiles_plans() {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))")
+        .unwrap();
     for i in 0..20 {
-        cache.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        cache
+            .execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
     }
     cache.analyze("t").unwrap();
-    cache.execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC").unwrap();
-    cache.execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t").unwrap();
+    cache
+        .execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t")
+        .unwrap();
     cache.advance(Duration::from_secs(20)).unwrap();
 
     const Q: &str = "SELECT v FROM t WHERE a = 3 CURRENCY BOUND 30 SEC ON (t)";
@@ -195,7 +258,11 @@ fn drop_cached_view_ends_subscription_and_recompiles_plans() {
 
     // the cached plan referencing the dropped view must NOT be reused
     let after = cache.execute(Q).unwrap();
-    assert!(after.used_remote, "no view left → remote: {}", after.plan_explain);
+    assert!(
+        after.used_remote,
+        "no view left → remote: {}",
+        after.plan_explain
+    );
     assert_eq!(after.rows[0].get(0), &Value::Int(3));
 
     // replication keeps working for remaining subscriptions (none) and the
@@ -205,22 +272,36 @@ fn drop_cached_view_ends_subscription_and_recompiles_plans() {
 
     // dropping again fails cleanly; re-creating works and re-populates
     assert!(cache.execute("DROP CACHED VIEW t_v").is_err());
-    cache.execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t").unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t")
+        .unwrap();
     cache.advance(Duration::from_secs(20)).unwrap();
     let back = cache.execute(Q).unwrap();
     assert!(!back.used_remote);
-    assert_eq!(back.rows[0].get(0), &Value::Int(99), "recreated view caught up");
+    assert_eq!(
+        back.rows[0].get(0),
+        &Value::Int(99),
+        "recreated view caught up"
+    );
 }
 
 #[test]
 fn dropping_one_view_leaves_siblings_replicating() {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))")
+        .unwrap();
     cache.execute("INSERT INTO t VALUES (1, 10)").unwrap();
     cache.analyze("t").unwrap();
-    cache.execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC").unwrap();
-    cache.execute("CREATE CACHED VIEW v1 REGION r AS SELECT a, v FROM t").unwrap();
-    cache.execute("CREATE CACHED VIEW v2 REGION r AS SELECT a, v FROM t").unwrap();
+    cache
+        .execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW v1 REGION r AS SELECT a, v FROM t")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW v2 REGION r AS SELECT a, v FROM t")
+        .unwrap();
     cache.advance(Duration::from_secs(10)).unwrap();
     cache.execute("DROP CACHED VIEW v1").unwrap();
     cache.execute("UPDATE t SET v = 77 WHERE a = 1").unwrap();

@@ -53,7 +53,9 @@ fn merge_join_results_match_across_selectivities() {
         assert!(rows.iter().all(|r| r.get(0).as_int().unwrap() <= k));
         let (_, orders) = cache
             .backend()
-            .query(&format!("SELECT o_custkey FROM orders WHERE o_custkey <= {k}"))
+            .query(&format!(
+                "SELECT o_custkey FROM orders WHERE o_custkey <= {k}"
+            ))
             .unwrap();
         assert_eq!(rows.len(), orders.len(), "k={k}");
     }
@@ -98,6 +100,10 @@ fn no_order_no_merge_join() {
     };
     let graph = bind_select(cache.catalog(), &stmt, &HashMap::new()).unwrap();
     let opt = optimize(cache.catalog(), &graph, &OptimizerConfig::backend()).unwrap();
-    assert!(!opt.plan.explain().contains("MergeJoin"), "{}", opt.plan.explain());
+    assert!(
+        !opt.plan.explain().contains("MergeJoin"),
+        "{}",
+        opt.plan.explain()
+    );
     let _ = Value::Int(0);
 }

@@ -9,13 +9,21 @@ use std::collections::HashMap;
 
 fn rig() -> MTCache {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))")
+        .unwrap();
     for i in 0..50 {
-        cache.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        cache
+            .execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
     }
     cache.analyze("t").unwrap();
-    cache.execute("CREATE REGION r INTERVAL 10 SEC DELAY 2 SEC").unwrap();
-    cache.execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t").unwrap();
+    cache
+        .execute("CREATE REGION r INTERVAL 10 SEC DELAY 2 SEC")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t")
+        .unwrap();
     cache.advance(Duration::from_secs(30)).unwrap();
     cache
 }
@@ -45,7 +53,11 @@ fn plans_are_reused_across_time_updates_and_guard_flips() {
     cache.advance(Duration::from_secs(120)).unwrap();
     let r = cache.execute(Q).unwrap();
     assert!(r.used_remote, "guard failed at run time");
-    assert_eq!(cache.plan_cache().stats().1, misses_after_first, "still the cached plan");
+    assert_eq!(
+        cache.plan_cache().stats().1,
+        misses_after_first,
+        "still the cached plan"
+    );
 }
 
 #[test]
@@ -59,7 +71,10 @@ fn catalog_changes_invalidate() {
         .execute("CREATE CACHED VIEW t_v2 REGION r AS SELECT a, v FROM t WHERE a < 25")
         .unwrap();
     cache.execute(Q).unwrap();
-    assert!(cache.plan_cache().stats().1 > misses_before, "recompiled after DDL");
+    assert!(
+        cache.plan_cache().stats().1 > misses_before,
+        "recompiled after DDL"
+    );
 
     // ANALYZE also invalidates (statistics steer the cost model)
     let misses_mid = cache.plan_cache().stats().1;
@@ -90,5 +105,9 @@ fn cached_plan_results_stay_correct() {
     cache.execute("UPDATE t SET v = 1234 WHERE a = 7").unwrap();
     cache.advance(Duration::from_secs(30)).unwrap();
     let second = cache.execute(Q).unwrap();
-    assert_eq!(second.rows[0].get(0), &Value::Int(1234), "cached plan, fresh data");
+    assert_eq!(
+        second.rows[0].get(0),
+        &Value::Int(1234),
+        "cached plan, fresh data"
+    );
 }

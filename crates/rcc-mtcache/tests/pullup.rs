@@ -12,20 +12,32 @@ use std::collections::HashMap;
 
 fn rig() -> MTCache {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE books (isbn INT, title VARCHAR, PRIMARY KEY (isbn))").unwrap();
+    cache
+        .execute("CREATE TABLE books (isbn INT, title VARCHAR, PRIMARY KEY (isbn))")
+        .unwrap();
     cache
         .execute("CREATE TABLE reviews (rid INT, isbn INT, rating INT, PRIMARY KEY (rid))")
         .unwrap();
     for i in 1..=20 {
-        cache.execute(&format!("INSERT INTO books VALUES ({i}, 'B{i}')")).unwrap();
         cache
-            .execute(&format!("INSERT INTO reviews VALUES ({i}, {}, {})", (i % 10) + 1, i % 5))
+            .execute(&format!("INSERT INTO books VALUES ({i}, 'B{i}')"))
+            .unwrap();
+        cache
+            .execute(&format!(
+                "INSERT INTO reviews VALUES ({i}, {}, {})",
+                (i % 10) + 1,
+                i % 5
+            ))
             .unwrap();
     }
     cache.analyze("books").unwrap();
     cache.analyze("reviews").unwrap();
-    cache.create_region("R", Duration::from_secs(10), Duration::from_secs(2)).unwrap();
-    cache.execute("CREATE CACHED VIEW b_v REGION r AS SELECT isbn, title FROM books").unwrap();
+    cache
+        .create_region("R", Duration::from_secs(10), Duration::from_secs(2))
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW b_v REGION r AS SELECT isbn, title FROM books")
+        .unwrap();
     cache
         .execute("CREATE CACHED VIEW r_v REGION r AS SELECT rid, isbn, rating FROM reviews")
         .unwrap();
@@ -43,7 +55,10 @@ fn without_pullup_multi_table_class_goes_remote() {
     let cache = rig();
     let opt = cache.explain(E1, &HashMap::new()).unwrap();
     assert!(
-        matches!(opt.choice, PlanChoice::FullRemote | PlanChoice::RemoteFetchLocalJoin),
+        matches!(
+            opt.choice,
+            PlanChoice::FullRemote | PlanChoice::RemoteFetchLocalJoin
+        ),
         "{:?}",
         opt.choice
     );
@@ -54,7 +69,12 @@ fn with_pullup_single_guard_serves_locally() {
     let cache = rig();
     cache.set_pullup_switch_union(true);
     let opt = cache.explain(E1, &HashMap::new()).unwrap();
-    assert_eq!(opt.choice, PlanChoice::PulledUpSwitchUnion, "plan:\n{}", opt.plan.explain());
+    assert_eq!(
+        opt.choice,
+        PlanChoice::PulledUpSwitchUnion,
+        "plan:\n{}",
+        opt.plan.explain()
+    );
     assert_eq!(opt.plan.guard_count(), 1, "exactly one guard over the join");
 
     let r = cache.execute(E1).unwrap();
@@ -81,29 +101,46 @@ fn pullup_guard_still_fails_safe_when_stale() {
     cache.set_pullup_switch_union(true);
     cache.set_region_stalled("R", true);
     cache.advance(Duration::from_secs(1200)).unwrap();
-    cache.execute("UPDATE books SET title = 'NEW' WHERE isbn = 1").unwrap();
+    cache
+        .execute("UPDATE books SET title = 'NEW' WHERE isbn = 1")
+        .unwrap();
     let r = cache.execute(E1).unwrap();
-    assert!(r.used_remote, "stale region → remote branch of the pulled-up union");
-    assert!(r
-        .rows
-        .iter()
-        .any(|row| row.get(0) == &Value::from("NEW")), "remote sees the update");
+    assert!(
+        r.used_remote,
+        "stale region → remote branch of the pulled-up union"
+    );
+    assert!(
+        r.rows.iter().any(|row| row.get(0) == &Value::from("NEW")),
+        "remote sees the update"
+    );
 }
 
 #[test]
 fn pullup_not_applicable_across_regions() {
     // views in different regions: pull-up cannot manufacture consistency
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE a (id INT, PRIMARY KEY (id))").unwrap();
-    cache.execute("CREATE TABLE b (id INT, PRIMARY KEY (id))").unwrap();
+    cache
+        .execute("CREATE TABLE a (id INT, PRIMARY KEY (id))")
+        .unwrap();
+    cache
+        .execute("CREATE TABLE b (id INT, PRIMARY KEY (id))")
+        .unwrap();
     cache.execute("INSERT INTO a VALUES (1)").unwrap();
     cache.execute("INSERT INTO b VALUES (1)").unwrap();
     cache.analyze("a").unwrap();
     cache.analyze("b").unwrap();
-    cache.create_region("R1", Duration::from_secs(10), Duration::from_secs(2)).unwrap();
-    cache.create_region("R2", Duration::from_secs(10), Duration::from_secs(2)).unwrap();
-    cache.execute("CREATE CACHED VIEW a_v REGION r1 AS SELECT id FROM a").unwrap();
-    cache.execute("CREATE CACHED VIEW b_v REGION r2 AS SELECT id FROM b").unwrap();
+    cache
+        .create_region("R1", Duration::from_secs(10), Duration::from_secs(2))
+        .unwrap();
+    cache
+        .create_region("R2", Duration::from_secs(10), Duration::from_secs(2))
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW a_v REGION r1 AS SELECT id FROM a")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW b_v REGION r2 AS SELECT id FROM b")
+        .unwrap();
     cache.advance(Duration::from_secs(30)).unwrap();
     cache.set_pullup_switch_union(true);
     let opt = cache
@@ -113,5 +150,8 @@ fn pullup_not_applicable_across_regions() {
         )
         .unwrap();
     assert_ne!(opt.choice, PlanChoice::PulledUpSwitchUnion);
-    assert!(matches!(opt.choice, PlanChoice::FullRemote | PlanChoice::RemoteFetchLocalJoin));
+    assert!(matches!(
+        opt.choice,
+        PlanChoice::FullRemote | PlanChoice::RemoteFetchLocalJoin
+    ));
 }

@@ -5,11 +5,19 @@ use rcc_mtcache::{MTCache, ViolationPolicy};
 
 fn rig() -> MTCache {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))").unwrap();
-    cache.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))")
+        .unwrap();
+    cache
+        .execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        .unwrap();
     cache.analyze("t").unwrap();
-    cache.execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC").unwrap();
-    cache.execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t").unwrap();
+    cache
+        .execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t")
+        .unwrap();
     cache.advance(Duration::from_secs(20)).unwrap();
     cache
 }
@@ -51,6 +59,8 @@ fn session_dml_and_ddl_pass_through() {
     session.execute("INSERT INTO t VALUES (3, 30)").unwrap();
     let r = session.execute("SELECT v FROM t WHERE a = 3").unwrap();
     assert_eq!(r.rows.len(), 1);
-    session.execute("CREATE REGION r2 INTERVAL 5 SEC DELAY 1 SEC").unwrap();
+    session
+        .execute("CREATE REGION r2 INTERVAL 5 SEC DELAY 1 SEC")
+        .unwrap();
     assert!(cache.catalog().region_by_name("r2").is_ok());
 }

@@ -7,13 +7,21 @@ use std::collections::HashMap;
 
 fn rig() -> MTCache {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))").unwrap();
+    cache
+        .execute("CREATE TABLE t (a INT, v INT, PRIMARY KEY (a))")
+        .unwrap();
     for i in (0..200).rev() {
-        cache.execute(&format!("INSERT INTO t VALUES ({i}, {})", 199 - i)).unwrap();
+        cache
+            .execute(&format!("INSERT INTO t VALUES ({i}, {})", 199 - i))
+            .unwrap();
     }
     cache.analyze("t").unwrap();
-    cache.execute("CREATE REGION r INTERVAL 10 SEC DELAY 2 SEC").unwrap();
-    cache.execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t").unwrap();
+    cache
+        .execute("CREATE REGION r INTERVAL 10 SEC DELAY 2 SEC")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_v REGION r AS SELECT a, v FROM t")
+        .unwrap();
     cache.advance(Duration::from_secs(30)).unwrap();
     cache
 }
@@ -28,7 +36,10 @@ fn clustered_order_by_skips_the_sort() {
     // guarantee (the remote branch could return anything) — so elision must
     // NOT fire for guarded plans...
     let guarded_plan = opt.plan.explain();
-    assert!(guarded_plan.contains("Sort"), "guarded plans keep the sort:\n{guarded_plan}");
+    assert!(
+        guarded_plan.contains("Sort"),
+        "guarded plans keep the sort:\n{guarded_plan}"
+    );
 
     // ...but the back-end role plan elides it
     use rcc_optimizer::{bind_select, optimize, OptimizerConfig};
@@ -40,7 +51,10 @@ fn clustered_order_by_skips_the_sort() {
     let graph = bind_select(cache.catalog(), &stmt, &HashMap::new()).unwrap();
     let opt = optimize(cache.catalog(), &graph, &OptimizerConfig::backend()).unwrap();
     let plan = opt.plan.explain();
-    assert!(!plan.contains("Sort"), "clustered order already delivered:\n{plan}");
+    assert!(
+        !plan.contains("Sort"),
+        "clustered order already delivered:\n{plan}"
+    );
 }
 
 #[test]

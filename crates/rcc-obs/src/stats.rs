@@ -1,0 +1,145 @@
+//! Per-statement phase statistics.
+
+use std::time::Duration;
+
+/// The measured phases of one statement's lifecycle, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryPhase {
+    /// SQL text → AST.
+    Parse,
+    /// Name resolution and normalization against the catalog.
+    Bind,
+    /// Plan search (skipped on a plan-cache hit).
+    Optimize,
+    /// Currency-guard evaluation inside SwitchUnion operators.
+    GuardEval,
+    /// Local operator execution (setup + run + shutdown minus guard and
+    /// remote time).
+    LocalExec,
+    /// Time spent shipping queries to the back-end and decoding results.
+    RemoteShip,
+}
+
+impl QueryPhase {
+    /// All phases, pipeline order.
+    pub const ALL: [QueryPhase; 6] = [
+        QueryPhase::Parse,
+        QueryPhase::Bind,
+        QueryPhase::Optimize,
+        QueryPhase::GuardEval,
+        QueryPhase::LocalExec,
+        QueryPhase::RemoteShip,
+    ];
+
+    /// Stable lowercase name (used as a metric label).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryPhase::Parse => "parse",
+            QueryPhase::Bind => "bind",
+            QueryPhase::Optimize => "optimize",
+            QueryPhase::GuardEval => "guard_eval",
+            QueryPhase::LocalExec => "local_exec",
+            QueryPhase::RemoteShip => "remote_ship",
+        }
+    }
+}
+
+/// Phase timings, row/byte counts, and plan-cache outcome for one
+/// executed statement. Attached to every `QueryResult`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// Trace id assigned by the tracer (0 when tracing is off).
+    pub trace_id: u64,
+    /// True if the plan came from the plan cache (optimize was skipped).
+    pub plan_cache_hit: bool,
+    /// SQL text → AST.
+    pub parse: Duration,
+    /// Binding/normalization time.
+    pub bind: Duration,
+    /// Plan search time (zero on plan-cache hits).
+    pub optimize: Duration,
+    /// Currency-guard evaluation time.
+    pub guard_eval: Duration,
+    /// Local execution time (excludes guard and remote time).
+    pub local_exec: Duration,
+    /// Remote shipping time (back-end round trips, decode included).
+    pub remote_ship: Duration,
+    /// Rows returned to the client.
+    pub rows_returned: u64,
+    /// Result-set bytes shipped over the simulated wire for this query.
+    pub bytes_shipped: u64,
+    /// Remote sub-queries issued while executing.
+    pub remote_queries: u64,
+}
+
+impl QueryStats {
+    /// Duration of one phase.
+    pub fn phase(&self, phase: QueryPhase) -> Duration {
+        match phase {
+            QueryPhase::Parse => self.parse,
+            QueryPhase::Bind => self.bind,
+            QueryPhase::Optimize => self.optimize,
+            QueryPhase::GuardEval => self.guard_eval,
+            QueryPhase::LocalExec => self.local_exec,
+            QueryPhase::RemoteShip => self.remote_ship,
+        }
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        QueryPhase::ALL.iter().map(|p| self.phase(*p)).sum()
+    }
+
+    /// One-line summary (phases with µs precision).
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = QueryPhase::ALL
+            .iter()
+            .map(|p| format!("{}={:?}", p.name(), self.phase(*p)))
+            .collect();
+        parts.push(format!("rows={}", self.rows_returned));
+        parts.push(format!("bytes={}", self.bytes_shipped));
+        parts.push(format!(
+            "plan_cache={}",
+            if self.plan_cache_hit { "hit" } else { "miss" }
+        ));
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let stats = QueryStats {
+            parse: Duration::from_micros(10),
+            bind: Duration::from_micros(20),
+            optimize: Duration::from_micros(30),
+            guard_eval: Duration::from_micros(5),
+            local_exec: Duration::from_micros(100),
+            remote_ship: Duration::from_micros(200),
+            ..QueryStats::default()
+        };
+        assert_eq!(stats.total(), Duration::from_micros(365));
+        assert_eq!(
+            stats.phase(QueryPhase::RemoteShip),
+            Duration::from_micros(200)
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_phase_and_counts() {
+        let stats = QueryStats {
+            rows_returned: 3,
+            plan_cache_hit: true,
+            ..QueryStats::default()
+        };
+        let s = stats.render();
+        for phase in QueryPhase::ALL {
+            assert!(s.contains(phase.name()), "missing {} in {s}", phase.name());
+        }
+        assert!(s.contains("rows=3"));
+        assert!(s.contains("plan_cache=hit"));
+    }
+}

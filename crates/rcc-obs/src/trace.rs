@@ -1,0 +1,323 @@
+//! Lightweight span tracing with per-query trace IDs and a ring buffer of
+//! recent traces.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One completed span within a trace.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"optimize"`.
+    pub name: String,
+    /// Nesting depth at the time the span opened (0 = top level).
+    pub depth: usize,
+    /// Offset from the trace start when the span opened.
+    pub start: Duration,
+    /// Span duration.
+    pub elapsed: Duration,
+}
+
+/// A completed trace: ordered spans plus identity.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Unique id, monotonically assigned per tracer.
+    pub id: u64,
+    /// Label given at trace start (typically the SQL text).
+    pub label: String,
+    /// Total wall time from start to finish.
+    pub elapsed: Duration,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Render as an indented multi-line summary.
+    pub fn render(&self) -> String {
+        let mut spans = self.spans.clone();
+        spans.sort_by_key(|s| s.start);
+        let mut out = format!("trace #{} [{:?}] {}\n", self.id, self.elapsed, self.label);
+        for s in &spans {
+            out.push_str(&format!(
+                "{:indent$}{} [{:?}] (+{:?})\n",
+                "",
+                s.name,
+                s.elapsed,
+                s.start,
+                indent = 2 + 2 * s.depth
+            ));
+        }
+        out
+    }
+}
+
+struct ActiveTrace {
+    id: u64,
+    label: String,
+    start: Instant,
+    depth: AtomicUsize,
+    spans: Mutex<Vec<SpanRecord>>,
+    tracer: Weak<TracerInner>,
+}
+
+struct TracerInner {
+    next_id: AtomicU64,
+    capacity: usize,
+    finished: Mutex<std::collections::VecDeque<Trace>>,
+}
+
+/// Factory for traces; owns the ring buffer of recently finished traces.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new(64)
+    }
+}
+
+impl Tracer {
+    /// A tracer retaining the most recent `capacity` finished traces.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                next_id: AtomicU64::new(1),
+                capacity: capacity.max(1),
+                finished: Mutex::new(std::collections::VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Start a trace; the handle finishes it on drop (or via
+    /// [`TraceHandle::finish`]).
+    pub fn trace(&self, label: impl Into<String>) -> TraceHandle {
+        TraceHandle {
+            active: Some(Arc::new(ActiveTrace {
+                id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+                label: label.into(),
+                start: Instant::now(),
+                depth: AtomicUsize::new(0),
+                spans: Mutex::new(Vec::new()),
+                tracer: Arc::downgrade(&self.inner),
+            })),
+        }
+    }
+
+    /// Convenience: a single-span one-off trace (`tracer.span("optimize")`).
+    /// The trace finishes when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let handle = self.trace(name);
+        let mut guard = handle.span(name);
+        // move the handle into the guard so the trace finishes with it
+        guard.owned_trace = Some(handle);
+        guard
+    }
+
+    /// The most recent finished traces, newest last, up to `n`.
+    pub fn recent(&self, n: usize) -> Vec<Trace> {
+        let buf = lock(&self.inner.finished);
+        buf.iter()
+            .skip(buf.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Handle to an in-flight trace; create spans from it.
+pub struct TraceHandle {
+    active: Option<Arc<ActiveTrace>>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("id", &self.id())
+            .finish()
+    }
+}
+
+impl TraceHandle {
+    /// This trace's id (0 after `finish`).
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map(|a| a.id).unwrap_or(0)
+    }
+
+    /// Open a nested span; it closes (and records) when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.active {
+            Some(active) => {
+                let depth = active.depth.fetch_add(1, Ordering::Relaxed);
+                SpanGuard {
+                    trace: Some(Arc::clone(active)),
+                    name: name.to_string(),
+                    depth,
+                    start_offset: active.start.elapsed(),
+                    started: Instant::now(),
+                    owned_trace: None,
+                }
+            }
+            None => SpanGuard::noop(name),
+        }
+    }
+
+    /// Finish now and return the completed trace (once; `None` after).
+    pub fn finish(&mut self) -> Option<Trace> {
+        let active = self.active.take()?;
+        let trace = Trace {
+            id: active.id,
+            label: active.label.clone(),
+            elapsed: active.start.elapsed(),
+            spans: std::mem::take(&mut *lock(&active.spans)),
+        };
+        if let Some(tracer) = active.tracer.upgrade() {
+            let mut buf = lock(&tracer.finished);
+            if buf.len() == tracer.capacity {
+                buf.pop_front();
+            }
+            buf.push_back(trace.clone());
+        }
+        Some(trace)
+    }
+}
+
+impl Drop for TraceHandle {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// RAII span: records itself into the trace when dropped.
+pub struct SpanGuard {
+    trace: Option<Arc<ActiveTrace>>,
+    name: String,
+    depth: usize,
+    start_offset: Duration,
+    started: Instant,
+    owned_trace: Option<TraceHandle>,
+}
+
+impl SpanGuard {
+    fn noop(name: &str) -> SpanGuard {
+        SpanGuard {
+            trace: None,
+            name: name.to_string(),
+            depth: 0,
+            start_offset: Duration::ZERO,
+            started: Instant::now(),
+            owned_trace: None,
+        }
+    }
+
+    /// Elapsed time since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.trace.take() {
+            active.depth.fetch_sub(1, Ordering::Relaxed);
+            lock(&active.spans).push(SpanRecord {
+                name: std::mem::take(&mut self.name),
+                depth: self.depth,
+                start: self.start_offset,
+                elapsed: self.started.elapsed(),
+            });
+        }
+        // owned_trace (if any) drops after, finishing the one-off trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record() {
+        let tracer = Tracer::new(8);
+        let mut handle = tracer.trace("SELECT 1");
+        {
+            let _outer = handle.span("execute");
+            let _inner = handle.span("optimize");
+        }
+        let trace = handle.finish().unwrap();
+        assert_eq!(trace.label, "SELECT 1");
+        assert_eq!(trace.spans.len(), 2);
+        // inner closed first
+        assert_eq!(trace.spans[0].name, "optimize");
+        assert_eq!(trace.spans[0].depth, 1);
+        assert_eq!(trace.spans[1].name, "execute");
+        assert_eq!(trace.spans[1].depth, 0);
+        let rendered = trace.render();
+        assert!(rendered.contains("optimize"));
+        assert!(rendered.contains("SELECT 1"));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_buffer_is_bounded() {
+        let tracer = Tracer::new(2);
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            let mut h = tracer.trace(format!("q{i}"));
+            ids.push(h.id());
+            h.finish();
+        }
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+        let recent = tracer.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[1].label, "q4");
+    }
+
+    #[test]
+    fn finish_on_drop() {
+        let tracer = Tracer::new(4);
+        {
+            let h = tracer.trace("dropped");
+            let _s = h.span("phase");
+        }
+        assert_eq!(tracer.recent(4).len(), 1);
+    }
+
+    #[test]
+    fn one_off_span_records_a_trace() {
+        let tracer = Tracer::new(4);
+        drop(tracer.span("optimize"));
+        let recent = tracer.recent(4);
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].spans[0].name, "optimize");
+    }
+
+    #[test]
+    fn finished_handle_yields_noop_spans() {
+        let tracer = Tracer::new(4);
+        let mut h = tracer.trace("q");
+        h.finish();
+        assert_eq!(h.id(), 0);
+        drop(h.span("late")); // must not panic or record
+        assert_eq!(tracer.recent(4)[0].spans.len(), 0);
+    }
+}

@@ -57,7 +57,13 @@ impl CCConstraint {
         if set.is_empty() {
             return CCConstraint::default();
         }
-        CCConstraint { classes: vec![CCClass { bound: Duration::ZERO, operands: set, by: vec![] }] }
+        CCConstraint {
+            classes: vec![CCClass {
+                bound: Duration::ZERO,
+                operands: set,
+                by: vec![],
+            }],
+        }
     }
 
     /// Normalize a union of raw (bound, operand-set, by) tuples collected
@@ -84,12 +90,18 @@ impl CCConstraint {
         let mut classes: Vec<CCClass> = raw
             .into_iter()
             .filter(|(_, ops, _)| !ops.is_empty())
-            .map(|(bound, operands, by)| CCClass { bound, operands, by })
+            .map(|(bound, operands, by)| CCClass {
+                bound,
+                operands,
+                by,
+            })
             .collect();
 
         // Step 1: uncovered operands get tight singletons.
-        let covered: BTreeSet<OperandId> =
-            classes.iter().flat_map(|c| c.operands.iter().copied()).collect();
+        let covered: BTreeSet<OperandId> = classes
+            .iter()
+            .flat_map(|c| c.operands.iter().copied())
+            .collect();
         for op in all_operands {
             if !covered.contains(&op) {
                 classes.push(CCClass {
@@ -135,18 +147,26 @@ impl CCConstraint {
     /// — if the operand appears in no class, which normalization prevents
     /// for bound graphs).
     pub fn bound_of(&self, operand: OperandId) -> Duration {
-        self.class_of(operand).map(|c| c.bound).unwrap_or(Duration::ZERO)
+        self.class_of(operand)
+            .map(|c| c.bound)
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Is the constraint the trivial "everything current" default?
     pub fn is_tight_default(&self) -> bool {
         self.classes.len() <= 1
-            && self.classes.iter().all(|c| c.bound.is_zero() && c.by.is_empty())
+            && self
+                .classes
+                .iter()
+                .all(|c| c.bound.is_zero() && c.by.is_empty())
     }
 
     /// All operands mentioned by the constraint.
     pub fn operands(&self) -> BTreeSet<OperandId> {
-        self.classes.iter().flat_map(|c| c.operands.iter().copied()).collect()
+        self.classes
+            .iter()
+            .flat_map(|c| c.operands.iter().copied())
+            .collect()
     }
 }
 
@@ -231,10 +251,7 @@ mod tests {
 
     #[test]
     fn uncovered_operands_get_tight_singletons() {
-        let c = CCConstraint::normalize(
-            vec![(Duration::from_mins(10), set(&[0]), vec![])],
-            [0, 1],
-        );
+        let c = CCConstraint::normalize(vec![(Duration::from_mins(10), set(&[0]), vec![])], [0, 1]);
         assert_eq!(c.classes.len(), 2);
         assert_eq!(c.bound_of(1), Duration::ZERO);
         assert_eq!(c.class_of(1).unwrap().operands, set(&[1]));
@@ -306,7 +323,11 @@ mod tests {
     #[test]
     fn display_formats() {
         let c = CCConstraint::normalize(
-            vec![(Duration::from_mins(10), set(&[0, 1]), vec![("b".into(), "isbn".into())])],
+            vec![(
+                Duration::from_mins(10),
+                set(&[0, 1]),
+                vec![("b".into(), "isbn".into())],
+            )],
             [0, 1],
         );
         let s = c.to_string();

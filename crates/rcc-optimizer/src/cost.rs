@@ -175,7 +175,12 @@ pub fn column_ranges(filters: &[BoundExpr]) -> HashMap<String, KeyRange> {
                 };
                 add(col, range);
             }
-            BoundExpr::Between { expr, low, high, negated: false } => {
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => {
                 if let (
                     BoundExpr::Column { name, .. },
                     BoundExpr::Literal(lo),
@@ -221,9 +226,18 @@ pub fn filter_selectivity(filters: &[BoundExpr], stats: &TableStats) -> f64 {
                 (BoundExpr::Column { .. }, BoundExpr::Literal(_))
                     | (BoundExpr::Literal(_), BoundExpr::Column { .. })
             ),
-            BoundExpr::Between { expr, low, high, negated: false } => matches!(
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => matches!(
                 (expr.as_ref(), low.as_ref(), high.as_ref()),
-                (BoundExpr::Column { .. }, BoundExpr::Literal(_), BoundExpr::Literal(_))
+                (
+                    BoundExpr::Column { .. },
+                    BoundExpr::Literal(_),
+                    BoundExpr::Literal(_)
+                )
             ),
             _ => false,
         };

@@ -73,12 +73,19 @@ pub enum BoundExpr {
 impl BoundExpr {
     /// Convenience column constructor.
     pub fn col(qualifier: &str, name: &str) -> BoundExpr {
-        BoundExpr::Column { qualifier: qualifier.into(), name: name.into() }
+        BoundExpr::Column {
+            qualifier: qualifier.into(),
+            name: name.into(),
+        }
     }
 
     /// Convenience binary constructor.
     pub fn binary(left: BoundExpr, op: BinaryOp, right: BoundExpr) -> BoundExpr {
-        BoundExpr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        BoundExpr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// AND-combine two expressions.
@@ -88,7 +95,11 @@ impl BoundExpr {
 
     /// AND-combine many expressions (`None` for the empty list).
     pub fn and_all(mut exprs: Vec<BoundExpr>) -> Option<BoundExpr> {
-        let first = if exprs.is_empty() { return None } else { exprs.remove(0) };
+        let first = if exprs.is_empty() {
+            return None;
+        } else {
+            exprs.remove(0)
+        };
         Some(exprs.into_iter().fold(first, BoundExpr::and))
     }
 
@@ -101,7 +112,9 @@ impl BoundExpr {
                 right.visit(f);
             }
             BoundExpr::Unary { expr, .. } => expr.visit(f),
-            BoundExpr::Between { expr, low, high, .. } => {
+            BoundExpr::Between {
+                expr, low, high, ..
+            } => {
                 expr.visit(f);
                 low.visit(f);
                 high.visit(f);
@@ -157,18 +170,32 @@ impl BoundExpr {
             BoundExpr::Binary { left, op, right } => {
                 eval_binary(left, *op, right, row, schema, now_millis)
             }
-            BoundExpr::Between { expr, low, high, negated } => {
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let v = expr.eval(row, schema, now_millis)?;
                 let lo = low.eval(row, schema, now_millis)?;
                 let hi = high.eval(row, schema, now_millis)?;
                 if v.is_null() || lo.is_null() || hi.is_null() {
                     return Ok(Value::Null);
                 }
-                let inside = v.compare(&lo)?.map(|o| o != Ordering::Less).unwrap_or(false)
-                    && v.compare(&hi)?.map(|o| o != Ordering::Greater).unwrap_or(false);
+                let inside = v
+                    .compare(&lo)?
+                    .map(|o| o != Ordering::Less)
+                    .unwrap_or(false)
+                    && v.compare(&hi)?
+                        .map(|o| o != Ordering::Greater)
+                        .unwrap_or(false);
                 Ok(Value::Bool(inside != *negated))
             }
-            BoundExpr::InList { expr, list, negated } => {
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.eval(row, schema, now_millis)?;
                 if v.is_null() {
                     return Ok(Value::Null);
@@ -268,7 +295,8 @@ fn eval_binary(
                 }
                 _ => None,
             };
-            v.map(Value::Int).ok_or_else(|| Error::Execution("integer overflow".into()))
+            v.map(Value::Int)
+                .ok_or_else(|| Error::Execution("integer overflow".into()))
         }
         // timestamp arithmetic: ts ± int keeps the timestamp type, which is
         // what the currency-guard predicate `getdate() - B` needs.
@@ -308,14 +336,28 @@ impl fmt::Display for BoundExpr {
                 UnaryOp::Not => write!(f, "(NOT {expr})"),
                 UnaryOp::Neg => write!(f, "(-{expr})"),
             },
-            BoundExpr::Between { expr, low, high, negated } => write!(
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
                 f,
                 "{expr} {}BETWEEN {low} AND {high}",
                 if *negated { "NOT " } else { "" }
             ),
-            BoundExpr::InList { expr, list, negated } => {
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
-                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(", "))
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    items.join(", ")
+                )
             }
             BoundExpr::IsNull { expr, negated } => {
                 write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
@@ -405,28 +447,55 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let e = BoundExpr::binary(BoundExpr::col("t", "a"), BinaryOp::Add, BoundExpr::Literal(Value::Int(5)));
+        let e = BoundExpr::binary(
+            BoundExpr::col("t", "a"),
+            BinaryOp::Add,
+            BoundExpr::Literal(Value::Int(5)),
+        );
         assert_eq!(ev(&e), Value::Int(15));
-        let e = BoundExpr::binary(BoundExpr::col("t", "a"), BinaryOp::Mul, BoundExpr::col("t", "b"));
+        let e = BoundExpr::binary(
+            BoundExpr::col("t", "a"),
+            BinaryOp::Mul,
+            BoundExpr::col("t", "b"),
+        );
         assert_eq!(ev(&e), Value::Float(25.0));
-        let div0 =
-            BoundExpr::binary(BoundExpr::Literal(Value::Int(1)), BinaryOp::Div, BoundExpr::Literal(Value::Int(0)));
+        let div0 = BoundExpr::binary(
+            BoundExpr::Literal(Value::Int(1)),
+            BinaryOp::Div,
+            BoundExpr::Literal(Value::Int(0)),
+        );
         assert!(div0.eval(&row(), &schema(), 0).is_err());
     }
 
     #[test]
     fn timestamp_arithmetic_for_guards() {
-        let e = BoundExpr::binary(BoundExpr::GetDate, BinaryOp::Sub, BoundExpr::Literal(Value::Int(234)));
+        let e = BoundExpr::binary(
+            BoundExpr::GetDate,
+            BinaryOp::Sub,
+            BoundExpr::Literal(Value::Int(234)),
+        );
         assert_eq!(ev(&e), Value::Timestamp(1000));
     }
 
     #[test]
     fn comparisons() {
-        let e = BoundExpr::binary(BoundExpr::col("t", "a"), BinaryOp::GtEq, BoundExpr::Literal(Value::Int(10)));
+        let e = BoundExpr::binary(
+            BoundExpr::col("t", "a"),
+            BinaryOp::GtEq,
+            BoundExpr::Literal(Value::Int(10)),
+        );
         assert_eq!(ev(&e), Value::Bool(true));
-        let e = BoundExpr::binary(BoundExpr::col("t", "a"), BinaryOp::Lt, BoundExpr::Literal(Value::Int(10)));
+        let e = BoundExpr::binary(
+            BoundExpr::col("t", "a"),
+            BinaryOp::Lt,
+            BoundExpr::Literal(Value::Int(10)),
+        );
         assert_eq!(ev(&e), Value::Bool(false));
-        let e = BoundExpr::binary(BoundExpr::col("t", "s"), BinaryOp::Eq, BoundExpr::Literal(Value::from("x")));
+        let e = BoundExpr::binary(
+            BoundExpr::col("t", "s"),
+            BinaryOp::Eq,
+            BoundExpr::Literal(Value::from("x")),
+        );
         assert_eq!(ev(&e), Value::Bool(true));
     }
 
@@ -436,11 +505,23 @@ mod tests {
         let t = BoundExpr::Literal(Value::Bool(true));
         let f_ = BoundExpr::Literal(Value::Bool(false));
         // NULL AND FALSE = FALSE; NULL AND TRUE = NULL
-        assert_eq!(ev(&BoundExpr::binary(null.clone(), BinaryOp::And, f_.clone())), Value::Bool(false));
-        assert_eq!(ev(&BoundExpr::binary(null.clone(), BinaryOp::And, t.clone())), Value::Null);
+        assert_eq!(
+            ev(&BoundExpr::binary(null.clone(), BinaryOp::And, f_.clone())),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            ev(&BoundExpr::binary(null.clone(), BinaryOp::And, t.clone())),
+            Value::Null
+        );
         // NULL OR TRUE = TRUE; NULL OR FALSE = NULL
-        assert_eq!(ev(&BoundExpr::binary(null.clone(), BinaryOp::Or, t.clone())), Value::Bool(true));
-        assert_eq!(ev(&BoundExpr::binary(null.clone(), BinaryOp::Or, f_)), Value::Null);
+        assert_eq!(
+            ev(&BoundExpr::binary(null.clone(), BinaryOp::Or, t.clone())),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&BoundExpr::binary(null.clone(), BinaryOp::Or, f_)),
+            Value::Null
+        );
         // NULL = 1 is NULL, and not truthy
         let cmp = BoundExpr::binary(null, BinaryOp::Eq, BoundExpr::Literal(Value::Int(1)));
         assert_eq!(ev(&cmp), Value::Null);
@@ -465,7 +546,10 @@ mod tests {
         assert_eq!(ev(&not_between), Value::Bool(false));
         let inlist = BoundExpr::InList {
             expr: Box::new(BoundExpr::col("t", "a")),
-            list: vec![BoundExpr::Literal(Value::Int(9)), BoundExpr::Literal(Value::Int(10))],
+            list: vec![
+                BoundExpr::Literal(Value::Int(9)),
+                BoundExpr::Literal(Value::Int(10)),
+            ],
             negated: false,
         };
         assert_eq!(ev(&inlist), Value::Bool(true));
@@ -480,9 +564,15 @@ mod tests {
 
     #[test]
     fn is_null_and_not() {
-        let e = BoundExpr::IsNull { expr: Box::new(BoundExpr::Literal(Value::Null)), negated: false };
+        let e = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::Literal(Value::Null)),
+            negated: false,
+        };
         assert_eq!(ev(&e), Value::Bool(true));
-        let e = BoundExpr::IsNull { expr: Box::new(BoundExpr::col("t", "a")), negated: true };
+        let e = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::col("t", "a")),
+            negated: true,
+        };
         assert_eq!(ev(&e), Value::Bool(true));
         let e = BoundExpr::Unary {
             op: UnaryOp::Not,
@@ -493,7 +583,11 @@ mod tests {
 
     #[test]
     fn qualifier_collection() {
-        let e = BoundExpr::binary(BoundExpr::col("c", "x"), BinaryOp::Eq, BoundExpr::col("o", "y"));
+        let e = BoundExpr::binary(
+            BoundExpr::col("c", "x"),
+            BinaryOp::Eq,
+            BoundExpr::col("o", "y"),
+        );
         let quals = e.referenced_qualifiers();
         assert_eq!(quals.len(), 2);
         assert!(quals.contains("c") && quals.contains("o"));
@@ -522,7 +616,11 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = BoundExpr::binary(BoundExpr::col("c", "k"), BinaryOp::LtEq, BoundExpr::Literal(Value::Int(5)));
+        let e = BoundExpr::binary(
+            BoundExpr::col("c", "k"),
+            BinaryOp::LtEq,
+            BoundExpr::Literal(Value::Int(5)),
+        );
         assert_eq!(e.to_string(), "(c.k <= 5)");
     }
 }

@@ -225,7 +225,10 @@ enum Binding {
     Operand { id: OperandId },
     /// An inlined derived table: output column name → substitution
     /// expression, plus the operands it covers (for currency resolution).
-    Derived { columns: Vec<(String, BoundExpr)>, covers: BTreeSet<OperandId> },
+    Derived {
+        columns: Vec<(String, BoundExpr)>,
+        covers: BTreeSet<OperandId>,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -340,7 +343,11 @@ impl<'a> Binder<'a> {
                 Some(h) => Some(self.bind_having(h, &group_by, &mut aggs)?),
                 None => None,
             };
-            Some(AggregateSpec { group_by, aggs, having })
+            Some(AggregateSpec {
+                group_by,
+                aggs,
+                having,
+            })
         } else {
             if stmt.having.is_some() {
                 return Err(Error::analysis("HAVING without aggregation"));
@@ -361,9 +368,12 @@ impl<'a> Binder<'a> {
         let mut order_by = Vec::new();
         for (e, asc) in &stmt.order_by {
             let ordinal = match e {
-                Expr::Column { qualifier: None, name } => {
-                    output_names.iter().position(|n| n.eq_ignore_ascii_case(name))
-                }
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                } => output_names
+                    .iter()
+                    .position(|n| n.eq_ignore_ascii_case(name)),
                 Expr::Literal(Value::Int(i)) if *i >= 1 => Some((*i - 1) as usize),
                 _ => None,
             };
@@ -445,9 +455,10 @@ impl<'a> Binder<'a> {
     fn bind_table_ref(&mut self, item: &TableRef) -> Result<()> {
         match item {
             TableRef::Named { name, alias } => {
-                let meta = self.catalog.table(name).map_err(|_| {
-                    Error::Analysis(format!("unknown table '{name}'"))
-                })?;
+                let meta = self
+                    .catalog
+                    .table(name)
+                    .map_err(|_| Error::Analysis(format!("unknown table '{name}'")))?;
                 let local = alias.clone().unwrap_or_else(|| name.to_ascii_lowercase());
                 let binding = self.fresh_binding(&local);
                 let id = self.operands.len() as OperandId;
@@ -552,8 +563,14 @@ impl<'a> Binder<'a> {
 
     fn declare(&mut self, name: &str, binding: Binding) -> Result<()> {
         let frame = self.scopes.last_mut().expect("scope underflow");
-        if frame.names.iter().any(|(n, _)| n.eq_ignore_ascii_case(name)) {
-            return Err(Error::Analysis(format!("duplicate table alias '{name}' in FROM")));
+        if frame
+            .names
+            .iter()
+            .any(|(n, _)| n.eq_ignore_ascii_case(name))
+        {
+            return Err(Error::Analysis(format!(
+                "duplicate table alias '{name}' in FROM"
+            )));
         }
         frame.names.push((name.to_ascii_lowercase(), binding));
         Ok(())
@@ -561,7 +578,11 @@ impl<'a> Binder<'a> {
 
     fn lookup_binding(&self, name: &str) -> Option<Binding> {
         for frame in self.scopes.iter().rev() {
-            if let Some((_, b)) = frame.names.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)) {
+            if let Some((_, b)) = frame
+                .names
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            {
                 return Some(b.clone());
             }
         }
@@ -573,7 +594,11 @@ impl<'a> Binder<'a> {
     /// Walk an AND-tree, classifying each conjunct.
     fn classify_predicate(&mut self, expr: &Expr) -> Result<()> {
         match expr {
-            Expr::Binary { left, op: BinaryOp::And, right } => {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
                 self.classify_predicate(left)?;
                 self.classify_predicate(right)?;
             }
@@ -581,20 +606,29 @@ impl<'a> Binder<'a> {
                 self.bind_existential(subquery, *negated)?;
             }
             // the parser nests `NOT EXISTS` as Unary(Not, Exists)
-            Expr::Unary { op: rcc_sql::UnaryOp::Not, expr }
-                if matches!(expr.as_ref(), Expr::Exists { .. } | Expr::InSubquery { .. }) =>
-            {
+            Expr::Unary {
+                op: rcc_sql::UnaryOp::Not,
+                expr,
+            } if matches!(expr.as_ref(), Expr::Exists { .. } | Expr::InSubquery { .. }) => {
                 match expr.as_ref() {
                     Expr::Exists { subquery, negated } => {
                         self.bind_existential(subquery, !negated)?;
                     }
-                    Expr::InSubquery { expr: probe, subquery, negated } => {
+                    Expr::InSubquery {
+                        expr: probe,
+                        subquery,
+                        negated,
+                    } => {
                         self.bind_in_subquery(probe, subquery, !negated)?;
                     }
                     _ => unreachable!(),
                 }
             }
-            Expr::InSubquery { expr: probe, subquery, negated } => {
+            Expr::InSubquery {
+                expr: probe,
+                subquery,
+                negated,
+            } => {
                 self.bind_in_subquery(probe, subquery, *negated)?;
             }
             other => {
@@ -621,10 +655,21 @@ impl<'a> Binder<'a> {
             0 => self.residuals.push(bound),
             2 => {
                 // equi-join shape?
-                if let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = &bound {
+                if let BoundExpr::Binary {
+                    left,
+                    op: BinaryOp::Eq,
+                    right,
+                } = &bound
+                {
                     if let (
-                        BoundExpr::Column { qualifier: ql, name: nl },
-                        BoundExpr::Column { qualifier: qr, name: nr },
+                        BoundExpr::Column {
+                            qualifier: ql,
+                            name: nl,
+                        },
+                        BoundExpr::Column {
+                            qualifier: qr,
+                            name: nr,
+                        },
                     ) = (left.as_ref(), right.as_ref())
                     {
                         if ql != qr {
@@ -651,7 +696,10 @@ impl<'a> Binder<'a> {
     }
 
     fn operand_by_binding(&self, binding: &str) -> Option<OperandId> {
-        self.operands.iter().find(|o| o.binding == binding).map(|o| o.id)
+        self.operands
+            .iter()
+            .find(|o| o.binding == binding)
+            .map(|o| o.id)
     }
 
     /// Decorrelate an EXISTS subquery into semi/anti-join edges. The
@@ -665,7 +713,9 @@ impl<'a> Binder<'a> {
             || subquery.having.is_some()
             || !subquery.order_by.is_empty()
         {
-            return Err(Error::analysis("EXISTS subqueries are limited to SPJ blocks"));
+            return Err(Error::analysis(
+                "EXISTS subqueries are limited to SPJ blocks",
+            ));
         }
         let before = self.operands.len();
         self.scopes.push(ScopeFrame::default());
@@ -696,7 +746,11 @@ impl<'a> Binder<'a> {
                     std::mem::swap(&mut edge.left_col, &mut edge.right_col);
                 }
                 if edge.kind == JoinKind::Inner {
-                    edge.kind = if negated { JoinKind::Anti } else { JoinKind::Semi };
+                    edge.kind = if negated {
+                        JoinKind::Anti
+                    } else {
+                        JoinKind::Semi
+                    };
                     linked = true;
                 }
             }
@@ -709,7 +763,12 @@ impl<'a> Binder<'a> {
         Ok(())
     }
 
-    fn bind_in_subquery(&mut self, probe: &Expr, subquery: &SelectStmt, negated: bool) -> Result<()> {
+    fn bind_in_subquery(
+        &mut self,
+        probe: &Expr,
+        subquery: &SelectStmt,
+        negated: bool,
+    ) -> Result<()> {
         // `e IN (SELECT x FROM ...)` ≡ EXISTS (SELECT * FROM ... WHERE x = e)
         let inner_col = match subquery.projections.as_slice() {
             [SelectItem::Expr { expr, .. }] => expr.clone(),
@@ -743,18 +802,31 @@ impl<'a> Binder<'a> {
                 op: *op,
                 right: Box::new(self.bind_expr(right)?),
             }),
-            Expr::Unary { op, expr } => {
-                Ok(BoundExpr::Unary { op: *op, expr: Box::new(self.bind_expr(expr)?) })
-            }
-            Expr::Between { expr, low, high, negated } => Ok(BoundExpr::Between {
+            Expr::Unary { op, expr } => Ok(BoundExpr::Unary {
+                op: *op,
+                expr: Box::new(self.bind_expr(expr)?),
+            }),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Ok(BoundExpr::Between {
                 expr: Box::new(self.bind_expr(expr)?),
                 low: Box::new(self.bind_expr(low)?),
                 high: Box::new(self.bind_expr(high)?),
                 negated: *negated,
             }),
-            Expr::InList { expr, list, negated } => Ok(BoundExpr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Ok(BoundExpr::InList {
                 expr: Box::new(self.bind_expr(expr)?),
-                list: list.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| self.bind_expr(e))
+                    .collect::<Result<_>>()?,
                 negated: *negated,
             }),
             Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
@@ -787,9 +859,10 @@ impl<'a> Binder<'a> {
                 match binding {
                     Binding::Operand { id } => {
                         let op = &self.operands[id as usize];
-                        op.table.schema.resolve(None, name).map_err(|_| {
-                            Error::Analysis(format!("unknown column '{q}.{name}'"))
-                        })?;
+                        op.table
+                            .schema
+                            .resolve(None, name)
+                            .map_err(|_| Error::Analysis(format!("unknown column '{q}.{name}'")))?;
                         Ok(BoundExpr::col(&op.binding, name))
                     }
                     Binding::Derived { columns, .. } => columns
@@ -846,18 +919,27 @@ impl<'a> Binder<'a> {
         group_by: &[(BoundExpr, String)],
         aggs: &mut Vec<AggCall>,
     ) -> Result<()> {
-        if let Expr::Function { name, args, star, .. } = expr {
+        if let Expr::Function {
+            name, args, star, ..
+        } = expr
+        {
             if let Some(func) = AggFunc::from_name(name) {
-                let arg = if *star {
-                    None
-                } else {
-                    Some(self.bind_expr(args.first().ok_or_else(|| {
-                        Error::analysis(format!("{name}() needs an argument"))
-                    })?)?)
-                };
-                let output_name =
-                    alias.map(str::to_string).unwrap_or_else(|| format!("{}_{}", name, aggs.len()));
-                aggs.push(AggCall { func, arg, output_name });
+                let arg =
+                    if *star {
+                        None
+                    } else {
+                        Some(self.bind_expr(args.first().ok_or_else(|| {
+                            Error::analysis(format!("{name}() needs an argument"))
+                        })?)?)
+                    };
+                let output_name = alias
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("{}_{}", name, aggs.len()));
+                aggs.push(AggCall {
+                    func,
+                    arg,
+                    output_name,
+                });
                 return Ok(());
             }
         }
@@ -883,22 +965,29 @@ impl<'a> Binder<'a> {
         aggs: &mut Vec<AggCall>,
     ) -> Result<BoundExpr> {
         match expr {
-            Expr::Function { name, args, star, .. } if AggFunc::from_name(name).is_some() => {
+            Expr::Function {
+                name, args, star, ..
+            } if AggFunc::from_name(name).is_some() => {
                 let func = AggFunc::from_name(name).unwrap();
-                let arg = if *star {
-                    None
-                } else {
-                    Some(self.bind_expr(args.first().ok_or_else(|| {
-                        Error::analysis(format!("{name}() needs an argument"))
-                    })?)?)
-                };
+                let arg =
+                    if *star {
+                        None
+                    } else {
+                        Some(self.bind_expr(args.first().ok_or_else(|| {
+                            Error::analysis(format!("{name}() needs an argument"))
+                        })?)?)
+                    };
                 // reuse an existing identical call if present
                 let existing = aggs.iter().position(|a| a.func == func && a.arg == arg);
                 let name = match existing {
                     Some(i) => aggs[i].output_name.clone(),
                     None => {
                         let output_name = format!("{}_{}", func.sql().to_lowercase(), aggs.len());
-                        aggs.push(AggCall { func, arg, output_name: output_name.clone() });
+                        aggs.push(AggCall {
+                            func,
+                            arg,
+                            output_name: output_name.clone(),
+                        });
                         output_name
                     }
                 };
@@ -933,7 +1022,6 @@ impl<'a> Binder<'a> {
             }
         }
     }
-
 
     /// Mirror simple range/equality filters across inner equi-join edges.
     fn derive_transitive_filters(&mut self) {
@@ -1025,19 +1113,22 @@ fn mirror_simple(
                 _ => None,
             }
         }
-        BoundExpr::Between { expr, low, high, negated: false } => {
-            match (expr.as_ref(), low.as_ref(), high.as_ref()) {
-                (e, BoundExpr::Literal(lo), BoundExpr::Literal(hi)) if is_src(e) => {
-                    Some(BoundExpr::Between {
-                        expr: Box::new(BoundExpr::col(dst, dst_col)),
-                        low: Box::new(BoundExpr::Literal(lo.clone())),
-                        high: Box::new(BoundExpr::Literal(hi.clone())),
-                        negated: false,
-                    })
-                }
-                _ => None,
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => match (expr.as_ref(), low.as_ref(), high.as_ref()) {
+            (e, BoundExpr::Literal(lo), BoundExpr::Literal(hi)) if is_src(e) => {
+                Some(BoundExpr::Between {
+                    expr: Box::new(BoundExpr::col(dst, dst_col)),
+                    low: Box::new(BoundExpr::Literal(lo.clone())),
+                    high: Box::new(BoundExpr::Literal(hi.clone())),
+                    negated: false,
+                })
             }
-        }
+            _ => None,
+        },
         _ => None,
     }
 }
@@ -1123,7 +1214,11 @@ mod tests {
         assert_eq!(g.operands.len(), 2);
         assert_eq!(g.edges.len(), 1);
         assert_eq!(g.edges[0].kind, JoinKind::Inner);
-        assert_eq!(g.operands[0].filters.len(), 1, "selective filter pushed to customer");
+        assert_eq!(
+            g.operands[0].filters.len(),
+            1,
+            "selective filter pushed to customer"
+        );
         assert!(g.residuals.is_empty());
     }
 
@@ -1279,7 +1374,10 @@ mod tests {
         assert!(!cols.contains("c_nationkey"));
         let ocols = g.required_columns(1);
         assert!(ocols.contains("o_custkey"));
-        assert!(ocols.contains("o_orderkey"), "clustered key always required");
+        assert!(
+            ocols.contains("o_orderkey"),
+            "clustered key always required"
+        );
     }
 
     #[test]
@@ -1300,8 +1398,14 @@ mod tests {
 
     #[test]
     fn unknown_names_rejected() {
-        assert!(matches!(bind_err("SELECT x FROM customer"), Error::Analysis(_)));
-        assert!(matches!(bind_err("SELECT c_name FROM ghost"), Error::Analysis(_)));
+        assert!(matches!(
+            bind_err("SELECT x FROM customer"),
+            Error::Analysis(_)
+        ));
+        assert!(matches!(
+            bind_err("SELECT c_name FROM ghost"),
+            Error::Analysis(_)
+        ));
         assert!(matches!(
             bind_err("SELECT z.c_name FROM customer c"),
             Error::Analysis(_)

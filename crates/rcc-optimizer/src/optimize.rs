@@ -17,13 +17,13 @@
 //! cannot.
 
 use crate::constraint::OperandId;
-use crate::cost::{CostParams, filter_selectivity};
+use crate::cost::{filter_selectivity, CostParams};
 use crate::expr::BoundExpr;
 use crate::graph::{JoinKind, QueryGraph};
+use crate::ordering::delivered_order;
 use crate::physical::{
     AccessPath, CurrencyGuard, InnerAccess, LocalScanNode, PhysicalPlan, RemoteQueryNode,
 };
-use crate::ordering::delivered_order;
 use crate::property::DeliveredProperty;
 use crate::sqlgen;
 use crate::viewmatch;
@@ -76,7 +76,10 @@ impl Default for OptimizerConfig {
 impl OptimizerConfig {
     /// Config for the back-end server.
     pub fn backend() -> OptimizerConfig {
-        OptimizerConfig { role: Role::Backend, ..OptimizerConfig::default() }
+        OptimizerConfig {
+            role: Role::Backend,
+            ..OptimizerConfig::default()
+        }
     }
 }
 
@@ -121,15 +124,26 @@ struct Cand {
 }
 
 /// Optimize a bound query graph.
-pub fn optimize(catalog: &Catalog, graph: &QueryGraph, config: &OptimizerConfig) -> Result<Optimized> {
+pub fn optimize(
+    catalog: &Catalog,
+    graph: &QueryGraph,
+    config: &OptimizerConfig,
+) -> Result<Optimized> {
     if graph.operands.is_empty() {
         let plan = finish(catalog, graph, config, PhysicalPlan::OneRow, 1.0).0;
-        return Ok(Optimized { plan, cost: 1.0, est_rows: 1.0, choice: PlanChoice::BackendLocal });
+        return Ok(Optimized {
+            plan,
+            cost: 1.0,
+            est_rows: 1.0,
+            choice: PlanChoice::BackendLocal,
+        });
     }
 
     let n = graph.operands.len();
     if n > 20 {
-        return Err(Error::analysis("too many tables in one query block (max 20)"));
+        return Err(Error::analysis(
+            "too many tables in one query block (max 20)",
+        ));
     }
 
     // ---------- per-operand access alternatives
@@ -163,7 +177,11 @@ pub fn optimize(catalog: &Catalog, graph: &QueryGraph, config: &OptimizerConfig)
     }
 
     let masks_by_size = |memo: &HashMap<u64, Vec<Cand>>, size: u32| -> Vec<u64> {
-        let mut m: Vec<u64> = memo.keys().copied().filter(|m| m.count_ones() == size).collect();
+        let mut m: Vec<u64> = memo
+            .keys()
+            .copied()
+            .filter(|m| m.count_ones() == size)
+            .collect();
         m.sort();
         m
     };
@@ -215,7 +233,9 @@ pub fn optimize(catalog: &Catalog, graph: &QueryGraph, config: &OptimizerConfig)
                 let mut new_cands = Vec::new();
                 for left in &lefts {
                     for alt in &leaf_alts[j] {
-                        if let Some(c) = try_hash_join(catalog, graph, config, left, alt, j_id, &edges) {
+                        if let Some(c) =
+                            try_hash_join(catalog, graph, config, left, alt, j_id, &edges)
+                        {
                             new_cands.push(c);
                         }
                         if let Some(c) =
@@ -308,7 +328,12 @@ pub fn optimize(catalog: &Catalog, graph: &QueryGraph, config: &OptimizerConfig)
         (best.plan, best.cost, best.rows)
     };
 
-    Ok(Optimized { plan, cost, est_rows: rows, choice })
+    Ok(Optimized {
+        plan,
+        cost,
+        est_rows: rows,
+        choice,
+    })
 }
 
 // ------------------------------------------------------------ leaf access
@@ -372,14 +397,22 @@ fn operand_alternatives(
             bound,
         };
         let est_rows = m.scan.est_rows;
-        let cost = config.cost.switch_union(p, local_cost, remote_cost, est_rows);
+        let cost = config
+            .cost
+            .switch_union(p, local_cost, remote_cost, est_rows);
         let plan = PhysicalPlan::SwitchUnion {
             guard,
             local: Box::new(PhysicalPlan::LocalScan(m.scan)),
             remote: Box::new(PhysicalPlan::RemoteQuery(remote.0.clone())),
         };
         let delivered = plan.delivered();
-        alts.push(Cand { plan, cost, rows: est_rows, delivered, applied_residuals: BTreeSet::new() });
+        alts.push(Cand {
+            plan,
+            cost,
+            rows: est_rows,
+            delivered,
+            applied_residuals: BTreeSet::new(),
+        });
     }
     Ok(alts)
 }
@@ -400,7 +433,16 @@ fn remote_fetch(
     let rows = master.est_rows;
     let bytes_per_row = schema.estimated_row_width() as f64;
     let cost = config.cost.remote(backend_cost, rows, bytes_per_row);
-    (RemoteQueryNode { sql, schema, operands: [id].into_iter().collect(), est_rows: rows }, cost, rows)
+    (
+        RemoteQueryNode {
+            sql,
+            schema,
+            operands: [id].into_iter().collect(),
+            est_rows: rows,
+        },
+        cost,
+        rows,
+    )
 }
 
 fn scan_cost(config: &OptimizerConfig, scan: &LocalScanNode, total_rows: f64) -> f64 {
@@ -434,20 +476,24 @@ fn try_hash_join(
         // orient: the side already in `left` provides the probe key
         if e.right == right_id {
             left_keys.push(BoundExpr::col(&graph.operand(e.left).binding, &e.left_col));
-            right_keys.push(BoundExpr::col(&graph.operand(e.right).binding, &e.right_col));
+            right_keys.push(BoundExpr::col(
+                &graph.operand(e.right).binding,
+                &e.right_col,
+            ));
             if e.kind != JoinKind::Inner {
                 kind = e.kind;
             }
         } else {
-            left_keys.push(BoundExpr::col(&graph.operand(e.right).binding, &e.right_col));
+            left_keys.push(BoundExpr::col(
+                &graph.operand(e.right).binding,
+                &e.right_col,
+            ));
             right_keys.push(BoundExpr::col(&graph.operand(e.left).binding, &e.left_col));
         }
     }
     let _ = right_id;
     let out_rows = join_cardinality(catalog, graph, left.rows, right.rows, edges, kind);
-    let cost = left.cost
-        + right.cost
-        + config.cost.hash_join(left.rows, right.rows, out_rows);
+    let cost = left.cost + right.cost + config.cost.hash_join(left.rows, right.rows, out_rows);
     let plan = PhysicalPlan::HashJoin {
         left: Box::new(left.plan.clone()),
         right: Box::new(right.plan.clone()),
@@ -458,9 +504,14 @@ fn try_hash_join(
     let delivered = left.delivered.join(&right.delivered);
     let mut applied = left.applied_residuals.clone();
     applied.extend(right.applied_residuals.iter().copied());
-    Some(Cand { plan, cost, rows: out_rows, delivered, applied_residuals: applied })
+    Some(Cand {
+        plan,
+        cost,
+        rows: out_rows,
+        delivered,
+        applied_residuals: applied,
+    })
 }
-
 
 /// Merge join: admissible only when *both* inputs already deliver the
 /// join-key order (no sort enforcers are inserted — BTree scans provide
@@ -499,7 +550,14 @@ fn try_merge_join(
     if !ro.matches(&right_key) {
         return None;
     }
-    let out_rows = join_cardinality(catalog, graph, left.rows, right.rows, edges, JoinKind::Inner);
+    let out_rows = join_cardinality(
+        catalog,
+        graph,
+        left.rows,
+        right.rows,
+        edges,
+        JoinKind::Inner,
+    );
     // linear merge: one pass over each input plus output materialization
     let cost = left.cost
         + right.cost
@@ -515,7 +573,13 @@ fn try_merge_join(
     let delivered = left.delivered.join(&right.delivered);
     let mut applied = left.applied_residuals.clone();
     applied.extend(right.applied_residuals.iter().copied());
-    Some(Cand { plan, cost, rows: out_rows, delivered, applied_residuals: applied })
+    Some(Cand {
+        plan,
+        cost,
+        rows: out_rows,
+        delivered,
+        applied_residuals: applied,
+    })
 }
 
 fn try_index_nl_join(
@@ -532,9 +596,19 @@ fn try_index_nl_join(
     }
     let e = edges[0];
     let (outer_binding, outer_col, inner_col, kind) = if e.right == right_id {
-        (&graph.operand(e.left).binding, &e.left_col, &e.right_col, e.kind)
+        (
+            &graph.operand(e.left).binding,
+            &e.left_col,
+            &e.right_col,
+            e.kind,
+        )
     } else {
-        (&graph.operand(e.right).binding, &e.right_col, &e.left_col, JoinKind::Inner)
+        (
+            &graph.operand(e.right).binding,
+            &e.right_col,
+            &e.left_col,
+            JoinKind::Inner,
+        )
     };
     let op = graph.operand(right_id);
     let stats = catalog.stats(&op.table.name);
@@ -593,8 +667,12 @@ fn try_index_nl_join(
             let p = config.cost.p_local(bound, &m.region);
             let nl_local = config.cost.index_nl_join(left.rows, per_probe);
             let fallback = remote_cost
-                + config.cost.hash_join(left.rows, remote_node.est_rows, left.rows * per_probe);
-            let blended = config.cost.switch_union(p, nl_local, fallback, left.rows * per_probe);
+                + config
+                    .cost
+                    .hash_join(left.rows, remote_node.est_rows, left.rows * per_probe);
+            let blended = config
+                .cost
+                .switch_union(p, nl_local, fallback, left.rows * per_probe);
             let inner = InnerAccess {
                 object: m.view.name.clone(),
                 schema: viewmatch::operand_schema(graph, right_id, &required),
@@ -614,7 +692,14 @@ fn try_index_nl_join(
 
     let out_rows = match kind {
         JoinKind::Inner => left.rows * per_probe,
-        _ => join_cardinality(catalog, graph, left.rows, per_probe * left.rows, edges, kind),
+        _ => join_cardinality(
+            catalog,
+            graph,
+            left.rows,
+            per_probe * left.rows,
+            edges,
+            kind,
+        ),
     };
     let plan = PhysicalPlan::IndexNLJoin {
         outer: Box::new(left.plan.clone()),
@@ -730,7 +815,11 @@ fn prune(cands: Vec<Cand>) -> Vec<Cand> {
         let order = delivered_order(&c.plan)
             .map(|o| format!("{}.{}", o.qualifier, o.column))
             .unwrap_or_default();
-        let sig = format!("{}#{:?}#{order}", prop_signature(&c.delivered), c.applied_residuals);
+        let sig = format!(
+            "{}#{:?}#{order}",
+            prop_signature(&c.delivered),
+            c.applied_residuals
+        );
         match best.get(&sig) {
             Some(existing) if existing.cost <= c.cost => {}
             _ => {
@@ -759,7 +848,11 @@ fn finish(
     let mut extra = 0.0;
     match &graph.aggregate {
         Some(agg) => {
-            let groups = if agg.group_by.is_empty() { 1.0 } else { (rows / 10.0).max(1.0) };
+            let groups = if agg.group_by.is_empty() {
+                1.0
+            } else {
+                (rows / 10.0).max(1.0)
+            };
             extra += config.cost.aggregate(rows, groups);
             plan = PhysicalPlan::HashAggregate {
                 input: Box::new(plan),
@@ -776,16 +869,24 @@ fn finish(
                 .map(|c| (BoundExpr::col("#agg", &c.name), c.name.clone()))
                 .collect();
             extra += rows * config.cost.cpu_row;
-            plan = PhysicalPlan::Project { input: Box::new(plan), exprs };
+            plan = PhysicalPlan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
         }
         None => {
             extra += rows * config.cost.cpu_row;
-            plan = PhysicalPlan::Project { input: Box::new(plan), exprs: graph.projections.clone() };
+            plan = PhysicalPlan::Project {
+                input: Box::new(plan),
+                exprs: graph.projections.clone(),
+            };
         }
     }
     if graph.distinct {
         extra += rows * config.cost.hash_build;
-        plan = PhysicalPlan::Distinct { input: Box::new(plan) };
+        plan = PhysicalPlan::Distinct {
+            input: Box::new(plan),
+        };
         rows = (rows * 0.9).max(1.0);
     }
     if !graph.order_by.is_empty() {
@@ -806,11 +907,17 @@ fn finish(
         };
         if !elidable {
             extra += config.cost.sort(rows);
-            plan = PhysicalPlan::Sort { input: Box::new(plan), keys: graph.order_by.clone() };
+            plan = PhysicalPlan::Sort {
+                input: Box::new(plan),
+                keys: graph.order_by.clone(),
+            };
         }
     }
     if let Some(nl) = graph.limit {
-        plan = PhysicalPlan::Limit { input: Box::new(plan), n: nl };
+        plan = PhysicalPlan::Limit {
+            input: Box::new(plan),
+            n: nl,
+        };
         rows = rows.min(nl as f64);
     }
     (plan, extra, rows)
@@ -840,8 +947,8 @@ fn estimate_full_query(
             rows = op_rows;
             if !op.existential {
                 let required = graph.required_columns(op.id);
-                width = viewmatch::operand_schema(graph, op.id, &required).estimated_row_width()
-                    as f64;
+                width =
+                    viewmatch::operand_schema(graph, op.id, &required).estimated_row_width() as f64;
             }
             joined.push(op.id);
             continue;
@@ -866,8 +973,11 @@ fn estimate_full_query(
         let nl = edges
             .iter()
             .find(|e| {
-                let (inner_col, inner_op) =
-                    if e.right == op.id { (&e.right_col, e.right) } else { (&e.left_col, e.left) };
+                let (inner_col, inner_op) = if e.right == op.id {
+                    (&e.right_col, e.right)
+                } else {
+                    (&e.left_col, e.left)
+                };
                 inner_op == op.id && op.table.is_leading_key(inner_col)
             })
             .map(|_| {
@@ -920,7 +1030,9 @@ fn try_pullup(
     let mut region = None;
     let mut scans = Vec::new();
     for op in &graph.operands {
-        let m = viewmatch::match_views(catalog, graph, op.id).into_iter().next()?;
+        let m = viewmatch::match_views(catalog, graph, op.id)
+            .into_iter()
+            .next()?;
         match region {
             None => region = Some(m.region.clone()),
             Some(ref r) if r.id == m.region.id => {}
@@ -944,7 +1056,11 @@ fn try_pullup(
     let mut iter = scans.into_iter();
     let first = iter.next()?;
     let mut local = PhysicalPlan::LocalScan(first.scan.clone());
-    let mut local_cost = scan_cost(config, &first.scan, catalog.stats(&first.view.name).row_count.max(1) as f64);
+    let mut local_cost = scan_cost(
+        config,
+        &first.scan,
+        catalog.stats(&first.view.name).row_count.max(1) as f64,
+    );
     let mut rows = first.scan.est_rows;
     let mut joined: Vec<OperandId> = vec![first.scan.operand];
     for m in iter {
@@ -962,18 +1078,29 @@ fn try_pullup(
         for e in &edges {
             if e.right == m.scan.operand {
                 left_keys.push(BoundExpr::col(&graph.operand(e.left).binding, &e.left_col));
-                right_keys.push(BoundExpr::col(&graph.operand(e.right).binding, &e.right_col));
+                right_keys.push(BoundExpr::col(
+                    &graph.operand(e.right).binding,
+                    &e.right_col,
+                ));
                 if e.kind != JoinKind::Inner {
                     kind = e.kind;
                 }
             } else {
-                left_keys.push(BoundExpr::col(&graph.operand(e.right).binding, &e.right_col));
+                left_keys.push(BoundExpr::col(
+                    &graph.operand(e.right).binding,
+                    &e.right_col,
+                ));
                 right_keys.push(BoundExpr::col(&graph.operand(e.left).binding, &e.left_col));
             }
         }
         let right_rows = m.scan.est_rows;
-        local_cost += scan_cost(config, &m.scan, catalog.stats(&m.view.name).row_count.max(1) as f64)
-            + config.cost.hash_join(rows, right_rows, rows.max(right_rows));
+        local_cost += scan_cost(
+            config,
+            &m.scan,
+            catalog.stats(&m.view.name).row_count.max(1) as f64,
+        ) + config
+            .cost
+            .hash_join(rows, right_rows, rows.max(right_rows));
         rows = match kind {
             JoinKind::Inner => rows.max(right_rows),
             JoinKind::Semi => rows * 0.8,
@@ -995,13 +1122,12 @@ fn try_pullup(
     // the remote branch computes the FULL query, so the local branch must
     // be finished to the same shape before being unioned
     let (local_finished, local_extra, _) = finish(catalog, graph, config, local, rows);
-    let remote_plan =
-        PhysicalPlan::RemoteQuery(RemoteQueryNode {
-            sql,
-            schema,
-            operands: (0..graph.operands.len() as OperandId).collect(),
-            est_rows: r_rows,
-        });
+    let remote_plan = PhysicalPlan::RemoteQuery(RemoteQueryNode {
+        sql,
+        schema,
+        operands: (0..graph.operands.len() as OperandId).collect(),
+        est_rows: r_rows,
+    });
     let p = config.cost.p_local(bound, &region);
     let cost = config
         .cost
@@ -1071,5 +1197,3 @@ fn count_remote_leaves(plan: &PhysicalPlan) -> usize {
         PhysicalPlan::IndexNLJoin { outer, .. } => count_remote_leaves(outer),
     }
 }
-
-

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn hash_join_and_remote_deliver_nothing() {
-        let base = scan(AccessPath::ClusteredRange { column: "id".into(), range: KeyRange::all() });
+        let base = scan(AccessPath::ClusteredRange {
+            column: "id".into(),
+            range: KeyRange::all(),
+        });
         let hj = PhysicalPlan::HashJoin {
             left: Box::new(base.clone()),
             right: Box::new(base.clone()),

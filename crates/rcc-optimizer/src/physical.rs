@@ -236,12 +236,18 @@ impl PhysicalPlan {
                     .map(|(_, name)| Column::new(name.clone(), DataType::Int))
                     .collect(),
             ),
-            PhysicalPlan::HashJoin { left, right, kind, .. }
-            | PhysicalPlan::MergeJoin { left, right, kind, .. } => match kind {
+            PhysicalPlan::HashJoin {
+                left, right, kind, ..
+            }
+            | PhysicalPlan::MergeJoin {
+                left, right, kind, ..
+            } => match kind {
                 JoinKind::Inner => left.schema().join(&right.schema()),
                 JoinKind::Semi | JoinKind::Anti => left.schema(),
             },
-            PhysicalPlan::IndexNLJoin { outer, inner, kind, .. } => match kind {
+            PhysicalPlan::IndexNLJoin {
+                outer, inner, kind, ..
+            } => match kind {
                 JoinKind::Inner => outer.schema().join(&inner.schema),
                 JoinKind::Semi | JoinKind::Anti => outer.schema(),
             },
@@ -274,12 +280,15 @@ impl PhysicalPlan {
             PhysicalPlan::RemoteQuery(n) => {
                 DeliveredProperty::remote_leaf(n.operands.iter().copied())
             }
-            PhysicalPlan::SwitchUnion { guard, local, remote } => {
+            PhysicalPlan::SwitchUnion {
+                guard,
+                local,
+                remote,
+            } => {
                 let mut local_prop = DeliveredProperty::default();
                 // the local branch's operands are served from the guard's region
                 for op in local.operand_set() {
-                    local_prop =
-                        local_prop.join(&DeliveredProperty::local_leaf(guard.region, op));
+                    local_prop = local_prop.join(&DeliveredProperty::local_leaf(guard.region, op));
                 }
                 DeliveredProperty::switch_union(&[local_prop, remote.delivered()])
             }
@@ -409,25 +418,38 @@ impl PhysicalPlan {
                 input: Box::new(input.strip_guards(use_local)),
                 exprs: exprs.clone(),
             },
-            PhysicalPlan::HashJoin { left, right, left_keys, right_keys, kind } => {
-                PhysicalPlan::HashJoin {
-                    left: Box::new(left.strip_guards(use_local)),
-                    right: Box::new(right.strip_guards(use_local)),
-                    left_keys: left_keys.clone(),
-                    right_keys: right_keys.clone(),
-                    kind: *kind,
-                }
-            }
-            PhysicalPlan::MergeJoin { left, right, left_key, right_key, kind } => {
-                PhysicalPlan::MergeJoin {
-                    left: Box::new(left.strip_guards(use_local)),
-                    right: Box::new(right.strip_guards(use_local)),
-                    left_key: left_key.clone(),
-                    right_key: right_key.clone(),
-                    kind: *kind,
-                }
-            }
-            PhysicalPlan::IndexNLJoin { outer, outer_key, inner, kind } => {
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => PhysicalPlan::HashJoin {
+                left: Box::new(left.strip_guards(use_local)),
+                right: Box::new(right.strip_guards(use_local)),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                kind: *kind,
+            },
+            PhysicalPlan::MergeJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                kind,
+            } => PhysicalPlan::MergeJoin {
+                left: Box::new(left.strip_guards(use_local)),
+                right: Box::new(right.strip_guards(use_local)),
+                left_key: left_key.clone(),
+                right_key: right_key.clone(),
+                kind: *kind,
+            },
+            PhysicalPlan::IndexNLJoin {
+                outer,
+                outer_key,
+                inner,
+                kind,
+            } => {
                 let mut inner = inner.clone();
                 let had_guard = inner.guard.is_some();
                 inner.guard = None;
@@ -441,24 +463,28 @@ impl PhysicalPlan {
                     kind: *kind,
                 }
             }
-            PhysicalPlan::HashAggregate { input, group_by, aggs, having } => {
-                PhysicalPlan::HashAggregate {
-                    input: Box::new(input.strip_guards(use_local)),
-                    group_by: group_by.clone(),
-                    aggs: aggs.clone(),
-                    having: having.clone(),
-                }
-            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggs,
+                having,
+            } => PhysicalPlan::HashAggregate {
+                input: Box::new(input.strip_guards(use_local)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                having: having.clone(),
+            },
             PhysicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
                 input: Box::new(input.strip_guards(use_local)),
                 keys: keys.clone(),
             },
-            PhysicalPlan::Limit { input, n } => {
-                PhysicalPlan::Limit { input: Box::new(input.strip_guards(use_local)), n: *n }
-            }
-            PhysicalPlan::Distinct { input } => {
-                PhysicalPlan::Distinct { input: Box::new(input.strip_guards(use_local)) }
-            }
+            PhysicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+                input: Box::new(input.strip_guards(use_local)),
+                n: *n,
+            },
+            PhysicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+                input: Box::new(input.strip_guards(use_local)),
+            },
         }
     }
 
@@ -469,94 +495,139 @@ impl PhysicalPlan {
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
-        let pad = "  ".repeat(depth);
+    /// One-line label for this node (no padding/children) — shared by
+    /// [`PhysicalPlan::explain`] and the executor's EXPLAIN ANALYZE report.
+    pub fn node_label(&self) -> String {
         match self {
-            PhysicalPlan::OneRow => {
-                let _ = writeln!(out, "{pad}OneRow");
-            }
+            PhysicalPlan::OneRow => "OneRow".to_string(),
             PhysicalPlan::LocalScan(n) => {
                 let access = match &n.access {
                     AccessPath::FullScan => "scan".to_string(),
-                    AccessPath::ClusteredRange { column, .. } => format!("clustered seek on {column}"),
+                    AccessPath::ClusteredRange { column, .. } => {
+                        format!("clustered seek on {column}")
+                    }
                     AccessPath::IndexRange { index, column, .. } => {
                         format!("index {index} seek on {column}")
                     }
                 };
-                let _ = writeln!(out, "{pad}LocalScan {} [{access}] (~{:.0} rows)", n.object, n.est_rows);
+                format!(
+                    "LocalScan {} [{access}] (~{:.0} rows)",
+                    n.object, n.est_rows
+                )
             }
             PhysicalPlan::RemoteQuery(n) => {
-                let _ = writeln!(out, "{pad}RemoteQuery (~{:.0} rows): {}", n.est_rows, n.sql);
+                format!("RemoteQuery (~{:.0} rows): {}", n.est_rows, n.sql)
             }
-            PhysicalPlan::SwitchUnion { guard, local, remote } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}SwitchUnion [guard: {} fresh within {}]",
-                    guard.heartbeat_table, guard.bound
-                );
-                local.explain_into(out, depth + 1);
-                remote.explain_into(out, depth + 1);
-            }
-            PhysicalPlan::Filter { input, predicate } => {
-                let _ = writeln!(out, "{pad}Filter {predicate}");
-                input.explain_into(out, depth + 1);
-            }
-            PhysicalPlan::Project { input, exprs } => {
+            PhysicalPlan::SwitchUnion { guard, .. } => format!(
+                "SwitchUnion [guard: {} fresh within {}]",
+                guard.heartbeat_table, guard.bound
+            ),
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PhysicalPlan::Project { exprs, .. } => {
                 let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
-                let _ = writeln!(out, "{pad}Project [{}]", names.join(", "));
-                input.explain_into(out, depth + 1);
+                format!("Project [{}]", names.join(", "))
             }
-            PhysicalPlan::HashJoin { left, right, left_keys, right_keys, kind } => {
+            PhysicalPlan::HashJoin {
+                left_keys,
+                right_keys,
+                kind,
+                ..
+            } => {
                 let keys: Vec<String> = left_keys
                     .iter()
                     .zip(right_keys)
                     .map(|(l, r)| format!("{l} = {r}"))
                     .collect();
-                let _ = writeln!(out, "{pad}HashJoin[{kind:?}] on {}", keys.join(" AND "));
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                format!("HashJoin[{kind:?}] on {}", keys.join(" AND "))
             }
-            PhysicalPlan::MergeJoin { left, right, left_key, right_key, kind } => {
-                let _ = writeln!(out, "{pad}MergeJoin[{kind:?}] on {left_key} = {right_key}");
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+            PhysicalPlan::MergeJoin {
+                left_key,
+                right_key,
+                kind,
+                ..
+            } => {
+                format!("MergeJoin[{kind:?}] on {left_key} = {right_key}")
             }
-            PhysicalPlan::IndexNLJoin { outer, outer_key, inner, kind } => {
+            PhysicalPlan::IndexNLJoin {
+                outer_key,
+                inner,
+                kind,
+                ..
+            } => {
                 let guard = match &inner.guard {
                     Some(g) => format!(" [guard: {} fresh within {}]", g.heartbeat_table, g.bound),
                     None => String::new(),
                 };
-                let _ = writeln!(
-                    out,
-                    "{pad}IndexNLJoin[{kind:?}] {outer_key} -> {}.{}{guard}",
+                format!(
+                    "IndexNLJoin[{kind:?}] {outer_key} -> {}.{}{guard}",
                     inner.object, inner.seek_col
-                );
-                outer.explain_into(out, depth + 1);
+                )
             }
-            PhysicalPlan::HashAggregate { input, group_by, aggs, having } => {
+            PhysicalPlan::HashAggregate {
+                group_by,
+                aggs,
+                having,
+                ..
+            } => {
                 let gs: Vec<&str> = group_by.iter().map(|(_, n)| n.as_str()).collect();
                 let asum: Vec<String> = aggs
                     .iter()
-                    .map(|a| format!("{}({})", a.func.sql(), a.arg.as_ref().map(|e| e.to_string()).unwrap_or_else(|| "*".into())))
+                    .map(|a| {
+                        format!(
+                            "{}({})",
+                            a.func.sql(),
+                            a.arg
+                                .as_ref()
+                                .map(|e| e.to_string())
+                                .unwrap_or_else(|| "*".into())
+                        )
+                    })
                     .collect();
-                let h = having.as_ref().map(|h| format!(" having {h}")).unwrap_or_default();
-                let _ = writeln!(out, "{pad}HashAggregate by [{}] computing [{}]{h}", gs.join(", "), asum.join(", "));
-                input.explain_into(out, depth + 1);
+                let h = having
+                    .as_ref()
+                    .map(|h| format!(" having {h}"))
+                    .unwrap_or_default();
+                format!(
+                    "HashAggregate by [{}] computing [{}]{h}",
+                    gs.join(", "),
+                    asum.join(", ")
+                )
             }
-            PhysicalPlan::Sort { input, keys } => {
+            PhysicalPlan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|(o, asc)| format!("#{o}{}", if *asc { "" } else { " desc" }))
                     .collect();
-                let _ = writeln!(out, "{pad}Sort [{}]", ks.join(", "));
-                input.explain_into(out, depth + 1);
+                format!("Sort [{}]", ks.join(", "))
             }
-            PhysicalPlan::Limit { input, n } => {
-                let _ = writeln!(out, "{pad}Limit {n}");
-                input.explain_into(out, depth + 1);
+            PhysicalPlan::Limit { n, .. } => format!("Limit {n}"),
+            PhysicalPlan::Distinct { .. } => "Distinct".to_string(),
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let _ = writeln!(out, "{pad}{}", self.node_label());
+        match self {
+            PhysicalPlan::OneRow | PhysicalPlan::LocalScan(_) | PhysicalPlan::RemoteQuery(_) => {}
+            PhysicalPlan::SwitchUnion { local, remote, .. } => {
+                local.explain_into(out, depth + 1);
+                remote.explain_into(out, depth + 1);
             }
-            PhysicalPlan::Distinct { input } => {
-                let _ = writeln!(out, "{pad}Distinct");
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. } => {
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::IndexNLJoin { outer, .. } => {
+                outer.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => {
                 input.explain_into(out, depth + 1);
             }
         }
@@ -660,7 +731,10 @@ mod tests {
 
     #[test]
     fn strip_guards_keeps_chosen_branch() {
-        let plan = PhysicalPlan::Limit { input: Box::new(guarded(0, 1)), n: 5 };
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(guarded(0, 1)),
+            n: 5,
+        };
         let local = plan.strip_guards(true);
         assert_eq!(local.guard_count(), 0);
         assert!(!local.touches_remote());
@@ -671,7 +745,10 @@ mod tests {
 
     #[test]
     fn explain_renders_tree() {
-        let plan = PhysicalPlan::Limit { input: Box::new(guarded(0, 1)), n: 5 };
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(guarded(0, 1)),
+            n: 5,
+        };
         let text = plan.explain();
         assert!(text.contains("Limit 5"));
         assert!(text.contains("SwitchUnion"));

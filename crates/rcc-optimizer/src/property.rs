@@ -106,16 +106,17 @@ impl DeliveredProperty {
 
     /// All operands covered.
     pub fn operands(&self) -> BTreeSet<OperandId> {
-        self.groups.iter().flat_map(|g| g.operands.iter().copied()).collect()
+        self.groups
+            .iter()
+            .flat_map(|g| g.operands.iter().copied())
+            .collect()
     }
 
     /// Join rule: union the groups, merging groups with mergeable tags.
     pub fn join(&self, other: &DeliveredProperty) -> DeliveredProperty {
         let mut groups = self.groups.clone();
         for g in &other.groups {
-            if let Some(existing) =
-                groups.iter_mut().find(|e| e.tag.mergeable(g.tag))
-            {
+            if let Some(existing) = groups.iter_mut().find(|e| e.tag.mergeable(g.tag)) {
                 existing.operands.extend(g.operands.iter().copied());
             } else {
                 groups.push(g.clone());
@@ -127,7 +128,9 @@ impl DeliveredProperty {
     /// SwitchUnion rule: operands stay together only if together in every
     /// child; the tag survives only if every child agrees on it.
     pub fn switch_union(children: &[DeliveredProperty]) -> DeliveredProperty {
-        let Some(first) = children.first() else { return DeliveredProperty::default() };
+        let Some(first) = children.first() else {
+            return DeliveredProperty::default();
+        };
         let mut groups: Vec<DeliveredGroup> = first.groups.clone();
         for child in &children[1..] {
             let mut refined = Vec::new();
@@ -139,8 +142,15 @@ impl DeliveredProperty {
                     if inter.is_empty() {
                         continue;
                     }
-                    let tag = if g.tag == cg.tag { g.tag } else { RegionTag::Mixed };
-                    refined.push(DeliveredGroup { tag, operands: inter });
+                    let tag = if g.tag == cg.tag {
+                        g.tag
+                    } else {
+                        RegionTag::Mixed
+                    };
+                    refined.push(DeliveredGroup {
+                        tag,
+                        operands: inter,
+                    });
                 }
             }
             groups = refined;
@@ -155,7 +165,9 @@ impl DeliveredProperty {
         for i in 0..self.groups.len() {
             for j in (i + 1)..self.groups.len() {
                 if self.groups[i].tag != self.groups[j].tag
-                    && !self.groups[i].operands.is_disjoint(&self.groups[j].operands)
+                    && !self.groups[i]
+                        .operands
+                        .is_disjoint(&self.groups[j].operands)
                 {
                     return true;
                 }
@@ -201,7 +213,9 @@ impl DeliveredProperty {
             return false;
         }
         required.classes.iter().all(|c| {
-            self.groups.iter().any(|g| c.operands.is_subset(&g.operands))
+            self.groups
+                .iter()
+                .any(|g| c.operands.is_subset(&g.operands))
         })
     }
 }
@@ -290,7 +304,10 @@ mod tests {
         };
         let c2 = DeliveredProperty {
             groups: vec![
-                DeliveredGroup { tag: RegionTag::Backend, operands: [0].into_iter().collect() },
+                DeliveredGroup {
+                    tag: RegionTag::Backend,
+                    operands: [0].into_iter().collect(),
+                },
                 DeliveredGroup {
                     tag: RegionTag::Region(RegionId(2)),
                     operands: [1].into_iter().collect(),
@@ -298,7 +315,11 @@ mod tests {
             ],
         };
         let su = DeliveredProperty::switch_union(&[c1, c2]);
-        assert_eq!(su.groups.len(), 2, "0 and 1 no longer guaranteed consistent");
+        assert_eq!(
+            su.groups.len(),
+            2,
+            "0 and 1 no longer guaranteed consistent"
+        );
         assert!(su.groups.iter().all(|g| g.tag == RegionTag::Mixed));
     }
 

@@ -8,12 +8,12 @@
 //! planned by the back-end server, which always serves the latest snapshot,
 //! so no currency clause is attached.
 
+use crate::constraint::OperandId;
 use crate::expr::BoundExpr;
 use crate::graph::{JoinKind, QueryGraph};
-use crate::constraint::OperandId;
-use rcc_common::Schema;
 #[cfg(test)]
 use rcc_common::Column;
+use rcc_common::Schema;
 use rcc_sql::unparse::select_sql;
 use rcc_sql::{Expr, SelectItem, SelectStmt, TableRef};
 use std::collections::BTreeSet;
@@ -21,35 +21,50 @@ use std::collections::BTreeSet;
 /// Convert a bound expression back to AST form.
 pub fn bound_to_ast(e: &BoundExpr) -> Expr {
     match e {
-        BoundExpr::Column { qualifier, name } => {
-            Expr::Column { qualifier: Some(qualifier.clone()), name: name.clone() }
-        }
+        BoundExpr::Column { qualifier, name } => Expr::Column {
+            qualifier: Some(qualifier.clone()),
+            name: name.clone(),
+        },
         BoundExpr::Literal(v) => Expr::Literal(v.clone()),
-        BoundExpr::GetDate => {
-            Expr::Function { name: "getdate".into(), args: vec![], distinct: false, star: false }
-        }
+        BoundExpr::GetDate => Expr::Function {
+            name: "getdate".into(),
+            args: vec![],
+            distinct: false,
+            star: false,
+        },
         BoundExpr::Binary { left, op, right } => Expr::Binary {
             left: Box::new(bound_to_ast(left)),
             op: *op,
             right: Box::new(bound_to_ast(right)),
         },
-        BoundExpr::Unary { op, expr } => {
-            Expr::Unary { op: *op, expr: Box::new(bound_to_ast(expr)) }
-        }
-        BoundExpr::Between { expr, low, high, negated } => Expr::Between {
+        BoundExpr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(bound_to_ast(expr)),
+        },
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(bound_to_ast(expr)),
             low: Box::new(bound_to_ast(low)),
             high: Box::new(bound_to_ast(high)),
             negated: *negated,
         },
-        BoundExpr::InList { expr, list, negated } => Expr::InList {
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(bound_to_ast(expr)),
             list: list.iter().map(bound_to_ast).collect(),
             negated: *negated,
         },
-        BoundExpr::IsNull { expr, negated } => {
-            Expr::IsNull { expr: Box::new(bound_to_ast(expr)), negated: *negated }
-        }
+        BoundExpr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(bound_to_ast(expr)),
+            negated: *negated,
+        },
     }
 }
 
@@ -65,7 +80,10 @@ pub fn operand_sql(
     let mut stmt = SelectStmt::empty();
     for c in columns {
         stmt.projections.push(SelectItem::Expr {
-            expr: Expr::Column { qualifier: Some(op.binding.clone()), name: c.clone() },
+            expr: Expr::Column {
+                qualifier: Some(op.binding.clone()),
+                name: c.clone(),
+            },
             alias: None,
         });
     }
@@ -73,13 +91,19 @@ pub fn operand_sql(
         name: op.table.name.clone(),
         alias: Some(op.binding.clone()),
     });
-    stmt.filter = BoundExpr::and_all(op.filters.clone()).as_ref().map(bound_to_ast);
+    stmt.filter = BoundExpr::and_all(op.filters.clone())
+        .as_ref()
+        .map(bound_to_ast);
 
     let schema = Schema::new(
         columns
             .iter()
             .map(|c| {
-                let ord = op.table.schema.resolve(None, c).expect("required column exists");
+                let ord = op
+                    .table
+                    .schema
+                    .resolve(None, c)
+                    .expect("required column exists");
                 let mut col = op.table.schema.column(ord).clone();
                 col.qualifier = Some(op.binding.clone());
                 col.source = Some(op.table.id);
@@ -114,8 +138,7 @@ pub fn full_query_sql(graph: &QueryGraph) -> (String, Schema) {
             conjuncts.push(bound_to_ast(f));
         }
     }
-    let is_existential =
-        |id: OperandId| graph.operand(id).existential;
+    let is_existential = |id: OperandId| graph.operand(id).existential;
     for edge in &graph.edges {
         if edge.kind == JoinKind::Inner && !is_existential(edge.left) && !is_existential(edge.right)
         {
@@ -158,20 +181,26 @@ pub fn full_query_sql(graph: &QueryGraph) -> (String, Schema) {
             ));
             negated = edge.kind == JoinKind::Anti;
         }
-        inner.filter = inner_conjuncts.into_iter().reduce(|a, b| {
-            Expr::binary(a, rcc_sql::BinaryOp::And, b)
+        inner.filter = inner_conjuncts
+            .into_iter()
+            .reduce(|a, b| Expr::binary(a, rcc_sql::BinaryOp::And, b));
+        conjuncts.push(Expr::Exists {
+            subquery: Box::new(inner),
+            negated,
         });
-        conjuncts.push(Expr::Exists { subquery: Box::new(inner), negated });
     }
-    stmt.filter =
-        conjuncts.into_iter().reduce(|a, b| Expr::binary(a, rcc_sql::BinaryOp::And, b));
+    stmt.filter = conjuncts
+        .into_iter()
+        .reduce(|a, b| Expr::binary(a, rcc_sql::BinaryOp::And, b));
 
     // projections / aggregation
     match &graph.aggregate {
         Some(agg) => {
             for (g, name) in &agg.group_by {
-                stmt.projections
-                    .push(SelectItem::Expr { expr: bound_to_ast(g), alias: Some(name.clone()) });
+                stmt.projections.push(SelectItem::Expr {
+                    expr: bound_to_ast(g),
+                    alias: Some(name.clone()),
+                });
                 stmt.group_by.push(bound_to_ast(g));
             }
             for a in &agg.aggs {
@@ -189,8 +218,10 @@ pub fn full_query_sql(graph: &QueryGraph) -> (String, Schema) {
         }
         None => {
             for (e, name) in &graph.projections {
-                stmt.projections
-                    .push(SelectItem::Expr { expr: bound_to_ast(e), alias: Some(name.clone()) });
+                stmt.projections.push(SelectItem::Expr {
+                    expr: bound_to_ast(e),
+                    alias: Some(name.clone()),
+                });
             }
         }
     }
@@ -199,7 +230,10 @@ pub fn full_query_sql(graph: &QueryGraph) -> (String, Schema) {
     let out_schema = graph.output_schema();
     for (ordinal, asc) in &graph.order_by {
         stmt.order_by.push((
-            Expr::Column { qualifier: None, name: out_schema.column(*ordinal).name.clone() },
+            Expr::Column {
+                qualifier: None,
+                name: out_schema.column(*ordinal).name.clone(),
+            },
             *asc,
         ));
     }
@@ -223,7 +257,10 @@ fn having_to_ast(h: &BoundExpr, agg: &crate::graph::AggregateSpec) -> Expr {
             } else if let Some((g, _)) = agg.group_by.iter().find(|(_, n)| n == name) {
                 bound_to_ast(g)
             } else {
-                Expr::Column { qualifier: None, name: name.clone() }
+                Expr::Column {
+                    qualifier: None,
+                    name: name.clone(),
+                }
             }
         }
         BoundExpr::Binary { left, op, right } => Expr::Binary {
@@ -231,9 +268,10 @@ fn having_to_ast(h: &BoundExpr, agg: &crate::graph::AggregateSpec) -> Expr {
             op: *op,
             right: Box::new(having_to_ast(right, agg)),
         },
-        BoundExpr::Unary { op, expr } => {
-            Expr::Unary { op: *op, expr: Box::new(having_to_ast(expr, agg)) }
-        }
+        BoundExpr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(having_to_ast(expr, agg)),
+        },
         other => bound_to_ast(other),
     }
 }
@@ -311,7 +349,10 @@ mod tests {
         let (sql, schema) = full_query_sql(&g);
         assert!(sql.contains("FROM customer c, orders o"), "{sql}");
         assert!(sql.contains("(c.c_custkey = o.o_custkey)"), "{sql}");
-        assert!(!sql.to_uppercase().contains("CURRENCY"), "no clause remotely: {sql}");
+        assert!(
+            !sql.to_uppercase().contains("CURRENCY"),
+            "no clause remotely: {sql}"
+        );
         assert_eq!(schema.len(), 2);
         reparses(&sql);
     }

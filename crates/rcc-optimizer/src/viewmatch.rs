@@ -49,13 +49,17 @@ pub fn match_views(catalog: &Catalog, graph: &QueryGraph, operand: OperandId) ->
             continue;
         }
         if let Some(pred) = &view.predicate {
-            let query_range =
-                ranges.get(&pred.column.to_ascii_lowercase()).cloned().unwrap_or_else(KeyRange::all);
+            let query_range = ranges
+                .get(&pred.column.to_ascii_lowercase())
+                .cloned()
+                .unwrap_or_else(KeyRange::all);
             if !pred.range.contains_range(&query_range) {
                 continue;
             }
         }
-        let Ok(region) = catalog.region(view.region) else { continue };
+        let Ok(region) = catalog.region(view.region) else {
+            continue;
+        };
 
         let view_key_lead = view
             .key_ordinals
@@ -118,13 +122,21 @@ pub fn master_scan(catalog: &Catalog, graph: &QueryGraph, operand: OperandId) ->
 /// Output schema for an operand scan: the required columns (sorted for
 /// determinism), typed from the base table and qualified by the operand
 /// binding.
-pub fn operand_schema(graph: &QueryGraph, operand: OperandId, required: &BTreeSet<String>) -> Schema {
+pub fn operand_schema(
+    graph: &QueryGraph,
+    operand: OperandId,
+    required: &BTreeSet<String>,
+) -> Schema {
     let op = graph.operand(operand);
     Schema::new(
         required
             .iter()
             .map(|c| {
-                let ord = op.table.schema.resolve(None, c).expect("required column exists");
+                let ord = op
+                    .table
+                    .schema
+                    .resolve(None, c)
+                    .expect("required column exists");
                 let mut col = op.table.schema.column(ord).clone();
                 col.qualifier = Some(op.binding.clone());
                 col.source = Some(op.table.id);
@@ -144,7 +156,10 @@ fn pick_access(
     if !leading_key.is_empty() {
         if let Some(r) = ranges.get(&leading_key.to_ascii_lowercase()) {
             if !r.is_full() {
-                return AccessPath::ClusteredRange { column: leading_key.to_string(), range: r.clone() };
+                return AccessPath::ClusteredRange {
+                    column: leading_key.to_string(),
+                    range: r.clone(),
+                };
             }
         }
     }
@@ -153,7 +168,11 @@ fn pick_access(
             continue;
         }
         if let Some(index) = index_on(col) {
-            return AccessPath::IndexRange { index, column: col.clone(), range: r.clone() };
+            return AccessPath::IndexRange {
+                index,
+                column: col.clone(),
+                range: r.clone(),
+            };
         }
     }
     AccessPath::FullScan
@@ -177,7 +196,12 @@ mod tests {
         ]);
         let mut meta =
             TableMeta::new(TableId(1), "customer", customer, vec!["c_custkey".into()]).unwrap();
-        meta.add_index(rcc_common::IndexId(1), "ix_acctbal", vec!["c_acctbal".into()]).unwrap();
+        meta.add_index(
+            rcc_common::IndexId(1),
+            "ix_acctbal",
+            vec!["c_acctbal".into()],
+        )
+        .unwrap();
         cat.register_table(meta).unwrap();
         cat.register_region(CurrencyRegion::new(
             RegionId(1),
@@ -240,10 +264,16 @@ mod tests {
     #[test]
     fn no_local_index_means_full_scan() {
         let cat = setup();
-        let g = graph(&cat, "SELECT c_name FROM customer WHERE c_acctbal BETWEEN 1.0 AND 2.0");
+        let g = graph(
+            &cat,
+            "SELECT c_name FROM customer WHERE c_acctbal BETWEEN 1.0 AND 2.0",
+        );
         let ms = match_views(&cat, &g, 0);
         assert_eq!(ms.len(), 1);
-        assert!(matches!(ms[0].scan.access, AccessPath::FullScan), "view has no ix_acctbal");
+        assert!(
+            matches!(ms[0].scan.access, AccessPath::FullScan),
+            "view has no ix_acctbal"
+        );
         // but the master table does
         let m = master_scan(&cat, &g, 0);
         assert!(matches!(
@@ -281,32 +311,44 @@ mod tests {
 
         // narrow query: both views match
         let g = graph(&cat, "SELECT c_name FROM customer WHERE c_custkey <= 50");
-        let names: Vec<String> =
-            match_views(&cat, &g, 0).into_iter().map(|m| m.view.name.clone()).collect();
+        let names: Vec<String> = match_views(&cat, &g, 0)
+            .into_iter()
+            .map(|m| m.view.name.clone())
+            .collect();
         assert!(names.contains(&"cust_prj".to_string()));
         assert!(names.contains(&"cust_top".to_string()));
 
         // wide query: only the full projection matches
         let g = graph(&cat, "SELECT c_name FROM customer WHERE c_custkey <= 500");
-        let names: Vec<String> =
-            match_views(&cat, &g, 0).into_iter().map(|m| m.view.name.clone()).collect();
+        let names: Vec<String> = match_views(&cat, &g, 0)
+            .into_iter()
+            .map(|m| m.view.name.clone())
+            .collect();
         assert_eq!(names, vec!["cust_prj".to_string()]);
 
         // unrestricted query: selection view cannot serve it
         let g = graph(&cat, "SELECT c_name FROM customer");
-        let names: Vec<String> =
-            match_views(&cat, &g, 0).into_iter().map(|m| m.view.name.clone()).collect();
+        let names: Vec<String> = match_views(&cat, &g, 0)
+            .into_iter()
+            .map(|m| m.view.name.clone())
+            .collect();
         assert_eq!(names, vec!["cust_prj".to_string()]);
     }
 
     #[test]
     fn scan_schema_qualified_by_binding() {
         let cat = setup();
-        let g = graph(&cat, "SELECT c.c_name FROM customer c WHERE c.c_custkey = 5");
+        let g = graph(
+            &cat,
+            "SELECT c.c_name FROM customer c WHERE c.c_custkey = 5",
+        );
         let ms = match_views(&cat, &g, 0);
         let schema = &ms[0].scan.schema;
         assert!(schema.resolve(Some("c"), "c_name").is_ok());
-        assert!(schema.resolve(Some("c"), "c_custkey").is_ok(), "key always carried");
+        assert!(
+            schema.resolve(Some("c"), "c_custkey").is_ok(),
+            "key always carried"
+        );
     }
 
     #[test]
@@ -332,7 +374,10 @@ mod tests {
             local_indexes: vec![("ix_bal_local".into(), "c_acctbal".into())],
         })
         .unwrap();
-        let g = graph(&cat, "SELECT c_name FROM customer WHERE c_acctbal BETWEEN 1.0 AND 2.0");
+        let g = graph(
+            &cat,
+            "SELECT c_name FROM customer WHERE c_acctbal BETWEEN 1.0 AND 2.0",
+        );
         let ms = match_views(&cat, &g, 0);
         let with_ix = ms.iter().find(|m| m.view.name == "cust_ix").unwrap();
         assert!(matches!(

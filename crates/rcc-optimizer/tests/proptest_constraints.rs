@@ -129,18 +129,22 @@ fn delivered() -> impl Strategy<Value = DeliveredProperty> {
         let mut groups: Vec<DeliveredGroup> = merged
             .into_iter()
             .map(|(g, operands)| DeliveredGroup {
-                tag: if g == 0 { RegionTag::Backend } else { RegionTag::Mixed },
+                tag: if g == 0 {
+                    RegionTag::Backend
+                } else {
+                    RegionTag::Mixed
+                },
                 operands,
             })
             .collect();
         // region groups are singletons; drop duplicates of operands already
         // placed in a merged group to keep the property a partition
-        let taken: BTreeSet<u32> =
-            groups.iter().flat_map(|g| g.operands.iter().copied()).collect();
+        let taken: BTreeSet<u32> = groups
+            .iter()
+            .flat_map(|g| g.operands.iter().copied())
+            .collect();
         for (g, op) in singles {
-            if !taken.contains(&op)
-                && !groups.iter().any(|gr| gr.operands.contains(&op))
-            {
+            if !taken.contains(&op) && !groups.iter().any(|gr| gr.operands.contains(&op)) {
                 groups.push(DeliveredGroup {
                     tag: RegionTag::Region(RegionId(g as u32)),
                     operands: [op].into_iter().collect(),

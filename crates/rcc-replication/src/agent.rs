@@ -1,7 +1,7 @@
 //! Distribution agents.
 
-use rcc_backend::{MasterDb, HEARTBEAT_TABLE};
 use rcc_backend::heartbeat::heartbeat_schema;
+use rcc_backend::{MasterDb, HEARTBEAT_TABLE};
 use rcc_catalog::{CachedViewDef, CurrencyRegion, TableMeta};
 use rcc_common::{AgentId, Error, Result, Row, Timestamp, Value};
 use rcc_storage::{RowChange, StorageEngine, Table};
@@ -130,8 +130,11 @@ impl DistributionAgent {
         }
 
         // Materialize the view's table at the cache.
-        let mut table =
-            Table::new(view.name.clone(), view.schema.clone(), view.key_ordinals.clone());
+        let mut table = Table::new(
+            view.name.clone(),
+            view.schema.clone(),
+            view.key_ordinals.clone(),
+        );
         for (ix_name, lead_col) in &view.local_indexes {
             let ord = view
                 .ordinal_of(lead_col)
@@ -139,7 +142,12 @@ impl DistributionAgent {
             table.create_index(ix_name.clone(), vec![ord])?;
         }
 
-        let sub = Subscription { view, base_ordinals, predicate_base_ordinal, base_key_ordinals };
+        let sub = Subscription {
+            view,
+            base_ordinals,
+            predicate_base_ordinal,
+            base_key_ordinals,
+        };
 
         // Populate from a consistent snapshot.
         let (rows, snapshot_cursor) = self.master.snapshot_table(&base.name)?;
@@ -164,7 +172,8 @@ impl DistributionAgent {
     /// removed.
     pub fn unsubscribe(&mut self, view_name: &str) -> bool {
         let before = self.subscriptions.len();
-        self.subscriptions.retain(|s| !s.view.name.eq_ignore_ascii_case(view_name));
+        self.subscriptions
+            .retain(|s| !s.view.name.eq_ignore_ascii_case(view_name));
         self.subscriptions.len() != before
     }
 
@@ -235,7 +244,9 @@ impl DistributionAgent {
         if region_id != self.region.id.raw() as i64 {
             return Ok(()); // another region's heartbeat
         }
-        let handle = self.cache_storage.table(&self.region.heartbeat_table_name())?;
+        let handle = self
+            .cache_storage
+            .table(&self.region.heartbeat_table_name())?;
         let result = handle.write().upsert(row.clone());
         result
     }
@@ -243,7 +254,10 @@ impl DistributionAgent {
     /// The timestamp currently stored in this region's local heartbeat
     /// table (None before the first heartbeat arrives).
     pub fn local_heartbeat(&self) -> Option<Timestamp> {
-        let handle = self.cache_storage.table(&self.region.heartbeat_table_name()).ok()?;
+        let handle = self
+            .cache_storage
+            .table(&self.region.heartbeat_table_name())
+            .ok()?;
         let t = handle.read();
         let row = t.get(&[Value::Int(self.region.id.raw() as i64)])?.clone();
         row.get(1).as_int().ok().map(Timestamp)
@@ -279,7 +293,12 @@ fn project_row(sub: &Subscription, row: &Row) -> Option<Row> {
             return None;
         }
     }
-    Some(Row::new(sub.base_ordinals.iter().map(|&i| row.get(i).clone()).collect()))
+    Some(Row::new(
+        sub.base_ordinals
+            .iter()
+            .map(|&i| row.get(i).clone())
+            .collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -287,7 +306,9 @@ mod tests {
     use super::*;
     use rcc_backend::TableChange;
     use rcc_catalog::{Catalog, ViewPredicate};
-    use rcc_common::{Clock, Column, DataType, Duration, RegionId, Schema, SimClock, TableId, ViewId};
+    use rcc_common::{
+        Clock, Column, DataType, Duration, RegionId, Schema, SimClock, TableId, ViewId,
+    };
     use rcc_storage::KeyRange;
 
     struct Fixture {
@@ -307,8 +328,7 @@ mod tests {
             Column::new("grp", DataType::Int),
             Column::new("name", DataType::Str),
         ]);
-        let meta =
-            TableMeta::new(TableId(1), "items", schema.clone(), vec!["id".into()]).unwrap();
+        let meta = TableMeta::new(TableId(1), "items", schema.clone(), vec!["id".into()]).unwrap();
         master.create_table(&meta).unwrap();
         for i in 0..10 {
             master
@@ -349,7 +369,13 @@ mod tests {
             local_indexes: vec![],
         });
         agent.subscribe(view, &meta).unwrap();
-        Fixture { clock, master, cache, agent, meta }
+        Fixture {
+            clock,
+            master,
+            cache,
+            agent,
+            meta,
+        }
     }
 
     fn upd(id: i64, grp: i64) -> TableChange {
@@ -357,7 +383,11 @@ mod tests {
             "items",
             RowChange::Update {
                 key: vec![Value::Int(id)],
-                row: Row::new(vec![Value::Int(id), Value::Int(grp), Value::Str(format!("u{id}"))]),
+                row: Row::new(vec![
+                    Value::Int(id),
+                    Value::Int(grp),
+                    Value::Str(format!("u{id}")),
+                ]),
             },
         )
     }
@@ -374,14 +404,17 @@ mod tests {
     fn propagation_applies_in_commit_order_after_delay() {
         let mut f = fixture(None);
         f.master.execute_txn(vec![upd(3, 99)]).unwrap(); // commit at t=0
-        // At t=1s, delay=2s: txn not yet deliverable.
+                                                         // At t=1s, delay=2s: txn not yet deliverable.
         f.clock.advance(Duration::from_secs(1));
         assert_eq!(f.agent.propagate(f.clock.now()).unwrap(), 0);
         // At t=3s: deliverable.
         f.clock.advance(Duration::from_secs(2));
         assert_eq!(f.agent.propagate(f.clock.now()).unwrap(), 1);
         let v = f.cache.table("items_v").unwrap();
-        assert_eq!(v.read().get(&[Value::Int(3)]).unwrap().get(1), &Value::Int(99));
+        assert_eq!(
+            v.read().get(&[Value::Int(3)]).unwrap().get(1),
+            &Value::Int(99)
+        );
     }
 
     #[test]
@@ -390,7 +423,9 @@ mod tests {
         f.master
             .execute_txn(vec![TableChange::new(
                 "items",
-                RowChange::Delete { key: vec![Value::Int(0)] },
+                RowChange::Delete {
+                    key: vec![Value::Int(0)],
+                },
             )])
             .unwrap();
         f.master

@@ -4,6 +4,7 @@ use crate::agent::DistributionAgent;
 use parking_lot::Mutex;
 use rcc_backend::MasterDb;
 use rcc_common::{Clock, Duration, Result, SimClock, Timestamp};
+use rcc_obs::MetricsRegistry;
 use std::sync::Arc;
 
 /// Scheduled state for one agent/region pair.
@@ -28,12 +29,52 @@ pub struct ReplicationRuntime {
     clock: SimClock,
     master: Arc<MasterDb>,
     regions: Mutex<Vec<RegionSchedule>>,
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
 }
 
 impl ReplicationRuntime {
     /// Create a runtime over `master` using `clock`.
     pub fn new(clock: SimClock, master: Arc<MasterDb>) -> ReplicationRuntime {
-        ReplicationRuntime { clock, master, regions: Mutex::new(Vec::new()) }
+        ReplicationRuntime {
+            clock,
+            master,
+            regions: Mutex::new(Vec::new()),
+            metrics: Mutex::new(None),
+        }
+    }
+
+    /// Report into `registry`: a per-region replication-lag gauge
+    /// (`rcc_replication_lag_seconds{region=...}`, updated after every
+    /// `advance_to`) and a per-region applied-transaction counter
+    /// (`rcc_replication_txns_applied_total{region=...}`).
+    pub fn set_metrics(&self, registry: Arc<MetricsRegistry>) {
+        registry.describe(
+            "rcc_replication_lag_seconds",
+            "Staleness of a region's local heartbeat: now minus the last delivered beat.",
+        );
+        registry.describe(
+            "rcc_replication_txns_applied_total",
+            "Master log transactions a region's distribution agent has applied at the cache.",
+        );
+        *self.metrics.lock() = Some(registry);
+        self.publish_lag();
+    }
+
+    /// Refresh every region's lag gauge (no-op without a registry).
+    fn publish_lag(&self) {
+        let metrics = self.metrics.lock();
+        let Some(registry) = metrics.as_ref() else {
+            return;
+        };
+        let now = self.clock.now();
+        for r in self.regions.lock().iter() {
+            let name = r.agent.region().name.clone();
+            if let Some(hb) = r.agent.local_heartbeat() {
+                registry
+                    .gauge("rcc_replication_lag_seconds", &[("region", &name)])
+                    .set(now.since(hb).as_secs_f64());
+            }
+        }
     }
 
     /// The shared simulated clock.
@@ -73,7 +114,16 @@ impl ReplicationRuntime {
     /// first, then — after the delivery delay — reaches the cache).
     pub fn advance_to(&self, target: Timestamp) -> Result<()> {
         assert!(target >= self.clock.now(), "cannot advance into the past");
-        let mut regions = self.regions.lock();
+        {
+            let mut regions = self.regions.lock();
+            self.advance_regions(&mut regions, target)?;
+        }
+        self.clock.set(target);
+        self.publish_lag();
+        Ok(())
+    }
+
+    fn advance_regions(&self, regions: &mut [RegionSchedule], target: Timestamp) -> Result<()> {
         loop {
             // Earliest pending event at or before `target`.
             let mut next: Option<(Timestamp, usize, bool)> = None; // (time, idx, is_beat)
@@ -101,11 +151,20 @@ impl ReplicationRuntime {
                 self.master.beat(r.agent.region().id)?;
                 r.next_beat = t.plus(r.agent.region().heartbeat_interval);
             } else {
-                r.agent.propagate(t)?;
+                let applied = r.agent.propagate(t)?;
                 r.next_propagation = t.plus(r.agent.region().update_interval);
+                if applied > 0 {
+                    if let Some(registry) = self.metrics.lock().as_ref() {
+                        registry
+                            .counter(
+                                "rcc_replication_txns_applied_total",
+                                &[("region", &r.agent.region().name)],
+                            )
+                            .add(applied as u64);
+                    }
+                }
             }
         }
-        self.clock.set(target);
         Ok(())
     }
 
@@ -150,7 +209,9 @@ mod tests {
         ]);
         let meta = TableMeta::new(TableId(1), "t", schema.clone(), vec!["id".into()]).unwrap();
         master.create_table(&meta).unwrap();
-        master.bulk_load("t", vec![Row::new(vec![Value::Int(1), Value::Int(0)])]).unwrap();
+        master
+            .bulk_load("t", vec![Row::new(vec![Value::Int(1), Value::Int(0)])])
+            .unwrap();
 
         let region = Arc::new(CurrencyRegion::new(
             RegionId(1),
@@ -226,10 +287,13 @@ mod tests {
         let f = fixture();
         f.rt.advance_to(Timestamp(5_000)).unwrap();
         set_v(&f.master, 1, 42); // commit at t=5s
-        // propagation at t=10s has as_of=8s ≥ 5s → applied
+                                 // propagation at t=10s has as_of=8s ≥ 5s → applied
         f.rt.advance_to(Timestamp(10_000)).unwrap();
         let v = f.cache.table("t_v").unwrap();
-        assert_eq!(v.read().get(&[Value::Int(1)]).unwrap().get(1), &Value::Int(42));
+        assert_eq!(
+            v.read().get(&[Value::Int(1)]).unwrap().get(1),
+            &Value::Int(42)
+        );
     }
 
     #[test]
@@ -239,9 +303,15 @@ mod tests {
         set_v(&f.master, 1, 7); // t=9s, as_of at t=10s is 8s < 9s
         f.rt.advance_to(Timestamp(10_000)).unwrap();
         let v = f.cache.table("t_v").unwrap();
-        assert_eq!(v.read().get(&[Value::Int(1)]).unwrap().get(1), &Value::Int(0));
+        assert_eq!(
+            v.read().get(&[Value::Int(1)]).unwrap().get(1),
+            &Value::Int(0)
+        );
         f.rt.advance_to(Timestamp(20_000)).unwrap();
-        assert_eq!(v.read().get(&[Value::Int(1)]).unwrap().get(1), &Value::Int(7));
+        assert_eq!(
+            v.read().get(&[Value::Int(1)]).unwrap().get(1),
+            &Value::Int(7)
+        );
     }
 
     #[test]
@@ -251,11 +321,32 @@ mod tests {
         let before = f.rt.local_heartbeat("CR1").unwrap();
         assert!(f.rt.with_agent("CR1", |a| a.set_stalled(true)));
         f.rt.advance_to(Timestamp(60_000)).unwrap();
-        assert_eq!(f.rt.local_heartbeat("CR1").unwrap(), before, "heartbeat frozen");
+        assert_eq!(
+            f.rt.local_heartbeat("CR1").unwrap(),
+            before,
+            "heartbeat frozen"
+        );
         assert!(f.rt.with_agent("cr1", |a| a.set_stalled(false)));
         f.rt.advance_to(Timestamp(70_000)).unwrap();
         assert!(f.rt.local_heartbeat("CR1").unwrap() > before, "recovered");
         assert!(!f.rt.with_agent("nope", |_| {}));
+    }
+
+    #[test]
+    fn metrics_track_lag_and_applied_txns() {
+        let f = fixture();
+        let registry = Arc::new(MetricsRegistry::new());
+        f.rt.set_metrics(Arc::clone(&registry));
+        f.rt.advance_to(Timestamp(5_000)).unwrap();
+        set_v(&f.master, 1, 42); // applied by the t=10s propagation
+        f.rt.advance_to(Timestamp(60_000)).unwrap();
+        let snap = registry.snapshot();
+        assert!(snap.counter("rcc_replication_txns_applied_total{region=\"CR1\"}") >= 1);
+        // last propagation at t=60s delivered the 58s beat → lag 2s
+        assert_eq!(
+            snap.gauge("rcc_replication_lag_seconds{region=\"CR1\"}"),
+            Some(2.0)
+        );
     }
 
     #[test]
@@ -289,7 +380,9 @@ mod multi_region_tests {
         ]);
         let meta = TableMeta::new(TableId(1), "t", schema.clone(), vec!["id".into()]).unwrap();
         master.create_table(&meta).unwrap();
-        master.bulk_load("t", vec![Row::new(vec![Value::Int(1), Value::Int(0)])]).unwrap();
+        master
+            .bulk_load("t", vec![Row::new(vec![Value::Int(1), Value::Int(0)])])
+            .unwrap();
         let cache = Arc::new(StorageEngine::new());
         let rt = ReplicationRuntime::new(clock.clone(), master.clone());
         for (i, (name, f, d)) in [("A", 7i64, 1i64), ("B", 11, 3)].iter().enumerate() {

@@ -36,7 +36,10 @@ pub struct Copy {
 impl Copy {
     /// Convenience constructor.
     pub fn new(object: impl Into<String>, synced: TxnId) -> Copy {
-        Copy { object: object.into(), synced }
+        Copy {
+            object: object.into(),
+            synced,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ impl History {
     pub fn record(&mut self, event: TxnEvent) {
         if let Some(last) = self.txns.last() {
             assert!(event.id > last.id, "txn ids must increase");
-            assert!(event.time >= last.time, "commit times must not go backwards");
+            assert!(
+                event.time >= last.time,
+                "commit times must not go backwards"
+            );
         }
         for obj in &event.objects {
             self.by_object
@@ -143,9 +149,7 @@ impl History {
     /// internally).
     pub fn distance(&self, a: &Copy, b: &Copy) -> Duration {
         let (older, newer) = if a.synced <= b.synced { (a, b) } else { (b, a) };
-        let m_time = self
-            .time_of(newer.synced)
-            .unwrap_or(Timestamp::ZERO);
+        let m_time = self.time_of(newer.synced).unwrap_or(Timestamp::ZERO);
         // currency of `older` evaluated at snapshot Hm (time of newer's sync)
         match self.stale_point(older) {
             Some((id, stale_time)) if id <= newer.synced => m_time.since(stale_time),
@@ -176,9 +180,21 @@ mod tests {
     /// t1@10s touches x; t2@20s touches y; t3@30s touches x.
     fn h() -> History {
         let mut h = History::new();
-        h.record(TxnEvent { id: TxnId(1), time: Timestamp(10_000), objects: vec!["x".into()] });
-        h.record(TxnEvent { id: TxnId(2), time: Timestamp(20_000), objects: vec!["y".into()] });
-        h.record(TxnEvent { id: TxnId(3), time: Timestamp(30_000), objects: vec!["x".into()] });
+        h.record(TxnEvent {
+            id: TxnId(1),
+            time: Timestamp(10_000),
+            objects: vec!["x".into()],
+        });
+        h.record(TxnEvent {
+            id: TxnId(2),
+            time: Timestamp(20_000),
+            objects: vec!["y".into()],
+        });
+        h.record(TxnEvent {
+            id: TxnId(3),
+            time: Timestamp(30_000),
+            objects: vec!["x".into()],
+        });
         h
     }
 
@@ -198,7 +214,10 @@ mod tests {
         let current = Copy::new("x", TxnId(3));
         assert_eq!(h.stale_point(&current), None);
         let never_synced = Copy::new("x", TxnId::ZERO);
-        assert_eq!(h.stale_point(&never_synced), Some((TxnId(1), Timestamp(10_000))));
+        assert_eq!(
+            h.stale_point(&never_synced),
+            Some((TxnId(1), Timestamp(10_000)))
+        );
     }
 
     #[test]
@@ -244,8 +263,11 @@ mod tests {
     #[test]
     fn delta_consistency_uses_max_pairwise_distance() {
         let h = h();
-        let copies =
-            vec![Copy::new("x", TxnId(0)), Copy::new("y", TxnId(2)), Copy::new("x", TxnId(3))];
+        let copies = vec![
+            Copy::new("x", TxnId(0)),
+            Copy::new("y", TxnId(2)),
+            Copy::new("x", TxnId(3)),
+        ];
         // pairwise distances include 10s (x@0 vs y@2) and 20s (x@0 vs x@3)
         assert!(h.delta_consistent(&copies, Duration::from_secs(20)));
         assert!(!h.delta_consistent(&copies, Duration::from_secs(15)));
@@ -258,7 +280,11 @@ mod tests {
     #[should_panic(expected = "txn ids must increase")]
     fn non_monotonic_ids_rejected() {
         let mut h = h();
-        h.record(TxnEvent { id: TxnId(2), time: Timestamp(40_000), objects: vec![] });
+        h.record(TxnEvent {
+            id: TxnId(2),
+            time: Timestamp(40_000),
+            objects: vec![],
+        });
     }
 
     #[test]
@@ -266,7 +292,10 @@ mod tests {
         let h = History::new();
         assert!(h.is_empty());
         assert_eq!(h.len(), 0);
-        assert_eq!(h.currency(&Copy::new("x", TxnId::ZERO), Timestamp(5)), Duration::ZERO);
+        assert_eq!(
+            h.currency(&Copy::new("x", TxnId::ZERO), Timestamp(5)),
+            Duration::ZERO
+        );
         assert!(h.snapshot_consistent(&[Copy::new("x", TxnId::ZERO)]));
     }
 }

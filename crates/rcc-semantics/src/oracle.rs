@@ -16,17 +16,28 @@ pub struct GroupObservation {
 impl GroupObservation {
     /// Convenience constructor.
     pub fn new(label: impl Into<String>, copies: Vec<Copy>) -> GroupObservation {
-        GroupObservation { label: label.into(), copies }
+        GroupObservation {
+            label: label.into(),
+            copies,
+        }
     }
 
     /// The newest snapshot this group observed.
     pub fn max_synced(&self) -> TxnId {
-        self.copies.iter().map(|c| c.synced).max().unwrap_or(TxnId::ZERO)
+        self.copies
+            .iter()
+            .map(|c| c.synced)
+            .max()
+            .unwrap_or(TxnId::ZERO)
     }
 
     /// The oldest snapshot this group observed.
     pub fn min_synced(&self) -> TxnId {
-        self.copies.iter().map(|c| c.synced).min().unwrap_or(TxnId::ZERO)
+        self.copies
+            .iter()
+            .map(|c| c.synced)
+            .min()
+            .unwrap_or(TxnId::ZERO)
     }
 }
 

@@ -271,12 +271,19 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for a column reference.
     pub fn col(qualifier: Option<&str>, name: &str) -> Expr {
-        Expr::Column { qualifier: qualifier.map(str::to_string), name: name.to_string() }
+        Expr::Column {
+            qualifier: qualifier.map(str::to_string),
+            name: name.to_string(),
+        }
     }
 
     /// Convenience constructor for a binary expression.
     pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
-        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// AND two optional predicates together.
@@ -309,7 +316,9 @@ impl Expr {
                     e.visit(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.visit(f);
                 low.visit(f);
                 high.visit(f);
@@ -393,7 +402,12 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 
@@ -450,11 +464,20 @@ mod tests {
 
     #[test]
     fn binding_names() {
-        let t = TableRef::Named { name: "books".into(), alias: Some("b".into()) };
+        let t = TableRef::Named {
+            name: "books".into(),
+            alias: Some("b".into()),
+        };
         assert_eq!(t.binding_name(), Some("b"));
-        let t = TableRef::Named { name: "books".into(), alias: None };
+        let t = TableRef::Named {
+            name: "books".into(),
+            alias: None,
+        };
         assert_eq!(t.binding_name(), Some("books"));
-        let q = TableRef::Subquery { query: Box::new(SelectStmt::empty()), alias: "t".into() };
+        let q = TableRef::Subquery {
+            query: Box::new(SelectStmt::empty()),
+            alias: "t".into(),
+        };
         assert_eq!(q.binding_name(), Some("t"));
     }
 
@@ -464,7 +487,13 @@ mod tests {
         assert_eq!(Expr::and_opt(None, None), None);
         assert_eq!(Expr::and_opt(Some(a.clone()), None), Some(a.clone()));
         let combined = Expr::and_opt(Some(a.clone()), Some(a.clone())).unwrap();
-        assert!(matches!(combined, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            combined,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -71,13 +71,76 @@ impl fmt::Display for TokenKind {
 /// clause vocabulary from the paper (`CURRENCY`, `BOUND`, `ON`, `BY`, time
 /// units) and the session brackets (`TIMEORDERED`).
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "AS", "AND", "OR", "NOT",
-    "IN", "EXISTS", "BETWEEN", "IS", "NULL", "TRUE", "FALSE", "JOIN", "INNER", "LEFT", "OUTER",
-    "ON", "DISTINCT", "LIMIT", "ASC", "DESC", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
-    "DELETE", "CREATE", "TABLE", "INDEX", "VIEW", "CACHED", "PRIMARY", "KEY", "INT", "FLOAT",
-    "VARCHAR", "BOOL", "TIMESTAMP", "CURRENCY", "BOUND", "MS", "SEC", "SECOND", "SECONDS",
-    "MIN", "MINUTE", "MINUTES", "HOUR", "HOURS", "BEGIN", "END", "TIMEORDERED", "REGION",
-    "COUNT", "SUM", "AVG", "MAX", "GETDATE", "CLUSTERED", "DROP", "REFRESH", "INTERVAL", "DELAY",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "HAVING",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "EXISTS",
+    "BETWEEN",
+    "IS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "OUTER",
+    "ON",
+    "DISTINCT",
+    "LIMIT",
+    "ASC",
+    "DESC",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "INDEX",
+    "VIEW",
+    "CACHED",
+    "PRIMARY",
+    "KEY",
+    "INT",
+    "FLOAT",
+    "VARCHAR",
+    "BOOL",
+    "TIMESTAMP",
+    "CURRENCY",
+    "BOUND",
+    "MS",
+    "SEC",
+    "SECOND",
+    "SECONDS",
+    "MIN",
+    "MINUTE",
+    "MINUTES",
+    "HOUR",
+    "HOURS",
+    "BEGIN",
+    "END",
+    "TIMEORDERED",
+    "REGION",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MAX",
+    "GETDATE",
+    "CLUSTERED",
+    "DROP",
+    "REFRESH",
+    "INTERVAL",
+    "DELAY",
 ];
 
 /// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
@@ -96,35 +159,59 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    pos: i,
+                });
                 i += 1;
             }
             '.' if !(i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
-                tokens.push(Token { kind: TokenKind::Dot, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    pos: i,
+                });
                 i += 1;
             }
             '+' | '*' | '/' => {
-                tokens.push(Token { kind: TokenKind::Arith(c), pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Arith(c),
+                    pos: i,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Arith('-'), pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Arith('-'),
+                    pos: i,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Op("=".into()), pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Op("=".into()),
+                    pos: i,
+                });
                 i += 1;
             }
             '<' => {
@@ -135,7 +222,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     ("<", 1)
                 };
-                tokens.push(Token { kind: TokenKind::Op(op.into()), pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Op(op.into()),
+                    pos: i,
+                });
                 i += adv;
             }
             '>' => {
@@ -144,11 +234,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     (">", 1)
                 };
-                tokens.push(Token { kind: TokenKind::Op(op.into()), pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Op(op.into()),
+                    pos: i,
+                });
                 i += adv;
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                tokens.push(Token { kind: TokenKind::Op("<>".into()), pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Op("<>".into()),
+                    pos: i,
+                });
                 i += 2;
             }
             '\'' => {
@@ -175,7 +271,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         i += 1;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos: start,
+                });
             }
             '$' => {
                 let start = i;
@@ -187,7 +286,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 if begin == i {
-                    return Err(Error::Lex { pos: start, message: "empty parameter name".into() });
+                    return Err(Error::Lex {
+                        pos: start,
+                        message: "empty parameter name".into(),
+                    });
                 }
                 tokens.push(Token {
                     kind: TokenKind::Param(input[begin..i].to_ascii_lowercase()),
@@ -236,11 +338,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token { kind, pos: start });
             }
             other => {
-                return Err(Error::Lex { pos: i, message: format!("unexpected character '{other}'") })
+                return Err(Error::Lex {
+                    pos: i,
+                    message: format!("unexpected character '{other}'"),
+                })
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, pos: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: input.len(),
+    });
     Ok(tokens)
 }
 

@@ -34,7 +34,10 @@ struct Parser {
 
 impl Parser {
     fn new(sql: &str) -> Result<Parser> {
-        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &TokenKind {
@@ -58,7 +61,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> Error {
-        Error::Parse { pos: self.here(), message: msg.into() }
+        Error::Parse {
+            pos: self.here(),
+            message: msg.into(),
+        }
     }
 
     fn at_eof(&self) -> bool {
@@ -122,7 +128,10 @@ impl Parser {
                 Ok(name)
             }
             TokenKind::Keyword(k)
-                if matches!(k.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "REGION" | "KEY") =>
+                if matches!(
+                    k.as_str(),
+                    "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "REGION" | "KEY"
+                ) =>
             {
                 self.bump();
                 Ok(k.to_ascii_lowercase())
@@ -199,7 +208,11 @@ impl Parser {
             }
             self.bump();
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn update(&mut self) -> Result<Statement> {
@@ -216,15 +229,27 @@ impl Parser {
             }
             self.bump();
         }
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, assignments, filter })
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            filter,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement> {
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, filter })
     }
 
@@ -262,7 +287,11 @@ impl Parser {
             if primary_key.is_empty() {
                 return Err(self.err("CREATE TABLE requires a PRIMARY KEY clause"));
             }
-            Ok(Statement::CreateTable { name, columns, primary_key })
+            Ok(Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            })
         } else if self.eat_kw("INDEX") || (self.eat_kw("CLUSTERED") && self.eat_kw("INDEX")) {
             let name = self.ident()?;
             self.expect_kw("ON")?;
@@ -277,14 +306,22 @@ impl Parser {
                 self.bump();
             }
             self.expect(&TokenKind::RParen)?;
-            Ok(Statement::CreateIndex { name, table, columns })
+            Ok(Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            })
         } else if self.eat_kw("REGION") {
             let name = self.ident()?;
             self.expect_kw("INTERVAL")?;
             let interval = self.duration()?;
             self.expect_kw("DELAY")?;
             let delay = self.duration()?;
-            Ok(Statement::CreateRegion { name, interval, delay })
+            Ok(Statement::CreateRegion {
+                name,
+                interval,
+                delay,
+            })
         } else if self.eat_kw("CACHED") {
             self.expect_kw("VIEW")?;
             let name = self.ident()?;
@@ -292,7 +329,11 @@ impl Parser {
             let region = self.ident()?;
             self.expect_kw("AS")?;
             let query = self.select_stmt()?;
-            Ok(Statement::CreateCachedView { name, region, query: Box::new(query) })
+            Ok(Statement::CreateCachedView {
+                name,
+                region,
+                query: Box::new(query),
+            })
         } else {
             Err(self.err("expected TABLE, INDEX, REGION or CACHED VIEW after CREATE"))
         }
@@ -346,7 +387,11 @@ impl Parser {
                 self.bump();
             }
         }
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.at_kw("GROUP") {
             self.bump();
@@ -359,7 +404,11 @@ impl Parser {
                 self.bump();
             }
         }
-        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.at_kw("ORDER") {
             self.bump();
@@ -387,8 +436,22 @@ impl Parser {
         } else {
             None
         };
-        let currency = if self.at_kw("CURRENCY") { Some(self.currency_clause()?) } else { None };
-        Ok(SelectStmt { distinct, projections, from, filter, group_by, having, order_by, limit, currency })
+        let currency = if self.at_kw("CURRENCY") {
+            Some(self.currency_clause()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            projections,
+            from,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+            currency,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -398,7 +461,10 @@ impl Parser {
         }
         // t.*
         if let (TokenKind::Ident(q), TokenKind::Dot) = (self.peek().clone(), self.peek2().clone()) {
-            if matches!(self.tokens.get(self.pos + 2).map(|t| &t.kind), Some(TokenKind::Arith('*'))) {
+            if matches!(
+                self.tokens.get(self.pos + 2).map(|t| &t.kind),
+                Some(TokenKind::Arith('*'))
+            ) {
                 self.bump();
                 self.bump();
                 self.bump();
@@ -418,7 +484,8 @@ impl Parser {
         let mut left = self.table_primary()?;
         loop {
             let is_join = self.at_kw("JOIN")
-                || (self.at_kw("INNER") && matches!(self.peek2(), TokenKind::Keyword(k) if k == "JOIN"));
+                || (self.at_kw("INNER")
+                    && matches!(self.peek2(), TokenKind::Keyword(k) if k == "JOIN"));
             if !is_join {
                 break;
             }
@@ -427,7 +494,11 @@ impl Parser {
             let right = self.table_primary()?;
             self.expect_kw("ON")?;
             let on = self.expr()?;
-            left = TableRef::Join { left: Box::new(left), right: Box::new(right), on };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                on,
+            };
         }
         Ok(left)
     }
@@ -439,7 +510,10 @@ impl Parser {
             self.expect(&TokenKind::RParen)?;
             self.eat_kw("AS");
             let alias = self.ident()?;
-            return Ok(TableRef::Subquery { query: Box::new(query), alias });
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
         }
         let name = self.ident()?;
         let alias = if self.eat_kw("AS") || matches!(self.peek(), TokenKind::Ident(_)) {
@@ -573,7 +647,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw("NOT") {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.comparison()
     }
@@ -585,7 +662,10 @@ impl Parser {
             self.bump();
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] BETWEEN / IN
         let negated = if self.at_kw("NOT")
@@ -627,7 +707,11 @@ impl Parser {
                 self.bump();
             }
             self.expect(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if negated {
             return Err(self.err("expected BETWEEN or IN after NOT"));
@@ -687,7 +771,10 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
                 Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
-                e => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) },
+                e => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(e),
+                },
             });
         }
         self.primary()
@@ -739,7 +826,10 @@ impl Parser {
                     self.expect(&TokenKind::LParen)?;
                     let sub = self.select_stmt()?;
                     self.expect(&TokenKind::RParen)?;
-                    Ok(Expr::Exists { subquery: Box::new(sub), negated: false })
+                    Ok(Expr::Exists {
+                        subquery: Box::new(sub),
+                        negated: false,
+                    })
                 }
                 "NOT" => {
                     self.bump();
@@ -747,7 +837,10 @@ impl Parser {
                     self.expect(&TokenKind::LParen)?;
                     let sub = self.select_stmt()?;
                     self.expect(&TokenKind::RParen)?;
-                    Ok(Expr::Exists { subquery: Box::new(sub), negated: true })
+                    Ok(Expr::Exists {
+                        subquery: Box::new(sub),
+                        negated: true,
+                    })
                 }
                 "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "GETDATE" => {
                     if !matches!(self.peek2(), TokenKind::LParen) {
@@ -761,11 +854,21 @@ impl Parser {
                     if matches!(self.peek(), TokenKind::Arith('*')) {
                         self.bump();
                         self.expect(&TokenKind::RParen)?;
-                        return Ok(Expr::Function { name, args: vec![], distinct: false, star: true });
+                        return Ok(Expr::Function {
+                            name,
+                            args: vec![],
+                            distinct: false,
+                            star: true,
+                        });
                     }
                     if matches!(self.peek(), TokenKind::RParen) {
                         self.bump();
-                        return Ok(Expr::Function { name, args: vec![], distinct: false, star: false });
+                        return Ok(Expr::Function {
+                            name,
+                            args: vec![],
+                            distinct: false,
+                            star: false,
+                        });
                     }
                     let distinct = self.eat_kw("DISTINCT");
                     let mut args = Vec::new();
@@ -777,7 +880,12 @@ impl Parser {
                         self.bump();
                     }
                     self.expect(&TokenKind::RParen)?;
-                    Ok(Expr::Function { name, args, distinct, star: false })
+                    Ok(Expr::Function {
+                        name,
+                        args,
+                        distinct,
+                        star: false,
+                    })
                 }
                 other => Err(self.err(format!("unexpected keyword '{other}' in expression"))),
             },
@@ -793,9 +901,15 @@ impl Parser {
         if matches!(self.peek(), TokenKind::Dot) {
             self.bump();
             let name = self.ident()?;
-            Ok(Expr::Column { qualifier: Some(first), name })
+            Ok(Expr::Column {
+                qualifier: Some(first),
+                name,
+            })
         } else {
-            Ok(Expr::Column { qualifier: None, name: first })
+            Ok(Expr::Column {
+                qualifier: None,
+                name: first,
+            })
         }
     }
 }
@@ -822,10 +936,8 @@ mod tests {
 
     #[test]
     fn currency_clause_single_class() {
-        let s = sel(
-            "SELECT * FROM books b, reviews r WHERE b.isbn = r.isbn \
-             CURRENCY BOUND 10 MIN ON (b, r)",
-        );
+        let s = sel("SELECT * FROM books b, reviews r WHERE b.isbn = r.isbn \
+             CURRENCY BOUND 10 MIN ON (b, r)");
         let c = s.currency.unwrap();
         assert_eq!(c.specs.len(), 1);
         assert_eq!(c.specs[0].bound, Duration::from_mins(10));
@@ -835,10 +947,8 @@ mod tests {
 
     #[test]
     fn currency_clause_multiple_specs() {
-        let s = sel(
-            "SELECT * FROM books b, reviews r WHERE b.isbn = r.isbn \
-             CURRENCY BOUND 10 MIN ON (b), 30 MIN ON (r)",
-        );
+        let s = sel("SELECT * FROM books b, reviews r WHERE b.isbn = r.isbn \
+             CURRENCY BOUND 10 MIN ON (b), 30 MIN ON (r)");
         let c = s.currency.unwrap();
         assert_eq!(c.specs.len(), 2);
         assert_eq!(c.specs[1].bound, Duration::from_mins(30));
@@ -847,12 +957,13 @@ mod tests {
 
     #[test]
     fn currency_clause_with_by_grouping() {
-        let s = sel(
-            "SELECT * FROM books b, reviews r WHERE b.isbn = r.isbn \
-             CURRENCY BOUND 10 MIN ON (b, r) BY b.isbn",
-        );
+        let s = sel("SELECT * FROM books b, reviews r WHERE b.isbn = r.isbn \
+             CURRENCY BOUND 10 MIN ON (b, r) BY b.isbn");
         let c = s.currency.unwrap();
-        assert_eq!(c.specs[0].by, vec![(Some("b".to_string()), "isbn".to_string())]);
+        assert_eq!(
+            c.specs[0].by,
+            vec![(Some("b".to_string()), "isbn".to_string())]
+        );
     }
 
     #[test]
@@ -872,18 +983,19 @@ mod tests {
     #[test]
     fn fractional_duration() {
         let s = sel("SELECT * FROM t CURRENCY BOUND 1.5 SEC ON (t)");
-        assert_eq!(s.currency.unwrap().specs[0].bound, Duration::from_millis(1500));
+        assert_eq!(
+            s.currency.unwrap().specs[0].bound,
+            Duration::from_millis(1500)
+        );
     }
 
     #[test]
     fn subquery_in_from_with_own_currency() {
         // paper Q2 (Sec 2.2)
-        let s = sel(
-            "SELECT t.isbn, t.title, s.discount FROM \
+        let s = sel("SELECT t.isbn, t.title, s.discount FROM \
              (SELECT b.isbn, b.title FROM books b, reviews r WHERE b.isbn = r.isbn \
               CURRENCY BOUND 10 MIN ON (b, r)) t, sales s \
-             WHERE t.isbn = s.isbn CURRENCY BOUND 5 MIN ON (s, t)",
-        );
+             WHERE t.isbn = s.isbn CURRENCY BOUND 5 MIN ON (s, t)");
         assert!(s.currency.is_some());
         match &s.from[0] {
             TableRef::Subquery { query, alias } => {
@@ -925,10 +1037,8 @@ mod tests {
 
     #[test]
     fn group_having_order_limit() {
-        let s = sel(
-            "SELECT o_custkey, COUNT(*), SUM(o_totalprice) FROM orders \
-             GROUP BY o_custkey HAVING COUNT(*) > 5 ORDER BY o_custkey DESC LIMIT 10",
-        );
+        let s = sel("SELECT o_custkey, COUNT(*), SUM(o_totalprice) FROM orders \
+             GROUP BY o_custkey HAVING COUNT(*) > 5 ORDER BY o_custkey DESC LIMIT 10");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
         assert_eq!(s.order_by.len(), 1);
@@ -938,7 +1048,8 @@ mod tests {
 
     #[test]
     fn between_and_in() {
-        let s = sel("SELECT * FROM c WHERE c_acctbal BETWEEN $a AND $b AND c_nationkey IN (1, 2, 3)");
+        let s =
+            sel("SELECT * FROM c WHERE c_acctbal BETWEEN $a AND $b AND c_nationkey IN (1, 2, 3)");
         let f = s.filter.unwrap();
         let mut saw_between = false;
         let mut saw_in = false;
@@ -981,15 +1092,39 @@ mod tests {
     fn operator_precedence() {
         let s = sel("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
         match s.filter.unwrap() {
-            Expr::Binary { op: BinaryOp::Or, right, .. } => {
-                assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("wrong precedence: {other:?}"),
         }
         let s = sel("SELECT 1 + 2 * 3 x");
         match &s.projections[0] {
-            SelectItem::Expr { expr: Expr::Binary { op: BinaryOp::Add, right, .. }, .. } => {
-                assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            SelectItem::Expr {
+                expr:
+                    Expr::Binary {
+                        op: BinaryOp::Add,
+                        right,
+                        ..
+                    },
+                ..
+            } => {
+                assert!(matches!(
+                    **right,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("wrong precedence: {other:?}"),
         }
@@ -999,7 +1134,10 @@ mod tests {
     fn negative_literals_folded() {
         let s = sel("SELECT -5, -2.5 FROM t");
         match &s.projections[0] {
-            SelectItem::Expr { expr: Expr::Literal(Value::Int(-5)), .. } => {}
+            SelectItem::Expr {
+                expr: Expr::Literal(Value::Int(-5)),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -1019,7 +1157,11 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::CreateTable { name, columns, primary_key } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
                 assert_eq!(name, "customer");
                 assert_eq!(columns.len(), 3);
                 assert_eq!(columns[1].1, DataType::Str);
@@ -1027,7 +1169,10 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(parse_statement("CREATE TABLE t (a INT)").is_err(), "PK required");
+        assert!(
+            parse_statement("CREATE TABLE t (a INT)").is_err(),
+            "PK required"
+        );
     }
 
     #[test]
@@ -1040,7 +1185,11 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::CreateCachedView { name, region, query } => {
+            Statement::CreateCachedView {
+                name,
+                region,
+                query,
+            } => {
                 assert_eq!(name, "cust_prj");
                 assert_eq!(region, "cr1");
                 assert_eq!(query.projections.len(), 2);
@@ -1051,8 +1200,7 @@ mod tests {
 
     #[test]
     fn dml() {
-        let stmt =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match stmt {
             Statement::Insert { rows, columns, .. } => {
                 assert_eq!(rows.len(), 2);
@@ -1070,14 +1218,21 @@ mod tests {
     fn ddl_create_region() {
         let stmt = parse_statement("CREATE REGION shop INTERVAL 10 SEC DELAY 2 SEC").unwrap();
         match stmt {
-            Statement::CreateRegion { name, interval, delay } => {
+            Statement::CreateRegion {
+                name,
+                interval,
+                delay,
+            } => {
                 assert_eq!(name, "shop");
                 assert_eq!(interval, Duration::from_secs(10));
                 assert_eq!(delay, Duration::from_secs(2));
             }
             other => panic!("{other:?}"),
         }
-        assert!(parse_statement("CREATE REGION r INTERVAL 10 SEC").is_err(), "DELAY required");
+        assert!(
+            parse_statement("CREATE REGION r INTERVAL 10 SEC").is_err(),
+            "DELAY required"
+        );
         // round-trips through the unparser
         let sql = crate::unparse::statement_sql(
             &parse_statement("CREATE REGION r INTERVAL 1 MIN DELAY 5 SEC").unwrap(),
@@ -1094,8 +1249,14 @@ mod tests {
 
     #[test]
     fn timeordered_brackets() {
-        assert_eq!(parse_statement("BEGIN TIMEORDERED").unwrap(), Statement::BeginTimeordered);
-        assert_eq!(parse_statement("END TIMEORDERED;").unwrap(), Statement::EndTimeordered);
+        assert_eq!(
+            parse_statement("BEGIN TIMEORDERED").unwrap(),
+            Statement::BeginTimeordered
+        );
+        assert_eq!(
+            parse_statement("END TIMEORDERED;").unwrap(),
+            Statement::EndTimeordered
+        );
     }
 
     #[test]
@@ -1109,7 +1270,10 @@ mod tests {
         let err = parse_statement("SELECT FROM").unwrap_err();
         assert!(matches!(err, Error::Parse { .. }));
         assert!(parse_statement("SELECT * FROM t WHERE").is_err());
-        assert!(parse_statement("SELECT * FROM t CURRENCY 5 MIN ON (t)").is_err(), "BOUND required");
+        assert!(
+            parse_statement("SELECT * FROM t CURRENCY 5 MIN ON (t)").is_err(),
+            "BOUND required"
+        );
         assert!(parse_statement("SELECT * FROM t CURRENCY BOUND 5 FORTNIGHTS ON (t)").is_err());
     }
 
@@ -1132,7 +1296,10 @@ mod tests {
         let s = sel("SELECT * FROM hb WHERE ts > GETDATE() - 5000");
         let mut ok = false;
         s.filter.unwrap().visit(&mut |e| {
-            if let Expr::Function { name, star, args, .. } = e {
+            if let Expr::Function {
+                name, star, args, ..
+            } = e
+            {
                 if name == "getdate" && !star && args.is_empty() {
                     ok = true;
                 }

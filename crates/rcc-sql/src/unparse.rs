@@ -14,7 +14,11 @@ use std::fmt::Write;
 pub fn statement_sql(stmt: &Statement) -> String {
     match stmt {
         Statement::Select(s) => select_sql(s),
-        Statement::Insert { table, columns, rows } => {
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
             let mut out = format!("INSERT INTO {table}");
             if !columns.is_empty() {
                 let _ = write!(out, " ({})", columns.join(", "));
@@ -29,9 +33,15 @@ pub fn statement_sql(stmt: &Statement) -> String {
             }
             out
         }
-        Statement::Update { table, assignments, filter } => {
-            let sets: Vec<String> =
-                assignments.iter().map(|(c, e)| format!("{c} = {}", expr_sql(e))).collect();
+        Statement::Update {
+            table,
+            assignments,
+            filter,
+        } => {
+            let sets: Vec<String> = assignments
+                .iter()
+                .map(|(c, e)| format!("{c} = {}", expr_sql(e)))
+                .collect();
             let mut out = format!("UPDATE {table} SET {}", sets.join(", "));
             if let Some(f) = filter {
                 let _ = write!(out, " WHERE {}", expr_sql(f));
@@ -45,22 +55,40 @@ pub fn statement_sql(stmt: &Statement) -> String {
             }
             out
         }
-        Statement::CreateTable { name, columns, primary_key } => {
-            let cols: Vec<String> =
-                columns.iter().map(|(c, t)| format!("{c} {t}")).collect();
+        Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } => {
+            let cols: Vec<String> = columns.iter().map(|(c, t)| format!("{c} {t}")).collect();
             format!(
                 "CREATE TABLE {name} ({}, PRIMARY KEY ({}))",
                 cols.join(", "),
                 primary_key.join(", ")
             )
         }
-        Statement::CreateIndex { name, table, columns } => {
+        Statement::CreateIndex {
+            name,
+            table,
+            columns,
+        } => {
             format!("CREATE INDEX {name} ON {table} ({})", columns.join(", "))
         }
-        Statement::CreateCachedView { name, region, query } => {
-            format!("CREATE CACHED VIEW {name} REGION {region} AS {}", select_sql(query))
+        Statement::CreateCachedView {
+            name,
+            region,
+            query,
+        } => {
+            format!(
+                "CREATE CACHED VIEW {name} REGION {region} AS {}",
+                select_sql(query)
+            )
         }
-        Statement::CreateRegion { name, interval, delay } => {
+        Statement::CreateRegion {
+            name,
+            interval,
+            delay,
+        } => {
             format!(
                 "CREATE REGION {name} INTERVAL {} MS DELAY {} MS",
                 interval.millis(),
@@ -197,7 +225,12 @@ pub fn expr_sql(e: &Expr) -> String {
             UnaryOp::Not => format!("(NOT {})", expr_sql(expr)),
             UnaryOp::Neg => format!("(-{})", expr_sql(expr)),
         },
-        Expr::Function { name, args, distinct, star } => {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => {
             if *star {
                 format!("{}(*)", name.to_ascii_uppercase())
             } else {
@@ -211,15 +244,27 @@ pub fn expr_sql(e: &Expr) -> String {
             }
         }
         Expr::Exists { subquery, negated } => {
-            format!("{}EXISTS ({})", if *negated { "NOT " } else { "" }, select_sql(subquery))
+            format!(
+                "{}EXISTS ({})",
+                if *negated { "NOT " } else { "" },
+                select_sql(subquery)
+            )
         }
-        Expr::InSubquery { expr, subquery, negated } => format!(
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => format!(
             "{} {}IN ({})",
             expr_sql(expr),
             if *negated { "NOT " } else { "" },
             select_sql(subquery)
         ),
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let items: Vec<String> = list.iter().map(expr_sql).collect();
             format!(
                 "{} {}IN ({})",
@@ -228,7 +273,12 @@ pub fn expr_sql(e: &Expr) -> String {
                 items.join(", ")
             )
         }
-        Expr::Between { expr, low, high, negated } => format!(
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => format!(
             "{} {}BETWEEN {} AND {}",
             expr_sql(expr),
             if *negated { "NOT " } else { "" },
@@ -236,7 +286,11 @@ pub fn expr_sql(e: &Expr) -> String {
             expr_sql(high)
         ),
         Expr::IsNull { expr, negated } => {
-            format!("{} IS {}NULL", expr_sql(expr), if *negated { "NOT " } else { "" })
+            format!(
+                "{} IS {}NULL",
+                expr_sql(expr),
+                if *negated { "NOT " } else { "" }
+            )
         }
     }
 }

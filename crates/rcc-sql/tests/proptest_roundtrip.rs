@@ -9,14 +9,74 @@ use rcc_sql::{parse_statement, Statement};
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
         ![
-            "select", "from", "where", "group", "order", "by", "having", "as", "and", "or",
-            "not", "in", "exists", "between", "is", "null", "true", "false", "join", "inner",
-            "left", "outer", "on", "distinct", "limit", "asc", "desc", "insert", "into",
-            "values", "update", "set", "delete", "create", "table", "index", "view", "cached",
-            "primary", "key", "int", "float", "varchar", "bool", "timestamp", "currency",
-            "bound", "ms", "sec", "second", "seconds", "min", "minute", "minutes", "hour",
-            "hours", "begin", "end", "timeordered", "region", "count", "sum", "avg", "max",
-            "getdate", "clustered", "drop", "refresh",
+            "select",
+            "from",
+            "where",
+            "group",
+            "order",
+            "by",
+            "having",
+            "as",
+            "and",
+            "or",
+            "not",
+            "in",
+            "exists",
+            "between",
+            "is",
+            "null",
+            "true",
+            "false",
+            "join",
+            "inner",
+            "left",
+            "outer",
+            "on",
+            "distinct",
+            "limit",
+            "asc",
+            "desc",
+            "insert",
+            "into",
+            "values",
+            "update",
+            "set",
+            "delete",
+            "create",
+            "table",
+            "index",
+            "view",
+            "cached",
+            "primary",
+            "key",
+            "int",
+            "float",
+            "varchar",
+            "bool",
+            "timestamp",
+            "currency",
+            "bound",
+            "ms",
+            "sec",
+            "second",
+            "seconds",
+            "min",
+            "minute",
+            "minutes",
+            "hour",
+            "hours",
+            "begin",
+            "end",
+            "timeordered",
+            "region",
+            "count",
+            "sum",
+            "avg",
+            "max",
+            "getdate",
+            "clustered",
+            "drop",
+            "refresh",
         ]
         .contains(&s.as_str())
     })
@@ -33,7 +93,18 @@ fn literal() -> impl Strategy<Value = String> {
 }
 
 fn comparison() -> impl Strategy<Value = String> {
-    (ident(), prop_oneof![Just("="), Just("<"), Just("<="), Just(">"), Just(">="), Just("<>")], literal())
+    (
+        ident(),
+        prop_oneof![
+            Just("="),
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">="),
+            Just("<>")
+        ],
+        literal(),
+    )
         .prop_map(|(c, op, l)| format!("{c} {op} {l}"))
 }
 
@@ -49,7 +120,12 @@ fn predicate() -> impl Strategy<Value = String> {
 }
 
 fn currency_clause() -> impl Strategy<Value = String> {
-    let spec = (1i64..120, prop_oneof![Just("SEC"), Just("MIN"), Just("MS")], ident(), proptest::option::of(ident()));
+    let spec = (
+        1i64..120,
+        prop_oneof![Just("SEC"), Just("MIN"), Just("MS")],
+        ident(),
+        proptest::option::of(ident()),
+    );
     proptest::collection::vec(spec, 1..3).prop_map(|specs| {
         let parts: Vec<String> = specs
             .into_iter()

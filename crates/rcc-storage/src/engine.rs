@@ -89,7 +89,10 @@ mod tests {
     fn duplicate_rejected() {
         let eng = StorageEngine::new();
         eng.create_table(tiny("t")).unwrap();
-        assert!(matches!(eng.create_table(tiny("T")), Err(Error::AlreadyExists(_))));
+        assert!(matches!(
+            eng.create_table(tiny("T")),
+            Err(Error::AlreadyExists(_))
+        ));
     }
 
     #[test]
@@ -116,6 +119,9 @@ mod tests {
         let eng = StorageEngine::new();
         eng.create_table(tiny("zeta")).unwrap();
         eng.create_table(tiny("alpha")).unwrap();
-        assert_eq!(eng.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(
+            eng.table_names(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
     }
 }

@@ -24,7 +24,11 @@ impl SecondaryIndex {
     /// Panics if `columns` is empty.
     pub fn new(name: impl Into<String>, columns: Vec<usize>) -> SecondaryIndex {
         assert!(!columns.is_empty(), "an index needs at least one column");
-        SecondaryIndex { name: name.into(), columns, entries: BTreeSet::new() }
+        SecondaryIndex {
+            name: name.into(),
+            columns,
+            entries: BTreeSet::new(),
+        }
     }
 
     /// Index name.
@@ -134,7 +138,10 @@ mod tests {
     fn range_scans() {
         let ix = sample();
         assert_eq!(ix.count_in(&KeyRange::eq(Value::Int(10))), 2);
-        assert_eq!(ix.count_in(&KeyRange::between(Value::Int(10), Value::Int(20))), 3);
+        assert_eq!(
+            ix.count_in(&KeyRange::between(Value::Int(10), Value::Int(20))),
+            3
+        );
         assert_eq!(ix.count_in(&KeyRange::greater_than(Value::Int(20))), 1);
         assert_eq!(ix.count_in(&KeyRange::less_than(Value::Int(10))), 0);
     }

@@ -21,37 +21,58 @@ pub struct KeyRange {
 impl KeyRange {
     /// The full range (a scan).
     pub fn all() -> KeyRange {
-        KeyRange { low: Bound::Unbounded, high: Bound::Unbounded }
+        KeyRange {
+            low: Bound::Unbounded,
+            high: Bound::Unbounded,
+        }
     }
 
     /// An exact-match range (`key = v`).
     pub fn eq(v: Value) -> KeyRange {
-        KeyRange { low: Bound::Included(v.clone()), high: Bound::Included(v) }
+        KeyRange {
+            low: Bound::Included(v.clone()),
+            high: Bound::Included(v),
+        }
     }
 
     /// `low <= key <= high`.
     pub fn between(low: Value, high: Value) -> KeyRange {
-        KeyRange { low: Bound::Included(low), high: Bound::Included(high) }
+        KeyRange {
+            low: Bound::Included(low),
+            high: Bound::Included(high),
+        }
     }
 
     /// `key < v`.
     pub fn less_than(v: Value) -> KeyRange {
-        KeyRange { low: Bound::Unbounded, high: Bound::Excluded(v) }
+        KeyRange {
+            low: Bound::Unbounded,
+            high: Bound::Excluded(v),
+        }
     }
 
     /// `key <= v`.
     pub fn at_most(v: Value) -> KeyRange {
-        KeyRange { low: Bound::Unbounded, high: Bound::Included(v) }
+        KeyRange {
+            low: Bound::Unbounded,
+            high: Bound::Included(v),
+        }
     }
 
     /// `key > v`.
     pub fn greater_than(v: Value) -> KeyRange {
-        KeyRange { low: Bound::Excluded(v), high: Bound::Unbounded }
+        KeyRange {
+            low: Bound::Excluded(v),
+            high: Bound::Unbounded,
+        }
     }
 
     /// `key >= v`.
     pub fn at_least(v: Value) -> KeyRange {
-        KeyRange { low: Bound::Included(v), high: Bound::Unbounded }
+        KeyRange {
+            low: Bound::Included(v),
+            high: Bound::Unbounded,
+        }
     }
 
     /// Does `v` fall inside this range?
@@ -71,7 +92,10 @@ impl KeyRange {
 
     /// True when the range is the trivial full scan.
     pub fn is_full(&self) -> bool {
-        matches!((&self.low, &self.high), (Bound::Unbounded, Bound::Unbounded))
+        matches!(
+            (&self.low, &self.high),
+            (Bound::Unbounded, Bound::Unbounded)
+        )
     }
 
     /// Does this range contain every value of `other`? Used for view-match

@@ -33,7 +33,13 @@ pub struct ColumnStats {
 
 impl ColumnStats {
     fn empty() -> ColumnStats {
-        ColumnStats { min: None, max: None, distinct: 0, nulls: 0, histogram: Vec::new() }
+        ColumnStats {
+            min: None,
+            max: None,
+            distinct: 0,
+            nulls: 0,
+            histogram: Vec::new(),
+        }
     }
 
     fn numeric_bounds(&self) -> Option<(f64, f64)> {
@@ -127,8 +133,9 @@ impl TableStats {
         let mut mins: Vec<Option<Value>> = vec![None; ncols];
         let mut maxs: Vec<Option<Value>> = vec![None; ncols];
         let mut nulls = vec![0u64; ncols];
-        let mut distinct: Vec<std::collections::HashSet<Value>> =
-            (0..ncols).map(|_| std::collections::HashSet::new()).collect();
+        let mut distinct: Vec<std::collections::HashSet<Value>> = (0..ncols)
+            .map(|_| std::collections::HashSet::new())
+            .collect();
         let mut total_bytes = 0usize;
         let mut n = 0u64;
 
@@ -157,8 +164,12 @@ impl TableStats {
         // Histogram pass for numeric columns.
         let mut histograms: Vec<Vec<u64>> = vec![Vec::new(); ncols];
         for i in 0..ncols {
-            let (Some(lo), Some(hi)) = (&mins[i], &maxs[i]) else { continue };
-            let (Ok(lo), Ok(hi)) = (lo.as_float(), hi.as_float()) else { continue };
+            let (Some(lo), Some(hi)) = (&mins[i], &maxs[i]) else {
+                continue;
+            };
+            let (Ok(lo), Ok(hi)) = (lo.as_float(), hi.as_float()) else {
+                continue;
+            };
             if hi > lo {
                 histograms[i] = vec![0u64; HISTOGRAM_BUCKETS];
                 let width = (hi - lo) / HISTOGRAM_BUCKETS as f64;
@@ -195,14 +206,21 @@ impl TableStats {
 
         TableStats {
             row_count: n,
-            avg_row_bytes: if n > 0 { total_bytes as f64 / n as f64 } else { 0.0 },
+            avg_row_bytes: if n > 0 {
+                total_bytes as f64 / n as f64
+            } else {
+                0.0
+            },
             columns,
         }
     }
 
     /// Stats for a column by name (falls back to an empty placeholder).
     pub fn column(&self, name: &str) -> ColumnStats {
-        self.columns.get(name).cloned().unwrap_or_else(ColumnStats::empty)
+        self.columns
+            .get(name)
+            .cloned()
+            .unwrap_or_else(ColumnStats::empty)
     }
 
     /// Estimated rows matching a range predicate on `column`.
@@ -260,7 +278,8 @@ mod tests {
             .column("id")
             .range_selectivity(&KeyRange::less_than(Value::Int(100)), stats.row_count);
         assert!((sel - 0.1).abs() < 0.03, "sel={sel}");
-        let rows = stats.estimate_range_rows("id", &KeyRange::between(Value::Int(250), Value::Int(749)));
+        let rows =
+            stats.estimate_range_rows("id", &KeyRange::between(Value::Int(250), Value::Int(749)));
         assert!((rows - 500.0).abs() < 40.0, "rows={rows}");
     }
 
@@ -301,8 +320,10 @@ mod tests {
             Column::new("x", DataType::Int),
         ]);
         let mut t = Table::new("t", schema, vec![0]);
-        t.insert(Row::new(vec![Value::Int(1), Value::Null])).unwrap();
-        t.insert(Row::new(vec![Value::Int(2), Value::Int(5)])).unwrap();
+        t.insert(Row::new(vec![Value::Int(1), Value::Null]))
+            .unwrap();
+        t.insert(Row::new(vec![Value::Int(2), Value::Int(5)]))
+            .unwrap();
         let stats = TableStats::compute(&t);
         assert_eq!(stats.column("x").nulls, 1);
         assert_eq!(stats.column("x").distinct, 1);

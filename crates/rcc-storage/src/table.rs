@@ -46,8 +46,17 @@ impl Table {
     /// both are construction-time programming errors.
     pub fn new(name: impl Into<String>, schema: Schema, key: Vec<usize>) -> Table {
         assert!(!key.is_empty(), "a table needs a clustered key");
-        assert!(key.iter().all(|&k| k < schema.len()), "key ordinal out of range");
-        Table { name: name.into(), schema, key, rows: BTreeMap::new(), indexes: Vec::new() }
+        assert!(
+            key.iter().all(|&k| k < schema.len()),
+            "key ordinal out of range"
+        );
+        Table {
+            name: name.into(),
+            schema,
+            key,
+            rows: BTreeMap::new(),
+            indexes: Vec::new(),
+        }
     }
 
     /// Table name.
@@ -97,7 +106,9 @@ impl Table {
 
     /// Find a secondary index whose *first* column is `col`, if any.
     pub fn index_on(&self, col: usize) -> Option<&SecondaryIndex> {
-        self.indexes.iter().find(|ix| ix.columns().first() == Some(&col))
+        self.indexes
+            .iter()
+            .find(|ix| ix.columns().first() == Some(&col))
     }
 
     /// Insert a row; errors on duplicate clustered key.
@@ -297,11 +308,19 @@ mod tests {
             Column::new("price", DataType::Float),
         ]);
         let mut t = Table::new("books", schema, vec![0]);
-        for (isbn, title, price) in
-            [(3, "c", 30.0), (1, "a", 10.0), (2, "b", 20.0), (5, "e", 50.0), (4, "d", 40.0)]
-        {
-            t.insert(Row::new(vec![Value::Int(isbn), Value::from(title), Value::Float(price)]))
-                .unwrap();
+        for (isbn, title, price) in [
+            (3, "c", 30.0),
+            (1, "a", 10.0),
+            (2, "b", 20.0),
+            (5, "e", 50.0),
+            (4, "d", 40.0),
+        ] {
+            t.insert(Row::new(vec![
+                Value::Int(isbn),
+                Value::from(title),
+                Value::Float(price),
+            ]))
+            .unwrap();
         }
         t
     }
@@ -309,8 +328,7 @@ mod tests {
     #[test]
     fn insert_maintains_clustered_order() {
         let t = books();
-        let isbns: Vec<i64> =
-            t.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        let isbns: Vec<i64> = t.iter().map(|r| r.get(0).as_int().unwrap()).collect();
         assert_eq!(isbns, vec![1, 2, 3, 4, 5]);
     }
 
@@ -318,7 +336,11 @@ mod tests {
     fn duplicate_key_rejected() {
         let mut t = books();
         let err = t
-            .insert(Row::new(vec![Value::Int(1), Value::from("dup"), Value::Float(0.0)]))
+            .insert(Row::new(vec![
+                Value::Int(1),
+                Value::from("dup"),
+                Value::Float(0.0),
+            ]))
             .unwrap_err();
         assert!(matches!(err, Error::Storage(_)));
     }
@@ -351,9 +373,7 @@ mod tests {
     #[test]
     fn scan_filter_pushdown() {
         let t = books();
-        let rows = t.collect_range(&KeyRange::all(), |r| {
-            r.get(2).as_float().unwrap() > 25.0
-        });
+        let rows = t.collect_range(&KeyRange::all(), |r| r.get(2).as_float().unwrap() > 25.0);
         assert_eq!(rows.len(), 3);
     }
 
@@ -365,9 +385,15 @@ mod tests {
             Row::new(vec![Value::Int(2), Value::from("b2"), Value::Float(21.0)]),
         )
         .unwrap();
-        assert_eq!(t.get(&[Value::Int(2)]).unwrap().get(1).as_str().unwrap(), "b2");
+        assert_eq!(
+            t.get(&[Value::Int(2)]).unwrap().get(1).as_str().unwrap(),
+            "b2"
+        );
         assert!(t
-            .update(&[Value::Int(2)], Row::new(vec![Value::Int(3), Value::from("x"), Value::Float(0.0)]))
+            .update(
+                &[Value::Int(2)],
+                Row::new(vec![Value::Int(3), Value::from("x"), Value::Float(0.0)])
+            )
             .is_err());
         let old = t.delete(&[Value::Int(2)]).unwrap();
         assert_eq!(old.get(1).as_str().unwrap(), "b2");
@@ -380,7 +406,10 @@ mod tests {
         let mut t = books();
         t.create_index("ix_price", vec![2]).unwrap();
         let rows = t
-            .index_scan("ix_price", &KeyRange::between(Value::Float(15.0), Value::Float(45.0)))
+            .index_scan(
+                "ix_price",
+                &KeyRange::between(Value::Float(15.0), Value::Float(45.0)),
+            )
             .unwrap();
         let prices: Vec<f64> = rows.iter().map(|r| r.get(2).as_float().unwrap()).collect();
         assert_eq!(prices, vec![20.0, 30.0, 40.0]);
@@ -391,9 +420,16 @@ mod tests {
     fn index_tracks_mutations() {
         let mut t = books();
         t.create_index("ix_price", vec![2]).unwrap();
-        t.upsert(Row::new(vec![Value::Int(1), Value::from("a"), Value::Float(99.0)])).unwrap();
+        t.upsert(Row::new(vec![
+            Value::Int(1),
+            Value::from("a"),
+            Value::Float(99.0),
+        ]))
+        .unwrap();
         t.delete(&[Value::Int(5)]);
-        let rows = t.index_scan("ix_price", &KeyRange::at_least(Value::Float(45.0))).unwrap();
+        let rows = t
+            .index_scan("ix_price", &KeyRange::at_least(Value::Float(45.0)))
+            .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(0).as_int().unwrap(), 1);
     }
@@ -408,7 +444,10 @@ mod tests {
     #[test]
     fn apply_row_changes() {
         let mut t = books();
-        t.apply(&RowChange::Delete { key: vec![Value::Int(1)] }).unwrap();
+        t.apply(&RowChange::Delete {
+            key: vec![Value::Int(1)],
+        })
+        .unwrap();
         t.apply(&RowChange::Insert(Row::new(vec![
             Value::Int(10),
             Value::from("j"),
@@ -420,7 +459,10 @@ mod tests {
             row: Row::new(vec![Value::Int(10), Value::from("j2"), Value::Float(2.0)]),
         })
         .unwrap();
-        assert_eq!(t.get(&[Value::Int(10)]).unwrap().get(1).as_str().unwrap(), "j2");
+        assert_eq!(
+            t.get(&[Value::Int(10)]).unwrap().get(1).as_str().unwrap(),
+            "j2"
+        );
         assert!(t.get(&[Value::Int(1)]).is_none());
         // idempotent re-delivery
         t.apply(&RowChange::Insert(Row::new(vec![
@@ -438,7 +480,10 @@ mod tests {
         t.create_index("ix_price", vec![2]).unwrap();
         t.truncate();
         assert_eq!(t.row_count(), 0);
-        assert!(t.index_scan("ix_price", &KeyRange::all()).unwrap().is_empty());
+        assert!(t
+            .index_scan("ix_price", &KeyRange::all())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -450,7 +495,8 @@ mod tests {
         let mut t = Table::new("orders", schema, vec![0, 1]);
         for c in 1..=3 {
             for o in 1..=4 {
-                t.insert(Row::new(vec![Value::Int(c), Value::Int(o * 10)])).unwrap();
+                t.insert(Row::new(vec![Value::Int(c), Value::Int(o * 10)]))
+                    .unwrap();
             }
         }
         let rows = t.collect_range(&KeyRange::eq(Value::Int(2)), |_| true);

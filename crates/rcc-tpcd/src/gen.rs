@@ -2,8 +2,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rcc_common::{Column, DataType, IndexId, Result, Row, Schema, TableId, Value};
 use rcc_catalog::TableMeta;
+use rcc_common::{Column, DataType, IndexId, Result, Row, Schema, TableId, Value};
 
 /// Rows in Customer at scale factor 1.0.
 pub const CUSTOMERS_SF1: u64 = 150_000;
@@ -23,7 +23,8 @@ pub fn customer_meta(id: TableId) -> TableMeta {
     ]);
     let mut meta =
         TableMeta::new(id, "customer", schema, vec!["c_custkey".into()]).expect("static schema");
-    meta.add_index(IndexId(1), "ix_acctbal", vec!["c_acctbal".into()]).expect("static schema");
+    meta.add_index(IndexId(1), "ix_acctbal", vec!["c_acctbal".into()])
+        .expect("static schema");
     meta
 }
 
@@ -36,8 +37,13 @@ pub fn orders_meta(id: TableId) -> TableMeta {
         Column::new("o_totalprice", DataType::Float),
         Column::new("o_status", DataType::Str),
     ]);
-    TableMeta::new(id, "orders", schema, vec!["o_custkey".into(), "o_orderkey".into()])
-        .expect("static schema")
+    TableMeta::new(
+        id,
+        "orders",
+        schema,
+        vec!["o_custkey".into(), "o_orderkey".into()],
+    )
+    .expect("static schema")
 }
 
 /// Deterministic generator for TPC-D Customer/Orders data.
@@ -143,7 +149,10 @@ mod tests {
         assert_eq!(g.customers().len(), 150);
         let orders = g.orders();
         let ratio = orders.len() as f64 / 150.0;
-        assert!((8.0..=12.0).contains(&ratio), "avg orders/customer = {ratio}");
+        assert!(
+            (8.0..=12.0).contains(&ratio),
+            "avg orders/customer = {ratio}"
+        );
     }
 
     #[test]
@@ -189,7 +198,10 @@ mod tests {
         assert_eq!(c.key, vec!["c_custkey".to_string()]);
         assert!(c.index_on("c_acctbal").is_some());
         let o = orders_meta(TableId(2));
-        assert_eq!(o.key, vec!["o_custkey".to_string(), "o_orderkey".to_string()]);
+        assert_eq!(
+            o.key,
+            vec!["o_custkey".to_string(), "o_orderkey".to_string()]
+        );
         assert!(o.indexes.is_empty());
     }
 

@@ -11,7 +11,8 @@ use rcc_mtcache::MTCache;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE books (isbn INT, title VARCHAR, price FLOAT, PRIMARY KEY (isbn))")?;
+    cache
+        .execute("CREATE TABLE books (isbn INT, title VARCHAR, price FLOAT, PRIMARY KEY (isbn))")?;
     cache.execute(
         "CREATE TABLE reviews (review_id INT, isbn INT, rating INT, PRIMARY KEY (review_id))",
     )?;
@@ -41,11 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // always mutually consistent); Sales through another.
     cache.create_region("shelf", Duration::from_secs(60), Duration::from_secs(5))?;
     cache.create_region("tills", Duration::from_secs(30), Duration::from_secs(5))?;
-    cache.execute("CREATE CACHED VIEW books_v REGION shelf AS SELECT isbn, title, price FROM books")?;
+    cache.execute(
+        "CREATE CACHED VIEW books_v REGION shelf AS SELECT isbn, title, price FROM books",
+    )?;
     cache.execute(
         "CREATE CACHED VIEW reviews_v REGION shelf AS SELECT review_id, isbn, rating FROM reviews",
     )?;
-    cache.execute("CREATE CACHED VIEW sales_v REGION tills AS SELECT sale_id, isbn, year FROM sales")?;
+    cache.execute(
+        "CREATE CACHED VIEW sales_v REGION tills AS SELECT sale_id, isbn, year FROM sales",
+    )?;
     cache.advance(Duration::from_secs(120))?;
 
     let run = |label: &str, sql: &str| -> Result<(), Box<dyn std::error::Error>> {

@@ -2,7 +2,8 @@
 //! replica whose link to the master is gone. With explicit C&C constraints
 //! the system can finally **detect** when an application's currency
 //! requirements stop being met — and log the violation, serve the data
-//! with a warning, or abort the request.
+//! with a warning, or abort the request. The same signals feed the live
+//! metrics registry, rendered below as a Prometheus scrape.
 //!
 //! ```sh
 //! cargo run -p rcc-mtcache --example replica_monitor
@@ -23,16 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // replication initially configured at 30 s — applications implicitly
     // assumed "30 seconds is fine" (the paper's opening example)
     cache.create_region("ticker", Duration::from_secs(30), Duration::from_secs(2))?;
-    cache.execute("CREATE CACHED VIEW quotes_v REGION ticker AS SELECT symbol, price FROM quotes")?;
+    cache
+        .execute("CREATE CACHED VIEW quotes_v REGION ticker AS SELECT symbol, price FROM quotes")?;
     cache.advance(Duration::from_secs(90))?;
 
     // the application states its requirement EXPLICITLY: 60 s
-    const Q: &str =
-        "SELECT price FROM quotes WHERE symbol = 7 CURRENCY BOUND 60 SEC ON (quotes)";
+    const Q: &str = "SELECT price FROM quotes WHERE symbol = 7 CURRENCY BOUND 60 SEC ON (quotes)";
 
-    println!("== healthy replication (staleness {:?})", cache.region_staleness("ticker"));
+    println!(
+        "== healthy replication (staleness {:?})",
+        cache.region_staleness("ticker")
+    );
     let r = cache.execute(Q)?;
-    println!("   price = {}, served locally: {}", r.rows[0].get(0), !r.used_remote);
+    println!(
+        "   price = {}, served locally: {}",
+        r.rows[0].get(0),
+        !r.used_remote
+    );
 
     // --- now the replica loses its master link AND replication stalls:
     // exactly the silent reconfiguration the paper warns about, except the
@@ -53,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Action 2 — return the data but flag it:
     let r = cache.execute_with_policy(Q, &HashMap::new(), ViolationPolicy::ServeStale)?;
-    println!("   [ServeStale] price = {} with warnings:", r.rows[0].get(0));
+    println!(
+        "   [ServeStale] price = {} with warnings:",
+        r.rows[0].get(0)
+    );
     for w in &r.warnings {
         println!("                - {w}");
     }
@@ -66,7 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ok = staleness <= Duration::from_secs(bound);
         println!(
             "   app {app:<10} requires {bound:>4} s  ->  {}",
-            if ok { "OK" } else { "VIOLATED (would be routed / alerted)" }
+            if ok {
+                "OK"
+            } else {
+                "VIOLATED (would be routed / alerted)"
+            }
         );
     }
 
@@ -74,8 +89,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cache.set_region_stalled("ticker", false);
     cache.set_backend_available(true);
     cache.advance(Duration::from_secs(60))?;
-    println!("\n== recovered (staleness {:?})", cache.region_staleness("ticker"));
+    println!(
+        "\n== recovered (staleness {:?})",
+        cache.region_staleness("ticker")
+    );
     let r = cache.execute(Q)?;
-    println!("   price = {}, served locally: {}", r.rows[0].get(0), !r.used_remote);
+    println!(
+        "   price = {}, served locally: {}",
+        r.rows[0].get(0),
+        !r.used_remote
+    );
+
+    // the whole incident, as a monitoring system would see it: guard
+    // outcomes, staleness distribution, lag gauge, stale-serve count
+    println!("\n== metrics snapshot (Prometheus exposition)");
+    for line in cache.metrics().render_prometheus().lines() {
+        if line.starts_with("rcc_guard")
+            || line.starts_with("rcc_stale_served")
+            || line.starts_with("rcc_replication")
+            || line.starts_with("rcc_queries_total")
+        {
+            println!("   {line}");
+        }
+    }
+
+    // and the most recent query, span by span
+    if let Some(trace) = cache.tracer().recent(1).pop() {
+        println!("\n== last query trace");
+        for line in trace.render().lines() {
+            println!("   {line}");
+        }
+    }
     Ok(())
 }

@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     cache.analyze("scores")?;
     cache.execute("CREATE REGION league INTERVAL 10 SEC DELAY 2 SEC")?;
-    cache.execute("CREATE CACHED VIEW scores_v REGION league AS SELECT team, points FROM scores")?;
+    cache
+        .execute("CREATE CACHED VIEW scores_v REGION league AS SELECT team, points FROM scores")?;
     cache.advance(Duration::from_secs(30))?;
 
     let results = QueryResultCache::new();
@@ -55,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let strict = "SELECT points FROM scores WHERE team = 13";
     results.execute(&cache, strict)?;
     results.execute(&cache, strict)?;
-    println!("   (hits, misses) = {:?} — both recomputed", results.stats());
+    println!(
+        "   (hits, misses) = {:?} — both recomputed",
+        results.stats()
+    );
     Ok(())
 }

@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     session.execute("BEGIN TIMEORDERED")?;
 
     let before = session.execute(READ)?;
-    println!("   read qty = {} (local: {})", before.rows[0].get(0), !before.used_remote);
+    println!(
+        "   read qty = {} (local: {})",
+        before.rows[0].get(0),
+        !before.used_remote
+    );
 
     session.execute("UPDATE cart SET qty = 9 WHERE item = 1")?;
     println!("   UPDATE cart SET qty = 9 (committed at the back-end)");

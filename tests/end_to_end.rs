@@ -16,10 +16,16 @@ fn rig() -> MTCache {
 #[test]
 fn default_semantics_query_goes_remote() {
     let cache = rig();
-    let r = cache.execute("SELECT c_name FROM customer WHERE c_custkey = 7").unwrap();
+    let r = cache
+        .execute("SELECT c_name FROM customer WHERE c_custkey = 7")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0].get(0).as_str().unwrap(), "Customer#000000007");
-    assert_eq!(r.plan_choice, PlanChoice::FullRemote, "no currency clause → back-end");
+    assert_eq!(
+        r.plan_choice,
+        PlanChoice::FullRemote,
+        "no currency clause → back-end"
+    );
     assert!(r.used_remote);
     assert!(r.guards.is_empty());
 }
@@ -69,8 +75,14 @@ fn updates_flow_to_cache_through_replication() {
              CURRENCY BOUND 30 SEC ON (customer)",
         )
         .unwrap();
-    assert_ne!(bounded.rows[0].get(0), &Value::Float(1234.5), "stale but within bound");
-    let current = cache.execute("SELECT c_acctbal FROM customer WHERE c_custkey = 3").unwrap();
+    assert_ne!(
+        bounded.rows[0].get(0),
+        &Value::Float(1234.5),
+        "stale but within bound"
+    );
+    let current = cache
+        .execute("SELECT c_acctbal FROM customer WHERE c_custkey = 3")
+        .unwrap();
     assert_eq!(current.rows[0].get(0), &Value::Float(1234.5));
     // after a propagation cycle the view catches up
     cache.advance(Duration::from_secs(30)).unwrap();
@@ -92,10 +104,16 @@ fn insert_and_delete_forwarded() {
              VALUES (9999, 'New Customer', 1, 0.0)",
         )
         .unwrap();
-    let r = cache.execute("SELECT c_name FROM customer WHERE c_custkey = 9999").unwrap();
+    let r = cache
+        .execute("SELECT c_name FROM customer WHERE c_custkey = 9999")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
-    cache.execute("DELETE FROM customer WHERE c_custkey = 9999").unwrap();
-    let r = cache.execute("SELECT c_name FROM customer WHERE c_custkey = 9999").unwrap();
+    cache
+        .execute("DELETE FROM customer WHERE c_custkey = 9999")
+        .unwrap();
+    let r = cache
+        .execute("SELECT c_name FROM customer WHERE c_custkey = 9999")
+        .unwrap();
     assert!(r.rows.is_empty());
 }
 
@@ -236,7 +254,10 @@ fn parameters_bind() {
 #[test]
 fn explain_reports_plan_without_executing() {
     let cache = rig();
-    let before = cache.counters().remote_queries.load(std::sync::atomic::Ordering::Relaxed);
+    let before = cache
+        .counters()
+        .remote_queries
+        .load(std::sync::atomic::Ordering::Relaxed);
     let opt = cache
         .explain(
             "SELECT c_name FROM customer WHERE c_custkey = 7 \
@@ -245,7 +266,10 @@ fn explain_reports_plan_without_executing() {
         )
         .unwrap();
     assert!(opt.plan.explain().contains("SwitchUnion"));
-    let after = cache.counters().remote_queries.load(std::sync::atomic::Ordering::Relaxed);
+    let after = cache
+        .counters()
+        .remote_queries
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(before, after);
 }
 
@@ -280,8 +304,12 @@ fn create_table_view_region_roundtrip() {
         .execute("INSERT INTO books VALUES (1, 'A Book', 10.0), (2, 'Another', 20.0)")
         .unwrap();
     cache.analyze("books").unwrap();
-    cache.create_region("R", Duration::from_secs(5), Duration::from_secs(1)).unwrap();
-    cache.execute("CREATE CACHED VIEW books_v REGION r AS SELECT isbn, title FROM books").unwrap();
+    cache
+        .create_region("R", Duration::from_secs(5), Duration::from_secs(1))
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW books_v REGION r AS SELECT isbn, title FROM books")
+        .unwrap();
     cache.advance(Duration::from_secs(20)).unwrap();
     let r = cache
         .execute("SELECT title FROM books WHERE isbn = 2 CURRENCY BOUND 10 SEC ON (books)")
@@ -293,12 +321,18 @@ fn create_table_view_region_roundtrip() {
 #[test]
 fn selection_view_serves_only_subsumed_queries() {
     let cache = MTCache::new();
-    cache.execute("CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))").unwrap();
+    cache
+        .execute("CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))")
+        .unwrap();
     for i in 0..100 {
-        cache.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2)).unwrap();
+        cache
+            .execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2))
+            .unwrap();
     }
     cache.analyze("t").unwrap();
-    cache.create_region("R", Duration::from_secs(5), Duration::from_secs(1)).unwrap();
+    cache
+        .create_region("R", Duration::from_secs(5), Duration::from_secs(1))
+        .unwrap();
     cache
         .execute("CREATE CACHED VIEW t_low REGION r AS SELECT id, v FROM t WHERE id < 50")
         .unwrap();
@@ -307,7 +341,10 @@ fn selection_view_serves_only_subsumed_queries() {
     let subsumed = cache
         .execute("SELECT v FROM t WHERE id < 10 CURRENCY BOUND 10 SEC ON (t)")
         .unwrap();
-    assert!(!subsumed.used_remote, "query range inside view range → local");
+    assert!(
+        !subsumed.used_remote,
+        "query range inside view range → local"
+    );
     assert_eq!(subsumed.rows.len(), 10);
 
     let not_subsumed = cache

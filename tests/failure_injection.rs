@@ -27,11 +27,17 @@ fn stalled_agent_shifts_all_traffic_remote() {
     cache.advance(Duration::from_secs(60)).unwrap();
 
     // updates keep committing at the back-end while the agent is down
-    cache.execute("UPDATE customer SET c_acctbal = 777.0 WHERE c_custkey = 5").unwrap();
+    cache
+        .execute("UPDATE customer SET c_acctbal = 777.0 WHERE c_custkey = 5")
+        .unwrap();
 
     let r = cache.execute(Q).unwrap();
     assert!(r.used_remote, "stale region must not serve");
-    assert_eq!(r.rows[0].get(0), &Value::Float(777.0), "remote sees the latest value");
+    assert_eq!(
+        r.rows[0].get(0),
+        &Value::Float(777.0),
+        "remote sees the latest value"
+    );
 
     // recovery: agent resumes, catches up, traffic returns
     cache.set_region_stalled("CR1", false);
@@ -143,7 +149,10 @@ fn counters_reflect_the_shift() {
         cache.execute(Q).unwrap();
     }
     assert_eq!(
-        cache.counters().local_branches.load(std::sync::atomic::Ordering::Relaxed),
+        cache
+            .counters()
+            .local_branches
+            .load(std::sync::atomic::Ordering::Relaxed),
         5
     );
     cache.set_region_stalled("CR1", true);
@@ -151,8 +160,14 @@ fn counters_reflect_the_shift() {
     for _ in 0..5 {
         cache.execute(Q).unwrap();
     }
-    let local = cache.counters().local_branches.load(std::sync::atomic::Ordering::Relaxed);
-    let remote = cache.counters().remote_branches.load(std::sync::atomic::Ordering::Relaxed);
+    let local = cache
+        .counters()
+        .local_branches
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let remote = cache
+        .counters()
+        .remote_branches
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!((local, remote), (5, 5));
     assert!((cache.counters().local_fraction() - 0.5).abs() < 1e-9);
 }

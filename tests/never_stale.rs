@@ -13,10 +13,10 @@
 //! snapshot could have produced them).
 
 use proptest::prelude::*;
+use rcc_common::TxnId;
 use rcc_common::{Clock, Duration, Timestamp, Value};
 use rcc_mtcache::MTCache;
 use rcc_semantics::{timeline_consistent, Copy as SemCopy, GroupObservation};
-use rcc_common::TxnId;
 
 #[derive(Debug, Clone)]
 enum Event {
@@ -50,17 +50,30 @@ impl Model {
         let cache = MTCache::new();
         for t in ["t1", "t2"] {
             cache
-                .execute(&format!("CREATE TABLE {t} (id INT, version INT, PRIMARY KEY (id))"))
+                .execute(&format!(
+                    "CREATE TABLE {t} (id INT, version INT, PRIMARY KEY (id))"
+                ))
                 .unwrap();
-            cache.execute(&format!("INSERT INTO {t} VALUES (1, 0)")).unwrap();
+            cache
+                .execute(&format!("INSERT INTO {t} VALUES (1, 0)"))
+                .unwrap();
             cache.analyze(t).unwrap();
         }
         // one region, 4s propagation, 1s delay — both tables mutually
         // consistent whenever served locally
-        cache.create_region("R", Duration::from_secs(4), Duration::from_secs(1)).unwrap();
-        cache.execute("CREATE CACHED VIEW t1_v REGION r AS SELECT id, version FROM t1").unwrap();
-        cache.execute("CREATE CACHED VIEW t2_v REGION r AS SELECT id, version FROM t2").unwrap();
-        Model { cache, writes: [vec![], vec![]] }
+        cache
+            .create_region("R", Duration::from_secs(4), Duration::from_secs(1))
+            .unwrap();
+        cache
+            .execute("CREATE CACHED VIEW t1_v REGION r AS SELECT id, version FROM t1")
+            .unwrap();
+        cache
+            .execute("CREATE CACHED VIEW t2_v REGION r AS SELECT id, version FROM t2")
+            .unwrap();
+        Model {
+            cache,
+            writes: [vec![], vec![]],
+        }
     }
 
     fn table(&self, i: u8) -> &'static str {
@@ -74,7 +87,10 @@ impl Model {
     fn update(&mut self, i: u8) {
         let next = self.writes[i as usize].len() as i64 + 1;
         self.cache
-            .execute(&format!("UPDATE {} SET version = {next} WHERE id = 1", self.table(i)))
+            .execute(&format!(
+                "UPDATE {} SET version = {next} WHERE id = 1",
+                self.table(i)
+            ))
             .unwrap();
         self.writes[i as usize].push(self.cache.clock().now());
     }
@@ -102,8 +118,15 @@ impl Model {
     /// Validity interval of version `v` of table `i`: [written, superseded).
     fn interval(&self, i: u8, v: i64) -> (Timestamp, Timestamp) {
         let writes = &self.writes[i as usize];
-        let start = if v == 0 { Timestamp::ZERO } else { writes[(v - 1) as usize] };
-        let end = writes.get(v as usize).copied().unwrap_or(Timestamp(i64::MAX));
+        let start = if v == 0 {
+            Timestamp::ZERO
+        } else {
+            writes[(v - 1) as usize]
+        };
+        let end = writes
+            .get(v as usize)
+            .copied()
+            .unwrap_or(Timestamp(i64::MAX));
         (start, end)
     }
 }
@@ -244,7 +267,10 @@ fn deterministic_staleness_cross_check_with_oracle() {
     // the view received the 8s update at the 12s propagation, so it is
     // snapshot-consistent with the latest history: currency 0
     let copy_current = SemCopy::new("t1", TxnId(1));
-    assert_eq!(history.currency(&copy_current, model.cache.clock().now()), Duration::ZERO);
+    assert_eq!(
+        history.currency(&copy_current, model.cache.clock().now()),
+        Duration::ZERO
+    );
 
     // a hypothetical copy that missed txn 1 would be 10s stale — and the
     // guard with a 5s bound must therefore reject such data; our region's
@@ -259,5 +285,9 @@ fn deterministic_staleness_cross_check_with_oracle() {
         .execute("SELECT version FROM t1 WHERE id = 1 CURRENCY BOUND 5 SEC ON (t1)")
         .unwrap();
     assert!(!r.used_remote);
-    assert_eq!(r.rows[0].get(0), &Value::Int(1), "the guard admitted the *updated* copy");
+    assert_eq!(
+        r.rows[0].get(0),
+        &Value::Int(1),
+        "the guard admitted the *updated* copy"
+    );
 }

@@ -26,7 +26,10 @@ fn bookstore() -> MTCache {
         .unwrap();
     for i in 1..=20 {
         cache
-            .execute(&format!("INSERT INTO books VALUES ({i}, 'Book {i}', {}.5)", 10 + i))
+            .execute(&format!(
+                "INSERT INTO books VALUES ({i}, 'Book {i}', {}.5)",
+                10 + i
+            ))
             .unwrap();
         cache
             .execute(&format!(
@@ -36,16 +39,26 @@ fn bookstore() -> MTCache {
             ))
             .unwrap();
         cache
-            .execute(&format!("INSERT INTO sales VALUES ({i}, {}, {})", (i % 7) + 1, 2000 + i % 5))
+            .execute(&format!(
+                "INSERT INTO sales VALUES ({i}, {}, {})",
+                (i % 7) + 1,
+                2000 + i % 5
+            ))
             .unwrap();
     }
     for t in ["books", "reviews", "sales"] {
         cache.analyze(t).unwrap();
     }
-    cache.create_region("BOOKSHELF", Duration::from_secs(10), Duration::from_secs(2)).unwrap();
-    cache.create_region("SALESREG", Duration::from_secs(10), Duration::from_secs(2)).unwrap();
     cache
-        .execute("CREATE CACHED VIEW books_v REGION bookshelf AS SELECT isbn, title, price FROM books")
+        .create_region("BOOKSHELF", Duration::from_secs(10), Duration::from_secs(2))
+        .unwrap();
+    cache
+        .create_region("SALESREG", Duration::from_secs(10), Duration::from_secs(2))
+        .unwrap();
+    cache
+        .execute(
+            "CREATE CACHED VIEW books_v REGION bookshelf AS SELECT isbn, title, price FROM books",
+        )
         .unwrap();
     cache
         .execute(
@@ -54,7 +67,9 @@ fn bookstore() -> MTCache {
         )
         .unwrap();
     cache
-        .execute("CREATE CACHED VIEW sales_v REGION salesreg AS SELECT sale_id, isbn, year FROM sales")
+        .execute(
+            "CREATE CACHED VIEW sales_v REGION salesreg AS SELECT sale_id, isbn, year FROM sales",
+        )
         .unwrap();
     cache.advance(Duration::from_secs(30)).unwrap();
     cache
@@ -127,7 +142,10 @@ fn e4_join_pair_grouping() {
     };
     let graph = bind_select(cache.catalog(), &stmt, &HashMap::new()).unwrap();
     assert_eq!(graph.constraint.classes.len(), 1);
-    assert_eq!(graph.constraint.classes[0].by, vec![("b".to_string(), "isbn".to_string())]);
+    assert_eq!(
+        graph.constraint.classes[0].by,
+        vec![("b".to_string(), "isbn".to_string())]
+    );
     assert!(!cache.execute(&sql).unwrap().rows.is_empty());
 }
 
@@ -216,8 +234,12 @@ fn timeline_consistency_session() {
 
     session.execute("BEGIN TIMEORDERED").unwrap();
     // 1) current read (no clause -> back-end): sees the latest price
-    session.execute("UPDATE books SET price = 99.0 WHERE isbn = 1").unwrap();
-    let fresh = session.execute("SELECT price FROM books WHERE isbn = 1").unwrap();
+    session
+        .execute("UPDATE books SET price = 99.0 WHERE isbn = 1")
+        .unwrap();
+    let fresh = session
+        .execute("SELECT price FROM books WHERE isbn = 1")
+        .unwrap();
     assert_eq!(fresh.rows[0].get(0), &Value::Float(99.0));
 
     // 2) later bounded read: the replica has NOT yet received the update,
@@ -226,7 +248,11 @@ fn timeline_consistency_session() {
     let later = session
         .execute("SELECT price FROM books WHERE isbn = 1 CURRENCY BOUND 60 SEC ON (books)")
         .unwrap();
-    assert_eq!(later.rows[0].get(0), &Value::Float(99.0), "must see own change");
+    assert_eq!(
+        later.rows[0].get(0),
+        &Value::Float(99.0),
+        "must see own change"
+    );
     assert!(later.used_remote, "stale replica skipped under TIMEORDERED");
 
     session.execute("END TIMEORDERED").unwrap();
@@ -236,7 +262,11 @@ fn timeline_consistency_session() {
         .execute("SELECT price FROM books WHERE isbn = 1 CURRENCY BOUND 60 SEC ON (books)")
         .unwrap();
     assert!(!unordered.used_remote);
-    assert_ne!(unordered.rows[0].get(0), &Value::Float(99.0), "did not see own change");
+    assert_ne!(
+        unordered.rows[0].get(0),
+        &Value::Float(99.0),
+        "did not see own change"
+    );
 
     // once replication catches up, the bounded read sees it too
     cache.advance(Duration::from_secs(30)).unwrap();
@@ -251,7 +281,9 @@ fn timeline_floors_reset_between_brackets() {
     let cache = bookstore();
     let mut session = cache.session();
     session.execute("BEGIN TIMEORDERED").unwrap();
-    session.execute("SELECT title FROM books WHERE isbn = 1").unwrap(); // remote, raises floors
+    session
+        .execute("SELECT title FROM books WHERE isbn = 1")
+        .unwrap(); // remote, raises floors
     assert!(!session.floors().is_empty());
     session.execute("END TIMEORDERED").unwrap();
     assert!(session.floors().is_empty());

@@ -84,7 +84,10 @@ fn q3_mutual_consistency_forces_remote() {
     // currency regions → mutual consistency cannot be guaranteed locally
     let (c, plan) = choice(&cache, &s1(K_SELECTIVE, "CURRENCY BOUND 10 SEC ON (c, o)"));
     assert_eq!(c, PlanChoice::FullRemote, "plan:\n{plan}");
-    assert!(!plan.contains("SwitchUnion"), "no guarded local access:\n{plan}");
+    assert!(
+        !plan.contains("SwitchUnion"),
+        "no guarded local access:\n{plan}"
+    );
 }
 
 #[test]
@@ -92,16 +95,28 @@ fn q4_tight_customer_bound_gives_mixed_plan() {
     let cache = rig();
     // 3s < CR1's 5s delay: cust_prj can never be fresh enough (discarded
     // at compile time); orders_prj satisfies 15s
-    let (c, plan) = choice(&cache, &s1(K_ALL, "CURRENCY BOUND 3 SEC ON (c), 15 SEC ON (o)"));
+    let (c, plan) = choice(
+        &cache,
+        &s1(K_ALL, "CURRENCY BOUND 3 SEC ON (c), 15 SEC ON (o)"),
+    );
     assert_eq!(c, PlanChoice::Mixed, "plan:\n{plan}");
-    assert!(plan.contains("heartbeat_cr2"), "orders guarded locally:\n{plan}");
-    assert!(!plan.contains("heartbeat_cr1"), "customer never local:\n{plan}");
+    assert!(
+        plan.contains("heartbeat_cr2"),
+        "orders guarded locally:\n{plan}"
+    );
+    assert!(
+        !plan.contains("heartbeat_cr1"),
+        "customer never local:\n{plan}"
+    );
 }
 
 #[test]
 fn q5_relaxed_bounds_all_local() {
     let cache = rig();
-    let (c, plan) = choice(&cache, &s1(K_ALL, "CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)"));
+    let (c, plan) = choice(
+        &cache,
+        &s1(K_ALL, "CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)"),
+    );
     assert_eq!(c, PlanChoice::AllLocalGuarded, "plan:\n{plan}");
     assert!(plan.contains("cust_prj"), "plan:\n{plan}");
     assert!(plan.contains("orders_prj"), "plan:\n{plan}");
@@ -180,9 +195,20 @@ fn bound_relaxation_changes_q3_like_queries() {
     // work from the back-end to the cache (the Sec. 4.1 narrative)
     let cache = rig();
     let remote = choice(&cache, &s1(K_ALL, "CURRENCY BOUND 10 SEC ON (c, o)")).0;
-    let mixed = choice(&cache, &s1(K_ALL, "CURRENCY BOUND 3 SEC ON (c), 15 SEC ON (o)")).0;
-    let local = choice(&cache, &s1(K_ALL, "CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)")).0;
-    assert!(matches!(remote, PlanChoice::FullRemote | PlanChoice::RemoteFetchLocalJoin));
+    let mixed = choice(
+        &cache,
+        &s1(K_ALL, "CURRENCY BOUND 3 SEC ON (c), 15 SEC ON (o)"),
+    )
+    .0;
+    let local = choice(
+        &cache,
+        &s1(K_ALL, "CURRENCY BOUND 10 SEC ON (c), 15 SEC ON (o)"),
+    )
+    .0;
+    assert!(matches!(
+        remote,
+        PlanChoice::FullRemote | PlanChoice::RemoteFetchLocalJoin
+    ));
     assert_eq!(mixed, PlanChoice::Mixed);
     assert_eq!(local, PlanChoice::AllLocalGuarded);
 }
@@ -198,7 +224,10 @@ fn every_local_access_is_guarded() {
     ] {
         let opt = cache.explain(&sql, &HashMap::new()).unwrap();
         let plan = opt.plan.explain();
-        assert!(opt.plan.guard_count() > 0, "local plan without guards:\n{plan}");
+        assert!(
+            opt.plan.guard_count() > 0,
+            "local plan without guards:\n{plan}"
+        );
     }
 }
 
