@@ -1,0 +1,208 @@
+//! `net_load` — a concurrent load generator for the TCP front-end.
+//!
+//! Boots the full network rig in one process (cache + TCP front-end,
+//! back-end behind its own listener, remote branch over the pooled TCP
+//! transport), then drives it with N concurrent client connections issuing
+//! a mixed point-query workload over real loopback sockets. Reports
+//! throughput, latency quantiles, and the transport's rcc-obs counters,
+//! and writes the whole summary to `BENCH_net.json`.
+//!
+//! ```sh
+//! cargo run -p rcc-bench --bin net_load --release -- \
+//!     [--clients N] [--queries N] [--scale F] [--out PATH]
+//! ```
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use rcc_net::{
+    BackendNetServer, ClientConfig, NetClient, NetServer, NetServerConfig, PoolConfig, RetryPolicy,
+    TcpRemoteService,
+};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    clients: usize,
+    queries: usize,
+    scale: f64,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            clients: 8,
+            queries: 200,
+            scale: 0.01,
+            out: "BENCH_net.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--clients" => opts.clients = value().parse().expect("--clients"),
+            "--queries" => opts.queries = value().parse().expect("--queries"),
+            "--scale" => opts.scale = value().parse().expect("--scale"),
+            "--out" => opts.out = value(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    opts
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let opts = parse_args();
+    eprintln!(
+        "net_load: {} clients × {} queries, scale {}",
+        opts.clients, opts.queries, opts.scale
+    );
+
+    let cache = paper_setup(opts.scale, 42).expect("rig");
+    warm_up(&cache).expect("warm up");
+    let cache = Arc::new(cache);
+    let max_custkey = ((150_000.0 * opts.scale) as i64).max(2);
+
+    let backend_srv =
+        BackendNetServer::spawn(Arc::clone(cache.backend()), "127.0.0.1:0").expect("backend");
+    let remote = TcpRemoteService::new(
+        backend_srv.addr(),
+        PoolConfig::default(),
+        RetryPolicy::default(),
+    )
+    .expect("remote service");
+    remote.set_metrics(Arc::clone(cache.metrics()));
+    cache.set_remote_service(Some(Arc::new(remote)));
+    let front = NetServer::spawn(
+        Arc::clone(&cache),
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+    )
+    .expect("front-end");
+    let addr = front.addr();
+
+    // stall CR1 so part of the workload must ship over the back-end TCP
+    // link (the interesting path); CR2 queries stay local
+    cache.set_region_stalled("CR1", true);
+    cache
+        .advance(rcc_common::Duration::from_secs(90))
+        .expect("advance");
+
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            let latencies = Arc::clone(&latencies);
+            let queries = opts.queries;
+            std::thread::spawn(move || {
+                let mut client =
+                    NetClient::connect(addr, &ClientConfig::default()).expect("connect");
+                let mut rng = StdRng::seed_from_u64(0xbeef ^ c as u64);
+                let mut local = Vec::with_capacity(queries);
+                let mut remote_hits = 0u64;
+                let mut rows = 0u64;
+                let mut bytes = 0u64;
+                for _ in 0..queries {
+                    let key = rng.gen_range(1..=max_custkey);
+                    // 50/50: a currency-bound customer probe (CR1 is stale
+                    // → goes remote over TCP) vs. an orders probe answered
+                    // from the healthy CR2 view
+                    let sql = if rng.gen_bool(0.5) {
+                        format!(
+                            "SELECT c_acctbal FROM customer WHERE c_custkey = {key} \
+                             CURRENCY BOUND 30 SEC ON (customer)"
+                        )
+                    } else {
+                        format!(
+                            "SELECT o_totalprice FROM orders WHERE o_custkey = {key} \
+                             CURRENCY BOUND 30 SEC ON (orders)"
+                        )
+                    };
+                    let t = Instant::now();
+                    let r = client.query(&sql).expect("query");
+                    local.push(t.elapsed().as_micros() as u64);
+                    remote_hits += r.used_remote as u64;
+                    rows += r.rows.len() as u64;
+                    bytes += r.wire_bytes;
+                }
+                latencies.lock().extend_from_slice(&local);
+                (remote_hits, rows, bytes)
+            })
+        })
+        .collect();
+    let mut remote_hits = 0u64;
+    let mut total_rows = 0u64;
+    let mut total_bytes = 0u64;
+    for w in workers {
+        let (r, rows, bytes) = w.join().expect("worker");
+        remote_hits += r;
+        total_rows += rows;
+        total_bytes += bytes;
+    }
+    let elapsed = started.elapsed();
+
+    let mut lat = latencies.lock().clone();
+    lat.sort_unstable();
+    let total_queries = (opts.clients * opts.queries) as u64;
+    let qps = total_queries as f64 / elapsed.as_secs_f64();
+    let snap = cache.metrics().snapshot();
+    let retries = snap.counter("rcc_net_remote_retries_total");
+    let unavailable = snap.counter("rcc_net_remote_unavailable_total");
+    let served = snap.counter("rcc_net_requests_total{type=\"query\"}");
+
+    let (p50, p95, p99) = (
+        quantile(&lat, 0.50),
+        quantile(&lat, 0.95),
+        quantile(&lat, 0.99),
+    );
+    println!("\nnet_load results");
+    println!("  queries           {total_queries} ({qps:.0}/s over {elapsed:.2?})");
+    println!("  remote over TCP   {remote_hits}");
+    println!("  rows / wire bytes {total_rows} / {total_bytes}");
+    println!("  latency p50/p95/p99  {p50} / {p95} / {p99} µs");
+    println!("  transport retries/unavailable  {retries} / {unavailable}");
+
+    assert_eq!(served, total_queries, "front-end counted every query");
+
+    let json = format!(
+        "{{\n  \"bench\": \"net_load\",\n  \"clients\": {},\n  \"queries_per_client\": {},\n  \
+         \"scale\": {},\n  \"elapsed_secs\": {:.6},\n  \"throughput_qps\": {:.1},\n  \
+         \"remote_queries\": {},\n  \"total_rows\": {},\n  \"wire_bytes\": {},\n  \
+         \"latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n  \
+         \"transport\": {{ \"retries\": {}, \"unavailable\": {} }}\n}}\n",
+        opts.clients,
+        opts.queries,
+        opts.scale,
+        elapsed.as_secs_f64(),
+        qps,
+        remote_hits,
+        total_rows,
+        total_bytes,
+        p50,
+        p95,
+        p99,
+        retries,
+        unavailable,
+    );
+    let mut f = std::fs::File::create(&opts.out).expect("create BENCH_net.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_net.json");
+    eprintln!("wrote {}", opts.out);
+}

@@ -45,6 +45,13 @@ pub enum Error {
     CurrencyViolation(String),
     /// The back-end server could not be reached or failed the request.
     Remote(String),
+    /// The back-end transport is down: connect/read/write failures and
+    /// per-call deadlines exhausted every retry. Unlike [`Error::Remote`]
+    /// (which also covers the back-end *rejecting* a request it received),
+    /// this variant means no answer is obtainable right now, so the cache
+    /// applies the session's violation policy — fail the query or serve
+    /// stale local data with a warning.
+    Unavailable(String),
     /// Storage-level failure (duplicate key, missing index, ...).
     Storage(String),
     /// Execution-time failure not covered by the above.
@@ -79,6 +86,7 @@ impl fmt::Display for Error {
             Error::NoPlan(m) => write!(f, "no valid plan: {m}"),
             Error::CurrencyViolation(m) => write!(f, "currency/consistency violation: {m}"),
             Error::Remote(m) => write!(f, "remote error: {m}"),
+            Error::Unavailable(m) => write!(f, "back-end unavailable: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Execution(m) => write!(f, "execution error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
@@ -120,6 +128,7 @@ mod tests {
             Error::NoPlan("x".into()),
             Error::CurrencyViolation("x".into()),
             Error::Remote("x".into()),
+            Error::Unavailable("x".into()),
             Error::Storage("x".into()),
             Error::Execution("x".into()),
             Error::Config("x".into()),

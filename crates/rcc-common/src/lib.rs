@@ -10,12 +10,14 @@
 
 pub mod error;
 pub mod ids;
+pub mod netmodel;
 pub mod row;
 pub mod time;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use ids::{AgentId, IndexId, RegionId, TableId, TxnId, ViewId};
+pub use netmodel::NetworkModel;
 pub use row::{Column, Row, Schema};
 pub use time::{Clock, Duration, SimClock, Timestamp, WallClock};
 pub use value::{DataType, Value};

@@ -1,0 +1,116 @@
+//! The network model: who pays for the cache ↔ back-end round trip.
+//!
+//! The experiments originally ran cache and back-end in one process and
+//! charged remote plans a *simulated* latency (a fixed per-round-trip cost
+//! plus a per-KiB shipping cost). With a real TCP transport in the picture
+//! those knobs become dangerous: a back-end served over a socket already
+//! pays genuine connect/serialize/ship time, and adding the simulated
+//! delay on top double-counts the network. `NetworkModel` makes the choice
+//! explicit and single-sourced — every component that used to read the two
+//! raw `latency_*` knobs now asks the model, and the TCP transport pins the
+//! model to [`NetworkModel::Real`] so simulation can never stack on top of
+//! real sockets.
+
+use crate::time;
+
+/// How remote round-trip latency is accounted for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkModel {
+    /// The transport is a real network (or at least a real socket): do not
+    /// inject any artificial delay — wall clocks observe the true cost.
+    Real,
+    /// In-process transport with simulated latency: each round trip costs
+    /// `fixed_us` microseconds plus `per_kib_us` microseconds per KiB of
+    /// result payload. `Simulated { fixed_us: 0, per_kib_us: 0 }` models a
+    /// free network (the default, appropriate for correctness tests).
+    Simulated {
+        /// Fixed microseconds charged per round trip.
+        fixed_us: u64,
+        /// Microseconds charged per KiB of result payload shipped.
+        per_kib_us: u64,
+    },
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::Simulated {
+            fixed_us: 0,
+            per_kib_us: 0,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// The injected delay for shipping a `result_bytes`-byte payload.
+    /// Always zero for [`NetworkModel::Real`].
+    pub fn delay_for(&self, result_bytes: usize) -> time::Duration {
+        match self {
+            NetworkModel::Real => time::Duration::ZERO,
+            NetworkModel::Simulated {
+                fixed_us,
+                per_kib_us,
+            } => {
+                if *fixed_us == 0 && *per_kib_us == 0 {
+                    time::Duration::ZERO
+                } else {
+                    let micros = fixed_us + per_kib_us * (result_bytes as u64 / 1024);
+                    time::Duration::from_millis((micros / 1000) as i64)
+                }
+            }
+        }
+    }
+
+    /// The injected delay in whole microseconds (what busy-wait loops
+    /// actually consume; [`NetworkModel::delay_for`] rounds to the
+    /// simulated clock's millisecond granularity).
+    pub fn delay_micros(&self, result_bytes: usize) -> u64 {
+        match self {
+            NetworkModel::Real => 0,
+            NetworkModel::Simulated {
+                fixed_us,
+                per_kib_us,
+            } => fixed_us + per_kib_us * (result_bytes as u64 / 1024),
+        }
+    }
+
+    /// Does this model inject any artificial latency at all?
+    pub fn is_simulated(&self) -> bool {
+        matches!(
+            self,
+            NetworkModel::Simulated { fixed_us, per_kib_us }
+                if *fixed_us > 0 || *per_kib_us > 0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_never_delays() {
+        let m = NetworkModel::Real;
+        assert_eq!(m.delay_micros(0), 0);
+        assert_eq!(m.delay_micros(1 << 20), 0);
+        assert!(!m.is_simulated());
+    }
+
+    #[test]
+    fn simulated_charges_fixed_plus_per_kib() {
+        let m = NetworkModel::Simulated {
+            fixed_us: 150,
+            per_kib_us: 20,
+        };
+        assert_eq!(m.delay_micros(0), 150);
+        assert_eq!(m.delay_micros(1023), 150);
+        assert_eq!(m.delay_micros(4096), 150 + 80);
+        assert!(m.is_simulated());
+    }
+
+    #[test]
+    fn default_is_free_simulation() {
+        let m = NetworkModel::default();
+        assert_eq!(m.delay_micros(1 << 20), 0);
+        assert!(!m.is_simulated());
+    }
+}

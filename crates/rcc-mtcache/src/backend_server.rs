@@ -1,15 +1,15 @@
 //! The back-end server: executes shipped SQL against the master database.
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use rcc_backend::MasterDb;
 use rcc_catalog::Catalog;
-use rcc_common::{Error, Result, Row, Schema};
+use rcc_common::{Error, NetworkModel, Result, Row, Schema};
 use rcc_executor::{execute_plan, ExecContext, RemoteService};
 use rcc_obs::{MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
 use rcc_optimizer::{bind_select, optimize, OptimizerConfig};
 use rcc_sql::{parse_statement, Statement};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The back-end database server. Parses, plans (in back-end role: every
@@ -20,10 +20,9 @@ pub struct BackendServer {
     master: Arc<MasterDb>,
     catalog: Arc<Catalog>,
     config: OptimizerConfig,
-    /// Simulated network latency: fixed microseconds per round trip.
-    latency_fixed_us: AtomicU64,
-    /// Simulated network latency: microseconds per KiB of result shipped.
-    latency_per_kib_us: AtomicU64,
+    /// Who pays for the round trip: simulated latency knobs, or a real
+    /// transport (in which case no artificial delay is ever injected).
+    network: Mutex<NetworkModel>,
     /// Optional registry for remote-latency and wire-byte metrics.
     metrics: Mutex<Option<Arc<MetricsRegistry>>>,
 }
@@ -36,8 +35,7 @@ impl BackendServer {
             master,
             catalog,
             config: OptimizerConfig::backend(),
-            latency_fixed_us: AtomicU64::new(0),
-            latency_per_kib_us: AtomicU64::new(0),
+            network: Mutex::new(NetworkModel::default()),
             metrics: Mutex::new(None),
         }
     }
@@ -65,18 +63,40 @@ impl BackendServer {
     /// invert the local/remote cost relationship the paper's overhead
     /// experiment (Sec. 4.3) depends on. Wall-clock only; the simulated
     /// replication clock is unaffected.
+    ///
+    /// Shorthand for [`BackendServer::set_network_model`] with
+    /// [`NetworkModel::Simulated`]. Once the model is pinned to
+    /// [`NetworkModel::Real`] (a TCP transport is serving this back-end),
+    /// this call is ignored — real sockets already pay real latency and
+    /// the simulation must never stack on top of them.
     pub fn set_simulated_network(&self, fixed_us: u64, per_kib_us: u64) {
-        self.latency_fixed_us.store(fixed_us, Ordering::Relaxed);
-        self.latency_per_kib_us.store(per_kib_us, Ordering::Relaxed);
+        let mut model = self.network.lock();
+        if *model == NetworkModel::Real {
+            return;
+        }
+        *model = NetworkModel::Simulated {
+            fixed_us,
+            per_kib_us,
+        };
+    }
+
+    /// Replace the network model outright. The TCP transport pins
+    /// [`NetworkModel::Real`] here when it takes ownership of this
+    /// back-end's traffic.
+    pub fn set_network_model(&self, model: NetworkModel) {
+        *self.network.lock() = model;
+    }
+
+    /// The current network model.
+    pub fn network_model(&self) -> NetworkModel {
+        *self.network.lock()
     }
 
     fn apply_latency(&self, result_bytes: usize) {
-        let fixed = self.latency_fixed_us.load(Ordering::Relaxed);
-        let per_kib = self.latency_per_kib_us.load(Ordering::Relaxed);
-        if fixed == 0 && per_kib == 0 {
+        let total_us = self.network.lock().delay_micros(result_bytes);
+        if total_us == 0 {
             return;
         }
-        let total_us = fixed + per_kib * (result_bytes as u64 / 1024);
         let deadline = std::time::Instant::now() + std::time::Duration::from_micros(total_us);
         while std::time::Instant::now() < deadline {
             std::hint::spin_loop();
@@ -107,11 +127,41 @@ impl BackendServer {
         out
     }
 
+    /// Parse, optimize and execute a SELECT, returning the result already
+    /// serialized in the wire format — the payload a network transport
+    /// ships verbatim. Simulated latency (if the model is
+    /// [`NetworkModel::Simulated`]) is charged here, exactly once, so
+    /// in-process and framed-TCP callers account the same way.
+    pub fn query_wire(&self, sql: &str) -> Result<Bytes> {
+        let metrics = self.metrics.lock().clone();
+        let started = std::time::Instant::now();
+        let out = self.run_select(sql, metrics.as_deref());
+        if let Some(m) = &metrics {
+            m.histogram("rcc_remote_latency_seconds", &[], DEFAULT_LATENCY_BUCKETS)
+                .observe(started.elapsed().as_secs_f64());
+        }
+        out.map(|(_, payload)| payload)
+    }
+
     fn query_inner(
         &self,
         sql: &str,
         metrics: Option<&MetricsRegistry>,
     ) -> Result<(Schema, Vec<Row>, u64)> {
+        let (schema, payload) = self.run_select(sql, metrics)?;
+        let bytes = payload.len() as u64;
+        let (_, rows) = rcc_executor::wire::decode_result(payload)?;
+        if let Some(m) = metrics {
+            m.counter("rcc_wire_bytes_decoded_total", &[]).add(bytes);
+        }
+        Ok((schema, rows, bytes))
+    }
+
+    /// The shared SELECT pipeline: plan, execute, serialize, charge
+    /// simulated latency. Returns the planner-side schema (which keeps its
+    /// binding qualifiers — the wire format does not carry them) alongside
+    /// the encoded payload.
+    fn run_select(&self, sql: &str, metrics: Option<&MetricsRegistry>) -> Result<(Schema, Bytes)> {
         let stmt = parse_statement(sql)?;
         let select = match stmt {
             Statement::Select(s) => *s,
@@ -136,20 +186,14 @@ impl BackendServer {
         );
         let result = execute_plan(&optimized.plan, &ctx)?;
         // results really travel through the wire format, so the latency
-        // model and byte accounting see true serialized sizes; the decoded
-        // rows are returned (the planner-side schema keeps its binding
-        // qualifiers, which the wire format does not carry)
+        // model and byte accounting see true serialized sizes
         let payload = rcc_executor::wire::encode_result(&result.schema, &result.rows);
-        let bytes = payload.len() as u64;
         if let Some(m) = metrics {
-            m.counter("rcc_wire_bytes_encoded_total", &[]).add(bytes);
+            m.counter("rcc_wire_bytes_encoded_total", &[])
+                .add(payload.len() as u64);
         }
         self.apply_latency(payload.len());
-        let (_, rows) = rcc_executor::wire::decode_result(payload)?;
-        if let Some(m) = metrics {
-            m.counter("rcc_wire_bytes_decoded_total", &[]).add(bytes);
-        }
-        Ok((result.schema, rows, bytes))
+        Ok((result.schema, payload))
     }
 }
 
@@ -228,6 +272,37 @@ mod tests {
             b.query("SELECT c_name FROM customer CURRENCY BOUND 5 SEC ON (customer)"),
             Err(Error::Remote(_))
         ));
+    }
+
+    #[test]
+    fn query_wire_payload_decodes_to_same_rows() {
+        let b = backend();
+        let sql = "SELECT c_name FROM customer WHERE c_custkey = 5";
+        let payload = b.query_wire(sql).unwrap();
+        let (_, wire_rows) = rcc_executor::wire::decode_result(payload).unwrap();
+        let (_, rows) = b.query(sql).unwrap();
+        assert_eq!(wire_rows, rows);
+    }
+
+    #[test]
+    fn real_network_model_pins_out_simulation() {
+        let b = backend();
+        b.set_network_model(NetworkModel::Real);
+        // once a real transport owns the traffic, the simulated knobs are
+        // inert — no double-counted latency
+        b.set_simulated_network(5_000_000, 1_000);
+        assert_eq!(b.network_model(), NetworkModel::Real);
+        let started = std::time::Instant::now();
+        b.query("SELECT c_name FROM customer WHERE c_custkey = 5")
+            .unwrap();
+        assert!(started.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    fn simulated_model_applies_before_real_pin() {
+        let b = backend();
+        b.set_simulated_network(150, 20);
+        assert!(b.network_model().is_simulated());
     }
 
     #[test]

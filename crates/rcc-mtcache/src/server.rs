@@ -45,6 +45,10 @@ pub struct MTCache {
     cache_storage: Arc<StorageEngine>,
     runtime: ReplicationRuntime,
     config: RwLock<OptimizerConfig>,
+    /// When set, the executor's remote branch ships SQL through this
+    /// service (e.g. a pooled TCP transport) instead of calling the
+    /// in-process [`BackendServer`] directly.
+    remote_override: RwLock<Option<Arc<dyn RemoteService>>>,
     plan_cache: Arc<PlanCache>,
     counters: Arc<ExecCounters>,
     metrics: Arc<MetricsRegistry>,
@@ -86,6 +90,7 @@ impl MTCache {
             cache_storage: Arc::new(StorageEngine::new()),
             runtime,
             config: RwLock::new(OptimizerConfig::default()),
+            remote_override: RwLock::new(None),
             plan_cache,
             counters,
             metrics,
@@ -197,6 +202,15 @@ impl MTCache {
     /// ([`Tracer::recent`]).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Route the executor's remote branch through `service` — the hook the
+    /// TCP transport uses so a `CURRENCY BOUND` miss really ships SQL over
+    /// a socket to a back-end in another thread or process. Pass `None` to
+    /// restore the direct in-process call. Compiled plans stay valid (the
+    /// transport is a run-time concern), so the plan cache is untouched.
+    pub fn set_remote_service(&self, service: Option<Arc<dyn RemoteService>>) {
+        *self.remote_override.write() = service;
     }
 
     /// Simulate losing (or restoring) the link to the back-end — the
@@ -564,62 +578,109 @@ impl MTCache {
                     stats,
                 })
             }
-            Err(Error::Remote(msg)) if !self.backend_available.load(Ordering::SeqCst) => {
-                match policy {
-                    ViolationPolicy::Reject => Err(Error::CurrencyViolation(format!(
-                        "local data too stale for the query's currency bound and the \
-                         back-end is unreachable ({msg})"
-                    ))),
-                    ViolationPolicy::ServeStale => {
-                        let mut ctx2 = self.fresh_ctx(floors.clone());
-                        ctx2.force_local = true;
-                        let stale_span = trace.span("execute_stale");
-                        let result = execute_plan(&optimized.plan, &ctx2)?;
-                        drop(stale_span);
-                        let guards = ctx2.take_observations();
-                        let now = self.clock.now();
-                        let warnings = guards
-                            .iter()
-                            .map(|g| match g.heartbeat {
-                                Some(hb) => format!(
-                                    "served region {} data that is up to {} stale (policy: ServeStale)",
-                                    g.region,
-                                    now.since(hb)
-                                ),
-                                None => format!(
-                                    "served region {} data of unknown staleness (no heartbeat)",
-                                    g.region
-                                ),
-                            })
-                            .collect();
-                        self.metrics.counter("rcc_stale_served_total", &[]).inc();
-                        let stats = self.finish_stats(
-                            trace.id(),
-                            cache_hit,
-                            parse_time,
-                            bind_time,
-                            optimize_time,
-                            &ctx2.meter,
-                            result.timings.total(),
-                            result.rows.len() as u64,
-                        );
-                        Ok(QueryResult {
-                            schema: result.schema,
-                            rows: result.rows,
-                            plan_choice: optimized.choice,
-                            plan_explain: optimized.plan.explain(),
-                            est_cost: optimized.cost,
-                            guards,
-                            used_remote: false,
-                            warnings,
-                            timings: result.timings,
-                            tables,
-                            stats,
-                        })
-                    }
-                }
-            }
+            // the remote branch could not be served: either the link was
+            // administratively down before execution started (the remote
+            // slot was None → Error::Remote), or a real transport timed
+            // out / failed every retry mid-call (Error::Unavailable). Both
+            // degrade per the session's violation policy.
+            Err(Error::Remote(msg)) if !self.backend_available.load(Ordering::SeqCst) => self
+                .degrade_unreachable(
+                    &trace,
+                    optimized,
+                    tables,
+                    floors,
+                    policy,
+                    cache_hit,
+                    parse_time,
+                    bind_time,
+                    optimize_time,
+                    &msg,
+                ),
+            Err(Error::Unavailable(msg)) => self.degrade_unreachable(
+                &trace,
+                optimized,
+                tables,
+                floors,
+                policy,
+                cache_hit,
+                parse_time,
+                bind_time,
+                optimize_time,
+                &msg,
+            ),
             Err(e) => Err(e),
+        }
+    }
+
+    /// The back-end could not answer a remote branch. Apply the violation
+    /// policy: `Reject` fails the query; `ServeStale` re-executes with
+    /// guards forced local and attaches a staleness warning per guard.
+    #[allow(clippy::too_many_arguments)]
+    fn degrade_unreachable(
+        &self,
+        trace: &TraceHandle,
+        optimized: &Optimized,
+        tables: Vec<TableId>,
+        floors: &HashMap<RegionId, Timestamp>,
+        policy: ViolationPolicy,
+        cache_hit: bool,
+        parse_time: StdDuration,
+        bind_time: StdDuration,
+        optimize_time: StdDuration,
+        msg: &str,
+    ) -> Result<QueryResult> {
+        match policy {
+            ViolationPolicy::Reject => Err(Error::CurrencyViolation(format!(
+                "local data too stale for the query's currency bound and the \
+                 back-end is unreachable ({msg})"
+            ))),
+            ViolationPolicy::ServeStale => {
+                let mut ctx2 = self.fresh_ctx(floors.clone());
+                ctx2.force_local = true;
+                let stale_span = trace.span("execute_stale");
+                let result = execute_plan(&optimized.plan, &ctx2)?;
+                drop(stale_span);
+                let guards = ctx2.take_observations();
+                let now = self.clock.now();
+                let warnings = guards
+                    .iter()
+                    .map(|g| match g.heartbeat {
+                        Some(hb) => format!(
+                            "served region {} data that is up to {} stale (policy: ServeStale)",
+                            g.region,
+                            now.since(hb)
+                        ),
+                        None => format!(
+                            "served region {} data of unknown staleness (no heartbeat)",
+                            g.region
+                        ),
+                    })
+                    .collect();
+                self.metrics.counter("rcc_stale_served_total", &[]).inc();
+                let stats = self.finish_stats(
+                    trace.id(),
+                    cache_hit,
+                    parse_time,
+                    bind_time,
+                    optimize_time,
+                    &ctx2.meter,
+                    result.timings.total(),
+                    result.rows.len() as u64,
+                );
+                Ok(QueryResult {
+                    schema: result.schema,
+                    rows: result.rows,
+                    plan_choice: optimized.choice,
+                    plan_explain: optimized.plan.explain(),
+                    est_cost: optimized.cost,
+                    guards,
+                    used_remote: false,
+                    warnings,
+                    timings: result.timings,
+                    tables,
+                    stats,
+                })
+            }
         }
     }
 
@@ -689,7 +750,10 @@ impl MTCache {
     fn fresh_ctx(&self, floors: HashMap<RegionId, Timestamp>) -> ExecContext {
         let remote: Option<Arc<dyn RemoteService>> =
             if self.backend_available.load(Ordering::SeqCst) {
-                Some(Arc::clone(&self.backend) as Arc<dyn RemoteService>)
+                match &*self.remote_override.read() {
+                    Some(service) => Some(Arc::clone(service)),
+                    None => Some(Arc::clone(&self.backend) as Arc<dyn RemoteService>),
+                }
             } else {
                 None
             };

@@ -1,0 +1,152 @@
+//! `rccd` — the cache server daemon.
+//!
+//! Boots the paper's rig (cache DBMS + back-end server), puts the back-end
+//! behind its own TCP listener, rewires the cache's remote branch through
+//! the pooled TCP transport, and serves client sessions on the front-end
+//! port. A wall-clock pump advances the simulated replication clock so
+//! currency-region heartbeats stay live while the process runs.
+//!
+//! ```text
+//! rccd [--listen ADDR] [--backend-listen ADDR] [--scale F] [--seed N]
+//!      [--max-connections N]
+//! ```
+
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use rcc_net::{
+    BackendNetServer, NetServer, NetServerConfig, PoolConfig, RetryPolicy, TcpRemoteService,
+};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Options {
+    listen: String,
+    backend_listen: String,
+    scale: f64,
+    seed: u64,
+    max_connections: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            listen: "127.0.0.1:7878".into(),
+            backend_listen: "127.0.0.1:0".into(),
+            scale: 0.01,
+            seed: 42,
+            max_connections: NetServerConfig::default().max_connections,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--backend-listen" => opts.backend_listen = value("--backend-listen")?,
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--max-connections" => {
+                opts.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: rccd [--listen ADDR] [--backend-listen ADDR] \
+                     [--scale F] [--seed N] [--max-connections N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rccd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rccd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    eprintln!(
+        "rccd: building the paper rig (scale {}, seed {})...",
+        opts.scale, opts.seed
+    );
+    let cache = paper_setup(opts.scale, opts.seed).map_err(|e| e.to_string())?;
+    warm_up(&cache).map_err(|e| e.to_string())?;
+    let cache = Arc::new(cache);
+
+    // back-end behind its own listener; this pins NetworkModel::Real
+    let backend_srv = BackendNetServer::spawn(Arc::clone(cache.backend()), &opts.backend_listen)
+        .map_err(|e| format!("backend listener: {e}"))?;
+
+    // remote branch now ships SQL over pooled TCP
+    let remote = TcpRemoteService::new(
+        backend_srv.addr(),
+        PoolConfig::default(),
+        RetryPolicy::default(),
+    )
+    .map_err(|e| format!("remote service: {e}"))?;
+    remote.set_metrics(Arc::clone(cache.metrics()));
+    cache.set_remote_service(Some(Arc::new(remote)));
+
+    let front = NetServer::spawn(
+        Arc::clone(&cache),
+        &opts.listen,
+        NetServerConfig {
+            max_connections: opts.max_connections,
+            ..NetServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("front-end listener: {e}"))?;
+
+    // keep replication heartbeats live: map wall time onto the sim clock
+    let pump = Arc::clone(&cache);
+    std::thread::Builder::new()
+        .name("rcc-clock-pump".into())
+        .spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(100));
+            if pump
+                .advance(rcc_common::Duration::from_millis(100))
+                .is_err()
+            {
+                break;
+            }
+        })
+        .map_err(|e| format!("clock pump: {e}"))?;
+
+    println!(
+        "rccd listening on {} (back-end at {})",
+        front.addr(),
+        backend_srv.addr()
+    );
+    // serve until killed
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,163 @@
+//! `rccsh` — a small interactive shell / one-shot client for `rccd`.
+//!
+//! ```text
+//! rccsh [--addr HOST:PORT] [--policy reject|serve-stale]
+//!       [--connect-retry-secs N] [SQL ...]
+//! ```
+//!
+//! With SQL on the command line, runs it once and exits 0 on success, 1 on
+//! any error (the CI smoke test relies on this). Without SQL, reads
+//! statements from stdin, one per line.
+
+use rcc_mtcache::ViolationPolicy;
+use rcc_net::{ClientConfig, NetClient, NetQueryResult};
+use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Options {
+    addr: String,
+    policy: Option<ViolationPolicy>,
+    connect_retry: Option<Duration>,
+    sql: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7878".into(),
+            policy: None,
+            connect_retry: None,
+            sql: Vec::new(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                opts.addr = args.next().ok_or("--addr needs a value")?;
+            }
+            "--policy" => {
+                let v = args.next().ok_or("--policy needs a value")?;
+                opts.policy = Some(match v.to_ascii_lowercase().replace('-', "_").as_str() {
+                    "reject" => ViolationPolicy::Reject,
+                    "serve_stale" => ViolationPolicy::ServeStale,
+                    other => return Err(format!("unknown policy {other}")),
+                });
+            }
+            "--connect-retry-secs" => {
+                let v: u64 = args
+                    .next()
+                    .ok_or("--connect-retry-secs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--connect-retry-secs: {e}"))?;
+                opts.connect_retry = Some(Duration::from_secs(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: rccsh [--addr HOST:PORT] [--policy reject|serve-stale] \
+                     [--connect-retry-secs N] [SQL ...]"
+                );
+                std::process::exit(0);
+            }
+            _ => {
+                // first non-flag argument starts the SQL text
+                let mut sql = vec![arg];
+                sql.extend(args.by_ref());
+                opts.sql = sql;
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rccsh: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rccsh: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    let cfg = ClientConfig::default();
+    let mut client = match opts.connect_retry {
+        Some(total) => NetClient::connect_retry(opts.addr.as_str(), &cfg, total),
+        None => NetClient::connect(opts.addr.as_str(), &cfg),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(policy) = opts.policy {
+        client.set_policy(policy).map_err(|e| e.to_string())?;
+    }
+
+    if !opts.sql.is_empty() {
+        let sql = opts.sql.join(" ");
+        let result = client.query(&sql).map_err(|e| e.to_string())?;
+        print_result(&result);
+        return Ok(());
+    }
+
+    // REPL: one statement per line
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        write!(out, "rcc> ").and_then(|_| out.flush()).ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        if sql.eq_ignore_ascii_case("quit") || sql.eq_ignore_ascii_case("exit") {
+            return Ok(());
+        }
+        match client.query(sql) {
+            Ok(result) => print_result(&result),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+fn print_result(result: &NetQueryResult) {
+    let names: Vec<&str> = result
+        .schema
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    println!("{}", names.join("\t"));
+    for row in &result.rows {
+        let vals: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+        println!("{}", vals.join("\t"));
+    }
+    for warning in &result.warnings {
+        eprintln!("warning: {warning}");
+    }
+    eprintln!(
+        "({} row(s), {} bytes on the wire, {})",
+        result.rows.len(),
+        result.wire_bytes,
+        if result.used_remote {
+            "went to the back-end"
+        } else {
+            "answered from the cache"
+        }
+    );
+}

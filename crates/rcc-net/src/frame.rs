@@ -1,0 +1,540 @@
+//! Length-prefixed framed protocol between clients, the cache front-end,
+//! and the back-end transport.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! ┌───────────────┬────────────────────────────────────────────┐
+//! │ u32 LE length │ payload (length bytes)                     │
+//! └───────────────┴────────────────────────────────────────────┘
+//! payload:
+//! ┌────────┬───────────────────────────────────────────────────┐
+//! │ u8 tag │ body (tag-specific)                               │
+//! └────────┴───────────────────────────────────────────────────┘
+//! ```
+//!
+//! Request bodies (client → server):
+//!
+//! | tag  | frame     | body                                          |
+//! |------|-----------|-----------------------------------------------|
+//! | 0x01 | Query     | string `sql`                                  |
+//! | 0x02 | SetOption | string `name`, string `value`                 |
+//! | 0x03 | Ping      | (empty)                                       |
+//!
+//! Response bodies (server → client):
+//!
+//! | tag  | frame     | body                                          |
+//! |------|-----------|-----------------------------------------------|
+//! | 0x81 | ResultSet | u8 flags (bit0 `used_remote`), u16 warning    |
+//! |      |           | count, warnings as strings, then the result   |
+//! |      |           | encoded with [`rcc_executor::wire`]           |
+//! | 0x82 | Error     | u8 error code, string message                 |
+//! | 0x83 | Ok        | (empty)                                       |
+//! | 0x84 | Pong      | (empty)                                       |
+//!
+//! Strings are `u32 LE length + UTF-8 bytes`. Decoding validates every
+//! length against the bytes actually present — truncated or garbage
+//! payloads produce [`rcc_common::Error::Remote`], never a panic (the
+//! property tests in `tests/proptest_frame.rs` hold the codec to that).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rcc_common::{Error, Result};
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Upper bound on a frame payload (64 MiB): anything larger is a protocol
+/// violation, rejected before any allocation happens.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+const TAG_QUERY: u8 = 0x01;
+const TAG_SET_OPTION: u8 = 0x02;
+const TAG_PING: u8 = 0x03;
+
+const TAG_RESULT: u8 = 0x81;
+const TAG_ERROR: u8 = 0x82;
+const TAG_OK: u8 = 0x83;
+const TAG_PONG: u8 = 0x84;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Execute one SQL statement in the connection's session.
+    Query {
+        /// Statement text (may carry CURRENCY clauses, BEGIN TIMEORDERED…).
+        sql: String,
+    },
+    /// Set a session option (e.g. `violation_policy` = `serve_stale`).
+    SetOption {
+        /// Option name, matched case-insensitively.
+        name: String,
+        /// Option value.
+        value: String,
+    },
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful query result.
+    ResultSet {
+        /// Did the cache contact the back-end to answer this query?
+        used_remote: bool,
+        /// Human-readable warnings (stale data served, etc.).
+        warnings: Vec<String>,
+        /// The rows, encoded with [`rcc_executor::wire::encode_result`].
+        payload: Bytes,
+    },
+    /// The request failed; carries the reconstructed error.
+    Error(Error),
+    /// A request with no result (SetOption) succeeded.
+    Ok,
+    /// Answer to [`Request::Ping`].
+    Pong,
+}
+
+impl Request {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        match self {
+            Request::Query { sql } => {
+                buf.put_u8(TAG_QUERY);
+                put_str(&mut buf, sql);
+            }
+            Request::SetOption { name, value } => {
+                buf.put_u8(TAG_SET_OPTION);
+                put_str(&mut buf, name);
+                put_str(&mut buf, value);
+            }
+            Request::Ping => buf.put_u8(TAG_PING),
+        }
+        buf.freeze()
+    }
+
+    /// Parse a frame payload. Rejects unknown tags, bad lengths, invalid
+    /// UTF-8 and trailing bytes with a clean error.
+    pub fn decode(mut buf: Bytes) -> Result<Request> {
+        need(&buf, 1)?;
+        let tag = buf.get_u8();
+        let req = match tag {
+            TAG_QUERY => Request::Query {
+                sql: get_str(&mut buf)?,
+            },
+            TAG_SET_OPTION => Request::SetOption {
+                name: get_str(&mut buf)?,
+                value: get_str(&mut buf)?,
+            },
+            TAG_PING => Request::Ping,
+            other => return Err(Error::Remote(format!("bad request frame tag {other:#x}"))),
+        };
+        no_trailing(&buf)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            Response::ResultSet {
+                used_remote,
+                warnings,
+                payload,
+            } => {
+                buf.put_u8(TAG_RESULT);
+                buf.put_u8(*used_remote as u8);
+                buf.put_u16_le(warnings.len() as u16);
+                for w in warnings {
+                    put_str(&mut buf, w);
+                }
+                buf.put_slice(payload);
+            }
+            Response::Error(e) => {
+                buf.put_u8(TAG_ERROR);
+                buf.put_u8(error_code(e));
+                put_str(&mut buf, &e.to_string());
+            }
+            Response::Ok => buf.put_u8(TAG_OK),
+            Response::Pong => buf.put_u8(TAG_PONG),
+        }
+        buf.freeze()
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(mut buf: Bytes) -> Result<Response> {
+        need(&buf, 1)?;
+        let tag = buf.get_u8();
+        match tag {
+            TAG_RESULT => {
+                need(&buf, 3)?;
+                let flags = buf.get_u8();
+                let nwarn = buf.get_u16_le() as usize;
+                let mut warnings = Vec::with_capacity(nwarn.min(64));
+                for _ in 0..nwarn {
+                    warnings.push(get_str(&mut buf)?);
+                }
+                // the rest of the payload is the wire-encoded result set;
+                // its internal framing is validated by wire::decode_result
+                Ok(Response::ResultSet {
+                    used_remote: flags & 1 != 0,
+                    warnings,
+                    payload: buf,
+                })
+            }
+            TAG_ERROR => {
+                need(&buf, 1)?;
+                let code = buf.get_u8();
+                let message = get_str(&mut buf)?;
+                no_trailing(&buf)?;
+                Ok(Response::Error(error_from_code(code, message)))
+            }
+            TAG_OK => {
+                no_trailing(&buf)?;
+                Ok(Response::Ok)
+            }
+            TAG_PONG => {
+                no_trailing(&buf)?;
+                Ok(Response::Pong)
+            }
+            other => Err(Error::Remote(format!("bad response frame tag {other:#x}"))),
+        }
+    }
+}
+
+// -------------------------------------------------------- error code map
+
+const CODE_PARSE: u8 = 1;
+const CODE_ANALYSIS: u8 = 2;
+const CODE_NOT_FOUND: u8 = 3;
+const CODE_CURRENCY: u8 = 4;
+const CODE_REMOTE: u8 = 5;
+const CODE_UNAVAILABLE: u8 = 6;
+const CODE_EXECUTION: u8 = 7;
+const CODE_CONFIG: u8 = 8;
+const CODE_NO_PLAN: u8 = 9;
+const CODE_OTHER: u8 = 0;
+
+/// Map an error to its wire code. Lossy: the class survives the trip, the
+/// exact variant does not (a client mostly needs to distinguish "your SQL
+/// is wrong" from "your bound cannot be met" from "the server is sick").
+fn error_code(e: &Error) -> u8 {
+    match e {
+        Error::Lex { .. } | Error::Parse { .. } => CODE_PARSE,
+        Error::Analysis(_) | Error::Type(_) => CODE_ANALYSIS,
+        Error::NotFound(_) | Error::AlreadyExists(_) => CODE_NOT_FOUND,
+        Error::CurrencyViolation(_) => CODE_CURRENCY,
+        Error::Remote(_) => CODE_REMOTE,
+        Error::Unavailable(_) => CODE_UNAVAILABLE,
+        Error::Execution(_) | Error::Storage(_) => CODE_EXECUTION,
+        Error::Config(_) => CODE_CONFIG,
+        Error::NoPlan(_) => CODE_NO_PLAN,
+        Error::Internal(_) => CODE_OTHER,
+    }
+}
+
+/// Reconstruct an error from its wire code; the message is the server-side
+/// `Display` rendering.
+fn error_from_code(code: u8, message: String) -> Error {
+    match code {
+        CODE_PARSE => Error::Parse { pos: 0, message },
+        CODE_ANALYSIS => Error::Analysis(message),
+        CODE_NOT_FOUND => Error::NotFound(message),
+        CODE_CURRENCY => Error::CurrencyViolation(message),
+        CODE_REMOTE => Error::Remote(message),
+        CODE_UNAVAILABLE => Error::Unavailable(message),
+        CODE_EXECUTION => Error::Execution(message),
+        CODE_CONFIG => Error::Config(message),
+        CODE_NO_PLAN => Error::NoPlan(message),
+        _ => Error::Internal(message),
+    }
+}
+
+// ----------------------------------------------------------- primitives
+
+fn need(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(Error::Remote("truncated protocol frame".into()))
+    } else {
+        Ok(())
+    }
+}
+
+fn no_trailing(buf: &Bytes) -> Result<()> {
+    if buf.has_remaining() {
+        Err(Error::Remote("trailing bytes in protocol frame".into()))
+    } else {
+        Ok(())
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len)?;
+    String::from_utf8(buf.copy_to_bytes(len).to_vec())
+        .map_err(|_| Error::Remote("bad string encoding in protocol frame".into()))
+}
+
+// ------------------------------------------------------------- frame I/O
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on clean EOF (the peer closed the
+/// connection between frames); mid-frame EOF is an error. Partial reads
+/// are handled — the transfer may arrive in arbitrarily small chunks.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Bytes>> {
+    let mut head = [0u8; 4];
+    match read_exact_or_eof(r, &mut head)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    let len = u32::from_le_bytes(head) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame (max {MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Bytes::from(payload)))
+}
+
+enum ReadOutcome {
+    Filled,
+    Eof,
+}
+
+/// `read_exact` that reports clean EOF *before the first byte* as
+/// [`ReadOutcome::Eof`] instead of an error.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+/// Read one frame from a stream whose read timeout is set to a short poll
+/// interval, so the loop can notice `should_stop` (server shutdown)
+/// between chunks. Semantics:
+///
+/// * idle connection (no bytes yet): wait indefinitely, polling
+///   `should_stop`; a stop request returns `Ok(None)` like a clean EOF;
+/// * mid-frame: the peer has `mid_frame_timeout` to deliver the rest,
+///   otherwise the read fails with `TimedOut` (half-open connections
+///   cannot wedge a server thread forever).
+pub fn read_frame_interruptible(
+    r: &mut impl Read,
+    should_stop: &dyn Fn() -> bool,
+    mid_frame_timeout: Duration,
+) -> io::Result<Option<Bytes>> {
+    let mut head = [0u8; 4];
+    if !read_poll(r, &mut head, should_stop, mid_frame_timeout, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(head) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame (max {MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_poll(r, &mut payload, should_stop, mid_frame_timeout, false)? {
+        return Ok(None);
+    }
+    Ok(Some(Bytes::from(payload)))
+}
+
+/// Fill `buf`, tolerating poll timeouts. Returns `Ok(false)` for a clean
+/// stop (EOF before any byte, or `should_stop` while still idle).
+fn read_poll(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    should_stop: &dyn Fn() -> bool,
+    mid_frame_timeout: Duration,
+    idle_ok: bool,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    let mut first_byte_at: Option<Instant> = if idle_ok { None } else { Some(Instant::now()) };
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && idle_ok => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                first_byte_at.get_or_insert_with(Instant::now);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                match first_byte_at {
+                    None => {
+                        // still idle: stopping here is a clean exit
+                        if should_stop() {
+                            return Ok(false);
+                        }
+                    }
+                    Some(started) => {
+                        if started.elapsed() > mid_frame_timeout {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "peer stalled mid-frame",
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Query {
+                sql: "SELECT 1 CURRENCY BOUND 5 SEC ON (t)".into(),
+            },
+            Request::SetOption {
+                name: "violation_policy".into(),
+                value: "serve_stale".into(),
+            },
+            Request::Ping,
+        ] {
+            assert_eq!(Request::decode(req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        use rcc_common::{Column, DataType, Row, Schema, Value};
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let payload = rcc_executor::wire::encode_result(&schema, &[Row::new(vec![Value::Int(7)])]);
+        for resp in [
+            Response::ResultSet {
+                used_remote: true,
+                warnings: vec!["stale".into()],
+                payload: payload.clone(),
+            },
+            Response::Ok,
+            Response::Pong,
+        ] {
+            assert_eq!(Response::decode(resp.encode()).unwrap(), resp);
+        }
+        // errors round-trip as class + Display rendering, not identical
+        // payloads (see error_codes_preserve_class)
+        let err = Error::CurrencyViolation("too stale".into());
+        match Response::decode(Response::Error(err.clone()).encode()).unwrap() {
+            Response::Error(Error::CurrencyViolation(m)) => assert_eq!(m, err.to_string()),
+            other => panic!("expected a currency violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_codes_preserve_class() {
+        for e in [
+            Error::analysis("x"),
+            Error::CurrencyViolation("x".into()),
+            Error::Unavailable("x".into()),
+            Error::Remote("x".into()),
+            Error::Config("x".into()),
+        ] {
+            let decoded = match Response::decode(Response::Error(e.clone()).encode()).unwrap() {
+                Response::Error(d) => d,
+                other => panic!("expected error, got {other:?}"),
+            };
+            assert_eq!(
+                std::mem::discriminant(&decoded),
+                std::mem::discriminant(&e),
+                "{e:?} vs {decoded:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let frame = Request::SetOption {
+            name: "violation_policy".into(),
+            value: "reject".into(),
+        }
+        .encode();
+        for cut in 0..frame.len() {
+            assert!(Request::decode(frame.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_io_roundtrip_over_cursor() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        write_frame(
+            &mut wire,
+            &Request::Query {
+                sql: "SELECT 1".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let mut r = std::io::Cursor::new(wire);
+        let f1 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(Request::decode(f1).unwrap(), Request::Ping);
+        let f2 = read_frame(&mut r).unwrap().unwrap();
+        assert!(matches!(
+            Request::decode(f2).unwrap(),
+            Request::Query { .. }
+        ));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_header_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut r = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut r).is_err());
+    }
+}

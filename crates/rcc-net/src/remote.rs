@@ -1,0 +1,205 @@
+//! The TCP remote service: the cache's remote branch over a real socket.
+//!
+//! Implements [`rcc_executor::RemoteService`] by shipping SQL text to a
+//! [`crate::BackendNetServer`] through a [`BackendPool`], with per-call
+//! deadlines (the pool's `io_timeout` bounds every read/write) and bounded
+//! retry-with-backoff on transport failures. Application-level errors from
+//! the back-end (bad SQL, rejected currency clause) are returned as-is and
+//! never retried; transport failures that exhaust the retry budget become
+//! [`rcc_common::Error::Unavailable`], which the cache degrades per the
+//! session's `ViolationPolicy` — the same semantics `tests/
+//! failure_injection.rs` establishes for the in-process link, now over a
+//! real socket.
+
+use crate::frame::{read_frame, write_frame, Request, Response};
+use crate::pool::{BackendPool, PoolConfig};
+use parking_lot::Mutex;
+use rcc_common::{Error, Result, Row, Schema};
+use rcc_executor::{wire, RemoteService};
+use rcc_obs::{MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bounded retry-with-backoff for transport failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles after each failure.
+    pub initial_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A [`RemoteService`] that ships SQL over pooled TCP connections.
+#[derive(Debug)]
+pub struct TcpRemoteService {
+    pool: BackendPool,
+    retry: RetryPolicy,
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+}
+
+/// One call attempt's failure mode: transport errors are retryable,
+/// application errors are final.
+enum CallError {
+    Transport(io::Error),
+    App(Error),
+}
+
+impl TcpRemoteService {
+    /// A service dialing `addr` lazily (the first remote branch opens the
+    /// first connection).
+    pub fn new(
+        addr: impl ToSocketAddrs,
+        pool: PoolConfig,
+        retry: RetryPolicy,
+    ) -> io::Result<TcpRemoteService> {
+        Ok(TcpRemoteService {
+            pool: BackendPool::new(addr, pool)?,
+            retry,
+            metrics: Mutex::new(None),
+        })
+    }
+
+    /// The underlying pool (occupancy inspection, draining).
+    pub fn pool(&self) -> &BackendPool {
+        &self.pool
+    }
+
+    /// Publish transport metrics: call latency histogram, retry/timeout/
+    /// unavailable counters, and the pool occupancy gauges.
+    pub fn set_metrics(&self, registry: Arc<MetricsRegistry>) {
+        registry.describe(
+            "rcc_net_remote_call_seconds",
+            "Wall time of remote calls over the TCP transport (including retries).",
+        );
+        registry.describe(
+            "rcc_net_remote_retries_total",
+            "Remote-call attempts retried after a transport failure.",
+        );
+        registry.describe(
+            "rcc_net_remote_timeouts_total",
+            "Remote-call attempts that hit the per-call deadline.",
+        );
+        registry.describe(
+            "rcc_net_remote_unavailable_total",
+            "Remote calls that exhausted every retry and degraded per policy.",
+        );
+        self.pool.set_metrics(&registry);
+        *self.metrics.lock() = Some(registry);
+    }
+
+    /// One framed request/response round trip on a pooled connection.
+    fn call_once(&self, sql: &str) -> std::result::Result<(Schema, Vec<Row>, u64), CallError> {
+        let stream = self.pool.checkout().map_err(CallError::Transport)?;
+        match self.roundtrip(&stream, sql) {
+            Ok(out) => {
+                self.pool.checkin(stream);
+                Ok(out)
+            }
+            Err(CallError::App(e)) => {
+                // the connection is still in protocol sync: reuse it
+                self.pool.checkin(stream);
+                Err(CallError::App(e))
+            }
+            Err(CallError::Transport(e)) => {
+                self.pool.discard();
+                Err(CallError::Transport(e))
+            }
+        }
+    }
+
+    fn roundtrip(
+        &self,
+        mut stream: &TcpStream,
+        sql: &str,
+    ) -> std::result::Result<(Schema, Vec<Row>, u64), CallError> {
+        let req = Request::Query {
+            sql: sql.to_string(),
+        }
+        .encode();
+        write_frame(&mut stream, &req).map_err(CallError::Transport)?;
+        let payload = read_frame(&mut stream)
+            .map_err(CallError::Transport)?
+            .ok_or_else(|| {
+                CallError::Transport(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "back-end closed the connection",
+                ))
+            })?;
+        match Response::decode(payload).map_err(CallError::App)? {
+            Response::ResultSet { payload, .. } => {
+                let bytes = payload.len() as u64;
+                let (schema, rows) = wire::decode_result(payload).map_err(CallError::App)?;
+                Ok((schema, rows, bytes))
+            }
+            Response::Error(e) => Err(CallError::App(e)),
+            other => Err(CallError::App(Error::Remote(format!(
+                "unexpected back-end response frame {other:?}"
+            )))),
+        }
+    }
+
+    fn counter(&self, name: &str) {
+        if let Some(m) = &*self.metrics.lock() {
+            m.counter(name, &[]).inc();
+        }
+    }
+}
+
+impl RemoteService for TcpRemoteService {
+    fn execute(&self, sql: &str) -> Result<(Schema, Vec<Row>)> {
+        self.execute_with_bytes(sql)
+            .map(|(schema, rows, _)| (schema, rows))
+    }
+
+    fn execute_with_bytes(&self, sql: &str) -> Result<(Schema, Vec<Row>, u64)> {
+        let started = Instant::now();
+        let mut backoff = self.retry.initial_backoff;
+        let attempts = self.retry.attempts.max(1);
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.counter("rcc_net_remote_retries_total");
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match self.call_once(sql) {
+                Ok(out) => {
+                    if let Some(m) = &*self.metrics.lock() {
+                        m.histogram("rcc_net_remote_call_seconds", &[], DEFAULT_LATENCY_BUCKETS)
+                            .observe(started.elapsed().as_secs_f64());
+                    }
+                    return Ok(out);
+                }
+                Err(CallError::App(e)) => return Err(e),
+                Err(CallError::Transport(e)) => {
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ) {
+                        self.counter("rcc_net_remote_timeouts_total");
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        self.counter("rcc_net_remote_unavailable_total");
+        let detail = last_err
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "unknown transport failure".into());
+        Err(Error::Unavailable(format!(
+            "back-end at {} unreachable after {attempts} attempt(s): {detail}",
+            self.pool.addr()
+        )))
+    }
+}

@@ -1,0 +1,281 @@
+//! The cache front-end: an [`MTCache`] behind a TCP socket.
+//!
+//! Thread-per-connection with a bounded accept pool: at most
+//! [`NetServerConfig::max_connections`] sessions are live at once; excess
+//! connections receive an [`Error::Unavailable`] frame and are closed
+//! immediately (clients see "server busy" instead of an unbounded queue).
+//! Each connection owns one [`rcc_mtcache::Session`], so currency options
+//! (violation policy, TIMEORDERED brackets) are isolated per client.
+//! Shutdown is graceful: in-flight statements finish, idle connections
+//! notice the stop flag within one poll interval, and every thread is
+//! joined before [`NetServer::shutdown`] returns.
+
+use crate::frame::{read_frame_interruptible, write_frame, Request, Response};
+use parking_lot::Mutex;
+use rcc_common::Error;
+use rcc_executor::wire;
+use rcc_mtcache::{MTCache, ViolationPolicy};
+use rcc_obs::{MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check the shutdown flag.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Tuning for [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Bounded accept pool: connections beyond this are refused with a
+    /// busy error frame.
+    pub max_connections: usize,
+    /// Once a frame's first byte arrives, the peer has this long to
+    /// deliver the rest (half-open connections cannot pin a thread).
+    pub frame_timeout: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 64,
+            frame_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The TCP front-end server for one [`MTCache`].
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Bind `bind` (e.g. `"127.0.0.1:0"`) and serve `cache` from a
+    /// background accept thread. Front-end metrics are published to the
+    /// cache's own [`MetricsRegistry`].
+    pub fn spawn(cache: Arc<MTCache>, bind: &str, cfg: NetServerConfig) -> io::Result<NetServer> {
+        let registry = Arc::clone(cache.metrics());
+        describe_metrics(&registry);
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("rcc-net-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(mut stream) = stream else { continue };
+                        registry.counter("rcc_net_connections_total", &[]).inc();
+                        if active.load(Ordering::SeqCst) >= cfg.max_connections {
+                            // bounded accept pool: refuse, don't queue
+                            registry
+                                .counter("rcc_net_connections_rejected_total", &[])
+                                .inc();
+                            let busy = Response::Error(Error::Unavailable(format!(
+                                "server busy: {} connections already open",
+                                cfg.max_connections
+                            )));
+                            let _ = write_frame(&mut stream, &busy.encode());
+                            continue;
+                        }
+                        let slot = ActiveSlot::take(&active, &registry);
+                        let cache = Arc::clone(&cache);
+                        let shutdown = Arc::clone(&shutdown);
+                        let registry = Arc::clone(&registry);
+                        let frame_timeout = cfg.frame_timeout;
+                        if let Ok(handle) = std::thread::Builder::new()
+                            .name("rcc-net-conn".into())
+                            .spawn(move || {
+                                handle_conn(cache, stream, shutdown, registry, frame_timeout);
+                                drop(slot);
+                            })
+                        {
+                            conns.lock().push(handle);
+                        }
+                    }
+                })?
+        };
+        Ok(NetServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight statements finish,
+    /// join every thread.
+    pub fn shutdown(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for handle in self.conns.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// RAII guard for one slot of the bounded accept pool, mirrored into the
+/// `rcc_net_connections_open` gauge.
+struct ActiveSlot {
+    active: Arc<AtomicUsize>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl ActiveSlot {
+    fn take(active: &Arc<AtomicUsize>, registry: &Arc<MetricsRegistry>) -> ActiveSlot {
+        active.fetch_add(1, Ordering::SeqCst);
+        registry.gauge("rcc_net_connections_open", &[]).inc();
+        ActiveSlot {
+            active: Arc::clone(active),
+            registry: Arc::clone(registry),
+        }
+    }
+}
+
+impl Drop for ActiveSlot {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        self.registry.gauge("rcc_net_connections_open", &[]).dec();
+    }
+}
+
+fn describe_metrics(registry: &MetricsRegistry) {
+    registry.describe(
+        "rcc_net_connections_total",
+        "TCP connections accepted by the cache front-end.",
+    );
+    registry.describe(
+        "rcc_net_connections_open",
+        "TCP connections currently open at the cache front-end.",
+    );
+    registry.describe(
+        "rcc_net_connections_rejected_total",
+        "Connections refused because the accept pool was full.",
+    );
+    registry.describe(
+        "rcc_net_requests_total",
+        "Protocol requests served, labelled by frame type.",
+    );
+    registry.describe(
+        "rcc_net_request_errors_total",
+        "Protocol requests answered with an error frame.",
+    );
+    registry.describe(
+        "rcc_net_request_seconds",
+        "Front-end request latency (read frame to response written).",
+    );
+}
+
+fn handle_conn(
+    cache: Arc<MTCache>,
+    mut stream: TcpStream,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<MetricsRegistry>,
+    frame_timeout: Duration,
+) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    // per-connection session: currency options and timeline floors are
+    // isolated from every other client
+    let mut session = cache.session();
+    let stop = || shutdown.load(Ordering::SeqCst);
+    while let Ok(Some(payload)) = read_frame_interruptible(&mut stream, &stop, frame_timeout) {
+        let started = Instant::now();
+        let response = match Request::decode(payload) {
+            Ok(Request::Query { sql }) => {
+                registry
+                    .counter("rcc_net_requests_total", &[("type", "query")])
+                    .inc();
+                match session.execute(&sql) {
+                    Ok(r) => Response::ResultSet {
+                        used_remote: r.used_remote,
+                        warnings: r.warnings,
+                        payload: wire::encode_result(&r.schema, &r.rows),
+                    },
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Ok(Request::SetOption { name, value }) => {
+                registry
+                    .counter("rcc_net_requests_total", &[("type", "set_option")])
+                    .inc();
+                match apply_option(&mut session, &name, &value) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Ok(Request::Ping) => {
+                registry
+                    .counter("rcc_net_requests_total", &[("type", "ping")])
+                    .inc();
+                Response::Pong
+            }
+            Err(e) => Response::Error(e),
+        };
+        if matches!(response, Response::Error(_)) {
+            registry.counter("rcc_net_request_errors_total", &[]).inc();
+        }
+        registry
+            .histogram("rcc_net_request_seconds", &[], DEFAULT_LATENCY_BUCKETS)
+            .observe(started.elapsed().as_secs_f64());
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Apply a session option. Currently:
+///
+/// * `violation_policy` = `reject` | `serve_stale`
+fn apply_option(
+    session: &mut rcc_mtcache::Session<'_>,
+    name: &str,
+    value: &str,
+) -> Result<(), Error> {
+    if name.eq_ignore_ascii_case("violation_policy") {
+        let policy = match value.to_ascii_lowercase().replace('-', "_").as_str() {
+            "reject" => ViolationPolicy::Reject,
+            "serve_stale" => ViolationPolicy::ServeStale,
+            other => {
+                return Err(Error::Config(format!(
+                    "unknown violation_policy '{other}' (expected reject | serve_stale)"
+                )))
+            }
+        };
+        session.set_policy(policy);
+        Ok(())
+    } else {
+        Err(Error::Config(format!("unknown session option '{name}'")))
+    }
+}

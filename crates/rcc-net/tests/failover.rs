@@ -1,0 +1,170 @@
+//! The acceptance scenario: a CURRENCY BOUND query arriving over TCP takes
+//! the remote branch through the pooled TCP [`TcpRemoteService`] to a
+//! [`BackendNetServer`] in another thread — and when that back-end dies
+//! mid-run, sessions degrade per their `ViolationPolicy` (error for
+//! Reject, stale rows + warning for ServeStale) within a bounded time
+//! instead of hanging.
+
+use rcc_common::Duration as SimDuration;
+use rcc_common::Error;
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use rcc_mtcache::{MTCache, ViolationPolicy};
+use rcc_net::{
+    BackendNetServer, ClientConfig, NetClient, NetServer, NetServerConfig, PoolConfig, RetryPolicy,
+    TcpRemoteService,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const Q: &str = "SELECT c_acctbal FROM customer WHERE c_custkey = 5 \
+                 CURRENCY BOUND 30 SEC ON (customer)";
+
+/// Pool/retry tuning tight enough that a dead back-end is detected in well
+/// under a second: 2 attempts, 10 ms backoff, 500 ms per-call deadline.
+fn tight_remote(addr: std::net::SocketAddr) -> TcpRemoteService {
+    TcpRemoteService::new(
+        addr,
+        PoolConfig {
+            connect_timeout: Duration::from_millis(300),
+            io_timeout: Duration::from_millis(500),
+            ..PoolConfig::default()
+        },
+        RetryPolicy {
+            attempts: 2,
+            initial_backoff: Duration::from_millis(10),
+        },
+    )
+    .unwrap()
+}
+
+/// Build the full two-process-shaped rig in one test process: cache with a
+/// TCP front-end, back-end behind its own listener, remote branch rewired
+/// through the pooled TCP transport.
+fn rig() -> (Arc<MTCache>, NetServer, BackendNetServer) {
+    let cache = paper_setup(0.001, 7).unwrap();
+    warm_up(&cache).unwrap();
+    let cache = Arc::new(cache);
+    let backend_srv = BackendNetServer::spawn(Arc::clone(cache.backend()), "127.0.0.1:0").unwrap();
+    let remote = tight_remote(backend_srv.addr());
+    remote.set_metrics(Arc::clone(cache.metrics()));
+    cache.set_remote_service(Some(Arc::new(remote)));
+    let front = NetServer::spawn(
+        Arc::clone(&cache),
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+    )
+    .unwrap();
+    (cache, front, backend_srv)
+}
+
+/// Make CR1 stale beyond the 30 s bound so `Q` must take the remote branch.
+fn go_stale(cache: &MTCache) {
+    cache.set_region_stalled("CR1", true);
+    cache.advance(SimDuration::from_secs(90)).unwrap();
+}
+
+#[test]
+fn currency_bound_query_ships_over_pooled_tcp() {
+    let (cache, front, _backend_srv) = rig();
+    let mut client = NetClient::connect(front.addr(), &ClientConfig::default()).unwrap();
+
+    // healthy and fresh: local
+    assert!(!client.query(Q).unwrap().used_remote);
+
+    // stale region: the guard routes the probe to the back-end — over TCP
+    go_stale(&cache);
+    cache
+        .execute("UPDATE customer SET c_acctbal = 777.0 WHERE c_custkey = 5")
+        .unwrap();
+    let r = client.query(Q).unwrap();
+    assert!(r.used_remote, "stale region must ship to the back-end");
+    assert_eq!(
+        r.rows[0].values()[0],
+        rcc_common::Value::Float(777.0),
+        "the TCP remote branch sees the latest committed value"
+    );
+
+    // the transport really ran: remote-call latency was recorded and the
+    // pool holds a warm connection
+    let snap = cache.metrics().snapshot();
+    let calls = snap
+        .histogram("rcc_net_remote_call_seconds")
+        .expect("remote call histogram exists")
+        .count;
+    assert!(calls >= 1, "at least one pooled TCP remote call");
+}
+
+#[test]
+fn killing_the_backend_degrades_per_policy_without_hanging() {
+    let (cache, front, mut backend_srv) = rig();
+    let cfg = ClientConfig::default();
+    let mut reject = NetClient::connect(front.addr(), &cfg).unwrap();
+    let mut stale = NetClient::connect(front.addr(), &cfg).unwrap();
+    stale.set_policy(ViolationPolicy::ServeStale).unwrap();
+
+    go_stale(&cache);
+    // both sessions are healthy while the back-end lives
+    assert!(reject.query(Q).unwrap().used_remote);
+    assert!(stale.query(Q).unwrap().used_remote);
+
+    // kill the back-end mid-run: pooled connections die, later dials are
+    // refused
+    backend_srv.shutdown();
+
+    // Reject: a policy-conformant error, within the retry budget's bound
+    let started = Instant::now();
+    let err = reject.query(Q).expect_err("reject session must error");
+    let elapsed = started.elapsed();
+    // Reject surfaces as a currency violation explaining the outage — the
+    // same class the in-process failure-injection suite establishes
+    match &err {
+        Error::CurrencyViolation(m) => {
+            assert!(
+                m.contains("unreachable"),
+                "violation must name the outage: {m}"
+            )
+        }
+        other => panic!("expected CurrencyViolation, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "degradation must be bounded by deadlines, took {elapsed:?}"
+    );
+
+    // ServeStale: rows from the stale cache, flagged with a warning
+    let r = stale.query(Q).expect("serve-stale session must get rows");
+    assert_eq!(r.rows.len(), 1);
+    assert!(
+        r.warnings
+            .iter()
+            .any(|w| w.to_lowercase().contains("stale")),
+        "stale service must be flagged: {:?}",
+        r.warnings
+    );
+    assert!(!r.used_remote, "the answer came from the local cache");
+
+    // the transport recorded the outage
+    let snap = cache.metrics().snapshot();
+    assert!(snap.counter("rcc_net_remote_unavailable_total") >= 2);
+    assert!(snap.counter("rcc_net_remote_retries_total") >= 1);
+}
+
+#[test]
+fn backend_recovery_restores_remote_service() {
+    let (cache, front, mut backend_srv) = rig();
+    let mut client = NetClient::connect(front.addr(), &ClientConfig::default()).unwrap();
+    go_stale(&cache);
+    assert!(client.query(Q).unwrap().used_remote);
+
+    backend_srv.shutdown();
+    assert!(client.query(Q).is_err(), "outage surfaces as an error");
+
+    // bring a new back-end up on a fresh port and swap the remote service
+    // — the next query ships again
+    let revived = BackendNetServer::spawn(Arc::clone(cache.backend()), "127.0.0.1:0").unwrap();
+    let remote = tight_remote(revived.addr());
+    remote.set_metrics(Arc::clone(cache.metrics()));
+    cache.set_remote_service(Some(Arc::new(remote)));
+    let r = client.query(Q).unwrap();
+    assert!(r.used_remote, "service restored after recovery");
+}

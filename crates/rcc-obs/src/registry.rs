@@ -98,6 +98,33 @@ impl Gauge {
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Add `delta` (may be negative) atomically — occupancy-style gauges
+    /// (open connections, pooled sockets in use) are incremented and
+    /// decremented from many threads.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
