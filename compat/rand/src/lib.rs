@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Offline stand-in for the `rand` crate (0.8 API subset).
 //!
 //! Workload generators and benchmarks only need a deterministic, seedable

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! The back-end (master) database server substrate.
 //!
 //! The paper's architecture has a single back-end SQL Server holding the

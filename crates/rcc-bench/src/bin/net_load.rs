@@ -106,6 +106,31 @@ fn main() {
         .advance(rcc_common::Duration::from_secs(90))
         .expect("advance");
 
+    // Statically verify the plans the workload is about to hammer: every
+    // optimized plan must prove its currency clause (expected failures: 0).
+    let verification_failures: u64 = [
+        "SELECT c_acctbal FROM customer WHERE c_custkey = 1 \
+         CURRENCY BOUND 30 SEC ON (customer)",
+        "SELECT o_totalprice FROM orders WHERE o_custkey = 1 \
+         CURRENCY BOUND 30 SEC ON (orders)",
+    ]
+    .iter()
+    .map(|sql| {
+        let report = cache
+            .verify(sql, &std::collections::HashMap::new())
+            .expect("verify");
+        if report.ok() {
+            0
+        } else {
+            eprintln!(
+                "net_load: PLAN CONFORMANCE FAILURE for {sql}\n{}",
+                report.render()
+            );
+            1
+        }
+    })
+    .sum();
+
     let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let started = Instant::now();
     let workers: Vec<_> = (0..opts.clients)
@@ -179,15 +204,21 @@ fn main() {
     println!("  rows / wire bytes {total_rows} / {total_bytes}");
     println!("  latency p50/p95/p99  {p50} / {p95} / {p99} µs");
     println!("  transport retries/unavailable  {retries} / {unavailable}");
+    println!("  plan verification failures     {verification_failures} (expected 0)");
 
     assert_eq!(served, total_queries, "front-end counted every query");
+    assert_eq!(
+        verification_failures, 0,
+        "workload plans must conform to their currency clauses"
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"net_load\",\n  \"clients\": {},\n  \"queries_per_client\": {},\n  \
          \"scale\": {},\n  \"elapsed_secs\": {:.6},\n  \"throughput_qps\": {:.1},\n  \
          \"remote_queries\": {},\n  \"total_rows\": {},\n  \"wire_bytes\": {},\n  \
          \"latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n  \
-         \"transport\": {{ \"retries\": {}, \"unavailable\": {} }}\n}}\n",
+         \"transport\": {{ \"retries\": {}, \"unavailable\": {} }},\n  \
+         \"verification_failures\": {}\n}}\n",
         opts.clients,
         opts.queries,
         opts.scale,
@@ -201,6 +232,7 @@ fn main() {
         p99,
         retries,
         unavailable,
+        verification_failures,
     );
     let mut f = std::fs::File::create(&opts.out).expect("create BENCH_net.json");
     f.write_all(json.as_bytes()).expect("write BENCH_net.json");

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Volcano-style execution engine.
 //!
 //! Interprets [`rcc_optimizer::PhysicalPlan`] trees with classic

@@ -128,6 +128,20 @@ impl MTCache {
             "Queries answered from stale local data under ViolationPolicy::ServeStale.",
         );
         metrics.describe(
+            "rcc_policy_degradations_total",
+            "Queries that hit the violation policy because the back-end was \
+             unreachable, labeled by policy arm (reject, serve_stale).",
+        );
+        metrics.describe(
+            "rcc_verify_audits_total",
+            "Optimized plans statically audited for C&C conformance \
+             (post-optimize audit and VERIFY statements).",
+        );
+        metrics.describe(
+            "rcc_verify_failures_total",
+            "Plan conformance audits that found a delivered-vs-required divergence.",
+        );
+        metrics.describe(
             "rcc_plan_cache_hits_total",
             "Plan-cache lookups that reused a compiled dynamic plan.",
         );
@@ -445,7 +459,98 @@ impl MTCache {
             Statement::BeginTimeordered | Statement::EndTimeordered => Err(Error::analysis(
                 "BEGIN/END TIMEORDERED requires a session; use MTCache::session()",
             )),
+            Statement::Verify(select) => self.execute_verify(&select, params),
         }
+    }
+
+    /// Statically verify the plan the optimizer would run for `sql` (which
+    /// may carry a leading `VERIFY`). Optimizes but never executes; returns
+    /// the full proof-obligation report.
+    pub fn verify(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<rcc_verify::VerifyReport> {
+        let select = match parse_statement(sql)? {
+            Statement::Select(s) | Statement::Verify(s) => s,
+            other => {
+                return Err(Error::analysis(format!(
+                    "VERIFY expects a query, got {other:?}"
+                )))
+            }
+        };
+        let graph = bind_select(&self.catalog, &select, params)?;
+        let optimized = optimize(&self.catalog, &graph, &self.config.read())?;
+        let report = rcc_verify::verify_plan(&self.catalog, &graph.constraint, &optimized.plan);
+        self.metrics.counter("rcc_verify_audits_total", &[]).inc();
+        if !report.ok() {
+            self.metrics.counter("rcc_verify_failures_total", &[]).inc();
+        }
+        Ok(report)
+    }
+
+    /// `VERIFY SELECT ...`: optimize, statically check plan conformance,
+    /// and return the proof obligations as a result set (one row per
+    /// obligation) with the plan in `plan_explain`.
+    fn execute_verify(
+        &self,
+        select: &SelectStmt,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        let graph = bind_select(&self.catalog, select, params)?;
+        let optimized = optimize(&self.catalog, &graph, &self.config.read())?;
+        let report = rcc_verify::verify_plan(&self.catalog, &graph.constraint, &optimized.plan);
+        self.metrics.counter("rcc_verify_audits_total", &[]).inc();
+        if !report.ok() {
+            self.metrics.counter("rcc_verify_failures_total", &[]).inc();
+        }
+        let schema = Schema::new(vec![
+            Column::new("obligation", rcc_common::DataType::Str),
+            Column::new("subject", rcc_common::DataType::Str),
+            Column::new("status", rcc_common::DataType::Str),
+        ]);
+        let rows = report
+            .obligations
+            .iter()
+            .map(|o| {
+                Row::new(vec![
+                    Value::Str(o.kind.name().to_string()),
+                    Value::Str(o.subject.clone()),
+                    Value::Str(match &o.status {
+                        rcc_verify::ObligationStatus::Proved => "proved".to_string(),
+                        rcc_verify::ObligationStatus::Violated(why) => {
+                            format!("VIOLATED: {why}")
+                        }
+                    }),
+                ])
+            })
+            .collect();
+        let violations = report.violations().len();
+        let warnings = if violations == 0 {
+            vec![format!(
+                "plan verified: {} proof obligations proved over {} world(s)",
+                report.obligations.len(),
+                report.worlds
+            )]
+        } else {
+            vec![format!(
+                "plan REJECTED: {violations} of {} proof obligations violated",
+                report.obligations.len()
+            )]
+        };
+        Ok(QueryResult {
+            schema,
+            rows,
+            plan_choice: optimized.choice,
+            plan_explain: optimized.plan.explain(),
+            est_cost: optimized.cost,
+            guards: Vec::new(),
+            used_remote: false,
+            warnings,
+            timings: Default::default(),
+            tables: Vec::new(),
+            stats: Default::default(),
+        })
     }
 
     /// Look up or compile the dynamic plan for `sql`, tracing and timing
@@ -474,6 +579,23 @@ impl MTCache {
         let optimized = optimize(&self.catalog, &graph, &self.config.read())?;
         let optimize_time = started.elapsed();
         drop(span);
+        // Post-optimize conformance audit (debug builds): before a freshly
+        // compiled plan enters the plan cache, statically prove it delivers
+        // the query's currency clause. An independent re-derivation — see
+        // `rcc-verify` — so an optimizer property bug cannot vouch for
+        // itself. Cache hits skip this; invalidation forces re-audit.
+        #[cfg(debug_assertions)]
+        {
+            let report = rcc_verify::verify_plan(&self.catalog, &graph.constraint, &optimized.plan);
+            self.metrics.counter("rcc_verify_audits_total", &[]).inc();
+            if !report.ok() {
+                self.metrics.counter("rcc_verify_failures_total", &[]).inc();
+                return Err(Error::analysis(format!(
+                    "plan conformance audit failed for {sql:?}:\n{}",
+                    report.render()
+                )));
+            }
+        }
         let c = Arc::new(CompiledQuery { optimized, tables });
         self.plan_cache.put(key, Arc::clone(&c));
         Ok((c, false, bind_time, optimize_time))
@@ -630,10 +752,15 @@ impl MTCache {
         msg: &str,
     ) -> Result<QueryResult> {
         match policy {
-            ViolationPolicy::Reject => Err(Error::CurrencyViolation(format!(
-                "local data too stale for the query's currency bound and the \
-                 back-end is unreachable ({msg})"
-            ))),
+            ViolationPolicy::Reject => {
+                self.metrics
+                    .counter("rcc_policy_degradations_total", &[("policy", "reject")])
+                    .inc();
+                Err(Error::CurrencyViolation(format!(
+                    "local data too stale for the query's currency bound and the \
+                     back-end is unreachable ({msg})"
+                )))
+            }
             ViolationPolicy::ServeStale => {
                 let mut ctx2 = self.fresh_ctx(floors.clone());
                 ctx2.force_local = true;
@@ -657,6 +784,12 @@ impl MTCache {
                     })
                     .collect();
                 self.metrics.counter("rcc_stale_served_total", &[]).inc();
+                self.metrics
+                    .counter(
+                        "rcc_policy_degradations_total",
+                        &[("policy", "serve_stale")],
+                    )
+                    .inc();
                 let stats = self.finish_stats(
                     trace.id(),
                     cache_hit,

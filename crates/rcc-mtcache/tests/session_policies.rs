@@ -39,6 +39,19 @@ fn session_serve_stale_policy_applies_to_its_queries() {
     let r = lenient.execute(Q).unwrap();
     assert_eq!(r.rows.len(), 1);
     assert!(!r.warnings.is_empty());
+
+    // Each policy arm increments its own degradation counter.
+    let snap = cache.metrics().snapshot();
+    assert_eq!(
+        snap.counter("rcc_policy_degradations_total{policy=\"reject\"}"),
+        1,
+        "strict session's rejection must be counted under the reject arm"
+    );
+    assert_eq!(
+        snap.counter("rcc_policy_degradations_total{policy=\"serve_stale\"}"),
+        1,
+        "lenient session's stale answer must be counted under the serve_stale arm"
+    );
 }
 
 #[test]

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! The network layer for the RC&C mid-tier cache.
 //!
 //! The paper's MTCache is a server real clients connect to over a network;

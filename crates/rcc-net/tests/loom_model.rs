@@ -1,0 +1,164 @@
+//! Model checks for `rcc-net`'s two lock-free-ish coordination surfaces:
+//! [`BackendPool`]'s checkout/checkin/discard accounting and
+//! [`NetServer`]'s shutdown-vs-accept race.
+//!
+//! Built on the workspace's loom stand-in (`compat/loom`): each model runs
+//! many times with perturbed scheduling injected at `loom::thread::yield_now`
+//! call sites; `RUSTFLAGS="--cfg loom"` (the CI model-check job) multiplies
+//! the iteration count for a deeper search. Invariants checked:
+//!
+//! * pool: `in_use` returns to zero once every checkout is matched by a
+//!   checkin or discard, the idle list never exceeds `max_idle`, and no
+//!   interleaving loses or double-counts a slot;
+//! * server: `shutdown()` always joins the accept thread and every
+//!   connection thread, no matter how many clients are mid-connect, and the
+//!   bounded accept pool's slot count returns to zero.
+
+use loom::thread;
+use rcc_net::{BackendPool, NetServer, NetServerConfig, PoolConfig};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A loopback acceptor that accepts (and immediately drops) connections
+/// until told to stop. The pool under test never does I/O on the sockets,
+/// so dropping the server half is fine.
+fn accept_loop() -> (
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                drop(stream);
+            }
+        })
+    };
+    (addr, stop, handle)
+}
+
+fn stop_accept_loop(
+    addr: std::net::SocketAddr,
+    stop: &Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+) {
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    let _ = handle.join();
+}
+
+#[test]
+fn pool_checkout_checkin_accounting_is_linearizable() {
+    let (addr, stop, handle) = accept_loop();
+    loom::model(move || {
+        let pool = Arc::new(
+            BackendPool::new(
+                addr,
+                PoolConfig {
+                    max_idle: 2,
+                    connect_timeout: Duration::from_secs(1),
+                    io_timeout: Duration::from_secs(1),
+                },
+            )
+            .expect("pool"),
+        );
+        let workers: Vec<_> = (0..3)
+            .map(|w| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    for op in 0..3 {
+                        let conn = pool.checkout().expect("checkout");
+                        thread::yield_now();
+                        // Mix the three completion paths across workers/ops.
+                        if (w + op) % 3 == 0 {
+                            drop(conn);
+                            pool.discard();
+                        } else {
+                            pool.checkin(conn);
+                        }
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let (idle, in_use) = pool.occupancy();
+        assert_eq!(in_use, 0, "every checkout must be checked in or discarded");
+        assert!(idle <= 2, "idle list exceeded max_idle: {idle}");
+
+        // Concurrent drain vs checkin must never leave phantom occupancy.
+        let c = pool.checkout().expect("checkout");
+        let drainer = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                thread::yield_now();
+                pool.drain();
+            })
+        };
+        pool.checkin(c);
+        drainer.join().expect("drainer");
+        let (idle, in_use) = pool.occupancy();
+        assert_eq!(in_use, 0);
+        assert!(idle <= 2);
+    });
+    stop_accept_loop(addr, &stop, handle);
+}
+
+#[test]
+fn server_shutdown_vs_concurrent_connects_joins_cleanly() {
+    // One cache for all iterations: MTCache construction is the expensive
+    // part and carries no per-iteration state the model depends on.
+    let cache = Arc::new(rcc_mtcache::MTCache::new());
+    loom::model(move || {
+        let mut server = NetServer::spawn(
+            Arc::clone(&cache),
+            "127.0.0.1:0",
+            NetServerConfig {
+                max_connections: 2,
+                frame_timeout: Duration::from_secs(1),
+            },
+        )
+        .expect("spawn");
+        let addr = server.addr();
+
+        // Clients race the shutdown: some sneak in before the flag, some
+        // hit the closed listener. Both outcomes must be clean.
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                thread::spawn(move || {
+                    thread::yield_now();
+                    if let Ok(s) = TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+                        thread::yield_now();
+                        drop(s);
+                    }
+                })
+            })
+            .collect();
+        thread::yield_now();
+        server.shutdown();
+        for c in clients {
+            c.join().expect("client");
+        }
+        // Shutdown joined the accept thread and every connection thread;
+        // the bounded accept pool must read as empty again.
+        let open = cache
+            .metrics()
+            .snapshot()
+            .gauge("rcc_net_connections_open")
+            .unwrap_or(0.0);
+        assert_eq!(open, 0.0, "connection slots leaked across shutdown");
+        // A second shutdown is a no-op, not a deadlock.
+        server.shutdown();
+    });
+}

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Observability layer for the RC&C mid-tier cache.
 //!
 //! The paper's whole evaluation is a measurement story — guard pass rates,

@@ -307,7 +307,10 @@ impl<'a> Binder<'a> {
                     if has_aggregation {
                         return Err(Error::analysis("SELECT * with aggregation"));
                     }
-                    let frame = self.scopes.last().unwrap();
+                    let frame = self
+                        .scopes
+                        .last()
+                        .expect("binder scope stack is never empty");
                     let names: Vec<(String, Binding)> = frame.names.clone();
                     for (_, binding) in names {
                         self.expand_binding(&binding, &mut projections)?;
@@ -511,7 +514,10 @@ impl<'a> Binder<'a> {
         for item in &query.projections {
             match item {
                 SelectItem::Wildcard => {
-                    let frame = self.scopes.last().unwrap();
+                    let frame = self
+                        .scopes
+                        .last()
+                        .expect("binder scope stack is never empty");
                     let names: Vec<(String, Binding)> = frame.names.clone();
                     let mut proj = Vec::new();
                     for (_, b) in names {
@@ -968,7 +974,7 @@ impl<'a> Binder<'a> {
             Expr::Function {
                 name, args, star, ..
             } if AggFunc::from_name(name).is_some() => {
-                let func = AggFunc::from_name(name).unwrap();
+                let func = AggFunc::from_name(name).expect("guard matched this aggregate name");
                 let arg =
                     if *star {
                         None

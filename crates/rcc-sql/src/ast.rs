@@ -83,6 +83,10 @@ pub enum Statement {
     BeginTimeordered,
     /// `END TIMEORDERED`.
     EndTimeordered,
+    /// `VERIFY SELECT ...` — optimize the query, then statically verify the
+    /// optimized plan against its currency clause and report each proof
+    /// obligation instead of executing.
+    Verify(Box<SelectStmt>),
 }
 
 /// One Select-From-Where block. The currency clause "occurs last in an SFW

@@ -141,6 +141,7 @@ const KEYWORDS: &[&str] = &[
     "REFRESH",
     "INTERVAL",
     "DELAY",
+    "VERIFY",
 ];
 
 /// Tokenize `input` into a vector ending with [`TokenKind::Eof`].

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! SQL front end for the RCC mini-DBMS.
 //!
 //! A hand-written lexer and recursive-descent parser for the SQL subset the

@@ -167,6 +167,13 @@ impl Parser {
                     self.expect_kw("TIMEORDERED")?;
                     Ok(Statement::EndTimeordered)
                 }
+                "VERIFY" => {
+                    self.bump();
+                    if !self.at_kw("SELECT") {
+                        return Err(self.err("VERIFY expects a SELECT statement"));
+                    }
+                    Ok(Statement::Verify(Box::new(self.select_stmt()?)))
+                }
                 other => Err(self.err(format!("unexpected keyword '{other}' at statement start"))),
             },
             other => Err(self.err(format!("expected a statement, found '{other}'"))),
@@ -932,6 +939,21 @@ mod tests {
         assert_eq!(s.from.len(), 1);
         assert!(s.filter.is_some());
         assert!(s.currency.is_none());
+    }
+
+    #[test]
+    fn verify_wraps_a_select() {
+        let stmt = parse_statement("VERIFY SELECT a FROM t CURRENCY BOUND 10 SEC ON (t)").unwrap();
+        let Statement::Verify(s) = stmt else {
+            panic!("expected Statement::Verify, got {stmt:?}")
+        };
+        assert!(s.currency.is_some());
+        // round-trips through the unparser with the prefix intact
+        let sql = crate::unparse::statement_sql(&Statement::Verify(s));
+        assert!(sql.starts_with("VERIFY SELECT"), "{sql}");
+
+        parse_statement("VERIFY INSERT INTO t VALUES (1)")
+            .expect_err("VERIFY must require a SELECT");
     }
 
     #[test]

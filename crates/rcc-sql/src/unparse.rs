@@ -98,6 +98,7 @@ pub fn statement_sql(stmt: &Statement) -> String {
         Statement::DropCachedView { name } => format!("DROP CACHED VIEW {name}"),
         Statement::BeginTimeordered => "BEGIN TIMEORDERED".to_string(),
         Statement::EndTimeordered => "END TIMEORDERED".to_string(),
+        Statement::Verify(s) => format!("VERIFY {}", select_sql(s)),
     }
 }
 

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! In-memory table storage for the RCC mini-DBMS.
 //!
 //! This crate plays the role SQL Server's storage engine plays in the paper:

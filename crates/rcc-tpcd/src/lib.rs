@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! TPC-D-style data and workload generator.
 //!
 //! The paper's experiments run on a TPC-D database at scale factor 1.0 and
@@ -10,7 +13,9 @@
 //! the replication experiments.
 
 pub mod gen;
+pub mod queries;
 pub mod workload;
 
 pub use gen::{customer_meta, orders_meta, TpcdGenerator};
+pub use queries::currency_corpus;
 pub use workload::UpdateWorkload;

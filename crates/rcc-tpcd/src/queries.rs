@@ -1,0 +1,136 @@
+//! Deterministic SELECT-with-currency-clause corpus generator.
+//!
+//! `plan-audit` (crate `rcc-verify`) sweeps the optimizer over a large body
+//! of queries and statically proves every optimized plan conforms to its
+//! currency clause. This module generates that corpus: point lookups, range
+//! scans, aggregates, and customer⋈orders joins over the paper's Customer /
+//! Orders schema, crossed with every clause shape the grammar supports —
+//! no clause (tight default), single-class single-table, single-class
+//! multi-table, per-table classes, and per-key `BY` grouping — at bounds
+//! both above and below the regions' minimum guaranteed currency so both
+//! local and remote plan shapes are exercised.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Currency bounds used by the corpus, as SQL suffix strings. The paper
+/// rig's regions guarantee 5 s propagation delay, so bounds below 5 s force
+/// all-remote plans and bounds at/above exercise the guarded local paths.
+const BOUNDS: &[&str] = &[
+    "2 SEC", "5 SEC", "10 SEC", "30 SEC", "1 MIN", "2 MIN", "10 MIN", "1 HOUR",
+];
+
+/// Generate `n` deterministic queries from `seed`. `max_custkey` bounds the
+/// point-lookup keys (pass the loaded customer count, or any positive
+/// number when only planning).
+pub fn currency_corpus(n: usize, seed: u64, max_custkey: i64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hi = max_custkey.max(1);
+    (0..n).map(|_| one_query(&mut rng, hi)).collect()
+}
+
+fn bound(rng: &mut StdRng) -> &'static str {
+    BOUNDS[rng.gen_range(0..BOUNDS.len())]
+}
+
+fn one_query(rng: &mut StdRng, max_custkey: i64) -> String {
+    let key = rng.gen_range(1..=max_custkey);
+    match rng.gen_range(0..10u32) {
+        // Point lookup on customer, no clause: the tight default requires
+        // trx-consistent current data, so the plan must go to the backend.
+        0 => format!("SELECT c_name, c_acctbal FROM customer WHERE c_custkey = {key}"),
+        // Point lookup with a single-table class.
+        1 => format!(
+            "SELECT c_name, c_acctbal FROM customer WHERE c_custkey = {key} \
+             CURRENCY BOUND {} ON (customer)",
+            bound(rng)
+        ),
+        // Point lookup with per-key grouping (session consistency by key).
+        2 => format!(
+            "SELECT c_acctbal FROM customer c WHERE c_custkey = {key} \
+             CURRENCY BOUND {} ON (c) BY c.c_custkey",
+            bound(rng)
+        ),
+        // Range scan over the unindexed-at-the-cache acctbal column.
+        3 => {
+            let lo = rng.gen_range(0..5000);
+            format!(
+                "SELECT c_custkey, c_acctbal FROM customer \
+                 WHERE c_acctbal BETWEEN {lo} AND {} \
+                 CURRENCY BOUND {} ON (customer)",
+                lo + rng.gen_range(100..2000),
+                bound(rng)
+            )
+        }
+        // Orders point lookup (composite clustered key prefix).
+        4 => format!(
+            "SELECT o_orderkey, o_totalprice FROM orders WHERE o_custkey = {key} \
+             CURRENCY BOUND {} ON (orders)",
+            bound(rng)
+        ),
+        // Aggregate over customer.
+        5 => format!(
+            "SELECT c_nationkey, COUNT(*), SUM(c_acctbal) FROM customer \
+             GROUP BY c_nationkey \
+             CURRENCY BOUND {} ON (customer)",
+            bound(rng)
+        ),
+        // Join, one class spanning both tables: the class's tables live in
+        // different regions, so a conformant local plan needs a single
+        // snapshot source — this is the single-source obligation's
+        // workhorse shape.
+        6 => format!(
+            "SELECT c.c_name, o.o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey AND c.c_custkey = {key} \
+             CURRENCY BOUND {} ON (c, o)",
+            bound(rng)
+        ),
+        // Join with per-table classes: each table may be served from its
+        // own region under its own bound.
+        7 => format!(
+            "SELECT c.c_name, o.o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey AND c.c_custkey = {key} \
+             CURRENCY BOUND {} ON (c), {} ON (o)",
+            bound(rng),
+            bound(rng)
+        ),
+        // Join with mixed bounds, ordered the other way plus a residual.
+        8 => format!(
+            "SELECT o.o_orderkey FROM orders o, customer c \
+             WHERE o.o_custkey = c.c_custkey AND o.o_custkey = {key} \
+             AND o.o_totalprice > {} \
+             CURRENCY BOUND {} ON (o), {} ON (c)",
+            rng.gen_range(100..100_000),
+            bound(rng),
+            bound(rng)
+        ),
+        // Join with no clause: all-remote under the tight default.
+        _ => format!(
+            "SELECT c.c_name, o.o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey AND c.c_custkey = {key}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        assert_eq!(currency_corpus(50, 7, 1000), currency_corpus(50, 7, 1000));
+        assert_ne!(currency_corpus(50, 7, 1000), currency_corpus(50, 8, 1000));
+    }
+
+    #[test]
+    fn corpus_covers_all_shapes() {
+        let qs = currency_corpus(200, 1, 1000);
+        assert_eq!(qs.len(), 200);
+        assert!(qs.iter().any(|q| !q.contains("CURRENCY")));
+        assert!(qs.iter().any(|q| q.contains("BY c.c_custkey")));
+        assert!(qs.iter().any(|q| q.contains("ON (c, o)")));
+        assert!(qs.iter().any(|q| q.contains("GROUP BY")));
+        assert!(qs.iter().any(|q| q.contains("2 SEC")));
+        assert!(qs.iter().any(|q| q.contains("1 HOUR")));
+    }
+}

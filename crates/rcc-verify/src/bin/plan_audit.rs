@@ -1,0 +1,150 @@
+//! `plan-audit`: sweep a corpus of generated C&C queries through the
+//! optimizer and statically verify every optimized plan conforms to its
+//! currency clause.
+//!
+//! ```text
+//! cargo run -p rcc-verify --bin plan-audit -- [--queries N] [--seed S] [--scale F]
+//! ```
+//!
+//! For each query the audit optimizes under both optimizer modes (SwitchUnion
+//! pull-up off and on) and runs [`rcc_verify::verify_plan`] over each plan.
+//! Any delivered-vs-required divergence is printed with its full proof
+//! obligation report and the process exits non-zero.
+
+use rcc_optimizer::{bind_select, optimize, OptimizerConfig};
+use rcc_sql::ast::Statement;
+use rcc_verify::{rig, verify_plan};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    queries: usize,
+    seed: u64,
+    scale: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        queries: 250,
+        seed: 7,
+        scale: 0.01,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--queries" => {
+                args.queries = grab("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?
+            }
+            "--seed" => {
+                args.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--scale" => {
+                args.scale = grab("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("usage: plan-audit [--queries N] [--seed S] [--scale F]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("plan-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (catalog, _master) = match rig::audit_catalog(args.scale, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("plan-audit: failed to build audit catalog: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let max_custkey = catalog.stats("customer").row_count.max(1) as i64;
+    let corpus = rcc_tpcd::currency_corpus(args.queries, args.seed, max_custkey);
+    let params: HashMap<String, rcc_common::Value> = HashMap::new();
+
+    let configs = [
+        ("pullup=off", OptimizerConfig::default()),
+        (
+            "pullup=on",
+            OptimizerConfig {
+                pullup_switch_union: true,
+                ..OptimizerConfig::default()
+            },
+        ),
+    ];
+
+    let mut audited = 0usize;
+    let mut divergent = 0usize;
+    let mut worlds_max = 0usize;
+    for (qi, sql) in corpus.iter().enumerate() {
+        let stmt = match rcc_sql::parser::parse_statement(sql) {
+            Ok(Statement::Select(s)) => s,
+            Ok(_) => {
+                eprintln!("query {qi}: generator produced a non-SELECT statement");
+                divergent += 1;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("query {qi}: parse error: {e}\n  {sql}");
+                divergent += 1;
+                continue;
+            }
+        };
+        let graph = match bind_select(&catalog, &stmt, &params) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("query {qi}: bind error: {e}\n  {sql}");
+                divergent += 1;
+                continue;
+            }
+        };
+        for (mode, config) in &configs {
+            let optimized = match optimize(&catalog, &graph, config) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("query {qi} [{mode}]: optimize error: {e}\n  {sql}");
+                    divergent += 1;
+                    continue;
+                }
+            };
+            audited += 1;
+            let report = verify_plan(&catalog, &graph.constraint, &optimized.plan);
+            worlds_max = worlds_max.max(report.worlds);
+            if !report.ok() {
+                divergent += 1;
+                eprintln!("DIVERGENCE in query {qi} [{mode}]:\n  {sql}");
+                eprintln!("{}", report.render());
+            }
+        }
+    }
+
+    println!(
+        "plan-audit: {} queries, {} plans audited, {} divergent, max {} worlds/plan",
+        corpus.len(),
+        audited,
+        divergent,
+        worlds_max
+    );
+    if divergent == 0 {
+        println!("plan-audit: all optimized plans conform to their currency clauses");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
