@@ -5,6 +5,7 @@ use parking_lot::RwLock;
 use rcc_catalog::{Catalog, TableMeta};
 use rcc_common::{Clock, Error, RegionId, Result, Row, Timestamp, TxnId, Value};
 use rcc_storage::{RowChange, StorageEngine, Table, TableHandle, TableStats};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One change to one table inside a transaction.
@@ -120,11 +121,13 @@ impl MasterDb {
     /// needs to travel through the log.
     pub fn bulk_load(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
         let handle = self.storage.table(table)?;
-        let mut t = handle.write();
         let n = rows.len();
-        for row in rows {
-            t.insert(row)?;
-        }
+        handle.update(|t| {
+            for row in rows {
+                t.insert(row)?;
+            }
+            Ok(())
+        })?;
         Ok(n)
     }
 
@@ -148,8 +151,7 @@ impl MasterDb {
         // the idempotent `Table::apply` instead.
         for c in &changes {
             if let RowChange::Insert(row) = &c.change {
-                let handle = self.storage.table(&c.table)?;
-                let t = handle.read();
+                let t = self.storage.table(&c.table)?.snapshot();
                 if t.get(&t.key_of(row)).is_some() {
                     return Err(Error::Storage(format!(
                         "duplicate clustered key in INSERT into {}",
@@ -158,9 +160,27 @@ impl MasterDb {
                 }
             }
         }
+        // Group the changes per table (statement order preserved within
+        // each table; tables have disjoint keyspaces, so the final state is
+        // the same) and publish one copy-on-write snapshot per table —
+        // readers see each table's whole batch or none of it.
+        let mut order: Vec<&str> = Vec::new();
+        let mut groups: HashMap<&str, Vec<&RowChange>> = HashMap::new();
         for c in &changes {
-            let handle = self.storage.table(&c.table)?;
-            handle.write().apply(&c.change)?;
+            if !groups.contains_key(c.table.as_str()) {
+                order.push(&c.table);
+            }
+            groups.entry(c.table.as_str()).or_default().push(&c.change);
+        }
+        for table in &order {
+            let handle = self.storage.table(table)?;
+            let group = &groups[table];
+            handle.update(|t| {
+                for change in group {
+                    t.apply(change)?;
+                }
+                Ok(())
+            })?;
         }
         log.next_id += 1;
         let txn = CommittedTxn {
@@ -227,8 +247,7 @@ impl MasterDb {
 
     /// Compute fresh statistics for a master table.
     pub fn compute_stats(&self, table: &str) -> Result<TableStats> {
-        let handle = self.storage.table(table)?;
-        let t = handle.read();
+        let t = self.storage.table(table)?.snapshot();
         Ok(TableStats::compute(&t))
     }
 
@@ -239,8 +258,7 @@ impl MasterDb {
         // Hold the log lock so no transaction commits between reading the
         // rows and reading the cursor — the copy is a consistent snapshot.
         let log = self.log.read();
-        let handle = self.storage.table(table)?;
-        let rows = handle.read().collect_all();
+        let rows = self.storage.table(table)?.snapshot().collect_all();
         Ok((rows, log.txns.len()))
     }
 }
@@ -287,7 +305,7 @@ mod tests {
         let (db, _) = setup();
         db.execute_txn(vec![ins(1, 10), ins(2, 20)]).unwrap();
         let t = db.table("t").unwrap();
-        assert_eq!(t.read().row_count(), 2);
+        assert_eq!(t.snapshot().row_count(), 2);
         db.execute_txn(vec![TableChange::new(
             "t",
             RowChange::Delete {
@@ -295,7 +313,7 @@ mod tests {
             },
         )])
         .unwrap();
-        assert_eq!(t.read().row_count(), 1);
+        assert_eq!(t.snapshot().row_count(), 1);
     }
 
     #[test]
@@ -342,14 +360,14 @@ mod tests {
         let txn = db.beat(RegionId(3)).unwrap();
         assert_eq!(txn.changes.len(), 1);
         let hb = db.table(HEARTBEAT_TABLE).unwrap();
-        let row = hb.read().get(&[Value::Int(3)]).unwrap().clone();
+        let row = hb.snapshot().get(&[Value::Int(3)]).unwrap().clone();
         assert_eq!(row.get(1), &Value::Timestamp(7_000));
         // second beat updates in place
         clock.advance(Duration::from_secs(2));
         db.beat(RegionId(3)).unwrap();
-        assert_eq!(hb.read().row_count(), 1);
+        assert_eq!(hb.snapshot().row_count(), 1);
         assert_eq!(
-            hb.read().get(&[Value::Int(3)]).unwrap().get(1),
+            hb.snapshot().get(&[Value::Int(3)]).unwrap().get(1),
             &Value::Timestamp(9_000)
         );
     }
@@ -360,7 +378,7 @@ mod tests {
         db.bulk_load("t", vec![Row::new(vec![Value::Int(1), Value::Int(1)])])
             .unwrap();
         assert_eq!(db.log_len(), 0);
-        assert_eq!(db.table("t").unwrap().read().row_count(), 1);
+        assert_eq!(db.table("t").unwrap().snapshot().row_count(), 1);
     }
 
     #[test]

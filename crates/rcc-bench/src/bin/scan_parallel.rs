@@ -1,0 +1,364 @@
+//! `scan_parallel` — morsel-driven parallel scan benchmark + correctness
+//! sweep, written to `BENCH_scan.json`.
+//!
+//! Three measurements over the paper rig and the storage layer:
+//!
+//! 1. **Worker scaling**: rows/s of a residual-filtered full scan through
+//!    the whole SQL pipeline at 1/2/4/8 scan workers. Morsel-parallel
+//!    scans are CPU-bound, so real speedup needs real cores: the JSON
+//!    records `cpus`, and the ≥2× 1→4 scaling assertion only arms when at
+//!    least 4 are available.
+//! 2. **Concurrent refresh**: reader scan throughput while a writer
+//!    continuously publishes refresh batches — the copy-on-write
+//!    [`TableCell`] path versus the pre-snapshot design (a bench-local
+//!    `RwLock<Table>` where readers scan under the read lock and the
+//!    writer applies each batch under the write lock). Proves reader
+//!    throughput does not collapse when refresh runs concurrently.
+//! 3. **Serial/parallel identity**: every query of the TPC-D currency
+//!    corpus is executed serially and with a 4-worker pool; the
+//!    wire-encoded results must be byte-identical (asserted, any mode).
+//!
+//! ```sh
+//! cargo run -p rcc-bench --bin scan_parallel --release -- \
+//!     [--quick] [--scale F] [--iters N] [--refresh-ms MS] [--corpus N] \
+//!     [--out PATH]
+//! ```
+
+use parking_lot::RwLock;
+use rcc_common::{Column, DataType, Row, Schema, Value};
+use rcc_executor::wire;
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use rcc_mtcache::MTCache;
+use rcc_storage::{KeyRange, Table, TableCell};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+struct Options {
+    quick: bool,
+    scale: f64,
+    iters: usize,
+    refresh_ms: u64,
+    corpus: usize,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            quick: false,
+            scale: 0.2,
+            iters: 6,
+            refresh_ms: 1500,
+            corpus: 160,
+            out: "BENCH_scan.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut scale_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--quick" => opts.quick = true,
+            "--scale" => {
+                opts.scale = value().parse().expect("--scale");
+                scale_set = true;
+            }
+            "--iters" => opts.iters = value().parse().expect("--iters"),
+            "--refresh-ms" => opts.refresh_ms = value().parse().expect("--refresh-ms"),
+            "--corpus" => opts.corpus = value().parse().expect("--corpus"),
+            "--out" => opts.out = value(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if opts.quick {
+        if !scale_set {
+            opts.scale = 0.02;
+        }
+        opts.iters = opts.iters.min(2);
+        opts.refresh_ms = opts.refresh_ms.min(300);
+        opts.corpus = opts.corpus.min(60);
+    }
+    opts
+}
+
+/// A full scan of the customer view with a residual predicate that keeps
+/// every row: per-row work for the scan kernel, zero pruning, so rows/s
+/// measures the scan pipeline itself.
+const SCAN_SQL: &str = "SELECT c_custkey, c_name, c_acctbal FROM customer \
+     WHERE c_acctbal >= -1000000 CURRENCY BOUND 1 HOUR ON (customer)";
+
+fn parallel_scans_so_far(cache: &MTCache) -> f64 {
+    cache
+        .metrics()
+        .snapshot()
+        .counter("rcc_scan_parallel_total") as f64
+}
+
+/// rows/s of `SCAN_SQL` at a given worker count.
+fn measure_scaling(cache: &MTCache, workers: usize, iters: usize) -> (f64, f64, u64) {
+    cache.set_scan_workers(workers);
+    // warm once: plan-cache fill + pool spin-up stay out of the timing
+    let warm = cache.execute(SCAN_SQL).expect("warm scan");
+    assert!(!warm.used_remote, "scaling scan must run on the local view");
+    let rows_per_query = warm.rows.len() as u64;
+    assert!(rows_per_query > 0, "scaling scan returned no rows");
+    let started = Instant::now();
+    let mut rows = 0u64;
+    for _ in 0..iters {
+        rows += cache.execute(SCAN_SQL).expect("scan").rows.len() as u64;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    (rows as f64 / elapsed, elapsed, rows_per_query)
+}
+
+fn refresh_table(n: i64) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("val", DataType::Int),
+    ]);
+    let mut t = Table::new("refresh_t", schema, vec![0]);
+    for i in 0..n {
+        t.insert(Row::new(vec![Value::Int(i), Value::Int(0)]))
+            .expect("load");
+    }
+    t
+}
+
+struct RefreshOutcome {
+    reads_per_sec: f64,
+    rows_per_sec: f64,
+    refresh_batches: u64,
+}
+
+/// Reader throughput under a continuous refresh writer, for one of the two
+/// locking designs. `scan` must count the rows of one full scan; `refresh`
+/// must apply one whole refresh batch (returning once it is published).
+fn measure_refresh<S, W>(duration: Duration, readers: usize, scan: S, refresh: W) -> RefreshOutcome
+where
+    S: Fn() -> u64 + Send + Sync,
+    W: Fn(i64),
+{
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scans = 0u64;
+                    let mut rows = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        rows += scan();
+                        scans += 1;
+                    }
+                    (scans, rows)
+                })
+            })
+            .collect();
+        let started = Instant::now();
+        let mut batches = 0u64;
+        while started.elapsed() < duration {
+            refresh(batches as i64);
+            batches += 1;
+        }
+        done.store(true, Ordering::Relaxed);
+        let (mut scans, mut rows) = (0u64, 0u64);
+        for h in handles {
+            let (s, r) = h.join().expect("reader");
+            scans += s;
+            rows += r;
+        }
+        let secs = started.elapsed().as_secs_f64();
+        RefreshOutcome {
+            reads_per_sec: scans as f64 / secs,
+            rows_per_sec: rows as f64 / secs,
+            refresh_batches: batches,
+        }
+    })
+}
+
+fn count_rows(t: &Table) -> u64 {
+    let mut rows = 0u64;
+    t.scan_range(&KeyRange::all(), |_| true, |_| rows += 1);
+    rows
+}
+
+fn apply_batch(t: &mut Table, batch: i64, size: i64) {
+    for i in 0..size {
+        t.upsert(Row::new(vec![Value::Int(i), Value::Int(batch)]))
+            .expect("upsert");
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "scan_parallel: scale {}, {} iters, quick={}, cpus={}",
+        opts.scale, opts.iters, opts.quick, cpus
+    );
+
+    let cache = paper_setup(opts.scale, 42).expect("rig");
+    warm_up(&cache).expect("warm up");
+    let max_custkey = ((150_000.0 * opts.scale) as i64).max(2);
+
+    // -------------------------------------------------- 1. worker scaling
+    let mut scaling = Vec::new();
+    for &w in WORKER_COUNTS {
+        let before = parallel_scans_so_far(&cache);
+        let (rows_per_sec, elapsed, rows_per_query) = measure_scaling(&cache, w, opts.iters);
+        let parallel_ran = parallel_scans_so_far(&cache) > before;
+        assert_eq!(
+            parallel_ran,
+            w > 1,
+            "worker count {w} must use the {} scan path",
+            if w > 1 { "parallel" } else { "serial" }
+        );
+        eprintln!("  workers {w}: {rows_per_sec:.0} rows/s ({rows_per_query} rows/scan)");
+        scaling.push((w, rows_per_sec, elapsed, rows_per_query));
+    }
+    let rows_at = |w: usize| {
+        scaling
+            .iter()
+            .find(|(workers, ..)| *workers == w)
+            .map(|(_, r, ..)| *r)
+            .expect("measured")
+    };
+    let speedup_1_to_4 = rows_at(4) / rows_at(1);
+    eprintln!("  1→4 worker speedup: {speedup_1_to_4:.2}×");
+    if cpus >= 4 {
+        assert!(
+            speedup_1_to_4 >= 2.0,
+            "expected ≥2× rows/s scaling 1→4 workers on {cpus} cpus, got {speedup_1_to_4:.2}×"
+        );
+    } else {
+        eprintln!("  (only {cpus} cpu(s): the ≥2× scaling assertion needs ≥4 to arm)");
+    }
+
+    // -------------------------------------- 2. reader vs. refresh writer
+    let (table_rows, batch_rows) = if opts.quick {
+        (5_000, 500)
+    } else {
+        (50_000, 5_000)
+    };
+    let duration = Duration::from_millis(opts.refresh_ms);
+    let readers = 2;
+
+    let cell = Arc::new(TableCell::new(refresh_table(table_rows)));
+    let snapshot_path = measure_refresh(
+        duration,
+        readers,
+        || count_rows(&cell.snapshot()),
+        |batch| {
+            cell.update(|t| {
+                apply_batch(t, batch, batch_rows);
+                Ok(())
+            })
+            .expect("publish");
+        },
+    );
+
+    let locked = Arc::new(RwLock::new(refresh_table(table_rows)));
+    let locked_path = measure_refresh(
+        duration,
+        readers,
+        || count_rows(&locked.read()),
+        |batch| apply_batch(&mut locked.write(), batch, batch_rows),
+    );
+
+    let reader_ratio = snapshot_path.rows_per_sec / locked_path.rows_per_sec.max(1.0);
+    eprintln!(
+        "  concurrent refresh: snapshot {:.0} rows/s vs locked {:.0} rows/s ({reader_ratio:.2}×)",
+        snapshot_path.rows_per_sec, locked_path.rows_per_sec
+    );
+    assert!(
+        reader_ratio >= 0.5,
+        "snapshot readers collapsed vs. the locked baseline: {reader_ratio:.2}×"
+    );
+
+    // -------------------------------- 3. serial/parallel identity sweep
+    let corpus = rcc_tpcd::currency_corpus(opts.corpus, 7, max_custkey);
+    cache.set_scan_workers(1);
+    let serial: Vec<Vec<u8>> = corpus
+        .iter()
+        .map(|sql| {
+            let r = cache.execute(sql).expect("serial corpus query");
+            wire::encode_result(&r.schema, &r.rows).to_vec()
+        })
+        .collect();
+    cache.set_scan_workers(4);
+    let mismatches: usize = corpus
+        .iter()
+        .zip(&serial)
+        .filter(|(sql, serial_bytes)| {
+            let r = cache.execute(sql).expect("parallel corpus query");
+            let parallel_bytes = wire::encode_result(&r.schema, &r.rows).to_vec();
+            let differs = &parallel_bytes != *serial_bytes;
+            if differs {
+                eprintln!("  MISMATCH: {sql}");
+            }
+            differs
+        })
+        .count();
+    eprintln!(
+        "  corpus identity: {} queries, {mismatches} mismatches",
+        corpus.len()
+    );
+    assert_eq!(
+        mismatches, 0,
+        "parallel scans must be byte-identical to serial execution"
+    );
+
+    // ------------------------------------------------------------ report
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|(w, rps, elapsed, rows_per_query)| {
+            format!(
+                "{{ \"workers\": {w}, \"rows_per_sec\": {rps:.1}, \
+                 \"elapsed_secs\": {elapsed:.6}, \"rows_per_scan\": {rows_per_query} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scan_parallel\",\n  \"quick\": {},\n  \"scale\": {},\n  \
+         \"cpus\": {},\n  \"iters\": {},\n  \"scaling\": [\n    {}\n  ],\n  \
+         \"speedup_1_to_4\": {:.3},\n  \"concurrent_refresh\": {{\n    \
+         \"table_rows\": {}, \"batch_rows\": {}, \"readers\": {},\n    \
+         \"snapshot\": {{ \"reads_per_sec\": {:.1}, \"rows_per_sec\": {:.1}, \"refresh_batches\": {} }},\n    \
+         \"locked\": {{ \"reads_per_sec\": {:.1}, \"rows_per_sec\": {:.1}, \"refresh_batches\": {} }},\n    \
+         \"reader_ratio_snapshot_vs_locked\": {:.3}\n  }},\n  \
+         \"identity_sweep\": {{ \"queries\": {}, \"mismatches\": {} }}\n}}\n",
+        opts.quick,
+        opts.scale,
+        cpus,
+        opts.iters,
+        scaling_json.join(",\n    "),
+        speedup_1_to_4,
+        table_rows,
+        batch_rows,
+        readers,
+        snapshot_path.reads_per_sec,
+        snapshot_path.rows_per_sec,
+        snapshot_path.refresh_batches,
+        locked_path.reads_per_sec,
+        locked_path.rows_per_sec,
+        locked_path.refresh_batches,
+        reader_ratio,
+        corpus.len(),
+        mismatches,
+    );
+    let mut f = std::fs::File::create(&opts.out).expect("create BENCH_scan.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_scan.json");
+    eprintln!("wrote {}", opts.out);
+}

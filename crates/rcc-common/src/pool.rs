@@ -1,0 +1,219 @@
+//! A small fixed worker pool for morsel-driven parallel scans.
+//!
+//! Deliberately simple, in the spirit of the morsel-driven parallelism
+//! literature's dispatcher: a fixed set of std threads pulls jobs off one
+//! shared FIFO channel (no work stealing — morsels are sized so the queue
+//! itself balances load), and [`ScanPool::scatter`] fans a batch of
+//! closures out and collects their results **in input order**, which is
+//! what lets the executor concatenate morsel outputs into a result
+//! bit-identical to the serial scan.
+//!
+//! The pool is shared and long-lived (one per cache/server, not per
+//! query): `scatter` is `&self` and internally synchronized, so any number
+//! of sessions can dispatch concurrently and their morsels interleave on
+//! the same workers.
+
+use parking_lot::Mutex;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Upper bound on the default pool size; scans here are memory-bound well
+/// before this many cores help.
+const MAX_DEFAULT_WORKERS: usize = 8;
+
+/// Default worker count: the machine's available parallelism, capped.
+pub fn default_scan_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(MAX_DEFAULT_WORKERS)
+}
+
+/// Fixed-size worker pool executing scan morsels from a shared FIFO queue.
+pub struct ScanPool {
+    /// `Some` until drop; closing the channel is the shutdown signal.
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ScanPool {
+    /// Spawn a pool of `size` workers (clamped to ≥ 1).
+    pub fn new(size: usize) -> ScanPool {
+        let size = size.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..size)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("rcc-scan-{i}"))
+                    .spawn(move || {
+                        loop {
+                            // Hold the lock across recv: exactly one idle
+                            // worker waits on the channel, the rest queue on
+                            // the mutex — a plain shared chunk queue.
+                            let job = rx.lock().recv();
+                            match job {
+                                Ok(job) => job(),
+                                Err(_) => break, // pool dropped
+                            }
+                        }
+                    })
+                    .expect("spawn scan worker")
+            })
+            .collect();
+        ScanPool {
+            sender: Some(tx),
+            workers,
+            size,
+        }
+    }
+
+    /// Spawn a pool sized by [`default_scan_workers`].
+    pub fn with_default_size() -> ScanPool {
+        ScanPool::new(default_scan_workers())
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run every job on the pool and return the results **in input order**
+    /// (job `i`'s result at index `i`, regardless of completion order).
+    /// Blocks until all jobs finish. If a job panics, the panic is
+    /// re-raised on the calling thread after the pool itself has been kept
+    /// consistent (workers catch job panics and keep serving).
+    pub fn scatter<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        let sender = self.sender.as_ref().expect("scan pool alive");
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            let boxed: Job = Box::new(move || {
+                // AssertUnwindSafe: on panic the job's partial state is
+                // discarded wholesale and the panic re-raised at the
+                // caller, so no broken invariant is ever observed.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                let _ = tx.send((i, r)); // caller gone ⇒ result discarded
+            });
+            sender.send(boxed).expect("scan workers alive");
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, r) = rx.recv().expect("scan worker reports every job");
+            match r {
+                Ok(v) => out[i] = Some(v),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("every morsel indexed once"))
+            .collect()
+    }
+}
+
+impl Drop for ScanPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker with RecvError.
+        self.sender = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ScanPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanPool")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_preserves_input_order() {
+        let pool = ScanPool::new(4);
+        // jobs finish in shuffled order; results must come back by index
+        let jobs: Vec<_> = (0..64u64)
+            .map(|i| {
+                move || {
+                    if i % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                    i * 2
+                }
+            })
+            .collect();
+        let out = pool.scatter(jobs);
+        assert_eq!(out, (0..64u64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_jobs_than_workers_all_run() {
+        let pool = ScanPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..100)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                move || hits.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        pool.scatter(jobs);
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn concurrent_scatters_do_not_cross_wires() {
+        let pool = Arc::new(ScanPool::new(3));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let jobs: Vec<_> = (0..32u64).map(|i| move || t * 1000 + i).collect();
+                    let out = pool.scatter(jobs);
+                    assert_eq!(out, (0..32u64).map(|i| t * 1000 + i).collect::<Vec<_>>());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn panicking_job_propagates_and_pool_survives() {
+        let pool = ScanPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("morsel exploded")),
+            Box::new(|| 3),
+        ];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.scatter(jobs)));
+        assert!(r.is_err());
+        // pool still serves after a job panic
+        let out = pool.scatter(vec![|| 7u32, || 8u32]);
+        assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn zero_size_clamps_to_one() {
+        let pool = ScanPool::new(0);
+        assert_eq!(pool.size(), 1);
+        assert_eq!(pool.scatter(vec![|| 42]), vec![42]);
+    }
+}

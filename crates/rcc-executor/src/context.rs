@@ -1,7 +1,7 @@
 //! Execution context: storage, the remote service, clock, counters.
 
 use parking_lot::Mutex;
-use rcc_common::{Clock, RegionId, Result, Row, Schema, Timestamp};
+use rcc_common::{Clock, RegionId, Result, Row, ScanPool, Schema, Timestamp};
 use rcc_obs::MetricsRegistry;
 use rcc_storage::StorageEngine;
 use std::collections::HashMap;
@@ -44,6 +44,12 @@ pub struct ExecCounters {
     pub rows_shipped: AtomicU64,
     /// Guard observations discarded because the per-context log was full.
     pub observations_dropped: AtomicU64,
+    /// Scans executed morsel-parallel on the worker pool.
+    pub parallel_scans: AtomicU64,
+    /// Scans executed serially (no pool, or too small to split).
+    pub serial_scans: AtomicU64,
+    /// Total morsels dispatched to the scan pool.
+    pub scan_morsels: AtomicU64,
 }
 
 impl ExecCounters {
@@ -55,6 +61,9 @@ impl ExecCounters {
         self.remote_queries.store(0, Ordering::Relaxed);
         self.rows_shipped.store(0, Ordering::Relaxed);
         self.observations_dropped.store(0, Ordering::Relaxed);
+        self.parallel_scans.store(0, Ordering::Relaxed);
+        self.serial_scans.store(0, Ordering::Relaxed);
+        self.scan_morsels.store(0, Ordering::Relaxed);
     }
 
     /// Fraction of guard evaluations that chose the local branch.
@@ -94,11 +103,26 @@ impl ExecCounters {
             "rcc_observations_dropped_total",
             "Guard observations discarded because a context log hit its cap.",
         );
+        registry.describe(
+            "rcc_scan_parallel_total",
+            "Scans executed morsel-parallel on the worker pool.",
+        );
+        registry.describe(
+            "rcc_scan_serial_total",
+            "Scans executed serially (no pool, or too small to split).",
+        );
+        registry.describe(
+            "rcc_scan_morsels_total",
+            "Morsels dispatched to the scan worker pool.",
+        );
         let local = registry.counter("rcc_guard_local_total", &[]);
         let remote = registry.counter("rcc_guard_remote_total", &[]);
         let queries = registry.counter("rcc_remote_queries_total", &[]);
         let rows = registry.counter("rcc_rows_shipped_total", &[]);
         let dropped = registry.counter("rcc_observations_dropped_total", &[]);
+        let parallel = registry.counter("rcc_scan_parallel_total", &[]);
+        let serial = registry.counter("rcc_scan_serial_total", &[]);
+        let morsels = registry.counter("rcc_scan_morsels_total", &[]);
         let this = Arc::clone(self);
         registry.register_collector(move || {
             local.set(this.local_branches.load(Ordering::Relaxed));
@@ -106,6 +130,9 @@ impl ExecCounters {
             queries.set(this.remote_queries.load(Ordering::Relaxed));
             rows.set(this.rows_shipped.load(Ordering::Relaxed));
             dropped.set(this.observations_dropped.load(Ordering::Relaxed));
+            parallel.set(this.parallel_scans.load(Ordering::Relaxed));
+            serial.set(this.serial_scans.load(Ordering::Relaxed));
+            morsels.set(this.scan_morsels.load(Ordering::Relaxed));
         });
     }
 }
@@ -176,7 +203,17 @@ pub struct ExecContext {
     /// Registry for guard-staleness histograms and wire counters; `None`
     /// outside a metered server (e.g. unit tests, back-end execution).
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Worker pool for morsel-driven parallel scans; `None` ⇒ every scan
+    /// runs serially on the calling thread.
+    pub scan_pool: Option<Arc<ScanPool>>,
+    /// Target rows per morsel when splitting a scan for the pool. Scans
+    /// smaller than two morsels stay serial (splitting them buys nothing).
+    pub morsel_rows: usize,
 }
+
+/// Default morsel granularity: big enough that per-morsel dispatch cost is
+/// noise, small enough that a TPC-D region scan splits across the pool.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
 
 /// Cap on the per-context guard-observation log. Sessions that never call
 /// [`ExecContext::take_observations`] stop accumulating here and count
@@ -200,6 +237,16 @@ impl ExecContext {
             force_local: false,
             meter: Arc::new(QueryMeter::default()),
             metrics: None,
+            scan_pool: None,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+
+    /// Same context executing scans on `pool` (None reverts to serial).
+    pub fn with_scan_pool(&self, pool: Option<Arc<ScanPool>>) -> ExecContext {
+        ExecContext {
+            scan_pool: pool,
+            ..self.clone()
         }
     }
 

@@ -70,10 +70,11 @@ pub fn evaluate_guard(ctx: &ExecContext, guard: &CurrencyGuard) -> Result<bool> 
     Ok(chose_local)
 }
 
-/// Read the region's local heartbeat timestamp, if present.
+/// Read the region's local heartbeat timestamp, if present. Reads the
+/// current published snapshot — lock-free, and atomic with respect to
+/// replication publishes (a refresh can never expose a torn heartbeat).
 pub fn read_heartbeat(ctx: &ExecContext, guard: &CurrencyGuard) -> Option<Timestamp> {
-    let handle = ctx.storage.table(&guard.heartbeat_table).ok()?;
-    let table = handle.read();
+    let table = ctx.storage.table(&guard.heartbeat_table).ok()?.snapshot();
     let row = table.get(&[Value::Int(guard.region.raw() as i64)])?;
     row.get(1).as_int().ok().map(Timestamp)
 }

@@ -13,8 +13,9 @@ use rcc_common::{Error, Result, Row, Schema, Value};
 use rcc_optimizer::graph::JoinKind;
 use rcc_optimizer::physical::{AccessPath, InnerAccess};
 use rcc_optimizer::{AggCall, AggFunc, BoundExpr, CurrencyGuard};
-use rcc_storage::KeyRange;
+use rcc_storage::{KeyRange, Table, TableSnapshot};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// The operator interface.
 pub trait Operator: Send {
@@ -133,63 +134,215 @@ impl LocalScanOp {
     }
 }
 
+/// The per-row scan kernel: project a stored row through `mapping`, apply
+/// the residual predicate, and append survivors to `out`. One kernel is
+/// built per scan and cloned into every parallel morsel, so the serial
+/// path and all workers run the identical per-row code — which is what
+/// keeps the two paths bit-identical.
+#[derive(Clone)]
+struct ScanKernel {
+    mapping: Arc<Vec<usize>>,
+    schema: Schema,
+    residual: Option<BoundExpr>,
+    now: i64,
+}
+
+impl ScanKernel {
+    fn apply(&self, row: &Row, out: &mut Vec<Row>) -> Result<()> {
+        let projected = Row::new(self.mapping.iter().map(|&i| row.get(i).clone()).collect());
+        let keep = match &self.residual {
+            Some(p) => p.eval_predicate(&projected, &self.schema, self.now)?,
+            None => true,
+        };
+        if keep {
+            out.push(projected);
+        }
+        Ok(())
+    }
+}
+
+/// Run one clustered-range scan over an immutable snapshot, splitting it
+/// into key-ordered morsels on the context's pool when that is worthwhile.
+/// Morsel outputs are concatenated in morsel order, so the returned rows
+/// are exactly what the serial scan would produce, in the same order.
+fn scan_clustered(
+    ctx: &ExecContext,
+    table: &TableSnapshot,
+    range: &KeyRange,
+    kernel: &ScanKernel,
+) -> Result<Vec<Row>> {
+    use std::sync::atomic::Ordering;
+    if let Some(pool) = ctx.scan_pool.as_ref().filter(|p| p.size() > 1) {
+        let plan = table.plan_morsels(range, ctx.morsel_rows.max(1));
+        let morsels = plan.morsel_count();
+        if morsels >= 2 {
+            ctx.counters.parallel_scans.fetch_add(1, Ordering::Relaxed);
+            ctx.counters
+                .scan_morsels
+                .fetch_add(morsels as u64, Ordering::Relaxed);
+            if let Some(metrics) = ctx.metrics.as_deref() {
+                metrics
+                    .histogram(
+                        "rcc_scan_morsels_per_scan",
+                        &[],
+                        rcc_obs::DEFAULT_MORSEL_BUCKETS,
+                    )
+                    .observe(morsels as f64);
+            }
+            let jobs: Vec<_> = (0..morsels)
+                .map(|i| {
+                    let (start, end) = plan.bounds(i);
+                    let start = start.map(|k| k.to_vec());
+                    let end = end.map(|k| k.to_vec());
+                    let table = Arc::clone(table);
+                    let range = range.clone();
+                    let kernel = kernel.clone();
+                    move || -> Result<Vec<Row>> {
+                        let mut out = Vec::new();
+                        let mut err = None;
+                        table.scan_morsel(
+                            &range,
+                            start.as_deref(),
+                            end.as_deref(),
+                            |_| true,
+                            |row| {
+                                if err.is_none() {
+                                    if let Err(e) = kernel.apply(row, &mut out) {
+                                        err = Some(e);
+                                    }
+                                }
+                            },
+                        );
+                        match err {
+                            Some(e) => Err(e),
+                            None => Ok(out),
+                        }
+                    }
+                })
+                .collect();
+            let mut merged = Vec::new();
+            for morsel in pool.scatter(jobs) {
+                merged.extend(morsel?);
+            }
+            return Ok(merged);
+        }
+    }
+    ctx.counters.serial_scans.fetch_add(1, Ordering::Relaxed);
+    let mut out = Vec::new();
+    let mut err = None;
+    table.scan_range(
+        range,
+        |_| true,
+        |row| {
+            if err.is_none() {
+                if let Err(e) = kernel.apply(row, &mut out) {
+                    err = Some(e);
+                }
+            }
+        },
+    );
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Run one secondary-index scan over an immutable snapshot. The ordered
+/// clustered-key list (the result's spine) is resolved serially from the
+/// index; when a pool is available the point lookups are chunked across
+/// workers and re-concatenated in chunk order — same rows, same order as
+/// the serial path.
+fn scan_index(
+    ctx: &ExecContext,
+    table: &TableSnapshot,
+    index: &str,
+    range: &KeyRange,
+    kernel: &ScanKernel,
+) -> Result<Vec<Row>> {
+    use std::sync::atomic::Ordering;
+    let morsel_rows = ctx.morsel_rows.max(1);
+    if let Some(pool) = ctx.scan_pool.as_ref().filter(|p| p.size() > 1) {
+        let pks = table.index_pks(index, range)?;
+        if pks.len() >= 2 * morsel_rows {
+            let chunks: Vec<Vec<Vec<Value>>> =
+                pks.chunks(morsel_rows).map(|c| c.to_vec()).collect();
+            ctx.counters.parallel_scans.fetch_add(1, Ordering::Relaxed);
+            ctx.counters
+                .scan_morsels
+                .fetch_add(chunks.len() as u64, Ordering::Relaxed);
+            if let Some(metrics) = ctx.metrics.as_deref() {
+                metrics
+                    .histogram(
+                        "rcc_scan_morsels_per_scan",
+                        &[],
+                        rcc_obs::DEFAULT_MORSEL_BUCKETS,
+                    )
+                    .observe(chunks.len() as f64);
+            }
+            let jobs: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let table = Arc::clone(table);
+                    let kernel = kernel.clone();
+                    move || -> Result<Vec<Row>> {
+                        let mut out = Vec::new();
+                        for pk in &chunk {
+                            if let Some(row) = table.get(pk) {
+                                kernel.apply(row, &mut out)?;
+                            }
+                        }
+                        Ok(out)
+                    }
+                })
+                .collect();
+            let mut merged = Vec::new();
+            for morsel in pool.scatter(jobs) {
+                merged.extend(morsel?);
+            }
+            return Ok(merged);
+        }
+    }
+    ctx.counters.serial_scans.fetch_add(1, Ordering::Relaxed);
+    let mut out = Vec::new();
+    for row in table.index_scan(index, range)? {
+        kernel.apply(&row, &mut out)?;
+    }
+    Ok(out)
+}
+
 impl Operator for LocalScanOp {
     fn schema(&self) -> &Schema {
         &self.schema
     }
 
     fn open(&mut self, ctx: &ExecContext) -> Result<()> {
-        let handle = ctx.storage.table(&self.object)?;
-        let table = handle.read();
+        // One immutable snapshot for the whole scan: no lock is held while
+        // scanning, and a concurrent refresh publish cannot tear the view.
+        let table: TableSnapshot = ctx.storage.table(&self.object)?.snapshot();
         // map output columns to stored ordinals by name
-        let mapping: Vec<usize> = self
-            .schema
-            .columns()
-            .iter()
-            .map(|c| table.schema().resolve(None, &c.name))
-            .collect::<Result<_>>()?;
-        let now = now_millis(ctx);
-        let project = |row: &Row| Row::new(mapping.iter().map(|&i| row.get(i).clone()).collect());
-        let mut push = |row: &Row| -> Result<()> {
-            let projected = project(row);
-            let keep = match &self.residual {
-                Some(p) => p.eval_predicate(&projected, &self.schema, now)?,
-                None => true,
-            };
-            if keep {
-                self.buffer.push_back(projected);
-            }
-            Ok(())
+        let mapping: Arc<Vec<usize>> = Arc::new(
+            self.schema
+                .columns()
+                .iter()
+                .map(|c| table.schema().resolve(None, &c.name))
+                .collect::<Result<_>>()?,
+        );
+        let kernel = ScanKernel {
+            mapping,
+            schema: self.schema.clone(),
+            residual: self.residual.clone(),
+            now: now_millis(ctx),
         };
-        match &self.access {
-            AccessPath::FullScan => {
-                for row in table.iter() {
-                    push(row)?;
-                }
-            }
+        let rows = match &self.access {
+            AccessPath::FullScan => scan_clustered(ctx, &table, &KeyRange::all(), &kernel)?,
             AccessPath::ClusteredRange { range, .. } => {
-                let mut err = None;
-                table.scan_range(
-                    range,
-                    |_| true,
-                    |row| {
-                        if err.is_none() {
-                            if let Err(e) = push(row) {
-                                err = Some(e);
-                            }
-                        }
-                    },
-                );
-                if let Some(e) = err {
-                    return Err(e);
-                }
+                scan_clustered(ctx, &table, range, &kernel)?
             }
             AccessPath::IndexRange { index, range, .. } => {
-                for row in table.index_scan(index, range)? {
-                    push(&row)?;
-                }
+                scan_index(ctx, &table, index, range, &kernel)?
             }
-        }
+        };
+        self.buffer = rows.into();
         Ok(())
     }
 
@@ -677,10 +830,14 @@ impl Operator for MergeJoinOp {
 // ------------------------------------------------------------ IndexNLJoin
 
 enum InnerMode {
-    /// Seek the local object per outer row.
-    Local,
+    /// Seek the local object per outer row, against one immutable snapshot
+    /// pinned at open — every seek of the join sees the same table state,
+    /// and no lock is held across the join.
+    Local(TableSnapshot),
     /// The guard failed: inner rows were fetched remotely and hashed.
     Hashed(HashMap<Value, Vec<Row>>),
+    /// Not opened yet (or closed).
+    Idle,
 }
 
 /// Index nested-loop join with an optionally guarded inner side.
@@ -714,15 +871,13 @@ impl IndexNLJoinOp {
             inner,
             kind,
             schema,
-            mode: InnerMode::Local,
+            mode: InnerMode::Idle,
             pending: VecDeque::new(),
             mapping: Vec::new(),
         }
     }
 
-    fn seek_local(&self, ctx: &ExecContext, key: &Value) -> Result<Vec<Row>> {
-        let handle = ctx.storage.table(&self.inner.object)?;
-        let table = handle.read();
+    fn seek_local(&self, ctx: &ExecContext, table: &Table, key: &Value) -> Result<Vec<Row>> {
         let range = KeyRange::eq(key.clone());
         let raw: Vec<Row> = match &self.inner.use_index {
             Some(ix) => table.index_scan(ix, &range)?,
@@ -759,8 +914,7 @@ impl Operator for IndexNLJoinOp {
             }
         };
         if use_local {
-            let handle = ctx.storage.table(&self.inner.object)?;
-            let table = handle.read();
+            let table = ctx.storage.table(&self.inner.object)?.snapshot();
             self.mapping = self
                 .inner
                 .schema
@@ -768,7 +922,7 @@ impl Operator for IndexNLJoinOp {
                 .iter()
                 .map(|c| table.schema().resolve(None, &c.name))
                 .collect::<Result<_>>()?;
-            self.mode = InnerMode::Local;
+            self.mode = InnerMode::Local(table);
         } else {
             let sql = self
                 .inner
@@ -801,8 +955,9 @@ impl Operator for IndexNLJoinOp {
                 Vec::new()
             } else {
                 match &self.mode {
-                    InnerMode::Local => self.seek_local(ctx, &key)?,
+                    InnerMode::Local(snap) => self.seek_local(ctx, snap, &key)?,
                     InnerMode::Hashed(map) => map.get(&key).cloned().unwrap_or_default(),
+                    InnerMode::Idle => return Err(Error::internal("IndexNLJoin next before open")),
                 }
             };
             match self.kind {
@@ -831,7 +986,7 @@ impl Operator for IndexNLJoinOp {
 
     fn close(&mut self, ctx: &ExecContext) -> Result<()> {
         self.pending.clear();
-        self.mode = InnerMode::Local;
+        self.mode = InnerMode::Idle;
         self.outer.close(ctx)
     }
 }

@@ -45,7 +45,7 @@ pub mod session;
 pub use backend_server::BackendServer;
 pub use plan_cache::PlanCache;
 pub use policy::ViolationPolicy;
-pub use qcache::QueryResultCache;
+pub use qcache::{QueryResultCache, DEFAULT_QCACHE_CAPACITY};
 pub use result::QueryResult;
 pub use server::MTCache;
 pub use session::Session;

@@ -145,9 +145,9 @@ mod tests {
         assert_eq!(cache.catalog().regions().len(), 2);
         assert_eq!(cache.catalog().all_views().len(), 2);
         let v = cache.cache_storage().table("cust_prj").unwrap();
-        assert_eq!(v.read().row_count(), 150);
+        assert_eq!(v.snapshot().row_count(), 150);
         let v = cache.cache_storage().table("orders_prj").unwrap();
-        assert!(v.read().row_count() > 1000);
+        assert!(v.snapshot().row_count() > 1000);
 
         assert!(
             cache.local_heartbeat("CR1").is_none(),
@@ -211,7 +211,12 @@ mod scale_tests {
         assert!((1_300_000..=1_700_000).contains(&orders), "orders={orders}");
         // physical data stays small
         assert_eq!(
-            cache.master().table("customer").unwrap().read().row_count(),
+            cache
+                .master()
+                .table("customer")
+                .unwrap()
+                .snapshot()
+                .row_count(),
             150
         );
     }

@@ -11,6 +11,13 @@
 //! time). A hit is served only when `now − as_of` is within the *tightest*
 //! currency bound of the incoming query; otherwise the result is
 //! recomputed through the ordinary C&C-enforcing pipeline.
+//!
+//! Concurrency: a single map lock guards the entries; hit/miss counters
+//! are plain atomics so `stats()` never contends with `execute()`. Each
+//! entry also memoizes the query's tightest bound, so repeat executions of
+//! the same SQL text — hits *and* recomputes — skip the parser and binder
+//! entirely. Capacity is bounded: the least-recently-used entry is evicted
+//! once the map outgrows [`QueryResultCache::capacity`].
 
 use crate::result::QueryResult;
 use crate::server::MTCache;
@@ -19,74 +26,148 @@ use rcc_common::{Clock, Duration, Result, Timestamp, Value};
 use rcc_optimizer::bind_select;
 use rcc_sql::{parse_statement, Statement};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default bound on the number of memoized SQL strings.
+pub const DEFAULT_QCACHE_CAPACITY: usize = 256;
 
 #[derive(Debug, Clone)]
 struct Entry {
-    result: QueryResult,
-    as_of: Timestamp,
+    /// Memoized tightest currency bound for this SQL text — hits and
+    /// recomputes alike skip the parse/bind pipeline.
+    bound: Duration,
+    /// The stored result and its conservative snapshot time. `None` for
+    /// bound-0 queries, which are never served from this cache.
+    cached: Option<(QueryResult, Timestamp)>,
+    /// Recency stamp for LRU eviction (monotone per cache).
+    last_used: u64,
 }
 
 /// A result cache layered over an [`MTCache`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct QueryResultCache {
     entries: Mutex<HashMap<String, Entry>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for QueryResultCache {
+    fn default() -> Self {
+        QueryResultCache::with_capacity(DEFAULT_QCACHE_CAPACITY)
+    }
 }
 
 impl QueryResultCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> QueryResultCache {
         QueryResultCache::default()
     }
 
+    /// An empty cache bounded to `capacity` distinct SQL strings
+    /// (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> QueryResultCache {
+        QueryResultCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The maximum number of SQL strings this cache memoizes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// (hits, misses) so far.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
-    /// Number of cached results.
+    /// Number of cached results (bound-only memo entries don't count).
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries
+            .lock()
+            .values()
+            .filter(|e| e.cached.is_some())
+            .count()
     }
 
-    /// True when nothing is cached.
+    /// True when no results are cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.len() == 0
     }
 
-    /// Drop every cached result.
+    /// Drop every cached result and memoized bound.
     pub fn clear(&self) {
         self.entries.lock().clear();
+    }
+
+    fn stamp(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Serve `sql` from cache when a stored result still satisfies the
     /// query's tightest currency bound; recompute (and store) otherwise.
     pub fn execute(&self, cache: &MTCache, sql: &str) -> Result<QueryResult> {
-        let bound = tightest_bound(cache, sql)?;
         let now = cache.clock().now();
-        if bound.is_zero() {
-            // tight-default queries demand the latest snapshot: never serve
-            // them from this cache (an update may have committed since)
-            *self.misses.lock() += 1;
-            return cache.execute(sql);
-        }
-        if let Some(entry) = self.entries.lock().get(sql) {
-            if now.since(entry.as_of) <= bound {
-                *self.hits.lock() += 1;
-                return Ok(entry.result.clone());
+        // One lock acquisition answers both "is the stored result fresh
+        // enough?" and "do we already know this query's bound?".
+        let memoized_bound = {
+            let mut entries = self.entries.lock();
+            match entries.get_mut(sql) {
+                Some(entry) => {
+                    entry.last_used = self.stamp();
+                    if let Some((result, as_of)) = &entry.cached {
+                        if !entry.bound.is_zero() && now.since(*as_of) <= entry.bound {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(result.clone());
+                        }
+                    }
+                    Some(entry.bound)
+                }
+                None => None,
             }
-        }
-        *self.misses.lock() += 1;
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bound = match memoized_bound {
+            Some(bound) => bound,
+            None => tightest_bound(cache, sql)?,
+        };
         let result = cache.execute(sql)?;
-        let as_of = conservative_as_of(&result, now);
-        self.entries.lock().insert(
+        // bound-0 queries demand the latest snapshot: memoize the bound so
+        // the next execution skips the parser, but never store the result
+        // (an update may have committed since)
+        let cached = if bound.is_zero() {
+            None
+        } else {
+            Some((result.clone(), conservative_as_of(&result, now)))
+        };
+        let mut entries = self.entries.lock();
+        let last_used = self.stamp();
+        entries.insert(
             sql.to_string(),
             Entry {
-                result: result.clone(),
-                as_of,
+                bound,
+                cached,
+                last_used,
             },
         );
+        while entries.len() > self.capacity {
+            if let Some(oldest) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                entries.remove(&oldest);
+            }
+        }
         Ok(result)
     }
 }

@@ -9,11 +9,12 @@ use parking_lot::{Mutex, RwLock};
 use rcc_backend::{MasterDb, TableChange};
 use rcc_catalog::{CachedViewDef, Catalog, CurrencyRegion, TableMeta};
 use rcc_common::{
-    AgentId, Clock, Column, Duration, Error, RegionId, Result, Row, Schema, SimClock, TableId,
-    Timestamp, Value,
+    AgentId, Clock, Column, Duration, Error, RegionId, Result, Row, ScanPool, Schema, SimClock,
+    TableId, Timestamp, Value,
 };
 use rcc_executor::{
     execute_plan, execute_plan_analyzed, ExecContext, ExecCounters, QueryMeter, RemoteService,
+    DEFAULT_MORSEL_ROWS,
 };
 use rcc_obs::{
     MetricsRegistry, QueryPhase, QueryStats, TraceHandle, Tracer, DEFAULT_LATENCY_BUCKETS,
@@ -56,6 +57,9 @@ pub struct MTCache {
     backend_available: AtomicBool,
     next_agent: AtomicU32,
     next_region: AtomicU32,
+    /// Worker pool for morsel-driven parallel scans; `None` keeps every
+    /// scan on the session thread (the default).
+    scan_pool: RwLock<Option<Arc<ScanPool>>>,
 }
 
 impl Default for MTCache {
@@ -80,14 +84,15 @@ impl MTCache {
         backend.set_metrics(Arc::clone(&metrics));
         runtime.set_metrics(Arc::clone(&metrics));
         let plan_cache = Arc::new(PlanCache::new());
-        Self::register_cache_metrics(&metrics, &plan_cache, &master);
+        let cache_storage = Arc::new(StorageEngine::new());
+        Self::register_cache_metrics(&metrics, &plan_cache, &master, &cache_storage);
         MTCache {
             clock,
             clock_arc,
             catalog,
             master,
             backend,
-            cache_storage: Arc::new(StorageEngine::new()),
+            cache_storage,
             runtime,
             config: RwLock::new(OptimizerConfig::default()),
             remote_override: RwLock::new(None),
@@ -98,7 +103,25 @@ impl MTCache {
             backend_available: AtomicBool::new(true),
             next_agent: AtomicU32::new(0),
             next_region: AtomicU32::new(0),
+            scan_pool: RwLock::new(None),
         }
+    }
+
+    /// Configure morsel-driven parallel scans: `workers > 1` installs a
+    /// shared [`ScanPool`] used by every subsequent query; `workers <= 1`
+    /// restores serial scans. Safe to call while sessions are live — the
+    /// pool is swapped atomically and in-flight queries keep the pool they
+    /// started with.
+    pub fn set_scan_workers(&self, workers: usize) {
+        let pool = if workers > 1 {
+            Some(Arc::new(ScanPool::new(workers)))
+        } else {
+            None
+        };
+        self.metrics
+            .gauge("rcc_scan_workers", &[])
+            .set(workers.max(1) as f64);
+        *self.scan_pool.write() = pool;
     }
 
     /// Describe the cache-level metric names and mirror the plan cache's
@@ -109,6 +132,7 @@ impl MTCache {
         metrics: &Arc<MetricsRegistry>,
         plan_cache: &Arc<PlanCache>,
         master: &Arc<MasterDb>,
+        cache_storage: &Arc<StorageEngine>,
     ) {
         metrics.describe("rcc_queries_total", "Statements executed at the cache.");
         metrics.describe(
@@ -158,14 +182,30 @@ impl MTCache {
         let misses = metrics.counter("rcc_plan_cache_misses_total", &[]);
         let entries = metrics.gauge("rcc_plan_cache_entries", &[]);
         let master_txns = metrics.counter("rcc_master_txns_total", &[]);
+        metrics.describe(
+            "rcc_snapshot_publishes_total",
+            "Copy-on-write table snapshots published, per store \
+             (master back-end vs. cache-side replicas).",
+        );
+        metrics.describe(
+            "rcc_scan_workers",
+            "Configured scan parallelism (1 = serial scans).",
+        );
+        let cache_publishes =
+            metrics.counter("rcc_snapshot_publishes_total", &[("store", "cache")]);
+        let master_publishes =
+            metrics.counter("rcc_snapshot_publishes_total", &[("store", "master")]);
         let pc = Arc::clone(plan_cache);
         let master = Arc::clone(master);
+        let cache_storage = Arc::clone(cache_storage);
         metrics.register_collector(move || {
             let (h, m) = pc.stats();
             hits.set(h);
             misses.set(m);
             entries.set(pc.len() as f64);
             master_txns.set(master.log_len() as u64);
+            cache_publishes.set(cache_storage.total_publishes());
+            master_publishes.set(master.storage().total_publishes());
         });
     }
 
@@ -900,6 +940,8 @@ impl MTCache {
             force_local: false,
             meter: Arc::new(QueryMeter::default()),
             metrics: Some(Arc::clone(&self.metrics)),
+            scan_pool: self.scan_pool.read().clone(),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
     }
 
@@ -975,7 +1017,7 @@ impl MTCache {
         let now = self.clock.now().millis();
         let mut changes = Vec::new();
         {
-            let t = handle.read();
+            let t = handle.snapshot();
             for row in t.iter() {
                 let hit = match &predicate {
                     Some(p) => p.eval_predicate(row, &schema, now)?,
@@ -1015,7 +1057,7 @@ impl MTCache {
         let now = self.clock.now().millis();
         let mut changes = Vec::new();
         {
-            let t = handle.read();
+            let t = handle.snapshot();
             for row in t.iter() {
                 let hit = match &predicate {
                     Some(p) => p.eval_predicate(row, &schema, now)?,
@@ -1075,7 +1117,7 @@ impl MTCache {
                 .iter()
                 .map(|c| meta.schema.resolve(None, c))
                 .collect::<Result<_>>()?;
-            handle.write().create_index(name, ordinals)?;
+            handle.update(|t| t.create_index(name, ordinals))?;
         }
         self.catalog.update_table(meta)?;
         self.plan_cache.invalidate();
@@ -1220,7 +1262,7 @@ impl MTCache {
 
         // install stats computed over the freshly populated view
         let handle = self.cache_storage.table(&def.name)?;
-        let stats = TableStats::compute(&handle.read());
+        let stats = TableStats::compute(&handle.snapshot());
         self.catalog.set_stats(&def.name, stats);
         self.plan_cache.invalidate();
         Ok(def)

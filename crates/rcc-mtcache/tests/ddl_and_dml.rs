@@ -212,6 +212,71 @@ fn qcache_distinguishes_queries_and_clears() {
 }
 
 #[test]
+fn qcache_bounds_capacity_with_lru_eviction() {
+    let cache = MTCache::new();
+    cache
+        .execute("CREATE TABLE t (a INT, PRIMARY KEY (a))")
+        .unwrap();
+    cache
+        .execute("INSERT INTO t VALUES (1), (2), (3), (4)")
+        .unwrap();
+    cache.analyze("t").unwrap();
+    cache
+        .execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_v REGION r AS SELECT a FROM t")
+        .unwrap();
+    cache.advance(Duration::from_secs(20)).unwrap();
+
+    let qc = QueryResultCache::with_capacity(2);
+    assert_eq!(qc.capacity(), 2);
+    let q = |i: i64| format!("SELECT a FROM t WHERE a = {i} CURRENCY BOUND 60 SEC ON (t)");
+    qc.execute(&cache, &q(1)).unwrap();
+    qc.execute(&cache, &q(2)).unwrap();
+    // touch q1 so q2 is the LRU victim when q3 arrives
+    qc.execute(&cache, &q(1)).unwrap();
+    qc.execute(&cache, &q(3)).unwrap();
+    assert_eq!(qc.len(), 2, "capacity bound holds");
+    let misses_before = qc.stats().1;
+    qc.execute(&cache, &q(1)).unwrap();
+    qc.execute(&cache, &q(3)).unwrap();
+    assert_eq!(qc.stats().1, misses_before, "recently used entries survive");
+    qc.execute(&cache, &q(2)).unwrap();
+    assert_eq!(qc.stats().1, misses_before + 1, "LRU entry was evicted");
+}
+
+#[test]
+fn qcache_memoizes_bound_across_expiry() {
+    let cache = MTCache::new();
+    cache
+        .execute("CREATE TABLE t (a INT, PRIMARY KEY (a))")
+        .unwrap();
+    cache.execute("INSERT INTO t VALUES (1)").unwrap();
+    cache.analyze("t").unwrap();
+    cache
+        .execute("CREATE REGION r INTERVAL 5 SEC DELAY 1 SEC")
+        .unwrap();
+    cache
+        .execute("CREATE CACHED VIEW t_v REGION r AS SELECT a FROM t")
+        .unwrap();
+    cache.advance(Duration::from_secs(20)).unwrap();
+
+    let qc = QueryResultCache::new();
+    let q = "SELECT a FROM t WHERE a = 1 CURRENCY BOUND 30 SEC ON (t)";
+    let r1 = qc.execute(&cache, q).unwrap();
+    // let the stored result expire: recompute must go through the full
+    // pipeline again (a miss) but reuse the memoized bound
+    cache.advance(Duration::from_secs(60)).unwrap();
+    let r2 = qc.execute(&cache, q).unwrap();
+    assert_eq!(qc.stats(), (0, 2), "expired entry recomputes");
+    assert_eq!(r1.rows, r2.rows);
+    // and a prompt re-execution is a hit again
+    qc.execute(&cache, q).unwrap();
+    assert_eq!(qc.stats(), (1, 2));
+}
+
+#[test]
 fn dml_on_unknown_table_fails_cleanly() {
     let cache = MTCache::new();
     assert!(matches!(
@@ -309,7 +374,10 @@ fn dropping_one_view_leaves_siblings_replicating() {
     // v2 still follows the master
     let v2 = cache.cache_storage().table("v2").unwrap();
     assert_eq!(
-        v2.read().get(&[rcc_common::Value::Int(1)]).unwrap().get(1),
+        v2.snapshot()
+            .get(&[rcc_common::Value::Int(1)])
+            .unwrap()
+            .get(1),
         &Value::Int(77)
     );
 }

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! rccd [--listen ADDR] [--backend-listen ADDR] [--scale F] [--seed N]
-//!      [--max-connections N]
+//!      [--max-connections N] [--scan-workers N]
 //! ```
 
 use rcc_mtcache::paper::{paper_setup, warm_up};
@@ -25,6 +25,7 @@ struct Options {
     scale: f64,
     seed: u64,
     max_connections: usize,
+    scan_workers: usize,
 }
 
 impl Default for Options {
@@ -35,6 +36,7 @@ impl Default for Options {
             scale: 0.01,
             seed: 42,
             max_connections: NetServerConfig::default().max_connections,
+            scan_workers: rcc_common::default_scan_workers(),
         }
     }
 }
@@ -62,10 +64,16 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--max-connections: {e}"))?
             }
+            "--scan-workers" => {
+                opts.scan_workers = value("--scan-workers")?
+                    .parse()
+                    .map_err(|e| format!("--scan-workers: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: rccd [--listen ADDR] [--backend-listen ADDR] \
-                     [--scale F] [--seed N] [--max-connections N]"
+                     [--scale F] [--seed N] [--max-connections N] \
+                     [--scan-workers N]"
                 );
                 std::process::exit(0);
             }
@@ -99,6 +107,8 @@ fn run(opts: Options) -> Result<(), String> {
     );
     let cache = paper_setup(opts.scale, opts.seed).map_err(|e| e.to_string())?;
     warm_up(&cache).map_err(|e| e.to_string())?;
+    cache.set_scan_workers(opts.scan_workers);
+    eprintln!("rccd: scan parallelism {}", opts.scan_workers.max(1));
     let cache = Arc::new(cache);
 
     // back-end behind its own listener; this pins NetworkModel::Real

@@ -26,7 +26,7 @@ mod trace;
 
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SnapshotValue,
-    DEFAULT_LATENCY_BUCKETS, DEFAULT_STALENESS_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS, DEFAULT_MORSEL_BUCKETS, DEFAULT_STALENESS_BUCKETS,
 };
 pub use stats::{QueryPhase, QueryStats};
 pub use trace::{SpanGuard, SpanRecord, Trace, TraceHandle, Tracer};

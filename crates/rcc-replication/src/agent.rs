@@ -181,6 +181,13 @@ impl DistributionAgent {
     /// every logged transaction that had reached the distributor by
     /// `now − update_delay`, including heartbeat updates for this region.
     ///
+    /// The whole cycle is staged first (pure computation, no locks), then
+    /// published as **one copy-on-write snapshot per view**, with the
+    /// region's heartbeat published *last* — so a concurrent scan either
+    /// sees a view before this cycle or after it (never mid-batch), and the
+    /// advertised heartbeat never claims more freshness than the data
+    /// actually published (no torn heartbeat).
+    ///
     /// Returns the number of transactions applied.
     pub fn propagate(&mut self, now: Timestamp) -> Result<usize> {
         if self.stalled {
@@ -189,78 +196,112 @@ impl DistributionAgent {
         let as_of = now.minus(self.region.update_delay);
         let txns = self.master.log_since_until(self.cursor, as_of);
         let applied = txns.len();
+        if applied == 0 {
+            self.last_propagation = Some(now);
+            return Ok(0);
+        }
+
+        // Stage: fold every change into per-view op lists, in commit order.
+        let mut staged: Vec<Vec<ViewOp>> = vec![Vec::new(); self.subscriptions.len()];
+        let mut heartbeat: Option<Row> = None;
         for txn in &txns {
             for change in &txn.changes {
-                self.apply_change(&change.table, &change.change)?;
+                if change.table == HEARTBEAT_TABLE {
+                    self.stage_heartbeat(&change.change, &mut heartbeat)?;
+                    continue;
+                }
+                for (sub, ops) in self.subscriptions.iter().zip(staged.iter_mut()) {
+                    if sub.view.base_table_name.eq_ignore_ascii_case(&change.table) {
+                        ops.push(stage_view_op(sub, &change.change));
+                    }
+                }
             }
         }
+
+        // Publish: each data view gets the cycle's whole batch in one
+        // atomic snapshot swap.
+        for (sub, ops) in self.subscriptions.iter().zip(staged.iter()) {
+            if ops.is_empty() {
+                continue;
+            }
+            let handle = self.cache_storage.table(&sub.view.name)?;
+            handle.update(|t| {
+                for op in ops {
+                    match op {
+                        ViewOp::Upsert(row) => t.upsert(row.clone())?,
+                        ViewOp::Delete(key) => {
+                            t.delete(key);
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        // Heartbeat last: once a scan observes the new heartbeat, every
+        // data publish it vouches for has already happened.
+        if let Some(row) = heartbeat {
+            let handle = self
+                .cache_storage
+                .table(&self.region.heartbeat_table_name())?;
+            handle.update(|t| t.upsert(row))?;
+        }
+
         self.cursor += applied;
         self.last_propagation = Some(now);
         Ok(applied)
     }
 
-    fn apply_change(&self, table: &str, change: &RowChange) -> Result<()> {
-        if table == HEARTBEAT_TABLE {
-            return self.apply_heartbeat(change);
-        }
-        for sub in &self.subscriptions {
-            if !sub.view.base_table_name.eq_ignore_ascii_case(table) {
-                continue;
-            }
-            let handle = self.cache_storage.table(&sub.view.name)?;
-            let mut view_table = handle.write();
-            match change {
-                RowChange::Insert(row) | RowChange::Update { row, .. } => {
-                    match project_row(sub, row) {
-                        Some(projected) => view_table.upsert(projected)?,
-                        None => {
-                            // Row fell out of the view's selection range
-                            // (or was never in it): ensure it is absent.
-                            let key: Vec<Value> = sub
-                                .base_key_ordinals
-                                .iter()
-                                .map(|&i| row.get(i).clone())
-                                .collect();
-                            let view_key = base_key_to_view_key(sub, &key);
-                            view_table.delete(&view_key);
-                        }
-                    }
-                }
-                RowChange::Delete { key } => {
-                    let view_key = base_key_to_view_key(sub, key);
-                    view_table.delete(&view_key);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn apply_heartbeat(&self, change: &RowChange) -> Result<()> {
+    /// Fold a heartbeat-table change into the staged heartbeat row for this
+    /// region (commit order ⇒ the last one wins).
+    fn stage_heartbeat(&self, change: &RowChange, staged: &mut Option<Row>) -> Result<()> {
         let row = match change {
             RowChange::Insert(row) | RowChange::Update { row, .. } => row,
             RowChange::Delete { .. } => return Ok(()),
         };
-        let region_id = row.get(0).as_int()?;
-        if region_id != self.region.id.raw() as i64 {
-            return Ok(()); // another region's heartbeat
+        if row.get(0).as_int()? == self.region.id.raw() as i64 {
+            *staged = Some(row.clone());
         }
-        let handle = self
-            .cache_storage
-            .table(&self.region.heartbeat_table_name())?;
-        let result = handle.write().upsert(row.clone());
-        result
+        Ok(())
     }
 
     /// The timestamp currently stored in this region's local heartbeat
     /// table (None before the first heartbeat arrives).
     pub fn local_heartbeat(&self) -> Option<Timestamp> {
-        let handle = self
+        let t = self
             .cache_storage
             .table(&self.region.heartbeat_table_name())
-            .ok()?;
-        let t = handle.read();
-        let row = t.get(&[Value::Int(self.region.id.raw() as i64)])?.clone();
+            .ok()?
+            .snapshot();
+        let row = t.get(&[Value::Int(self.region.id.raw() as i64)])?;
         row.get(1).as_int().ok().map(Timestamp)
+    }
+}
+
+/// A staged view mutation, computed during the staging pass and applied
+/// inside the view's single copy-on-write publish.
+#[derive(Debug, Clone)]
+enum ViewOp {
+    Upsert(Row),
+    Delete(Vec<Value>),
+}
+
+/// Translate one base-table change into the view op it implies.
+fn stage_view_op(sub: &Subscription, change: &RowChange) -> ViewOp {
+    match change {
+        RowChange::Insert(row) | RowChange::Update { row, .. } => match project_row(sub, row) {
+            Some(projected) => ViewOp::Upsert(projected),
+            None => {
+                // Row fell out of the view's selection range (or was never
+                // in it): ensure it is absent.
+                let key: Vec<Value> = sub
+                    .base_key_ordinals
+                    .iter()
+                    .map(|&i| row.get(i).clone())
+                    .collect();
+                ViewOp::Delete(base_key_to_view_key(sub, &key))
+            }
+        },
+        RowChange::Delete { key } => ViewOp::Delete(base_key_to_view_key(sub, key)),
     }
 }
 
@@ -396,8 +437,8 @@ mod tests {
     fn subscribe_populates_snapshot() {
         let f = fixture(None);
         let v = f.cache.table("items_v").unwrap();
-        assert_eq!(v.read().row_count(), 10);
-        assert_eq!(v.read().schema().len(), 2, "projection applied");
+        assert_eq!(v.snapshot().row_count(), 10);
+        assert_eq!(v.snapshot().schema().len(), 2, "projection applied");
     }
 
     #[test]
@@ -412,7 +453,7 @@ mod tests {
         assert_eq!(f.agent.propagate(f.clock.now()).unwrap(), 1);
         let v = f.cache.table("items_v").unwrap();
         assert_eq!(
-            v.read().get(&[Value::Int(3)]).unwrap().get(1),
+            v.snapshot().get(&[Value::Int(3)]).unwrap().get(1),
             &Value::Int(99)
         );
     }
@@ -441,9 +482,9 @@ mod tests {
         f.clock.advance(Duration::from_secs(5));
         f.agent.propagate(f.clock.now()).unwrap();
         let v = f.cache.table("items_v").unwrap();
-        assert!(v.read().get(&[Value::Int(0)]).is_none());
-        assert!(v.read().get(&[Value::Int(100)]).is_some());
-        assert_eq!(v.read().row_count(), 10);
+        assert!(v.snapshot().get(&[Value::Int(0)]).is_none());
+        assert!(v.snapshot().get(&[Value::Int(100)]).is_some());
+        assert_eq!(v.snapshot().row_count(), 10);
     }
 
     #[test]
@@ -455,7 +496,7 @@ mod tests {
         }));
         let mut f = f0;
         let v = f.cache.table("items_v").unwrap();
-        assert_eq!(v.read().row_count(), 4);
+        assert_eq!(v.snapshot().row_count(), 4);
         // move id=3 out of the selection range; insert id=200 inside it
         f.master.execute_txn(vec![upd(3, 2)]).unwrap();
         f.master
@@ -470,8 +511,8 @@ mod tests {
             .unwrap();
         f.clock.advance(Duration::from_secs(5));
         f.agent.propagate(f.clock.now()).unwrap();
-        assert!(v.read().get(&[Value::Int(3)]).is_none(), "evicted");
-        assert!(v.read().get(&[Value::Int(200)]).is_some(), "admitted");
+        assert!(v.snapshot().get(&[Value::Int(3)]).is_none(), "evicted");
+        assert!(v.snapshot().get(&[Value::Int(200)]).is_some(), "admitted");
     }
 
     #[test]
@@ -484,7 +525,7 @@ mod tests {
         f.agent.propagate(f.clock.now()).unwrap();
         assert_eq!(f.agent.local_heartbeat(), Some(Timestamp(4_000)));
         let hb = f.cache.table("heartbeat_cr1").unwrap();
-        assert_eq!(hb.read().row_count(), 1, "only own region's row");
+        assert_eq!(hb.snapshot().row_count(), 1, "only own region's row");
     }
 
     #[test]

@@ -291,7 +291,7 @@ mod tests {
         f.rt.advance_to(Timestamp(10_000)).unwrap();
         let v = f.cache.table("t_v").unwrap();
         assert_eq!(
-            v.read().get(&[Value::Int(1)]).unwrap().get(1),
+            v.snapshot().get(&[Value::Int(1)]).unwrap().get(1),
             &Value::Int(42)
         );
     }
@@ -304,12 +304,12 @@ mod tests {
         f.rt.advance_to(Timestamp(10_000)).unwrap();
         let v = f.cache.table("t_v").unwrap();
         assert_eq!(
-            v.read().get(&[Value::Int(1)]).unwrap().get(1),
+            v.snapshot().get(&[Value::Int(1)]).unwrap().get(1),
             &Value::Int(0)
         );
         f.rt.advance_to(Timestamp(20_000)).unwrap();
         assert_eq!(
-            v.read().get(&[Value::Int(1)]).unwrap().get(1),
+            v.snapshot().get(&[Value::Int(1)]).unwrap().get(1),
             &Value::Int(7)
         );
     }
@@ -422,7 +422,7 @@ mod multi_region_tests {
         assert_eq!(rt.local_heartbeat("A"), Some(Timestamp(97_000)));
         assert_eq!(rt.local_heartbeat("B"), Some(Timestamp(96_000)));
         // both views received the initial snapshot
-        assert_eq!(cache.table("t_A").unwrap().read().row_count(), 1);
-        assert_eq!(cache.table("t_B").unwrap().read().row_count(), 1);
+        assert_eq!(cache.table("t_A").unwrap().snapshot().row_count(), 1);
+        assert_eq!(cache.table("t_B").unwrap().snapshot().row_count(), 1);
     }
 }

@@ -1,16 +1,20 @@
 //! The storage engine: a named collection of concurrently accessible tables.
 
+use crate::snapshot::TableCell;
 use crate::table::Table;
 use parking_lot::RwLock;
 use rcc_common::{Error, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Shared, lock-protected handle to one table. Distribution agents take the
-/// write lock to apply replicated transactions while query operators take
-/// read locks, giving the same reader/writer discipline the real system gets
-/// from its transaction manager.
-pub type TableHandle = Arc<RwLock<Table>>;
+/// Shared handle to one table. Query operators call
+/// [`TableCell::snapshot`] to obtain an immutable, atomically published
+/// table state and scan it without holding any lock, while distribution
+/// agents and DML apply replicated transactions through
+/// [`TableCell::update`] / [`TableCell::begin_write`] — a copy-on-write
+/// cycle that publishes the whole batch in one atomic epoch bump. Readers
+/// are never stalled by a refresh and never observe a torn table.
+pub type TableHandle = Arc<TableCell>;
 
 /// A named set of tables, used both for the master database at the back-end
 /// and for the cached materialized views (plus local heartbeat tables) at
@@ -33,7 +37,7 @@ impl StorageEngine {
         if tables.contains_key(&name) {
             return Err(Error::AlreadyExists(format!("table {name}")));
         }
-        let handle = Arc::new(RwLock::new(table));
+        let handle = Arc::new(TableCell::new(table));
         tables.insert(name, Arc::clone(&handle));
         Ok(handle)
     }
@@ -62,6 +66,16 @@ impl StorageEngine {
         let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Total snapshot publishes across all tables (monotonic while tables
+    /// live; feeds the `rcc_snapshot_publishes_total` metric).
+    pub fn total_publishes(&self) -> u64 {
+        self.tables
+            .read()
+            .values()
+            .map(|cell| cell.publish_count())
+            .sum()
     }
 }
 
@@ -110,8 +124,26 @@ mod tests {
         eng.create_table(tiny("t")).unwrap();
         let h1 = eng.table("t").unwrap();
         let h2 = eng.table("t").unwrap();
-        h1.write().insert(Row::new(vec![Value::Int(1)])).unwrap();
-        assert_eq!(h2.read().row_count(), 1);
+        h1.update(|t| t.insert(Row::new(vec![Value::Int(1)])))
+            .unwrap();
+        assert_eq!(h2.snapshot().row_count(), 1);
+    }
+
+    #[test]
+    fn publish_counter_totals_across_tables() {
+        let eng = StorageEngine::new();
+        eng.create_table(tiny("a")).unwrap();
+        eng.create_table(tiny("b")).unwrap();
+        assert_eq!(eng.total_publishes(), 0);
+        let a = eng.table("a").unwrap();
+        a.update(|t| t.insert(Row::new(vec![Value::Int(1)])))
+            .unwrap();
+        let b = eng.table("b").unwrap();
+        b.update(|t| t.insert(Row::new(vec![Value::Int(1)])))
+            .unwrap();
+        b.update(|t| t.insert(Row::new(vec![Value::Int(2)])))
+            .unwrap();
+        assert_eq!(eng.total_publishes(), 3);
     }
 
     #[test]

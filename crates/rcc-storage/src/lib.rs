@@ -14,11 +14,13 @@
 pub mod engine;
 pub mod index;
 pub mod range;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
 
 pub use engine::{StorageEngine, TableHandle};
 pub use index::SecondaryIndex;
 pub use range::KeyRange;
+pub use snapshot::{TableCell, TableSnapshot, TableWriter};
 pub use stats::{ColumnStats, TableStats};
-pub use table::{RowChange, Table};
+pub use table::{MorselPlan, RowChange, Table};

@@ -200,53 +200,128 @@ impl Table {
         self.rows.get(key)
     }
 
+    /// Translate the single-column range's lower bound into a bound over
+    /// full composite keys: bound the first component, leave the rest open.
+    fn composite_low(range: &KeyRange) -> Bound<Vec<Value>> {
+        match &range.low {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(v) => Bound::Included(vec![v.clone()]),
+            // For an excluded lower bound on a composite key we must skip
+            // every key with that first component, so scan from Included and
+            // filter in the scan loop.
+            Bound::Excluded(v) => Bound::Included(vec![v.clone()]),
+        }
+    }
+
+    /// True once a composite key's first component has passed the range's
+    /// upper bound — keys are sorted by first component, so the scan can
+    /// stop.
+    fn above_high(range: &KeyRange, first: &Value) -> bool {
+        match &range.high {
+            Bound::Unbounded => false,
+            Bound::Included(h) => first > h,
+            Bound::Excluded(h) => first >= h,
+        }
+    }
+
     /// Visit every row that falls in `range` on the *first* clustered key
     /// column and passes `filter`; `emit` receives survivors.
     ///
     /// This is the single scan primitive: executors push residual predicates
     /// down as `filter` so only qualifying rows are materialized.
-    pub fn scan_range<F, E>(&self, range: &KeyRange, mut filter: F, mut emit: E)
+    pub fn scan_range<F, E>(&self, range: &KeyRange, filter: F, emit: E)
     where
         F: FnMut(&Row) -> bool,
         E: FnMut(&Row),
     {
-        // Translate the single-column range into a range over full composite
-        // keys: bound the first component, leave the rest open.
-        let low: Bound<Vec<Value>> = match &range.low {
-            Bound::Unbounded => Bound::Unbounded,
-            Bound::Included(v) => Bound::Included(vec![v.clone()]),
-            // For an excluded lower bound on a composite key we must skip
-            // every key with that first component, so scan from Included and
-            // filter below.
-            Bound::Excluded(v) => Bound::Included(vec![v.clone()]),
+        self.scan_morsel(range, None, None, filter, emit);
+    }
+
+    /// Visit the slice of `range` between two composite-key cut points:
+    /// rows with clustered key in `[start, end)` (either side `None` =
+    /// unbounded). Cut points come from [`Table::plan_morsels`]; scanning
+    /// each morsel of a plan and concatenating the outputs in morsel order
+    /// visits exactly the rows `scan_range` would, in the same order —
+    /// which is what makes parallel morsel scans bit-identical to serial
+    /// execution.
+    pub fn scan_morsel<F, E>(
+        &self,
+        range: &KeyRange,
+        start: Option<&[Value]>,
+        end: Option<&[Value]>,
+        mut filter: F,
+        mut emit: E,
+    ) where
+        F: FnMut(&Row) -> bool,
+        E: FnMut(&Row),
+    {
+        // The morsel start is a real clustered key inside the range, so it
+        // is always at or above the range's own lower bound and can simply
+        // replace it (an O(log n) BTree seek rather than a skip-scan).
+        let low: Bound<Vec<Value>> = match start {
+            Some(k) => Bound::Included(k.to_vec()),
+            None => Self::composite_low(range),
         };
-        let high: Bound<Vec<Value>> = match &range.high {
-            Bound::Unbounded => Bound::Unbounded,
-            // Included upper bound v: all keys [v, ...] qualify; since key
-            // vectors compare lexicographically and any suffix extends the
-            // prefix upward, use an artificial upper sentinel by filtering.
-            Bound::Included(_) | Bound::Excluded(_) => Bound::Unbounded,
-        };
-        for (key, row) in self.rows.range((low, high)) {
-            let first = &key[0];
-            if !range.contains(first) {
-                // Keys are sorted by first component, so once we pass the
-                // high bound we can stop; below the low bound (excluded
-                // case) keep going.
-                let above_high = match &range.high {
-                    Bound::Unbounded => false,
-                    Bound::Included(h) => first > h,
-                    Bound::Excluded(h) => first >= h,
-                };
-                if above_high {
+        for (key, row) in self.rows.range((low, Bound::Unbounded)) {
+            if let Some(end) = end {
+                if key.as_slice() >= end {
                     break;
                 }
+            }
+            let first = &key[0];
+            if !range.contains(first) {
+                if Self::above_high(range, first) {
+                    break;
+                }
+                // Below the low bound (excluded case): keep going.
                 continue;
             }
             if filter(row) {
                 emit(row);
             }
         }
+    }
+
+    /// Split the rows of `range` into key-ordered morsels of roughly
+    /// `target_rows` rows each. The returned plan's cut points are actual
+    /// clustered keys, so morsel `i` covers `[cut[i-1], cut[i])` and the
+    /// morsels partition the range exactly.
+    pub fn plan_morsels(&self, range: &KeyRange, target_rows: usize) -> MorselPlan {
+        let target = target_rows.max(1);
+        let mut splits = Vec::new();
+        let mut in_chunk = 0usize;
+        let low = Self::composite_low(range);
+        for (key, _) in self.rows.range((low, Bound::Unbounded)) {
+            let first = &key[0];
+            if !range.contains(first) {
+                if Self::above_high(range, first) {
+                    break;
+                }
+                continue;
+            }
+            if in_chunk == target {
+                splits.push(key.clone());
+                in_chunk = 0;
+            }
+            in_chunk += 1;
+        }
+        MorselPlan { splits }
+    }
+
+    /// Resolve the clustered keys selected by seeking the secondary index
+    /// named `index` with `range`, in index order (then clustered-key
+    /// order). Parallel index scans fetch this list serially — it is the
+    /// ordered spine of the result — then chunk the point lookups across
+    /// workers.
+    pub fn index_pks(&self, index: &str, range: &KeyRange) -> Result<Vec<Vec<Value>>> {
+        let ix = self
+            .indexes
+            .iter()
+            .find(|ix| ix.name() == index)
+            .ok_or_else(|| Error::NotFound(format!("index {index} on table {}", self.name)))?;
+        let mut out = Vec::new();
+        ix.scan(range, |pk| out.push(pk.to_vec()));
+        Ok(out)
     }
 
     /// Collect rows in `range` passing `filter` into a vector.
@@ -293,6 +368,39 @@ impl Table {
         for ix in &mut self.indexes {
             ix.clear();
         }
+    }
+}
+
+/// How one range scan splits into key-ordered morsels: a sorted list of
+/// composite-key cut points (each an actual clustered key of the table).
+/// Morsel `i` spans `[cut[i-1], cut[i])`; the first morsel starts at the
+/// range's lower bound and the last runs to its upper bound. Produced by
+/// [`Table::plan_morsels`], consumed by [`Table::scan_morsel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MorselPlan {
+    splits: Vec<Vec<Value>>,
+}
+
+impl MorselPlan {
+    /// Number of morsels in the plan (always ≥ 1).
+    pub fn morsel_count(&self) -> usize {
+        self.splits.len() + 1
+    }
+
+    /// The `[start, end)` composite-key bounds of morsel `i`
+    /// (`None` = unbounded side).
+    ///
+    /// # Panics
+    /// Panics if `i >= morsel_count()`.
+    pub fn bounds(&self, i: usize) -> (Option<&[Value]>, Option<&[Value]>) {
+        assert!(i < self.morsel_count(), "morsel index out of range");
+        let start = if i == 0 {
+            None
+        } else {
+            Some(self.splits[i - 1].as_slice())
+        };
+        let end = self.splits.get(i).map(|k| k.as_slice());
+        (start, end)
     }
 }
 
@@ -484,6 +592,81 @@ mod tests {
             .index_scan("ix_price", &KeyRange::all())
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn morsels_partition_range_bit_identically() {
+        let schema = Schema::new(vec![
+            Column::new("cust", DataType::Int),
+            Column::new("order", DataType::Int),
+        ]);
+        let mut t = Table::new("orders", schema, vec![0, 1]);
+        for c in 1..=40 {
+            for o in 1..=3 {
+                t.insert(Row::new(vec![Value::Int(c), Value::Int(o)]))
+                    .unwrap();
+            }
+        }
+        let ranges = [
+            KeyRange::all(),
+            KeyRange::between(Value::Int(5), Value::Int(30)),
+            KeyRange::greater_than(Value::Int(10)),
+            KeyRange::less_than(Value::Int(3)),
+            KeyRange::eq(Value::Int(7)),
+            KeyRange::between(Value::Int(99), Value::Int(100)), // empty
+        ];
+        for range in &ranges {
+            let serial = t.collect_range(range, |_| true);
+            for target in [1usize, 7, 16, 1000] {
+                let plan = t.plan_morsels(range, target);
+                let mut merged = Vec::new();
+                for i in 0..plan.morsel_count() {
+                    let (start, end) = plan.bounds(i);
+                    t.scan_morsel(range, start, end, |_| true, |r| merged.push(r.clone()));
+                }
+                assert_eq!(merged, serial, "range {range:?} target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_sizes_near_target() {
+        let schema = Schema::new(vec![Column::new("id", DataType::Int)]);
+        let mut t = Table::new("t", schema, vec![0]);
+        for i in 0..100 {
+            t.insert(Row::new(vec![Value::Int(i)])).unwrap();
+        }
+        let plan = t.plan_morsels(&KeyRange::all(), 32);
+        assert_eq!(plan.morsel_count(), 4); // 32+32+32+4
+        let mut counts = Vec::new();
+        for i in 0..plan.morsel_count() {
+            let (start, end) = plan.bounds(i);
+            let mut n = 0usize;
+            t.scan_morsel(&KeyRange::all(), start, end, |_| true, |_| n += 1);
+            counts.push(n);
+        }
+        assert_eq!(counts, vec![32, 32, 32, 4]);
+    }
+
+    #[test]
+    fn index_pks_follow_index_order() {
+        let mut t = books();
+        t.create_index("ix_price", vec![2]).unwrap();
+        let pks = t
+            .index_pks(
+                "ix_price",
+                &KeyRange::between(Value::Float(15.0), Value::Float(45.0)),
+            )
+            .unwrap();
+        assert_eq!(
+            pks,
+            vec![
+                vec![Value::Int(2)],
+                vec![Value::Int(3)],
+                vec![Value::Int(4)]
+            ]
+        );
+        assert!(t.index_pks("nope", &KeyRange::all()).is_err());
     }
 
     #[test]
