@@ -1,0 +1,306 @@
+//! Offline stand-in for `syn`.
+//!
+//! The build environment has no crates.io access, so instead of the full
+//! `syn` AST this crate vendors the subset `rcc-lint`'s workspace source
+//! analyzer actually needs: a lossless-enough *token-level* lexer for Rust
+//! source. Comments are skipped, string/char literals are recognized (so a
+//! `"Mutex<Table>"` inside a doc string is a literal, not code), and every
+//! token carries its 1-based source line for findings.
+//!
+//! The API is deliberately small: [`lex_file`] plus the [`Tok`]/[`TokKind`]
+//! types. Anything fancier (expression parsing, spans into a real AST) is
+//! out of scope — the analyzer works on token patterns.
+
+use std::fmt;
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// Token payload.
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// Token kinds, collapsed to what a pattern-matching analyzer needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `Mutex`, `self`, ...).
+    Ident(String),
+    /// A lifetime (`'a`), label, or similar `'`-prefixed name.
+    Lifetime(String),
+    /// A string literal (quotes stripped, escapes NOT processed) — covers
+    /// `"..."`, `r"..."` and `r#"..."#` forms.
+    Str(String),
+    /// A character or byte literal; payload is the raw interior text.
+    Char(String),
+    /// A numeric literal, verbatim.
+    Num(String),
+    /// Any single punctuation character (`{`, `<`, `.`, `#`, ...).
+    /// Multi-character operators arrive as consecutive `Punct` tokens.
+    Punct(char),
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Ident(s) => f.write_str(s),
+            TokKind::Lifetime(s) => write!(f, "'{s}"),
+            TokKind::Str(s) => write!(f, "\"{s}\""),
+            TokKind::Char(s) => write!(f, "'{s}'"),
+            TokKind::Num(s) => f.write_str(s),
+            TokKind::Punct(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(s) if s == name)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.kind, TokKind::Punct(p) if *p == c)
+    }
+}
+
+/// Tokenize Rust source. Never fails: unterminated literals are closed at
+/// end of input (the analyzer lints real, compiling source, so this only
+/// matters for robustness).
+pub fn lex_file(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let begin = i;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        i += 1;
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str(src[begin..i.min(b.len())].to_string()),
+                    line: start_line,
+                });
+                i += 1; // closing quote
+            }
+            'r' if is_raw_string_start(b, i) => {
+                let start_line = line;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // opening quote
+                let begin = j;
+                let mut closer = vec![b'#'; hashes + 1];
+                closer[0] = b'"';
+                let end = find_sub(b, &closer, j).unwrap_or(b.len());
+                for &ch in &b[begin..end] {
+                    if ch == b'\n' {
+                        line += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str(src[begin..end].to_string()),
+                    line: start_line,
+                });
+                i = end + closer.len();
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let mut j = i + 1;
+                if j < b.len() && b[j] == b'\\' {
+                    // escaped char literal
+                    j += 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char(src[i + 1..j.min(b.len())].to_string()),
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    let begin = j;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' && j > begin {
+                        toks.push(Tok {
+                            kind: TokKind::Char(src[begin..j].to_string()),
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime(src[begin..j].to_string()),
+                            line,
+                        });
+                        i = j;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let begin = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // `1..2` range: stop the number before `..`
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num(src[begin..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let begin = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident(src[begin..i].to_string()),
+                    line,
+                });
+            }
+            other => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Is `b[i..]` the start of a raw string literal (`r"`, `r#"`, `br"`, ...)?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"' && (j > i + 1 || b[i + 1] == b'"')
+}
+
+/// First occurrence of `needle` in `haystack[from..]`.
+fn find_sub(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&k| &haystack[k..k + needle.len()] == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex_file(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex_file("fn main() { let x = 1; }");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("main"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num("1".into())));
+    }
+
+    #[test]
+    fn comments_skipped_strings_kept() {
+        let toks = lex_file("// Mutex<Table>\n/* Mutex<Table> */ let s = \"Mutex<Table>\";");
+        assert!(!toks.iter().any(|t| t.is_ident("Mutex")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str("Mutex<Table>".into())));
+    }
+
+    #[test]
+    fn lines_tracked() {
+        let toks = lex_file("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex_file("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime("a".into())));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char("y".into())));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = lex_file(r##"let s = r#"rcc_x{l="v"}"#;"##);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str("rcc_x{l=\"v\"}".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("/* a /* b */ c */ fn"), vec!["fn"]);
+    }
+}

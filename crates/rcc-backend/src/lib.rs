@@ -1,6 +1,3 @@
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-#![deny(clippy::undocumented_unsafe_blocks)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! The back-end (master) database server substrate.
 //!

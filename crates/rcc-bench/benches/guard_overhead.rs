@@ -1,5 +1,7 @@
 //! Criterion: execution time with vs. without currency guards (the
 //! Table 4.4 comparison as a statistically rigorous microbenchmark).
+// `criterion_group!` expands to undocumented harness glue.
+#![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rcc_executor::{execute_plan, ExecContext, RemoteService};

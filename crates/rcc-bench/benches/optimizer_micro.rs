@@ -1,5 +1,7 @@
 //! Criterion: the front-end micro-costs — lexing+parsing the currency
 //! clause, binding/decorrelation, and constraint normalization.
+// `criterion_group!` expands to undocumented harness glue.
+#![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rcc_common::Duration;

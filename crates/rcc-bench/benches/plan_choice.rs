@@ -1,6 +1,8 @@
 //! Criterion: end-to-end optimization latency for the Table 4.3 query
 //! variants — how much the C&C machinery (normalization, view matching,
 //! property checking, SwitchUnion costing) adds to planning.
+// `criterion_group!` expands to undocumented harness glue.
+#![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rcc_mtcache::paper::{paper_setup_sf1_stats, warm_up};

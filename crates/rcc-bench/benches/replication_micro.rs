@@ -1,5 +1,7 @@
 //! Criterion: substrate micro-benches — master transaction commit rate,
 //! distribution-agent propagation throughput, and wire-format codec speed.
+// `criterion_group!` expands to undocumented harness glue.
+#![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rcc_common::{Clock, Duration, Value};

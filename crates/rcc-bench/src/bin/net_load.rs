@@ -131,6 +131,38 @@ fn main() {
     })
     .sum();
 
+    // Lint the workload's clause shapes through the LINT statement, plus
+    // one deliberately subsumed clause as a canary that the lint pass is
+    // alive end-to-end: the workload shapes must be clean and the canary
+    // must contribute exactly one L001 diagnostic.
+    let lint_diagnostics: u64 = [
+        (
+            "SELECT c_acctbal FROM customer WHERE c_custkey = 1 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+            0u64,
+        ),
+        (
+            "SELECT o_totalprice FROM orders WHERE o_custkey = 1 \
+             CURRENCY BOUND 30 SEC ON (orders)",
+            0,
+        ),
+        (
+            "SELECT c_acctbal FROM customer WHERE c_custkey = 1 \
+             CURRENCY BOUND 30 SEC ON (customer), 10 MIN ON (customer)",
+            1,
+        ),
+    ]
+    .iter()
+    .map(|(sql, expected)| {
+        let r = cache.execute(&format!("LINT {sql}")).expect("lint");
+        let n = r.rows.len() as u64;
+        if n != *expected {
+            eprintln!("net_load: LINT expected {expected} diagnostic(s), got {n} for {sql}");
+        }
+        n
+    })
+    .sum();
+
     let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let started = Instant::now();
     let workers: Vec<_> = (0..opts.clients)
@@ -205,11 +237,16 @@ fn main() {
     println!("  latency p50/p95/p99  {p50} / {p95} / {p99} µs");
     println!("  transport retries/unavailable  {retries} / {unavailable}");
     println!("  plan verification failures     {verification_failures} (expected 0)");
+    println!("  lint diagnostics               {lint_diagnostics} (expected 1: the canary)");
 
     assert_eq!(served, total_queries, "front-end counted every query");
     assert_eq!(
         verification_failures, 0,
         "workload plans must conform to their currency clauses"
+    );
+    assert_eq!(
+        lint_diagnostics, 1,
+        "workload clauses lint clean and the canary yields exactly one diagnostic"
     );
 
     let json = format!(
@@ -218,7 +255,7 @@ fn main() {
          \"remote_queries\": {},\n  \"total_rows\": {},\n  \"wire_bytes\": {},\n  \
          \"latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n  \
          \"transport\": {{ \"retries\": {}, \"unavailable\": {} }},\n  \
-         \"verification_failures\": {}\n}}\n",
+         \"verification_failures\": {},\n  \"lint_diagnostics\": {}\n}}\n",
         opts.clients,
         opts.queries,
         opts.scale,
@@ -233,6 +270,7 @@ fn main() {
         retries,
         unavailable,
         verification_failures,
+        lint_diagnostics,
     );
     let mut f = std::fs::File::create(&opts.out).expect("create BENCH_net.json");
     f.write_all(json.as_bytes()).expect("write BENCH_net.json");

@@ -1,5 +1,3 @@
-#![forbid(unsafe_code)]
-#![deny(clippy::undocumented_unsafe_blocks)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Shared harness for the experiment report binaries and Criterion
 //! benches. Each binary regenerates one table or figure of the paper's

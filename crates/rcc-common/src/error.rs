@@ -16,6 +16,10 @@ pub enum Error {
     Lex {
         /// Byte offset into the source text.
         pos: usize,
+        /// 1-based source line of the offending character (0 = unknown).
+        line: u32,
+        /// 1-based column of the offending character (0 = unknown).
+        col: u32,
         /// Human-readable description.
         message: String,
     },
@@ -23,6 +27,10 @@ pub enum Error {
     Parse {
         /// Byte offset into the source text.
         pos: usize,
+        /// 1-based source line of the offending token (0 = unknown).
+        line: u32,
+        /// 1-based column of the offending token (0 = unknown).
+        col: u32,
         /// Human-readable description.
         message: String,
     },
@@ -77,8 +85,30 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
-            Error::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            Error::Lex {
+                pos,
+                line,
+                col,
+                message,
+            } => {
+                if *line > 0 {
+                    write!(f, "lex error at line {line}, column {col}: {message}")
+                } else {
+                    write!(f, "lex error at byte {pos}: {message}")
+                }
+            }
+            Error::Parse {
+                pos,
+                line,
+                col,
+                message,
+            } => {
+                if *line > 0 {
+                    write!(f, "parse error at line {line}, column {col}: {message}")
+                } else {
+                    write!(f, "parse error at byte {pos}: {message}")
+                }
+            }
             Error::Analysis(m) => write!(f, "analysis error: {m}"),
             Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
@@ -105,9 +135,21 @@ mod tests {
     fn display_includes_position() {
         let e = Error::Parse {
             pos: 17,
+            line: 0,
+            col: 0,
             message: "expected FROM".into(),
         };
         assert_eq!(e.to_string(), "parse error at byte 17: expected FROM");
+        let e = Error::Parse {
+            pos: 17,
+            line: 2,
+            col: 4,
+            message: "expected FROM".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 2, column 4: expected FROM"
+        );
     }
 
     #[test]
@@ -115,10 +157,14 @@ mod tests {
         let variants = vec![
             Error::Lex {
                 pos: 0,
+                line: 1,
+                col: 1,
                 message: "x".into(),
             },
             Error::Parse {
                 pos: 0,
+                line: 1,
+                col: 1,
                 message: "x".into(),
             },
             Error::Analysis("x".into()),

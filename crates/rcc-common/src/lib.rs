@@ -1,6 +1,3 @@
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-#![deny(clippy::undocumented_unsafe_blocks)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Shared foundation types for the RCC (Relaxed Currency & Consistency)
 //! mid-tier database cache, a reproduction of Guo et al., SIGMOD 2004.

@@ -1,0 +1,157 @@
+//! `lint-audit`: sweep the generated C&C corpus plus the adversarial lint
+//! corpus through the Layer-1 currency-clause lint.
+//!
+//! ```text
+//! cargo run -p rcc-lint --bin lint-audit -- [--queries N] [--seed S] [--scale F]
+//! ```
+//!
+//! Two assertions, both deterministic:
+//!
+//! * every query in `rcc_tpcd::currency_corpus` lints clean — the
+//!   generator only emits sensible clauses, so any diagnostic is a lint
+//!   false positive;
+//! * every query in `rcc_tpcd::adversarial_lint_corpus` produces *exactly*
+//!   its expected diagnostic-code set — a missed or spurious code fails
+//!   the sweep, so lint regressions can't land silently.
+
+use rcc_lint::lint_select;
+use rcc_sql::ast::Statement;
+use rcc_verify::rig;
+use std::process::ExitCode;
+
+struct Args {
+    queries: usize,
+    seed: u64,
+    scale: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        queries: 250,
+        seed: 7,
+        scale: 0.01,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--queries" => {
+                args.queries = grab("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?
+            }
+            "--seed" => {
+                args.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--scale" => {
+                args.scale = grab("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("usage: lint-audit [--queries N] [--seed S] [--scale F]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lint-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (catalog, _master) = match rig::audit_catalog(args.scale, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint-audit: failed to build audit catalog: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+
+    // Phase 1: the generated corpus must be diagnostic-free.
+    let max_custkey = catalog.stats("customer").row_count.max(1) as i64;
+    let corpus = rcc_tpcd::currency_corpus(args.queries, args.seed, max_custkey);
+    for (qi, sql) in corpus.iter().enumerate() {
+        let select = match rcc_sql::parser::parse_statement(sql) {
+            Ok(Statement::Select(s)) => s,
+            Ok(_) => {
+                eprintln!("query {qi}: generator produced a non-SELECT statement");
+                failures += 1;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("query {qi}: parse error: {e}\n  {sql}");
+                failures += 1;
+                continue;
+            }
+        };
+        let diags = lint_select(&catalog, &select);
+        if !diags.is_empty() {
+            failures += 1;
+            eprintln!("FALSE POSITIVE on generated query {qi}:\n  {sql}");
+            for d in &diags {
+                eprintln!("  {d}");
+            }
+        }
+    }
+
+    // Phase 2: the adversarial corpus must produce exactly its expected
+    // diagnostic-code sets.
+    let adversarial = rcc_tpcd::adversarial_lint_corpus();
+    let adversarial_len = adversarial.len();
+    let mut diagnostics_seen = 0usize;
+    for (qi, (sql, expected)) in adversarial.into_iter().enumerate() {
+        let select = match rcc_sql::parser::parse_statement(sql) {
+            Ok(Statement::Select(s)) | Ok(Statement::Lint(s)) => s,
+            Ok(other) => {
+                eprintln!("adversarial {qi}: expected a query, parsed {other:?}");
+                failures += 1;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("adversarial {qi}: parse error: {e}\n  {sql}");
+                failures += 1;
+                continue;
+            }
+        };
+        let diags = lint_select(&catalog, &select);
+        diagnostics_seen += diags.len();
+        let mut got: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        got.sort_unstable();
+        if got != expected {
+            failures += 1;
+            eprintln!(
+                "MISMATCH on adversarial query {qi}:\n  {sql}\n  expected {expected:?}, got {got:?}"
+            );
+            for d in &diags {
+                eprintln!("  {d}");
+            }
+        }
+    }
+
+    println!(
+        "lint-audit: {} generated + {} adversarial queries, {} diagnostics on \
+         adversarial set, {} failures",
+        corpus.len(),
+        adversarial_len,
+        diagnostics_seen,
+        failures
+    );
+    if failures == 0 {
+        println!("lint-audit: lint is clean on generated queries and exact on adversarial ones");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,160 @@
+//! `workspace-lint`: run the Layer-2 source analyzer over every workspace
+//! crate and fail on any violation.
+//!
+//! ```text
+//! cargo run -p rcc-lint --bin workspace-lint -- [--root DIR]
+//! ```
+//!
+//! Scans `crates/*/src/**/*.rs` (the workspace's own code; `compat/`
+//! vendored stand-ins are out of scope) and enforces:
+//!
+//! * no lock-wrapped raw `Table` outside `rcc-storage` library sources;
+//! * an acyclic lock-acquisition-order graph across `Mutex`/`RwLock`
+//!   fields;
+//! * every `rcc_*` metric literal registered exactly once in
+//!   `rcc-obs/src/names.rs`, with no unused registrations.
+//!
+//! Violations are fixed at the source, never allowlisted here.
+
+use rcc_lint::source::{
+    check_lock_order, check_metric_names, check_raw_table, collect_registry, prepare, FileKind,
+    SourceFile,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default workspace root: two levels above this crate's manifest.
+fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn parse_args() -> Result<PathBuf, String> {
+    let mut root = default_root();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root requires a value")?);
+            }
+            "--help" | "-h" => {
+                println!("usage: workspace-lint [--root DIR]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(root)
+}
+
+/// Collect `.rs` files under `dir` recursively, sorted for determinism.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lexed workspace sources, the metric registry, and the registry's path.
+type Workspace = (Vec<SourceFile>, Vec<(String, u32)>, String);
+
+fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let registry_rel = "crates/rcc-obs/src/names.rs";
+    let registry_src = std::fs::read_to_string(root.join(registry_rel))?;
+    // `prepare` drops the file's own test module before extraction.
+    let registry_file = prepare("rcc-obs", registry_rel, FileKind::Lib, &registry_src);
+    let registry = collect_registry(&registry_file.toks);
+
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        rs_files(&src_dir, &mut paths)?;
+        for path in paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if rel == registry_rel {
+                continue; // the registry itself is not a usage site
+            }
+            let kind = if rel.contains("/src/bin/") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            };
+            let src = std::fs::read_to_string(&path)?;
+            files.push(prepare(&crate_name, &rel, kind, &src));
+        }
+    }
+    Ok((files, registry, registry_rel.to_string()))
+}
+
+fn main() -> ExitCode {
+    let root = match parse_args() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("workspace-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (files, registry, registry_path) = match load_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("workspace-lint: failed to read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings = check_raw_table(&files);
+    findings.extend(check_lock_order(&files));
+    findings.extend(check_metric_names(&files, &registry, &registry_path));
+
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    println!(
+        "workspace-lint: {} files in {} crates, {} registered metrics, {} findings",
+        files.len(),
+        files
+            .iter()
+            .map(|f| f.crate_name.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        registry.len(),
+        findings.len()
+    );
+    if findings.is_empty() {
+        println!("workspace-lint: source invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,641 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+//! Static analysis for the RCC stack, on two layers.
+//!
+//! **Layer 1 (this module): currency-clause semantic lint.** A dataflow
+//! pass over the `rcc-sql` AST plus the catalog that flags queries which
+//! are syntactically valid but semantically absurd under the paper's
+//! normalization rules (Sec. 3.2.1): contradictory or subsumed bounds,
+//! dead specs, `BY` groupings that match no key, cross-block class
+//! conflicts, and clauses made redundant by the session default.
+//! Complementary to `rcc-verify`, which proves *optimized plans* conform
+//! to the clause: lint runs before any plan exists and costs one AST walk.
+//!
+//! **Layer 2 ([`source`]): workspace source analyzer.** Token-level checks
+//! over the repository's own Rust source enforcing invariants the compiler
+//! can't (raw-`Table` access discipline, lock-acquisition ordering,
+//! metric-name registration).
+//!
+//! Diagnostics are coded (`L001`…) so corpora can assert exact expected
+//! sets and sweeps stay deterministic.
+
+pub mod source;
+
+use rcc_catalog::{Catalog, TableMeta};
+use rcc_common::Duration;
+use rcc_sql::{CurrencyClause, CurrencySpec, Expr, SelectStmt, TableRef};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Diagnostic codes emitted by the Layer-1 lint pass.
+pub mod codes {
+    /// Contradictory / subsumed bounds within one clause.
+    pub const SUBSUMED_BOUND: &str = "L001";
+    /// Dead spec: a table name resolving to no FROM binding in scope.
+    pub const DEAD_SPEC: &str = "L002";
+    /// `BY` columns naming or covering no key / index of the grouped table.
+    pub const BY_NOT_KEY: &str = "L003";
+    /// Cross-block class conflict: same operand, incompatible bounds.
+    pub const CROSS_BLOCK_CONFLICT: &str = "L004";
+    /// Clause trivially satisfied by the session default (bound 0).
+    pub const REDUNDANT_CLAUSE: &str = "L005";
+}
+
+/// One lint finding: a stable code, the offending spec rendered as SQL,
+/// an explanation, and the spec's source span (0/0 when synthesized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`L001`…).
+    pub code: &'static str,
+    /// The offending currency spec, rendered.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// 1-based source line of the spec (0 = unknown).
+    pub line: u32,
+    /// 1-based source column of the spec (0 = unknown).
+    pub col: u32,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{} [{}:{}] {}: {}",
+                self.code, self.line, self.col, self.subject, self.message
+            )
+        } else {
+            write!(f, "{} {}: {}", self.code, self.subject, self.message)
+        }
+    }
+}
+
+/// Render a spec the way it was written (`10min ON (b, r) BY b.isbn`).
+fn spec_sql(spec: &CurrencySpec) -> String {
+    let mut s = format!("{} ON ({})", spec.bound, spec.tables.join(", "));
+    if !spec.by.is_empty() {
+        let cols: Vec<String> = spec
+            .by
+            .iter()
+            .map(|(q, c)| match q {
+                Some(q) => format!("{q}.{c}"),
+                None => c.clone(),
+            })
+            .collect();
+        s.push_str(&format!(" BY {}", cols.join(", ")));
+    }
+    s
+}
+
+/// What one FROM-visible name binds to: a base-table operand (fresh id per
+/// mention, as in the optimizer's binder) or a derived table covering the
+/// operands of its defining block.
+#[derive(Clone)]
+struct Binding {
+    ops: BTreeSet<u32>,
+    /// Base-table metadata when the binding is a named base table.
+    meta: Option<Arc<TableMeta>>,
+}
+
+/// One resolved currency spec with provenance, for cross-block analysis.
+struct SpecInfo {
+    block: usize,
+    bound: Duration,
+    ops: BTreeSet<u32>,
+    subject: String,
+    line: u32,
+    col: u32,
+}
+
+struct Linter<'a> {
+    catalog: &'a Catalog,
+    scopes: Vec<Vec<(String, Binding)>>,
+    next_op: u32,
+    next_block: usize,
+    specs: Vec<SpecInfo>,
+    diags: Vec<Diagnostic>,
+}
+
+/// Lint a SELECT statement against `catalog`. Returns every diagnostic in
+/// deterministic order (outer blocks before inner, clause order within a
+/// block, cross-block conflicts last).
+pub fn lint_select(catalog: &Catalog, stmt: &SelectStmt) -> Vec<Diagnostic> {
+    let mut l = Linter {
+        catalog,
+        scopes: Vec::new(),
+        next_op: 0,
+        next_block: 0,
+        specs: Vec::new(),
+        diags: Vec::new(),
+    };
+    l.block(stmt);
+    l.cross_block();
+    l.diags
+}
+
+impl Linter<'_> {
+    fn block(&mut self, stmt: &SelectStmt) {
+        let block_id = self.next_block;
+        self.next_block += 1;
+        self.scopes.push(Vec::new());
+        for item in &stmt.from {
+            self.bind_table_ref(item);
+        }
+        if let Some(clause) = &stmt.currency {
+            self.lint_clause(block_id, clause);
+        }
+        // Subquery blocks in WHERE/HAVING see this block's bindings (the
+        // clause scopes like WHERE, so inner clauses may name outer tables).
+        for e in stmt.filter.iter().chain(stmt.having.iter()) {
+            self.subqueries_in(e);
+        }
+        self.scopes.pop();
+    }
+
+    fn bind_table_ref(&mut self, item: &TableRef) {
+        match item {
+            TableRef::Named { name, alias } => {
+                let id = self.next_op;
+                self.next_op += 1;
+                let meta = self.catalog.table(name).ok();
+                let binding = Binding {
+                    ops: [id].into_iter().collect(),
+                    meta,
+                };
+                let visible = alias.clone().unwrap_or_else(|| name.clone());
+                self.declare(visible, binding);
+            }
+            TableRef::Subquery { query, alias } => {
+                let before = self.next_op;
+                self.block(query);
+                let ops: BTreeSet<u32> = (before..self.next_op).collect();
+                self.declare(alias.clone(), Binding { ops, meta: None });
+            }
+            TableRef::Join { left, right, .. } => {
+                self.bind_table_ref(left);
+                self.bind_table_ref(right);
+            }
+        }
+    }
+
+    fn declare(&mut self, name: String, binding: Binding) {
+        self.scopes
+            .last_mut()
+            .expect("block pushed a scope")
+            .push((name.to_ascii_lowercase(), binding));
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        let lname = name.to_ascii_lowercase();
+        self.scopes
+            .iter()
+            .rev()
+            .flat_map(|frame| frame.iter())
+            .find(|(n, _)| *n == lname)
+            .map(|(_, b)| b)
+    }
+
+    fn subqueries_in(&mut self, e: &Expr) {
+        // Expr::visit does not descend into subquery blocks, so recurse
+        // manually where they appear.
+        match e {
+            Expr::Exists { subquery, .. } => self.block(subquery),
+            Expr::InSubquery { expr, subquery, .. } => {
+                self.subqueries_in(expr);
+                self.block(subquery);
+            }
+            Expr::Binary { left, right, .. } => {
+                self.subqueries_in(left);
+                self.subqueries_in(right);
+            }
+            Expr::Unary { expr, .. } => self.subqueries_in(expr),
+            Expr::Function { args, .. } => {
+                for a in args {
+                    self.subqueries_in(a);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                self.subqueries_in(expr);
+                for a in list {
+                    self.subqueries_in(a);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                self.subqueries_in(expr);
+                self.subqueries_in(low);
+                self.subqueries_in(high);
+            }
+            Expr::IsNull { expr, .. } => self.subqueries_in(expr),
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Parameter(_) => {}
+        }
+    }
+
+    fn lint_clause(&mut self, block_id: usize, clause: &CurrencyClause) {
+        let mut resolved: Vec<(BTreeSet<u32>, &CurrencySpec)> = Vec::new();
+        for spec in &clause.specs {
+            let subject = spec_sql(spec);
+            let mut ops = BTreeSet::new();
+            for t in &spec.tables {
+                match self.lookup(t) {
+                    Some(b) => ops.extend(b.ops.iter().copied()),
+                    None => self.diags.push(Diagnostic {
+                        code: codes::DEAD_SPEC,
+                        subject: subject.clone(),
+                        message: format!(
+                            "table '{t}' is not in this block's or any enclosing FROM; \
+                             the spec can never constrain an input"
+                        ),
+                        line: spec.line,
+                        col: spec.col,
+                    }),
+                }
+            }
+            if spec.bound.is_zero() {
+                self.diags.push(Diagnostic {
+                    code: codes::REDUNDANT_CLAUSE,
+                    subject: subject.clone(),
+                    message: "bound 0 restates the session default (all inputs \
+                              transactionally current); the spec is redundant"
+                        .into(),
+                    line: spec.line,
+                    col: spec.col,
+                });
+            }
+            self.lint_by(spec, &subject);
+            resolved.push((ops.clone(), spec));
+            self.specs.push(SpecInfo {
+                block: block_id,
+                bound: spec.bound,
+                ops,
+                subject,
+                line: spec.line,
+                col: spec.col,
+            });
+        }
+        // L001: overlapping specs within one clause merge to the tighter
+        // bound, so the looser bound can never take effect.
+        for i in 0..resolved.len() {
+            for j in (i + 1)..resolved.len() {
+                let (ops_i, spec_i) = &resolved[i];
+                let (ops_j, spec_j) = &resolved[j];
+                if ops_i.is_empty() || ops_i.is_disjoint(ops_j) {
+                    continue;
+                }
+                if spec_i.bound == spec_j.bound {
+                    if ops_i == ops_j {
+                        self.diags.push(Diagnostic {
+                            code: codes::SUBSUMED_BOUND,
+                            subject: spec_sql(spec_j),
+                            message: format!(
+                                "duplicates spec {} earlier in the clause",
+                                spec_sql(spec_i)
+                            ),
+                            line: spec_j.line,
+                            col: spec_j.col,
+                        });
+                    }
+                    continue;
+                }
+                let (loose, tight) = if spec_i.bound > spec_j.bound {
+                    (spec_i, spec_j)
+                } else {
+                    (spec_j, spec_i)
+                };
+                self.diags.push(Diagnostic {
+                    code: codes::SUBSUMED_BOUND,
+                    subject: spec_sql(loose),
+                    message: format!(
+                        "overlaps spec {} in the same clause; merged classes take \
+                         the tighter bound, so {} never applies",
+                        spec_sql(tight),
+                        loose.bound
+                    ),
+                    line: loose.line,
+                    col: loose.col,
+                });
+            }
+        }
+    }
+
+    /// L003: each `BY` column must name a key or indexed column of its
+    /// grouped table, and per grouped table the attributed columns must
+    /// cover the full key or a full index (otherwise grouping on them does
+    /// not identify consistency groups).
+    fn lint_by(&mut self, spec: &CurrencySpec, subject: &str) {
+        if spec.by.is_empty() {
+            return;
+        }
+        let grouped: Vec<(String, Option<Arc<TableMeta>>)> = spec
+            .tables
+            .iter()
+            .map(|t| (t.clone(), self.lookup(t).and_then(|b| b.meta.clone())))
+            .collect();
+        for (q, c) in &spec.by {
+            let shown = match q {
+                Some(q) => format!("{q}.{c}"),
+                None => c.clone(),
+            };
+            let targets: Vec<&Arc<TableMeta>> = match q {
+                Some(q) => {
+                    if !spec.tables.iter().any(|t| t.eq_ignore_ascii_case(q)) {
+                        self.diags.push(Diagnostic {
+                            code: codes::BY_NOT_KEY,
+                            subject: subject.to_string(),
+                            message: format!(
+                                "BY column {shown} qualifies a table outside the \
+                                 spec's ON list"
+                            ),
+                            line: spec.line,
+                            col: spec.col,
+                        });
+                        continue;
+                    }
+                    grouped
+                        .iter()
+                        .filter(|(t, _)| t.eq_ignore_ascii_case(q))
+                        .filter_map(|(_, m)| m.as_ref())
+                        .collect()
+                }
+                None => grouped.iter().filter_map(|(_, m)| m.as_ref()).collect(),
+            };
+            if targets.is_empty() {
+                continue; // derived table or unknown object: nothing to check
+            }
+            let key_like = targets.iter().any(|m| {
+                m.key.iter().any(|k| k.eq_ignore_ascii_case(c))
+                    || m.indexes
+                        .iter()
+                        .any(|ix| ix.columns.iter().any(|ic| ic.eq_ignore_ascii_case(c)))
+            });
+            if !key_like {
+                self.diags.push(Diagnostic {
+                    code: codes::BY_NOT_KEY,
+                    subject: subject.to_string(),
+                    message: format!(
+                        "BY column {shown} is not part of any key or index of the \
+                         grouped tables; it cannot identify consistency groups"
+                    ),
+                    line: spec.line,
+                    col: spec.col,
+                });
+            }
+        }
+        // Coverage: per grouped base table with attributed BY columns, the
+        // columns must contain the whole key or a whole index.
+        for (t, meta) in &grouped {
+            let Some(meta) = meta else { continue };
+            let attributed: BTreeSet<String> = spec
+                .by
+                .iter()
+                .filter(|(q, _)| match q {
+                    Some(q) => q.eq_ignore_ascii_case(t),
+                    None => true,
+                })
+                .map(|(_, c)| c.to_ascii_lowercase())
+                .collect();
+            if attributed.is_empty() {
+                continue; // grouped transitively through the join: allowed
+            }
+            let covers_key = meta
+                .key
+                .iter()
+                .all(|k| attributed.contains(&k.to_ascii_lowercase()));
+            let covers_index = meta.indexes.iter().any(|ix| {
+                ix.columns
+                    .iter()
+                    .all(|c| attributed.contains(&c.to_ascii_lowercase()))
+            });
+            if !covers_key && !covers_index {
+                self.diags.push(Diagnostic {
+                    code: codes::BY_NOT_KEY,
+                    subject: subject.to_string(),
+                    message: format!(
+                        "BY columns attributed to '{t}' cover neither its key \
+                         ({}) nor any full index",
+                        meta.key.join(", ")
+                    ),
+                    line: spec.line,
+                    col: spec.col,
+                });
+            }
+        }
+    }
+
+    /// L004: specs from different blocks whose operand sets overlap with
+    /// different bounds — normalization merges them to the tighter bound,
+    /// so the looser block's bound silently never applies.
+    fn cross_block(&mut self) {
+        for i in 0..self.specs.len() {
+            for j in (i + 1)..self.specs.len() {
+                let (a, b) = (&self.specs[i], &self.specs[j]);
+                if a.block == b.block
+                    || a.bound == b.bound
+                    || a.ops.is_empty()
+                    || a.ops.is_disjoint(&b.ops)
+                {
+                    continue;
+                }
+                let (loose, tight) = if a.bound > b.bound { (a, b) } else { (b, a) };
+                self.diags.push(Diagnostic {
+                    code: codes::CROSS_BLOCK_CONFLICT,
+                    subject: loose.subject.clone(),
+                    message: format!(
+                        "conflicts with {} in another block over a shared table; \
+                         multi-block merging takes the tighter bound, so {} never \
+                         applies",
+                        tight.subject, loose.bound
+                    ),
+                    line: loose.line,
+                    col: loose.col,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::{DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let catalog = Catalog::new();
+        let schema = Schema::new(vec![
+            rcc_common::Column::new("c_custkey", DataType::Int),
+            rcc_common::Column::new("c_name", DataType::Str),
+            rcc_common::Column::new("c_nationkey", DataType::Int),
+        ]);
+        let mut meta = TableMeta::new(
+            catalog.next_table_id(),
+            "customer",
+            schema,
+            vec!["c_custkey".into()],
+        )
+        .unwrap();
+        meta.add_index(
+            rcc_common::IndexId(1),
+            "ix_cust_nation",
+            vec!["c_nationkey".into()],
+        )
+        .unwrap();
+        catalog.register_table(meta).unwrap();
+
+        let schema = Schema::new(vec![
+            rcc_common::Column::new("o_orderkey", DataType::Int),
+            rcc_common::Column::new("o_line", DataType::Int),
+            rcc_common::Column::new("o_custkey", DataType::Int),
+        ]);
+        let meta = TableMeta::new(
+            catalog.next_table_id(),
+            "orders",
+            schema,
+            vec!["o_orderkey".into(), "o_line".into()],
+        )
+        .unwrap();
+        catalog.register_table(meta).unwrap();
+        catalog
+    }
+
+    fn lint(sql: &str) -> Vec<Diagnostic> {
+        let stmt = rcc_sql::parse_statement(sql).unwrap();
+        let select = match stmt {
+            rcc_sql::Statement::Select(s) | rcc_sql::Statement::Lint(s) => s,
+            other => panic!("expected a query, got {other:?}"),
+        };
+        lint_select(&catalog(), &select)
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_query_has_no_diagnostics() {
+        let d = lint(
+            "SELECT c_name FROM customer c WHERE c.c_custkey = 1 \
+             CURRENCY BOUND 10 MIN ON (c) BY c.c_custkey",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l001_subsumed_bound_in_one_clause() {
+        let d = lint(
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 10 MIN ON (c), 5 SEC ON (c)",
+        );
+        assert_eq!(codes_of(&d), vec![codes::SUBSUMED_BOUND]);
+        assert!(d[0].subject.contains("10min"), "{d:?}");
+        assert!(d[0].line >= 1 && d[0].col > 1, "span missing: {d:?}");
+    }
+
+    #[test]
+    fn l001_duplicate_spec() {
+        let d = lint(
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 10 MIN ON (c), 10 MIN ON (c)",
+        );
+        assert_eq!(codes_of(&d), vec![codes::SUBSUMED_BOUND]);
+    }
+
+    #[test]
+    fn l002_dead_spec() {
+        let d = lint("SELECT c_name FROM customer c CURRENCY BOUND 10 MIN ON (orders)");
+        assert_eq!(codes_of(&d), vec![codes::DEAD_SPEC]);
+    }
+
+    #[test]
+    fn l003_by_not_key() {
+        let d = lint(
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 10 MIN ON (c) BY c.c_name",
+        );
+        // Per-column check and coverage check both fire.
+        assert_eq!(
+            codes_of(&d),
+            vec![codes::BY_NOT_KEY, codes::BY_NOT_KEY],
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn l003_secondary_index_column_accepted() {
+        let d = lint(
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 10 MIN ON (c) BY c.c_nationkey",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l003_partial_composite_key_coverage() {
+        let clean = lint(
+            "SELECT o_line FROM orders o \
+             CURRENCY BOUND 10 MIN ON (o) BY o.o_orderkey, o.o_line",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+        // Mutation: drop one BY column of the composite key — flips failing.
+        let d = lint(
+            "SELECT o_line FROM orders o \
+             CURRENCY BOUND 10 MIN ON (o) BY o.o_orderkey",
+        );
+        assert_eq!(codes_of(&d), vec![codes::BY_NOT_KEY]);
+    }
+
+    #[test]
+    fn l004_cross_block_conflict() {
+        let clean = lint(
+            "SELECT c_name FROM customer c WHERE EXISTS \
+             (SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey \
+              CURRENCY BOUND 10 MIN ON (o, c)) \
+             CURRENCY BOUND 10 MIN ON (c)",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+        // Mutation: swap the outer bound — the looser inner spec is flagged.
+        let d = lint(
+            "SELECT c_name FROM customer c WHERE EXISTS \
+             (SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey \
+              CURRENCY BOUND 10 MIN ON (o, c)) \
+             CURRENCY BOUND 5 SEC ON (c)",
+        );
+        assert_eq!(codes_of(&d), vec![codes::CROSS_BLOCK_CONFLICT], "{d:?}");
+        assert!(d[0].subject.contains("10min"));
+    }
+
+    #[test]
+    fn l005_redundant_zero_bound() {
+        let d = lint("SELECT c_name FROM customer c CURRENCY BOUND 0 SEC ON (c)");
+        assert_eq!(codes_of(&d), vec![codes::REDUNDANT_CLAUSE]);
+    }
+
+    #[test]
+    fn derived_table_binding_covers_inner_operands() {
+        let d = lint(
+            "SELECT x FROM (SELECT c_custkey AS x FROM customer \
+             CURRENCY BOUND 5 SEC ON (customer)) q \
+             CURRENCY BOUND 10 MIN ON (q)",
+        );
+        // Outer 10min on q overlaps inner 5s on customer: cross-block.
+        assert_eq!(codes_of(&d), vec![codes::CROSS_BLOCK_CONFLICT], "{d:?}");
+    }
+
+    #[test]
+    fn diagnostics_are_deterministic() {
+        let sql = "SELECT c_name FROM customer c, orders o \
+                   CURRENCY BOUND 0 SEC ON (c), 10 MIN ON (missing) BY c.c_name";
+        let a = lint(sql);
+        let b = lint(sql);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn display_includes_span() {
+        let d = lint("SELECT c_name FROM customer c CURRENCY BOUND 0 SEC ON (c)");
+        let shown = d[0].to_string();
+        assert!(shown.starts_with("L005 ["), "{shown}");
+    }
+}

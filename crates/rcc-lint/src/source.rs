@@ -1,0 +1,583 @@
+//! Layer 2: workspace source analyzer.
+//!
+//! Token-level checks over the repository's own Rust source (lexed by the
+//! vendored `syn` stand-in) enforcing invariants the compiler can't:
+//!
+//! * **Raw-`Table` discipline** — outside `rcc-storage`, no lock-wrapped
+//!   `Table` (`Mutex<Table>` / `RwLock<Table>`): readers must go through
+//!   `TableCell::snapshot()`, the invariant the lock-free snapshot reads
+//!   of PR 4 rest on. Scoped to library sources; `src/bin/` measurement
+//!   rigs (e.g. the deliberate locked-table baseline in `scan_parallel`)
+//!   are out of scope by construction, not allowlisted.
+//! * **Lock-acquisition order** — a directed graph over `Mutex`/`RwLock`
+//!   *fields*, with an edge A→B whenever B is acquired while a guard on A
+//!   is held (let-bound guards live to the end of their block or an
+//!   explicit `drop`). Any cycle is reported with one witness per edge.
+//!   Lock identity is `(crate, field name)`: coarse, but deterministic and
+//!   conservative in the safe direction for this codebase.
+//! * **Metric-name discipline** — every `rcc_*` string literal in the
+//!   workspace must be registered exactly once in `rcc-obs`'s
+//!   `names::METRICS` table, and every registered name must be used.
+//!
+//! Test modules are excluded by truncating each file at its first
+//! `#[cfg(test)]` marker (the repo convention keeps unit tests at the
+//! bottom of the file).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use syn::{Tok, TokKind};
+
+/// How a source file participates in the checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/**` outside `src/bin/`).
+    Lib,
+    /// Binary source (`src/bin/**`): exempt from the raw-`Table` check.
+    Bin,
+}
+
+/// One lexed source file ready for analysis.
+pub struct SourceFile {
+    /// Owning crate (`rcc-mtcache`, ...).
+    pub crate_name: String,
+    /// Path shown in findings.
+    pub path: String,
+    /// Library or binary source.
+    pub kind: FileKind,
+    /// Tokens, truncated at the first `#[cfg(test)]`.
+    pub toks: Vec<Tok>,
+}
+
+/// A Layer-2 finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which check fired (`raw-table`, `lock-order`, `metric-names`).
+    pub check: &'static str,
+    /// Offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}",
+            self.check, self.path, self.line, self.message
+        )
+    }
+}
+
+/// Lex `src` and truncate at the first `#[cfg(test)]` attribute.
+pub fn prepare(crate_name: &str, path: &str, kind: FileKind, src: &str) -> SourceFile {
+    let mut toks = syn::lex_file(src);
+    if let Some(cut) = find_cfg_test(&toks) {
+        toks.truncate(cut);
+    }
+    SourceFile {
+        crate_name: crate_name.to_string(),
+        path: path.to_string(),
+        kind,
+        toks,
+    }
+}
+
+fn find_cfg_test(toks: &[Tok]) -> Option<usize> {
+    (0..toks.len().saturating_sub(6)).find(|&i| {
+        toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(')')
+            && toks[i + 6].is_punct(']')
+    })
+}
+
+// ------------------------------------------------------------- raw Table
+
+/// Flag lock-wrapped raw `Table` types outside `rcc-storage` lib sources.
+pub fn check_raw_table(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if f.crate_name == "rcc-storage" || f.kind != FileKind::Lib {
+            continue;
+        }
+        let t = &f.toks;
+        for i in 0..t.len() {
+            let lock = match &t[i].kind {
+                TokKind::Ident(s) if s == "Mutex" || s == "RwLock" => s.clone(),
+                _ => continue,
+            };
+            if i + 1 >= t.len() || !t[i + 1].is_punct('<') {
+                continue;
+            }
+            let mut depth = 0i32;
+            for tok in &t[i + 1..] {
+                match &tok.kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Ident(s) if s == "Table" => {
+                        out.push(Finding {
+                            check: "raw-table",
+                            path: f.path.clone(),
+                            line: t[i].line,
+                            message: format!(
+                                "{lock}<Table> outside rcc-storage: readers must go \
+                                 through TableCell::snapshot()"
+                            ),
+                        });
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------ lock order
+
+/// Collect `(crate, field)` lock identities: struct fields (and typed
+/// bindings) of the shape `name: [Arc<]Mutex/RwLock<...>`.
+fn collect_lock_fields(files: &[SourceFile]) -> BTreeSet<(String, String)> {
+    let mut fields = BTreeSet::new();
+    for f in files {
+        let t = &f.toks;
+        for i in 0..t.len().saturating_sub(2) {
+            let TokKind::Ident(name) = &t[i].kind else {
+                continue;
+            };
+            if !t[i + 1].is_punct(':') || (i + 2 < t.len() && t[i + 2].is_punct(':')) {
+                continue; // `::` path, not a field
+            }
+            // Scan the type until a top-level `,`, `;`, `}` or `)`.
+            let mut angle = 0i32;
+            for tok in &t[i + 2..] {
+                match &tok.kind {
+                    TokKind::Punct('<') => angle += 1,
+                    TokKind::Punct('>') => angle -= 1,
+                    TokKind::Punct(',')
+                    | TokKind::Punct(';')
+                    | TokKind::Punct('}')
+                    | TokKind::Punct(')')
+                        if angle <= 0 =>
+                    {
+                        break;
+                    }
+                    TokKind::Punct('{') | TokKind::Punct('=') => break,
+                    TokKind::Ident(s) if s == "Mutex" || s == "RwLock" => {
+                        fields.insert((f.crate_name.clone(), name.clone()));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Build the acquisition-order graph and report every cycle.
+pub fn check_lock_order(files: &[SourceFile]) -> Vec<Finding> {
+    let fields = collect_lock_fields(files);
+    // edge (from, to) -> first witness
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    struct Guard {
+        var: String,
+        lock: String,
+        depth: i32,
+    }
+    for f in files {
+        let t = &f.toks;
+        let mut held: Vec<Guard> = Vec::new();
+        let mut depth = 0i32;
+        let mut pending_let: Option<String> = None;
+        let mut i = 0;
+        while i < t.len() {
+            match &t[i].kind {
+                TokKind::Punct('{') => {
+                    depth += 1;
+                    pending_let = None;
+                }
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    held.retain(|g| g.depth <= depth);
+                    pending_let = None;
+                }
+                TokKind::Punct(';') => pending_let = None,
+                TokKind::Ident(s) if s == "let" => {
+                    let mut j = i + 1;
+                    if j < t.len() && t[j].is_ident("mut") {
+                        j += 1;
+                    }
+                    pending_let = match t.get(j).map(|tok| &tok.kind) {
+                        Some(TokKind::Ident(name)) => Some(name.clone()),
+                        _ => None,
+                    };
+                }
+                TokKind::Ident(s)
+                    if s == "drop"
+                        && i + 3 < t.len()
+                        && t[i + 1].is_punct('(')
+                        && t[i + 3].is_punct(')') =>
+                {
+                    if let TokKind::Ident(var) = &t[i + 2].kind {
+                        if let Some(k) = held.iter().rposition(|g| g.var == *var) {
+                            held.remove(k);
+                        }
+                    }
+                }
+                TokKind::Ident(method)
+                    if (method == "lock" || method == "read" || method == "write")
+                        && i >= 2
+                        && t[i - 1].is_punct('.')
+                        && i + 2 < t.len()
+                        && t[i + 1].is_punct('(')
+                        && t[i + 2].is_punct(')') =>
+                {
+                    if let TokKind::Ident(recv) = &t[i - 2].kind {
+                        let key = (f.crate_name.clone(), recv.clone());
+                        if fields.contains(&key) {
+                            let lock = format!("{}::{}", key.0, key.1);
+                            for g in &held {
+                                if g.lock != lock {
+                                    edges
+                                        .entry((g.lock.clone(), lock.clone()))
+                                        .or_insert_with(|| (f.path.clone(), t[i].line));
+                                }
+                            }
+                            if let Some(var) = pending_let.take() {
+                                held.push(Guard { var, lock, depth });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    find_cycles(&edges)
+}
+
+/// DFS over the edge set; one finding per discovered cycle.
+fn find_cycles(edges: &BTreeMap<(String, String), (String, u32)>) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+        adj.entry(to).or_default();
+    }
+    let mut out = Vec::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys() {
+        if done.contains(start) {
+            continue;
+        }
+        // color: 0 unvisited, 1 on stack, 2 finished
+        let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+        let mut path: Vec<&str> = Vec::new();
+        dfs(start, &adj, &mut color, &mut path, edges, &mut out);
+        done.extend(color.keys().copied());
+    }
+    out
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    color: &mut BTreeMap<&'a str, u8>,
+    path: &mut Vec<&'a str>,
+    edges: &BTreeMap<(String, String), (String, u32)>,
+    out: &mut Vec<Finding>,
+) {
+    color.insert(node, 1);
+    path.push(node);
+    for &next in adj.get(node).into_iter().flatten() {
+        match color.get(next).copied().unwrap_or(0) {
+            0 => dfs(next, adj, color, path, edges, out),
+            1 => {
+                // cycle: path from `next` to `node`, closed by node->next
+                let from = path.iter().position(|&n| n == next).unwrap_or(0);
+                let cycle: Vec<&str> = path[from..].to_vec();
+                let mut witnesses = Vec::new();
+                for k in 0..cycle.len() {
+                    let a = cycle[k];
+                    let b = cycle[(k + 1) % cycle.len()];
+                    if let Some((p, l)) = edges.get(&(a.to_string(), b.to_string())) {
+                        witnesses.push(format!("{a} -> {b} at {p}:{l}"));
+                    }
+                }
+                let (path0, line0) = edges
+                    .get(&(node.to_string(), next.to_string()))
+                    .cloned()
+                    .unwrap_or_default();
+                out.push(Finding {
+                    check: "lock-order",
+                    path: path0,
+                    line: line0,
+                    message: format!(
+                        "lock acquisition cycle: {} ({})",
+                        cycle.join(" -> "),
+                        witnesses.join("; ")
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    path.pop();
+    color.insert(node, 2);
+}
+
+// ---------------------------------------------------------- metric names
+
+/// Is `s` shaped like a metric name (`rcc_` plus `[a-z0-9_]+`)?
+pub fn is_metric_name(s: &str) -> bool {
+    s.len() > 4
+        && s.starts_with("rcc_")
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Registry entries extracted from `rcc-obs`'s `names.rs` tokens, in order.
+pub fn collect_registry(toks: &[Tok]) -> Vec<(String, u32)> {
+    toks.iter()
+        .filter_map(|t| match &t.kind {
+            TokKind::Str(s) if is_metric_name(s) => Some((s.clone(), t.line)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Enforce: every used `rcc_*` literal is registered; no duplicate or
+/// unused registrations. `registry_path` is only used in messages.
+pub fn check_metric_names(
+    files: &[SourceFile],
+    registry: &[(String, u32)],
+    registry_path: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: BTreeMap<&str, u32> = BTreeMap::new();
+    for (name, line) in registry {
+        if let Some(first) = seen.insert(name, *line) {
+            out.push(Finding {
+                check: "metric-names",
+                path: registry_path.to_string(),
+                line: *line,
+                message: format!("metric '{name}' registered twice (first at line {first})"),
+            });
+        }
+    }
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for f in files {
+        for t in &f.toks {
+            let TokKind::Str(s) = &t.kind else { continue };
+            if !is_metric_name(s) {
+                continue;
+            }
+            if !seen.contains_key(s.as_str()) {
+                out.push(Finding {
+                    check: "metric-names",
+                    path: f.path.clone(),
+                    line: t.line,
+                    message: format!("metric '{s}' is not registered in rcc-obs names::METRICS"),
+                });
+            }
+            if let Some(hit) = seen.get_key_value(s.as_str()) {
+                used.insert(hit.0);
+            }
+        }
+    }
+    for (name, line) in registry {
+        if seen.get(name.as_str()) == Some(line) && !used.contains(name.as_str()) {
+            out.push(Finding {
+                check: "metric-names",
+                path: registry_path.to_string(),
+                line: *line,
+                message: format!("metric '{name}' is registered but never used"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(crate_name: &str, kind: FileKind, src: &str) -> SourceFile {
+        prepare(crate_name, &format!("{crate_name}/src/x.rs"), kind, src)
+    }
+
+    #[test]
+    fn raw_table_flagged_outside_storage() {
+        let f = file(
+            "rcc-backend",
+            FileKind::Lib,
+            "struct Db { t: Arc<RwLock<Table>> }",
+        );
+        let findings = check_raw_table(&[f]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("RwLock<Table>"));
+    }
+
+    #[test]
+    fn raw_table_allowed_in_storage_bins_and_other_types() {
+        for f in [
+            file(
+                "rcc-storage",
+                FileKind::Lib,
+                "struct S { t: RwLock<Table> }",
+            ),
+            file("rcc-bench", FileKind::Bin, "struct S { t: RwLock<Table> }"),
+            file(
+                "rcc-mtcache",
+                FileKind::Lib,
+                "struct S { t: RwLock<TableSnapshot>, c: Mutex<TableCell> }",
+            ),
+            file(
+                "rcc-mtcache",
+                FileKind::Lib,
+                "// RwLock<Table> in a comment\nconst X: &str = \"RwLock<Table>\";",
+            ),
+        ] {
+            assert!(check_raw_table(&[f]).is_empty());
+        }
+    }
+
+    #[test]
+    fn raw_table_in_test_module_ignored() {
+        let f = file(
+            "rcc-executor",
+            FileKind::Lib,
+            "fn main() {}\n#[cfg(test)]\nmod tests { struct S { t: Mutex<Table> } }",
+        );
+        assert!(check_raw_table(&[f]).is_empty());
+    }
+
+    const ORDERED: &str = "
+        struct S { a: Mutex<u32>, b: Mutex<u32> }
+        impl S {
+            fn f(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }
+            fn g(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }
+        }";
+
+    const REORDERED: &str = "
+        struct S { a: Mutex<u32>, b: Mutex<u32> }
+        impl S {
+            fn f(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }
+            fn g(&self) { let gb = self.b.lock(); let ga = self.a.lock(); }
+        }";
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let f = file("rcc-x", FileKind::Lib, ORDERED);
+        assert!(check_lock_order(&[f]).is_empty());
+    }
+
+    #[test]
+    fn reordered_acquisitions_flagged() {
+        // Mutation: reorder two lock acquisitions — flips clean to failing.
+        let f = file("rcc-x", FileKind::Lib, REORDERED);
+        let findings = check_lock_order(&[f]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("cycle"), "{findings:?}");
+    }
+
+    #[test]
+    fn block_scope_and_drop_release_guards() {
+        // Guard released by `}` or drop(): no overlap, no edge, no cycle.
+        let src = "
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn f(&self) { { let ga = self.a.lock(); } let gb = self.b.lock(); }
+                fn g(&self) { let gb = self.b.lock(); drop(gb); let ga = self.a.lock(); }
+            }";
+        let f = file("rcc-x", FileKind::Lib, src);
+        assert!(check_lock_order(&[f]).is_empty());
+    }
+
+    #[test]
+    fn temporary_guards_do_not_hold() {
+        let src = "
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn f(&self) { self.a.lock().push(1); self.b.lock().push(2); }
+                fn g(&self) { self.b.lock().push(1); self.a.lock().push(2); }
+            }";
+        let f = file("rcc-x", FileKind::Lib, src);
+        assert!(check_lock_order(&[f]).is_empty());
+    }
+
+    fn reg(names: &[&str]) -> Vec<(String, u32)> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.to_string(), i as u32 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn unregistered_metric_flagged() {
+        // Mutation: add an unregistered metric — flips clean to failing.
+        let f = file(
+            "rcc-x",
+            FileKind::Lib,
+            "fn f(m: &M) { m.counter(\"rcc_known_total\", &[]); }",
+        );
+        let clean = check_metric_names(&[f], &reg(&["rcc_known_total"]), "names.rs");
+        assert!(clean.is_empty(), "{clean:?}");
+        let f = file(
+            "rcc-x",
+            FileKind::Lib,
+            "fn f(m: &M) { m.counter(\"rcc_known_total\", &[]); m.counter(\"rcc_bogus_total\", &[]); }",
+        );
+        let findings = check_metric_names(&[f], &reg(&["rcc_known_total"]), "names.rs");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("rcc_bogus_total"));
+    }
+
+    #[test]
+    fn duplicate_and_unused_registrations_flagged() {
+        let f = file(
+            "rcc-x",
+            FileKind::Lib,
+            "fn f(m: &M) { m.counter(\"rcc_a_total\", &[]); }",
+        );
+        let findings = check_metric_names(
+            &[f],
+            &reg(&["rcc_a_total", "rcc_a_total", "rcc_idle_total"]),
+            "names.rs",
+        );
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("registered twice")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("rcc_idle_total") && m.contains("never used")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn non_metric_strings_ignored() {
+        let f = file(
+            "rcc-x",
+            FileKind::Lib,
+            "const A: &str = \"rcc-common\"; const B: &str = \"not rcc_x here\";",
+        );
+        assert!(check_metric_names(&[f], &reg(&[]), "names.rs").is_empty());
+    }
+}

@@ -1,6 +1,3 @@
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-#![deny(clippy::undocumented_unsafe_blocks)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! MTCache: a mid-tier database cache enforcing relaxed currency &
 //! consistency constraints — the system of Guo, Larson, Ramakrishnan &

@@ -28,6 +28,9 @@ pub struct CompiledQuery {
     pub optimized: Optimized,
     /// Base tables the query reads (for timeline-consistency bookkeeping).
     pub tables: Vec<TableId>,
+    /// Rendered currency-clause lint diagnostics from compile time,
+    /// attached to every result served from this plan.
+    pub lint: Vec<String>,
 }
 
 /// Compiled-plan cache with epoch-based invalidation.
@@ -133,6 +136,7 @@ mod tests {
                 choice: PlanChoice::BackendLocal,
             },
             tables: vec![],
+            lint: vec![],
         })
     }
 

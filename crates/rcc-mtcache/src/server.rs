@@ -166,6 +166,11 @@ impl MTCache {
             "Plan conformance audits that found a delivered-vs-required divergence.",
         );
         metrics.describe(
+            "rcc_lint_diagnostics_total",
+            "Currency-clause lint diagnostics emitted at compile time and by \
+             LINT statements, labeled by code (L001..L005).",
+        );
+        metrics.describe(
             "rcc_plan_cache_hits_total",
             "Plan-cache lookups that reused a compiled dynamic plan.",
         );
@@ -500,6 +505,54 @@ impl MTCache {
                 "BEGIN/END TIMEORDERED requires a session; use MTCache::session()",
             )),
             Statement::Verify(select) => self.execute_verify(&select, params),
+            Statement::Lint(select) => Ok(self.execute_lint(&select)),
+        }
+    }
+
+    /// `LINT SELECT ...`: run the currency-clause semantic lint and return
+    /// the diagnostics as a result set (one row per finding). Never binds,
+    /// optimizes, or executes — a clean statement returns zero rows.
+    fn execute_lint(&self, select: &SelectStmt) -> QueryResult {
+        let diags = rcc_lint::lint_select(&self.catalog, select);
+        for d in &diags {
+            self.metrics
+                .counter("rcc_lint_diagnostics_total", &[("code", d.code)])
+                .inc();
+        }
+        let schema = Schema::new(vec![
+            Column::new("code", rcc_common::DataType::Str),
+            Column::new("position", rcc_common::DataType::Str),
+            Column::new("subject", rcc_common::DataType::Str),
+            Column::new("message", rcc_common::DataType::Str),
+        ]);
+        let rows = diags
+            .iter()
+            .map(|d| {
+                Row::new(vec![
+                    Value::Str(d.code.to_string()),
+                    Value::Str(format!("{}:{}", d.line, d.col)),
+                    Value::Str(d.subject.clone()),
+                    Value::Str(d.message.clone()),
+                ])
+            })
+            .collect();
+        let warnings = if diags.is_empty() {
+            vec!["lint clean: no currency-clause diagnostics".to_string()]
+        } else {
+            vec![format!("lint found {} diagnostic(s)", diags.len())]
+        };
+        QueryResult {
+            schema,
+            rows,
+            plan_choice: PlanChoice::BackendLocal,
+            plan_explain: String::new(),
+            est_cost: 0.0,
+            guards: Vec::new(),
+            used_remote: false,
+            warnings,
+            timings: Default::default(),
+            tables: Vec::new(),
+            stats: Default::default(),
         }
     }
 
@@ -608,6 +661,19 @@ impl MTCache {
         if let Some(c) = self.plan_cache.get(&key) {
             return Ok((c, true, StdDuration::ZERO, StdDuration::ZERO));
         }
+        // Compile-time currency-clause lint: one AST walk on the cache-miss
+        // path only. Diagnostics never fail the query — they ride along as
+        // warnings on every result served from this plan, and bump the
+        // per-code counter so absurd clauses show up in the metrics.
+        let span = trace.span("lint");
+        let lint_diags = rcc_lint::lint_select(&self.catalog, select);
+        for d in &lint_diags {
+            self.metrics
+                .counter("rcc_lint_diagnostics_total", &[("code", d.code)])
+                .inc();
+        }
+        let lint: Vec<String> = lint_diags.iter().map(|d| format!("lint: {d}")).collect();
+        drop(span);
         let span = trace.span("bind");
         let started = Instant::now();
         let graph = bind_select(&self.catalog, select, params)?;
@@ -636,7 +702,11 @@ impl MTCache {
                 )));
             }
         }
-        let c = Arc::new(CompiledQuery { optimized, tables });
+        let c = Arc::new(CompiledQuery {
+            optimized,
+            tables,
+            lint,
+        });
         self.plan_cache.put(key, Arc::clone(&c));
         Ok((c, false, bind_time, optimize_time))
     }
@@ -734,7 +804,7 @@ impl MTCache {
                     est_cost: optimized.cost,
                     guards,
                     used_remote,
-                    warnings: Vec::new(),
+                    warnings: compiled.lint.clone(),
                     timings: result.timings,
                     tables,
                     stats,

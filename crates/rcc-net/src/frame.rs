@@ -239,7 +239,12 @@ fn error_code(e: &Error) -> u8 {
 /// `Display` rendering.
 fn error_from_code(code: u8, message: String) -> Error {
     match code {
-        CODE_PARSE => Error::Parse { pos: 0, message },
+        CODE_PARSE => Error::Parse {
+            pos: 0,
+            line: 0,
+            col: 0,
+            message,
+        },
         CODE_ANALYSIS => Error::Analysis(message),
         CODE_NOT_FOUND => Error::NotFound(message),
         CODE_CURRENCY => Error::CurrencyViolation(message),

@@ -1,5 +1,3 @@
-#![forbid(unsafe_code)]
-#![deny(clippy::undocumented_unsafe_blocks)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Observability layer for the RC&C mid-tier cache.
 //!
@@ -18,8 +16,7 @@
 //!   (parse/bind/optimize/guard-eval/local-exec/remote-ship), row and byte
 //!   counts, and plan-cache outcome.
 
-#![warn(missing_docs)]
-
+pub mod names;
 mod registry;
 mod stats;
 mod trace;

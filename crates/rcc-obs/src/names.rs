@@ -1,0 +1,148 @@
+//! Canonical registry of every metric name the workspace emits.
+//!
+//! One entry per `rcc_*` time series, exactly once. `workspace-lint`
+//! (crates/rcc-lint) parses every crate's source and fails the build if a
+//! metric string literal is used that is not registered here, or if a name
+//! is registered twice or never used — so this list is the single source
+//! of truth for the observable surface. Operational help text still lives
+//! next to the `describe()` calls at each registration site; the short
+//! summaries here are for discovery.
+
+/// Every metric name in the workspace with a one-line summary.
+/// Sorted by name; each name appears exactly once.
+pub const METRICS: &[(&str, &str)] = &[
+    ("rcc_guard_local_total", "Currency guards passed locally"),
+    (
+        "rcc_guard_remote_total",
+        "Currency guards forcing remote reads",
+    ),
+    (
+        "rcc_guard_staleness_seconds",
+        "Observed staleness at guard checks",
+    ),
+    (
+        "rcc_lint_diagnostics_total",
+        "Currency-clause lint diagnostics",
+    ),
+    (
+        "rcc_master_txns_total",
+        "Transactions applied at the master",
+    ),
+    (
+        "rcc_net_connections_open",
+        "Front-end connections currently open",
+    ),
+    (
+        "rcc_net_connections_rejected_total",
+        "Connections over limit",
+    ),
+    (
+        "rcc_net_connections_total",
+        "Front-end connections accepted",
+    ),
+    ("rcc_net_pool_idle", "Idle pooled back-end connections"),
+    (
+        "rcc_net_pool_in_use",
+        "Checked-out pooled back-end connections",
+    ),
+    ("rcc_net_remote_call_seconds", "Back-end call latency"),
+    ("rcc_net_remote_retries_total", "Back-end call retries"),
+    (
+        "rcc_net_remote_timeouts_total",
+        "Back-end call deadline hits",
+    ),
+    (
+        "rcc_net_remote_unavailable_total",
+        "Back-end declared unreachable",
+    ),
+    (
+        "rcc_net_request_errors_total",
+        "Front-end requests that errored",
+    ),
+    ("rcc_net_request_seconds", "Front-end request latency"),
+    ("rcc_net_requests_total", "Front-end requests served"),
+    (
+        "rcc_observations_dropped_total",
+        "Guard observations dropped",
+    ),
+    ("rcc_plan_cache_entries", "Compiled plans currently cached"),
+    ("rcc_plan_cache_hits_total", "Plan-cache hits"),
+    ("rcc_plan_cache_misses_total", "Plan-cache misses"),
+    (
+        "rcc_policy_degradations_total",
+        "Violation-policy downgrades",
+    ),
+    ("rcc_queries_total", "Statements executed at the cache"),
+    ("rcc_query_phase_seconds", "Per-phase query time"),
+    ("rcc_query_rows_returned_total", "Rows returned to clients"),
+    ("rcc_remote_latency_seconds", "Remote execution latency"),
+    (
+        "rcc_remote_queries_total",
+        "Queries shipped to the back-end",
+    ),
+    ("rcc_replication_lag_seconds", "Replication lag per region"),
+    (
+        "rcc_replication_txns_applied_total",
+        "Replicated txns applied",
+    ),
+    ("rcc_rows_shipped_total", "Rows received from the back-end"),
+    ("rcc_scan_morsels_per_scan", "Morsels per parallel scan"),
+    (
+        "rcc_scan_morsels_total",
+        "Morsels dispatched to scan workers",
+    ),
+    (
+        "rcc_scan_parallel_total",
+        "Scans executed on the morsel pool",
+    ),
+    ("rcc_scan_serial_total", "Scans executed serially"),
+    ("rcc_scan_workers", "Scan worker threads configured"),
+    ("rcc_snapshot_publishes_total", "Table snapshots published"),
+    (
+        "rcc_stale_served_total",
+        "Queries served stale under policy",
+    ),
+    ("rcc_verify_audits_total", "Plan conformance audits run"),
+    (
+        "rcc_verify_failures_total",
+        "Plan conformance audits failed",
+    ),
+    ("rcc_wire_bytes_decoded_total", "Protocol bytes decoded"),
+    ("rcc_wire_bytes_encoded_total", "Protocol bytes encoded"),
+];
+
+/// Is `name` a registered metric name?
+pub fn is_registered(name: &str) -> bool {
+    METRICS.binary_search_by(|(n, _)| n.cmp(&name)).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_and_unique() {
+        for w in METRICS.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} >= {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(is_registered("rcc_queries_total"));
+        assert!(!is_registered("rcc_bogus_total"));
+    }
+
+    #[test]
+    fn naming_discipline() {
+        for (name, help) in METRICS {
+            assert!(name.starts_with("rcc_"), "{name}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name}"
+            );
+            assert!(!help.is_empty());
+        }
+    }
+}

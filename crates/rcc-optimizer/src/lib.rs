@@ -1,6 +1,3 @@
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-#![deny(clippy::undocumented_unsafe_blocks)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Cost-based query optimizer with integrated currency & consistency
 //! constraints — the paper's core contribution (Sec. 3.2).

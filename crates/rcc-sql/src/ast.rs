@@ -87,6 +87,11 @@ pub enum Statement {
     /// optimized plan against its currency clause and report each proof
     /// obligation instead of executing.
     Verify(Box<SelectStmt>),
+    /// `LINT SELECT ...` — run the currency-clause semantic linter over the
+    /// query and report each diagnostic as a result row instead of
+    /// executing (the front-end complement of [`Statement::Verify`], which
+    /// checks optimized plans).
+    Lint(Box<SelectStmt>),
 }
 
 /// One Select-From-Where block. The currency clause "occurs last in an SFW
@@ -449,7 +454,10 @@ pub struct CurrencyClause {
 }
 
 /// One `<bound> ON (t1, t2, ...) [BY t.c, ...]` triple.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores the source span (`line`/`col`): two specs parsed from
+/// different renderings of the same clause compare equal.
+#[derive(Debug, Clone)]
 pub struct CurrencySpec {
     /// Maximum acceptable staleness of the inputs in this class.
     pub bound: Duration,
@@ -460,6 +468,16 @@ pub struct CurrencySpec {
     /// from one snapshot, but different groups may come from different
     /// snapshots (E3/E4 in the paper).
     pub by: Vec<(Option<String>, String)>,
+    /// 1-based source line of the spec's bound token (0 if synthesized).
+    pub line: u32,
+    /// 1-based source column of the spec's bound token (0 if synthesized).
+    pub col: u32,
+}
+
+impl PartialEq for CurrencySpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.tables == other.tables && self.by == other.by
+    }
 }
 
 #[cfg(test)]

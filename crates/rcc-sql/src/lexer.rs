@@ -3,13 +3,60 @@
 use rcc_common::{Error, Result};
 use std::fmt;
 
-/// A lexical token with its starting byte offset (for error messages).
+/// A lexical token with its starting source position (for error messages
+/// and lint-diagnostic spans).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// Token kind and payload.
     pub kind: TokenKind,
     /// Byte offset into the source where the token starts.
     pub pos: usize,
+    /// 1-based source line where the token starts (filled by [`tokenize`]).
+    pub line: u32,
+    /// 1-based column where the token starts (filled by [`tokenize`]).
+    pub col: u32,
+}
+
+impl Token {
+    /// A token at `pos` whose line/column are resolved later in one pass
+    /// over the source (see [`tokenize`]).
+    fn new(kind: TokenKind, pos: usize) -> Token {
+        Token {
+            kind,
+            pos,
+            line: 0,
+            col: 0,
+        }
+    }
+}
+
+/// Resolve a byte offset to a 1-based (line, column) pair.
+pub fn line_col(src: &str, byte: usize) -> (u32, u32) {
+    let (mut line, mut col) = (1u32, 1u32);
+    for (i, c) in src.char_indices() {
+        if i >= byte {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// Build an [`Error::Lex`] carrying both the byte offset and its resolved
+/// line/column.
+fn lex_err(input: &str, pos: usize, message: String) -> Error {
+    let (line, col) = line_col(input, pos);
+    Error::Lex {
+        pos,
+        line,
+        col,
+        message,
+    }
 }
 
 /// Token kinds. Keywords are recognized case-insensitively and carried as
@@ -142,6 +189,7 @@ const KEYWORDS: &[&str] = &[
     "INTERVAL",
     "DELAY",
     "VERIFY",
+    "LINT",
 ];
 
 /// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
@@ -160,59 +208,35 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                tokens.push(Token {
-                    kind: TokenKind::LParen,
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::LParen, i));
                 i += 1;
             }
             ')' => {
-                tokens.push(Token {
-                    kind: TokenKind::RParen,
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::RParen, i));
                 i += 1;
             }
             ',' => {
-                tokens.push(Token {
-                    kind: TokenKind::Comma,
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::Comma, i));
                 i += 1;
             }
             ';' => {
-                tokens.push(Token {
-                    kind: TokenKind::Semi,
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::Semi, i));
                 i += 1;
             }
             '.' if !(i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
-                tokens.push(Token {
-                    kind: TokenKind::Dot,
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::Dot, i));
                 i += 1;
             }
             '+' | '*' | '/' => {
-                tokens.push(Token {
-                    kind: TokenKind::Arith(c),
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::Arith(c), i));
                 i += 1;
             }
             '-' => {
-                tokens.push(Token {
-                    kind: TokenKind::Arith('-'),
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::Arith('-'), i));
                 i += 1;
             }
             '=' => {
-                tokens.push(Token {
-                    kind: TokenKind::Op("=".into()),
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::Op("=".into()), i));
                 i += 1;
             }
             '<' => {
@@ -223,10 +247,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     ("<", 1)
                 };
-                tokens.push(Token {
-                    kind: TokenKind::Op(op.into()),
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::Op(op.into()), i));
                 i += adv;
             }
             '>' => {
@@ -235,17 +256,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     (">", 1)
                 };
-                tokens.push(Token {
-                    kind: TokenKind::Op(op.into()),
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::Op(op.into()), i));
                 i += adv;
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                tokens.push(Token {
-                    kind: TokenKind::Op("<>".into()),
-                    pos: i,
-                });
+                tokens.push(Token::new(TokenKind::Op("<>".into()), i));
                 i += 2;
             }
             '\'' => {
@@ -254,10 +269,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 let mut s = String::new();
                 loop {
                     if i >= bytes.len() {
-                        return Err(Error::Lex {
-                            pos: start,
-                            message: "unterminated string literal".into(),
-                        });
+                        return Err(lex_err(input, start, "unterminated string literal".into()));
                     }
                     if bytes[i] == b'\'' {
                         if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
@@ -272,10 +284,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         i += 1;
                     }
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Str(s),
-                    pos: start,
-                });
+                tokens.push(Token::new(TokenKind::Str(s), start));
             }
             '$' => {
                 let start = i;
@@ -287,15 +296,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 if begin == i {
-                    return Err(Error::Lex {
-                        pos: start,
-                        message: "empty parameter name".into(),
-                    });
+                    return Err(lex_err(input, start, "empty parameter name".into()));
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Param(input[begin..i].to_ascii_lowercase()),
-                    pos: start,
-                });
+                tokens.push(Token::new(
+                    TokenKind::Param(input[begin..i].to_ascii_lowercase()),
+                    start,
+                ));
             }
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
@@ -310,17 +316,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 let text = &input[start..i];
                 let kind = if saw_dot {
-                    TokenKind::Float(text.parse().map_err(|_| Error::Lex {
-                        pos: start,
-                        message: format!("bad float literal '{text}'"),
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        lex_err(input, start, format!("bad float literal '{text}'"))
                     })?)
                 } else {
-                    TokenKind::Int(text.parse().map_err(|_| Error::Lex {
-                        pos: start,
-                        message: format!("bad integer literal '{text}'"),
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        lex_err(input, start, format!("bad integer literal '{text}'"))
                     })?)
                 };
-                tokens.push(Token { kind, pos: start });
+                tokens.push(Token::new(kind, start));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -336,20 +340,34 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     TokenKind::Ident(word.to_ascii_lowercase())
                 };
-                tokens.push(Token { kind, pos: start });
+                tokens.push(Token::new(kind, start));
             }
-            other => {
-                return Err(Error::Lex {
-                    pos: i,
-                    message: format!("unexpected character '{other}'"),
-                })
-            }
+            other => return Err(lex_err(input, i, format!("unexpected character '{other}'"))),
         }
     }
-    tokens.push(Token {
-        kind: TokenKind::Eof,
-        pos: input.len(),
-    });
+    tokens.push(Token::new(TokenKind::Eof, input.len()));
+    // Resolve line/column for every token in one forward pass (tokens are
+    // already sorted by byte offset).
+    let (mut line, mut col, mut at) = (1u32, 1u32, 0usize);
+    let mut chars = input.char_indices().peekable();
+    for t in &mut tokens {
+        while let Some(&(i, c)) = chars.peek() {
+            if i >= t.pos {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            at = i + c.len_utf8();
+            chars.next();
+        }
+        debug_assert!(at <= t.pos);
+        t.line = line;
+        t.col = col;
+    }
     Ok(tokens)
 }
 
@@ -458,5 +476,26 @@ mod tests {
         let ts = tokenize("SELECT a").unwrap();
         assert_eq!(ts[0].pos, 0);
         assert_eq!(ts[1].pos, 7);
+    }
+
+    #[test]
+    fn line_and_column_recorded() {
+        let ts = tokenize("SELECT a\n  FROM t").unwrap();
+        let from = ts
+            .iter()
+            .find(|t| t.kind == TokenKind::Keyword("FROM".into()))
+            .unwrap();
+        assert_eq!((from.line, from.col), (2, 3));
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!(line_col("ab\ncd", 4), (2, 2));
+    }
+
+    #[test]
+    fn lex_error_carries_line_and_column() {
+        let err = tokenize("SELECT a\n  # b").unwrap_err();
+        match err {
+            Error::Lex { line, col, .. } => assert_eq!((line, col), (2, 3)),
+            other => panic!("wrong error {other:?}"),
+        }
     }
 }

@@ -56,13 +56,12 @@ impl Parser {
         t
     }
 
-    fn here(&self) -> usize {
-        self.tokens[self.pos].pos
-    }
-
     fn err(&self, msg: impl Into<String>) -> Error {
+        let t = &self.tokens[self.pos];
         Error::Parse {
-            pos: self.here(),
+            pos: t.pos,
+            line: t.line,
+            col: t.col,
             message: msg.into(),
         }
     }
@@ -173,6 +172,13 @@ impl Parser {
                         return Err(self.err("VERIFY expects a SELECT statement"));
                     }
                     Ok(Statement::Verify(Box::new(self.select_stmt()?)))
+                }
+                "LINT" => {
+                    self.bump();
+                    if !self.at_kw("SELECT") {
+                        return Err(self.err("LINT expects a SELECT statement"));
+                    }
+                    Ok(Statement::Lint(Box::new(self.select_stmt()?)))
                 }
                 other => Err(self.err(format!("unexpected keyword '{other}' at statement start"))),
             },
@@ -548,9 +554,13 @@ impl Parser {
     }
 
     fn currency_spec(&mut self) -> Result<CurrencySpec> {
+        let start = self.tokens[self.pos].clone();
         let bound = self.duration()?;
         self.expect_kw("ON")?;
         self.expect(&TokenKind::LParen)?;
+        if matches!(self.peek(), TokenKind::RParen) {
+            return Err(self.err("empty consistency class: ON () must name at least one table"));
+        }
         let mut tables = Vec::new();
         loop {
             tables.push(self.ident()?);
@@ -571,6 +581,15 @@ impl Parser {
                 } else {
                     by.push((None, first));
                 }
+                let added = by.last().expect("just pushed");
+                if by.iter().filter(|c| c == &added).count() > 1 {
+                    let (q, c) = added;
+                    let shown = match q {
+                        Some(q) => format!("{q}.{c}"),
+                        None => c.clone(),
+                    };
+                    return Err(self.err(format!("duplicate BY column '{shown}'")));
+                }
                 // `BY a.x, 5 MIN ON ...` ambiguity: a comma followed by a
                 // number starts the next spec, not another BY column.
                 if matches!(self.peek(), TokenKind::Comma)
@@ -583,7 +602,13 @@ impl Parser {
                 }
             }
         }
-        Ok(CurrencySpec { bound, tables, by })
+        Ok(CurrencySpec {
+            bound,
+            tables,
+            by,
+            line: start.line,
+            col: start.col,
+        })
     }
 
     fn duration(&mut self) -> Result<Duration> {
@@ -600,13 +625,18 @@ impl Parser {
 
     fn duration_unit(&mut self, n: i64) -> Result<Duration> {
         match self.bump() {
-            TokenKind::Keyword(k) => match k.as_str() {
-                "MS" => Ok(Duration::from_millis(n)),
-                "SEC" | "SECOND" | "SECONDS" => Ok(Duration::from_secs(n)),
-                "MIN" | "MINUTE" | "MINUTES" => Ok(Duration::from_mins(n)),
-                "HOUR" | "HOURS" => Ok(Duration::from_hours(n)),
-                other => Err(self.err(format!("unknown time unit '{other}'"))),
-            },
+            TokenKind::Keyword(k) => {
+                let per_unit = match k.as_str() {
+                    "MS" => 1,
+                    "SEC" | "SECOND" | "SECONDS" => 1_000,
+                    "MIN" | "MINUTE" | "MINUTES" => 60_000,
+                    "HOUR" | "HOURS" => 3_600_000,
+                    other => return Err(self.err(format!("unknown time unit '{other}'"))),
+                };
+                n.checked_mul(per_unit)
+                    .map(Duration::from_millis)
+                    .ok_or_else(|| self.err(format!("currency bound {n} {k} overflows")))
+            }
             other => Err(self.err(format!("expected a time unit, found '{other}'"))),
         }
     }
@@ -954,6 +984,30 @@ mod tests {
 
         parse_statement("VERIFY INSERT INTO t VALUES (1)")
             .expect_err("VERIFY must require a SELECT");
+    }
+
+    #[test]
+    fn lint_wraps_a_select() {
+        let stmt = parse_statement("LINT SELECT a FROM t CURRENCY BOUND 10 SEC ON (t)").unwrap();
+        let Statement::Lint(s) = stmt else {
+            panic!("expected Statement::Lint, got {stmt:?}")
+        };
+        assert!(s.currency.is_some());
+        let sql = crate::unparse::statement_sql(&Statement::Lint(s));
+        assert!(sql.starts_with("LINT SELECT"), "{sql}");
+
+        parse_statement("LINT DELETE FROM t").expect_err("LINT must require a SELECT");
+    }
+
+    #[test]
+    fn currency_spec_records_its_span() {
+        let stmt = parse_statement("SELECT a FROM t\nCURRENCY BOUND 10 SEC ON (t)").unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("expected Statement::Select, got {stmt:?}")
+        };
+        let spec = &s.currency.as_ref().unwrap().specs[0];
+        assert_eq!(spec.line, 2);
+        assert!(spec.col > 1, "col {}", spec.col);
     }
 
     #[test]

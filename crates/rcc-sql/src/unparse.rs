@@ -99,6 +99,7 @@ pub fn statement_sql(stmt: &Statement) -> String {
         Statement::BeginTimeordered => "BEGIN TIMEORDERED".to_string(),
         Statement::EndTimeordered => "END TIMEORDERED".to_string(),
         Statement::Verify(s) => format!("VERIFY {}", select_sql(s)),
+        Statement::Lint(s) => format!("LINT {}", select_sql(s)),
     }
 }
 

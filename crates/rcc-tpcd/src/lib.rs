@@ -1,6 +1,3 @@
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-#![deny(clippy::undocumented_unsafe_blocks)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! TPC-D-style data and workload generator.
 //!
@@ -17,5 +14,5 @@ pub mod queries;
 pub mod workload;
 
 pub use gen::{customer_meta, orders_meta, TpcdGenerator};
-pub use queries::currency_corpus;
+pub use queries::{adversarial_lint_corpus, currency_corpus};
 pub use workload::UpdateWorkload;

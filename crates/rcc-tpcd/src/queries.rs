@@ -112,6 +112,89 @@ fn one_query(rng: &mut StdRng, max_custkey: i64) -> String {
     }
 }
 
+/// Adversarial corpus for the Layer-1 currency-clause lint (`rcc-lint`):
+/// queries that parse and (mostly) bind fine but carry exactly the listed
+/// diagnostic codes, plus clean controls that must stay diagnostic-free.
+/// Expected code lists are sorted; `lint-audit` asserts exact equality, so
+/// any lint regression — missed or spurious — fails the sweep.
+///
+/// Written against the audit catalog (`rcc_verify::rig::audit_catalog`):
+/// Customer keyed on `c_custkey` with index `ix_acctbal(c_acctbal)`,
+/// Orders keyed on `(o_custkey, o_orderkey)`.
+pub fn adversarial_lint_corpus() -> Vec<(&'static str, &'static [&'static str])> {
+    vec![
+        // Clean controls: no clause, keyed BY, indexed BY, per-table classes.
+        ("SELECT c_name FROM customer WHERE c_custkey = 1", &[]),
+        (
+            "SELECT c_acctbal FROM customer c WHERE c.c_custkey = 1 \
+             CURRENCY BOUND 10 MIN ON (c) BY c.c_custkey",
+            &[],
+        ),
+        (
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 10 MIN ON (c) BY c.c_acctbal",
+            &[],
+        ),
+        (
+            "SELECT c.c_name, o.o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = o.o_custkey \
+             CURRENCY BOUND 10 MIN ON (c), 5 SEC ON (o)",
+            &[],
+        ),
+        // L001: the looser overlapping spec can never take effect.
+        (
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 10 MIN ON (c), 5 SEC ON (c)",
+            &["L001"],
+        ),
+        // L001: exact duplicate spec.
+        (
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 10 MIN ON (c), 10 MIN ON (c)",
+            &["L001"],
+        ),
+        // L002: spec names a table absent from every FROM in scope.
+        (
+            "SELECT c_name FROM customer c CURRENCY BOUND 10 MIN ON (orders)",
+            &["L002"],
+        ),
+        // L003 twice: c_name is neither key nor indexed, and the attributed
+        // columns cover neither the key nor a full index.
+        (
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 10 MIN ON (c) BY c.c_name",
+            &["L003", "L003"],
+        ),
+        // L003 once: o_custkey is part of the composite key (per-column
+        // check passes) but alone does not cover it.
+        (
+            "SELECT o_totalprice FROM orders o \
+             CURRENCY BOUND 10 MIN ON (o) BY o.o_custkey",
+            &["L003"],
+        ),
+        // L004: inner 10 MIN class shares customer with the outer 5 SEC
+        // class; the merge keeps the tighter bound.
+        (
+            "SELECT c_name FROM customer c WHERE EXISTS \
+             (SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey \
+              CURRENCY BOUND 10 MIN ON (o, c)) \
+             CURRENCY BOUND 5 SEC ON (c)",
+            &["L004"],
+        ),
+        // L005: bound 0 restates the session default.
+        (
+            "SELECT c_name FROM customer CURRENCY BOUND 0 SEC ON (customer)",
+            &["L005"],
+        ),
+        // Multiple independent diagnostics in one statement.
+        (
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 0 SEC ON (c), 10 MIN ON (nation)",
+            &["L002", "L005"],
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +215,14 @@ mod tests {
         assert!(qs.iter().any(|q| q.contains("GROUP BY")));
         assert!(qs.iter().any(|q| q.contains("2 SEC")));
         assert!(qs.iter().any(|q| q.contains("1 HOUR")));
+    }
+
+    #[test]
+    fn adversarial_corpus_expectations_are_sorted() {
+        let corpus = adversarial_lint_corpus();
+        assert!(corpus.iter().any(|(_, codes)| codes.is_empty()));
+        for (sql, codes) in &corpus {
+            assert!(codes.windows(2).all(|w| w[0] <= w[1]), "{sql}");
+        }
     }
 }

@@ -1,0 +1,95 @@
+//! End-to-end Layer-1 lint surfaces: the `LINT` statement, the
+//! compile-time hook that attaches diagnostics as result warnings, and the
+//! per-code diagnostics counter.
+
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use rcc_mtcache::MTCache;
+
+fn rig() -> MTCache {
+    let cache = paper_setup(0.001, 7).unwrap();
+    warm_up(&cache).unwrap();
+    cache
+}
+
+#[test]
+fn lint_statement_reports_diagnostics_as_rows() {
+    let cache = rig();
+    let r = cache
+        .execute(
+            "LINT SELECT c_acctbal FROM customer \
+             CURRENCY BOUND 10 MIN ON (customer), 5 SEC ON (customer)",
+        )
+        .unwrap();
+    assert_eq!(r.schema.columns().len(), 4);
+    assert_eq!(r.rows.len(), 1, "one L001 diagnostic expected: {r:?}");
+    let code = r.rows[0].values()[0].to_string();
+    assert!(code.contains("L001"), "{code}");
+    assert!(r.warnings[0].contains("1 diagnostic"), "{:?}", r.warnings);
+}
+
+#[test]
+fn lint_statement_clean_query_returns_no_rows() {
+    let cache = rig();
+    let r = cache
+        .execute(
+            "LINT SELECT c_acctbal FROM customer c WHERE c.c_custkey = 5 \
+             CURRENCY BOUND 30 SEC ON (c) BY c.c_custkey",
+        )
+        .unwrap();
+    assert!(r.rows.is_empty(), "{:?}", r.rows);
+    assert!(r.warnings[0].contains("lint clean"), "{:?}", r.warnings);
+}
+
+#[test]
+fn compile_attaches_lint_warnings_and_bumps_metric() {
+    let cache = rig();
+    let before = cache.metrics().snapshot();
+    assert_eq!(
+        before.counter("rcc_lint_diagnostics_total{code=\"L001\"}"),
+        0
+    );
+
+    // The query still executes — lint warns, never blocks.
+    let sql = "SELECT c_acctbal FROM customer WHERE c_custkey = 5 \
+               CURRENCY BOUND 30 SEC ON (customer), 10 MIN ON (customer)";
+    let r = cache.execute(sql).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(
+        r.warnings.iter().any(|w| w.contains("L001")),
+        "compile-time lint warning expected: {:?}",
+        r.warnings
+    );
+
+    let after = cache.metrics().snapshot();
+    assert_eq!(
+        after.counter("rcc_lint_diagnostics_total{code=\"L001\"}"),
+        1
+    );
+
+    // Plan-cache hit: the cached plan still carries its warnings, but the
+    // lint pass (and counter) does not re-run.
+    let r2 = cache.execute(sql).unwrap();
+    assert!(r2.warnings.iter().any(|w| w.contains("L001")));
+    let cached = cache.metrics().snapshot();
+    assert_eq!(
+        cached.counter("rcc_lint_diagnostics_total{code=\"L001\"}"),
+        1,
+        "cache hits must not re-lint"
+    );
+}
+
+#[test]
+fn clean_queries_execute_without_lint_warnings() {
+    let cache = rig();
+    let r = cache
+        .execute(
+            "SELECT c_acctbal FROM customer WHERE c_custkey = 5 \
+             CURRENCY BOUND 30 SEC ON (customer)",
+        )
+        .unwrap();
+    assert!(
+        !r.warnings.iter().any(|w| w.starts_with("lint:")),
+        "{:?}",
+        r.warnings
+    );
+}
