@@ -2,14 +2,25 @@
 //!
 //! Boots the full network rig in one process (cache + TCP front-end,
 //! back-end behind its own listener, remote branch over the pooled TCP
-//! transport), then drives it with N concurrent client connections issuing
-//! a mixed point-query workload over real loopback sockets. Reports
-//! throughput, latency quantiles, and the transport's rcc-obs counters,
-//! and writes the whole summary to `BENCH_net.json`.
+//! transport), then drives it with a mixed point-query workload over real
+//! loopback sockets. Two driving disciplines:
+//!
+//! * **closed** (default): N clients issue queries back-to-back — each
+//!   client waits for its response before sending the next query.
+//!   Measures service latency under a fixed concurrency level. Writes
+//!   `BENCH_net.json`.
+//! * **open**: queries arrive on a fixed schedule (`--rate` arrivals/sec
+//!   for `--duration-secs`), regardless of how fast responses come back.
+//!   Latency is measured from the *scheduled arrival*, so queueing delay
+//!   when the server falls behind is charged to the request — the honest
+//!   way to measure a latency SLO (no coordinated omission). Writes
+//!   `BENCH_load.json` with p50/p99/p999 latency and the
+//!   delivered-staleness percentiles the cache recorded while serving.
 //!
 //! ```sh
 //! cargo run -p rcc-bench --bin net_load --release -- \
-//!     [--clients N] [--queries N] [--scale F] [--out PATH]
+//!     [--mode open|closed] [--clients N] [--queries N] [--rate R] \
+//!     [--duration-secs D] [--scale F] [--out PATH]
 //! ```
 
 use parking_lot::Mutex;
@@ -20,24 +31,37 @@ use rcc_net::{
     BackendNetServer, ClientConfig, NetClient, NetServer, NetServerConfig, PoolConfig, RetryPolicy,
     TcpRemoteService,
 };
+use rcc_obs::HistogramSnapshot;
 use std::io::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+#[derive(PartialEq, Clone, Copy)]
+enum Mode {
+    Closed,
+    Open,
+}
 
 struct Options {
+    mode: Mode,
     clients: usize,
     queries: usize,
+    rate: f64,
+    duration_secs: f64,
     scale: f64,
-    out: String,
+    out: Option<String>,
 }
 
 impl Default for Options {
     fn default() -> Self {
         Options {
+            mode: Mode::Closed,
             clients: 8,
             queries: 200,
+            rate: 200.0,
+            duration_secs: 5.0,
             scale: 0.01,
-            out: "BENCH_net.json".into(),
+            out: None,
         }
     }
 }
@@ -51,10 +75,19 @@ fn parse_args() -> Options {
                 .unwrap_or_else(|| panic!("{flag} needs a value"))
         };
         match flag.as_str() {
+            "--mode" => {
+                opts.mode = match value().as_str() {
+                    "closed" => Mode::Closed,
+                    "open" => Mode::Open,
+                    other => panic!("--mode expects open or closed, got {other}"),
+                }
+            }
             "--clients" => opts.clients = value().parse().expect("--clients"),
             "--queries" => opts.queries = value().parse().expect("--queries"),
+            "--rate" => opts.rate = value().parse().expect("--rate"),
+            "--duration-secs" => opts.duration_secs = value().parse().expect("--duration-secs"),
             "--scale" => opts.scale = value().parse().expect("--scale"),
-            "--out" => opts.out = value(),
+            "--out" => opts.out = Some(value()),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -69,13 +102,31 @@ fn quantile(sorted_us: &[u64], q: f64) -> u64 {
     sorted_us[idx]
 }
 
+/// Sum per-region histograms (identical bucket bounds) into one, so
+/// fleet-wide quantiles can be estimated across regions.
+fn merge_histograms(parts: Vec<&HistogramSnapshot>) -> Option<HistogramSnapshot> {
+    let first = parts.first()?;
+    let mut merged = HistogramSnapshot {
+        bounds: first.bounds.clone(),
+        counts: vec![0; first.counts.len()],
+        sum: 0.0,
+        count: 0,
+    };
+    for h in parts {
+        if h.bounds != merged.bounds {
+            return None;
+        }
+        for (m, c) in merged.counts.iter_mut().zip(&h.counts) {
+            *m += c;
+        }
+        merged.sum += h.sum;
+        merged.count += h.count;
+    }
+    Some(merged)
+}
+
 fn main() {
     let opts = parse_args();
-    eprintln!(
-        "net_load: {} clients × {} queries, scale {}",
-        opts.clients, opts.queries, opts.scale
-    );
-
     let cache = paper_setup(opts.scale, 42).expect("rig");
     warm_up(&cache).expect("warm up");
     let cache = Arc::new(cache);
@@ -162,7 +213,49 @@ fn main() {
         n
     })
     .sum();
+    assert_eq!(
+        verification_failures, 0,
+        "workload plans must conform to their currency clauses"
+    );
+    assert_eq!(
+        lint_diagnostics, 1,
+        "workload clauses lint clean and the canary yields exactly one diagnostic"
+    );
 
+    match opts.mode {
+        Mode::Closed => run_closed(&opts, &cache, addr, max_custkey, lint_diagnostics),
+        Mode::Open => run_open(&opts, &cache, addr, max_custkey),
+    }
+}
+
+fn workload_sql(rng: &mut StdRng, max_custkey: i64) -> String {
+    let key = rng.gen_range(1..=max_custkey);
+    // 50/50: a currency-bound customer probe (CR1 is stale → goes remote
+    // over TCP) vs. an orders probe answered from the healthy CR2 view
+    if rng.gen_bool(0.5) {
+        format!(
+            "SELECT c_acctbal FROM customer WHERE c_custkey = {key} \
+             CURRENCY BOUND 30 SEC ON (customer)"
+        )
+    } else {
+        format!(
+            "SELECT o_totalprice FROM orders WHERE o_custkey = {key} \
+             CURRENCY BOUND 30 SEC ON (orders)"
+        )
+    }
+}
+
+fn run_closed(
+    opts: &Options,
+    cache: &Arc<rcc_mtcache::MTCache>,
+    addr: std::net::SocketAddr,
+    max_custkey: i64,
+    lint_diagnostics: u64,
+) {
+    eprintln!(
+        "net_load: closed loop, {} clients × {} queries, scale {}",
+        opts.clients, opts.queries, opts.scale
+    );
     let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let started = Instant::now();
     let workers: Vec<_> = (0..opts.clients)
@@ -178,21 +271,7 @@ fn main() {
                 let mut rows = 0u64;
                 let mut bytes = 0u64;
                 for _ in 0..queries {
-                    let key = rng.gen_range(1..=max_custkey);
-                    // 50/50: a currency-bound customer probe (CR1 is stale
-                    // → goes remote over TCP) vs. an orders probe answered
-                    // from the healthy CR2 view
-                    let sql = if rng.gen_bool(0.5) {
-                        format!(
-                            "SELECT c_acctbal FROM customer WHERE c_custkey = {key} \
-                             CURRENCY BOUND 30 SEC ON (customer)"
-                        )
-                    } else {
-                        format!(
-                            "SELECT o_totalprice FROM orders WHERE o_custkey = {key} \
-                             CURRENCY BOUND 30 SEC ON (orders)"
-                        )
-                    };
+                    let sql = workload_sql(&mut rng, max_custkey);
                     let t = Instant::now();
                     let r = client.query(&sql).expect("query");
                     local.push(t.elapsed().as_micros() as u64);
@@ -236,26 +315,17 @@ fn main() {
     println!("  rows / wire bytes {total_rows} / {total_bytes}");
     println!("  latency p50/p95/p99  {p50} / {p95} / {p99} µs");
     println!("  transport retries/unavailable  {retries} / {unavailable}");
-    println!("  plan verification failures     {verification_failures} (expected 0)");
-    println!("  lint diagnostics               {lint_diagnostics} (expected 1: the canary)");
 
     assert_eq!(served, total_queries, "front-end counted every query");
-    assert_eq!(
-        verification_failures, 0,
-        "workload plans must conform to their currency clauses"
-    );
-    assert_eq!(
-        lint_diagnostics, 1,
-        "workload clauses lint clean and the canary yields exactly one diagnostic"
-    );
 
+    let out = opts.out.as_deref().unwrap_or("BENCH_net.json");
     let json = format!(
         "{{\n  \"bench\": \"net_load\",\n  \"clients\": {},\n  \"queries_per_client\": {},\n  \
          \"scale\": {},\n  \"elapsed_secs\": {:.6},\n  \"throughput_qps\": {:.1},\n  \
          \"remote_queries\": {},\n  \"total_rows\": {},\n  \"wire_bytes\": {},\n  \
          \"latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n  \
          \"transport\": {{ \"retries\": {}, \"unavailable\": {} }},\n  \
-         \"verification_failures\": {},\n  \"lint_diagnostics\": {}\n}}\n",
+         \"verification_failures\": 0,\n  \"lint_diagnostics\": {}\n}}\n",
         opts.clients,
         opts.queries,
         opts.scale,
@@ -269,10 +339,160 @@ fn main() {
         p99,
         retries,
         unavailable,
-        verification_failures,
         lint_diagnostics,
     );
-    let mut f = std::fs::File::create(&opts.out).expect("create BENCH_net.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_net.json");
-    eprintln!("wrote {}", opts.out);
+    let mut f = std::fs::File::create(out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("wrote {out}");
+}
+
+fn run_open(
+    opts: &Options,
+    cache: &Arc<rcc_mtcache::MTCache>,
+    addr: std::net::SocketAddr,
+    max_custkey: i64,
+) {
+    let arrivals = (opts.rate * opts.duration_secs).ceil() as usize;
+    eprintln!(
+        "net_load: open loop, {:.0}/s for {:.1}s = {} arrivals over {} clients, scale {}",
+        opts.rate, opts.duration_secs, arrivals, opts.clients, opts.scale
+    );
+    let interarrival = Duration::from_secs_f64(1.0 / opts.rate);
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    // all workers share one epoch so the global arrival schedule is fixed
+    // before the first query goes out
+    let epoch = Instant::now() + Duration::from_millis(50);
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            let latencies = Arc::clone(&latencies);
+            let clients = opts.clients;
+            std::thread::spawn(move || {
+                let mut client =
+                    NetClient::connect(addr, &ClientConfig::default()).expect("connect");
+                let mut rng = StdRng::seed_from_u64(0xfeed ^ c as u64);
+                let mut local = Vec::new();
+                let mut remote_hits = 0u64;
+                let mut late = 0u64;
+                // worker c serves every clients-th arrival of the global
+                // schedule: arrival k is due at epoch + k/rate
+                let mut k = c;
+                while k < arrivals {
+                    let due = epoch + interarrival * k as u32;
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    } else {
+                        late += 1;
+                    }
+                    let sql = workload_sql(&mut rng, max_custkey);
+                    let r = client.query(&sql).expect("query");
+                    // open-loop latency: completion minus *scheduled*
+                    // arrival, so a backed-up server is charged its queue
+                    local.push(due.elapsed().as_micros() as u64);
+                    remote_hits += r.used_remote as u64;
+                    k += clients;
+                }
+                latencies.lock().extend_from_slice(&local);
+                (remote_hits, late)
+            })
+        })
+        .collect();
+    let mut remote_hits = 0u64;
+    let mut late_dispatches = 0u64;
+    for w in workers {
+        let (r, late) = w.join().expect("worker");
+        remote_hits += r;
+        late_dispatches += late;
+    }
+    let elapsed = epoch.elapsed();
+
+    let mut lat = latencies.lock().clone();
+    lat.sort_unstable();
+    let (p50, p99, p999) = (
+        quantile(&lat, 0.50),
+        quantile(&lat, 0.99),
+        quantile(&lat, 0.999),
+    );
+    let achieved_qps = lat.len() as f64 / elapsed.as_secs_f64();
+
+    // fleet-wide delivered-staleness and slack percentiles: merge the
+    // per-region histograms the cache recorded at guard-evaluation time
+    let snap = cache.metrics().snapshot();
+    let merged = |name: &str| {
+        let parts: Vec<&HistogramSnapshot> = snap
+            .values
+            .keys()
+            .filter(|k| k.starts_with(&format!("{name}{{")))
+            .filter_map(|k| snap.histogram(k))
+            .collect();
+        merge_histograms(parts)
+    };
+    let delivered = merged("rcc_delivered_staleness_seconds");
+    let slack = merged("rcc_currency_slack_seconds");
+    let pct = |h: &Option<HistogramSnapshot>, q: f64| {
+        h.as_ref().and_then(|h| h.quantile(q)).unwrap_or(0.0)
+    };
+    let slo_total = snap.counter("rcc_slo_queries_total");
+    let slo_violations = snap.counter("rcc_slo_violations_total{sanctioned=\"no\"}")
+        + snap.counter("rcc_slo_violations_total{sanctioned=\"yes\"}");
+
+    println!("\nnet_load open-loop results");
+    println!(
+        "  arrivals          {} at {:.0}/s target ({achieved_qps:.0}/s achieved over {elapsed:.2?})",
+        lat.len(),
+        opts.rate
+    );
+    println!("  remote over TCP   {remote_hits}");
+    println!("  late dispatches   {late_dispatches}");
+    println!("  latency p50/p99/p999           {p50} / {p99} / {p999} µs");
+    println!(
+        "  delivered staleness p50/p99    {:.3} / {:.3} s (n={})",
+        pct(&delivered, 0.50),
+        pct(&delivered, 0.99),
+        delivered.as_ref().map(|h| h.count).unwrap_or(0)
+    );
+    println!(
+        "  currency slack p50/p99         {:.3} / {:.3} s",
+        pct(&slack, 0.50),
+        pct(&slack, 0.99)
+    );
+    println!("  slo violations                 {slo_violations} of {slo_total} guard sets");
+
+    assert_eq!(lat.len(), arrivals, "every scheduled arrival was issued");
+    assert!(
+        delivered.as_ref().map(|h| h.count).unwrap_or(0) > 0,
+        "the cache recorded delivered staleness for the guarded workload"
+    );
+
+    let out = opts.out.as_deref().unwrap_or("BENCH_load.json");
+    let json = format!(
+        "{{\n  \"bench\": \"net_load_open\",\n  \"clients\": {},\n  \"rate_qps\": {},\n  \
+         \"duration_secs\": {},\n  \"scale\": {},\n  \"arrivals\": {},\n  \
+         \"achieved_qps\": {:.1},\n  \"remote_queries\": {},\n  \"late_dispatches\": {},\n  \
+         \"latency_us\": {{ \"p50\": {}, \"p99\": {}, \"p999\": {} }},\n  \
+         \"delivered_staleness_secs\": {{ \"p50\": {:.6}, \"p99\": {:.6}, \"count\": {} }},\n  \
+         \"currency_slack_secs\": {{ \"p50\": {:.6}, \"p99\": {:.6} }},\n  \
+         \"slo\": {{ \"guard_sets\": {}, \"violations\": {} }}\n}}\n",
+        opts.clients,
+        opts.rate,
+        opts.duration_secs,
+        opts.scale,
+        lat.len(),
+        achieved_qps,
+        remote_hits,
+        late_dispatches,
+        p50,
+        p99,
+        p999,
+        pct(&delivered, 0.50),
+        pct(&delivered, 0.99),
+        delivered.as_ref().map(|h| h.count).unwrap_or(0),
+        pct(&slack, 0.50),
+        pct(&slack, 0.99),
+        slo_total,
+        slo_violations,
+    );
+    let mut f = std::fs::File::create(out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("wrote {out}");
 }

@@ -1,8 +1,8 @@
 //! Execution context: storage, the remote service, clock, counters.
 
 use parking_lot::Mutex;
-use rcc_common::{Clock, RegionId, Result, Row, ScanPool, Schema, Timestamp};
-use rcc_obs::MetricsRegistry;
+use rcc_common::{Clock, Duration, RegionId, Result, Row, ScanPool, Schema, Timestamp};
+use rcc_obs::{MetricsRegistry, TraceRef};
 use rcc_storage::StorageEngine;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +19,19 @@ pub trait RemoteService: Send + Sync + std::fmt::Debug {
     /// size in bytes. The default (used by test fakes) reports 0 bytes.
     fn execute_with_bytes(&self, sql: &str) -> Result<(Schema, Vec<Row>, u64)> {
         self.execute(sql).map(|(schema, rows)| (schema, rows, 0))
+    }
+
+    /// Like [`RemoteService::execute_with_bytes`], carrying the query's
+    /// trace so a networked implementation can propagate trace context over
+    /// the wire and merge the remote span tree back in. The default (local
+    /// back-ends, test fakes) ignores the trace.
+    fn execute_traced(
+        &self,
+        sql: &str,
+        trace: Option<&TraceRef>,
+    ) -> Result<(Schema, Vec<Row>, u64)> {
+        let _ = trace;
+        self.execute_with_bytes(sql)
     }
 }
 
@@ -174,6 +187,10 @@ pub struct GuardObservation {
     pub heartbeat: Option<Timestamp>,
     /// Whether the local branch was chosen.
     pub chose_local: bool,
+    /// Currency bound promised by the clause that produced this guard —
+    /// kept so delivered-staleness accounting can compute slack
+    /// (bound − delivered) per served snapshot.
+    pub bound: Duration,
 }
 
 /// Everything an operator needs at run time.
@@ -209,6 +226,10 @@ pub struct ExecContext {
     /// Target rows per morsel when splitting a scan for the pool. Scans
     /// smaller than two morsels stay serial (splitting them buys nothing).
     pub morsel_rows: usize,
+    /// The query's trace, shared down to the remote transport so spans
+    /// recorded on the other side of the wire land in the same tree.
+    /// `None` outside a traced server path.
+    pub trace: Option<TraceRef>,
 }
 
 /// Default morsel granularity: big enough that per-morsel dispatch cost is
@@ -239,6 +260,7 @@ impl ExecContext {
             metrics: None,
             scan_pool: None,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            trace: None,
         }
     }
 
@@ -321,11 +343,13 @@ mod tests {
             region: RegionId(1),
             heartbeat: Some(Timestamp(5)),
             chose_local: true,
+            bound: Duration::from_secs(10),
         });
         ctx.record_guard(GuardObservation {
             region: RegionId(1),
             heartbeat: None,
             chose_local: false,
+            bound: Duration::ZERO,
         });
         assert_eq!(ctx.counters.local_branches.load(Ordering::Relaxed), 1);
         assert_eq!(ctx.counters.remote_branches.load(Ordering::Relaxed), 1);
@@ -346,6 +370,7 @@ mod tests {
                 region: RegionId(1),
                 heartbeat: None,
                 chose_local: false,
+                bound: Duration::ZERO,
             });
         }
         assert_eq!(ctx.observations.lock().len(), MAX_OBSERVATIONS);
@@ -364,6 +389,7 @@ mod tests {
             region: RegionId(1),
             heartbeat: None,
             chose_local: true,
+            bound: Duration::ZERO,
         });
         assert_eq!(ctx.observations.lock().len(), 1);
     }

@@ -63,6 +63,7 @@ pub fn evaluate_guard(ctx: &ExecContext, guard: &CurrencyGuard) -> Result<bool> 
         region: guard.region,
         heartbeat,
         chose_local,
+        bound: guard.bound,
     });
     ctx.meter
         .guard_nanos

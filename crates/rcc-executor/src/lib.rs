@@ -24,5 +24,6 @@ pub mod wire;
 pub use analyze::{execute_plan_analyzed, AnalyzedExecution, OpReport};
 pub use build::{build_operator, execute_plan, ExecutionResult, PhaseTimings};
 pub use context::{
-    ExecContext, ExecCounters, QueryMeter, RemoteService, DEFAULT_MORSEL_ROWS, MAX_OBSERVATIONS,
+    ExecContext, ExecCounters, GuardObservation, QueryMeter, RemoteService, DEFAULT_MORSEL_ROWS,
+    MAX_OBSERVATIONS,
 };

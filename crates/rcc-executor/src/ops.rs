@@ -46,7 +46,7 @@ fn ship_remote(ctx: &ExecContext, sql: &str) -> Result<(Schema, Vec<Row>)> {
         .as_ref()
         .ok_or_else(|| Error::Remote("no back-end connection configured".into()))?;
     let started = std::time::Instant::now();
-    let result = remote.execute_with_bytes(sql);
+    let result = remote.execute_traced(sql, ctx.trace.as_ref());
     ctx.meter
         .remote_nanos
         .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);

@@ -6,7 +6,7 @@ use rcc_backend::MasterDb;
 use rcc_catalog::Catalog;
 use rcc_common::{Error, NetworkModel, Result, Row, Schema};
 use rcc_executor::{execute_plan, ExecContext, RemoteService};
-use rcc_obs::{MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use rcc_obs::{MetricsRegistry, TraceHandle, DEFAULT_LATENCY_BUCKETS};
 use rcc_optimizer::{bind_select, optimize, OptimizerConfig};
 use rcc_sql::{parse_statement, Statement};
 use std::collections::HashMap;
@@ -135,7 +135,21 @@ impl BackendServer {
     pub fn query_wire(&self, sql: &str) -> Result<Bytes> {
         let metrics = self.metrics.lock().clone();
         let started = std::time::Instant::now();
-        let out = self.run_select(sql, metrics.as_deref());
+        let out = self.run_select(sql, metrics.as_deref(), None);
+        if let Some(m) = &metrics {
+            m.histogram("rcc_remote_latency_seconds", &[], DEFAULT_LATENCY_BUCKETS)
+                .observe(started.elapsed().as_secs_f64());
+        }
+        out.map(|(_, payload)| payload)
+    }
+
+    /// [`BackendServer::query_wire`], recording per-phase spans (named
+    /// `backend:*`) on `trace` — the transport ships them back so the
+    /// originating query's trace shows both sides of the wire.
+    pub fn query_wire_traced(&self, sql: &str, trace: &TraceHandle) -> Result<Bytes> {
+        let metrics = self.metrics.lock().clone();
+        let started = std::time::Instant::now();
+        let out = self.run_select(sql, metrics.as_deref(), Some(trace));
         if let Some(m) = &metrics {
             m.histogram("rcc_remote_latency_seconds", &[], DEFAULT_LATENCY_BUCKETS)
                 .observe(started.elapsed().as_secs_f64());
@@ -148,7 +162,7 @@ impl BackendServer {
         sql: &str,
         metrics: Option<&MetricsRegistry>,
     ) -> Result<(Schema, Vec<Row>, u64)> {
-        let (schema, payload) = self.run_select(sql, metrics)?;
+        let (schema, payload) = self.run_select(sql, metrics, None)?;
         let bytes = payload.len() as u64;
         let (_, rows) = rcc_executor::wire::decode_result(payload)?;
         if let Some(m) = metrics {
@@ -161,14 +175,23 @@ impl BackendServer {
     /// simulated latency. Returns the planner-side schema (which keeps its
     /// binding qualifiers — the wire format does not carry them) alongside
     /// the encoded payload.
-    fn run_select(&self, sql: &str, metrics: Option<&MetricsRegistry>) -> Result<(Schema, Bytes)> {
-        let stmt = parse_statement(sql)?;
-        let select = match stmt {
-            Statement::Select(s) => *s,
-            other => {
-                return Err(Error::Remote(format!(
-                    "back-end remote interface only accepts SELECT, got {other:?}"
-                )))
+    fn run_select(
+        &self,
+        sql: &str,
+        metrics: Option<&MetricsRegistry>,
+        trace: Option<&TraceHandle>,
+    ) -> Result<(Schema, Bytes)> {
+        let span = |name: &str| trace.map(|t| t.span(name));
+        let select = {
+            let _s = span("backend:parse");
+            let stmt = parse_statement(sql)?;
+            match stmt {
+                Statement::Select(s) => *s,
+                other => {
+                    return Err(Error::Remote(format!(
+                        "back-end remote interface only accepts SELECT, got {other:?}"
+                    )))
+                }
             }
         };
         if select.currency.is_some() {
@@ -177,17 +200,26 @@ impl BackendServer {
                     .into(),
             ));
         }
-        let graph = bind_select(&self.catalog, &select, &HashMap::new())?;
-        let optimized = optimize(&self.catalog, &graph, &self.config)?;
+        let optimized = {
+            let _s = span("backend:plan");
+            let graph = bind_select(&self.catalog, &select, &HashMap::new())?;
+            optimize(&self.catalog, &graph, &self.config)?
+        };
         let ctx = ExecContext::new(
             Arc::clone(self.master.storage()),
             None,
             Arc::clone(self.master.clock()),
         );
-        let result = execute_plan(&optimized.plan, &ctx)?;
+        let result = {
+            let _s = span("backend:execute");
+            execute_plan(&optimized.plan, &ctx)?
+        };
         // results really travel through the wire format, so the latency
         // model and byte accounting see true serialized sizes
-        let payload = rcc_executor::wire::encode_result(&result.schema, &result.rows);
+        let payload = {
+            let _s = span("backend:encode");
+            rcc_executor::wire::encode_result(&result.schema, &result.rows)
+        };
         if let Some(m) = metrics {
             m.counter("rcc_wire_bytes_encoded_total", &[])
                 .add(payload.len() as u64);

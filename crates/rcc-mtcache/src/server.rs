@@ -12,12 +12,14 @@ use rcc_common::{
     AgentId, Clock, Column, Duration, Error, RegionId, Result, Row, ScanPool, Schema, SimClock,
     TableId, Timestamp, Value,
 };
+use rcc_executor::GuardObservation;
 use rcc_executor::{
     execute_plan, execute_plan_analyzed, ExecContext, ExecCounters, QueryMeter, RemoteService,
     DEFAULT_MORSEL_ROWS,
 };
 use rcc_obs::{
-    MetricsRegistry, QueryPhase, QueryStats, TraceHandle, Tracer, DEFAULT_LATENCY_BUCKETS,
+    EventJournal, EventKind, MetricsRegistry, QueryPhase, QueryStats, TraceHandle, TraceRef,
+    Tracer, DEFAULT_LATENCY_BUCKETS, DEFAULT_SLACK_BUCKETS, DEFAULT_STALENESS_BUCKETS,
 };
 use rcc_optimizer::cost::column_ranges;
 use rcc_optimizer::optimize::{Optimized, PlanChoice};
@@ -26,7 +28,7 @@ use rcc_replication::{DistributionAgent, ReplicationRuntime};
 use rcc_sql::{parse_statement, Expr, SelectItem, SelectStmt, Statement, TableRef};
 use rcc_storage::{RowChange, StorageEngine, TableStats};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -54,9 +56,18 @@ pub struct MTCache {
     counters: Arc<ExecCounters>,
     metrics: Arc<MetricsRegistry>,
     tracer: Tracer,
+    journal: EventJournal,
     backend_available: AtomicBool,
     next_agent: AtomicU32,
     next_region: AtomicU32,
+    next_session: AtomicU64,
+    /// Queries tracked by the currency SLO (delivered-staleness accounting
+    /// ran for them).
+    slo_queries: AtomicU64,
+    /// SLO-tracked queries whose slack went negative *without* a
+    /// sanctioned policy degradation — the compliance ratio's numerator
+    /// complement.
+    slo_unsanctioned: AtomicU64,
     /// Worker pool for morsel-driven parallel scans; `None` keeps every
     /// scan on the session thread (the default).
     scan_pool: RwLock<Option<Arc<ScanPool>>>,
@@ -85,7 +96,11 @@ impl MTCache {
         runtime.set_metrics(Arc::clone(&metrics));
         let plan_cache = Arc::new(PlanCache::new());
         let cache_storage = Arc::new(StorageEngine::new());
+        let tracer = Tracer::default();
+        let journal = EventJournal::new(256);
+        journal.set_metrics(Arc::clone(&metrics));
         Self::register_cache_metrics(&metrics, &plan_cache, &master, &cache_storage);
+        Self::register_telemetry_metrics(&metrics, &tracer);
         MTCache {
             clock,
             clock_arc,
@@ -99,10 +114,14 @@ impl MTCache {
             plan_cache,
             counters,
             metrics,
-            tracer: Tracer::default(),
+            tracer,
+            journal,
             backend_available: AtomicBool::new(true),
             next_agent: AtomicU32::new(0),
             next_region: AtomicU32::new(0),
+            next_session: AtomicU64::new(0),
+            slo_queries: AtomicU64::new(0),
+            slo_unsanctioned: AtomicU64::new(0),
             scan_pool: RwLock::new(None),
         }
     }
@@ -214,6 +233,50 @@ impl MTCache {
         });
     }
 
+    /// Describe the currency-telemetry metric names and mirror the
+    /// tracer's dropped-span count into the registry.
+    fn register_telemetry_metrics(metrics: &Arc<MetricsRegistry>, tracer: &Tracer) {
+        metrics.describe(
+            "rcc_delivered_staleness_seconds",
+            "Actual staleness of every snapshot served (back-end commit clock \
+             minus region heartbeat at guard-evaluation time), per region.",
+        );
+        metrics.describe(
+            "rcc_currency_slack_seconds",
+            "Promised currency bound minus delivered staleness, per region; \
+             negative slack means the bound was overrun.",
+        );
+        metrics.describe(
+            "rcc_slo_queries_total",
+            "Queries tracked by the delivered-currency SLO.",
+        );
+        metrics.describe(
+            "rcc_slo_violations_total",
+            "Queries whose currency slack went negative, labeled by whether a \
+             sanctioned policy degradation (serve_stale) caused it.",
+        );
+        metrics.describe(
+            "rcc_slo_compliance_ratio",
+            "Fraction of tracked queries that met their bound or degraded only \
+             via sanctioned policy.",
+        );
+        metrics.describe(
+            "rcc_events_total",
+            "Structured journal events recorded, per kind \
+             (degradation, violation, failover, lint).",
+        );
+        metrics.describe(
+            "rcc_trace_dropped_spans_total",
+            "Spans recorded after their trace had already finished; counted \
+             instead of silently discarded.",
+        );
+        let dropped = metrics.counter("rcc_trace_dropped_spans_total", &[]);
+        let tracer = tracer.clone();
+        metrics.register_collector(move || {
+            dropped.set(tracer.dropped_spans());
+        });
+    }
+
     /// The shared simulated clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
@@ -263,6 +326,21 @@ impl MTCache {
         &self.tracer
     }
 
+    /// The structured event journal (degradations, violations, failovers,
+    /// lint findings) — the store behind `SHOW EVENTS` and `/events`.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// A fresh session label (`session-1`, `session-2`, …) for journal
+    /// attribution.
+    pub(crate) fn next_session_label(&self) -> String {
+        format!(
+            "session-{}",
+            self.next_session.fetch_add(1, Ordering::Relaxed) + 1
+        )
+    }
+
     /// Route the executor's remote branch through `service` — the hook the
     /// TCP transport uses so a `CURRENCY BOUND` miss really ships SQL over
     /// a socket to a back-end in another thread or process. Pass `None` to
@@ -275,9 +353,23 @@ impl MTCache {
     /// Simulate losing (or restoring) the link to the back-end — the
     /// *traditional replicated database* scenario.
     pub fn set_backend_available(&self, up: bool) {
-        self.backend_available.store(up, Ordering::SeqCst);
+        let was = self.backend_available.swap(up, Ordering::SeqCst);
         self.config.write().backend_available = up;
         self.plan_cache.invalidate();
+        if was != up {
+            self.journal.record(
+                self.clock.now().millis(),
+                EventKind::Failover,
+                if up {
+                    "back-end link marked available"
+                } else {
+                    "back-end link marked unavailable"
+                },
+                "",
+                "",
+                0,
+            );
+        }
     }
 
     /// Enable/disable the SwitchUnion pull-up extension.
@@ -400,7 +492,13 @@ impl MTCache {
         sql: &str,
         params: &HashMap<String, Value>,
     ) -> Result<QueryResult> {
-        self.execute_internal(sql, params, &HashMap::new(), ViolationPolicy::Reject)
+        self.execute_internal(
+            sql,
+            params,
+            &HashMap::new(),
+            ViolationPolicy::Reject,
+            "direct",
+        )
     }
 
     /// Execute with an explicit violation policy (matters when the
@@ -411,7 +509,7 @@ impl MTCache {
         params: &HashMap<String, Value>,
         policy: ViolationPolicy,
     ) -> Result<QueryResult> {
-        self.execute_internal(sql, params, &HashMap::new(), policy)
+        self.execute_internal(sql, params, &HashMap::new(), policy, "direct")
     }
 
     /// Optimize without executing (EXPLAIN).
@@ -440,7 +538,7 @@ impl MTCache {
         params: &HashMap<String, Value>,
     ) -> Result<QueryResult> {
         let body = strip_explain_analyze(sql).unwrap_or(sql);
-        self.execute_analyzed(body, params, &HashMap::new())
+        self.execute_analyzed(body, params, &HashMap::new(), "direct")
     }
 
     pub(crate) fn execute_internal(
@@ -449,16 +547,17 @@ impl MTCache {
         params: &HashMap<String, Value>,
         floors: &HashMap<RegionId, Timestamp>,
         policy: ViolationPolicy,
+        session: &str,
     ) -> Result<QueryResult> {
         if let Some(body) = strip_explain_analyze(sql) {
-            return self.execute_analyzed(body, params, floors);
+            return self.execute_analyzed(body, params, floors, session);
         }
         let parse_started = Instant::now();
         let stmt = parse_statement(sql)?;
         let parse_time = parse_started.elapsed();
         match stmt {
             Statement::Select(select) => {
-                self.execute_select(sql, &select, params, floors, policy, parse_time)
+                self.execute_select(sql, &select, params, floors, policy, parse_time, session)
             }
             Statement::Insert {
                 table,
@@ -506,6 +605,104 @@ impl MTCache {
             )),
             Statement::Verify(select) => self.execute_verify(&select, params),
             Statement::Lint(select) => Ok(self.execute_lint(&select)),
+            Statement::ShowEvents => Ok(self.show_events()),
+            Statement::ShowTrace => Ok(self.show_trace()),
+        }
+    }
+
+    /// `SHOW EVENTS`: the journal's recent entries as a result set, oldest
+    /// first.
+    fn show_events(&self) -> QueryResult {
+        let schema = Schema::new(vec![
+            Column::new("seq", rcc_common::DataType::Int),
+            Column::new("at_ms", rcc_common::DataType::Int),
+            Column::new("kind", rcc_common::DataType::Str),
+            Column::new("cause", rcc_common::DataType::Str),
+            Column::new("policy", rcc_common::DataType::Str),
+            Column::new("session", rcc_common::DataType::Str),
+            Column::new("trace_id", rcc_common::DataType::Int),
+        ]);
+        let events = self.journal.recent(usize::MAX);
+        let warnings = vec![format!(
+            "{} event(s) retained of {} recorded",
+            events.len(),
+            self.journal.total()
+        )];
+        let rows = events
+            .into_iter()
+            .map(|e| {
+                Row::new(vec![
+                    Value::Int(e.seq as i64),
+                    Value::Int(e.at_ms),
+                    Value::Str(e.kind.name().to_string()),
+                    Value::Str(e.cause),
+                    Value::Str(e.policy),
+                    Value::Str(e.session),
+                    Value::Int(e.trace_id as i64),
+                ])
+            })
+            .collect();
+        QueryResult {
+            schema,
+            rows,
+            plan_choice: PlanChoice::BackendLocal,
+            plan_explain: String::new(),
+            est_cost: 0.0,
+            guards: Vec::new(),
+            used_remote: false,
+            warnings,
+            timings: Default::default(),
+            tables: Vec::new(),
+            stats: Default::default(),
+        }
+    }
+
+    /// `SHOW TRACE`: the most recently finished trace's spans as a result
+    /// set (start-ordered), with the trace header in the warnings.
+    fn show_trace(&self) -> QueryResult {
+        let schema = Schema::new(vec![
+            Column::new("span", rcc_common::DataType::Str),
+            Column::new("depth", rcc_common::DataType::Int),
+            Column::new("start_us", rcc_common::DataType::Int),
+            Column::new("elapsed_us", rcc_common::DataType::Int),
+        ]);
+        let (rows, warnings) = match self.tracer.recent(1).pop() {
+            Some(trace) => {
+                let mut spans = trace.spans.clone();
+                spans.sort_by_key(|s| s.start);
+                let rows = spans
+                    .into_iter()
+                    .map(|sp| {
+                        Row::new(vec![
+                            Value::Str(sp.name),
+                            Value::Int(sp.depth as i64),
+                            Value::Int(sp.start.as_micros() as i64),
+                            Value::Int(sp.elapsed.as_micros() as i64),
+                        ])
+                    })
+                    .collect();
+                (
+                    rows,
+                    vec![format!(
+                        "trace #{} [{:?}] {}",
+                        trace.id, trace.elapsed, trace.label
+                    )],
+                )
+            }
+            None => (Vec::new(), vec!["no traces recorded yet".to_string()]),
+        };
+        QueryResult {
+            schema,
+            rows,
+            plan_choice: PlanChoice::BackendLocal,
+            plan_explain: String::new(),
+            est_cost: 0.0,
+            guards: Vec::new(),
+            used_remote: false,
+            warnings,
+            timings: Default::default(),
+            tables: Vec::new(),
+            stats: Default::default(),
         }
     }
 
@@ -654,6 +851,7 @@ impl MTCache {
         select: &SelectStmt,
         params: &HashMap<String, Value>,
         trace: &TraceHandle,
+        session: &str,
     ) -> Result<(Arc<CompiledQuery>, bool, StdDuration, StdDuration)> {
         // "re-optimization only if a view's consistency properties change":
         // the compiled dynamic plan is reused until the catalog epoch moves
@@ -671,6 +869,17 @@ impl MTCache {
             self.metrics
                 .counter("rcc_lint_diagnostics_total", &[("code", d.code)])
                 .inc();
+        }
+        if !lint_diags.is_empty() {
+            let codes: Vec<&str> = lint_diags.iter().map(|d| d.code).collect();
+            self.journal.record(
+                self.clock.now().millis(),
+                EventKind::Lint,
+                format!("{} ({} diagnostic(s))", codes.join(","), lint_diags.len()),
+                "",
+                session,
+                trace.id(),
+            );
         }
         let lint: Vec<String> = lint_diags.iter().map(|d| format!("lint: {d}")).collect();
         drop(span);
@@ -761,6 +970,7 @@ impl MTCache {
         stats
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn execute_select(
         &self,
         sql: &str,
@@ -769,13 +979,14 @@ impl MTCache {
         floors: &HashMap<RegionId, Timestamp>,
         policy: ViolationPolicy,
         parse_time: StdDuration,
+        session: &str,
     ) -> Result<QueryResult> {
         let trace = self.tracer.trace(sql);
         let (compiled, cache_hit, bind_time, optimize_time) =
-            self.compile(sql, select, params, &trace)?;
+            self.compile(sql, select, params, &trace, session)?;
         let optimized = &compiled.optimized;
         let tables = compiled.tables.clone();
-        let ctx = self.fresh_ctx(floors.clone());
+        let ctx = self.fresh_ctx(floors.clone(), trace.share());
 
         let remote_before = self.counters.remote_queries.load(Ordering::Relaxed);
         let exec_span = trace.span("execute");
@@ -784,6 +995,7 @@ impl MTCache {
         match exec {
             Ok(result) => {
                 let guards = ctx.take_observations();
+                self.record_delivered(&guards, false);
                 let used_remote =
                     self.counters.remote_queries.load(Ordering::Relaxed) > remote_before;
                 let stats = self.finish_stats(
@@ -827,6 +1039,7 @@ impl MTCache {
                     bind_time,
                     optimize_time,
                     &msg,
+                    session,
                 ),
             Err(Error::Unavailable(msg)) => self.degrade_unreachable(
                 &trace,
@@ -839,6 +1052,7 @@ impl MTCache {
                 bind_time,
                 optimize_time,
                 &msg,
+                session,
             ),
             Err(e) => Err(e),
         }
@@ -860,24 +1074,42 @@ impl MTCache {
         bind_time: StdDuration,
         optimize_time: StdDuration,
         msg: &str,
+        session: &str,
     ) -> Result<QueryResult> {
         match policy {
             ViolationPolicy::Reject => {
                 self.metrics
                     .counter("rcc_policy_degradations_total", &[("policy", "reject")])
                     .inc();
+                self.journal.record(
+                    self.clock.now().millis(),
+                    EventKind::Violation,
+                    format!("back-end unreachable: {msg}"),
+                    "reject",
+                    session,
+                    trace.id(),
+                );
                 Err(Error::CurrencyViolation(format!(
                     "local data too stale for the query's currency bound and the \
                      back-end is unreachable ({msg})"
                 )))
             }
             ViolationPolicy::ServeStale => {
-                let mut ctx2 = self.fresh_ctx(floors.clone());
+                self.journal.record(
+                    self.clock.now().millis(),
+                    EventKind::Degradation,
+                    format!("back-end unreachable: {msg}"),
+                    "serve_stale",
+                    session,
+                    trace.id(),
+                );
+                let mut ctx2 = self.fresh_ctx(floors.clone(), trace.share());
                 ctx2.force_local = true;
                 let stale_span = trace.span("execute_stale");
                 let result = execute_plan(&optimized.plan, &ctx2)?;
                 drop(stale_span);
                 let guards = ctx2.take_observations();
+                self.record_delivered(&guards, true);
                 let now = self.clock.now();
                 let warnings = guards
                     .iter()
@@ -936,6 +1168,7 @@ impl MTCache {
         body: &str,
         params: &HashMap<String, Value>,
         floors: &HashMap<RegionId, Timestamp>,
+        session: &str,
     ) -> Result<QueryResult> {
         let trace = self.tracer.trace(body);
         let parse_started = Instant::now();
@@ -950,14 +1183,15 @@ impl MTCache {
             }
         };
         let (compiled, cache_hit, bind_time, optimize_time) =
-            self.compile(body, &select, params, &trace)?;
+            self.compile(body, &select, params, &trace, session)?;
         let optimized = &compiled.optimized;
         let tables = compiled.tables.clone();
-        let ctx = self.fresh_ctx(floors.clone());
+        let ctx = self.fresh_ctx(floors.clone(), trace.share());
         let exec_span = trace.span("execute");
         let analyzed = execute_plan_analyzed(&optimized.plan, &ctx)?;
         drop(exec_span);
         let guards = ctx.take_observations();
+        self.record_delivered(&guards, false);
         let used_remote = ctx.meter.remote_queries.load(Ordering::Relaxed) > 0;
         let stats = self.finish_stats(
             trace.id(),
@@ -990,7 +1224,81 @@ impl MTCache {
         })
     }
 
-    fn fresh_ctx(&self, floors: HashMap<RegionId, Timestamp>) -> ExecContext {
+    /// Delivered-currency accounting: for every guard evaluated for a
+    /// query that was actually answered, record the staleness of what was
+    /// served against what the clause promised.
+    ///
+    /// * local branch: delivered staleness = back-end commit clock minus
+    ///   the region heartbeat the guard saw (clamped at zero);
+    /// * remote branch: the back-end serves the latest snapshot, so
+    ///   delivered staleness is zero by construction.
+    ///
+    /// Slack = bound − delivered. A query violates the SLO when any guard's
+    /// slack goes negative; `sanctioned` says whether that happened under
+    /// an explicit policy degradation (`ServeStale`) rather than silently.
+    fn record_delivered(&self, guards: &[GuardObservation], sanctioned: bool) {
+        if guards.is_empty() {
+            return;
+        }
+        let (_, commit) = self.master.latest_commit();
+        let mut negative_slack = false;
+        for g in guards {
+            let delivered_s = if g.chose_local {
+                match g.heartbeat {
+                    Some(hb) if commit > hb => commit.since(hb).as_secs_f64(),
+                    // heartbeat at/after the last commit: fully current
+                    Some(_) => 0.0,
+                    // no heartbeat at all: we cannot bound what was served;
+                    // charge the whole span of the commit clock
+                    None => commit.since(Timestamp::ZERO).as_secs_f64(),
+                }
+            } else {
+                0.0
+            };
+            let slack_s = g.bound.as_secs_f64() - delivered_s;
+            if slack_s < 0.0 {
+                negative_slack = true;
+            }
+            let region = self
+                .catalog
+                .region(g.region)
+                .map(|r| r.name.clone())
+                .unwrap_or_else(|_| g.region.to_string());
+            let labels = [("region", region.as_str())];
+            self.metrics
+                .histogram(
+                    "rcc_delivered_staleness_seconds",
+                    &labels,
+                    DEFAULT_STALENESS_BUCKETS,
+                )
+                .observe(delivered_s);
+            self.metrics
+                .histogram("rcc_currency_slack_seconds", &labels, DEFAULT_SLACK_BUCKETS)
+                .observe(slack_s);
+        }
+        let total = self.slo_queries.fetch_add(1, Ordering::Relaxed) + 1;
+        if negative_slack {
+            let arm = if sanctioned { "yes" } else { "no" };
+            self.metrics
+                .counter("rcc_slo_violations_total", &[("sanctioned", arm)])
+                .inc();
+        }
+        let unsanctioned = if negative_slack && !sanctioned {
+            self.slo_unsanctioned.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.slo_unsanctioned.load(Ordering::Relaxed)
+        };
+        self.metrics.counter("rcc_slo_queries_total", &[]).inc();
+        self.metrics
+            .gauge("rcc_slo_compliance_ratio", &[])
+            .set(1.0 - unsanctioned as f64 / total as f64);
+    }
+
+    fn fresh_ctx(
+        &self,
+        floors: HashMap<RegionId, Timestamp>,
+        trace: Option<TraceRef>,
+    ) -> ExecContext {
         let remote: Option<Arc<dyn RemoteService>> =
             if self.backend_available.load(Ordering::SeqCst) {
                 match &*self.remote_override.read() {
@@ -1012,6 +1320,7 @@ impl MTCache {
             metrics: Some(Arc::clone(&self.metrics)),
             scan_pool: self.scan_pool.read().clone(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            trace,
         }
     }
 

@@ -30,6 +30,7 @@ pub struct Session<'a> {
     timeline: bool,
     floors: HashMap<RegionId, Timestamp>,
     policy: ViolationPolicy,
+    label: String,
 }
 
 impl<'a> Session<'a> {
@@ -39,7 +40,14 @@ impl<'a> Session<'a> {
             timeline: false,
             floors: HashMap::new(),
             policy: ViolationPolicy::Reject,
+            label: cache.next_session_label(),
         }
+    }
+
+    /// This session's label (`session-N`), used to attribute journal
+    /// events.
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// Is a TIMEORDERED bracket active?
@@ -90,7 +98,7 @@ impl<'a> Session<'a> {
         };
         let result = self
             .cache
-            .execute_internal(sql, params, &floors, self.policy)?;
+            .execute_internal(sql, params, &floors, self.policy, &self.label)?;
         if self.timeline {
             self.ratchet(&result);
         }

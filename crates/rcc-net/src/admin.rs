@@ -1,0 +1,376 @@
+//! The admin HTTP endpoint: operational telemetry over plain HTTP/1.0.
+//!
+//! A deliberately tiny, dependency-free HTTP listener for scrapers and
+//! humans with `curl` — not a general web server. It answers `GET` only,
+//! ignores request headers, and closes the connection after each response
+//! (HTTP/1.0 semantics), which is exactly what Prometheus-style scraping
+//! and shell debugging need:
+//!
+//! | route      | content                                               |
+//! |------------|-------------------------------------------------------|
+//! | `/metrics` | the cache registry in Prometheus text format          |
+//! | `/traces`  | recently finished query traces (merged span trees)    |
+//! | `/events`  | the structured event journal as JSON                  |
+//! | `/healthz` | liveness + per-region replication lag + pool occupancy |
+//!
+//! Every request bumps `rcc_admin_requests_total{path=...}`; unknown
+//! paths are labelled `other` so the counter's cardinality stays fixed.
+
+use crate::remote::TcpRemoteService;
+use crate::server::POLL_INTERVAL;
+use parking_lot::Mutex;
+use rcc_mtcache::MTCache;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on an admin request head (request line + headers). Anything
+/// longer is rejected — admin requests are tiny by construction.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long a client may take to deliver its request head.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How many finished traces `/traces` renders.
+const TRACES_SHOWN: usize = 16;
+
+/// The admin HTTP server for one [`MTCache`].
+#[derive(Debug)]
+pub struct AdminServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl AdminServer {
+    /// Bind `bind` (e.g. `"127.0.0.1:0"`) and serve the cache's telemetry
+    /// from a background accept thread, one short-lived thread per
+    /// request. Pass the cache's remote transport (when it has one) so
+    /// `/healthz` can report back-end pool occupancy.
+    pub fn spawn(
+        cache: Arc<MTCache>,
+        remote: Option<Arc<TcpRemoteService>>,
+        bind: &str,
+    ) -> io::Result<AdminServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("rcc-admin-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let cache = Arc::clone(&cache);
+                        let remote = remote.clone();
+                        if let Ok(handle) = std::thread::Builder::new()
+                            .name("rcc-admin-conn".into())
+                            .spawn(move || handle_request(&cache, remote.as_deref(), stream))
+                        {
+                            conns.lock().push(handle);
+                        }
+                    }
+                })?
+        };
+        Ok(AdminServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join every in-flight request thread.
+    pub fn shutdown(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for handle in self.conns.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_request(cache: &MTCache, remote: Option<&TcpRemoteService>, mut stream: TcpStream) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let Some(path) = read_request_path(&mut stream) else {
+        let _ = write_response(&mut stream, 400, "text/plain", "bad request\n");
+        return;
+    };
+    let label = match path.as_str() {
+        "/metrics" | "/traces" | "/events" | "/healthz" => path.as_str(),
+        _ => "other",
+    };
+    cache
+        .metrics()
+        .counter("rcc_admin_requests_total", &[("path", label)])
+        .inc();
+    let result = match path.as_str() {
+        "/metrics" => write_response(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4",
+            &cache.metrics().render_prometheus(),
+        ),
+        "/traces" => write_response(&mut stream, 200, "text/plain", &render_traces(cache)),
+        "/events" => write_response(&mut stream, 200, "application/json", &render_events(cache)),
+        "/healthz" => write_response(
+            &mut stream,
+            200,
+            "application/json",
+            &render_health(cache, remote),
+        ),
+        _ => write_response(&mut stream, 404, "text/plain", "not found\n"),
+    };
+    let _ = result;
+}
+
+/// Read the request head (bounded, with a deadline) and return the path
+/// from the request line, or `None` if the request is malformed.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let started = std::time::Instant::now();
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && !buf.windows(2).any(|w| w == b"\n\n") {
+        if buf.len() > MAX_REQUEST_BYTES || started.elapsed() > REQUEST_TIMEOUT {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    if !method.eq_ignore_ascii_case("GET") {
+        return None;
+    }
+    // strip any query string: routes take no parameters
+    Some(target.split('?').next().unwrap_or(target).to_string())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn render_traces(cache: &MTCache) -> String {
+    let traces = cache.tracer().recent(TRACES_SHOWN);
+    if traces.is_empty() {
+        return "no traces recorded yet\n".to_string();
+    }
+    let mut out = String::new();
+    for trace in traces {
+        out.push_str(&trace.render());
+        out.push('\n');
+    }
+    out
+}
+
+fn render_events(cache: &MTCache) -> String {
+    let journal = cache.journal();
+    let events = journal.recent(usize::MAX);
+    let mut out = String::from("{\"total_recorded\":");
+    let _ = write!(out, "{},\"events\":[", journal.total());
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"at_ms\":{},\"kind\":\"{}\",\"cause\":{},\"policy\":{},\"session\":{},\"trace_id\":{}}}",
+            e.seq,
+            e.at_ms,
+            e.kind.name(),
+            json_str(&e.cause),
+            json_str(&e.policy),
+            json_str(&e.session),
+            e.trace_id
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn render_health(cache: &MTCache, remote: Option<&TcpRemoteService>) -> String {
+    let mut out = String::from("{\"status\":\"ok\",\"regions\":{");
+    let mut regions = cache.catalog().regions();
+    regions.sort_by(|a, b| a.name.cmp(&b.name));
+    for (i, region) in regions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match cache.region_staleness(&region.name) {
+            Some(lag) => {
+                let _ = write!(out, "{}:{:.3}", json_str(&region.name), lag.as_secs_f64());
+            }
+            None => {
+                let _ = write!(out, "{}:null", json_str(&region.name));
+            }
+        }
+    }
+    out.push('}');
+    if let Some(remote) = remote {
+        let (idle, in_use) = remote.pool().occupancy();
+        let _ = write!(
+            out,
+            ",\"backend_pool\":{{\"idle\":{idle},\"in_use\":{in_use}}}"
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a string as a JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut body = String::new();
+        let mut line = String::new();
+        // skip headers
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.trim().is_empty() {
+                break;
+            }
+        }
+        reader.read_to_string(&mut body).unwrap();
+        (status, body)
+    }
+
+    #[test]
+    fn routes_serve_metrics_events_traces_health() {
+        let cache = Arc::new(MTCache::new());
+        cache
+            .execute("CREATE REGION cr1 INTERVAL 1 SEC DELAY 0 MS")
+            .unwrap();
+        // run one traced statement so /traces has something to show
+        let _ = cache.execute("SELECT 1");
+        let mut admin = AdminServer::spawn(Arc::clone(&cache), None, "127.0.0.1:0").unwrap();
+        let addr = admin.addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("rcc_admin_requests_total"), "{body}");
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"cr1\""), "{body}");
+
+        let (status, body) = get(addr, "/events");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"events\":["), "{body}");
+
+        let (status, _) = get(addr, "/traces");
+        assert_eq!(status, 200);
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        // the counter saw every labelled route plus the unknown one
+        let snap = cache.metrics().snapshot();
+        assert_eq!(
+            snap.counter("rcc_admin_requests_total{path=\"/metrics\"}"),
+            1
+        );
+        assert_eq!(snap.counter("rcc_admin_requests_total{path=\"other\"}"), 1);
+        admin.shutdown();
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -7,13 +7,14 @@
 //! currency-region heartbeats stay live while the process runs.
 //!
 //! ```text
-//! rccd [--listen ADDR] [--backend-listen ADDR] [--scale F] [--seed N]
-//!      [--max-connections N] [--scan-workers N]
+//! rccd [--listen ADDR] [--backend-listen ADDR] [--admin-addr ADDR]
+//!      [--scale F] [--seed N] [--max-connections N] [--scan-workers N]
 //! ```
 
 use rcc_mtcache::paper::{paper_setup, warm_up};
 use rcc_net::{
-    BackendNetServer, NetServer, NetServerConfig, PoolConfig, RetryPolicy, TcpRemoteService,
+    AdminServer, BackendNetServer, NetServer, NetServerConfig, PoolConfig, RetryPolicy,
+    TcpRemoteService,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -22,6 +23,7 @@ use std::time::Duration;
 struct Options {
     listen: String,
     backend_listen: String,
+    admin: Option<String>,
     scale: f64,
     seed: u64,
     max_connections: usize,
@@ -33,6 +35,7 @@ impl Default for Options {
         Options {
             listen: "127.0.0.1:7878".into(),
             backend_listen: "127.0.0.1:0".into(),
+            admin: None,
             scale: 0.01,
             seed: 42,
             max_connections: NetServerConfig::default().max_connections,
@@ -49,6 +52,7 @@ fn parse_args() -> Result<Options, String> {
         match flag.as_str() {
             "--listen" => opts.listen = value("--listen")?,
             "--backend-listen" => opts.backend_listen = value("--backend-listen")?,
+            "--admin-addr" => opts.admin = Some(value("--admin-addr")?),
             "--scale" => {
                 opts.scale = value("--scale")?
                     .parse()
@@ -72,8 +76,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: rccd [--listen ADDR] [--backend-listen ADDR] \
-                     [--scale F] [--seed N] [--max-connections N] \
-                     [--scan-workers N]"
+                     [--admin-addr ADDR] [--scale F] [--seed N] \
+                     [--max-connections N] [--scan-workers N]"
                 );
                 std::process::exit(0);
             }
@@ -116,14 +120,27 @@ fn run(opts: Options) -> Result<(), String> {
         .map_err(|e| format!("backend listener: {e}"))?;
 
     // remote branch now ships SQL over pooled TCP
-    let remote = TcpRemoteService::new(
-        backend_srv.addr(),
-        PoolConfig::default(),
-        RetryPolicy::default(),
-    )
-    .map_err(|e| format!("remote service: {e}"))?;
+    let remote = Arc::new(
+        TcpRemoteService::new(
+            backend_srv.addr(),
+            PoolConfig::default(),
+            RetryPolicy::default(),
+        )
+        .map_err(|e| format!("remote service: {e}"))?,
+    );
     remote.set_metrics(Arc::clone(cache.metrics()));
-    cache.set_remote_service(Some(Arc::new(remote)));
+    cache.set_remote_service(Some(
+        Arc::clone(&remote) as Arc<dyn rcc_executor::RemoteService>
+    ));
+
+    // the admin endpoint holds its own handles on the cache and transport
+    let admin = match &opts.admin {
+        Some(bind) => Some(
+            AdminServer::spawn(Arc::clone(&cache), Some(Arc::clone(&remote)), bind)
+                .map_err(|e| format!("admin listener: {e}"))?,
+        ),
+        None => None,
+    };
 
     let front = NetServer::spawn(
         Arc::clone(&cache),
@@ -150,11 +167,19 @@ fn run(opts: Options) -> Result<(), String> {
         })
         .map_err(|e| format!("clock pump: {e}"))?;
 
-    println!(
-        "rccd listening on {} (back-end at {})",
-        front.addr(),
-        backend_srv.addr()
-    );
+    match &admin {
+        Some(a) => println!(
+            "rccd listening on {} (back-end at {}, admin at http://{})",
+            front.addr(),
+            backend_srv.addr(),
+            a.addr()
+        ),
+        None => println!(
+            "rccd listening on {} (back-end at {})",
+            front.addr(),
+            backend_srv.addr()
+        ),
+    }
     // serve until killed
     loop {
         std::thread::sleep(Duration::from_secs(3600));

@@ -7,7 +7,9 @@
 //!
 //! With SQL on the command line, runs it once and exits 0 on success, 1 on
 //! any error (the CI smoke test relies on this). Without SQL, reads
-//! statements from stdin, one per line.
+//! statements from stdin, one per line. Backslash meta-commands in the
+//! REPL: `\trace` dumps the server's most recent query trace, `\events`
+//! lists the server's event journal, `\help` shows the cheat sheet.
 
 use rcc_mtcache::ViolationPolicy;
 use rcc_net::{ClientConfig, NetClient, NetQueryResult};
@@ -113,6 +115,10 @@ fn run(opts: Options) -> Result<(), String> {
     // REPL: one statement per line
     let stdin = io::stdin();
     let mut out = io::stdout();
+    eprintln!(
+        "rccsh: connected to {} (\\help for meta-commands)",
+        opts.addr
+    );
     loop {
         write!(out, "rcc> ").and_then(|_| out.flush()).ok();
         let mut line = String::new();
@@ -128,11 +134,31 @@ fn run(opts: Options) -> Result<(), String> {
         if sql.eq_ignore_ascii_case("quit") || sql.eq_ignore_ascii_case("exit") {
             return Ok(());
         }
+        // backslash meta-commands expand to telemetry statements
+        let sql = match sql {
+            r"\trace" => "SHOW TRACE",
+            r"\events" => "SHOW EVENTS",
+            r"\help" | r"\?" => {
+                print_help();
+                continue;
+            }
+            other if other.starts_with('\\') => {
+                eprintln!("unknown meta-command {other} (try \\help)");
+                continue;
+            }
+            other => other,
+        };
         match client.query(sql) {
             Ok(result) => print_result(&result),
             Err(e) => eprintln!("error: {e}"),
         }
     }
+}
+
+fn print_help() {
+    println!(
+        "meta-commands:\n  \\trace   show the server's most recent query trace (= SHOW TRACE)\n  \\events  show the server's event journal (= SHOW EVENTS)\n  \\help    this help (also \\?)\n  quit     leave the shell (also exit)"
+    );
 }
 
 fn print_result(result: &NetQueryResult) {

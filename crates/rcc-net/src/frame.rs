@@ -15,22 +15,36 @@
 //!
 //! Request bodies (client → server):
 //!
-//! | tag  | frame     | body                                          |
-//! |------|-----------|-----------------------------------------------|
-//! | 0x01 | Query     | string `sql`                                  |
-//! | 0x02 | SetOption | string `name`, string `value`                 |
-//! | 0x03 | Ping      | (empty)                                       |
+//! | tag  | frame       | body                                          |
+//! |------|-------------|-----------------------------------------------|
+//! | 0x01 | Query       | string `sql`                                  |
+//! | 0x02 | SetOption   | string `name`, string `value`                 |
+//! | 0x03 | Ping        | (empty)                                       |
+//! | 0x04 | QueryTraced | string `sql`, u64 `trace_id`, u32             |
+//! |      |             | `parent_depth`                                |
 //!
 //! Response bodies (server → client):
 //!
-//! | tag  | frame     | body                                          |
-//! |------|-----------|-----------------------------------------------|
-//! | 0x81 | ResultSet | u8 flags (bit0 `used_remote`), u16 warning    |
-//! |      |           | count, warnings as strings, then the result   |
-//! |      |           | encoded with [`rcc_executor::wire`]           |
-//! | 0x82 | Error     | u8 error code, string message                 |
-//! | 0x83 | Ok        | (empty)                                       |
-//! | 0x84 | Pong      | (empty)                                       |
+//! | tag  | frame           | body                                      |
+//! |------|-----------------|-------------------------------------------|
+//! | 0x81 | ResultSet       | u8 flags (bit0 `used_remote`), u16        |
+//! |      |                 | warning count, warnings as strings, then  |
+//! |      |                 | the result encoded with                   |
+//! |      |                 | [`rcc_executor::wire`]                    |
+//! | 0x82 | Error           | u8 error code, string message             |
+//! | 0x83 | Ok              | (empty)                                   |
+//! | 0x84 | Pong            | (empty)                                   |
+//! | 0x85 | ResultSetTraced | as ResultSet, with a u32 span count plus  |
+//! |      |                 | spans (string name, u32 depth, u64        |
+//! |      |                 | start_us, u64 elapsed_us) between the     |
+//! |      |                 | warnings and the result payload           |
+//!
+//! Trace context rides on dedicated tags (0x04/0x85) rather than extra
+//! bytes on the existing ones because decoding enforces exact body
+//! lengths: appending fields to 0x01/0x81 would break every deployed peer.
+//! Old clients never see the new tags (servers answer 0x85 only to 0x04),
+//! and old servers reject 0x04 with a clean error — compatibility in both
+//! directions is pinned by `legacy_byte_layout_is_frozen` below.
 //!
 //! Strings are `u32 LE length + UTF-8 bytes`. Decoding validates every
 //! length against the bytes actually present — truncated or garbage
@@ -49,11 +63,40 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 const TAG_QUERY: u8 = 0x01;
 const TAG_SET_OPTION: u8 = 0x02;
 const TAG_PING: u8 = 0x03;
+const TAG_QUERY_TRACED: u8 = 0x04;
 
 const TAG_RESULT: u8 = 0x81;
 const TAG_ERROR: u8 = 0x82;
 const TAG_OK: u8 = 0x83;
 const TAG_PONG: u8 = 0x84;
+const TAG_RESULT_TRACED: u8 = 0x85;
+
+/// Trace context carried by [`Request::QueryTraced`]: enough for the
+/// back-end to label its span tree so the front-end can graft it into the
+/// originating query's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The originating query's trace id (front-end tracer scope).
+    pub trace_id: u64,
+    /// Span nesting depth at the call site; remote spans are re-based
+    /// under it when merged.
+    pub parent_depth: u32,
+}
+
+/// One span recorded by the remote peer, in wire form. Offsets are
+/// microseconds relative to the remote request's own start — the merging
+/// side shifts them onto the originating trace's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span name (remote spans use a `backend:` prefix).
+    pub name: String,
+    /// Nesting depth within the remote span tree (0 = remote root).
+    pub depth: u32,
+    /// Microseconds from remote request start to span open.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub elapsed_us: u64,
+}
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +115,15 @@ pub enum Request {
     },
     /// Liveness probe; answered with [`Response::Pong`].
     Ping,
+    /// Like [`Request::Query`], carrying the caller's trace context; the
+    /// server records spans while executing and answers with
+    /// [`Response::ResultSetTraced`].
+    QueryTraced {
+        /// Statement text.
+        sql: String,
+        /// The originating query's trace identity.
+        trace: TraceContext,
+    },
 }
 
 /// A server → client message.
@@ -92,6 +144,18 @@ pub enum Response {
     Ok,
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::QueryTraced`]: a result set plus the span tree
+    /// the server recorded while producing it.
+    ResultSetTraced {
+        /// Did the cache contact the back-end to answer this query?
+        used_remote: bool,
+        /// Human-readable warnings (stale data served, etc.).
+        warnings: Vec<String>,
+        /// Spans recorded server-side, in completion order.
+        spans: Vec<WireSpan>,
+        /// The rows, encoded with [`rcc_executor::wire::encode_result`].
+        payload: Bytes,
+    },
 }
 
 impl Request {
@@ -109,6 +173,12 @@ impl Request {
                 put_str(&mut buf, value);
             }
             Request::Ping => buf.put_u8(TAG_PING),
+            Request::QueryTraced { sql, trace } => {
+                buf.put_u8(TAG_QUERY_TRACED);
+                put_str(&mut buf, sql);
+                buf.put_u64_le(trace.trace_id);
+                buf.put_u32_le(trace.parent_depth);
+            }
         }
         buf.freeze()
     }
@@ -127,6 +197,17 @@ impl Request {
                 value: get_str(&mut buf)?,
             },
             TAG_PING => Request::Ping,
+            TAG_QUERY_TRACED => {
+                let sql = get_str(&mut buf)?;
+                need(&buf, 12)?;
+                Request::QueryTraced {
+                    sql,
+                    trace: TraceContext {
+                        trace_id: buf.get_u64_le(),
+                        parent_depth: buf.get_u32_le(),
+                    },
+                }
+            }
             other => return Err(Error::Remote(format!("bad request frame tag {other:#x}"))),
         };
         no_trailing(&buf)?;
@@ -159,6 +240,27 @@ impl Response {
             }
             Response::Ok => buf.put_u8(TAG_OK),
             Response::Pong => buf.put_u8(TAG_PONG),
+            Response::ResultSetTraced {
+                used_remote,
+                warnings,
+                spans,
+                payload,
+            } => {
+                buf.put_u8(TAG_RESULT_TRACED);
+                buf.put_u8(*used_remote as u8);
+                buf.put_u16_le(warnings.len() as u16);
+                for w in warnings {
+                    put_str(&mut buf, w);
+                }
+                buf.put_u32_le(spans.len() as u32);
+                for s in spans {
+                    put_str(&mut buf, &s.name);
+                    buf.put_u32_le(s.depth);
+                    buf.put_u64_le(s.start_us);
+                    buf.put_u64_le(s.elapsed_us);
+                }
+                buf.put_slice(payload);
+            }
         }
         buf.freeze()
     }
@@ -198,6 +300,34 @@ impl Response {
             TAG_PONG => {
                 no_trailing(&buf)?;
                 Ok(Response::Pong)
+            }
+            TAG_RESULT_TRACED => {
+                need(&buf, 3)?;
+                let flags = buf.get_u8();
+                let nwarn = buf.get_u16_le() as usize;
+                let mut warnings = Vec::with_capacity(nwarn.min(64));
+                for _ in 0..nwarn {
+                    warnings.push(get_str(&mut buf)?);
+                }
+                need(&buf, 4)?;
+                let nspans = buf.get_u32_le() as usize;
+                let mut spans = Vec::with_capacity(nspans.min(256));
+                for _ in 0..nspans {
+                    let name = get_str(&mut buf)?;
+                    need(&buf, 20)?;
+                    spans.push(WireSpan {
+                        name,
+                        depth: buf.get_u32_le(),
+                        start_us: buf.get_u64_le(),
+                        elapsed_us: buf.get_u64_le(),
+                    });
+                }
+                Ok(Response::ResultSetTraced {
+                    used_remote: flags & 1 != 0,
+                    warnings,
+                    spans,
+                    payload: buf,
+                })
             }
             other => Err(Error::Remote(format!("bad response frame tag {other:#x}"))),
         }
@@ -532,6 +662,98 @@ mod tests {
             Request::Query { .. }
         ));
         assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn traced_request_roundtrip() {
+        let req = Request::QueryTraced {
+            sql: "SELECT 1 CURRENCY BOUND 5 SEC ON (t)".into(),
+            trace: TraceContext {
+                trace_id: 0xDEAD_BEEF_0042,
+                parent_depth: 3,
+            },
+        };
+        assert_eq!(Request::decode(req.encode()).unwrap(), req);
+        // truncation at every split is an error, never a panic
+        let frame = req.encode();
+        for cut in 0..frame.len() {
+            assert!(Request::decode(frame.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn traced_response_roundtrip() {
+        use rcc_common::{Column, DataType, Row, Schema, Value};
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let payload = rcc_executor::wire::encode_result(&schema, &[Row::new(vec![Value::Int(7)])]);
+        let resp = Response::ResultSetTraced {
+            used_remote: false,
+            warnings: vec!["stale".into()],
+            spans: vec![
+                WireSpan {
+                    name: "backend:execute".into(),
+                    depth: 0,
+                    start_us: 12,
+                    elapsed_us: 340,
+                },
+                WireSpan {
+                    name: "backend:encode".into(),
+                    depth: 1,
+                    start_us: 360,
+                    elapsed_us: 5,
+                },
+            ],
+            payload,
+        };
+        assert_eq!(Response::decode(resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn legacy_byte_layout_is_frozen() {
+        // Golden bytes: the pre-trace tags must keep their exact encoding
+        // so peers speaking the old protocol interoperate. If this test
+        // fails, the change broke wire compatibility.
+        let query = Request::Query {
+            sql: "SELECT 1".into(),
+        }
+        .encode();
+        assert_eq!(
+            query.as_ref(),
+            [
+                0x01, // TAG_QUERY
+                8, 0, 0, 0, // string length
+                b'S', b'E', b'L', b'E', b'C', b'T', b' ', b'1',
+            ]
+        );
+        assert_eq!(Request::Ping.encode().as_ref(), [0x03]);
+        assert_eq!(Response::Ok.encode().as_ref(), [0x83]);
+        assert_eq!(Response::Pong.encode().as_ref(), [0x84]);
+        let rs = Response::ResultSet {
+            used_remote: true,
+            warnings: vec!["w".into()],
+            payload: Bytes::from(&b"xy"[..]),
+        }
+        .encode();
+        assert_eq!(
+            rs.as_ref(),
+            [
+                0x81, // TAG_RESULT
+                1,    // flags: used_remote
+                1, 0, // warning count
+                1, 0, 0, 0, b'w', // warning string
+                b'x', b'y', // wire payload
+            ]
+        );
+        // an old peer rejects the new tags cleanly rather than misparsing
+        let traced = Request::QueryTraced {
+            sql: "SELECT 1".into(),
+            trace: TraceContext {
+                trace_id: 1,
+                parent_depth: 0,
+            },
+        }
+        .encode();
+        assert_eq!(traced[0], 0x04);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! Everything reports into `rcc-obs`: connection gauges, request/latency
 //! histograms, retry/timeout counters, and pool occupancy.
 
+pub mod admin;
 pub mod backend_net;
 pub mod client;
 pub mod frame;
@@ -29,6 +30,7 @@ pub mod pool;
 pub mod remote;
 pub mod server;
 
+pub use admin::AdminServer;
 pub use backend_net::BackendNetServer;
 pub use client::{ClientConfig, NetClient, NetQueryResult};
 pub use frame::{

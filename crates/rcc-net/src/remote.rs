@@ -11,12 +11,12 @@
 //! failure_injection.rs` establishes for the in-process link, now over a
 //! real socket.
 
-use crate::frame::{read_frame, write_frame, Request, Response};
+use crate::frame::{read_frame, write_frame, Request, Response, TraceContext, WireSpan};
 use crate::pool::{BackendPool, PoolConfig};
 use parking_lot::Mutex;
 use rcc_common::{Error, Result, Row, Schema};
 use rcc_executor::{wire, RemoteService};
-use rcc_obs::{MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use rcc_obs::{MetricsRegistry, SpanRecord, TraceRef, DEFAULT_LATENCY_BUCKETS};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -99,9 +99,13 @@ impl TcpRemoteService {
     }
 
     /// One framed request/response round trip on a pooled connection.
-    fn call_once(&self, sql: &str) -> std::result::Result<(Schema, Vec<Row>, u64), CallError> {
+    fn call_once(
+        &self,
+        sql: &str,
+        trace: Option<&TraceRef>,
+    ) -> std::result::Result<(Schema, Vec<Row>, u64), CallError> {
         let stream = self.pool.checkout().map_err(CallError::Transport)?;
-        match self.roundtrip(&stream, sql) {
+        match self.roundtrip(&stream, sql, trace) {
             Ok(out) => {
                 self.pool.checkin(stream);
                 Ok(out)
@@ -122,12 +126,23 @@ impl TcpRemoteService {
         &self,
         mut stream: &TcpStream,
         sql: &str,
+        trace: Option<&TraceRef>,
     ) -> std::result::Result<(Schema, Vec<Row>, u64), CallError> {
-        let req = Request::Query {
-            sql: sql.to_string(),
-        }
-        .encode();
-        write_frame(&mut stream, &req).map_err(CallError::Transport)?;
+        let req = match trace {
+            Some(t) => Request::QueryTraced {
+                sql: sql.to_string(),
+                trace: TraceContext {
+                    trace_id: t.id(),
+                    parent_depth: t.current_depth() as u32,
+                },
+            },
+            None => Request::Query {
+                sql: sql.to_string(),
+            },
+        };
+        // remote span offsets are relative to this moment on our timeline
+        let sent_at = trace.map(|t| t.elapsed());
+        write_frame(&mut stream, &req.encode()).map_err(CallError::Transport)?;
         let payload = read_frame(&mut stream)
             .map_err(CallError::Transport)?
             .ok_or_else(|| {
@@ -138,6 +153,14 @@ impl TcpRemoteService {
             })?;
         match Response::decode(payload).map_err(CallError::App)? {
             Response::ResultSet { payload, .. } => {
+                let bytes = payload.len() as u64;
+                let (schema, rows) = wire::decode_result(payload).map_err(CallError::App)?;
+                Ok((schema, rows, bytes))
+            }
+            Response::ResultSetTraced { spans, payload, .. } => {
+                if let (Some(t), Some(offset)) = (trace, sent_at) {
+                    t.merge_spans(t.current_depth(), offset, wire_spans_to_records(spans));
+                }
                 let bytes = payload.len() as u64;
                 let (schema, rows) = wire::decode_result(payload).map_err(CallError::App)?;
                 Ok((schema, rows, bytes))
@@ -154,15 +177,14 @@ impl TcpRemoteService {
             m.counter(name, &[]).inc();
         }
     }
-}
 
-impl RemoteService for TcpRemoteService {
-    fn execute(&self, sql: &str) -> Result<(Schema, Vec<Row>)> {
-        self.execute_with_bytes(sql)
-            .map(|(schema, rows, _)| (schema, rows))
-    }
-
-    fn execute_with_bytes(&self, sql: &str) -> Result<(Schema, Vec<Row>, u64)> {
+    /// The shared retry loop behind both `execute_with_bytes` and
+    /// `execute_traced`.
+    fn execute_inner(
+        &self,
+        sql: &str,
+        trace: Option<&TraceRef>,
+    ) -> Result<(Schema, Vec<Row>, u64)> {
         let started = Instant::now();
         let mut backoff = self.retry.initial_backoff;
         let attempts = self.retry.attempts.max(1);
@@ -173,7 +195,7 @@ impl RemoteService for TcpRemoteService {
                 std::thread::sleep(backoff);
                 backoff = backoff.saturating_mul(2);
             }
-            match self.call_once(sql) {
+            match self.call_once(sql, trace) {
                 Ok(out) => {
                     if let Some(m) = &*self.metrics.lock() {
                         m.histogram("rcc_net_remote_call_seconds", &[], DEFAULT_LATENCY_BUCKETS)
@@ -201,5 +223,45 @@ impl RemoteService for TcpRemoteService {
             "back-end at {} unreachable after {attempts} attempt(s): {detail}",
             self.pool.addr()
         )))
+    }
+}
+
+/// Convert remote wire spans onto the local span-record shape (offsets
+/// still relative to the remote request; the caller re-bases them).
+fn wire_spans_to_records(spans: Vec<WireSpan>) -> Vec<SpanRecord> {
+    spans
+        .into_iter()
+        .map(|s| SpanRecord {
+            name: s.name,
+            depth: s.depth as usize,
+            start: Duration::from_micros(s.start_us),
+            elapsed: Duration::from_micros(s.elapsed_us),
+        })
+        .collect()
+}
+
+impl RemoteService for TcpRemoteService {
+    fn execute(&self, sql: &str) -> Result<(Schema, Vec<Row>)> {
+        self.execute_with_bytes(sql)
+            .map(|(schema, rows, _)| (schema, rows))
+    }
+
+    fn execute_with_bytes(&self, sql: &str) -> Result<(Schema, Vec<Row>, u64)> {
+        self.execute_inner(sql, None)
+    }
+
+    fn execute_traced(
+        &self,
+        sql: &str,
+        trace: Option<&TraceRef>,
+    ) -> Result<(Schema, Vec<Row>, u64)> {
+        match trace {
+            Some(t) => {
+                // everything below — retries included — nests under one span
+                let _call = t.span("remote_call");
+                self.execute_inner(sql, trace)
+            }
+            None => self.execute_inner(sql, None),
+        }
     }
 }

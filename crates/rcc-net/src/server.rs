@@ -226,6 +226,25 @@ fn handle_conn(
                     Err(e) => Response::Error(e),
                 }
             }
+            Ok(Request::QueryTraced { sql, .. }) => {
+                // accepted for protocol symmetry: the cache front-end
+                // executes the query normally but does not stream its
+                // internal spans to clients — the merged trace (including
+                // back-end spans) is retained by the cache's tracer and is
+                // visible via `SHOW TRACE` and the admin `/traces` route
+                registry
+                    .counter("rcc_net_requests_total", &[("type", "query_traced")])
+                    .inc();
+                match session.execute(&sql) {
+                    Ok(r) => Response::ResultSetTraced {
+                        used_remote: r.used_remote,
+                        warnings: r.warnings,
+                        spans: Vec::new(),
+                        payload: wire::encode_result(&r.schema, &r.rows),
+                    },
+                    Err(e) => Response::Error(e),
+                }
+            }
             Ok(Request::SetOption { name, value }) => {
                 registry
                     .counter("rcc_net_requests_total", &[("type", "set_option")])

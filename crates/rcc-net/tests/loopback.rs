@@ -6,7 +6,11 @@ use rcc_common::Duration as SimDuration;
 use rcc_common::Error;
 use rcc_mtcache::paper::{paper_setup, warm_up};
 use rcc_mtcache::{MTCache, ViolationPolicy};
-use rcc_net::{ClientConfig, NetClient, NetServer, NetServerConfig};
+use rcc_net::{
+    BackendNetServer, ClientConfig, NetClient, NetServer, NetServerConfig, PoolConfig, RetryPolicy,
+    TcpRemoteService,
+};
+use rcc_obs::EventKind;
 use std::sync::Arc;
 
 const N_CLIENTS: usize = 4;
@@ -168,4 +172,144 @@ fn accept_pool_is_bounded() {
         std::thread::sleep(std::time::Duration::from_millis(20));
     };
     d.ping().unwrap();
+}
+
+#[test]
+fn remote_query_merges_backend_spans_into_one_trace() {
+    // full rig: cache front-end + back-end behind its own TCP listener,
+    // remote branch over the pooled transport (the trace-context path)
+    let cache = Arc::new({
+        let c = paper_setup(0.001, 7).unwrap();
+        warm_up(&c).unwrap();
+        c
+    });
+    let _backend_srv = BackendNetServer::spawn(Arc::clone(cache.backend()), "127.0.0.1:0").unwrap();
+    let remote = TcpRemoteService::new(
+        _backend_srv.addr(),
+        PoolConfig::default(),
+        RetryPolicy::default(),
+    )
+    .unwrap();
+    remote.set_metrics(Arc::clone(cache.metrics()));
+    cache.set_remote_service(Some(Arc::new(remote)));
+    let server = NetServer::spawn(
+        Arc::clone(&cache),
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+    )
+    .unwrap();
+
+    // make CR1 too stale for the bound so the guard routes the query to
+    // the back-end over TCP
+    cache.set_region_stalled("CR1", true);
+    cache.advance(SimDuration::from_secs(90)).unwrap();
+
+    let mut client = NetClient::connect(server.addr(), &ClientConfig::default()).unwrap();
+    let r = client.query(Q).unwrap();
+    assert!(r.used_remote, "stale CR1 must route to the back-end");
+    assert_eq!(r.rows.len(), 1);
+
+    // the query produced exactly one trace on the cache's tracer, and it
+    // contains both the local transport span and the back-end's own span
+    // tree, merged below it
+    let trace = cache
+        .tracer()
+        .recent(8)
+        .into_iter()
+        .rev()
+        .find(|t| t.label.contains("c_custkey = 5"))
+        .expect("the query's trace is in the ring");
+    let call = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "remote_call")
+        .expect("transport span present");
+    let backend_spans: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("backend:"))
+        .collect();
+    assert!(
+        !backend_spans.is_empty(),
+        "back-end spans merged into the front-end trace: {:#?}",
+        trace.spans
+    );
+    for s in &backend_spans {
+        assert!(
+            s.depth > call.depth,
+            "remote span {} nests under remote_call",
+            s.name
+        );
+        assert!(
+            s.start >= call.start,
+            "remote span {} starts after the call went out",
+            s.name
+        );
+    }
+    // the back-end recorded its execution phases
+    let names: Vec<&str> = backend_spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"backend:execute"), "{names:?}");
+}
+
+#[test]
+fn outage_lands_degradation_event_with_policy_arm() {
+    let (cache, server) = rig();
+    let addr = server.addr();
+
+    let cfg = ClientConfig::default();
+    let mut stale_ok = NetClient::connect(addr, &cfg).unwrap();
+    let mut strict = NetClient::connect(addr, &cfg).unwrap();
+    stale_ok.set_policy(ViolationPolicy::ServeStale).unwrap();
+
+    cache.set_region_stalled("CR1", true);
+    cache.advance(SimDuration::from_secs(90)).unwrap();
+    cache.set_backend_available(false);
+
+    stale_ok
+        .query(Q)
+        .expect("ServeStale degrades, still serves");
+    strict.query(Q).expect_err("Reject surfaces the violation");
+
+    let events = cache.journal().recent(usize::MAX);
+    let failover = events
+        .iter()
+        .find(|e| e.kind == EventKind::Failover)
+        .expect("marking the back-end down is journalled");
+    assert!(failover.cause.contains("unavailable"), "{}", failover.cause);
+
+    let degradation = events
+        .iter()
+        .find(|e| e.kind == EventKind::Degradation)
+        .expect("ServeStale degradation is journalled");
+    assert_eq!(degradation.policy, "serve_stale");
+    assert!(degradation.cause.contains("back-end unreachable"));
+    assert!(
+        degradation.session.starts_with("session-"),
+        "{}",
+        degradation.session
+    );
+    assert!(
+        degradation.trace_id > 0,
+        "event carries the query's trace id"
+    );
+
+    let violation = events
+        .iter()
+        .find(|e| e.kind == EventKind::Violation)
+        .expect("Reject violation is journalled");
+    assert_eq!(violation.policy, "reject");
+    assert_ne!(
+        violation.session, degradation.session,
+        "each connection has its own session label"
+    );
+
+    // the journal feeds the events counter
+    let snap = cache.metrics().snapshot();
+    assert!(snap.counter("rcc_events_total{kind=\"degradation\"}") >= 1);
+    assert!(snap.counter("rcc_events_total{kind=\"violation\"}") >= 1);
+    assert!(snap.counter("rcc_events_total{kind=\"failover\"}") >= 1);
+
+    // ...and SHOW EVENTS surfaces the journal over the wire
+    let r = stale_ok.query("SHOW EVENTS").unwrap();
+    assert!(!r.rows.is_empty(), "SHOW EVENTS returns the journal rows");
 }

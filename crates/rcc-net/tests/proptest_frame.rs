@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use rcc_common::{Column, DataType, Row, Schema, Value};
-use rcc_net::frame::{read_frame, write_frame, Request, Response};
+use rcc_net::frame::{read_frame, write_frame, Request, Response, TraceContext, WireSpan};
 use std::io::{self, Read};
 
 /// A reader that hands out at most `chunk` bytes per call, exercising every
@@ -80,6 +80,77 @@ proptest! {
         if let Response::ResultSet { payload, .. } = decoded {
             let (s, r) = rcc_executor::wire::decode_result(payload).unwrap();
             prop_assert_eq!(s.columns().len(), 1);
+            prop_assert_eq!(r, rows);
+        }
+    }
+
+    #[test]
+    fn traced_request_roundtrips_under_any_fragmentation(
+        sql in prop::collection::vec(32u8..127, 0..80).prop_map(printable),
+        trace_id in 0u64..=u64::MAX,
+        parent_depth in 0u32..=u32::MAX,
+        chunk in 1usize..9,
+    ) {
+        let req = Request::QueryTraced {
+            sql,
+            trace: TraceContext { trace_id, parent_depth },
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let mut reader = ChunkedReader { data: wire.clone(), pos: 0, chunk };
+        let payload = read_frame(&mut reader).unwrap().expect("one whole frame");
+        prop_assert_eq!(Request::decode(payload).unwrap(), req);
+        // any truncation of the encoded frame must error, never panic or
+        // decode to something else (old/new compatibility: a peer that cuts
+        // the trace context off the tail cannot alias a legacy Query)
+        for cut in 0..wire.len() {
+            let mut reader = ChunkedReader { data: wire[..cut].to_vec(), pos: 0, chunk: 7 };
+            match read_frame(&mut reader) {
+                Ok(None) => prop_assert!(cut < 4),
+                Err(e) => prop_assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+                Ok(Some(_)) => prop_assert!(false, "truncated frame decoded at cut {}", cut),
+            }
+        }
+    }
+
+    #[test]
+    fn traced_response_roundtrips_under_any_fragmentation(
+        ints in prop::collection::vec(-1000i64..1000, 0..8),
+        names in prop::collection::vec(
+            prop::collection::vec(97u8..123, 1..12).prop_map(printable),
+            0..6,
+        ),
+        depths in prop::collection::vec(0u32..8, 6),
+        starts in prop::collection::vec(0u64..1_000_000, 6),
+        used_remote in 0u8..2,
+        chunk in 1usize..9,
+    ) {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let rows: Vec<Row> = ints.iter().map(|&i| Row::new(vec![Value::Int(i)])).collect();
+        let spans: Vec<WireSpan> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| WireSpan {
+                name: name.clone(),
+                depth: depths[i],
+                start_us: starts[i],
+                elapsed_us: starts[i] / 2,
+            })
+            .collect();
+        let resp = Response::ResultSetTraced {
+            used_remote: used_remote == 1,
+            warnings: vec![],
+            spans,
+            payload: rcc_executor::wire::encode_result(&schema, &rows),
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &resp.encode()).unwrap();
+        let mut reader = ChunkedReader { data: wire, pos: 0, chunk };
+        let payload = read_frame(&mut reader).unwrap().expect("one whole frame");
+        let decoded = Response::decode(payload).unwrap();
+        prop_assert_eq!(&decoded, &resp);
+        if let Response::ResultSetTraced { payload, .. } = decoded {
+            let (_, r) = rcc_executor::wire::decode_result(payload).unwrap();
             prop_assert_eq!(r, rows);
         }
     }

@@ -1,0 +1,221 @@
+//! Bounded structured event journal.
+//!
+//! The cache records notable control-plane events — policy degradations,
+//! currency violations, back-end failovers, lint findings — into a fixed
+//! capacity ring so operators can answer "what happened and why" without
+//! scraping logs. The journal is queryable via `SHOW EVENTS` and the admin
+//! endpoint's `/events` route; lifetime counts are mirrored into the
+//! `rcc_events_total` counter per kind.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::registry::MetricsRegistry;
+
+/// Classification of a journal event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A query was served stale under a sanctioned `serve_stale` policy arm.
+    Degradation,
+    /// A currency guard could not be satisfied and the query was rejected.
+    Violation,
+    /// The back-end link changed availability (marked up or down).
+    Failover,
+    /// The currency-clause linter flagged a statement at compile time.
+    Lint,
+}
+
+impl EventKind {
+    /// Stable lowercase name, used as metric label and wire value.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Degradation => "degradation",
+            EventKind::Violation => "violation",
+            EventKind::Failover => "failover",
+            EventKind::Lint => "lint",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotonic sequence number (1-based, never reused).
+    pub seq: u64,
+    /// Simulation-clock timestamp in milliseconds at record time.
+    pub at_ms: i64,
+    /// Event classification.
+    pub kind: EventKind,
+    /// Human-readable cause, e.g. the guard that failed.
+    pub cause: String,
+    /// Policy arm that produced the event (`"reject"`, `"serve_stale"`, or
+    /// empty when no policy was involved).
+    pub policy: String,
+    /// Label of the session that triggered the event (empty for
+    /// system-initiated events such as failovers).
+    pub session: String,
+    /// Trace id of the query involved, 0 if none.
+    pub trace_id: u64,
+}
+
+struct JournalInner {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    next_seq: AtomicU64,
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bounded, thread-safe ring of [`Event`]s.
+#[derive(Clone)]
+pub struct EventJournal {
+    inner: Arc<JournalInner>,
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl EventJournal {
+    /// A journal retaining at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> EventJournal {
+        EventJournal {
+            inner: Arc::new(JournalInner {
+                ring: Mutex::new(VecDeque::new()),
+                capacity: capacity.max(1),
+                next_seq: AtomicU64::new(1),
+                metrics: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Attach a metrics registry; subsequent records bump
+    /// `rcc_events_total{kind=...}`.
+    pub fn set_metrics(&self, metrics: Arc<MetricsRegistry>) {
+        *lock(&self.inner.metrics) = Some(metrics);
+    }
+
+    /// Record an event; returns its sequence number.
+    pub fn record(
+        &self,
+        at_ms: i64,
+        kind: EventKind,
+        cause: impl Into<String>,
+        policy: impl Into<String>,
+        session: impl Into<String>,
+        trace_id: u64,
+    ) -> u64 {
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let event = Event {
+            seq,
+            at_ms,
+            kind,
+            cause: cause.into(),
+            policy: policy.into(),
+            session: session.into(),
+            trace_id,
+        };
+        {
+            let mut ring = lock(&self.inner.ring);
+            if ring.len() == self.inner.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(event);
+        }
+        if let Some(metrics) = lock(&self.inner.metrics).clone() {
+            metrics
+                .counter("rcc_events_total", &[("kind", kind.name())])
+                .inc();
+        }
+        seq
+    }
+
+    /// The most recent events, oldest first, up to `n`.
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let ring = lock(&self.inner.ring);
+        ring.iter()
+            .skip(ring.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        lock(&self.inner.ring).len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of recorded events, including evicted ones.
+    pub fn total(&self) -> u64 {
+        self.inner.next_seq.load(Ordering::Relaxed) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_sequenced() {
+        let journal = EventJournal::new(3);
+        for i in 0..5 {
+            journal.record(
+                i,
+                EventKind::Degradation,
+                format!("cause{i}"),
+                "serve_stale",
+                "session-1",
+                7,
+            );
+        }
+        assert_eq!(journal.len(), 3);
+        assert_eq!(journal.total(), 5);
+        let recent = journal.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 3);
+        assert_eq!(recent[2].seq, 5);
+        assert_eq!(recent[2].cause, "cause4");
+        assert_eq!(recent[2].policy, "serve_stale");
+    }
+
+    #[test]
+    fn metrics_count_per_kind() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let journal = EventJournal::new(8);
+        journal.set_metrics(Arc::clone(&metrics));
+        journal.record(0, EventKind::Failover, "link down", "", "", 0);
+        journal.record(
+            1,
+            EventKind::Violation,
+            "CR1 too stale",
+            "reject",
+            "session-2",
+            3,
+        );
+        journal.record(2, EventKind::Failover, "link up", "", "", 0);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("rcc_events_total{kind=\"failover\"}"), 2);
+        assert_eq!(snap.counter("rcc_events_total{kind=\"violation\"}"), 1);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::Degradation.name(), "degradation");
+        assert_eq!(EventKind::Violation.name(), "violation");
+        assert_eq!(EventKind::Failover.name(), "failover");
+        assert_eq!(EventKind::Lint.name(), "lint");
+    }
+}

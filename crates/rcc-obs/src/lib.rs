@@ -16,14 +16,17 @@
 //!   (parse/bind/optimize/guard-eval/local-exec/remote-ship), row and byte
 //!   counts, and plan-cache outcome.
 
+mod events;
 pub mod names;
 mod registry;
 mod stats;
 mod trace;
 
+pub use events::{Event, EventJournal, EventKind};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SnapshotValue,
-    DEFAULT_LATENCY_BUCKETS, DEFAULT_MORSEL_BUCKETS, DEFAULT_STALENESS_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS, DEFAULT_MORSEL_BUCKETS, DEFAULT_SLACK_BUCKETS,
+    DEFAULT_STALENESS_BUCKETS,
 };
 pub use stats::{QueryPhase, QueryStats};
-pub use trace::{SpanGuard, SpanRecord, Trace, TraceHandle, Tracer};
+pub use trace::{SpanGuard, SpanRecord, Trace, TraceHandle, TraceRef, Tracer};

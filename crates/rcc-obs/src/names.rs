@@ -11,6 +11,19 @@
 /// Every metric name in the workspace with a one-line summary.
 /// Sorted by name; each name appears exactly once.
 pub const METRICS: &[(&str, &str)] = &[
+    (
+        "rcc_admin_requests_total",
+        "Admin HTTP requests served per route",
+    ),
+    (
+        "rcc_currency_slack_seconds",
+        "Promised bound minus delivered staleness",
+    ),
+    (
+        "rcc_delivered_staleness_seconds",
+        "Actual staleness of served snapshots",
+    ),
+    ("rcc_events_total", "Journal events recorded per kind"),
     ("rcc_guard_local_total", "Currency guards passed locally"),
     (
         "rcc_guard_remote_total",
@@ -97,10 +110,26 @@ pub const METRICS: &[(&str, &str)] = &[
     ),
     ("rcc_scan_serial_total", "Scans executed serially"),
     ("rcc_scan_workers", "Scan worker threads configured"),
+    (
+        "rcc_slo_compliance_ratio",
+        "Fraction of queries meeting their currency bound or degrading sanctioned",
+    ),
+    (
+        "rcc_slo_queries_total",
+        "Queries tracked by the currency SLO",
+    ),
+    (
+        "rcc_slo_violations_total",
+        "Queries whose currency slack went negative",
+    ),
     ("rcc_snapshot_publishes_total", "Table snapshots published"),
     (
         "rcc_stale_served_total",
         "Queries served stale under policy",
+    ),
+    (
+        "rcc_trace_dropped_spans_total",
+        "Spans recorded after their trace finished",
     ),
     ("rcc_verify_audits_total", "Plan conformance audits run"),
     (

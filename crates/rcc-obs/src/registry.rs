@@ -16,6 +16,13 @@ pub const DEFAULT_STALENESS_BUCKETS: &[f64] = &[
     0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
 ];
 
+/// Buckets (seconds) for currency slack — promised bound minus delivered
+/// staleness. Slack is signed: negative buckets capture how badly a served
+/// snapshot overran its clause's bound.
+pub const DEFAULT_SLACK_BUCKETS: &[f64] = &[
+    -600.0, -60.0, -10.0, -5.0, -1.0, 0.0, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0, 3600.0,
+];
+
 /// Buckets (counts) for morsels-per-scan: how finely parallel scans split.
 pub const DEFAULT_MORSEL_BUCKETS: &[f64] =
     &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];

@@ -1,7 +1,15 @@
 //! Lightweight span tracing with per-query trace IDs and a ring buffer of
 //! recent traces.
+//!
+//! Traces can span processes: a [`TraceRef`] is a cloneable handle that
+//! lower layers (the remote transport) carry along, opening spans on the
+//! same trace and merging span trees recorded by a remote peer via
+//! [`TraceRef::merge_spans`]. Spans recorded after a trace has finished are
+//! never silently lost — they are counted per tracer
+//! ([`Tracer::dropped_spans`]) so the `rcc_trace_dropped_spans_total`
+//! metric can expose the slow path.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
@@ -60,14 +68,25 @@ struct ActiveTrace {
     label: String,
     start: Instant,
     depth: AtomicUsize,
+    finished: AtomicBool,
     spans: Mutex<Vec<SpanRecord>>,
     tracer: Weak<TracerInner>,
+}
+
+impl ActiveTrace {
+    /// Count `n` spans that arrived after this trace finished.
+    fn count_dropped(&self, n: u64) {
+        if let Some(tracer) = self.tracer.upgrade() {
+            tracer.dropped_spans.fetch_add(n, Ordering::Relaxed);
+        }
+    }
 }
 
 struct TracerInner {
     next_id: AtomicU64,
     capacity: usize,
     finished: Mutex<std::collections::VecDeque<Trace>>,
+    dropped_spans: AtomicU64,
 }
 
 /// Factory for traces; owns the ring buffer of recently finished traces.
@@ -98,6 +117,7 @@ impl Tracer {
                 next_id: AtomicU64::new(1),
                 capacity: capacity.max(1),
                 finished: Mutex::new(std::collections::VecDeque::new()),
+                dropped_spans: AtomicU64::new(0),
             }),
         }
     }
@@ -111,9 +131,11 @@ impl Tracer {
                 label: label.into(),
                 start: Instant::now(),
                 depth: AtomicUsize::new(0),
+                finished: AtomicBool::new(false),
                 spans: Mutex::new(Vec::new()),
                 tracer: Arc::downgrade(&self.inner),
             })),
+            tracer: Arc::downgrade(&self.inner),
         }
     }
 
@@ -135,11 +157,18 @@ impl Tracer {
             .cloned()
             .collect()
     }
+
+    /// Spans recorded after their trace finished, counted instead of
+    /// silently discarded — the source for `rcc_trace_dropped_spans_total`.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner.dropped_spans.load(Ordering::Relaxed)
+    }
 }
 
 /// Handle to an in-flight trace; create spans from it.
 pub struct TraceHandle {
     active: Option<Arc<ActiveTrace>>,
+    tracer: Weak<TracerInner>,
 }
 
 impl std::fmt::Debug for TraceHandle {
@@ -156,27 +185,26 @@ impl TraceHandle {
         self.active.as_ref().map(|a| a.id).unwrap_or(0)
     }
 
+    /// A cloneable reference to this trace that lower layers (executor,
+    /// transport) can carry; `None` once the trace has finished.
+    pub fn share(&self) -> Option<TraceRef> {
+        self.active.as_ref().map(|a| TraceRef {
+            active: Arc::clone(a),
+        })
+    }
+
     /// Open a nested span; it closes (and records) when the guard drops.
     pub fn span(&self, name: &str) -> SpanGuard {
         match &self.active {
-            Some(active) => {
-                let depth = active.depth.fetch_add(1, Ordering::Relaxed);
-                SpanGuard {
-                    trace: Some(Arc::clone(active)),
-                    name: name.to_string(),
-                    depth,
-                    start_offset: active.start.elapsed(),
-                    started: Instant::now(),
-                    owned_trace: None,
-                }
-            }
-            None => SpanGuard::noop(name),
+            Some(active) => open_span(active, name),
+            None => SpanGuard::noop(name, self.tracer.clone()),
         }
     }
 
     /// Finish now and return the completed trace (once; `None` after).
     pub fn finish(&mut self) -> Option<Trace> {
         let active = self.active.take()?;
+        active.finished.store(true, Ordering::SeqCst);
         let trace = Trace {
             id: active.id,
             label: active.label.clone(),
@@ -200,6 +228,80 @@ impl Drop for TraceHandle {
     }
 }
 
+fn open_span(active: &Arc<ActiveTrace>, name: &str) -> SpanGuard {
+    let depth = active.depth.fetch_add(1, Ordering::Relaxed);
+    SpanGuard {
+        trace: Some(Arc::clone(active)),
+        name: name.to_string(),
+        depth,
+        start_offset: active.start.elapsed(),
+        started: Instant::now(),
+        owned_trace: None,
+        tracer: Weak::new(),
+    }
+}
+
+/// A cloneable, shareable reference to an in-flight trace. Unlike
+/// [`TraceHandle`] it never finishes the trace; it exists so layers below
+/// the statement loop (the executor's remote branch, the TCP transport)
+/// can attach spans — including span trees recorded by a remote process —
+/// to the query's one trace.
+#[derive(Clone)]
+pub struct TraceRef {
+    active: Arc<ActiveTrace>,
+}
+
+impl std::fmt::Debug for TraceRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRef")
+            .field("id", &self.active.id)
+            .finish()
+    }
+}
+
+impl TraceRef {
+    /// The trace's id.
+    pub fn id(&self) -> u64 {
+        self.active.id
+    }
+
+    /// Current nesting depth (spans currently open).
+    pub fn current_depth(&self) -> usize {
+        self.active.depth.load(Ordering::Relaxed)
+    }
+
+    /// Wall time since the trace started.
+    pub fn elapsed(&self) -> Duration {
+        self.active.start.elapsed()
+    }
+
+    /// Open a nested span on the shared trace. After the trace finished,
+    /// the span is counted as dropped instead of recorded.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        open_span(&self.active, name)
+    }
+
+    /// Merge spans recorded elsewhere (typically by a remote process) into
+    /// this trace: each span is re-based to `base_depth` plus its own depth
+    /// and shifted by `base_offset` on the trace's timeline. If the trace
+    /// has already finished, the spans are counted as dropped.
+    pub fn merge_spans(&self, base_depth: usize, base_offset: Duration, spans: Vec<SpanRecord>) {
+        if self.active.finished.load(Ordering::SeqCst) {
+            self.active.count_dropped(spans.len() as u64);
+            return;
+        }
+        let mut log = lock(&self.active.spans);
+        for s in spans {
+            log.push(SpanRecord {
+                name: s.name,
+                depth: base_depth + s.depth,
+                start: base_offset + s.start,
+                elapsed: s.elapsed,
+            });
+        }
+    }
+}
+
 /// RAII span: records itself into the trace when dropped.
 pub struct SpanGuard {
     trace: Option<Arc<ActiveTrace>>,
@@ -208,10 +310,13 @@ pub struct SpanGuard {
     start_offset: Duration,
     started: Instant,
     owned_trace: Option<TraceHandle>,
+    /// For no-op guards (opened on an already-finished handle): where to
+    /// count the drop.
+    tracer: Weak<TracerInner>,
 }
 
 impl SpanGuard {
-    fn noop(name: &str) -> SpanGuard {
+    fn noop(name: &str, tracer: Weak<TracerInner>) -> SpanGuard {
         SpanGuard {
             trace: None,
             name: name.to_string(),
@@ -219,6 +324,7 @@ impl SpanGuard {
             start_offset: Duration::ZERO,
             started: Instant::now(),
             owned_trace: None,
+            tracer,
         }
     }
 
@@ -238,14 +344,28 @@ impl std::fmt::Debug for SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(active) = self.trace.take() {
-            active.depth.fetch_sub(1, Ordering::Relaxed);
-            lock(&active.spans).push(SpanRecord {
-                name: std::mem::take(&mut self.name),
-                depth: self.depth,
-                start: self.start_offset,
-                elapsed: self.started.elapsed(),
-            });
+        match self.trace.take() {
+            Some(active) => {
+                active.depth.fetch_sub(1, Ordering::Relaxed);
+                if active.finished.load(Ordering::SeqCst) {
+                    // the trace completed while this span was open: count it
+                    // instead of writing into a trace nobody will read
+                    active.count_dropped(1);
+                } else {
+                    lock(&active.spans).push(SpanRecord {
+                        name: std::mem::take(&mut self.name),
+                        depth: self.depth,
+                        start: self.start_offset,
+                        elapsed: self.started.elapsed(),
+                    });
+                }
+            }
+            None => {
+                // a no-op guard from a finished handle: count the drop
+                if let Some(tracer) = self.tracer.upgrade() {
+                    tracer.dropped_spans.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         // owned_trace (if any) drops after, finishing the one-off trace
     }
@@ -312,12 +432,82 @@ mod tests {
     }
 
     #[test]
-    fn finished_handle_yields_noop_spans() {
+    fn late_spans_are_counted_not_silently_dropped() {
         let tracer = Tracer::new(4);
         let mut h = tracer.trace("q");
         h.finish();
         assert_eq!(h.id(), 0);
-        drop(h.span("late")); // must not panic or record
+        drop(h.span("late")); // must not panic or record...
         assert_eq!(tracer.recent(4)[0].spans.len(), 0);
+        // ...but it must be accounted for
+        assert_eq!(tracer.dropped_spans(), 1);
+    }
+
+    #[test]
+    fn span_open_across_finish_is_counted() {
+        let tracer = Tracer::new(4);
+        let mut h = tracer.trace("q");
+        let r = h.share().unwrap();
+        let open = r.span("still-open");
+        h.finish();
+        drop(open); // closed after the trace completed
+        assert_eq!(tracer.dropped_spans(), 1);
+        assert_eq!(tracer.recent(4)[0].spans.len(), 0);
+    }
+
+    #[test]
+    fn shared_ref_spans_and_merges_land_on_the_trace() {
+        let tracer = Tracer::new(4);
+        let mut h = tracer.trace("q");
+        let r = h.share().unwrap();
+        {
+            let _outer = r.span("remote_call");
+            r.merge_spans(
+                r.current_depth(),
+                Duration::from_micros(10),
+                vec![SpanRecord {
+                    name: "backend:execute".into(),
+                    depth: 0,
+                    start: Duration::from_micros(2),
+                    elapsed: Duration::from_micros(5),
+                }],
+            );
+        }
+        let trace = h.finish().unwrap();
+        assert_eq!(trace.spans.len(), 2);
+        let merged = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "backend:execute")
+            .unwrap();
+        assert_eq!(merged.depth, 1, "re-based under the remote_call span");
+        assert_eq!(merged.start, Duration::from_micros(12));
+    }
+
+    #[test]
+    fn merge_after_finish_counts_dropped() {
+        let tracer = Tracer::new(4);
+        let mut h = tracer.trace("q");
+        let r = h.share().unwrap();
+        h.finish();
+        r.merge_spans(
+            0,
+            Duration::ZERO,
+            vec![
+                SpanRecord {
+                    name: "a".into(),
+                    depth: 0,
+                    start: Duration::ZERO,
+                    elapsed: Duration::ZERO,
+                },
+                SpanRecord {
+                    name: "b".into(),
+                    depth: 0,
+                    start: Duration::ZERO,
+                    elapsed: Duration::ZERO,
+                },
+            ],
+        );
+        assert_eq!(tracer.dropped_spans(), 2);
     }
 }

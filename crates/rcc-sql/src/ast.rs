@@ -92,6 +92,13 @@ pub enum Statement {
     /// executing (the front-end complement of [`Statement::Verify`], which
     /// checks optimized plans).
     Lint(Box<SelectStmt>),
+    /// `SHOW EVENTS` — read the cache's bounded event journal
+    /// (degradations, violations, failovers, lint findings) as a result
+    /// set.
+    ShowEvents,
+    /// `SHOW TRACE` — dump the most recently finished query trace
+    /// (including spans merged back from the back-end) as a result set.
+    ShowTrace,
 }
 
 /// One Select-From-Where block. The currency clause "occurs last in an SFW

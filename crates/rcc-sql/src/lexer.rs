@@ -190,6 +190,7 @@ const KEYWORDS: &[&str] = &[
     "DELAY",
     "VERIFY",
     "LINT",
+    "SHOW",
 ];
 
 /// Tokenize `input` into a vector ending with [`TokenKind::Eof`].

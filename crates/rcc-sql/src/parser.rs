@@ -180,6 +180,17 @@ impl Parser {
                     }
                     Ok(Statement::Lint(Box::new(self.select_stmt()?)))
                 }
+                "SHOW" => {
+                    self.bump();
+                    let what = self.ident()?;
+                    if what.eq_ignore_ascii_case("events") {
+                        Ok(Statement::ShowEvents)
+                    } else if what.eq_ignore_ascii_case("trace") {
+                        Ok(Statement::ShowTrace)
+                    } else {
+                        Err(self.err(format!("SHOW expects EVENTS or TRACE, got '{what}'")))
+                    }
+                }
                 other => Err(self.err(format!("unexpected keyword '{other}' at statement start"))),
             },
             other => Err(self.err(format!("expected a statement, found '{other}'"))),

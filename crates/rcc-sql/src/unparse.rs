@@ -100,6 +100,8 @@ pub fn statement_sql(stmt: &Statement) -> String {
         Statement::EndTimeordered => "END TIMEORDERED".to_string(),
         Statement::Verify(s) => format!("VERIFY {}", select_sql(s)),
         Statement::Lint(s) => format!("LINT {}", select_sql(s)),
+        Statement::ShowEvents => "SHOW EVENTS".to_string(),
+        Statement::ShowTrace => "SHOW TRACE".to_string(),
     }
 }
 
