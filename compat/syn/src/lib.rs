@@ -157,7 +157,7 @@ pub fn lex_file(src: &str) -> Vec<Tok> {
                 i = end + closer.len();
             }
             '\'' => {
-                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'"'`).
                 let mut j = i + 1;
                 if j < b.len() && b[j] == b'\\' {
                     // escaped char literal
@@ -170,6 +170,15 @@ pub fn lex_file(src: &str) -> Vec<Tok> {
                         line,
                     });
                     i = j + 1;
+                } else if j + 1 < b.len() && b[j + 1] == b'\'' && b[j] != b'\'' {
+                    // single-char literal, punctuation included (`'"'`, `'('`);
+                    // without this a quote char desyncs string lexing for the
+                    // rest of the file
+                    toks.push(Tok {
+                        kind: TokKind::Char(src[j..j + 1].to_string()),
+                        line,
+                    });
+                    i = j + 2;
                 } else {
                     let begin = j;
                     while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
@@ -289,6 +298,16 @@ mod tests {
         let toks = lex_file("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
         assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime("a".into())));
         assert!(toks.iter().any(|t| t.kind == TokKind::Char("y".into())));
+    }
+
+    #[test]
+    fn punctuation_char_literals_do_not_desync_strings() {
+        // `'"'` must lex as a char literal; treating its quote as a string
+        // opener would swallow the rest of the file as string content
+        let toks = lex_file("match c { '\"' => 1, '(' => 2, _ => 0 }\nfn after() {}");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char("\"".into())));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char("(".into())));
+        assert!(toks.iter().any(|t| t.is_ident("after")));
     }
 
     #[test]

@@ -4,7 +4,10 @@ use crate::heartbeat::{heartbeat_schema, HEARTBEAT_TABLE};
 use parking_lot::RwLock;
 use rcc_catalog::{Catalog, TableMeta};
 use rcc_common::{Clock, Error, RegionId, Result, Row, Timestamp, TxnId, Value};
-use rcc_storage::{RowChange, StorageEngine, Table, TableHandle, TableStats};
+use rcc_storage::{
+    CommitRecord, DurableStore, RowChange, StorageEngine, Table, TableHandle, TableStats,
+    WatermarkRecord,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -53,13 +56,20 @@ pub struct MasterDb {
     storage: Arc<StorageEngine>,
     catalog: Arc<Catalog>,
     clock: Arc<dyn Clock>,
+    // Lock order: `durability` (when read at all) strictly before `log`.
+    durability: RwLock<Option<Arc<DurableStore>>>,
     log: RwLock<LogState>,
 }
 
+/// The replication log. `base` counts transactions that predate the last
+/// checkpoint: their effects live in the checkpoint's table images and the
+/// entries themselves are gone, but absolute log cursors handed to agents
+/// keep working because every index below is offset by it.
 #[derive(Debug, Default)]
 struct LogState {
     txns: Vec<CommittedTxn>,
     next_id: u64,
+    base: usize,
 }
 
 impl MasterDb {
@@ -70,6 +80,7 @@ impl MasterDb {
             storage: Arc::new(StorageEngine::new()),
             catalog,
             clock,
+            durability: RwLock::new(None),
             log: RwLock::new(LogState::default()),
         };
         let hb = Table::new(HEARTBEAT_TABLE, heartbeat_schema(), vec![0]);
@@ -143,6 +154,9 @@ impl MasterDb {
         for c in &changes {
             self.storage.table(&c.table)?;
         }
+        // Clone the durable store handle *before* the log lock so every
+        // code path acquires `durability` before `log`, never inside it.
+        let durable = self.durability.read().clone();
         // Take the log lock across apply+append so concurrent committers
         // serialize and log order equals apply order.
         let mut log = self.log.write();
@@ -159,6 +173,26 @@ impl MasterDb {
                     )));
                 }
             }
+        }
+        // Write-ahead: frame the transaction into the WAL before any table
+        // publishes. Under `SyncPolicy::Always` the append fsyncs, so the
+        // record is durable before the COW epoch becomes visible; under
+        // `Group` the fsync is deferred to `sync_commit` below, after
+        // publish but before the commit is acknowledged to the caller.
+        let commit_time = self.clock.now();
+        let id = log.next_id + 1;
+        let mut pending_sync = None;
+        if let Some(store) = durable {
+            let record = CommitRecord {
+                id,
+                commit_ms: commit_time.millis(),
+                changes: changes
+                    .iter()
+                    .map(|c| (c.table.clone(), c.change.clone()))
+                    .collect(),
+            };
+            let lsn = store.append_commit(&record)?;
+            pending_sync = Some((store, lsn));
         }
         // Group the changes per table (statement order preserved within
         // each table; tables have disjoint keyspaces, so the final state is
@@ -182,14 +216,136 @@ impl MasterDb {
                 Ok(())
             })?;
         }
-        log.next_id += 1;
+        log.next_id = id;
         let txn = CommittedTxn {
-            id: TxnId(log.next_id),
-            commit_time: self.clock.now(),
+            id: TxnId(id),
+            commit_time,
             changes,
         };
         log.txns.push(txn.clone());
+        drop(log);
+        if let Some((store, lsn)) = pending_sync {
+            store.sync_commit(lsn)?;
+        }
         Ok(txn)
+    }
+
+    /// Attach a durable store: every subsequent [`MasterDb::execute_txn`]
+    /// is written ahead to its WAL. Recovery replay happens *before* this
+    /// via [`MasterDb::recover`], which writes the log directly and must
+    /// not re-append records the WAL already holds.
+    pub fn attach_durability(&self, store: Arc<DurableStore>) {
+        *self.durability.write() = Some(store);
+    }
+
+    /// The attached durable store, if any.
+    pub fn durability(&self) -> Option<Arc<DurableStore>> {
+        self.durability.read().clone()
+    }
+
+    /// Restore recovered state: checkpoint table images (replacing whatever
+    /// the tables currently hold), then the WAL tail replayed on top.
+    /// Returns the number of commits replayed. The log base is set so that
+    /// pre-checkpoint cursors held by agents stay valid.
+    pub fn recover(
+        &self,
+        tables: Vec<(String, Vec<Row>)>,
+        base_log_len: u64,
+        base_next_id: u64,
+        commits: &[CommitRecord],
+    ) -> Result<usize> {
+        let mut log = self.log.write();
+        for (name, rows) in tables {
+            let handle = self.storage.table(&name)?;
+            handle.update(|t| {
+                // Replace, don't merge: an upsert over bulk-loaded state
+                // would resurrect rows deleted before the checkpoint.
+                t.truncate();
+                for row in rows {
+                    t.insert(row)?;
+                }
+                Ok(())
+            })?;
+        }
+        log.base = base_log_len as usize;
+        log.next_id = base_next_id;
+        log.txns.clear();
+        for rec in commits {
+            let changes: Vec<TableChange> = rec
+                .changes
+                .iter()
+                .map(|(table, change)| TableChange::new(table.clone(), change.clone()))
+                .collect();
+            let mut order: Vec<&str> = Vec::new();
+            let mut groups: HashMap<&str, Vec<&RowChange>> = HashMap::new();
+            for c in &changes {
+                if !groups.contains_key(c.table.as_str()) {
+                    order.push(&c.table);
+                }
+                groups.entry(c.table.as_str()).or_default().push(&c.change);
+            }
+            for table in &order {
+                let handle = self.storage.table(table)?;
+                let group = &groups[table];
+                handle.update(|t| {
+                    for change in group {
+                        // Idempotent apply: a commit may be both inside the
+                        // checkpoint image and still framed in the WAL when
+                        // a crash lands between checkpoint and WAL reset.
+                        t.apply(change)?;
+                    }
+                    Ok(())
+                })?;
+            }
+            log.next_id = rec.id;
+            log.txns.push(CommittedTxn {
+                id: TxnId(rec.id),
+                commit_time: Timestamp(rec.commit_ms),
+                changes,
+            });
+        }
+        Ok(commits.len())
+    }
+
+    /// Persist a replication agent's propagation position. No-op without a
+    /// durable store; never forces an fsync of its own (see
+    /// [`DurableStore::append_watermark`]).
+    pub fn persist_watermark(&self, region: &str, cursor: u64, heartbeat_ms: i64) -> Result<()> {
+        let durable = self.durability.read().clone();
+        if let Some(store) = durable {
+            store.append_watermark(&WatermarkRecord {
+                region: region.to_string(),
+                cursor,
+                heartbeat_ms,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint capturing every master table, the given
+    /// replication watermarks, and the log position, then truncate the WAL.
+    /// Returns `false` (doing nothing) when no durable store is attached.
+    pub fn checkpoint(&self, watermarks: &[WatermarkRecord]) -> Result<bool> {
+        let durable = self.durability.read().clone();
+        let Some(store) = durable else {
+            return Ok(false);
+        };
+        // Hold the log read lock so the table images, log length, and id
+        // form one consistent cut: no commit can land in between.
+        let log = self.log.read();
+        let mut tables = Vec::new();
+        for name in self.storage.table_names() {
+            let rows = self.storage.table(&name)?.snapshot().collect_all();
+            tables.push((name, rows));
+        }
+        store.checkpoint(
+            &tables,
+            watermarks,
+            (log.base + log.txns.len()) as u64,
+            log.next_id,
+            self.clock.now().millis(),
+        )?;
+        Ok(true)
     }
 
     /// Beat the heart of `region`: set its heartbeat row to the current
@@ -209,25 +365,33 @@ impl MasterDb {
         )])
     }
 
-    /// Number of committed transactions in the log.
+    /// Number of committed transactions in the log, lifetime — including
+    /// transactions folded into a checkpoint and no longer held in memory.
     pub fn log_len(&self) -> usize {
-        self.log.read().txns.len()
+        let log = self.log.read();
+        log.base + log.txns.len()
     }
 
-    /// Transactions with index `>= cursor`, in commit order. Agents track a
-    /// cursor; the returned slice index becomes the new cursor.
+    /// Transactions with absolute index `>= cursor`, in commit order.
+    /// Agents track a cursor; the returned slice index becomes the new
+    /// cursor. Cursors below the log base (possible after recovery from a
+    /// checkpoint) yield everything still retained — the retained suffix is
+    /// exactly what a checkpoint-restored table image does not yet include,
+    /// and replication applies are idempotent anyway.
     pub fn log_since(&self, cursor: usize) -> Vec<CommittedTxn> {
-        self.log.read().txns.get(cursor..).unwrap_or(&[]).to_vec()
+        let log = self.log.read();
+        let idx = cursor.saturating_sub(log.base);
+        log.txns.get(idx..).unwrap_or(&[]).to_vec()
     }
 
-    /// Transactions with index `>= cursor` whose commit time is at or
-    /// before `as_of` — what a distribution agent propagating at time
+    /// Transactions with absolute index `>= cursor` whose commit time is at
+    /// or before `as_of` — what a distribution agent propagating at time
     /// `t` with delivery delay `d` sees (`as_of = t − d`).
     pub fn log_since_until(&self, cursor: usize, as_of: Timestamp) -> Vec<CommittedTxn> {
-        self.log
-            .read()
-            .txns
-            .get(cursor..)
+        let log = self.log.read();
+        let idx = cursor.saturating_sub(log.base);
+        log.txns
+            .get(idx..)
             .unwrap_or(&[])
             .iter()
             .take_while(|t| t.commit_time <= as_of)
@@ -259,7 +423,7 @@ impl MasterDb {
         // rows and reading the cursor — the copy is a consistent snapshot.
         let log = self.log.read();
         let rows = self.storage.table(table)?.snapshot().collect_all();
-        Ok((rows, log.txns.len()))
+        Ok((rows, log.base + log.txns.len()))
     }
 }
 
@@ -400,5 +564,118 @@ mod tests {
         }
         let stats = db.compute_stats("t").unwrap();
         assert_eq!(stats.row_count, 50);
+    }
+
+    mod durable {
+        use super::*;
+        use rcc_storage::{DurableStore, SyncPolicy};
+        use std::path::{Path, PathBuf};
+
+        fn temp_dir(tag: &str) -> PathBuf {
+            let dir = std::env::temp_dir().join(format!("rcc-master-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        }
+
+        /// Build a master over `dir`, replaying whatever the store holds.
+        fn durable_setup(dir: &Path) -> (MasterDb, SimClock, usize) {
+            let (store, state) = DurableStore::open(dir, SyncPolicy::Always).unwrap();
+            let (db, clock) = setup();
+            let replayed = db
+                .recover(
+                    state.tables,
+                    state.base_log_len,
+                    state.next_id,
+                    &state.commits,
+                )
+                .unwrap();
+            if state.last_clock_ms > 0 {
+                clock.set(Timestamp(state.last_clock_ms));
+            }
+            db.attach_durability(store);
+            (db, clock, replayed)
+        }
+
+        #[test]
+        fn commits_survive_reopen_without_checkpoint() {
+            let dir = temp_dir("wal");
+            {
+                let (db, clock, _) = durable_setup(&dir);
+                db.execute_txn(vec![ins(1, 10)]).unwrap();
+                clock.advance(Duration::from_secs(5));
+                db.execute_txn(vec![ins(2, 20)]).unwrap();
+                db.execute_txn(vec![TableChange::new(
+                    "t",
+                    RowChange::Delete {
+                        key: vec![Value::Int(1)],
+                    },
+                )])
+                .unwrap();
+            } // dropped without checkpoint: the crash path
+            let (db, clock, replayed) = durable_setup(&dir);
+            assert_eq!(replayed, 3);
+            assert_eq!(db.log_len(), 3);
+            let t = db.table("t").unwrap().snapshot();
+            assert_eq!(t.row_count(), 1);
+            assert_eq!(
+                t.get(&[Value::Int(2)]).unwrap().get(1),
+                &Value::Int(20),
+                "deleted row must not resurrect"
+            );
+            assert_eq!(clock.now(), Timestamp(5_000), "clock restored from log");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn checkpoint_truncates_wal_and_preserves_cursors() {
+            let dir = temp_dir("ckpt");
+            {
+                let (db, _, _) = durable_setup(&dir);
+                db.execute_txn(vec![ins(1, 10)]).unwrap();
+                db.execute_txn(vec![ins(2, 20)]).unwrap();
+                assert!(db.checkpoint(&[]).unwrap());
+                assert_eq!(db.durability().unwrap().wal_records(), 0);
+                db.execute_txn(vec![ins(3, 30)]).unwrap();
+            }
+            let (db, _, replayed) = durable_setup(&dir);
+            assert_eq!(replayed, 1, "only the post-checkpoint tail replays");
+            assert_eq!(db.log_len(), 3, "absolute length includes the base");
+            assert_eq!(db.table("t").unwrap().snapshot().row_count(), 3);
+            // A cursor taken before the checkpoint still drains correctly.
+            assert_eq!(db.log_since(2).len(), 1);
+            assert_eq!(db.log_since(0).len(), 1, "clamped to the retained tail");
+            let (_, cursor) = db.snapshot_table("t").unwrap();
+            assert_eq!(cursor, 3);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn watermarks_roundtrip_through_store() {
+            let dir = temp_dir("wm");
+            {
+                let (db, _, _) = durable_setup(&dir);
+                db.persist_watermark("CR1", 7, 4_000).unwrap();
+                db.persist_watermark("CR1", 9, 6_000).unwrap();
+                db.persist_watermark("CR2", 3, -1).unwrap();
+            }
+            let (store, state) = DurableStore::open(&dir, SyncPolicy::Always).unwrap();
+            drop(store);
+            assert_eq!(state.watermarks.len(), 2);
+            let cr1 = state.watermarks.iter().find(|w| w.region == "CR1").unwrap();
+            assert_eq!((cr1.cursor, cr1.heartbeat_ms), (9, 6_000));
+            let cr2 = state.watermarks.iter().find(|w| w.region == "CR2").unwrap();
+            assert_eq!((cr2.cursor, cr2.heartbeat_ms), (3, -1));
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn in_memory_master_is_unaffected() {
+            let (db, _) = setup();
+            assert!(db.durability().is_none());
+            assert!(!db.checkpoint(&[]).unwrap());
+            db.persist_watermark("CR1", 1, 0).unwrap();
+            db.execute_txn(vec![ins(1, 1)]).unwrap();
+            assert_eq!(db.log_len(), 1);
+        }
     }
 }

@@ -12,13 +12,16 @@
 //! * an acyclic lock-acquisition-order graph across `Mutex`/`RwLock`
 //!   fields;
 //! * every `rcc_*` metric literal registered exactly once in
-//!   `rcc-obs/src/names.rs`, with no unused registrations.
+//!   `rcc-obs/src/names.rs`, with no unused registrations;
+//! * no direct `std::fs` / `fs::` file I/O in library sources outside
+//!   `rcc-storage` and `rcc-bench` (durability must flow through the
+//!   storage layer's WAL/checkpoint protocol).
 //!
 //! Violations are fixed at the source, never allowlisted here.
 
 use rcc_lint::source::{
-    check_lock_order, check_metric_names, check_raw_table, collect_registry, prepare, FileKind,
-    SourceFile,
+    check_fs_io, check_lock_order, check_metric_names, check_raw_table, collect_registry, prepare,
+    FileKind, SourceFile,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -136,6 +139,7 @@ fn main() -> ExitCode {
     let mut findings = check_raw_table(&files);
     findings.extend(check_lock_order(&files));
     findings.extend(check_metric_names(&files, &registry, &registry_path));
+    findings.extend(check_fs_io(&files));
 
     for f in &findings {
         eprintln!("{f}");

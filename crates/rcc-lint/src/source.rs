@@ -18,6 +18,11 @@
 //! * **Metric-name discipline** — every `rcc_*` string literal in the
 //!   workspace must be registered exactly once in `rcc-obs`'s
 //!   `names::METRICS` table, and every registered name must be used.
+//! * **File-I/O confinement** — no direct `std::fs` / `fs::` tokens in
+//!   library sources outside `rcc-storage` and `rcc-bench`: durability
+//!   (WAL, checkpoints, recovery) must flow through the storage layer, so
+//!   no other crate may write files the recovery protocol doesn't know
+//!   about.
 //!
 //! Test modules are excluded by truncating each file at its first
 //! `#[cfg(test)]` marker (the repo convention keeps unit tests at the
@@ -51,7 +56,8 @@ pub struct SourceFile {
 /// A Layer-2 finding.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
-    /// Which check fired (`raw-table`, `lock-order`, `metric-names`).
+    /// Which check fired (`raw-table`, `lock-order`, `metric-names`,
+    /// `fs-io`).
     pub check: &'static str,
     /// Offending file.
     pub path: String,
@@ -339,6 +345,73 @@ fn dfs<'a>(
     color.insert(node, 2);
 }
 
+// --------------------------------------------------------------- file I/O
+
+/// Crates whose library sources may touch the filesystem directly.
+const FS_ALLOWED_CRATES: &[&str] = &["rcc-storage", "rcc-bench"];
+
+/// Flag direct file-I/O tokens (`std::fs`, `fs::...`) outside the durable
+/// storage layer.
+///
+/// Everything else must go through `rcc-storage`'s `DurableStore` (or stay
+/// in memory) so that durability, recovery and the WAL-before-publish
+/// protocol cannot be bypassed by ad-hoc file writes. Binary sources
+/// (`src/bin/` measurement rigs and CLIs) are out of scope, like the
+/// raw-`Table` check.
+pub fn check_fs_io(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if FS_ALLOWED_CRATES.contains(&f.crate_name.as_str()) || f.kind != FileKind::Lib {
+            continue;
+        }
+        let t = &f.toks;
+        for i in 0..t.len() {
+            // `std :: fs`
+            if t[i].is_ident("std")
+                && i + 3 < t.len()
+                && t[i + 1].is_punct(':')
+                && t[i + 2].is_punct(':')
+                && t[i + 3].is_ident("fs")
+            {
+                out.push(Finding {
+                    check: "fs-io",
+                    path: f.path.clone(),
+                    line: t[i].line,
+                    message: format!(
+                        "direct std::fs usage outside {}: file I/O must go \
+                         through rcc-storage's durable layer",
+                        FS_ALLOWED_CRATES.join("/")
+                    ),
+                });
+                continue;
+            }
+            // bare `fs :: item` (e.g. after `use std::fs;`), not the tail
+            // of `std :: fs` which the arm above already reported
+            if t[i].is_ident("fs")
+                && i + 2 < t.len()
+                && t[i + 1].is_punct(':')
+                && t[i + 2].is_punct(':')
+                && !(i >= 3
+                    && t[i - 3].is_ident("std")
+                    && t[i - 2].is_punct(':')
+                    && t[i - 1].is_punct(':'))
+            {
+                out.push(Finding {
+                    check: "fs-io",
+                    path: f.path.clone(),
+                    line: t[i].line,
+                    message: format!(
+                        "direct fs:: usage outside {}: file I/O must go \
+                         through rcc-storage's durable layer",
+                        FS_ALLOWED_CRATES.join("/")
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------- metric names
 
 /// Is `s` shaped like a metric name (`rcc_` plus `[a-z0-9_]+`)?
@@ -569,6 +642,87 @@ mod tests {
                 .any(|m| m.contains("rcc_idle_total") && m.contains("never used")),
             "{msgs:?}"
         );
+    }
+
+    #[test]
+    fn fs_io_flagged_outside_storage() {
+        // Mutation: add a std::fs call outside rcc-storage/rcc-bench —
+        // flips clean to failing.
+        let clean = file(
+            "rcc-backend",
+            FileKind::Lib,
+            "fn f(store: &DurableStore) { store.checkpoint().unwrap(); }",
+        );
+        assert!(check_fs_io(&[clean]).is_empty());
+        let dirty = file(
+            "rcc-backend",
+            FileKind::Lib,
+            "fn f() { std::fs::write(\"sneaky\", b\"x\").unwrap(); }",
+        );
+        let findings = check_fs_io(&[dirty]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].check, "fs-io");
+        assert!(findings[0].message.contains("std::fs"), "{findings:?}");
+    }
+
+    #[test]
+    fn bare_fs_path_flagged_once() {
+        // `use std::fs;` then `fs::read(..)`: one finding per site, and
+        // the `std :: fs` arm does not double-report the `fs :: read`.
+        let f = file(
+            "rcc-replication",
+            FileKind::Lib,
+            "use std::fs;\nfn f() { let _ = fs::read(\"x\"); }",
+        );
+        let findings = check_fs_io(&[f]);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 2);
+        let qualified = file(
+            "rcc-replication",
+            FileKind::Lib,
+            "fn f() { let _ = std::fs::read(\"x\"); }",
+        );
+        assert_eq!(check_fs_io(&[qualified]).len(), 1, "no double report");
+    }
+
+    #[test]
+    fn fs_io_allowed_in_storage_bench_bins_and_tests() {
+        for f in [
+            file(
+                "rcc-storage",
+                FileKind::Lib,
+                "fn f() { std::fs::rename(a, b).unwrap(); }",
+            ),
+            file(
+                "rcc-bench",
+                FileKind::Lib,
+                "fn f() { std::fs::write(\"BENCH_wal.json\", s).unwrap(); }",
+            ),
+            file(
+                "rcc-net",
+                FileKind::Bin,
+                "fn main() { std::fs::create_dir_all(\"data\").unwrap(); }",
+            ),
+            file(
+                "rcc-backend",
+                FileKind::Lib,
+                "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { std::fs::remove_dir_all(d); } }",
+            ),
+        ] {
+            assert!(check_fs_io(&[f]).is_empty());
+        }
+    }
+
+    #[test]
+    fn non_fs_idents_ignored() {
+        // Other `fs`-like identifiers and strings must not trip the check.
+        let f = file(
+            "rcc-obs",
+            FileKind::Lib,
+            "const A: &str = \"std::fs\"; fn f(fsyncs: u64) -> u64 { fsyncs }",
+        );
+        assert!(check_fs_io(&[f]).is_empty());
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use plan_cache::PlanCache;
 pub use policy::ViolationPolicy;
 pub use qcache::{QueryResultCache, DEFAULT_QCACHE_CAPACITY};
 pub use result::QueryResult;
-pub use server::MTCache;
+pub use server::{DurabilityStatus, MTCache};
 pub use session::Session;

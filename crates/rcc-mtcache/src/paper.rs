@@ -21,7 +21,9 @@
 use crate::server::MTCache;
 use rcc_common::{Duration, Result};
 use rcc_sql::{parse_statement, Statement};
+use rcc_storage::SyncPolicy;
 use rcc_tpcd::TpcdGenerator;
+use std::path::PathBuf;
 
 /// CR1 propagation interval (seconds) — Table 4.1.
 pub const CR1_INTERVAL_S: i64 = 15;
@@ -30,11 +32,40 @@ pub const CR2_INTERVAL_S: i64 = 10;
 /// Propagation delay for both regions (seconds) — Table 4.1.
 pub const DELAY_S: i64 = 5;
 
+/// Where and how a durable paper rig persists its back-end state.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Directory holding `wal.log` and `pages.db` (created if absent).
+    pub data_dir: PathBuf,
+    /// WAL sync policy for commits.
+    pub sync: SyncPolicy,
+}
+
 /// Build the paper's cache + back-end rig at `scale` (1.0 = the paper's
 /// sizes; tests use much smaller scales — plan *choices* depend on catalog
 /// statistics, whose ratios are scale-invariant).
 pub fn paper_setup(scale: f64, seed: u64) -> Result<MTCache> {
-    let cache = MTCache::new();
+    paper_setup_with(scale, seed, None)
+}
+
+/// [`paper_setup`] over a durable back-end: commits are written ahead to
+/// `data_dir`, and a data directory left by a previous (possibly crashed)
+/// process is recovered — committed rows, the replication log position,
+/// per-region watermarks, and the simulated clock all resume where the
+/// WAL and checkpoint say they were.
+pub fn paper_setup_durable(scale: f64, seed: u64, opts: DurabilityOptions) -> Result<MTCache> {
+    paper_setup_with(scale, seed, Some(opts))
+}
+
+fn paper_setup_with(
+    scale: f64,
+    seed: u64,
+    durability: Option<DurabilityOptions>,
+) -> Result<MTCache> {
+    let cache = match &durability {
+        Some(opts) => MTCache::new_durable(&opts.data_dir, opts.sync)?,
+        None => MTCache::new(),
+    };
 
     // base tables with the paper's physical design
     let cm = rcc_tpcd::customer_meta(cache.catalog().next_table_id());
@@ -47,6 +78,11 @@ pub fn paper_setup(scale: f64, seed: u64) -> Result<MTCache> {
     gen.load_into(|t, rows| cache.bulk_load(t, rows))?;
     cache.analyze("customer")?;
     cache.analyze("orders")?;
+
+    // Recovery replays on top of the deterministic bulk load: checkpoint
+    // images replace whole tables, then the WAL tail re-applies. A no-op
+    // for the in-memory rig.
+    cache.finish_recovery()?;
 
     // currency regions per Table 4.1
     cache.create_region(
@@ -73,6 +109,12 @@ pub fn paper_setup(scale: f64, seed: u64) -> Result<MTCache> {
         "CR2",
         "SELECT o_custkey, o_orderkey, o_totalprice FROM orders",
     )?;
+
+    // Views are populated from the recovered snapshots above; restoring
+    // the watermarks last hands each agent its pre-crash cursor and
+    // heartbeat so currency accounting continues instead of restarting
+    // from zero. A no-op when nothing was recovered.
+    cache.restore_watermarks()?;
     Ok(cache)
 }
 

@@ -26,8 +26,12 @@ use rcc_optimizer::optimize::{Optimized, PlanChoice};
 use rcc_optimizer::{bind_select, optimize, BoundExpr, OptimizerConfig};
 use rcc_replication::{DistributionAgent, ReplicationRuntime};
 use rcc_sql::{parse_statement, Expr, SelectItem, SelectStmt, Statement, TableRef};
-use rcc_storage::{RowChange, StorageEngine, TableStats};
+use rcc_storage::{
+    DurableStore, RecoveredState, RecoveryStats, RowChange, StorageEngine, SyncPolicy, TableStats,
+    WatermarkRecord,
+};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
@@ -71,6 +75,42 @@ pub struct MTCache {
     /// Worker pool for morsel-driven parallel scans; `None` keeps every
     /// scan on the session thread (the default).
     scan_pool: RwLock<Option<Arc<ScanPool>>>,
+    /// Durable store behind the master (None = classic in-memory rig).
+    durability: Option<Arc<DurableStore>>,
+    /// State recovered at open, consumed by [`MTCache::finish_recovery`].
+    recovered: Mutex<Option<RecoveredState>>,
+    /// Watermarks recovered at open, consumed by
+    /// [`MTCache::restore_watermarks`] once regions exist.
+    pending_watermarks: Mutex<Vec<WatermarkRecord>>,
+}
+
+/// Snapshot of the durability subsystem for `/healthz` and diagnostics.
+#[derive(Debug, Clone)]
+pub struct DurabilityStatus {
+    /// WAL sync policy name (`always`, `group`, `never`).
+    pub policy: &'static str,
+    /// WAL size on disk in bytes.
+    pub wal_bytes: u64,
+    /// WAL records since the last checkpoint.
+    pub wal_records: u64,
+    /// Lifetime fsync count.
+    pub wal_fsyncs: u64,
+    /// Buffer-pool frames resident.
+    pub bufpool_frames_in_use: u64,
+    /// Buffer-pool frame budget.
+    pub bufpool_capacity: u64,
+    /// Lifetime buffer-pool evictions.
+    pub bufpool_evictions: u64,
+    /// Sim-clock seconds since the last checkpoint (None before the first).
+    pub last_checkpoint_age_seconds: Option<f64>,
+}
+
+fn sync_policy_name(policy: SyncPolicy) -> &'static str {
+    match policy {
+        SyncPolicy::Always => "always",
+        SyncPolicy::Group => "group",
+        SyncPolicy::Never => "never",
+    }
 }
 
 impl Default for MTCache {
@@ -83,6 +123,21 @@ impl MTCache {
     /// A fresh cache + back-end pair on a shared simulated clock starting
     /// at the epoch.
     pub fn new() -> MTCache {
+        Self::build(None)
+    }
+
+    /// A cache whose back-end master is durable: commits are written ahead
+    /// to `data_dir`'s WAL, and whatever a previous process left there is
+    /// recovered. Call [`MTCache::finish_recovery`] after the schema is
+    /// registered and initial data is loaded (and before the first logged
+    /// transaction), then [`MTCache::restore_watermarks`] once regions and
+    /// views exist.
+    pub fn new_durable(data_dir: &Path, sync: SyncPolicy) -> Result<MTCache> {
+        let (store, state) = DurableStore::open(data_dir, sync)?;
+        Ok(Self::build(Some((store, state))))
+    }
+
+    fn build(durable: Option<(Arc<DurableStore>, RecoveredState)>) -> MTCache {
         let clock = SimClock::new();
         let clock_arc: Arc<dyn Clock> = Arc::new(clock.clone());
         let catalog = Arc::new(Catalog::new());
@@ -101,6 +156,17 @@ impl MTCache {
         journal.set_metrics(Arc::clone(&metrics));
         Self::register_cache_metrics(&metrics, &plan_cache, &master, &cache_storage);
         Self::register_telemetry_metrics(&metrics, &tracer);
+        let (durability, recovered) = match durable {
+            Some((store, state)) => {
+                // Attach before any logged transaction: recovery replay
+                // goes through `MasterDb::recover`, which writes the log
+                // directly and never re-appends to the WAL.
+                master.attach_durability(Arc::clone(&store));
+                Self::register_durability_metrics(&metrics, &store, &clock);
+                (Some(store), Some(state))
+            }
+            None => (None, None),
+        };
         MTCache {
             clock,
             clock_arc,
@@ -123,7 +189,174 @@ impl MTCache {
             slo_queries: AtomicU64::new(0),
             slo_unsanctioned: AtomicU64::new(0),
             scan_pool: RwLock::new(None),
+            durability,
+            recovered: Mutex::new(recovered),
+            pending_watermarks: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Apply state recovered by [`MTCache::new_durable`]: restore the
+    /// checkpoint's table images, replay the WAL tail, move the simulated
+    /// clock forward to the last persisted instant (so currency accounting
+    /// is continuous across the restart), and journal a `recovery` event
+    /// with the replay stats. A fresh data dir (nothing to recover) journals
+    /// no event. Returns `None` for in-memory caches.
+    ///
+    /// Must run after every table the recovered state references has been
+    /// registered and loaded, and before regions and views are created.
+    pub fn finish_recovery(&self) -> Result<Option<RecoveryStats>> {
+        let Some(state) = self.recovered.lock().take() else {
+            return Ok(None);
+        };
+        self.master.recover(
+            state.tables,
+            state.base_log_len,
+            state.next_id,
+            &state.commits,
+        )?;
+        if state.last_clock_ms > self.clock.now().millis() {
+            self.clock.set(Timestamp(state.last_clock_ms));
+        }
+        *self.pending_watermarks.lock() = state.watermarks;
+        let stats = state.stats;
+        // A genuinely fresh data dir recovers nothing — journaling a
+        // zero-stats `recovery` event would be noise (and would defeat
+        // "did we actually recover?" checks against SHOW EVENTS).
+        let recovered_anything = state.has_checkpoint
+            || stats.commits_replayed > 0
+            || stats.truncated_bytes > 0
+            || stats.watermarks_restored > 0;
+        if !recovered_anything {
+            return Ok(Some(stats));
+        }
+        self.journal.record(
+            self.clock.now().millis(),
+            EventKind::Recovery,
+            format!(
+                "replayed {} commits, truncated {} tail bytes, restored {} watermarks, \
+                 {} checkpoint tables ({} rows)",
+                stats.commits_replayed,
+                stats.truncated_bytes,
+                stats.watermarks_restored,
+                stats.checkpoint_tables,
+                stats.checkpoint_rows,
+            ),
+            "",
+            "",
+            0,
+        );
+        Ok(Some(stats))
+    }
+
+    /// Hand each recovered per-region watermark back to its distribution
+    /// agent (cursor clamped to the recovered log length — torn-tail
+    /// truncation can leave a persisted cursor past the end, and replaying
+    /// a little extra is idempotent). Returns how many were restored.
+    ///
+    /// Must run after regions and views are created; a watermark for a
+    /// region that no longer exists is dropped.
+    pub fn restore_watermarks(&self) -> Result<usize> {
+        let pending = std::mem::take(&mut *self.pending_watermarks.lock());
+        let log_len = self.master.log_len();
+        let mut restored = 0;
+        for wm in pending {
+            let cursor = (wm.cursor as usize).min(log_len);
+            let heartbeat = (wm.heartbeat_ms >= 0).then_some(Timestamp(wm.heartbeat_ms));
+            let mut result = Ok(());
+            let found = self.runtime.with_agent(&wm.region, |agent| {
+                result = agent.restore_watermark(cursor, heartbeat);
+            });
+            result?;
+            if found {
+                restored += 1;
+            }
+        }
+        Ok(restored)
+    }
+
+    /// Write a checkpoint capturing the master tables and every region's
+    /// current replication watermark, then truncate the WAL. Returns
+    /// `false` (doing nothing) for in-memory caches. Used by graceful
+    /// shutdown and `rccd`'s periodic checkpointer.
+    pub fn checkpoint(&self) -> Result<bool> {
+        let watermarks: Vec<WatermarkRecord> = self
+            .runtime
+            .watermarks()
+            .into_iter()
+            .map(|(region, cursor, heartbeat)| WatermarkRecord {
+                region,
+                cursor: cursor as u64,
+                heartbeat_ms: heartbeat.map_or(-1, |t| t.millis()),
+            })
+            .collect();
+        self.master.checkpoint(&watermarks)
+    }
+
+    /// Durability snapshot for `/healthz`; `None` for in-memory caches.
+    pub fn durability_status(&self) -> Option<DurabilityStatus> {
+        let store = self.durability.as_ref()?;
+        let now_ms = self.clock.now().millis();
+        Some(DurabilityStatus {
+            policy: sync_policy_name(store.policy()),
+            wal_bytes: store.wal_bytes(),
+            wal_records: store.wal_records(),
+            wal_fsyncs: store.wal_fsyncs(),
+            bufpool_frames_in_use: store.bufpool_frames_in_use(),
+            bufpool_capacity: store.bufpool_capacity(),
+            bufpool_evictions: store.bufpool_evictions(),
+            last_checkpoint_age_seconds: store
+                .last_checkpoint_ms()
+                .map(|ms| (now_ms.saturating_sub(ms)) as f64 / 1000.0),
+        })
+    }
+
+    /// Describe the durability metric names and mirror the store's WAL and
+    /// buffer-pool counters into the registry via a collector.
+    fn register_durability_metrics(
+        metrics: &Arc<MetricsRegistry>,
+        store: &Arc<DurableStore>,
+        clock: &SimClock,
+    ) {
+        metrics.describe("rcc_wal_bytes", "Write-ahead log size on disk in bytes.");
+        metrics.describe(
+            "rcc_wal_records_total",
+            "WAL records appended since the last checkpoint reset the log.",
+        );
+        metrics.describe(
+            "rcc_wal_fsyncs_total",
+            "fsync calls issued by the WAL (per-commit or group-batched).",
+        );
+        metrics.describe(
+            "rcc_wal_checkpoint_age_seconds",
+            "Simulated seconds since the last completed checkpoint.",
+        );
+        metrics.describe(
+            "rcc_bufpool_frames_in_use",
+            "Checkpoint buffer-pool frames currently resident.",
+        );
+        metrics.describe(
+            "rcc_bufpool_evictions_total",
+            "Checkpoint buffer-pool frames evicted (clock second-chance).",
+        );
+        let wal_bytes = metrics.gauge("rcc_wal_bytes", &[]);
+        let wal_records = metrics.counter("rcc_wal_records_total", &[]);
+        let wal_fsyncs = metrics.counter("rcc_wal_fsyncs_total", &[]);
+        let ckpt_age = metrics.gauge("rcc_wal_checkpoint_age_seconds", &[]);
+        let frames = metrics.gauge("rcc_bufpool_frames_in_use", &[]);
+        let evictions = metrics.counter("rcc_bufpool_evictions_total", &[]);
+        let store = Arc::clone(store);
+        let clock = clock.clone();
+        metrics.register_collector(move || {
+            wal_bytes.set(store.wal_bytes() as f64);
+            wal_records.set(store.wal_records());
+            wal_fsyncs.set(store.wal_fsyncs());
+            frames.set(store.bufpool_frames_in_use() as f64);
+            evictions.set(store.bufpool_evictions());
+            let age = store
+                .last_checkpoint_ms()
+                .map(|ms| (clock.now().millis().saturating_sub(ms)) as f64 / 1000.0);
+            ckpt_age.set(age.unwrap_or(-1.0));
+        });
     }
 
     /// Configure morsel-driven parallel scans: `workers > 1` installs a
@@ -263,7 +496,7 @@ impl MTCache {
         metrics.describe(
             "rcc_events_total",
             "Structured journal events recorded, per kind \
-             (degradation, violation, failover, lint).",
+             (degradation, violation, failover, lint, recovery).",
         );
         metrics.describe(
             "rcc_trace_dropped_spans_total",

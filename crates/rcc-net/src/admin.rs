@@ -1,17 +1,18 @@
 //! The admin HTTP endpoint: operational telemetry over plain HTTP/1.0.
 //!
 //! A deliberately tiny, dependency-free HTTP listener for scrapers and
-//! humans with `curl` — not a general web server. It answers `GET` only,
-//! ignores request headers, and closes the connection after each response
-//! (HTTP/1.0 semantics), which is exactly what Prometheus-style scraping
-//! and shell debugging need:
+//! humans with `curl` — not a general web server. It answers `GET` (plus
+//! one `POST` route), ignores request headers, and closes the connection
+//! after each response (HTTP/1.0 semantics), which is exactly what
+//! Prometheus-style scraping and shell debugging need:
 //!
 //! | route      | content                                               |
 //! |------------|-------------------------------------------------------|
 //! | `/metrics` | the cache registry in Prometheus text format          |
 //! | `/traces`  | recently finished query traces (merged span trees)    |
 //! | `/events`  | the structured event journal as JSON                  |
-//! | `/healthz` | liveness + per-region replication lag + pool occupancy |
+//! | `/healthz` | liveness + per-region replication lag + pool occupancy + durability (WAL size, buffer-pool occupancy, checkpoint age) |
+//! | `POST /shutdown` | request a graceful stop: the hosting process polls [`AdminServer::stop_requested`] and (in durable mode) writes a final checkpoint before exiting |
 //!
 //! Every request bumps `rcc_admin_requests_total{path=...}`; unknown
 //! paths are labelled `other` so the counter's cardinality stays fixed.
@@ -43,6 +44,7 @@ const TRACES_SHOWN: usize = 16;
 pub struct AdminServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    stop_requested: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -60,9 +62,11 @@ impl AdminServer {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let stop_requested = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let shutdown = Arc::clone(&shutdown);
+            let stop_requested = Arc::clone(&stop_requested);
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("rcc-admin-accept".into())
@@ -74,9 +78,12 @@ impl AdminServer {
                         let Ok(stream) = stream else { continue };
                         let cache = Arc::clone(&cache);
                         let remote = remote.clone();
+                        let stop_requested = Arc::clone(&stop_requested);
                         if let Ok(handle) = std::thread::Builder::new()
                             .name("rcc-admin-conn".into())
-                            .spawn(move || handle_request(&cache, remote.as_deref(), stream))
+                            .spawn(move || {
+                                handle_request(&cache, remote.as_deref(), &stop_requested, stream)
+                            })
                         {
                             conns.lock().push(handle);
                         }
@@ -86,6 +93,7 @@ impl AdminServer {
         Ok(AdminServer {
             addr,
             shutdown,
+            stop_requested,
             accept: Some(accept),
             conns,
         })
@@ -94,6 +102,14 @@ impl AdminServer {
     /// The bound address (useful with an ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Whether a client has asked the hosting process to stop
+    /// (`POST /shutdown`). The admin server only records the request; the
+    /// host polls this and owns the actual teardown (final checkpoint,
+    /// process exit).
+    pub fn stop_requested(&self) -> bool {
+        self.stop_requested.load(Ordering::SeqCst)
     }
 
     /// Stop accepting and join every in-flight request thread.
@@ -119,45 +135,63 @@ impl Drop for AdminServer {
     }
 }
 
-fn handle_request(cache: &MTCache, remote: Option<&TcpRemoteService>, mut stream: TcpStream) {
+fn handle_request(
+    cache: &MTCache,
+    remote: Option<&TcpRemoteService>,
+    stop_requested: &AtomicBool,
+    mut stream: TcpStream,
+) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() || stream.set_nodelay(true).is_err() {
         return;
     }
-    let Some(path) = read_request_path(&mut stream) else {
+    let Some((method, path)) = read_request_path(&mut stream) else {
         let _ = write_response(&mut stream, 400, "text/plain", "bad request\n");
         return;
     };
     let label = match path.as_str() {
-        "/metrics" | "/traces" | "/events" | "/healthz" => path.as_str(),
+        "/metrics" | "/traces" | "/events" | "/healthz" | "/shutdown" => path.as_str(),
         _ => "other",
     };
     cache
         .metrics()
         .counter("rcc_admin_requests_total", &[("path", label)])
         .inc();
-    let result = match path.as_str() {
-        "/metrics" => write_response(
+    let result = match (method.as_str(), path.as_str()) {
+        ("GET", "/metrics") => write_response(
             &mut stream,
             200,
             "text/plain; version=0.0.4",
             &cache.metrics().render_prometheus(),
         ),
-        "/traces" => write_response(&mut stream, 200, "text/plain", &render_traces(cache)),
-        "/events" => write_response(&mut stream, 200, "application/json", &render_events(cache)),
-        "/healthz" => write_response(
+        ("GET", "/traces") => write_response(&mut stream, 200, "text/plain", &render_traces(cache)),
+        ("GET", "/events") => {
+            write_response(&mut stream, 200, "application/json", &render_events(cache))
+        }
+        ("GET", "/healthz") => write_response(
             &mut stream,
             200,
             "application/json",
             &render_health(cache, remote),
         ),
+        ("POST", "/shutdown") => {
+            stop_requested.store(true, Ordering::SeqCst);
+            write_response(
+                &mut stream,
+                200,
+                "application/json",
+                "{\"shutting_down\":true}\n",
+            )
+        }
         _ => write_response(&mut stream, 404, "text/plain", "not found\n"),
     };
     let _ = result;
 }
 
-/// Read the request head (bounded, with a deadline) and return the path
-/// from the request line, or `None` if the request is malformed.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// Read the request head (bounded, with a deadline) and return the method
+/// and path from the request line, or `None` if the request is malformed.
+/// Only `GET` and `POST` are admitted; routing decides which combinations
+/// exist.
+fn read_request_path(stream: &mut TcpStream) -> Option<(String, String)> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
     let started = std::time::Instant::now();
@@ -179,13 +213,14 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     let head = String::from_utf8_lossy(&buf);
     let line = head.lines().next()?;
     let mut parts = line.split_whitespace();
-    let method = parts.next()?;
+    let method = parts.next()?.to_ascii_uppercase();
     let target = parts.next()?;
-    if !method.eq_ignore_ascii_case("GET") {
+    if method != "GET" && method != "POST" {
         return None;
     }
     // strip any query string: routes take no parameters
-    Some(target.split('?').next().unwrap_or(target).to_string())
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Some((method, path))
 }
 
 fn write_response(
@@ -271,6 +306,28 @@ fn render_health(cache: &MTCache, remote: Option<&TcpRemoteService>) -> String {
             out,
             ",\"backend_pool\":{{\"idle\":{idle},\"in_use\":{in_use}}}"
         );
+    }
+    if let Some(d) = cache.durability_status() {
+        let _ = write!(
+            out,
+            ",\"durability\":{{\"policy\":{},\"wal_bytes\":{},\"wal_records\":{},\
+             \"wal_fsyncs\":{},\"bufpool_frames_in_use\":{},\"bufpool_capacity\":{},\
+             \"bufpool_evictions\":{},\"last_checkpoint_age_seconds\":",
+            json_str(d.policy),
+            d.wal_bytes,
+            d.wal_records,
+            d.wal_fsyncs,
+            d.bufpool_frames_in_use,
+            d.bufpool_capacity,
+            d.bufpool_evictions,
+        );
+        match d.last_checkpoint_age_seconds {
+            Some(age) => {
+                let _ = write!(out, "{age:.3}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
     }
     out.push_str("}\n");
     out
@@ -366,6 +423,62 @@ mod tests {
         );
         assert_eq!(snap.counter("rcc_admin_requests_total{path=\"other\"}"), 1);
         admin.shutdown();
+    }
+
+    #[test]
+    fn post_shutdown_sets_stop_flag() {
+        let cache = Arc::new(MTCache::new());
+        let mut admin = AdminServer::spawn(Arc::clone(&cache), None, "127.0.0.1:0").unwrap();
+        let addr = admin.addr();
+        assert!(!admin.stop_requested());
+
+        // GET on /shutdown must not trigger it
+        let (status, _) = get(addr, "/shutdown");
+        assert_eq!(status, 404);
+        assert!(!admin.stop_requested());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /shutdown HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        BufReader::new(stream).read_to_string(&mut body).unwrap();
+        assert!(body.contains("\"shutting_down\":true"), "{body}");
+        assert!(admin.stop_requested());
+        admin.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_durability() {
+        let cache = Arc::new(MTCache::new());
+        assert!(
+            !render_health(&cache, None).contains("durability"),
+            "in-memory rig has no durability section"
+        );
+
+        let dir = std::env::temp_dir().join(format!("rcc-admin-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Arc::new(MTCache::new_durable(&dir, rcc_storage::SyncPolicy::Always).unwrap());
+        cache
+            .execute("CREATE TABLE t (k INT, PRIMARY KEY (k))")
+            .unwrap();
+        cache.execute("INSERT INTO t VALUES (1)").unwrap();
+        let body = render_health(&cache, None);
+        assert!(
+            body.contains("\"durability\":{\"policy\":\"always\""),
+            "{body}"
+        );
+        assert!(body.contains("\"wal_records\":"), "{body}");
+        assert!(body.contains("\"bufpool_capacity\":"), "{body}");
+        assert!(
+            body.contains("\"last_checkpoint_age_seconds\":null"),
+            "{body}"
+        );
+        cache.checkpoint().unwrap();
+        let body = render_health(&cache, None);
+        assert!(
+            body.contains("\"last_checkpoint_age_seconds\":0.000"),
+            "{body}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

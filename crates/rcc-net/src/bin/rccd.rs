@@ -9,13 +9,27 @@
 //! ```text
 //! rccd [--listen ADDR] [--backend-listen ADDR] [--admin-addr ADDR]
 //!      [--scale F] [--seed N] [--max-connections N] [--scan-workers N]
+//!      [--data-dir PATH] [--wal-sync always|group|never]
+//!      [--checkpoint-secs N]
 //! ```
+//!
+//! With `--data-dir` the back-end runs durably: commits are written ahead
+//! to `PATH/wal.log` before publishing, a checkpoint is written to
+//! `PATH/pages.db` every `--checkpoint-secs` of simulated time (0
+//! disables), and a restart from the same directory recovers committed
+//! tables plus per-region replication watermarks, so currency accounting
+//! resumes where it left off. Without the flag everything stays in memory.
+//!
+//! With `--admin-addr`, `POST /shutdown` on the admin endpoint stops the
+//! daemon gracefully: a final checkpoint is written (durable mode) before
+//! the process exits cleanly.
 
-use rcc_mtcache::paper::{paper_setup, warm_up};
+use rcc_mtcache::paper::{paper_setup, paper_setup_durable, warm_up, DurabilityOptions};
 use rcc_net::{
     AdminServer, BackendNetServer, NetServer, NetServerConfig, PoolConfig, RetryPolicy,
     TcpRemoteService,
 };
+use rcc_storage::SyncPolicy;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,6 +42,9 @@ struct Options {
     seed: u64,
     max_connections: usize,
     scan_workers: usize,
+    data_dir: Option<std::path::PathBuf>,
+    wal_sync: SyncPolicy,
+    checkpoint_secs: u64,
 }
 
 impl Default for Options {
@@ -40,6 +57,9 @@ impl Default for Options {
             seed: 42,
             max_connections: NetServerConfig::default().max_connections,
             scan_workers: rcc_common::default_scan_workers(),
+            data_dir: None,
+            wal_sync: SyncPolicy::Always,
+            checkpoint_secs: 60,
         }
     }
 }
@@ -73,11 +93,31 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--scan-workers: {e}"))?
             }
+            "--data-dir" => opts.data_dir = Some(value("--data-dir")?.into()),
+            "--wal-sync" => {
+                opts.wal_sync = match value("--wal-sync")?.as_str() {
+                    "always" => SyncPolicy::Always,
+                    "group" => SyncPolicy::Group,
+                    "never" => SyncPolicy::Never,
+                    other => {
+                        return Err(format!(
+                            "--wal-sync: expected always|group|never, got {other}"
+                        ))
+                    }
+                }
+            }
+            "--checkpoint-secs" => {
+                opts.checkpoint_secs = value("--checkpoint-secs")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-secs: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: rccd [--listen ADDR] [--backend-listen ADDR] \
                      [--admin-addr ADDR] [--scale F] [--seed N] \
-                     [--max-connections N] [--scan-workers N]"
+                     [--max-connections N] [--scan-workers N] \
+                     [--data-dir PATH] [--wal-sync always|group|never] \
+                     [--checkpoint-secs N]"
                 );
                 std::process::exit(0);
             }
@@ -109,7 +149,26 @@ fn run(opts: Options) -> Result<(), String> {
         "rccd: building the paper rig (scale {}, seed {})...",
         opts.scale, opts.seed
     );
-    let cache = paper_setup(opts.scale, opts.seed).map_err(|e| e.to_string())?;
+    let cache = match &opts.data_dir {
+        Some(dir) => {
+            eprintln!(
+                "rccd: durable back-end at {} (wal-sync {:?}, checkpoint every {}s)",
+                dir.display(),
+                opts.wal_sync,
+                opts.checkpoint_secs
+            );
+            paper_setup_durable(
+                opts.scale,
+                opts.seed,
+                DurabilityOptions {
+                    data_dir: dir.clone(),
+                    sync: opts.wal_sync,
+                },
+            )
+            .map_err(|e| e.to_string())?
+        }
+        None => paper_setup(opts.scale, opts.seed).map_err(|e| e.to_string())?,
+    };
     warm_up(&cache).map_err(|e| e.to_string())?;
     cache.set_scan_workers(opts.scan_workers);
     eprintln!("rccd: scan parallelism {}", opts.scan_workers.max(1));
@@ -152,17 +211,34 @@ fn run(opts: Options) -> Result<(), String> {
     )
     .map_err(|e| format!("front-end listener: {e}"))?;
 
-    // keep replication heartbeats live: map wall time onto the sim clock
+    // keep replication heartbeats live: map wall time onto the sim clock;
+    // in durable mode, also checkpoint every `--checkpoint-secs` of sim time
     let pump = Arc::clone(&cache);
+    let checkpoint_every = if opts.data_dir.is_some() && opts.checkpoint_secs > 0 {
+        Some(opts.checkpoint_secs * 10) // ticks of 100 ms
+    } else {
+        None
+    };
     std::thread::Builder::new()
         .name("rcc-clock-pump".into())
-        .spawn(move || loop {
-            std::thread::sleep(Duration::from_millis(100));
-            if pump
-                .advance(rcc_common::Duration::from_millis(100))
-                .is_err()
-            {
-                break;
+        .spawn(move || {
+            let mut ticks: u64 = 0;
+            loop {
+                std::thread::sleep(Duration::from_millis(100));
+                if pump
+                    .advance(rcc_common::Duration::from_millis(100))
+                    .is_err()
+                {
+                    break;
+                }
+                ticks += 1;
+                if let Some(every) = checkpoint_every {
+                    if ticks.is_multiple_of(every) {
+                        if let Err(e) = pump.checkpoint() {
+                            eprintln!("rccd: checkpoint failed: {e}");
+                        }
+                    }
+                }
             }
         })
         .map_err(|e| format!("clock pump: {e}"))?;
@@ -180,8 +256,23 @@ fn run(opts: Options) -> Result<(), String> {
             backend_srv.addr()
         ),
     }
-    // serve until killed
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
+    // serve until killed, or — with an admin endpoint — until a client
+    // POSTs /shutdown, which gets a final checkpoint before a clean exit
+    match &admin {
+        Some(a) => {
+            while !a.stop_requested() {
+                std::thread::sleep(Duration::from_secs(1));
+            }
+            match cache.checkpoint() {
+                Ok(true) => eprintln!("rccd: shutdown checkpoint written"),
+                Ok(false) => {}
+                Err(e) => eprintln!("rccd: shutdown checkpoint failed: {e}"),
+            }
+            eprintln!("rccd: shutting down");
+            Ok(())
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
     }
 }

@@ -1,7 +1,8 @@
 //! Bounded structured event journal.
 //!
 //! The cache records notable control-plane events — policy degradations,
-//! currency violations, back-end failovers, lint findings — into a fixed
+//! currency violations, back-end failovers, lint findings, durability
+//! recoveries — into a fixed
 //! capacity ring so operators can answer "what happened and why" without
 //! scraping logs. The journal is queryable via `SHOW EVENTS` and the admin
 //! endpoint's `/events` route; lifetime counts are mirrored into the
@@ -24,6 +25,8 @@ pub enum EventKind {
     Failover,
     /// The currency-clause linter flagged a statement at compile time.
     Lint,
+    /// A durable back-end restarted and replayed its WAL/checkpoint state.
+    Recovery,
 }
 
 impl EventKind {
@@ -34,6 +37,7 @@ impl EventKind {
             EventKind::Violation => "violation",
             EventKind::Failover => "failover",
             EventKind::Lint => "lint",
+            EventKind::Recovery => "recovery",
         }
     }
 }
@@ -217,5 +221,6 @@ mod tests {
         assert_eq!(EventKind::Violation.name(), "violation");
         assert_eq!(EventKind::Failover.name(), "failover");
         assert_eq!(EventKind::Lint.name(), "lint");
+        assert_eq!(EventKind::Recovery.name(), "recovery");
     }
 }

@@ -16,6 +16,14 @@ pub const METRICS: &[(&str, &str)] = &[
         "Admin HTTP requests served per route",
     ),
     (
+        "rcc_bufpool_evictions_total",
+        "Checkpoint buffer-pool frame evictions",
+    ),
+    (
+        "rcc_bufpool_frames_in_use",
+        "Checkpoint buffer-pool frames resident",
+    ),
+    (
         "rcc_currency_slack_seconds",
         "Promised bound minus delivered staleness",
     ),
@@ -135,6 +143,16 @@ pub const METRICS: &[(&str, &str)] = &[
     (
         "rcc_verify_failures_total",
         "Plan conformance audits failed",
+    ),
+    ("rcc_wal_bytes", "Write-ahead log size on disk"),
+    (
+        "rcc_wal_checkpoint_age_seconds",
+        "Sim-clock seconds since the last checkpoint",
+    ),
+    ("rcc_wal_fsyncs_total", "WAL fsync calls issued"),
+    (
+        "rcc_wal_records_total",
+        "WAL records since the last checkpoint",
     ),
     ("rcc_wire_bytes_decoded_total", "Protocol bytes decoded"),
     ("rcc_wire_bytes_encoded_total", "Protocol bytes encoded"),

@@ -264,6 +264,29 @@ impl DistributionAgent {
         Ok(())
     }
 
+    /// Restore a persisted propagation position after a back-end restart:
+    /// reset the log cursor and, when known, re-seed the local heartbeat
+    /// row so currency accounting resumes from the pre-crash watermark
+    /// instead of silently re-reporting staleness from zero.
+    ///
+    /// The caller is expected to clamp `cursor` to the recovered master's
+    /// `log_len()`; setting it low is always safe because propagation
+    /// applies are idempotent.
+    pub fn restore_watermark(&mut self, cursor: usize, heartbeat: Option<Timestamp>) -> Result<()> {
+        self.cursor = cursor;
+        if let Some(at) = heartbeat {
+            let row = Row::new(vec![
+                Value::Int(self.region.id.raw() as i64),
+                Value::Timestamp(at.millis()),
+            ]);
+            let handle = self
+                .cache_storage
+                .table(&self.region.heartbeat_table_name())?;
+            handle.update(|t| t.upsert(row))?;
+        }
+        Ok(())
+    }
+
     /// The timestamp currently stored in this region's local heartbeat
     /// table (None before the first heartbeat arrives).
     pub fn local_heartbeat(&self) -> Option<Timestamp> {

@@ -162,6 +162,14 @@ impl ReplicationRuntime {
                             )
                             .add(applied as u64);
                     }
+                    // Persist the agent's new position so a restarted
+                    // back-end restores per-region currency accounting
+                    // (no-op when the master runs in-memory).
+                    self.master.persist_watermark(
+                        &r.agent.region().name,
+                        r.agent.cursor() as u64,
+                        r.agent.local_heartbeat().map_or(-1, |t| t.millis()),
+                    )?;
                 }
             }
         }
@@ -181,6 +189,22 @@ impl ReplicationRuntime {
             .iter()
             .find(|r| r.agent.region().name.eq_ignore_ascii_case(region_name))
             .and_then(|r| r.agent.local_heartbeat())
+    }
+
+    /// Every agent's `(region, cursor, local heartbeat)` — the watermarks a
+    /// checkpoint persists so a restart can resume currency accounting.
+    pub fn watermarks(&self) -> Vec<(String, usize, Option<Timestamp>)> {
+        let regions = self.regions.lock();
+        regions
+            .iter()
+            .map(|r| {
+                (
+                    r.agent.region().name.clone(),
+                    r.agent.cursor(),
+                    r.agent.local_heartbeat(),
+                )
+            })
+            .collect()
     }
 }
 

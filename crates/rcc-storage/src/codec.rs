@@ -1,0 +1,319 @@
+//! Binary codec for durable records: values, rows, and row changes.
+//!
+//! Every on-disk artifact (WAL frames, checkpoint pages) serializes rows
+//! through this module so the format has a single definition. The encoding
+//! is little-endian and length-prefixed:
+//!
+//! ```text
+//! value   := tag:u8 payload
+//!            tag 0 Null | 1 Int(i64) | 2 Float(f64 bits) |
+//!            3 Str(len:u32 bytes) | 4 Bool(u8) | 5 Timestamp(i64)
+//! row     := count:u32 value*
+//! change  := tag:u8 ...
+//!            tag 1 Insert(row) | 2 Update(key:row new:row) | 3 Delete(key:row)
+//! ```
+//!
+//! Decoding is strict: unknown tags, short buffers, and trailing garbage in
+//! fixed-width fields surface as [`Error::Storage`] so corruption is caught
+//! at the frame that carries it rather than misread as data.
+
+use rcc_common::{Error, Result, Row, Value};
+
+use crate::table::RowChange;
+
+/// CRC32 (IEEE 802.3, polynomial `0xEDB88320`) over `bytes`.
+///
+/// Hand-rolled table-driven implementation: the workspace is offline and
+/// vendors no checksum crate, and WAL framing only needs the standard
+/// reflected CRC32.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        let idx = (crc ^ u32::from(b)) & 0xFF;
+        crc = (crc >> 8) ^ TABLE[idx as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Append the encoding of `value` to `out`.
+pub fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(0),
+        Value::Int(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Float(v) => {
+            out.push(2);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bool(v) => {
+            out.push(4);
+            out.push(u8::from(*v));
+        }
+        Value::Timestamp(ms) => {
+            out.push(5);
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
+    }
+}
+
+/// Append the encoding of `values` (count-prefixed) to `out`.
+pub fn encode_values(values: &[Value], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        encode_value(v, out);
+    }
+}
+
+/// Append the encoding of `change` to `out`.
+pub fn encode_change(change: &RowChange, out: &mut Vec<u8>) {
+    match change {
+        RowChange::Insert(row) => {
+            out.push(1);
+            encode_values(row.values(), out);
+        }
+        RowChange::Update { key, row } => {
+            out.push(2);
+            encode_values(key, out);
+            encode_values(row.values(), out);
+        }
+        RowChange::Delete { key } => {
+            out.push(3);
+            encode_values(key, out);
+        }
+    }
+}
+
+/// Append a length-prefixed UTF-8 string to `out`.
+pub fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Strict cursor over an encoded buffer; every read checks bounds.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole buffer has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Storage(format!(
+                "record truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Storage("record holds invalid UTF-8".into()))
+    }
+
+    /// Decode one [`Value`].
+    pub fn value(&mut self) -> Result<Value> {
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.i64()?)),
+            2 => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            3 => Ok(Value::Str(self.str()?)),
+            4 => match self.u8()? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                b => Err(Error::Storage(format!("invalid bool byte {b}"))),
+            },
+            5 => Ok(Value::Timestamp(self.i64()?)),
+            tag => Err(Error::Storage(format!("unknown value tag {tag}"))),
+        }
+    }
+
+    /// Decode a count-prefixed list of values.
+    pub fn values(&mut self) -> Result<Vec<Value>> {
+        let count = self.u32()? as usize;
+        // Guard against absurd counts from corrupt frames before allocating.
+        if count > self.remaining() {
+            return Err(Error::Storage(format!(
+                "value count {count} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.value()?);
+        }
+        Ok(out)
+    }
+
+    /// Decode one [`RowChange`].
+    pub fn change(&mut self) -> Result<RowChange> {
+        match self.u8()? {
+            1 => Ok(RowChange::Insert(Row::new(self.values()?))),
+            2 => {
+                let key = self.values()?;
+                let row = Row::new(self.values()?);
+                Ok(RowChange::Update { key, row })
+            }
+            3 => Ok(RowChange::Delete {
+                key: self.values()?,
+            }),
+            tag => Err(Error::Storage(format!("unknown change tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_change(change: &RowChange) -> RowChange {
+        let mut buf = Vec::new();
+        encode_change(change, &mut buf);
+        let mut r = Reader::new(&buf);
+        let decoded = r.change().unwrap();
+        assert!(r.is_exhausted());
+        decoded
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn value_roundtrip_all_variants() {
+        let values = vec![
+            Value::Null,
+            Value::Int(i64::MIN),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Str("héllo \u{1F980}".into()),
+            Value::Bool(true),
+            Value::Timestamp(1_700_000_000_123),
+        ];
+        let mut buf = Vec::new();
+        encode_values(&values, &mut buf);
+        let decoded = Reader::new(&buf).values().unwrap();
+        assert_eq!(decoded.len(), values.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            match (a, b) {
+                (Value::Float(x), Value::Float(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn change_roundtrip() {
+        let insert = RowChange::Insert(Row::new(vec![Value::Int(7), Value::Str("x".into())]));
+        assert_eq!(roundtrip_change(&insert), insert);
+        let update = RowChange::Update {
+            key: vec![Value::Int(7)],
+            row: Row::new(vec![Value::Int(7), Value::Str("y".into())]),
+        };
+        assert_eq!(roundtrip_change(&update), update);
+        let delete = RowChange::Delete {
+            key: vec![Value::Int(7)],
+        };
+        assert_eq!(roundtrip_change(&delete), delete);
+    }
+
+    #[test]
+    fn truncated_buffer_is_an_error() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Str("hello".into()), &mut buf);
+        for cut in 0..buf.len() {
+            assert!(Reader::new(&buf[..cut]).value().is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_errors() {
+        assert!(Reader::new(&[9]).value().is_err());
+        assert!(Reader::new(&[0]).change().is_err());
+        assert!(Reader::new(&[4, 2]).value().is_err());
+    }
+
+    #[test]
+    fn hostile_count_does_not_overallocate() {
+        let mut buf = vec![];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Reader::new(&buf).values().is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Page-granular disk manager for checkpoint files.
+//!
+//! A checkpoint file is an array of fixed-size pages addressed by page id.
+//! The [`DiskManager`] owns the file handle and does nothing clever — all
+//! caching, eviction, and dirty tracking live in [`crate::bufpool`]. Pages
+//! are 4 KiB; page 0 is reserved by the checkpoint layer for its header.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rcc_common::{Error, Result};
+
+/// Fixed page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Storage(format!("pager {op} {}: {e}", path.display()))
+}
+
+/// Owns one page file; reads and writes whole pages by id.
+pub struct DiskManager {
+    path: PathBuf,
+    file: Mutex<File>,
+    pages: AtomicU64,
+}
+
+impl DiskManager {
+    /// Open (creating if absent) the page file at `path`. A file whose
+    /// length is not a whole number of pages is rejected as corrupt.
+    pub fn open(path: &Path) -> Result<DiskManager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        let len = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(Error::Storage(format!(
+                "pager open {}: length {len} is not page-aligned",
+                path.display()
+            )));
+        }
+        Ok(DiskManager {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            pages: AtomicU64::new(len / PAGE_SIZE as u64),
+        })
+    }
+
+    /// Number of pages currently in the file.
+    pub fn num_pages(&self) -> u64 {
+        self.pages.load(Ordering::Relaxed)
+    }
+
+    /// Extend the file by one zeroed page; returns the new page id.
+    pub fn allocate(&self) -> Result<u64> {
+        let file = self.file.lock();
+        let id = self.pages.load(Ordering::Relaxed);
+        file.set_len((id + 1) * PAGE_SIZE as u64)
+            .map_err(|e| io_err("grow", &self.path, e))?;
+        self.pages.store(id + 1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Read page `id` into `buf`.
+    pub fn read_page(&self, id: u64, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        if id >= self.num_pages() {
+            return Err(Error::Storage(format!(
+                "pager read {}: page {id} out of bounds ({} pages)",
+                self.path.display(),
+                self.num_pages()
+            )));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))
+            .map_err(|e| io_err("seek", &self.path, e))?;
+        file.read_exact(buf)
+            .map_err(|e| io_err("read", &self.path, e))
+    }
+
+    /// Write `buf` to page `id` (which must already exist).
+    pub fn write_page(&self, id: u64, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        if id >= self.num_pages() {
+            return Err(Error::Storage(format!(
+                "pager write {}: page {id} out of bounds ({} pages)",
+                self.path.display(),
+                self.num_pages()
+            )));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))
+            .map_err(|e| io_err("seek", &self.path, e))?;
+        file.write_all(buf)
+            .map_err(|e| io_err("write", &self.path, e))
+    }
+
+    /// Flush file contents and metadata to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file
+            .lock()
+            .sync_all()
+            .map_err(|e| io_err("fsync", &self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rcc-pager-{}-{tag}.db", std::process::id()))
+    }
+
+    #[test]
+    fn allocate_write_read() {
+        let path = temp_path("rw");
+        let _ = std::fs::remove_file(&path);
+        let dm = DiskManager::open(&path).unwrap();
+        assert_eq!(dm.num_pages(), 0);
+        let p0 = dm.allocate().unwrap();
+        let p1 = dm.allocate().unwrap();
+        assert_eq!((p0, p1), (0, 1));
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 0xAB;
+        page[PAGE_SIZE - 1] = 0xCD;
+        dm.write_page(1, &page).unwrap();
+        dm.sync().unwrap();
+        let mut back = [0u8; PAGE_SIZE];
+        dm.read_page(1, &mut back).unwrap();
+        assert_eq!(page, back);
+        // Freshly allocated page 0 reads back zeroed.
+        dm.read_page(0, &mut back).unwrap();
+        assert_eq!(back, [0u8; PAGE_SIZE]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let path = temp_path("oob");
+        let _ = std::fs::remove_file(&path);
+        let dm = DiskManager::open(&path).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(dm.read_page(0, &mut buf).is_err());
+        assert!(dm.write_page(3, &buf).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn misaligned_file_rejected() {
+        let path = temp_path("misaligned");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
+        assert!(DiskManager::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

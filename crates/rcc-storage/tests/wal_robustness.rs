@@ -1,0 +1,271 @@
+//! WAL robustness: property tests of the record codec round-trip, plus
+//! torn-tail and bit-flip corruption sweeps. The invariant under any
+//! corruption is *prefix recovery*: the scan yields some prefix of the
+//! records actually appended — it stops at the first bad CRC and never
+//! resurrects a record that was not durably written, nor invents one.
+
+use proptest::prelude::*;
+use rcc_common::{Row, Value};
+use rcc_storage::table::RowChange;
+use rcc_storage::wal::{
+    decode_record, encode_record, frame_record, scan, CommitRecord, SyncPolicy, Wal, WalRecord,
+    WatermarkRecord, WAL_MAGIC,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (i64::MIN..=i64::MAX).prop_map(Value::Int),
+        // Finite only: NaN round-trips bit-exact but fails `==` below.
+        (u64::MIN..=u64::MAX)
+            .prop_map(f64::from_bits)
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
+        "[ -~]{0,16}".prop_map(Value::Str),
+        (0u8..2).prop_map(|b| Value::Bool(b == 1)),
+        (i64::MIN..=i64::MAX).prop_map(Value::Timestamp),
+    ]
+}
+
+fn row() -> impl Strategy<Value = Row> {
+    proptest::collection::vec(value(), 0..5).prop_map(Row::new)
+}
+
+fn key() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(value(), 1..3)
+}
+
+fn change() -> impl Strategy<Value = RowChange> {
+    prop_oneof![
+        row().prop_map(RowChange::Insert),
+        (key(), row()).prop_map(|(key, row)| RowChange::Update { key, row }),
+        key().prop_map(|key| RowChange::Delete { key }),
+    ]
+}
+
+fn record() -> impl Strategy<Value = WalRecord> {
+    let commit = (
+        u64::MIN..=u64::MAX,
+        i64::MIN..=i64::MAX,
+        proptest::collection::vec(("[a-z_]{1,12}", change()), 0..4),
+    )
+        .prop_map(|(id, commit_ms, changes)| {
+            WalRecord::Commit(CommitRecord {
+                id,
+                commit_ms,
+                changes,
+            })
+        });
+    let watermark = ("[a-z_]{1,12}", u64::MIN..=u64::MAX, i64::MIN..=i64::MAX).prop_map(
+        |(region, cursor, hb)| {
+            WalRecord::Watermark(WatermarkRecord {
+                region,
+                cursor,
+                heartbeat_ms: hb,
+            })
+        },
+    );
+    prop_oneof![commit, watermark]
+}
+
+/// A WAL file image: magic followed by one frame per record.
+fn wal_image(records: &[WalRecord]) -> Vec<u8> {
+    let mut buf = WAL_MAGIC.to_vec();
+    for rec in records {
+        buf.extend_from_slice(&frame_record(&encode_record(rec)));
+    }
+    buf
+}
+
+/// Longest `k` such that `got == want[..k]`; `None` if `got` is not a
+/// prefix of `want`.
+fn prefix_len(got: &[WalRecord], want: &[WalRecord]) -> Option<usize> {
+    if got.len() <= want.len() && got == &want[..got.len()] {
+        Some(got.len())
+    } else {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, .. ProptestConfig::default() })]
+
+    #[test]
+    fn codec_round_trips(rec in record()) {
+        let payload = encode_record(&rec);
+        prop_assert_eq!(decode_record(&payload).unwrap(), rec);
+    }
+
+    /// Cut the file at an arbitrary byte: the scan recovers exactly the
+    /// records whose frames fit wholly inside the cut, and `valid_len`
+    /// points at the end of the last of them.
+    #[test]
+    fn torn_tail_recovers_exact_frame_prefix(
+        records in proptest::collection::vec(record(), 1..8),
+        cut_bp in 0u32..=10_000,
+    ) {
+        let full = wal_image(&records);
+        let cut = (cut_bp as usize * full.len()) / 10_000;
+        let torn = &full[..cut.min(full.len())];
+
+        let scanned = scan(torn);
+        // Reconstruct the expected count by walking frame boundaries.
+        let mut end = WAL_MAGIC.len();
+        let mut expect = 0;
+        for rec in &records {
+            let next = end + 8 + encode_record(rec).len();
+            if next > torn.len() {
+                break;
+            }
+            end = next;
+            expect += 1;
+        }
+        if torn.len() < WAL_MAGIC.len() {
+            // No magic: nothing recovered, file will be rewritten.
+            prop_assert_eq!(scanned.records.len(), 0);
+        } else {
+            prop_assert_eq!(prefix_len(&scanned.records, &records), Some(expect));
+            prop_assert_eq!(scanned.valid_len, end as u64);
+        }
+    }
+
+    /// Flip one bit anywhere in the image: whatever the scan returns is a
+    /// prefix of what was appended. Frames after the flipped one may be
+    /// lost (the scan stops), but nothing is altered or invented.
+    #[test]
+    fn bit_flip_never_resurrects_or_corrupts(
+        records in proptest::collection::vec(record(), 1..8),
+        pos_bp in 0u32..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut buf = wal_image(&records);
+        let pos = ((pos_bp as usize * buf.len()) / 10_000).min(buf.len() - 1);
+        buf[pos] ^= 1 << bit;
+
+        let scanned = scan(&buf);
+        let k = prefix_len(&scanned.records, &records);
+        prop_assert!(
+            k.is_some(),
+            "corrupted scan must yield a strict prefix, got {:?}",
+            scanned.records
+        );
+        if pos >= WAL_MAGIC.len() {
+            // Frames strictly before the flipped byte are untouched.
+            let mut intact = 0;
+            let mut end = WAL_MAGIC.len();
+            for rec in &records {
+                let next = end + 8 + encode_record(rec).len();
+                if next > pos {
+                    break;
+                }
+                end = next;
+                intact += 1;
+            }
+            prop_assert!(
+                k.unwrap() >= intact,
+                "flip at {pos} lost frame(s) before it: {} < {intact}",
+                k.unwrap()
+            );
+        }
+    }
+}
+
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_wal(tag: &str) -> PathBuf {
+    let n = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "rcc-wal-robust-{}-{tag}-{n}.log",
+        std::process::id()
+    ))
+}
+
+/// End-to-end on a real file: every torn cut of an fsynced log reopens to
+/// the exact frame prefix, reports the cut bytes, and physically truncates
+/// so a subsequent append produces a clean log again.
+#[test]
+fn every_cut_point_reopens_to_a_clean_prefix() {
+    let records: Vec<WalRecord> = (0..5)
+        .map(|i| {
+            WalRecord::Commit(CommitRecord {
+                id: i + 1,
+                commit_ms: (i as i64 + 1) * 1_000,
+                changes: vec![(
+                    format!("t{i}"),
+                    RowChange::Insert(Row::new(vec![Value::Int(i as i64)])),
+                )],
+            })
+        })
+        .collect();
+    let path = temp_wal("cuts");
+    {
+        let (wal, _) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        for rec in &records {
+            wal.append(rec).unwrap();
+        }
+    }
+    let full = std::fs::read(&path).unwrap();
+    assert_eq!(full, wal_image(&records), "file image matches the codec");
+
+    for cut in 0..=full.len() {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let (_, recovery) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        let k = prefix_len(&recovery.records, &records)
+            .unwrap_or_else(|| panic!("cut {cut}: not a prefix: {:?}", recovery.records));
+        // The recovered count is exactly the number of whole frames.
+        let mut end = WAL_MAGIC.len();
+        let mut expect = 0;
+        for rec in &records {
+            let next = end + 8 + encode_record(rec).len();
+            if next > cut {
+                break;
+            }
+            end = next;
+            expect += 1;
+        }
+        assert_eq!(k, expect, "cut {cut}");
+        if cut >= WAL_MAGIC.len() {
+            assert_eq!(recovery.truncated_bytes, (cut - end) as u64, "cut {cut}");
+        }
+        // The torn tail was physically removed: reopening is clean.
+        let (_, again) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(again.truncated_bytes, 0, "cut {cut}");
+        assert_eq!(again.records.len(), expect, "cut {cut}");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// An uncommitted (never-written) record cannot appear after recovery, even
+/// when the tail bytes are garbage that happens to look frame-like.
+#[test]
+fn garbage_tail_never_decodes_to_new_records() {
+    let committed = WalRecord::Watermark(WatermarkRecord {
+        region: "CR1".into(),
+        cursor: 42,
+        heartbeat_ms: 41_000,
+    });
+    let path = temp_wal("garbage");
+    {
+        let (wal, _) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        wal.append(&committed).unwrap();
+    }
+    let clean = std::fs::read(&path).unwrap();
+    for seed in 0u8..32 {
+        let mut buf = clean.clone();
+        // Deterministic pseudo-garbage tail of varying length.
+        let tail: Vec<u8> = (0..(seed as usize * 3 + 1))
+            .map(|i| {
+                seed.wrapping_mul(37)
+                    .wrapping_add((i as u8).wrapping_mul(11))
+            })
+            .collect();
+        buf.extend_from_slice(&tail);
+        std::fs::write(&path, &buf).unwrap();
+        let (_, recovery) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(recovery.records, vec![committed.clone()], "seed {seed}");
+        assert_eq!(recovery.truncated_bytes, tail.len() as u64, "seed {seed}");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
