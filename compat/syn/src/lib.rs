@@ -132,9 +132,13 @@ pub fn lex_file(src: &str) -> Vec<Tok> {
                 });
                 i += 1; // closing quote
             }
-            'r' if is_raw_string_start(b, i) => {
+            'r' | 'b' if is_raw_string_start(b, i) => {
                 let start_line = line;
-                let mut j = i + 1;
+                // Skip the prefix: `r` or `br` (byte-raw). Raw strings never
+                // process escapes, so the generic `"` branch (which honours
+                // `\"`) must not see them — a raw body ending in `\` would
+                // swallow the closing quote and desync the whole file.
+                let mut j = i + 1 + usize::from(b[i] == b'b');
                 let mut hashes = 0;
                 while j < b.len() && b[j] == b'#' {
                     hashes += 1;
@@ -237,13 +241,21 @@ pub fn lex_file(src: &str) -> Vec<Tok> {
     toks
 }
 
-/// Is `b[i..]` the start of a raw string literal (`r"`, `r#"`, `br"`, ...)?
+/// Is `b[i..]` the start of a raw string literal (`r"`, `r#"`, `br"`,
+/// `br#"`, ...)? `b[i]` is `r` or `b`; a lone `b` (plain byte string
+/// `b"..."`) is NOT raw — its escapes are processed by the `"` branch.
 fn is_raw_string_start(b: &[u8], i: usize) -> bool {
     let mut j = i + 1;
+    if b[i] == b'b' {
+        if j >= b.len() || b[j] != b'r' {
+            return false;
+        }
+        j += 1;
+    }
     while j < b.len() && b[j] == b'#' {
         j += 1;
     }
-    j < b.len() && b[j] == b'"' && (j > i + 1 || b[i + 1] == b'"')
+    j < b.len() && b[j] == b'"'
 }
 
 /// First occurrence of `needle` in `haystack[from..]`.
@@ -321,5 +333,33 @@ mod tests {
     #[test]
     fn nested_block_comments() {
         assert_eq!(idents("/* a /* b */ c */ fn"), vec!["fn"]);
+    }
+
+    #[test]
+    fn byte_raw_strings_do_not_desync() {
+        // `br"...\"` regression: the old lexer consumed `br` as an ident,
+        // then escape-processed the raw body as a normal string — the
+        // trailing backslash swallowed the closing quote and everything
+        // after it (including `fn hidden`) vanished from the token stream.
+        let toks = lex_file("let p = br\"C:\\\\\\\"; let q = 1;\nfn hidden() {}");
+        assert!(toks.iter().any(|t| t.is_ident("hidden")), "{toks:?}");
+        // Raw string bodies keep braces and quotes verbatim.
+        let toks = lex_file(r###"let s = br#"{"k": "v\"}"#; fn after() {}"###);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str("{\"k\": \"v\\\"}".into())));
+        assert!(toks.iter().any(|t| t.is_ident("after")), "{toks:?}");
+        // Plain byte strings still go through the escape-processing path.
+        let toks = lex_file("let b = b\"a\\\"b\"; fn tail() {}");
+        assert!(toks.iter().any(|t| t.is_ident("tail")), "{toks:?}");
+    }
+
+    #[test]
+    fn raw_string_with_braces_and_quotes() {
+        let toks = lex_file(r###"let s = r#"brace { quote " backslash \ }"#; fn more() {}"###);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str("brace { quote \" backslash \\ }".into())));
+        assert!(toks.iter().any(|t| t.is_ident("more")), "{toks:?}");
     }
 }

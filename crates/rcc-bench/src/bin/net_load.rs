@@ -222,8 +222,46 @@ fn main() {
         "workload clauses lint clean and the canary yields exactly one diagnostic"
     );
 
+    // Declare the TPC-C-flavored template corpus through the compile-time
+    // robustness hook as a canary that the analyzer is alive end-to-end:
+    // every template's verdict must match the corpus expectation, so the
+    // robust subset in particular must come back ROBUST (violations: 0).
+    let robustness_violations: u64 = {
+        let corpus = rcc_tpcd::robust_template_corpus();
+        for case in &corpus {
+            cache.execute(case.sql).expect("declare template");
+        }
+        corpus
+            .iter()
+            .map(|case| {
+                let robust = cache.template_verdict(case.name) == Some(rcc_robust::Verdict::Robust);
+                if robust == case.robust {
+                    0
+                } else {
+                    eprintln!(
+                        "net_load: ROBUSTNESS VERDICT MISMATCH for template {} \
+                         (expected robust={}, got robust={robust})",
+                        case.name, case.robust
+                    );
+                    1
+                }
+            })
+            .sum()
+    };
+    assert_eq!(
+        robustness_violations, 0,
+        "template corpus verdicts must match their expectations"
+    );
+
     match opts.mode {
-        Mode::Closed => run_closed(&opts, &cache, addr, max_custkey, lint_diagnostics),
+        Mode::Closed => run_closed(
+            &opts,
+            &cache,
+            addr,
+            max_custkey,
+            lint_diagnostics,
+            robustness_violations,
+        ),
         Mode::Open => run_open(&opts, &cache, addr, max_custkey),
     }
 }
@@ -251,6 +289,7 @@ fn run_closed(
     addr: std::net::SocketAddr,
     max_custkey: i64,
     lint_diagnostics: u64,
+    robustness_violations: u64,
 ) {
     eprintln!(
         "net_load: closed loop, {} clients × {} queries, scale {}",
@@ -325,7 +364,8 @@ fn run_closed(
          \"remote_queries\": {},\n  \"total_rows\": {},\n  \"wire_bytes\": {},\n  \
          \"latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n  \
          \"transport\": {{ \"retries\": {}, \"unavailable\": {} }},\n  \
-         \"verification_failures\": 0,\n  \"lint_diagnostics\": {}\n}}\n",
+         \"verification_failures\": 0,\n  \"lint_diagnostics\": {},\n  \
+         \"robustness_violations\": {}\n}}\n",
         opts.clients,
         opts.queries,
         opts.scale,
@@ -340,6 +380,7 @@ fn run_closed(
         retries,
         unavailable,
         lint_diagnostics,
+        robustness_violations,
     );
     let mut f = std::fs::File::create(out).expect("create output file");
     f.write_all(json.as_bytes()).expect("write output file");

@@ -15,13 +15,17 @@
 //!   `rcc-obs/src/names.rs`, with no unused registrations;
 //! * no direct `std::fs` / `fs::` file I/O in library sources outside
 //!   `rcc-storage` and `rcc-bench` (durability must flow through the
-//!   storage layer's WAL/checkpoint protocol).
+//!   storage layer's WAL/checkpoint protocol);
+//! * every `const TAG_*: u8` wire-frame tag in `rcc-net` declared exactly
+//!   once in `rcc-net/src/tags.rs`'s `FRAME_TAGS` registry under the same
+//!   byte, every registered tag declared and used, and no wire byte
+//!   reused.
 //!
 //! Violations are fixed at the source, never allowlisted here.
 
 use rcc_lint::source::{
-    check_fs_io, check_lock_order, check_metric_names, check_raw_table, collect_registry, prepare,
-    FileKind, SourceFile,
+    check_frame_tags, check_fs_io, check_lock_order, check_metric_names, check_raw_table,
+    collect_registry, collect_tag_registry, prepare, FileKind, SourceFile,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -70,8 +74,15 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lexed workspace sources, the metric registry, and the registry's path.
-type Workspace = (Vec<SourceFile>, Vec<(String, u32)>, String);
+/// Lexed workspace sources plus the two extracted registries (metric
+/// names from `rcc-obs`, wire-frame tags from `rcc-net`) and their paths.
+struct Workspace {
+    files: Vec<SourceFile>,
+    metrics: Vec<(String, u32)>,
+    metrics_path: String,
+    tags: Vec<(u8, String, u32)>,
+    tags_path: String,
+}
 
 fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
     let registry_rel = "crates/rcc-obs/src/names.rs";
@@ -79,6 +90,11 @@ fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
     // `prepare` drops the file's own test module before extraction.
     let registry_file = prepare("rcc-obs", registry_rel, FileKind::Lib, &registry_src);
     let registry = collect_registry(&registry_file.toks);
+
+    let tags_rel = "crates/rcc-net/src/tags.rs";
+    let tags_src = std::fs::read_to_string(root.join(tags_rel))?;
+    let tags_file = prepare("rcc-net", tags_rel, FileKind::Lib, &tags_src);
+    let tags = collect_tag_registry(&tags_file.toks);
 
     let mut files = Vec::new();
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
@@ -104,8 +120,8 @@ fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            if rel == registry_rel {
-                continue; // the registry itself is not a usage site
+            if rel == registry_rel || rel == tags_rel {
+                continue; // the registries themselves are not usage sites
             }
             let kind = if rel.contains("/src/bin/") {
                 FileKind::Bin
@@ -116,7 +132,13 @@ fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
             files.push(prepare(&crate_name, &rel, kind, &src));
         }
     }
-    Ok((files, registry, registry_rel.to_string()))
+    Ok(Workspace {
+        files,
+        metrics: registry,
+        metrics_path: registry_rel.to_string(),
+        tags,
+        tags_path: tags_rel.to_string(),
+    })
 }
 
 fn main() -> ExitCode {
@@ -128,7 +150,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (files, registry, registry_path) = match load_workspace(&root) {
+    let ws = match load_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("workspace-lint: failed to read {}: {e}", root.display());
@@ -136,23 +158,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut findings = check_raw_table(&files);
-    findings.extend(check_lock_order(&files));
-    findings.extend(check_metric_names(&files, &registry, &registry_path));
-    findings.extend(check_fs_io(&files));
+    let files = &ws.files;
+    let mut findings = check_raw_table(files);
+    findings.extend(check_lock_order(files));
+    findings.extend(check_metric_names(files, &ws.metrics, &ws.metrics_path));
+    findings.extend(check_fs_io(files));
+    findings.extend(check_frame_tags(files, &ws.tags, &ws.tags_path));
 
     for f in &findings {
         eprintln!("{f}");
     }
     println!(
-        "workspace-lint: {} files in {} crates, {} registered metrics, {} findings",
+        "workspace-lint: {} files in {} crates, {} registered metrics, {} registered tags, {} findings",
         files.len(),
         files
             .iter()
             .map(|f| f.crate_name.as_str())
             .collect::<std::collections::BTreeSet<_>>()
             .len(),
-        registry.len(),
+        ws.metrics.len(),
+        ws.tags.len(),
         findings.len()
     );
     if findings.is_empty() {

@@ -6,7 +6,8 @@
 //! are syntactically valid but semantically absurd under the paper's
 //! normalization rules (Sec. 3.2.1): contradictory or subsumed bounds,
 //! dead specs, `BY` groupings that match no key, cross-block class
-//! conflicts, and clauses made redundant by the session default.
+//! conflicts, clauses made redundant by the session default, and bounds
+//! on tables no cached view covers (unverifiable at guard time).
 //! Complementary to `rcc-verify`, which proves *optimized plans* conform
 //! to the clause: lint runs before any plan exists and costs one AST walk.
 //!
@@ -39,6 +40,9 @@ pub mod codes {
     pub const CROSS_BLOCK_CONFLICT: &str = "L004";
     /// Clause trivially satisfied by the session default (bound 0).
     pub const REDUNDANT_CLAUSE: &str = "L005";
+    /// Positive bound on a base table no cached view covers: nothing
+    /// tracks its staleness, so the bound is unverifiable at guard time.
+    pub const UNVERIFIABLE_BOUND: &str = "L006";
 }
 
 /// One lint finding: a stable code, the offending spec rendered as SQL,
@@ -239,8 +243,32 @@ impl Linter<'_> {
             let subject = spec_sql(spec);
             let mut ops = BTreeSet::new();
             for t in &spec.tables {
-                match self.lookup(t) {
-                    Some(b) => ops.extend(b.ops.iter().copied()),
+                match self.lookup(t).map(|b| (b.ops.clone(), b.meta.clone())) {
+                    Some((bops, meta)) => {
+                        ops.extend(bops);
+                        // L006: a positive bound admits a stale cached
+                        // read, but only the heartbeat of a cached view's
+                        // currency region tracks staleness. A base table
+                        // no view covers has nothing to verify the bound
+                        // against — the guard can never accept it.
+                        if let Some(meta) = meta {
+                            if !spec.bound.is_zero() && self.catalog.views_over(meta.id).is_empty()
+                            {
+                                self.diags.push(Diagnostic {
+                                    code: codes::UNVERIFIABLE_BOUND,
+                                    subject: subject.clone(),
+                                    message: format!(
+                                        "no cached view covers table '{}'; no currency \
+                                         region tracks its staleness, so the bound is \
+                                         unverifiable at guard time",
+                                        meta.name
+                                    ),
+                                    line: spec.line,
+                                    col: spec.col,
+                                });
+                            }
+                        }
+                    }
                     None => self.diags.push(Diagnostic {
                         code: codes::DEAD_SPEC,
                         subject: subject.clone(),
@@ -496,6 +524,58 @@ mod tests {
         )
         .unwrap();
         catalog.register_table(meta).unwrap();
+
+        // `nation` is deliberately left uncovered by any cached view —
+        // the L006 target. The other tables get one projection view each
+        // so positive bounds on them are verifiable.
+        let schema = Schema::new(vec![
+            rcc_common::Column::new("n_nationkey", DataType::Int),
+            rcc_common::Column::new("n_name", DataType::Str),
+        ]);
+        let meta = TableMeta::new(
+            catalog.next_table_id(),
+            "nation",
+            schema,
+            vec!["n_nationkey".into()],
+        )
+        .unwrap();
+        catalog.register_table(meta).unwrap();
+
+        catalog
+            .register_region(rcc_catalog::CurrencyRegion::new(
+                rcc_common::RegionId(1),
+                "CR1",
+                Duration::from_secs(15),
+                Duration::from_secs(5),
+            ))
+            .unwrap();
+        for (view, table) in [("cust_v", "customer"), ("orders_v", "orders")] {
+            let base = catalog.table(table).unwrap();
+            let key_ordinals = base
+                .key
+                .iter()
+                .map(|k| base.schema.resolve(None, k).unwrap())
+                .collect();
+            catalog
+                .register_view(rcc_catalog::CachedViewDef {
+                    id: catalog.next_view_id(),
+                    name: view.into(),
+                    region: rcc_common::RegionId(1),
+                    base_table: base.id,
+                    base_table_name: base.name.clone(),
+                    columns: base
+                        .schema
+                        .columns()
+                        .iter()
+                        .map(|c| c.name.clone())
+                        .collect(),
+                    predicate: None,
+                    schema: base.schema.clone(),
+                    key_ordinals,
+                    local_indexes: Vec::new(),
+                })
+                .unwrap();
+        }
         catalog
     }
 
@@ -609,6 +689,37 @@ mod tests {
     fn l005_redundant_zero_bound() {
         let d = lint("SELECT c_name FROM customer c CURRENCY BOUND 0 SEC ON (c)");
         assert_eq!(codes_of(&d), vec![codes::REDUNDANT_CLAUSE]);
+    }
+
+    #[test]
+    fn l006_unverifiable_bound_on_uncovered_table() {
+        // Mutation: point the bound at a table no cached view covers —
+        // flips the clean covered-table query to failing.
+        let covered = lint("SELECT c_name FROM customer c CURRENCY BOUND 10 MIN ON (c)");
+        assert!(covered.is_empty(), "{covered:?}");
+        let d = lint("SELECT n_name FROM nation n CURRENCY BOUND 10 MIN ON (n)");
+        assert_eq!(codes_of(&d), vec![codes::UNVERIFIABLE_BOUND]);
+        assert!(d[0]
+            .message
+            .contains("no cached view covers table 'nation'"));
+    }
+
+    #[test]
+    fn l006_only_the_uncovered_operand_is_flagged() {
+        let d = lint(
+            "SELECT c_name, n_name FROM customer c, nation n \
+             WHERE c.c_nationkey = n.n_nationkey \
+             CURRENCY BOUND 10 MIN ON (c, n)",
+        );
+        assert_eq!(codes_of(&d), vec![codes::UNVERIFIABLE_BOUND], "{d:?}");
+    }
+
+    #[test]
+    fn l006_not_raised_for_zero_bound() {
+        // Bound 0 never reads the cache, so there is nothing to verify;
+        // it is L005's redundancy, not an unverifiable bound.
+        let d = lint("SELECT n_name FROM nation n CURRENCY BOUND 0 SEC ON (n)");
+        assert_eq!(codes_of(&d), vec![codes::REDUNDANT_CLAUSE], "{d:?}");
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   (WAL, checkpoints, recovery) must flow through the storage layer, so
 //!   no other crate may write files the recovery protocol doesn't know
 //!   about.
+//! * **Wire-tag discipline** — every `const TAG_*: u8` frame-tag
+//!   declaration in `rcc-net` must be registered exactly once (same
+//!   byte) in its `tags::FRAME_TAGS`, every registered tag must be
+//!   declared and used, and no byte is ever reused: the frozen wire format
+//!   is what keeps old and new peers interoperable.
 //!
 //! Test modules are excluded by truncating each file at its first
 //! `#[cfg(test)]` marker (the repo convention keeps unit tests at the
@@ -57,7 +62,7 @@ pub struct SourceFile {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
     /// Which check fired (`raw-table`, `lock-order`, `metric-names`,
-    /// `fs-io`).
+    /// `fs-io`, `frame-tags`).
     pub check: &'static str,
     /// Offending file.
     pub path: String,
@@ -484,6 +489,195 @@ pub fn check_metric_names(
     out
 }
 
+// ------------------------------------------------------------ frame tags
+
+/// Is `s` shaped like a wire-frame tag constant name (`TAG_` plus
+/// `[A-Z0-9_]+`)?
+pub fn is_tag_name(s: &str) -> bool {
+    s.len() > 4
+        && s.starts_with("TAG_")
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Parse a lexed numeric literal as a tag byte (`0x04`, `0x85`, `129`).
+fn parse_tag_byte(num: &str) -> Option<u8> {
+    let clean: String = num.chars().filter(|c| *c != '_').collect();
+    if let Some(hex) = clean
+        .strip_prefix("0x")
+        .or_else(|| clean.strip_prefix("0X"))
+    {
+        u8::from_str_radix(hex, 16).ok()
+    } else {
+        clean.parse().ok()
+    }
+}
+
+/// Registry entries `(byte, name, line)` extracted from `rcc-net`'s
+/// `tags.rs` tokens: each `(0xNN, "TAG_*")` pair in `FRAME_TAGS`.
+pub fn collect_tag_registry(toks: &[Tok]) -> Vec<(u8, String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(3) {
+        let TokKind::Num(num) = &toks[i].kind else {
+            continue;
+        };
+        if !toks[i + 1].is_punct(',') {
+            continue;
+        }
+        let TokKind::Str(name) = &toks[i + 2].kind else {
+            continue;
+        };
+        if !is_tag_name(name) {
+            continue;
+        }
+        if let Some(byte) = parse_tag_byte(num) {
+            out.push((byte, name.clone(), toks[i].line));
+        }
+    }
+    out
+}
+
+/// `rcc-net` declarations `const TAG_*: u8 = <byte>;` as
+/// `(name, byte, path, line)`. Scoped to the `rcc-net` crate: other
+/// crates own other tag byte spaces (WAL record tags in `rcc-storage`,
+/// value wire tags in `rcc-executor`) that legitimately reuse bytes.
+fn collect_tag_decls(files: &[SourceFile]) -> Vec<(String, u8, String, u32)> {
+    let mut out = Vec::new();
+    for f in files {
+        if f.crate_name != "rcc-net" {
+            continue;
+        }
+        let t = &f.toks;
+        for i in 0..t.len().saturating_sub(5) {
+            if !t[i].is_ident("const") {
+                continue;
+            }
+            let TokKind::Ident(name) = &t[i + 1].kind else {
+                continue;
+            };
+            if !is_tag_name(name)
+                || !t[i + 2].is_punct(':')
+                || !t[i + 3].is_ident("u8")
+                || !t[i + 4].is_punct('=')
+            {
+                continue;
+            }
+            let TokKind::Num(num) = &t[i + 5].kind else {
+                continue;
+            };
+            if let Some(byte) = parse_tag_byte(num) {
+                out.push((name.clone(), byte, f.path.clone(), t[i + 1].line));
+            }
+        }
+    }
+    out
+}
+
+/// Enforce the wire-tag registry invariant: every `const TAG_*: u8`
+/// declaration in `rcc-net` is registered (under the same byte) in
+/// `rcc-net`'s `tags::FRAME_TAGS`, exactly once; every registered tag is
+/// declared and used; no byte or name appears twice in the registry.
+/// `registry_path` is only used in messages.
+pub fn check_frame_tags(
+    files: &[SourceFile],
+    registry: &[(u8, String, u32)],
+    registry_path: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut by_name: BTreeMap<&str, (u8, u32)> = BTreeMap::new();
+    let mut by_byte: BTreeMap<u8, u32> = BTreeMap::new();
+    for (byte, name, line) in registry {
+        if let Some((_, first)) = by_name.insert(name, (*byte, *line)) {
+            out.push(Finding {
+                check: "frame-tags",
+                path: registry_path.to_string(),
+                line: *line,
+                message: format!("tag '{name}' registered twice (first at line {first})"),
+            });
+        }
+        if let Some(first) = by_byte.insert(*byte, *line) {
+            out.push(Finding {
+                check: "frame-tags",
+                path: registry_path.to_string(),
+                line: *line,
+                message: format!(
+                    "tag byte 0x{byte:02x} registered twice (first at line {first}): \
+                     wire bytes are never reused"
+                ),
+            });
+        }
+    }
+
+    let decls = collect_tag_decls(files);
+    let mut declared: BTreeMap<&str, (String, u32)> = BTreeMap::new();
+    for (name, byte, path, line) in &decls {
+        if let Some((first_path, first_line)) = declared.insert(name, (path.clone(), *line)) {
+            out.push(Finding {
+                check: "frame-tags",
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "tag '{name}' declared twice (first at {first_path}:{first_line}): \
+                     each tag byte has exactly one declaration"
+                ),
+            });
+        }
+        match by_name.get(name.as_str()) {
+            None => out.push(Finding {
+                check: "frame-tags",
+                path: path.clone(),
+                line: *line,
+                message: format!("tag '{name}' is not registered in rcc-net tags::FRAME_TAGS"),
+            }),
+            Some((reg_byte, _)) if reg_byte != byte => out.push(Finding {
+                check: "frame-tags",
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "tag '{name}' declared as 0x{byte:02x} but registered as 0x{reg_byte:02x}"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    // A declaration must also be *used* — a tag no codec path reads or
+    // writes is dead wire surface.
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for f in files {
+        let t = &f.toks;
+        for i in 0..t.len() {
+            let TokKind::Ident(name) = &t[i].kind else {
+                continue;
+            };
+            if !is_tag_name(name) || (i > 0 && t[i - 1].is_ident("const")) {
+                continue;
+            }
+            if let Some(hit) = declared.get_key_value(name.as_str()) {
+                used.insert(hit.0);
+            }
+        }
+    }
+    for (name, (byte, line)) in &by_name {
+        match declared.get(name) {
+            None => out.push(Finding {
+                check: "frame-tags",
+                path: registry_path.to_string(),
+                line: *line,
+                message: format!("tag '{name}' (0x{byte:02x}) is registered but never declared"),
+            }),
+            Some((path, decl_line)) if !used.contains(name) => out.push(Finding {
+                check: "frame-tags",
+                path: path.clone(),
+                line: *decl_line,
+                message: format!("tag '{name}' is declared but never used"),
+            }),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,5 +927,179 @@ mod tests {
             "const A: &str = \"rcc-common\"; const B: &str = \"not rcc_x here\";",
         );
         assert!(check_metric_names(&[f], &reg(&[]), "names.rs").is_empty());
+    }
+
+    fn tag_reg(entries: &[(u8, &str)]) -> Vec<(u8, String, u32)> {
+        entries
+            .iter()
+            .enumerate()
+            .map(|(i, (b, n))| (*b, n.to_string(), i as u32 + 1))
+            .collect()
+    }
+
+    const TAGS_OK: &str = "const TAG_A: u8 = 0x01;\nconst TAG_B: u8 = 0x81;\n\
+         fn f(b: u8) -> bool { b == TAG_A || b == TAG_B }";
+
+    #[test]
+    fn registry_roundtrip_from_tokens() {
+        let f = file(
+            "rcc-net",
+            FileKind::Lib,
+            "pub const FRAME_TAGS: &[(u8, &str)] = &[(0x01, \"TAG_A\"), (0x81, \"TAG_B\")];",
+        );
+        assert_eq!(
+            collect_tag_registry(&f.toks),
+            vec![
+                (0x01, "TAG_A".to_string(), 1),
+                (0x81, "TAG_B".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn registered_and_used_tags_are_clean() {
+        let f = file("rcc-net", FileKind::Lib, TAGS_OK);
+        let findings = check_frame_tags(
+            &[f],
+            &tag_reg(&[(0x01, "TAG_A"), (0x81, "TAG_B")]),
+            "tags.rs",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unregistered_tag_declaration_flagged() {
+        // Mutation: declare a tag the registry doesn't know — flips clean
+        // to failing.
+        let f = file(
+            "rcc-net",
+            FileKind::Lib,
+            "const TAG_A: u8 = 0x01;\nconst TAG_ROGUE: u8 = 0x7f;\n\
+             fn f(b: u8) -> bool { b == TAG_A || b == TAG_ROGUE }",
+        );
+        let findings = check_frame_tags(&[f], &tag_reg(&[(0x01, "TAG_A")]), "tags.rs");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("TAG_ROGUE")
+                && findings[0].message.contains("not registered"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn byte_mismatch_between_declaration_and_registry_flagged() {
+        // Mutation: re-point a declared tag at a different byte — the
+        // registry pins the wire format, so the drift is flagged.
+        let f = file(
+            "rcc-net",
+            FileKind::Lib,
+            "const TAG_A: u8 = 0x02;\nfn f(b: u8) -> bool { b == TAG_A }",
+        );
+        let findings = check_frame_tags(&[f], &tag_reg(&[(0x01, "TAG_A")]), "tags.rs");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0]
+                .message
+                .contains("declared as 0x02 but registered as 0x01"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_registry_byte_and_name_flagged() {
+        // Mutation: reuse a wire byte for a second tag — flips clean to
+        // failing even before any declaration exists.
+        let findings = check_frame_tags(
+            &[],
+            &tag_reg(&[(0x01, "TAG_A"), (0x01, "TAG_B"), (0x02, "TAG_A")]),
+            "tags.rs",
+        );
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("byte 0x01 registered twice")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("'TAG_A' registered twice")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn undeclared_and_unused_tags_flagged() {
+        // Mutation 1: registry entry with no declaration anywhere.
+        let f = file("rcc-net", FileKind::Lib, TAGS_OK);
+        let findings = check_frame_tags(
+            &[f],
+            &tag_reg(&[(0x01, "TAG_A"), (0x81, "TAG_B"), (0x02, "TAG_GHOST")]),
+            "tags.rs",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0]
+                .message
+                .contains("'TAG_GHOST' (0x02) is registered but never declared"),
+            "{findings:?}"
+        );
+        // Mutation 2: declared and registered, but no codec path uses it.
+        let f = file(
+            "rcc-net",
+            FileKind::Lib,
+            "const TAG_A: u8 = 0x01;\nconst TAG_DEAD: u8 = 0x02;\n\
+             fn f(b: u8) -> bool { b == TAG_A }",
+        );
+        let findings = check_frame_tags(
+            &[f],
+            &tag_reg(&[(0x01, "TAG_A"), (0x02, "TAG_DEAD")]),
+            "tags.rs",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0]
+                .message
+                .contains("'TAG_DEAD' is declared but never used"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_tag_declaration_flagged() {
+        let a = file("rcc-net", FileKind::Lib, TAGS_OK);
+        let b = prepare(
+            "rcc-net",
+            "rcc-net/src/y.rs",
+            FileKind::Lib,
+            "const TAG_A: u8 = 0x01;\nfn g(b: u8) -> bool { b == TAG_A }",
+        );
+        let findings = check_frame_tags(
+            &[a, b],
+            &tag_reg(&[(0x01, "TAG_A"), (0x81, "TAG_B")]),
+            "tags.rs",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("'TAG_A' declared twice"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn non_tag_consts_test_modules_and_other_crates_ignored() {
+        // Other u8 consts, tag-shaped strings, declarations inside test
+        // modules, and other crates' tag byte spaces (WAL record tags,
+        // value wire tags) must not trip the check.
+        let net = file(
+            "rcc-net",
+            FileKind::Lib,
+            "const VERSION: u8 = 1; const S: &str = \"TAG_FAKE\";\n\
+             fn f() {}\n#[cfg(test)]\nmod tests { const TAG_TEST_ONLY: u8 = 0x7e; }",
+        );
+        let wal = file(
+            "rcc-storage",
+            FileKind::Lib,
+            "const TAG_COMMIT: u8 = 0x01;\nfn g(b: u8) -> bool { b == TAG_COMMIT }",
+        );
+        assert!(check_frame_tags(&[net, wal], &tag_reg(&[]), "tags.rs").is_empty());
     }
 }

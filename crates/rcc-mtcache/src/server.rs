@@ -25,6 +25,9 @@ use rcc_optimizer::cost::column_ranges;
 use rcc_optimizer::optimize::{Optimized, PlanChoice};
 use rcc_optimizer::{bind_select, optimize, BoundExpr, OptimizerConfig};
 use rcc_replication::{DistributionAgent, ReplicationRuntime};
+use rcc_robust::{Verdict, WorkloadReport};
+use rcc_semantics::{summarize_template, TemplateSummary};
+use rcc_sql::ast::TemplateDecl;
 use rcc_sql::{parse_statement, Expr, SelectItem, SelectStmt, Statement, TableRef};
 use rcc_storage::{
     DurableStore, RecoveredState, RecoveryStats, RowChange, StorageEngine, SyncPolicy, TableStats,
@@ -82,6 +85,13 @@ pub struct MTCache {
     /// Watermarks recovered at open, consumed by
     /// [`MTCache::restore_watermarks`] once regions exist.
     pending_watermarks: Mutex<Vec<WatermarkRecord>>,
+    /// Bound summaries of every declared transaction template, in
+    /// declaration order.
+    templates: RwLock<Vec<TemplateSummary>>,
+    /// The robustness analyzer's latest workload report, recomputed on
+    /// every `CREATE TEMPLATE` (the compile-time hook) and served by
+    /// `AUDIT TEMPLATES` and [`MTCache::template_verdict`].
+    robust_report: RwLock<WorkloadReport>,
 }
 
 /// Snapshot of the durability subsystem for `/healthz` and diagnostics.
@@ -192,6 +202,10 @@ impl MTCache {
             durability,
             recovered: Mutex::new(recovered),
             pending_watermarks: Mutex::new(Vec::new()),
+            templates: RwLock::new(Vec::new()),
+            robust_report: RwLock::new(WorkloadReport {
+                templates: Vec::new(),
+            }),
         }
     }
 
@@ -416,6 +430,16 @@ impl MTCache {
         metrics.describe(
             "rcc_verify_failures_total",
             "Plan conformance audits that found a delivered-vs-required divergence.",
+        );
+        metrics.describe(
+            "rcc_robust_audits_total",
+            "Template robustness analyses run (each CREATE TEMPLATE re-audits \
+             the whole declared workload).",
+        );
+        metrics.describe(
+            "rcc_robust_templates",
+            "Declared transaction templates by latest robustness verdict \
+             (robust, not_robust).",
         );
         metrics.describe(
             "rcc_lint_diagnostics_total",
@@ -840,7 +864,118 @@ impl MTCache {
             Statement::Lint(select) => Ok(self.execute_lint(&select)),
             Statement::ShowEvents => Ok(self.show_events()),
             Statement::ShowTrace => Ok(self.show_trace()),
+            Statement::CreateTemplate(decl) => self.create_template(&decl, session),
+            Statement::AuditTemplates => Ok(self.audit_templates()),
         }
+    }
+
+    /// `CREATE TEMPLATE ...`: bind the template against the catalog, store
+    /// its summary, and re-run the robustness analyzer over the whole
+    /// declared workload (the compile-time hook). The statement's result
+    /// carries the template's own verdict; a `NOT ROBUST` outcome is also
+    /// journaled so operators can see which declaration pinned itself to
+    /// the strict path.
+    fn create_template(&self, decl: &TemplateDecl, session: &str) -> Result<QueryResult> {
+        let summary = summarize_template(&self.catalog, decl)?;
+        {
+            let mut templates = self.templates.write();
+            // Redeclaration replaces (templates evolve during development);
+            // order is otherwise declaration order.
+            if let Some(existing) = templates.iter_mut().find(|t| t.name == summary.name) {
+                *existing = summary.clone();
+            } else {
+                templates.push(summary.clone());
+            }
+            let report = rcc_robust::analyze(&templates);
+            self.metrics.counter("rcc_robust_audits_total", &[]).inc();
+            let robust = report.robust_count();
+            let not_robust = report.not_robust_count();
+            self.metrics
+                .gauge("rcc_robust_templates", &[("verdict", "robust")])
+                .set(robust as f64);
+            self.metrics
+                .gauge("rcc_robust_templates", &[("verdict", "not_robust")])
+                .set(not_robust as f64);
+            *self.robust_report.write() = report;
+        }
+        let report = self.robust_report.read();
+        let own = report
+            .report(&summary.name)
+            .ok_or_else(|| Error::analysis("template vanished during analysis"))?;
+        if own.verdict == Verdict::NotRobust {
+            self.journal.record(
+                self.clock.now().millis(),
+                EventKind::Robustness,
+                format!("template {} is {}", own.name, own.verdict_string()),
+                "",
+                session,
+                0,
+            );
+        }
+        let mut result = self.ddl_result();
+        result.warnings.push(format!(
+            "template {} declared: {}",
+            own.name,
+            own.verdict_string()
+        ));
+        Ok(result)
+    }
+
+    /// `AUDIT TEMPLATES`: one row per declared template with the latest
+    /// robustness verdict, its witness (empty when robust), and the
+    /// summary counts the verdict was derived from.
+    fn audit_templates(&self) -> QueryResult {
+        let schema = Schema::new(vec![
+            Column::new("template", rcc_common::DataType::Str),
+            Column::new("verdict", rcc_common::DataType::Str),
+            Column::new("witness", rcc_common::DataType::Str),
+            Column::new("statements", rcc_common::DataType::Int),
+            Column::new("relaxed_reads", rcc_common::DataType::Int),
+            Column::new("writes", rcc_common::DataType::Int),
+            Column::new("line", rcc_common::DataType::Int),
+        ]);
+        let report = self.robust_report.read();
+        let rows = report
+            .templates
+            .iter()
+            .map(|t| {
+                Row::new(vec![
+                    Value::Str(t.name.clone()),
+                    Value::Str(t.verdict.to_string()),
+                    Value::Str(t.witness.clone().unwrap_or_default()),
+                    Value::Int(t.statements as i64),
+                    Value::Int(t.relaxed_reads as i64),
+                    Value::Int(t.writes as i64),
+                    Value::Int(t.line as i64),
+                ])
+            })
+            .collect();
+        let warnings = vec![format!(
+            "{} template(s): {} robust, {} not robust",
+            report.templates.len(),
+            report.robust_count(),
+            report.not_robust_count()
+        )];
+        QueryResult {
+            schema,
+            rows,
+            plan_choice: PlanChoice::BackendLocal,
+            plan_explain: String::new(),
+            est_cost: 0.0,
+            guards: Vec::new(),
+            used_remote: false,
+            warnings,
+            timings: Default::default(),
+            tables: Vec::new(),
+            stats: Default::default(),
+        }
+    }
+
+    /// The latest robustness verdict for a declared template, or `None` if
+    /// no such template exists. The write path will consult this to decide
+    /// whether a template instance may take the relaxed path at all.
+    pub fn template_verdict(&self, name: &str) -> Option<Verdict> {
+        self.robust_report.read().report(name).map(|t| t.verdict)
     }
 
     /// `SHOW EVENTS`: the journal's recent entries as a result set, oldest

@@ -764,4 +764,23 @@ mod tests {
         let mut r = std::io::Cursor::new(wire);
         assert!(read_frame(&mut r).is_err());
     }
+
+    #[test]
+    fn every_tag_const_matches_the_central_registry() {
+        let declared: &[(u8, &str)] = &[
+            (TAG_QUERY, "TAG_QUERY"),
+            (TAG_SET_OPTION, "TAG_SET_OPTION"),
+            (TAG_PING, "TAG_PING"),
+            (TAG_QUERY_TRACED, "TAG_QUERY_TRACED"),
+            (TAG_RESULT, "TAG_RESULT"),
+            (TAG_ERROR, "TAG_ERROR"),
+            (TAG_OK, "TAG_OK"),
+            (TAG_PONG, "TAG_PONG"),
+            (TAG_RESULT_TRACED, "TAG_RESULT_TRACED"),
+        ];
+        assert_eq!(declared.len(), crate::tags::FRAME_TAGS.len());
+        for (byte, name) in declared {
+            assert_eq!(crate::tags::name_of(*byte), Some(*name));
+        }
+    }
 }

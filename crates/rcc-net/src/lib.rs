@@ -29,6 +29,7 @@ pub mod frame;
 pub mod pool;
 pub mod remote;
 pub mod server;
+pub mod tags;
 
 pub use admin::AdminServer;
 pub use backend_net::BackendNetServer;

@@ -1,0 +1,75 @@
+//! Central registry of wire-frame tag bytes.
+//!
+//! Every `TAG_*` constant in the framed protocol ([`crate::frame`]) must
+//! appear here exactly once, with the byte it is bound to. The registry is
+//! the single place a reviewer (or the workspace source linter's
+//! `frame-tags` check) can see the whole tag space at a glance: request
+//! tags live below `0x80`, response tags at `0x80` and above, and no byte
+//! is ever reused — a frozen wire format is what lets old and new peers
+//! interoperate (see the compatibility notes on [`crate::frame`]).
+//!
+//! `workspace-lint` enforces the contract mechanically: every
+//! `const TAG_*: u8 = ...;` declaration in the workspace must be
+//! registered here under the same byte, every registered tag must be
+//! declared and used somewhere, and no byte or name may appear twice.
+
+/// All wire-frame tag bytes, `(byte, constant name)`, sorted by byte.
+///
+/// Request tags occupy `0x01..=0x7f`; response tags `0x80..=0xff`.
+pub const FRAME_TAGS: &[(u8, &str)] = &[
+    (0x01, "TAG_QUERY"),
+    (0x02, "TAG_SET_OPTION"),
+    (0x03, "TAG_PING"),
+    (0x04, "TAG_QUERY_TRACED"),
+    (0x81, "TAG_RESULT"),
+    (0x82, "TAG_ERROR"),
+    (0x83, "TAG_OK"),
+    (0x84, "TAG_PONG"),
+    (0x85, "TAG_RESULT_TRACED"),
+];
+
+/// The registered constant name for a tag byte, if any.
+pub fn name_of(tag: u8) -> Option<&'static str> {
+    FRAME_TAGS
+        .iter()
+        .find(|(b, _)| *b == tag)
+        .map(|(_, name)| *name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for w in FRAME_TAGS.windows(2) {
+            assert!(w[0].0 < w[1].0, "{:?} before {:?}", w[0], w[1]);
+        }
+        let mut names: Vec<&str> = FRAME_TAGS.iter().map(|(_, n)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FRAME_TAGS.len(), "duplicate tag name");
+    }
+
+    #[test]
+    fn request_and_response_ranges_hold() {
+        for (byte, name) in FRAME_TAGS {
+            let is_response = *byte >= 0x80;
+            let is_response_name = matches!(
+                *name,
+                "TAG_RESULT" | "TAG_ERROR" | "TAG_OK" | "TAG_PONG" | "TAG_RESULT_TRACED"
+            );
+            assert_eq!(
+                is_response, is_response_name,
+                "tag {name} (0x{byte:02x}) is in the wrong byte range"
+            );
+        }
+    }
+
+    #[test]
+    fn name_of_resolves_registered_bytes_only() {
+        assert_eq!(name_of(0x01), Some("TAG_QUERY"));
+        assert_eq!(name_of(0x85), Some("TAG_RESULT_TRACED"));
+        assert_eq!(name_of(0x7f), None);
+    }
+}

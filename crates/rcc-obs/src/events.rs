@@ -27,6 +27,9 @@ pub enum EventKind {
     Lint,
     /// A durable back-end restarted and replayed its WAL/checkpoint state.
     Recovery,
+    /// The template robustness analyzer pinned a declared template to the
+    /// strict path (`NOT ROBUST` verdict at `CREATE TEMPLATE` time).
+    Robustness,
 }
 
 impl EventKind {
@@ -38,6 +41,7 @@ impl EventKind {
             EventKind::Failover => "failover",
             EventKind::Lint => "lint",
             EventKind::Recovery => "recovery",
+            EventKind::Robustness => "robustness",
         }
     }
 }

@@ -106,6 +106,14 @@ pub const METRICS: &[(&str, &str)] = &[
         "rcc_replication_txns_applied_total",
         "Replicated txns applied",
     ),
+    (
+        "rcc_robust_audits_total",
+        "Template robustness analyses run",
+    ),
+    (
+        "rcc_robust_templates",
+        "Declared templates by robustness verdict",
+    ),
     ("rcc_rows_shipped_total", "Rows received from the back-end"),
     ("rcc_scan_morsels_per_scan", "Morsels per parallel scan"),
     (

@@ -1,0 +1,223 @@
+//! Property tests for the robustness analyzer, over randomly generated
+//! template workloads bound against the TPC-C-flavored catalog.
+//!
+//! * **Alpha-equivalence** — verdicts depend only on the workload's
+//!   structure: consistently renaming every template and parameter and
+//!   reordering each template's parameter declaration list leaves every
+//!   verdict unchanged.
+//! * **Modular blame** — adding a read-only template to a workload never
+//!   flips an existing template's `ROBUST` verdict: entry, relay, and
+//!   closing positions of a dangerous cycle all require writes, so a
+//!   template without writes can endanger only itself.
+
+use proptest::prelude::*;
+use rcc_catalog::Catalog;
+use rcc_common::TableId;
+use rcc_robust::{analyze, Verdict};
+use rcc_semantics::{summarize_template, TemplateSummary};
+use rcc_sql::ast::Statement;
+
+/// One generated statement: which table it touches, whether it writes,
+/// the currency bound for reads (seconds), and how the key is supplied.
+#[derive(Clone, Debug)]
+struct StmtSpec {
+    orders: bool,
+    write: bool,
+    bound_secs: u32,
+    /// 0 = parameter, 1/2 = distinct integer literals.
+    key: u8,
+}
+
+fn coin() -> impl Strategy<Value = bool> {
+    (0..2u8).prop_map(|b| b == 1)
+}
+
+fn stmt_strategy() -> impl Strategy<Value = StmtSpec> {
+    (
+        coin(),
+        coin(),
+        prop_oneof![Just(0u32), Just(5), Just(30)],
+        0..3u8,
+    )
+        .prop_map(|(orders, write, bound_secs, key)| StmtSpec {
+            orders,
+            write,
+            bound_secs,
+            key,
+        })
+}
+
+/// A workload: 1-4 templates of 1-3 statements each.
+fn workload_strategy() -> impl Strategy<Value = Vec<Vec<StmtSpec>>> {
+    prop::collection::vec(prop::collection::vec(stmt_strategy(), 1..4), 1..5)
+}
+
+/// A read-only template body (no writes, any bounds and keys).
+fn read_only_strategy() -> impl Strategy<Value = Vec<StmtSpec>> {
+    prop::collection::vec(
+        stmt_strategy().prop_map(|mut s| {
+            s.write = false;
+            s
+        }),
+        1..4,
+    )
+}
+
+fn key_term(spec: &StmtSpec, param: &str) -> String {
+    match spec.key {
+        0 => format!("${param}"),
+        k => k.to_string(),
+    }
+}
+
+/// Render one statement; `param` names the parameter a key == 0 uses.
+fn render_stmt(spec: &StmtSpec, param: &str) -> String {
+    let k = key_term(spec, param);
+    match (spec.orders, spec.write) {
+        (false, false) => format!(
+            "SELECT c_acctbal FROM customer WHERE c_custkey = {k} \
+             CURRENCY BOUND {} SEC ON (customer)",
+            spec.bound_secs
+        ),
+        (false, true) => format!("UPDATE customer SET c_acctbal = 0 WHERE c_custkey = {k}"),
+        (true, false) => format!(
+            "SELECT o_totalprice FROM orders WHERE o_custkey = {k} AND o_orderkey = 1 \
+             CURRENCY BOUND {} SEC ON (orders)",
+            spec.bound_secs
+        ),
+        (true, true) => {
+            format!("UPDATE orders SET o_totalprice = 0 WHERE o_custkey = {k} AND o_orderkey = 1")
+        }
+    }
+}
+
+/// Render a whole template. Statement `i` uses parameter `params[i]`;
+/// `decl_order` permutes the declaration list only (usage is positional),
+/// which is exactly the reordering the verdict must be invariant under.
+fn render_template(
+    name: &str,
+    body: &[StmtSpec],
+    params: &[String],
+    decl_order: &[usize],
+) -> String {
+    let declared: Vec<String> = decl_order
+        .iter()
+        .filter(|&&i| body[i].key == 0)
+        .map(|&i| format!("${}", params[i]))
+        .collect();
+    let stmts: Vec<String> = body
+        .iter()
+        .enumerate()
+        .map(|(i, s)| render_stmt(s, &params[i]))
+        .collect();
+    format!(
+        "CREATE TEMPLATE {name} ({}) AS {}; END",
+        declared.join(", "),
+        stmts.join("; ")
+    )
+}
+
+fn catalog() -> Catalog {
+    let cat = Catalog::new();
+    cat.register_table(rcc_tpcd::customer_meta(TableId(1)))
+        .expect("static schema");
+    cat.register_table(rcc_tpcd::orders_meta(TableId(2)))
+        .expect("static schema");
+    cat
+}
+
+fn bind(catalog: &Catalog, sql: &str) -> TemplateSummary {
+    let Ok(Statement::CreateTemplate(decl)) = rcc_sql::parser::parse_statement(sql) else {
+        panic!("not a CREATE TEMPLATE: {sql}");
+    };
+    summarize_template(catalog, &decl).expect("generated template must bind")
+}
+
+/// Canonical rendering: templates `t0..`, statement `i` uses `p{i}`,
+/// parameters declared in statement order.
+fn canonical(workload: &[Vec<StmtSpec>]) -> Vec<String> {
+    workload
+        .iter()
+        .enumerate()
+        .map(|(ti, body)| {
+            let params: Vec<String> = (0..body.len()).map(|i| format!("p{i}")).collect();
+            let order: Vec<usize> = (0..body.len()).collect();
+            render_template(&format!("t{ti}"), body, &params, &order)
+        })
+        .collect()
+}
+
+/// Alpha-renamed rendering: fresh template and parameter names, and the
+/// parameter declaration list reversed.
+fn renamed(workload: &[Vec<StmtSpec>]) -> Vec<String> {
+    workload
+        .iter()
+        .enumerate()
+        .map(|(ti, body)| {
+            let params: Vec<String> = (0..body.len())
+                .map(|i| format!("zz_arg_{ti}_{i}"))
+                .collect();
+            let order: Vec<usize> = (0..body.len()).rev().collect();
+            render_template(&format!("renamed_tpl_{ti}"), body, &params, &order)
+        })
+        .collect()
+}
+
+fn verdicts(catalog: &Catalog, sqls: &[String]) -> Vec<Verdict> {
+    let summaries: Vec<TemplateSummary> = sqls.iter().map(|s| bind(catalog, s)).collect();
+    analyze(&summaries)
+        .templates
+        .iter()
+        .map(|t| t.verdict)
+        .collect()
+}
+
+proptest! {
+    /// Verdicts are invariant under consistent renaming of template and
+    /// parameter names and reordering of parameter declarations.
+    #[test]
+    fn verdicts_invariant_under_alpha_renaming(workload in workload_strategy()) {
+        let cat = catalog();
+        let base = verdicts(&cat, &canonical(&workload));
+        let alpha = verdicts(&cat, &renamed(&workload));
+        prop_assert_eq!(base, alpha);
+    }
+
+    /// Adding a read-only template never flips an existing `ROBUST`
+    /// verdict: only templates that write can participate in the cycle
+    /// positions that endanger *other* templates.
+    #[test]
+    fn read_only_addition_never_flips_robust(
+        workload in workload_strategy(),
+        extra in read_only_strategy(),
+    ) {
+        let cat = catalog();
+        let mut sqls = canonical(&workload);
+        let before = verdicts(&cat, &sqls);
+        let params: Vec<String> = (0..extra.len()).map(|i| format!("x{i}")).collect();
+        let order: Vec<usize> = (0..extra.len()).collect();
+        sqls.push(render_template("read_only_extra", &extra, &params, &order));
+        let after = verdicts(&cat, &sqls);
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if *b == Verdict::Robust {
+                prop_assert_eq!(
+                    *a,
+                    Verdict::Robust,
+                    "template t{} flipped to NOT ROBUST after adding a read-only template",
+                    i
+                );
+            }
+        }
+    }
+
+    /// Determinism: analyzing the same workload twice yields identical
+    /// reports, witnesses included.
+    #[test]
+    fn analysis_is_deterministic(workload in workload_strategy()) {
+        let cat = catalog();
+        let sqls = canonical(&workload);
+        let a: Vec<TemplateSummary> = sqls.iter().map(|s| bind(&cat, s)).collect();
+        let b: Vec<TemplateSummary> = sqls.iter().map(|s| bind(&cat, s)).collect();
+        prop_assert_eq!(analyze(&a), analyze(&b));
+    }
+}

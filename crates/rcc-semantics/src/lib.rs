@@ -26,6 +26,10 @@
 
 pub mod history;
 pub mod oracle;
+pub mod templates;
 
 pub use history::{Copy, History, ObjectId, TxnEvent};
 pub use oracle::{timeline_consistent, GroupObservation};
+pub use templates::{
+    summarize_template, AccessMode, KeySpec, KeyTerm, TemplateAccess, TemplateSummary,
+};

@@ -1,0 +1,685 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+//! Binding transaction templates to read/write summaries.
+//!
+//! A [`rcc_sql::ast::TemplateDecl`] is a parameterized statement sequence.
+//! The robustness analyzer (`rcc-robust`) does not look at raw ASTs: it
+//! consumes per-template **summaries** — for every statement, the set of
+//! (table, key-class) objects it reads or writes, together with each read's
+//! currency bound and its *consistency position* inside the template. This
+//! module performs that binding against a [`rcc_catalog::Catalog`]:
+//!
+//! * FROM items resolve to base tables (cached views resolve through to the
+//!   table they replicate, so a view read conflicts with base-table writes);
+//! * WHERE conjuncts of the form `key_col = $param` / `key_col = literal`
+//!   over the table's full primary key yield a [`KeySpec::Point`] — anything
+//!   less precise is a conservative [`KeySpec::Range`];
+//! * currency specs assign each read its bound and its consistency class;
+//!   reads in the same statement, same spec and same BY-group share one
+//!   position (the paper guarantees them one snapshot, so no interleaving
+//!   can split them), everything else gets a distinct position.
+//!
+//! The summary language is deliberately name-free where it matters: key
+//! terms compare parameters by within-template identity only, so verdicts
+//! downstream are invariant under template renaming and parameter
+//! reordering (alpha-equivalence).
+
+use rcc_catalog::Catalog;
+use rcc_common::{Duration, Error, Result, Value};
+use rcc_sql::ast::{BinaryOp, CurrencySpec, Expr, SelectStmt, Statement, TableRef, TemplateDecl};
+
+/// One side of a primary-key equality conjunct.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyTerm {
+    /// `col = $p` — a template parameter. Two [`KeyTerm::Param`]s from
+    /// *different* template instances never provably collide or provably
+    /// differ; within one instance, equal names mean equal values.
+    Param(String),
+    /// `col = 42` — a literal, rendered canonically.
+    Lit(String),
+}
+
+/// The key class a statement touches on one table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeySpec {
+    /// Full-primary-key equality binding, terms in key-column order.
+    /// Two points are provably disjoint only when some position holds two
+    /// distinct literals.
+    Point(Vec<KeyTerm>),
+    /// Anything else — conservatively overlaps every key class.
+    Range,
+}
+
+impl KeySpec {
+    /// May two key classes on the same table touch a common row?
+    ///
+    /// This is deliberately one-sided: `false` is a proof of disjointness,
+    /// `true` merely fails to prove it.
+    pub fn overlaps(&self, other: &KeySpec) -> bool {
+        match (self, other) {
+            (KeySpec::Point(a), KeySpec::Point(b)) => {
+                if a.len() != b.len() {
+                    return true;
+                }
+                !a.iter()
+                    .zip(b)
+                    .any(|(x, y)| matches!((x, y), (KeyTerm::Lit(l), KeyTerm::Lit(r)) if l != r))
+            }
+            _ => true,
+        }
+    }
+}
+
+/// How a statement touches a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// A read with its currency bound; `bound.is_zero()` means the strict
+    /// (serializable, master) path, a positive bound means the read may be
+    /// served from a cache that lags the master by up to `bound`.
+    Read {
+        /// Maximum acceptable staleness.
+        bound: Duration,
+    },
+    /// An INSERT/UPDATE/DELETE write. Writes always run on the master under
+    /// strict isolation.
+    Write,
+}
+
+impl AccessMode {
+    /// Is this a read whose currency bound admits stale data?
+    pub fn is_relaxed_read(&self) -> bool {
+        matches!(self, AccessMode::Read { bound } if !bound.is_zero())
+    }
+
+    /// Is this a write?
+    pub fn is_write(&self) -> bool {
+        matches!(self, AccessMode::Write)
+    }
+}
+
+/// One (table, key-class) access of one template statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateAccess {
+    /// Resolved **base table** name (view reads resolve through).
+    pub table: String,
+    /// Read (with bound) or write.
+    pub mode: AccessMode,
+    /// Key class touched.
+    pub key: KeySpec,
+    /// 0-based statement index within the template (program order).
+    pub stmt: usize,
+    /// Consistency position within the statement: accesses sharing a
+    /// position are guaranteed one snapshot and can never be separated by
+    /// an interleaved writer; distinct positions within one statement are
+    /// mutually unordered and *can* be split.
+    pub pos: u32,
+    /// 1-based source line of the owning statement (0 if synthesized).
+    pub line: u32,
+}
+
+impl TemplateAccess {
+    /// Do two accesses conflict (same table, overlapping keys, at least one
+    /// write)?
+    pub fn conflicts_with(&self, other: &TemplateAccess) -> bool {
+        self.table == other.table
+            && (self.mode.is_write() || other.mode.is_write())
+            && self.key.overlaps(&other.key)
+    }
+}
+
+/// The bound read/write summary of one template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateSummary {
+    /// Template name.
+    pub name: String,
+    /// 1-based source line of the declaration (0 if synthesized).
+    pub line: u32,
+    /// Declared parameter names (declaration order; informational only).
+    pub params: Vec<String>,
+    /// Number of statements in the template body.
+    pub statements: usize,
+    /// Every (table, key-class) access, in program order.
+    pub accesses: Vec<TemplateAccess>,
+}
+
+impl TemplateSummary {
+    /// Does the template write anything?
+    pub fn has_writes(&self) -> bool {
+        self.accesses.iter().any(|a| a.mode.is_write())
+    }
+
+    /// Does the template perform any relaxed (bound > 0) read?
+    pub fn has_relaxed_reads(&self) -> bool {
+        self.accesses.iter().any(|a| a.mode.is_relaxed_read())
+    }
+}
+
+/// Bind `decl` against `catalog`, producing its read/write summary.
+///
+/// Fails with [`Error::Analysis`] when the template uses an undeclared
+/// parameter, references an unknown table, or uses a construct the
+/// analysis cannot summarize soundly (subqueries / derived tables).
+pub fn summarize_template(catalog: &Catalog, decl: &TemplateDecl) -> Result<TemplateSummary> {
+    let mut accesses = Vec::new();
+    for (idx, (stmt, line)) in decl.statements.iter().enumerate() {
+        match stmt {
+            Statement::Select(s) => {
+                summarize_select(catalog, decl, s, idx, *line, &mut accesses)?;
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let meta = resolve_base(catalog, decl, table)?;
+                for row in rows {
+                    for e in row {
+                        check_expr(decl, e)?;
+                    }
+                }
+                let key = insert_key(&meta, columns, rows);
+                accesses.push(TemplateAccess {
+                    table: meta.name.clone(),
+                    mode: AccessMode::Write,
+                    key,
+                    stmt: idx,
+                    pos: 0,
+                    line: *line,
+                });
+            }
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
+                let meta = resolve_base(catalog, decl, table)?;
+                for (_, e) in assignments {
+                    check_expr(decl, e)?;
+                }
+                if let Some(f) = filter {
+                    check_expr(decl, f)?;
+                }
+                let key = filter_key(&meta, table, filter.as_ref());
+                accesses.push(TemplateAccess {
+                    table: meta.name.clone(),
+                    mode: AccessMode::Write,
+                    key,
+                    stmt: idx,
+                    pos: 0,
+                    line: *line,
+                });
+            }
+            Statement::Delete { table, filter } => {
+                let meta = resolve_base(catalog, decl, table)?;
+                if let Some(f) = filter {
+                    check_expr(decl, f)?;
+                }
+                let key = filter_key(&meta, table, filter.as_ref());
+                accesses.push(TemplateAccess {
+                    table: meta.name.clone(),
+                    mode: AccessMode::Write,
+                    key,
+                    stmt: idx,
+                    pos: 0,
+                    line: *line,
+                });
+            }
+            other => {
+                return Err(Error::Analysis(format!(
+                    "template {}: unsupported statement kind {:?}",
+                    decl.name,
+                    std::mem::discriminant(other)
+                )));
+            }
+        }
+    }
+    Ok(TemplateSummary {
+        name: decl.name.clone(),
+        line: decl.line,
+        params: decl.params.clone(),
+        statements: decl.statements.len(),
+        accesses,
+    })
+}
+
+/// A resolved table, with key columns, behind a FROM binding.
+struct Binding {
+    binding: String,
+    meta: std::sync::Arc<rcc_catalog::TableMeta>,
+}
+
+fn summarize_select(
+    catalog: &Catalog,
+    decl: &TemplateDecl,
+    s: &SelectStmt,
+    idx: usize,
+    line: u32,
+    accesses: &mut Vec<TemplateAccess>,
+) -> Result<()> {
+    if let Some(f) = &s.filter {
+        check_expr(decl, f)?;
+    }
+    for item in &s.projections {
+        if let rcc_sql::ast::SelectItem::Expr { expr, .. } = item {
+            check_expr(decl, expr)?;
+        }
+    }
+    let mut bindings = Vec::new();
+    collect_bindings(catalog, decl, &s.from, &mut bindings)?;
+    let specs: &[CurrencySpec] = s
+        .currency
+        .as_ref()
+        .map(|c| c.specs.as_slice())
+        .unwrap_or(&[]);
+
+    // Consistency-position assignment: accesses sharing (class, BY-group)
+    // share a position; everything else is distinct. `None` as the group of
+    // a BY spec whose columns are unbound is made unique via the running
+    // counter so it never coalesces (conservative: splittable).
+    let mut seen: Vec<(usize, Option<Vec<KeyTerm>>)> = Vec::new();
+    for (bix, b) in bindings.iter().enumerate() {
+        let spec_ix = specs
+            .iter()
+            .position(|sp| sp.tables.iter().any(|t| t.eq_ignore_ascii_case(&b.binding)));
+        let (bound, class) = match spec_ix {
+            Some(i) => (specs[i].bound, i),
+            // Uncovered reads are strict and each their own class.
+            None => (Duration::ZERO, specs.len() + bix),
+        };
+        let group = match spec_ix {
+            Some(i) if !specs[i].by.is_empty() => {
+                match by_group(&specs[i], b, s.filter.as_ref()) {
+                    Some(terms) => Some(terms),
+                    // Unbound BY columns: force a unique position.
+                    None => Some(vec![KeyTerm::Lit(format!("\u{0}uniq{bix}"))]),
+                }
+            }
+            _ => None,
+        };
+        let class_key = (class, group);
+        let pos = match seen.iter().position(|k| *k == class_key) {
+            Some(p) => p as u32,
+            None => {
+                seen.push(class_key);
+                (seen.len() - 1) as u32
+            }
+        };
+        let key = binding_key(&b.meta, &b.binding, s.filter.as_ref());
+        accesses.push(TemplateAccess {
+            table: b.meta.name.clone(),
+            mode: AccessMode::Read { bound },
+            key,
+            stmt: idx,
+            pos,
+            line,
+        });
+    }
+    Ok(())
+}
+
+/// Flatten the FROM clause into named bindings, resolving views to their
+/// base tables. Derived tables are rejected: their reads would be invisible
+/// to the summary and the analysis would be unsound.
+fn collect_bindings(
+    catalog: &Catalog,
+    decl: &TemplateDecl,
+    from: &[TableRef],
+    out: &mut Vec<Binding>,
+) -> Result<()> {
+    for item in from {
+        match item {
+            TableRef::Named { name, alias } => {
+                let meta = resolve_base(catalog, decl, name)?;
+                out.push(Binding {
+                    binding: alias.clone().unwrap_or_else(|| name.clone()),
+                    meta,
+                });
+            }
+            TableRef::Subquery { .. } => {
+                return Err(Error::Analysis(format!(
+                    "template {}: derived tables are not supported in templates",
+                    decl.name
+                )));
+            }
+            TableRef::Join { left, right, on } => {
+                check_expr(decl, on)?;
+                collect_bindings(catalog, decl, std::slice::from_ref(left), out)?;
+                collect_bindings(catalog, decl, std::slice::from_ref(right), out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolve a FROM/DML table name to its base-table metadata (views resolve
+/// through to the replicated table).
+fn resolve_base(
+    catalog: &Catalog,
+    decl: &TemplateDecl,
+    name: &str,
+) -> Result<std::sync::Arc<rcc_catalog::TableMeta>> {
+    if let Ok(meta) = catalog.table(name) {
+        return Ok(meta);
+    }
+    if let Ok(view) = catalog.view(name) {
+        return catalog.table_by_id(view.base_table);
+    }
+    Err(Error::Analysis(format!(
+        "template {}: unknown table or view '{name}'",
+        decl.name
+    )))
+}
+
+/// Reject undeclared parameters and subqueries anywhere in an expression.
+fn check_expr(decl: &TemplateDecl, e: &Expr) -> Result<()> {
+    let mut err = None;
+    e.visit(&mut |x| {
+        if err.is_some() {
+            return;
+        }
+        match x {
+            Expr::Parameter(p) if !decl.params.contains(p) => {
+                err = Some(format!("template {}: undeclared parameter ${p}", decl.name));
+            }
+            Expr::Exists { .. } | Expr::InSubquery { .. } => {
+                err = Some(format!(
+                    "template {}: subqueries are not supported in templates",
+                    decl.name
+                ));
+            }
+            _ => {}
+        }
+    });
+    match err {
+        Some(m) => Err(Error::Analysis(m)),
+        None => Ok(()),
+    }
+}
+
+/// Extract `col = term` equality conjuncts for one binding from a WHERE
+/// predicate (top-level AND tree only — anything under OR/NOT is ignored,
+/// which is conservative).
+fn eq_conjuncts(
+    meta: &rcc_catalog::TableMeta,
+    binding: &str,
+    filter: Option<&Expr>,
+    out: &mut Vec<(String, KeyTerm)>,
+) {
+    fn term_of(e: &Expr) -> Option<KeyTerm> {
+        match e {
+            Expr::Parameter(p) => Some(KeyTerm::Param(p.clone())),
+            Expr::Literal(v) => Some(KeyTerm::Lit(render_value(v))),
+            _ => None,
+        }
+    }
+    fn walk(
+        meta: &rcc_catalog::TableMeta,
+        binding: &str,
+        e: &Expr,
+        out: &mut Vec<(String, KeyTerm)>,
+    ) {
+        match e {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                walk(meta, binding, left, out);
+                walk(meta, binding, right, out);
+            }
+            Expr::Binary {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            } => {
+                for (col_side, term_side) in [(left, right), (right, left)] {
+                    if let Expr::Column { qualifier, name } = col_side.as_ref() {
+                        let qualifier_ok = match qualifier {
+                            Some(q) => q.eq_ignore_ascii_case(binding),
+                            None => meta.schema.resolve(None, name).is_ok(),
+                        };
+                        if qualifier_ok {
+                            if let Some(t) = term_of(term_side) {
+                                out.push((name.to_ascii_lowercase(), t));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(f) = filter {
+        walk(meta, binding, f, out);
+    }
+}
+
+/// Canonical literal rendering for key comparison.
+fn render_value(v: &Value) -> String {
+    format!("{v:?}")
+}
+
+/// Key class of a read/write over `binding`: Point when the WHERE clause
+/// pins every primary-key column by equality, Range otherwise.
+fn binding_key(meta: &rcc_catalog::TableMeta, binding: &str, filter: Option<&Expr>) -> KeySpec {
+    let mut eqs = Vec::new();
+    eq_conjuncts(meta, binding, filter, &mut eqs);
+    let mut terms = Vec::with_capacity(meta.key.len());
+    for kc in &meta.key {
+        match eqs.iter().find(|(c, _)| c.eq_ignore_ascii_case(kc)) {
+            Some((_, t)) => terms.push(t.clone()),
+            None => return KeySpec::Range,
+        }
+    }
+    if terms.is_empty() {
+        KeySpec::Range
+    } else {
+        KeySpec::Point(terms)
+    }
+}
+
+/// Key class of a DML filter (table referenced by its own name).
+fn filter_key(meta: &rcc_catalog::TableMeta, table: &str, filter: Option<&Expr>) -> KeySpec {
+    binding_key(meta, table, filter)
+}
+
+/// Key class of an INSERT: Point when a single row binds the full primary
+/// key to parameters/literals.
+fn insert_key(meta: &rcc_catalog::TableMeta, columns: &[String], rows: &[Vec<Expr>]) -> KeySpec {
+    if rows.len() != 1 {
+        return KeySpec::Range;
+    }
+    let row = &rows[0];
+    let names: Vec<String> = if columns.is_empty() {
+        meta.schema
+            .columns()
+            .iter()
+            .map(|c| c.name.to_ascii_lowercase())
+            .collect()
+    } else {
+        columns.iter().map(|c| c.to_ascii_lowercase()).collect()
+    };
+    let mut terms = Vec::with_capacity(meta.key.len());
+    for kc in &meta.key {
+        let Some(ix) = names.iter().position(|n| n.eq_ignore_ascii_case(kc)) else {
+            return KeySpec::Range;
+        };
+        match row.get(ix) {
+            Some(Expr::Parameter(p)) => terms.push(KeyTerm::Param(p.clone())),
+            Some(Expr::Literal(v)) => terms.push(KeyTerm::Lit(render_value(v))),
+            _ => return KeySpec::Range,
+        }
+    }
+    if terms.is_empty() {
+        KeySpec::Range
+    } else {
+        KeySpec::Point(terms)
+    }
+}
+
+/// BY-group terms of one binding under a spec: the equality bindings of the
+/// spec's BY columns that belong to this table. `None` when any is unbound.
+fn by_group(spec: &CurrencySpec, b: &Binding, filter: Option<&Expr>) -> Option<Vec<KeyTerm>> {
+    let mut eqs = Vec::new();
+    eq_conjuncts(&b.meta, &b.binding, filter, &mut eqs);
+    let mut terms = Vec::new();
+    for (q, col) in &spec.by {
+        let relevant = match q {
+            Some(q) => q.eq_ignore_ascii_case(&b.binding),
+            None => b.meta.schema.resolve(None, col).is_ok(),
+        };
+        if !relevant {
+            continue;
+        }
+        match eqs.iter().find(|(c, _)| c.eq_ignore_ascii_case(col)) {
+            Some((_, t)) => terms.push(t.clone()),
+            None => return None,
+        }
+    }
+    Some(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_catalog::TableMeta;
+    use rcc_common::{Column, DataType, Schema, TableId};
+    use rcc_sql::parse_statement;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("c_custkey", DataType::Int),
+            Column::new("c_name", DataType::Str),
+            Column::new("c_acctbal", DataType::Float),
+        ]);
+        let meta =
+            TableMeta::new(TableId(1), "customer", schema, vec!["c_custkey".into()]).unwrap();
+        cat.register_table(meta).unwrap();
+        let schema = Schema::new(vec![
+            Column::new("o_orderkey", DataType::Int),
+            Column::new("o_custkey", DataType::Int),
+            Column::new("o_totalprice", DataType::Float),
+        ]);
+        let meta = TableMeta::new(TableId(2), "orders", schema, vec!["o_orderkey".into()]).unwrap();
+        cat.register_table(meta).unwrap();
+        cat
+    }
+
+    fn template(sql: &str) -> TemplateDecl {
+        match parse_statement(sql).expect("parse") {
+            Statement::CreateTemplate(t) => *t,
+            other => panic!("not a template: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn point_read_and_write_summary() {
+        let cat = catalog();
+        let t = template(
+            "CREATE TEMPLATE pay ($c, $amt) AS \
+             SELECT c_acctbal FROM customer WHERE c_custkey = $c \
+               CURRENCY BOUND 10 SEC ON (customer); \
+             UPDATE customer SET c_acctbal = $amt WHERE c_custkey = $c; END",
+        );
+        let s = summarize_template(&cat, &t).expect("summary");
+        assert_eq!(s.statements, 2);
+        assert_eq!(s.accesses.len(), 2);
+        let read = &s.accesses[0];
+        assert_eq!(read.table, "customer");
+        assert!(read.mode.is_relaxed_read());
+        assert_eq!(read.key, KeySpec::Point(vec![KeyTerm::Param("c".into())]));
+        let write = &s.accesses[1];
+        assert!(write.mode.is_write());
+        assert_eq!(write.stmt, 1);
+        assert!(s.has_writes());
+        assert!(s.has_relaxed_reads());
+    }
+
+    #[test]
+    fn uncovered_read_is_strict_and_range_without_key() {
+        let cat = catalog();
+        let t = template(
+            "CREATE TEMPLATE scan () AS SELECT c_name FROM customer WHERE c_acctbal > 10; END",
+        );
+        let s = summarize_template(&cat, &t).expect("summary");
+        assert_eq!(s.accesses.len(), 1);
+        assert_eq!(
+            s.accesses[0].mode,
+            AccessMode::Read {
+                bound: Duration::ZERO
+            }
+        );
+        assert_eq!(s.accesses[0].key, KeySpec::Range);
+        assert!(!s.has_relaxed_reads());
+    }
+
+    #[test]
+    fn same_class_shares_position_distinct_classes_do_not() {
+        let cat = catalog();
+        let t = template(
+            "CREATE TEMPLATE j ($c) AS \
+             SELECT c_name, o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = $c AND o.o_custkey = $c \
+             CURRENCY BOUND 10 SEC ON (c, o); END",
+        );
+        let s = summarize_template(&cat, &t).expect("summary");
+        assert_eq!(s.accesses.len(), 2);
+        assert_eq!(s.accesses[0].pos, s.accesses[1].pos);
+
+        let t = template(
+            "CREATE TEMPLATE j2 ($c) AS \
+             SELECT c_name, o_totalprice FROM customer c, orders o \
+             WHERE c.c_custkey = $c AND o.o_custkey = $c \
+             CURRENCY BOUND 10 SEC ON (c), 5 SEC ON (o); END",
+        );
+        let s = summarize_template(&cat, &t).expect("summary");
+        assert_ne!(s.accesses[0].pos, s.accesses[1].pos);
+    }
+
+    #[test]
+    fn undeclared_parameter_rejected() {
+        let cat = catalog();
+        let t = template(
+            "CREATE TEMPLATE bad ($c) AS SELECT c_name FROM customer WHERE c_custkey = $x; END",
+        );
+        let err = summarize_template(&cat, &t).expect_err("must fail");
+        assert!(err.to_string().contains("undeclared parameter $x"), "{err}");
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let cat = catalog();
+        let t = template("CREATE TEMPLATE bad () AS SELECT x FROM nowhere; END");
+        let err = summarize_template(&cat, &t).expect_err("must fail");
+        assert!(err.to_string().contains("unknown table"), "{err}");
+    }
+
+    #[test]
+    fn literal_points_disjoint_param_points_overlap() {
+        let a = KeySpec::Point(vec![KeyTerm::Lit("Int(1)".into())]);
+        let b = KeySpec::Point(vec![KeyTerm::Lit("Int(2)".into())]);
+        let p = KeySpec::Point(vec![KeyTerm::Param("c".into())]);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&a));
+        assert!(a.overlaps(&p));
+        assert!(p.overlaps(&p));
+        assert!(KeySpec::Range.overlaps(&a));
+        assert!(a.overlaps(&KeySpec::Range));
+    }
+
+    #[test]
+    fn insert_with_full_key_is_point() {
+        let cat = catalog();
+        let t = template(
+            "CREATE TEMPLATE ins ($o, $c) AS \
+             INSERT INTO orders (o_orderkey, o_custkey, o_totalprice) VALUES ($o, $c, 0.0); END",
+        );
+        let s = summarize_template(&cat, &t).expect("summary");
+        assert_eq!(
+            s.accesses[0].key,
+            KeySpec::Point(vec![KeyTerm::Param("o".into())])
+        );
+        assert!(s.accesses[0].mode.is_write());
+    }
+}

@@ -99,6 +99,39 @@ pub enum Statement {
     /// `SHOW TRACE` — dump the most recently finished query trace
     /// (including spans merged back from the back-end) as a result set.
     ShowTrace,
+    /// `CREATE TEMPLATE name ($p, ...) AS stmt; stmt; ... END` — declare a
+    /// named parameterized transaction template (a statement sequence the
+    /// robustness analyzer reasons about as one unit).
+    CreateTemplate(Box<TemplateDecl>),
+    /// `AUDIT TEMPLATES` — run the template robustness analyzer over every
+    /// declared template and report one verdict row per template instead of
+    /// executing anything.
+    AuditTemplates,
+}
+
+/// A transaction template: a named, parameterized sequence of statements
+/// (SELECTs with currency clauses plus INSERT/UPDATE/DELETE skeletons).
+///
+/// Templates are the unit of the robustness analysis in `rcc-robust`: the
+/// analyzer decides per template whether every interleaving its relaxed
+/// currency reads allow is serializable, or whether the template must be
+/// pinned to the strict (bound-0) path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateDecl {
+    /// Template name (lower-cased, unique per cache).
+    pub name: String,
+    /// Declared `$` parameter names, in declaration order. Declaration
+    /// order is documentation only: the analysis is invariant under
+    /// parameter reordering.
+    pub params: Vec<String>,
+    /// The statement sequence, each with the 1-based source line its first
+    /// token starts on (0 if synthesized) — robustness witnesses are
+    /// line-addressable through these.
+    pub statements: Vec<(Statement, u32)>,
+    /// 1-based source line of the template name token (0 if synthesized).
+    pub line: u32,
+    /// 1-based source column of the template name token (0 if synthesized).
+    pub col: u32,
 }
 
 /// One Select-From-Where block. The currency clause "occurs last in an SFW

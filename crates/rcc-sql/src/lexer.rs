@@ -191,6 +191,9 @@ const KEYWORDS: &[&str] = &[
     "VERIFY",
     "LINT",
     "SHOW",
+    "TEMPLATE",
+    "TEMPLATES",
+    "AUDIT",
 ];
 
 /// Tokenize `input` into a vector ending with [`TokenKind::Eof`].

@@ -180,6 +180,11 @@ impl Parser {
                     }
                     Ok(Statement::Lint(Box::new(self.select_stmt()?)))
                 }
+                "AUDIT" => {
+                    self.bump();
+                    self.expect_kw("TEMPLATES")?;
+                    Ok(Statement::AuditTemplates)
+                }
                 "SHOW" => {
                     self.bump();
                     let what = self.ident()?;
@@ -358,9 +363,75 @@ impl Parser {
                 region,
                 query: Box::new(query),
             })
+        } else if self.eat_kw("TEMPLATE") {
+            self.create_template()
         } else {
-            Err(self.err("expected TABLE, INDEX, REGION or CACHED VIEW after CREATE"))
+            Err(self.err("expected TABLE, INDEX, REGION, TEMPLATE or CACHED VIEW after CREATE"))
         }
+    }
+
+    /// Body of `CREATE TEMPLATE name [($p, ...)] AS stmt; ...; END`.
+    fn create_template(&mut self) -> Result<Statement> {
+        let (line, col) = {
+            let t = &self.tokens[self.pos];
+            (t.line, t.col)
+        };
+        let name = self.ident()?;
+        let mut params: Vec<String> = Vec::new();
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            if !matches!(self.peek(), TokenKind::RParen) {
+                loop {
+                    match self.peek().clone() {
+                        TokenKind::Param(p) => {
+                            if params.contains(&p) {
+                                return Err(self.err(format!("duplicate template parameter ${p}")));
+                            }
+                            self.bump();
+                            params.push(p);
+                        }
+                        other => {
+                            return Err(self.err(format!("expected a $parameter, found '{other}'")))
+                        }
+                    }
+                    if !matches!(self.peek(), TokenKind::Comma) {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect_kw("AS")?;
+        let mut statements = Vec::new();
+        loop {
+            while self.eat_semi() {}
+            if self.eat_kw("END") {
+                break;
+            }
+            let stmt_line = self.tokens[self.pos].line;
+            let stmt = self.statement()?;
+            if !matches!(
+                stmt,
+                Statement::Select(_)
+                    | Statement::Insert { .. }
+                    | Statement::Update { .. }
+                    | Statement::Delete { .. }
+            ) {
+                return Err(self.err("templates may contain only SELECT, INSERT, UPDATE or DELETE"));
+            }
+            statements.push((stmt, stmt_line));
+        }
+        if statements.is_empty() {
+            return Err(self.err("template body must contain at least one statement"));
+        }
+        Ok(Statement::CreateTemplate(Box::new(TemplateDecl {
+            name,
+            params,
+            statements,
+            line,
+            col,
+        })))
     }
 
     fn data_type(&mut self) -> Result<DataType> {

@@ -102,6 +102,20 @@ pub fn statement_sql(stmt: &Statement) -> String {
         Statement::Lint(s) => format!("LINT {}", select_sql(s)),
         Statement::ShowEvents => "SHOW EVENTS".to_string(),
         Statement::ShowTrace => "SHOW TRACE".to_string(),
+        Statement::CreateTemplate(t) => {
+            let mut out = format!("CREATE TEMPLATE {}", t.name);
+            if !t.params.is_empty() {
+                let ps: Vec<String> = t.params.iter().map(|p| format!("${p}")).collect();
+                let _ = write!(out, " ({})", ps.join(", "));
+            }
+            out.push_str(" AS ");
+            for (stmt, _) in &t.statements {
+                let _ = write!(out, "{}; ", statement_sql(stmt));
+            }
+            out.push_str("END");
+            out
+        }
+        Statement::AuditTemplates => "AUDIT TEMPLATES".to_string(),
     }
 }
 
@@ -339,6 +353,8 @@ mod tests {
             "END TIMEORDERED",
             "SELECT * FROM t CURRENCY BOUND 10 MIN ON (t) BY t.id",
             "SELECT * FROM t WHERE ts > GETDATE() - 5000",
+            "CREATE TEMPLATE pay ($c, $amt) AS SELECT c_acctbal FROM customer WHERE c_custkey = $c CURRENCY BOUND 10 SEC ON (customer); UPDATE customer SET c_acctbal = $amt WHERE c_custkey = $c; END",
+            "AUDIT TEMPLATES",
         ] {
             roundtrip(sql);
         }

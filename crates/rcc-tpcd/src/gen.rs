@@ -28,6 +28,19 @@ pub fn customer_meta(id: TableId) -> TableMeta {
     meta
 }
 
+/// Catalog metadata for the Nation table: clustered on `n_nationkey`, no
+/// secondary indexes. The audit catalog registers it without any cached
+/// view on purpose — it is the lint corpus's target for bounds that no
+/// currency region can verify (L006).
+pub fn nation_meta(id: TableId) -> TableMeta {
+    let schema = Schema::new(vec![
+        Column::new("n_nationkey", DataType::Int),
+        Column::new("n_name", DataType::Str),
+        Column::new("n_regionkey", DataType::Int),
+    ]);
+    TableMeta::new(id, "nation", schema, vec!["n_nationkey".into()]).expect("static schema")
+}
+
 /// Catalog metadata for the Orders table: clustered on
 /// `(o_custkey, o_orderkey)`, no secondary indexes.
 pub fn orders_meta(id: TableId) -> TableMeta {

@@ -11,8 +11,12 @@
 
 pub mod gen;
 pub mod queries;
+pub mod templates;
 pub mod workload;
 
-pub use gen::{customer_meta, orders_meta, TpcdGenerator};
+pub use gen::{customer_meta, nation_meta, orders_meta, TpcdGenerator};
 pub use queries::{adversarial_lint_corpus, currency_corpus};
+pub use templates::{
+    robust_template_corpus, template_mutation_corpus, TemplateCase, TemplateMutation,
+};
 pub use workload::UpdateWorkload;

@@ -192,6 +192,28 @@ pub fn adversarial_lint_corpus() -> Vec<(&'static str, &'static [&'static str])>
              CURRENCY BOUND 0 SEC ON (c), 10 MIN ON (nation)",
             &["L002", "L005"],
         ),
+        // Clean control: nation is queryable without a currency clause.
+        ("SELECT n_name FROM nation WHERE n_nationkey = 1", &[]),
+        // L006: a positive bound on nation, which no cached view covers,
+        // is unverifiable at guard time.
+        (
+            "SELECT n_name FROM nation n CURRENCY BOUND 10 MIN ON (n)",
+            &["L006"],
+        ),
+        // L006 once: only the uncovered operand of the class is flagged.
+        (
+            "SELECT c_name, n_name FROM customer c, nation n \
+             WHERE c.c_nationkey = n.n_nationkey \
+             CURRENCY BOUND 10 MIN ON (c, n)",
+            &["L006"],
+        ),
+        // L006 composes with L003 (twice: per-column and coverage): the
+        // bound is unverifiable and the BY grouping matches no key.
+        (
+            "SELECT n_name FROM nation n \
+             CURRENCY BOUND 10 MIN ON (n) BY n.n_name",
+            &["L003", "L003", "L006"],
+        ),
     ]
 }
 

@@ -1,0 +1,186 @@
+//! `robust-audit`: sweep the deterministic TPC-C-flavored template corpus
+//! through the robustness analyzer and assert the exact expected verdict
+//! per template, then run the mutation corpus and assert each canonical
+//! robustness-breaking edit (add a conflicting write, loosen a bound, drop
+//! a key predicate) flips its target's verdict.
+//!
+//! ```text
+//! cargo run -p rcc-verify --bin robust-audit -- [--seed S] [--scale F]
+//! ```
+//!
+//! Any verdict mismatch, missing cycle witness, or non-flipping mutation is
+//! printed and the process exits non-zero — the CI smoke step runs this on
+//! every push.
+
+use rcc_robust::{analyze, Verdict};
+use rcc_semantics::{summarize_template, TemplateSummary};
+use rcc_sql::ast::Statement;
+use rcc_verify::rig;
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    scale: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 7,
+        scale: 0.001,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--scale" => {
+                args.scale = grab("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("usage: robust-audit [--seed S] [--scale F]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Parse and bind a workload of `CREATE TEMPLATE` statements.
+fn bind_workload(
+    catalog: &rcc_catalog::Catalog,
+    sqls: &[&str],
+) -> Result<Vec<TemplateSummary>, String> {
+    sqls.iter()
+        .map(|sql| {
+            let decl = match rcc_sql::parser::parse_statement(sql) {
+                Ok(Statement::CreateTemplate(t)) => t,
+                Ok(_) => return Err(format!("not a CREATE TEMPLATE statement: {sql}")),
+                Err(e) => return Err(format!("parse error: {e}\n  {sql}")),
+            };
+            summarize_template(catalog, &decl).map_err(|e| format!("bind error: {e}\n  {sql}"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("robust-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (catalog, _master) = match rig::audit_catalog(args.scale, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("robust-audit: failed to build audit catalog: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+
+    // Phase 1: the whole corpus as one workload, exact expected verdicts.
+    let corpus = rcc_tpcd::robust_template_corpus();
+    let sqls: Vec<&str> = corpus.iter().map(|c| c.sql).collect();
+    let summaries = match bind_workload(&catalog, &sqls) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("robust-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = analyze(&summaries);
+    let (mut robust, mut not_robust) = (0usize, 0usize);
+    for case in &corpus {
+        let Some(t) = report.report(case.name) else {
+            eprintln!("MISSING verdict for template {}", case.name);
+            failures += 1;
+            continue;
+        };
+        let got_robust = t.verdict == Verdict::Robust;
+        if got_robust {
+            robust += 1;
+        } else {
+            not_robust += 1;
+        }
+        println!("  {:<20} {}", t.name, t.verdict_string());
+        if got_robust != case.robust {
+            eprintln!(
+                "VERDICT MISMATCH for {}: expected {}, got {}",
+                case.name,
+                if case.robust { "ROBUST" } else { "NOT ROBUST" },
+                t.verdict_string()
+            );
+            failures += 1;
+        }
+        if !got_robust {
+            match t.witness.as_deref() {
+                Some(w) if w.contains("-->") => {}
+                other => {
+                    eprintln!(
+                        "MISSING cycle witness for NOT ROBUST template {}: {other:?}",
+                        case.name
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if robust == 0 || not_robust == 0 {
+        eprintln!("DEGENERATE corpus: {robust} robust / {not_robust} not robust — both verdicts must appear");
+        failures += 1;
+    }
+
+    // Phase 2: every mutation must flip its target's verdict.
+    for m in rcc_tpcd::template_mutation_corpus() {
+        let run = |sqls: &[&str]| -> Result<bool, String> {
+            let report = analyze(&bind_workload(&catalog, sqls)?);
+            report
+                .report(m.target)
+                .map(|t| t.verdict == Verdict::Robust)
+                .ok_or_else(|| format!("template {} missing from report", m.target))
+        };
+        match (run(m.base), run(m.mutated)) {
+            (Ok(before), Ok(after)) => {
+                if before != m.base_robust {
+                    eprintln!(
+                        "MUTATION '{}': base verdict wrong for {} (expected robust={}, got {})",
+                        m.label, m.target, m.base_robust, before
+                    );
+                    failures += 1;
+                } else if after == before {
+                    eprintln!(
+                        "MUTATION '{}' did not flip {} (still robust={before})",
+                        m.label, m.target
+                    );
+                    failures += 1;
+                } else {
+                    println!("  mutation '{}' flips {} as expected", m.label, m.target);
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("MUTATION '{}': {e}", m.label);
+                failures += 1;
+            }
+        }
+    }
+
+    println!(
+        "robust-audit: {} templates ({robust} robust, {not_robust} not robust), {} mutations, {failures} failure(s)",
+        corpus.len(),
+        rcc_tpcd::template_mutation_corpus().len(),
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

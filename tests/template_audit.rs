@@ -1,0 +1,134 @@
+//! End-to-end template robustness surfaces: `CREATE TEMPLATE` (the
+//! compile-time hook that re-audits the declared workload), `AUDIT
+//! TEMPLATES` (one verdict row per template), the `template_verdict`
+//! accessor the write path will consult, and the robustness metrics and
+//! journal events.
+
+use rcc_mtcache::paper::{paper_setup, warm_up};
+use rcc_mtcache::MTCache;
+use rcc_robust::Verdict;
+
+fn rig() -> MTCache {
+    let cache = paper_setup(0.001, 7).unwrap();
+    warm_up(&cache).unwrap();
+    cache
+}
+
+const PAY: &str = "CREATE TEMPLATE pay ($c, $amt) AS \
+    SELECT c_acctbal FROM customer WHERE c_custkey = $c \
+      CURRENCY BOUND 10 SEC ON (customer); \
+    UPDATE customer SET c_acctbal = $amt WHERE c_custkey = $c; END";
+
+const PEEK: &str = "CREATE TEMPLATE peek ($c) AS \
+    SELECT c_acctbal FROM customer WHERE c_custkey = $c \
+      CURRENCY BOUND 1 MIN ON (customer); END";
+
+#[test]
+fn audit_templates_reports_one_verdict_row_per_template() {
+    let cache = rig();
+    let r = cache.execute(PAY).unwrap();
+    assert!(
+        r.warnings.iter().any(|w| w.contains("NOT ROBUST")),
+        "declaration should carry its verdict: {:?}",
+        r.warnings
+    );
+    cache.execute(PEEK).unwrap();
+
+    let r = cache.execute("AUDIT TEMPLATES").unwrap();
+    assert_eq!(r.schema.columns().len(), 7);
+    assert_eq!(r.rows.len(), 2, "{r:?}");
+    let pay = &r.rows[0];
+    assert_eq!(pay.values()[0], rcc_common::Value::Str("pay".into()));
+    assert_eq!(pay.values()[1], rcc_common::Value::Str("NOT ROBUST".into()));
+    let witness = pay.values()[2].to_string();
+    assert!(
+        witness.contains("--rw(customer)-->") && witness.contains("--ww(customer)-->"),
+        "cycle witness expected: {witness}"
+    );
+    let peek = &r.rows[1];
+    assert_eq!(peek.values()[0], rcc_common::Value::Str("peek".into()));
+    assert_eq!(peek.values()[1], rcc_common::Value::Str("ROBUST".into()));
+    assert_eq!(peek.values()[2], rcc_common::Value::Str(String::new()));
+    assert!(
+        r.warnings[0].contains("2 template(s): 1 robust, 1 not robust"),
+        "{:?}",
+        r.warnings
+    );
+}
+
+#[test]
+fn compile_hook_updates_verdicts_metrics_and_journal() {
+    let cache = rig();
+    cache.execute(PEEK).unwrap();
+    assert_eq!(cache.template_verdict("peek"), Some(Verdict::Robust));
+    assert_eq!(cache.template_verdict("missing"), None);
+
+    // Declaring a conflicting writer re-audits the whole workload; peek
+    // stays robust (read-only split victim needs two reads), pay is not.
+    cache.execute(PAY).unwrap();
+    assert_eq!(cache.template_verdict("pay"), Some(Verdict::NotRobust));
+    assert_eq!(cache.template_verdict("peek"), Some(Verdict::Robust));
+
+    let snap = cache.metrics().snapshot();
+    assert_eq!(snap.counter("rcc_robust_audits_total"), 2);
+    assert_eq!(
+        snap.gauge("rcc_robust_templates{verdict=\"robust\"}"),
+        Some(1.0)
+    );
+    assert_eq!(
+        snap.gauge("rcc_robust_templates{verdict=\"not_robust\"}"),
+        Some(1.0)
+    );
+
+    // The NOT ROBUST declaration is journaled.
+    let events = cache.execute("SHOW EVENTS").unwrap();
+    assert!(
+        events.rows.iter().any(|row| {
+            row.values()[2].to_string().contains("robustness")
+                && row.values()[3].to_string().contains("pay")
+        }),
+        "robustness event expected: {:?}",
+        events.rows
+    );
+}
+
+#[test]
+fn redeclaration_replaces_and_can_flip_the_verdict() {
+    let cache = rig();
+    cache.execute(PAY).unwrap();
+    assert_eq!(cache.template_verdict("pay"), Some(Verdict::NotRobust));
+
+    // Tighten the read to bound 0: the lost-update window closes.
+    cache
+        .execute(
+            "CREATE TEMPLATE pay ($c, $amt) AS \
+             SELECT c_acctbal FROM customer WHERE c_custkey = $c \
+               CURRENCY BOUND 0 SEC ON (customer); \
+             UPDATE customer SET c_acctbal = $amt WHERE c_custkey = $c; END",
+        )
+        .unwrap();
+    assert_eq!(cache.template_verdict("pay"), Some(Verdict::Robust));
+    let r = cache.execute("AUDIT TEMPLATES").unwrap();
+    assert_eq!(r.rows.len(), 1, "redeclaration must replace: {r:?}");
+}
+
+#[test]
+fn template_binding_errors_are_reported_at_declaration() {
+    let cache = rig();
+    let err = cache
+        .execute(
+            "CREATE TEMPLATE bad ($c) AS \
+             SELECT c_acctbal FROM customer WHERE c_custkey = $other; END",
+        )
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("undeclared parameter $other"),
+        "{err}"
+    );
+    let err = cache
+        .execute("CREATE TEMPLATE bad () AS SELECT x FROM nowhere; END")
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown table"), "{err}");
+    // Nothing was recorded.
+    assert!(cache.execute("AUDIT TEMPLATES").unwrap().rows.is_empty());
+}
