@@ -1,22 +1,30 @@
 //! `scan_parallel` — morsel-driven parallel scan benchmark + correctness
 //! sweep, written to `BENCH_scan.json`.
 //!
-//! Three measurements over the paper rig and the storage layer:
+//! Five measurements over the paper rig and the storage layer:
 //!
 //! 1. **Worker scaling**: rows/s of a residual-filtered full scan through
 //!    the whole SQL pipeline at 1/2/4/8 scan workers. Morsel-parallel
 //!    scans are CPU-bound, so real speedup needs real cores: the JSON
 //!    records `cpus`, and the ≥2× 1→4 scaling assertion only arms when at
 //!    least 4 are available.
-//! 2. **Concurrent refresh**: reader scan throughput while a writer
+//! 2. **Batched vs. row-at-a-time**: the same scan at one worker on the
+//!    vectorized engine versus the preserved row reference engine
+//!    ([`rcc_executor::rowref`]); the batched engine must be ≥2× (asserted
+//!    unconditionally — both run on the same box), plus a batch-size sweep
+//!    (512/2048/8192 rows per batch).
+//! 3. **Concurrent refresh**: reader scan throughput while a writer
 //!    continuously publishes refresh batches — the copy-on-write
 //!    [`TableCell`] path versus the pre-snapshot design (a bench-local
 //!    `RwLock<Table>` where readers scan under the read lock and the
 //!    writer applies each batch under the write lock). Proves reader
 //!    throughput does not collapse when refresh runs concurrently.
-//! 3. **Serial/parallel identity**: every query of the TPC-D currency
+//! 4. **Serial/parallel identity**: every query of the TPC-D currency
 //!    corpus is executed serially and with a 4-worker pool; the
 //!    wire-encoded results must be byte-identical (asserted, any mode).
+//! 5. **Batched/row identity**: the whole corpus again, batched versus the
+//!    row engine, in both SwitchUnion pull-up modes; wire encodings must
+//!    be byte-identical (asserted, any mode).
 //!
 //! ```sh
 //! cargo run -p rcc-bench --bin scan_parallel --release -- \
@@ -246,7 +254,33 @@ fn main() {
         eprintln!("  (only {cpus} cpu(s): the ≥2× scaling assertion needs ≥4 to arm)");
     }
 
-    // -------------------------------------- 2. reader vs. refresh writer
+    // ---------------------------------- 2. batched vs. row-at-a-time
+    // both engines, identical query, one worker: the vectorized engine's
+    // margin comes from ordinal-compiled expressions, per-batch dispatch
+    // and columnar fills, not from parallelism
+    cache.set_row_engine(true);
+    let (row_rps, ..) = measure_scaling(&cache, 1, opts.iters);
+    cache.set_row_engine(false);
+    let (batched_rps, ..) = measure_scaling(&cache, 1, opts.iters);
+    let batched_speedup = batched_rps / row_rps;
+    eprintln!(
+        "  batched vs row @1 worker: {batched_rps:.0} vs {row_rps:.0} rows/s \
+         ({batched_speedup:.2}×)"
+    );
+    assert!(
+        batched_speedup >= 2.0,
+        "expected the batched engine ≥2× the row engine at 1 worker, got {batched_speedup:.2}×"
+    );
+    let mut batch_sweep = Vec::new();
+    for &b in &[512usize, 2048, 8192] {
+        cache.set_batch_rows(b);
+        let (rps, ..) = measure_scaling(&cache, 1, opts.iters);
+        eprintln!("  batch size {b}: {rps:.0} rows/s");
+        batch_sweep.push((b, rps));
+    }
+    cache.set_batch_rows(rcc_executor::DEFAULT_BATCH_ROWS);
+
+    // -------------------------------------- 3. reader vs. refresh writer
     let (table_rows, batch_rows) = if opts.quick {
         (5_000, 500)
     } else {
@@ -287,7 +321,7 @@ fn main() {
         "snapshot readers collapsed vs. the locked baseline: {reader_ratio:.2}×"
     );
 
-    // -------------------------------- 3. serial/parallel identity sweep
+    // -------------------------------- 4. serial/parallel identity sweep
     let corpus = rcc_tpcd::currency_corpus(opts.corpus, 7, max_custkey);
     cache.set_scan_workers(1);
     let serial: Vec<Vec<u8>> = corpus
@@ -320,6 +354,40 @@ fn main() {
         "parallel scans must be byte-identical to serial execution"
     );
 
+    // ---------------------------- 5. batched vs. row identity sweep
+    // the full corpus again, vectorized engine against the row reference
+    // engine, in both SwitchUnion pull-up modes
+    cache.set_scan_workers(1);
+    let mut engine_queries = 0usize;
+    let mut engine_mismatches = 0usize;
+    for pullup in [false, true] {
+        cache.set_pullup_switch_union(pullup);
+        cache.set_row_engine(true);
+        let row_bytes: Vec<Vec<u8>> = corpus
+            .iter()
+            .map(|sql| {
+                let r = cache.execute(sql).expect("row-engine corpus query");
+                wire::encode_result(&r.schema, &r.rows).to_vec()
+            })
+            .collect();
+        cache.set_row_engine(false);
+        for (sql, row_encoded) in corpus.iter().zip(&row_bytes) {
+            engine_queries += 1;
+            let r = cache.execute(sql).expect("batched corpus query");
+            let batched_encoded = wire::encode_result(&r.schema, &r.rows).to_vec();
+            if &batched_encoded != row_encoded {
+                eprintln!("  ENGINE MISMATCH (pullup={pullup}): {sql}");
+                engine_mismatches += 1;
+            }
+        }
+    }
+    cache.set_pullup_switch_union(false); // back to the default mode
+    eprintln!("  batched/row identity: {engine_queries} runs, {engine_mismatches} mismatches");
+    assert_eq!(
+        engine_mismatches, 0,
+        "the batched engine must be byte-identical to the row engine on the wire"
+    );
+
     // ------------------------------------------------------------ report
     let scaling_json: Vec<String> = scaling
         .iter()
@@ -330,21 +398,33 @@ fn main() {
             )
         })
         .collect();
+    let batch_sweep_json: Vec<String> = batch_sweep
+        .iter()
+        .map(|(b, rps)| format!("{{ \"batch_rows\": {b}, \"rows_per_sec\": {rps:.1} }}"))
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"scan_parallel\",\n  \"quick\": {},\n  \"scale\": {},\n  \
          \"cpus\": {},\n  \"iters\": {},\n  \"scaling\": [\n    {}\n  ],\n  \
-         \"speedup_1_to_4\": {:.3},\n  \"concurrent_refresh\": {{\n    \
+         \"speedup_1_to_4\": {:.3},\n  \"batched_vs_row\": {{\n    \
+         \"row_rows_per_sec\": {:.1}, \"batched_rows_per_sec\": {:.1},\n    \
+         \"speedup\": {:.3}\n  }},\n  \"batch_size_sweep\": [\n    {}\n  ],\n  \
+         \"concurrent_refresh\": {{\n    \
          \"table_rows\": {}, \"batch_rows\": {}, \"readers\": {},\n    \
          \"snapshot\": {{ \"reads_per_sec\": {:.1}, \"rows_per_sec\": {:.1}, \"refresh_batches\": {} }},\n    \
          \"locked\": {{ \"reads_per_sec\": {:.1}, \"rows_per_sec\": {:.1}, \"refresh_batches\": {} }},\n    \
          \"reader_ratio_snapshot_vs_locked\": {:.3}\n  }},\n  \
-         \"identity_sweep\": {{ \"queries\": {}, \"mismatches\": {} }}\n}}\n",
+         \"identity_sweep\": {{ \"queries\": {}, \"mismatches\": {} }},\n  \
+         \"engine_identity_sweep\": {{ \"queries\": {}, \"mismatches\": {} }}\n}}\n",
         opts.quick,
         opts.scale,
         cpus,
         opts.iters,
         scaling_json.join(",\n    "),
         speedup_1_to_4,
+        row_rps,
+        batched_rps,
+        batched_speedup,
+        batch_sweep_json.join(",\n    "),
         table_rows,
         batch_rows,
         readers,
@@ -357,6 +437,8 @@ fn main() {
         reader_ratio,
         corpus.len(),
         mismatches,
+        engine_queries,
+        engine_mismatches,
     );
     let mut f = std::fs::File::create(&opts.out).expect("create BENCH_scan.json");
     f.write_all(json.as_bytes()).expect("write BENCH_scan.json");

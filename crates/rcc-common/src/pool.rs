@@ -120,6 +120,28 @@ impl ScanPool {
             .map(|v| v.expect("every morsel indexed once"))
             .collect()
     }
+
+    /// Like [`ScanPool::scatter`], but with one shared kernel applied to
+    /// every item: job `i` computes `f(items[i])`. The kernel is captured
+    /// once behind an `Arc` instead of being cloned per morsel, which
+    /// matters when it owns a table snapshot or a compiled predicate.
+    /// Results come back in input order; panics propagate like `scatter`.
+    pub fn scatter_map<I, T, F>(&self, items: Vec<I>, f: Arc<F>) -> Vec<T>
+    where
+        I: Send + 'static,
+        T: Send + 'static,
+        F: Fn(I) -> T + Send + Sync + 'static,
+    {
+        self.scatter(
+            items
+                .into_iter()
+                .map(|item| {
+                    let f = Arc::clone(&f);
+                    move || f(item)
+                })
+                .collect(),
+        )
+    }
 }
 
 impl Drop for ScanPool {
@@ -208,6 +230,22 @@ mod tests {
         // pool still serves after a job panic
         let out = pool.scatter(vec![|| 7u32, || 8u32]);
         assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn scatter_map_shares_one_kernel() {
+        let pool = ScanPool::new(3);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let kernel = {
+            let calls = Arc::clone(&calls);
+            Arc::new(move |i: u64| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i + 100
+            })
+        };
+        let out = pool.scatter_map((0..50u64).collect(), kernel);
+        assert_eq!(out, (0..50u64).map(|i| i + 100).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
     }
 
     #[test]

@@ -114,14 +114,18 @@ impl Operator for MeteredOp {
         out
     }
 
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<crate::batch::Batch>> {
         let started = Instant::now();
-        let out = self.inner.next(ctx);
+        let out = self.inner.next_batch(ctx);
         self.meter
             .nanos
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        if let Ok(Some(_)) = &out {
-            self.meter.rows.fetch_add(1, Ordering::Relaxed);
+        // true cardinality under batching: sum logical batch lengths, not
+        // next_batch call counts
+        if let Ok(Some(batch)) = &out {
+            self.meter
+                .rows
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
         out
     }
@@ -251,8 +255,8 @@ pub fn execute_plan_analyzed(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<A
     op.open(ctx)?;
     let schema = op.schema().clone();
     let mut rows = Vec::new();
-    while let Some(row) = op.next(ctx)? {
-        rows.push(row);
+    while let Some(batch) = op.next_batch(ctx)? {
+        rows.extend(batch.into_rows());
     }
     op.close(ctx)?;
     let elapsed = started.elapsed();
@@ -349,6 +353,45 @@ mod tests {
         assert!(text.contains("actual rows=4"));
         assert!(text.contains("\n  LocalScan"), "child is indented: {text}");
         assert!(text.contains("total: 4 rows"));
+    }
+
+    /// Under batching an operator yields far fewer `next_batch` calls than
+    /// rows; the meter must still report true cardinalities. Pinned
+    /// against the row reference engine on a table spanning multiple
+    /// batches.
+    #[test]
+    fn row_counts_are_true_cardinalities_across_batches() {
+        let storage = Arc::new(StorageEngine::new());
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("grp", DataType::Int),
+        ]);
+        let mut t = Table::new("items", schema, vec![0]);
+        let total = 3000i64; // > DEFAULT_BATCH_ROWS → multiple batches
+        for i in 0..total {
+            t.insert(Row::new(vec![Value::Int(i), Value::Int(i % 3)]))
+                .unwrap();
+        }
+        storage.create_table(t).unwrap();
+        let ctx = ExecContext::new(storage, None, Arc::new(SimClock::new()));
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: BoundExpr::binary(
+                BoundExpr::col("t", "grp"),
+                BinaryOp::Eq,
+                BoundExpr::Literal(Value::Int(0)),
+            ),
+        };
+        let out = execute_plan_analyzed(&plan, &ctx).unwrap();
+        let reference = crate::rowref::execute_plan_rows(&plan, &ctx).unwrap();
+        assert_eq!(out.rows, reference.rows);
+        assert_eq!(out.reports[0].rows, reference.rows.len() as u64);
+        assert_eq!(out.reports[1].rows, total as u64);
+        let batched = crate::build::execute_plan_batched(&scan(), &ctx).unwrap();
+        assert!(
+            batched.batches.len() >= 2,
+            "3000 rows must span multiple batches"
+        );
     }
 
     #[test]

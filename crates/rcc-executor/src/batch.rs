@@ -1,0 +1,763 @@
+//! Columnar batches and ordinal-compiled expressions.
+//!
+//! The batched engine moves data through the operator tree as [`Batch`]es:
+//! one `Vec<Value>` buffer per output column, a physical row count, and an
+//! optional **selection vector** so filters can narrow a batch without
+//! copying survivors row-by-row. Expressions are compiled once per operator
+//! into [`PhysExpr`] — a mirror of [`rcc_optimizer::BoundExpr`] whose column
+//! references are pre-resolved to ordinals — so the per-row hot loop does no
+//! name resolution, no schema walks, and no virtual dispatch.
+
+use rcc_common::{Error, Result, Row, Schema, Value};
+use rcc_optimizer::BoundExpr;
+use rcc_sql::{BinaryOp, UnaryOp};
+use std::cmp::Ordering;
+
+/// Target logical rows per batch: big enough that per-batch overhead
+/// (virtual dispatch, guard bookkeeping, metering) is amortized to noise,
+/// small enough that a batch's columns stay cache-resident.
+pub const DEFAULT_BATCH_ROWS: usize = 2048;
+
+/// A columnar batch of rows.
+///
+/// `columns[c][r]` is the value of column `c` at **physical** row `r`
+/// (`r < rows`). When `sel` is `Some`, only the physical rows it lists (in
+/// ascending order) are logically present — filters narrow a batch by
+/// refining `sel` instead of copying survivors.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// One buffer per output column, each of length `rows`.
+    pub columns: Vec<Vec<Value>>,
+    /// Physical row count. Kept explicitly so zero-column batches (`SELECT`
+    /// without a `FROM`) still carry a cardinality.
+    pub rows: usize,
+    /// Selection vector: ascending physical row indices that are logically
+    /// present. `None` means all `rows` rows are present (a *dense* batch).
+    pub sel: Option<Vec<u32>>,
+}
+
+impl Batch {
+    /// A dense batch from per-column buffers (all of length `rows`).
+    pub fn new(columns: Vec<Vec<Value>>, rows: usize) -> Batch {
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        Batch {
+            columns,
+            rows,
+            sel: None,
+        }
+    }
+
+    /// An empty batch of `width` columns.
+    pub fn empty(width: usize) -> Batch {
+        Batch::new((0..width).map(|_| Vec::new()).collect(), 0)
+    }
+
+    /// Transpose row-major rows into a dense batch of `width` columns.
+    pub fn from_rows(width: usize, rows: Vec<Row>) -> Batch {
+        let n = rows.len();
+        let mut columns: Vec<Vec<Value>> = (0..width).map(|_| Vec::with_capacity(n)).collect();
+        for row in rows {
+            let mut values = row.into_values().into_iter();
+            for col in columns.iter_mut() {
+                col.push(values.next().unwrap_or(Value::Null));
+            }
+        }
+        Batch::new(columns, n)
+    }
+
+    /// Logical row count (`sel` length when selected, else `rows`).
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.rows,
+        }
+    }
+
+    /// True when no logical rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column count.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Physical row index of logical row `i`.
+    pub fn phys(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Replace the selection vector (indices are **physical** rows).
+    pub fn with_sel(mut self, sel: Vec<u32>) -> Batch {
+        self.sel = Some(sel);
+        self
+    }
+
+    /// Keep only the first `k` logical rows (LIMIT). Selected batches
+    /// truncate the selection vector; dense batches truncate every column.
+    pub fn truncate(&mut self, k: usize) {
+        match &mut self.sel {
+            Some(sel) => sel.truncate(k),
+            None => {
+                let k = k.min(self.rows);
+                for col in &mut self.columns {
+                    col.truncate(k);
+                }
+                self.rows = k;
+            }
+        }
+    }
+
+    /// Clone logical row `i` out as a [`Row`].
+    pub fn row(&self, i: usize) -> Row {
+        let p = self.phys(i);
+        Row::new(self.columns.iter().map(|c| c[p].clone()).collect())
+    }
+
+    /// Materialize all logical rows, cloning.
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len()).map(|i| self.row(i)).collect()
+    }
+
+    /// Materialize all logical rows, **moving** values out of dense
+    /// batches (the common case at the query root) and cloning only when a
+    /// selection vector forces it.
+    pub fn into_rows(self) -> Vec<Row> {
+        match self.sel {
+            None => {
+                let width = self.columns.len();
+                let mut out: Vec<Vec<Value>> =
+                    (0..self.rows).map(|_| Vec::with_capacity(width)).collect();
+                for col in self.columns {
+                    for (i, v) in col.into_iter().enumerate() {
+                        out[i].push(v);
+                    }
+                }
+                out.into_iter().map(Row::new).collect()
+            }
+            Some(sel) => sel
+                .iter()
+                .map(|&p| {
+                    let p = p as usize;
+                    Row::new(self.columns.iter().map(|c| c[p].clone()).collect())
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Read-access to one row's values by output ordinal — the single
+/// abstraction [`PhysExpr::eval`] is generic over, so the identical
+/// evaluation code runs against row-major rows (joins, HAVING) and columnar
+/// batches (scans, filters, projections).
+pub trait ValueSource {
+    /// The value at output ordinal `i`.
+    fn value(&self, i: usize) -> &Value;
+}
+
+/// A row-major slice of values.
+pub struct RowSource<'a>(pub &'a [Value]);
+
+impl ValueSource for RowSource<'_> {
+    fn value(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+/// One physical row of a columnar batch.
+pub struct BatchSource<'a> {
+    /// The batch's column buffers.
+    pub columns: &'a [Vec<Value>],
+    /// Physical row index.
+    pub row: usize,
+}
+
+impl ValueSource for BatchSource<'_> {
+    fn value(&self, i: usize) -> &Value {
+        &self.columns[i][self.row]
+    }
+}
+
+/// A [`BoundExpr`] with every column reference resolved to an ordinal.
+///
+/// Compiled once per operator open; evaluation then mirrors
+/// `BoundExpr::eval` exactly (three-valued logic, NULL propagation,
+/// checked integer arithmetic, timestamp arithmetic) minus the per-row
+/// `Schema::resolve` string comparisons.
+#[derive(Debug, Clone)]
+pub enum PhysExpr {
+    /// Column reference by output ordinal.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<PhysExpr>,
+        /// The operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<PhysExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<PhysExpr>,
+    },
+    /// `e BETWEEN low AND high`.
+    Between {
+        /// The operand.
+        expr: Box<PhysExpr>,
+        /// Lower bound (inclusive).
+        low: Box<PhysExpr>,
+        /// Upper bound (inclusive).
+        high: Box<PhysExpr>,
+        /// True for the NOT form.
+        negated: bool,
+    },
+    /// `e IN (list)`.
+    InList {
+        /// The operand.
+        expr: Box<PhysExpr>,
+        /// The literal list.
+        list: Vec<PhysExpr>,
+        /// True for the NOT form.
+        negated: bool,
+    },
+    /// `e IS NULL`.
+    IsNull {
+        /// The operand.
+        expr: Box<PhysExpr>,
+        /// True for the NOT form.
+        negated: bool,
+    },
+    /// `GETDATE()`.
+    GetDate,
+}
+
+impl PhysExpr {
+    /// Compile `expr`, resolving column references against `schema`.
+    pub fn compile(expr: &BoundExpr, schema: &Schema) -> Result<PhysExpr> {
+        Ok(match expr {
+            BoundExpr::Column { qualifier, name } => {
+                PhysExpr::Col(schema.resolve(Some(qualifier), name)?)
+            }
+            BoundExpr::Literal(v) => PhysExpr::Lit(v.clone()),
+            BoundExpr::GetDate => PhysExpr::GetDate,
+            BoundExpr::Binary { left, op, right } => PhysExpr::Binary {
+                left: Box::new(PhysExpr::compile(left, schema)?),
+                op: *op,
+                right: Box::new(PhysExpr::compile(right, schema)?),
+            },
+            BoundExpr::Unary { op, expr } => PhysExpr::Unary {
+                op: *op,
+                expr: Box::new(PhysExpr::compile(expr, schema)?),
+            },
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => PhysExpr::Between {
+                expr: Box::new(PhysExpr::compile(expr, schema)?),
+                low: Box::new(PhysExpr::compile(low, schema)?),
+                high: Box::new(PhysExpr::compile(high, schema)?),
+                negated: *negated,
+            },
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => PhysExpr::InList {
+                expr: Box::new(PhysExpr::compile(expr, schema)?),
+                list: list
+                    .iter()
+                    .map(|e| PhysExpr::compile(e, schema))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            BoundExpr::IsNull { expr, negated } => PhysExpr::IsNull {
+                expr: Box::new(PhysExpr::compile(expr, schema)?),
+                negated: *negated,
+            },
+        })
+    }
+
+    /// Compile a list of expressions against one schema.
+    pub fn compile_all(exprs: &[BoundExpr], schema: &Schema) -> Result<Vec<PhysExpr>> {
+        exprs.iter().map(|e| PhysExpr::compile(e, schema)).collect()
+    }
+
+    /// Rewrite every ordinal through `mapping` (`Col(i)` → `Col(mapping[i])`).
+    ///
+    /// Scans compile the residual against their *output* schema, then remap
+    /// it into *stored* ordinals so the predicate runs directly against
+    /// stored rows — rejected rows are never projected or copied.
+    pub fn remap(self, mapping: &[usize]) -> PhysExpr {
+        match self {
+            PhysExpr::Col(i) => PhysExpr::Col(mapping[i]),
+            PhysExpr::Lit(v) => PhysExpr::Lit(v),
+            PhysExpr::GetDate => PhysExpr::GetDate,
+            PhysExpr::Binary { left, op, right } => PhysExpr::Binary {
+                left: Box::new(left.remap(mapping)),
+                op,
+                right: Box::new(right.remap(mapping)),
+            },
+            PhysExpr::Unary { op, expr } => PhysExpr::Unary {
+                op,
+                expr: Box::new(expr.remap(mapping)),
+            },
+            PhysExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => PhysExpr::Between {
+                expr: Box::new(expr.remap(mapping)),
+                low: Box::new(low.remap(mapping)),
+                high: Box::new(high.remap(mapping)),
+                negated,
+            },
+            PhysExpr::InList {
+                expr,
+                list,
+                negated,
+            } => PhysExpr::InList {
+                expr: Box::new(expr.remap(mapping)),
+                list: list.into_iter().map(|e| e.remap(mapping)).collect(),
+                negated,
+            },
+            PhysExpr::IsNull { expr, negated } => PhysExpr::IsNull {
+                expr: Box::new(expr.remap(mapping)),
+                negated,
+            },
+        }
+    }
+
+    /// `Some(ordinal)` when the whole expression is a bare column
+    /// reference — the projection fast path moves or clones the column
+    /// buffer wholesale instead of evaluating per row.
+    pub fn as_column(&self) -> Option<usize> {
+        match self {
+            PhysExpr::Col(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Evaluate against one row. Semantics are identical to
+    /// `BoundExpr::eval` over the same values.
+    pub fn eval<S: ValueSource>(&self, src: &S, now_millis: i64) -> Result<Value> {
+        match self {
+            PhysExpr::Col(i) => Ok(src.value(*i).clone()),
+            PhysExpr::Lit(v) => Ok(v.clone()),
+            PhysExpr::GetDate => Ok(Value::Timestamp(now_millis)),
+            PhysExpr::Unary { op, expr } => {
+                let v = expr.eval(src, now_millis)?;
+                match op {
+                    UnaryOp::Not => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        other => Err(Error::Type(format!("NOT applied to {other}"))),
+                    },
+                    UnaryOp::Neg => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(Error::Type(format!("- applied to {other}"))),
+                    },
+                }
+            }
+            PhysExpr::Binary { left, op, right } => eval_binary(left, *op, right, src, now_millis),
+            PhysExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(src, now_millis)?;
+                let lo = low.eval(src, now_millis)?;
+                let hi = high.eval(src, now_millis)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                let inside = v
+                    .compare(&lo)?
+                    .map(|o| o != Ordering::Less)
+                    .unwrap_or(false)
+                    && v.compare(&hi)?
+                        .map(|o| o != Ordering::Greater)
+                        .unwrap_or(false);
+                Ok(Value::Bool(inside != *negated))
+            }
+            PhysExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(src, now_millis)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(src, now_millis)?;
+                    if iv.is_null() {
+                        saw_null = true;
+                        continue;
+                    }
+                    if v.compare(&iv)? == Some(Ordering::Equal) {
+                        return Ok(Value::Bool(!*negated));
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            PhysExpr::IsNull { expr, negated } => {
+                let v = expr.eval(src, now_millis)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+        }
+    }
+
+    /// Evaluate as a predicate (SQL truthiness: TRUE passes).
+    pub fn eval_predicate<S: ValueSource>(&self, src: &S, now_millis: i64) -> Result<bool> {
+        Ok(self.eval(src, now_millis)?.is_truthy())
+    }
+}
+
+fn eval_binary<S: ValueSource>(
+    left: &PhysExpr,
+    op: BinaryOp,
+    right: &PhysExpr,
+    src: &S,
+    now_millis: i64,
+) -> Result<Value> {
+    // AND/OR get three-valued short-circuit semantics.
+    if matches!(op, BinaryOp::And | BinaryOp::Or) {
+        let l = left.eval(src, now_millis)?;
+        match (op, &l) {
+            (BinaryOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+            (BinaryOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let r = right.eval(src, now_millis)?;
+        return Ok(match op {
+            BinaryOp::And => match (l, r) {
+                (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+                (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+                _ => Value::Null,
+            },
+            BinaryOp::Or => match (l, r) {
+                (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
+                (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+                _ => Value::Null,
+            },
+            _ => unreachable!(),
+        });
+    }
+
+    let l = left.eval(src, now_millis)?;
+    let r = right.eval(src, now_millis)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = l.compare(&r)?;
+        let b = match (op, ord) {
+            (BinaryOp::Eq, Some(Ordering::Equal)) => true,
+            (BinaryOp::NotEq, Some(o)) => o != Ordering::Equal,
+            (BinaryOp::Lt, Some(Ordering::Less)) => true,
+            (BinaryOp::LtEq, Some(o)) => o != Ordering::Greater,
+            (BinaryOp::Gt, Some(Ordering::Greater)) => true,
+            (BinaryOp::GtEq, Some(o)) => o != Ordering::Less,
+            _ => false,
+        };
+        return Ok(Value::Bool(b));
+    }
+    // arithmetic
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let v = match op {
+                BinaryOp::Add => a.checked_add(*b),
+                BinaryOp::Sub => a.checked_sub(*b),
+                BinaryOp::Mul => a.checked_mul(*b),
+                BinaryOp::Div => {
+                    if *b == 0 {
+                        return Err(Error::Execution("division by zero".into()));
+                    }
+                    a.checked_div(*b)
+                }
+                _ => None,
+            };
+            v.map(Value::Int)
+                .ok_or_else(|| Error::Execution("integer overflow".into()))
+        }
+        // timestamp arithmetic: ts ± int keeps the timestamp type, which is
+        // what the currency-guard predicate `getdate() - B` needs.
+        (Value::Timestamp(a), Value::Int(b)) => match op {
+            BinaryOp::Add => Ok(Value::Timestamp(a + b)),
+            BinaryOp::Sub => Ok(Value::Timestamp(a - b)),
+            _ => Err(Error::Type("unsupported timestamp arithmetic".into())),
+        },
+        _ => {
+            let a = l.as_float()?;
+            let b = r.as_float()?;
+            let v = match op {
+                BinaryOp::Add => a + b,
+                BinaryOp::Sub => a - b,
+                BinaryOp::Mul => a * b,
+                BinaryOp::Div => {
+                    if b == 0.0 {
+                        return Err(Error::Execution("division by zero".into()));
+                    }
+                    a / b
+                }
+                _ => return Err(Error::Type(format!("bad operands for {}", op.sql()))),
+            };
+            Ok(Value::Float(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rcc_common::{Column, DataType};
+    use rcc_optimizer::BoundExpr;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int).with_qualifier("t"),
+            Column::new("b", DataType::Float).with_qualifier("t"),
+            Column::new("s", DataType::Str).with_qualifier("t"),
+        ])
+    }
+
+    fn row() -> Row {
+        Row::new(vec![Value::Int(10), Value::Float(2.5), Value::from("x")])
+    }
+
+    /// Compile + evaluate against the row source and a one-row batch
+    /// source; both must agree with `BoundExpr::eval`.
+    fn assert_mirrors(e: &BoundExpr) {
+        let s = schema();
+        let r = row();
+        let reference = e.eval(&r, &s, 1234);
+        let compiled = PhysExpr::compile(e, &s).unwrap();
+        let via_row = compiled.eval(&RowSource(r.values()), 1234);
+        let batch = Batch::from_rows(3, vec![r.clone()]);
+        let via_batch = compiled.eval(
+            &BatchSource {
+                columns: &batch.columns,
+                row: 0,
+            },
+            1234,
+        );
+        match reference {
+            Ok(v) => {
+                assert_eq!(via_row.unwrap(), v);
+                assert_eq!(via_batch.unwrap(), v);
+            }
+            Err(_) => {
+                assert!(via_row.is_err());
+                assert!(via_batch.is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn mirrors_bound_expr_eval() {
+        let cases = vec![
+            BoundExpr::col("t", "a"),
+            BoundExpr::Literal(Value::Int(7)),
+            BoundExpr::GetDate,
+            BoundExpr::binary(
+                BoundExpr::col("t", "a"),
+                BinaryOp::Add,
+                BoundExpr::Literal(Value::Int(5)),
+            ),
+            BoundExpr::binary(
+                BoundExpr::col("t", "a"),
+                BinaryOp::Mul,
+                BoundExpr::col("t", "b"),
+            ),
+            BoundExpr::binary(
+                BoundExpr::Literal(Value::Int(1)),
+                BinaryOp::Div,
+                BoundExpr::Literal(Value::Int(0)),
+            ),
+            BoundExpr::binary(
+                BoundExpr::GetDate,
+                BinaryOp::Sub,
+                BoundExpr::Literal(Value::Int(234)),
+            ),
+            BoundExpr::binary(
+                BoundExpr::col("t", "a"),
+                BinaryOp::GtEq,
+                BoundExpr::Literal(Value::Int(10)),
+            ),
+            BoundExpr::binary(
+                BoundExpr::col("t", "s"),
+                BinaryOp::Eq,
+                BoundExpr::Literal(Value::from("x")),
+            ),
+            BoundExpr::binary(
+                BoundExpr::Literal(Value::Null),
+                BinaryOp::And,
+                BoundExpr::Literal(Value::Bool(false)),
+            ),
+            BoundExpr::binary(
+                BoundExpr::Literal(Value::Null),
+                BinaryOp::Or,
+                BoundExpr::Literal(Value::Bool(true)),
+            ),
+            BoundExpr::binary(
+                BoundExpr::Literal(Value::Null),
+                BinaryOp::Eq,
+                BoundExpr::Literal(Value::Int(1)),
+            ),
+            BoundExpr::Between {
+                expr: Box::new(BoundExpr::col("t", "a")),
+                low: Box::new(BoundExpr::Literal(Value::Int(5))),
+                high: Box::new(BoundExpr::Literal(Value::Int(15))),
+                negated: false,
+            },
+            BoundExpr::Between {
+                expr: Box::new(BoundExpr::col("t", "a")),
+                low: Box::new(BoundExpr::Literal(Value::Int(5))),
+                high: Box::new(BoundExpr::Literal(Value::Int(15))),
+                negated: true,
+            },
+            BoundExpr::InList {
+                expr: Box::new(BoundExpr::col("t", "a")),
+                list: vec![
+                    BoundExpr::Literal(Value::Int(9)),
+                    BoundExpr::Literal(Value::Int(10)),
+                ],
+                negated: false,
+            },
+            BoundExpr::InList {
+                expr: Box::new(BoundExpr::col("t", "a")),
+                list: vec![BoundExpr::Literal(Value::Null)],
+                negated: true,
+            },
+            BoundExpr::IsNull {
+                expr: Box::new(BoundExpr::Literal(Value::Null)),
+                negated: false,
+            },
+            BoundExpr::IsNull {
+                expr: Box::new(BoundExpr::col("t", "a")),
+                negated: true,
+            },
+            BoundExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(BoundExpr::Literal(Value::Bool(true))),
+            },
+            BoundExpr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(BoundExpr::col("t", "b")),
+            },
+            BoundExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(BoundExpr::Literal(Value::Int(3))),
+            },
+        ];
+        for e in &cases {
+            assert_mirrors(e);
+        }
+    }
+
+    proptest! {
+        /// Randomized comparison sweep: every (op, lhs) pair agrees with
+        /// the reference interpreter, including NULL propagation.
+        #[test]
+        fn comparisons_mirror_reference(lhs in proptest::option::of(-20i64..20), rhs in -20i64..20) {
+            let ops = [BinaryOp::Eq, BinaryOp::NotEq, BinaryOp::Lt, BinaryOp::LtEq, BinaryOp::Gt, BinaryOp::GtEq];
+            for op in ops {
+                let e = BoundExpr::binary(
+                    BoundExpr::Literal(lhs.map(Value::Int).unwrap_or(Value::Null)),
+                    op,
+                    BoundExpr::Literal(Value::Int(rhs)),
+                );
+                assert_mirrors(&e);
+            }
+        }
+    }
+
+    #[test]
+    fn remap_rewrites_ordinals() {
+        let s = schema();
+        let e = BoundExpr::binary(
+            BoundExpr::col("t", "b"),
+            BinaryOp::Gt,
+            BoundExpr::Literal(Value::Float(1.0)),
+        );
+        // pretend the stored row is (pad, pad, a, b, s): output 1 → stored 3
+        let compiled = PhysExpr::compile(&e, &s).unwrap().remap(&[2, 3, 4]);
+        let stored = Row::new(vec![
+            Value::Null,
+            Value::Null,
+            Value::Int(10),
+            Value::Float(2.5),
+            Value::from("x"),
+        ]);
+        assert!(compiled
+            .eval_predicate(&RowSource(stored.values()), 0)
+            .unwrap());
+    }
+
+    #[test]
+    fn batch_selection_and_materialization() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::from("a")]),
+            Row::new(vec![Value::Int(2), Value::from("b")]),
+            Row::new(vec![Value::Int(3), Value::from("c")]),
+        ];
+        let b = Batch::from_rows(2, rows.clone());
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.to_rows(), rows);
+        assert_eq!(b.clone().into_rows(), rows);
+
+        let narrowed = b.with_sel(vec![0, 2]);
+        assert_eq!(narrowed.len(), 2);
+        assert_eq!(narrowed.phys(1), 2);
+        assert_eq!(narrowed.to_rows(), vec![rows[0].clone(), rows[2].clone()]);
+        assert_eq!(narrowed.into_rows(), vec![rows[0].clone(), rows[2].clone()]);
+    }
+
+    #[test]
+    fn truncate_respects_selection() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Int(2)]),
+            Row::new(vec![Value::Int(3)]),
+        ];
+        let mut dense = Batch::from_rows(1, rows.clone());
+        dense.truncate(2);
+        assert_eq!(dense.to_rows(), rows[..2]);
+        dense.truncate(10); // over-truncate is a no-op
+        assert_eq!(dense.len(), 2);
+
+        let mut selected = Batch::from_rows(1, rows.clone()).with_sel(vec![0, 2]);
+        selected.truncate(1);
+        assert_eq!(selected.to_rows(), vec![rows[0].clone()]);
+    }
+
+    #[test]
+    fn zero_width_batch_keeps_cardinality() {
+        let b = Batch::new(vec![], 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.into_rows(), vec![Row::new(vec![])]);
+    }
+}

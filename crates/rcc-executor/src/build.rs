@@ -1,5 +1,6 @@
 //! Plan-to-operator translation and the phased execution driver.
 
+use crate::batch::Batch;
 use crate::context::ExecContext;
 use crate::ops::*;
 use rcc_common::{Result, Row, Schema};
@@ -122,31 +123,95 @@ pub fn build_operator(plan: &PhysicalPlan) -> BoxedOp {
     }
 }
 
-/// Execute a plan to completion with per-phase timing.
-pub fn execute_plan(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<ExecutionResult> {
+/// A completed query in columnar form: schema, batches and per-phase
+/// timings. [`wire::encode_batches`](crate::wire::encode_batches)
+/// serializes this directly, without ever materializing [`Row`]s.
+#[derive(Debug, Clone)]
+pub struct BatchExecutionResult {
+    /// Output schema.
+    pub schema: Schema,
+    /// All output batches, in order.
+    pub batches: Vec<Batch>,
+    /// Phase breakdown.
+    pub timings: PhaseTimings,
+}
+
+impl BatchExecutionResult {
+    /// Total logical row count across all batches.
+    pub fn row_count(&self) -> usize {
+        self.batches.iter().map(Batch::len).sum()
+    }
+
+    /// Materialize all batches into rows, consuming the result.
+    pub fn into_rows(self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.row_count());
+        for batch in self.batches {
+            out.extend(batch.into_rows());
+        }
+        out
+    }
+}
+
+/// Execute a plan to completion with per-phase timing, keeping the output
+/// columnar. Root batches are counted into `rcc_batch_produced_total` and
+/// their cardinalities observed in the `rcc_batch_rows_per_batch`
+/// histogram.
+pub fn execute_plan_batched(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+) -> Result<BatchExecutionResult> {
+    use std::sync::atomic::Ordering;
     let t0 = Instant::now();
     let mut op = build_operator(plan);
     op.open(ctx)?;
     let t1 = Instant::now();
 
     let schema = op.schema().clone();
-    let mut rows = Vec::new();
-    while let Some(row) = op.next(ctx)? {
-        rows.push(row);
+    let mut batches = Vec::new();
+    while let Some(batch) = op.next_batch(ctx)? {
+        ctx.counters
+            .batches_produced
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = ctx.metrics.as_deref() {
+            metrics
+                .histogram(
+                    "rcc_batch_rows_per_batch",
+                    &[],
+                    rcc_obs::DEFAULT_BATCH_ROWS_BUCKETS,
+                )
+                .observe(batch.len() as f64);
+        }
+        batches.push(batch);
     }
     let t2 = Instant::now();
 
     op.close(ctx)?;
     let t3 = Instant::now();
 
-    Ok(ExecutionResult {
+    Ok(BatchExecutionResult {
         schema,
-        rows,
+        batches,
         timings: PhaseTimings {
             setup: t1 - t0,
             run: t2 - t1,
             shutdown: t3 - t2,
         },
+    })
+}
+
+/// Execute a plan to completion with per-phase timing, materializing the
+/// batched output into rows. This is the row-shaped facade over
+/// [`execute_plan_batched`] — callers that serialize straight to the wire
+/// should use the batched form and skip the row materialization.
+pub fn execute_plan(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<ExecutionResult> {
+    let result = execute_plan_batched(plan, ctx)?;
+    let timings = result.timings;
+    let schema = result.schema.clone();
+    let rows = result.into_rows();
+    Ok(ExecutionResult {
+        schema,
+        rows,
+        timings,
     })
 }
 
@@ -577,6 +642,85 @@ mod tests {
         assert_eq!(result.rows.len(), 1);
         assert!(result.timings.total() >= result.timings.run);
     }
+
+    /// The batched engine must agree with the row reference engine on every
+    /// operator, including with tiny batches forcing multi-batch streams
+    /// through every exchange point.
+    #[test]
+    fn batched_matches_row_reference_engine() {
+        let residual = BoundExpr::binary(
+            BoundExpr::col("t", "grp"),
+            BinaryOp::Eq,
+            BoundExpr::Literal(Value::Int(1)),
+        );
+        let plans = vec![
+            scan(AccessPath::FullScan, None),
+            scan(AccessPath::FullScan, Some(residual.clone())),
+            scan(
+                AccessPath::IndexRange {
+                    index: "ix_grp".into(),
+                    column: "grp".into(),
+                    range: KeyRange::eq(Value::Int(0)),
+                },
+                None,
+            ),
+            PhysicalPlan::Limit {
+                input: Box::new(PhysicalPlan::Sort {
+                    input: Box::new(PhysicalPlan::Distinct {
+                        input: Box::new(PhysicalPlan::Project {
+                            input: Box::new(PhysicalPlan::Filter {
+                                input: Box::new(scan(AccessPath::FullScan, None)),
+                                predicate: BoundExpr::binary(
+                                    BoundExpr::col("t", "id"),
+                                    BinaryOp::Gt,
+                                    BoundExpr::Literal(Value::Int(1)),
+                                ),
+                            }),
+                            exprs: vec![(BoundExpr::col("t", "grp"), "g".into())],
+                        }),
+                    }),
+                    keys: vec![(0, false)],
+                }),
+                n: 2,
+            },
+            PhysicalPlan::HashAggregate {
+                input: Box::new(scan(AccessPath::FullScan, None)),
+                group_by: vec![(BoundExpr::col("t", "grp"), "grp".into())],
+                aggs: vec![AggCall {
+                    func: AggFunc::Sum,
+                    arg: Some(BoundExpr::col("t", "id")),
+                    output_name: "total".into(),
+                }],
+                having: None,
+            },
+        ];
+        for batch_rows in [1usize, 3, 2048] {
+            let (mut ctx, _) = ctx_with_items(None);
+            ctx.batch_rows = batch_rows;
+            for plan in &plans {
+                let batched = execute_plan(plan, &ctx).unwrap();
+                let rowwise = crate::rowref::execute_plan_rows(plan, &ctx).unwrap();
+                assert_eq!(
+                    batched.rows, rowwise.rows,
+                    "engines diverged at batch_rows={batch_rows} on {plan:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_result_counts_and_materializes() {
+        let (ctx, _) = ctx_with_items(None);
+        let result = execute_plan_batched(&scan(AccessPath::FullScan, None), &ctx).unwrap();
+        assert_eq!(result.row_count(), 10);
+        assert!(
+            ctx.counters
+                .batches_produced
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
+        assert_eq!(result.into_rows().len(), 10);
+    }
 }
 
 #[cfg(test)]
@@ -878,6 +1022,33 @@ mod edge_case_tests {
             n: 1000,
         };
         assert_eq!(execute_plan(&long, &ctx).unwrap().rows.len(), 5);
+    }
+
+    /// Every edge-case plan must agree between the batched engine and the
+    /// row reference engine, row for row, in order.
+    #[test]
+    fn batched_matches_row_reference_on_edge_cases() {
+        let ctx = rig_with_nulls();
+        let plans = vec![
+            self_join(JoinKind::Inner),
+            self_join(JoinKind::Semi),
+            self_join(JoinKind::Anti),
+            PhysicalPlan::Distinct {
+                input: Box::new(PhysicalPlan::Project {
+                    input: Box::new(scan("a")),
+                    exprs: vec![(BoundExpr::col("a", "k"), "k".into())],
+                }),
+            },
+            PhysicalPlan::Limit {
+                input: Box::new(scan("a")),
+                n: 3,
+            },
+        ];
+        for plan in &plans {
+            let batched = execute_plan(plan, &ctx).unwrap();
+            let rowwise = crate::rowref::execute_plan_rows(plan, &ctx).unwrap();
+            assert_eq!(batched.rows, rowwise.rows, "plan diverged: {plan:?}");
+        }
     }
 
     #[test]

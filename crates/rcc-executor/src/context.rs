@@ -63,6 +63,8 @@ pub struct ExecCounters {
     pub serial_scans: AtomicU64,
     /// Total morsels dispatched to the scan pool.
     pub scan_morsels: AtomicU64,
+    /// Column batches delivered at query roots by the batched engine.
+    pub batches_produced: AtomicU64,
 }
 
 impl ExecCounters {
@@ -77,6 +79,7 @@ impl ExecCounters {
         self.parallel_scans.store(0, Ordering::Relaxed);
         self.serial_scans.store(0, Ordering::Relaxed);
         self.scan_morsels.store(0, Ordering::Relaxed);
+        self.batches_produced.store(0, Ordering::Relaxed);
     }
 
     /// Fraction of guard evaluations that chose the local branch.
@@ -128,6 +131,10 @@ impl ExecCounters {
             "rcc_scan_morsels_total",
             "Morsels dispatched to the scan worker pool.",
         );
+        registry.describe(
+            "rcc_batch_produced_total",
+            "Column batches delivered at query roots.",
+        );
         let local = registry.counter("rcc_guard_local_total", &[]);
         let remote = registry.counter("rcc_guard_remote_total", &[]);
         let queries = registry.counter("rcc_remote_queries_total", &[]);
@@ -136,6 +143,7 @@ impl ExecCounters {
         let parallel = registry.counter("rcc_scan_parallel_total", &[]);
         let serial = registry.counter("rcc_scan_serial_total", &[]);
         let morsels = registry.counter("rcc_scan_morsels_total", &[]);
+        let batches = registry.counter("rcc_batch_produced_total", &[]);
         let this = Arc::clone(self);
         registry.register_collector(move || {
             local.set(this.local_branches.load(Ordering::Relaxed));
@@ -146,6 +154,7 @@ impl ExecCounters {
             parallel.set(this.parallel_scans.load(Ordering::Relaxed));
             serial.set(this.serial_scans.load(Ordering::Relaxed));
             morsels.set(this.scan_morsels.load(Ordering::Relaxed));
+            batches.set(this.batches_produced.load(Ordering::Relaxed));
         });
     }
 }
@@ -226,6 +235,8 @@ pub struct ExecContext {
     /// Target rows per morsel when splitting a scan for the pool. Scans
     /// smaller than two morsels stay serial (splitting them buys nothing).
     pub morsel_rows: usize,
+    /// Target logical rows per [`crate::Batch`] in the batched engine.
+    pub batch_rows: usize,
     /// The query's trace, shared down to the remote transport so spans
     /// recorded on the other side of the wire land in the same tree.
     /// `None` outside a traced server path.
@@ -260,6 +271,7 @@ impl ExecContext {
             metrics: None,
             scan_pool: None,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            batch_rows: crate::batch::DEFAULT_BATCH_ROWS,
             trace: None,
         }
     }

@@ -1,12 +1,22 @@
-//! The physical operators.
+//! The physical operators — vectorized batch edition.
 //!
-//! Every operator follows the volcano discipline: `open` acquires resources
-//! and computes whatever the strategy needs up front (hash tables, guard
-//! decisions, buffered scans), `next` yields one row at a time, `close`
-//! releases. In-memory tables make buffering scans at open both simple and
-//! honest — the real system's scan also materializes the qualifying rows'
-//! pages in the buffer pool.
+//! Every operator follows the batched volcano discipline: `open` acquires
+//! resources, compiles its expressions to ordinals ([`PhysExpr`]) and
+//! computes whatever the strategy needs up front (hash tables, guard
+//! decisions, buffered scans); `next_batch` yields a columnar [`Batch`] of
+//! up to `ctx.batch_rows` logical rows at a time; `close` releases.
+//! Operators never return an empty batch — exhaustion is `None` — so
+//! consumers can loop on `next_batch` without special-casing zero rows.
+//!
+//! Filters narrow batches with **selection vectors** (ascending physical
+//! row indices) instead of copying survivors, and scans fill column
+//! buffers straight out of [`rcc_storage::Table::fill_morsel_columns`] —
+//! rejected rows are never materialized, and per-row virtual dispatch,
+//! name resolution and `Row` allocation are gone from the hot loop. The
+//! original row-at-a-time engine survives as [`crate::rowref`], the
+//! differential oracle this engine is held byte-identical to.
 
+use crate::batch::{Batch, BatchSource, PhysExpr, RowSource};
 use crate::context::ExecContext;
 use crate::guard::evaluate_guard;
 use rcc_common::{Error, Result, Row, Schema, Value};
@@ -21,10 +31,10 @@ use std::sync::Arc;
 pub trait Operator: Send {
     /// Output schema.
     fn schema(&self) -> &Schema;
-    /// Prepare for producing rows.
+    /// Prepare for producing batches.
     fn open(&mut self, ctx: &ExecContext) -> Result<()>;
-    /// Produce the next row, or `None` when exhausted.
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>>;
+    /// Produce the next non-empty batch, or `None` when exhausted.
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>>;
     /// Release resources.
     fn close(&mut self, ctx: &ExecContext) -> Result<()>;
 }
@@ -39,7 +49,8 @@ fn now_millis(ctx: &ExecContext) -> i64 {
 /// Ship SQL to the back-end with remote-ship accounting: round-trip wall
 /// time, sub-query count and wire bytes flow into the per-query meter;
 /// aggregate counts into the shared [`crate::context::ExecCounters`].
-fn ship_remote(ctx: &ExecContext, sql: &str) -> Result<(Schema, Vec<Row>)> {
+/// Shared with the row reference engine in [`crate::rowref`].
+pub(crate) fn ship_remote(ctx: &ExecContext, sql: &str) -> Result<(Schema, Vec<Row>)> {
     use std::sync::atomic::Ordering;
     let remote = ctx
         .remote
@@ -60,9 +71,26 @@ fn ship_remote(ctx: &ExecContext, sql: &str) -> Result<(Schema, Vec<Row>)> {
     Ok((schema, rows))
 }
 
+/// Split buffered rows into dense batches of `target` logical rows.
+fn rows_to_batches(width: usize, rows: Vec<Row>, target: usize) -> VecDeque<Batch> {
+    let target = target.max(1);
+    if rows.is_empty() {
+        return VecDeque::new();
+    }
+    let mut out = VecDeque::with_capacity(rows.len().div_ceil(target));
+    let mut rows = rows;
+    while rows.len() > target {
+        let rest = rows.split_off(target);
+        out.push_back(Batch::from_rows(width, rows));
+        rows = rest;
+    }
+    out.push_back(Batch::from_rows(width, rows));
+    out
+}
+
 // ----------------------------------------------------------------- OneRow
 
-/// Emits a single empty row.
+/// Emits a single zero-width batch of cardinality one.
 pub struct OneRowOp {
     schema: Schema,
     done: bool,
@@ -92,12 +120,12 @@ impl Operator for OneRowOp {
         self.done = false;
         Ok(())
     }
-    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+    fn next_batch(&mut self, _ctx: &ExecContext) -> Result<Option<Batch>> {
         if self.done {
             Ok(None)
         } else {
             self.done = true;
-            Ok(Some(Row::new(vec![])))
+            Ok(Some(Batch::new(vec![], 1)))
         }
     }
     fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
@@ -107,13 +135,14 @@ impl Operator for OneRowOp {
 
 // -------------------------------------------------------------- LocalScan
 
-/// Scan of a local storage object with access-path pushdown.
+/// Scan of a local storage object with access-path pushdown, producing one
+/// columnar batch per morsel.
 pub struct LocalScanOp {
     object: String,
     schema: Schema,
     access: AccessPath,
     residual: Option<BoundExpr>,
-    buffer: VecDeque<Row>,
+    buffer: VecDeque<Batch>,
 }
 
 impl LocalScanOp {
@@ -134,43 +163,76 @@ impl LocalScanOp {
     }
 }
 
-/// The per-row scan kernel: project a stored row through `mapping`, apply
-/// the residual predicate, and append survivors to `out`. One kernel is
-/// built per scan and cloned into every parallel morsel, so the serial
-/// path and all workers run the identical per-row code — which is what
-/// keeps the two paths bit-identical.
-#[derive(Clone)]
+/// The scan kernel: decide per stored row whether it survives the residual
+/// predicate, and append survivors' mapped columns to output buffers. The
+/// residual is compiled against the scan's *output* schema, then remapped
+/// into *stored* ordinals — so it runs directly on stored rows and
+/// rejected rows are never projected or copied. One kernel is shared (via
+/// `Arc`) by the serial path and all parallel morsels, so both paths run
+/// identical per-row code — which keeps them bit-identical.
 struct ScanKernel {
     mapping: Arc<Vec<usize>>,
-    schema: Schema,
-    residual: Option<BoundExpr>,
+    /// Residual in stored ordinals.
+    residual: Option<PhysExpr>,
     now: i64,
 }
 
 impl ScanKernel {
-    fn apply(&self, row: &Row, out: &mut Vec<Row>) -> Result<()> {
-        let projected = Row::new(self.mapping.iter().map(|&i| row.get(i).clone()).collect());
-        let keep = match &self.residual {
-            Some(p) => p.eval_predicate(&projected, &self.schema, self.now)?,
-            None => true,
-        };
-        if keep {
-            out.push(projected);
+    fn keep(&self, row: &Row) -> Result<bool> {
+        match &self.residual {
+            Some(p) => p.eval_predicate(&RowSource(row.values()), self.now),
+            None => Ok(true),
         }
-        Ok(())
+    }
+
+    fn push(&self, row: &Row, cols: &mut [Vec<Value>]) {
+        for (c, col) in cols.iter_mut().enumerate() {
+            col.push(row.get(self.mapping[c]).clone());
+        }
+    }
+
+    fn fresh_cols(&self, capacity: usize) -> Vec<Vec<Value>> {
+        (0..self.mapping.len())
+            .map(|_| Vec::with_capacity(capacity))
+            .collect()
+    }
+
+    /// Fill one clustered morsel into a single columnar batch.
+    fn fill_clustered(
+        &self,
+        table: &Table,
+        range: &KeyRange,
+        start: Option<&[Value]>,
+        end: Option<&[Value]>,
+    ) -> Result<Batch> {
+        let mut cols = self.fresh_cols(0);
+        let n = table.fill_morsel_columns(
+            range,
+            start,
+            end,
+            &self.mapping,
+            |row| self.keep(row),
+            &mut cols,
+        )?;
+        Ok(Batch::new(cols, n))
     }
 }
 
+/// Inclusive-start / exclusive-end key bounds of one morsel, owned so the
+/// bound vector can be scattered across pool workers.
+type MorselBounds = (Option<Vec<Value>>, Option<Vec<Value>>);
+
 /// Run one clustered-range scan over an immutable snapshot, splitting it
-/// into key-ordered morsels on the context's pool when that is worthwhile.
-/// Morsel outputs are concatenated in morsel order, so the returned rows
-/// are exactly what the serial scan would produce, in the same order.
+/// into key-ordered morsels on the context's pool when that is worthwhile
+/// (one columnar batch per morsel). Morsel batches are concatenated in
+/// morsel order, so the logical row stream is exactly what the serial scan
+/// would produce, in the same order.
 fn scan_clustered(
     ctx: &ExecContext,
     table: &TableSnapshot,
     range: &KeyRange,
-    kernel: &ScanKernel,
-) -> Result<Vec<Row>> {
+    kernel: &Arc<ScanKernel>,
+) -> Result<VecDeque<Batch>> {
     use std::sync::atomic::Ordering;
     if let Some(pool) = ctx.scan_pool.as_ref().filter(|p| p.size() > 1) {
         let plan = table.plan_morsels(range, ctx.morsel_rows.max(1));
@@ -189,76 +251,78 @@ fn scan_clustered(
                     )
                     .observe(morsels as f64);
             }
-            let jobs: Vec<_> = (0..morsels)
+            let bounds: Vec<MorselBounds> = (0..morsels)
                 .map(|i| {
                     let (start, end) = plan.bounds(i);
-                    let start = start.map(|k| k.to_vec());
-                    let end = end.map(|k| k.to_vec());
-                    let table = Arc::clone(table);
-                    let range = range.clone();
-                    let kernel = kernel.clone();
-                    move || -> Result<Vec<Row>> {
-                        let mut out = Vec::new();
-                        let mut err = None;
-                        table.scan_morsel(
-                            &range,
-                            start.as_deref(),
-                            end.as_deref(),
-                            |_| true,
-                            |row| {
-                                if err.is_none() {
-                                    if let Err(e) = kernel.apply(row, &mut out) {
-                                        err = Some(e);
-                                    }
-                                }
-                            },
-                        );
-                        match err {
-                            Some(e) => Err(e),
-                            None => Ok(out),
-                        }
-                    }
+                    (start.map(|k| k.to_vec()), end.map(|k| k.to_vec()))
                 })
                 .collect();
-            let mut merged = Vec::new();
-            for morsel in pool.scatter(jobs) {
-                merged.extend(morsel?);
-            }
-            return Ok(merged);
+            // One shared fill closure: the snapshot, range and kernel are
+            // captured once behind the Arc, not cloned per morsel.
+            let table = Arc::clone(table);
+            let range = range.clone();
+            let kernel = Arc::clone(kernel);
+            let fill = Arc::new(move |(start, end): MorselBounds| -> Result<Batch> {
+                kernel.fill_clustered(&table, &range, start.as_deref(), end.as_deref())
+            });
+            return pool
+                .scatter_map(bounds, fill)
+                .into_iter()
+                .filter(|b| !matches!(b, Ok(b) if b.is_empty()))
+                .collect();
         }
     }
     ctx.counters.serial_scans.fetch_add(1, Ordering::Relaxed);
-    let mut out = Vec::new();
-    let mut err = None;
+    // Serial: one pass over the range, splitting full column buffers off
+    // into batches of `ctx.batch_rows` as they fill.
+    let target = ctx.batch_rows.max(1);
+    let mut batches = VecDeque::new();
+    let mut cols = kernel.fresh_cols(target);
+    let mut filled = 0usize;
+    let mut err: Option<Error> = None;
     table.scan_range(
         range,
         |_| true,
         |row| {
-            if err.is_none() {
-                if let Err(e) = kernel.apply(row, &mut out) {
-                    err = Some(e);
+            if err.is_some() {
+                return;
+            }
+            match kernel.keep(row) {
+                Ok(true) => {
+                    kernel.push(row, &mut cols);
+                    filled += 1;
+                    if filled == target {
+                        let full = std::mem::replace(&mut cols, kernel.fresh_cols(target));
+                        batches.push_back(Batch::new(full, filled));
+                        filled = 0;
+                    }
                 }
+                Ok(false) => {}
+                Err(e) => err = Some(e),
             }
         },
     );
-    match err {
-        Some(e) => Err(e),
-        None => Ok(out),
+    if let Some(e) = err {
+        return Err(e);
     }
+    if filled > 0 {
+        batches.push_back(Batch::new(cols, filled));
+    }
+    Ok(batches)
 }
 
 /// Run one secondary-index scan over an immutable snapshot. The ordered
 /// clustered-key list (the result's spine) is resolved serially from the
 /// index; when a pool is available the point lookups are chunked across
-/// workers and re-concatenated in chunk order — same rows, same order as
-/// the serial path.
+/// workers (one batch per chunk) and re-concatenated in chunk order —
+/// same rows, same order as the serial path.
 fn scan_index(
     ctx: &ExecContext,
     table: &TableSnapshot,
     index: &str,
     range: &KeyRange,
-    kernel: &ScanKernel,
-) -> Result<Vec<Row>> {
+    kernel: &Arc<ScanKernel>,
+) -> Result<VecDeque<Batch>> {
     use std::sync::atomic::Ordering;
     let morsel_rows = ctx.morsel_rows.max(1);
     if let Some(pool) = ctx.scan_pool.as_ref().filter(|p| p.size() > 1) {
@@ -279,35 +343,48 @@ fn scan_index(
                     )
                     .observe(chunks.len() as f64);
             }
-            let jobs: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let table = Arc::clone(table);
-                    let kernel = kernel.clone();
-                    move || -> Result<Vec<Row>> {
-                        let mut out = Vec::new();
-                        for pk in &chunk {
-                            if let Some(row) = table.get(pk) {
-                                kernel.apply(row, &mut out)?;
-                            }
+            let table = Arc::clone(table);
+            let kernel = Arc::clone(kernel);
+            let fill = Arc::new(move |chunk: Vec<Vec<Value>>| -> Result<Batch> {
+                let mut cols = kernel.fresh_cols(chunk.len());
+                let mut n = 0usize;
+                for pk in &chunk {
+                    if let Some(row) = table.get(pk) {
+                        if kernel.keep(row)? {
+                            kernel.push(row, &mut cols);
+                            n += 1;
                         }
-                        Ok(out)
                     }
-                })
+                }
+                Ok(Batch::new(cols, n))
+            });
+            return pool
+                .scatter_map(chunks, fill)
+                .into_iter()
+                .filter(|b| !matches!(b, Ok(b) if b.is_empty()))
                 .collect();
-            let mut merged = Vec::new();
-            for morsel in pool.scatter(jobs) {
-                merged.extend(morsel?);
-            }
-            return Ok(merged);
         }
     }
     ctx.counters.serial_scans.fetch_add(1, Ordering::Relaxed);
-    let mut out = Vec::new();
+    let target = ctx.batch_rows.max(1);
+    let mut batches = VecDeque::new();
+    let mut cols = kernel.fresh_cols(target);
+    let mut filled = 0usize;
     for row in table.index_scan(index, range)? {
-        kernel.apply(&row, &mut out)?;
+        if kernel.keep(&row)? {
+            kernel.push(&row, &mut cols);
+            filled += 1;
+            if filled == target {
+                let full = std::mem::replace(&mut cols, kernel.fresh_cols(target));
+                batches.push_back(Batch::new(full, filled));
+                filled = 0;
+            }
+        }
     }
-    Ok(out)
+    if filled > 0 {
+        batches.push_back(Batch::new(cols, filled));
+    }
+    Ok(batches)
 }
 
 impl Operator for LocalScanOp {
@@ -327,13 +404,16 @@ impl Operator for LocalScanOp {
                 .map(|c| table.schema().resolve(None, &c.name))
                 .collect::<Result<_>>()?,
         );
-        let kernel = ScanKernel {
-            mapping,
-            schema: self.schema.clone(),
-            residual: self.residual.clone(),
-            now: now_millis(ctx),
+        let residual = match &self.residual {
+            Some(p) => Some(PhysExpr::compile(p, &self.schema)?.remap(&mapping)),
+            None => None,
         };
-        let rows = match &self.access {
+        let kernel = Arc::new(ScanKernel {
+            mapping,
+            residual,
+            now: now_millis(ctx),
+        });
+        self.buffer = match &self.access {
             AccessPath::FullScan => scan_clustered(ctx, &table, &KeyRange::all(), &kernel)?,
             AccessPath::ClusteredRange { range, .. } => {
                 scan_clustered(ctx, &table, range, &kernel)?
@@ -342,12 +422,17 @@ impl Operator for LocalScanOp {
                 scan_index(ctx, &table, index, range, &kernel)?
             }
         };
-        self.buffer = rows.into();
         Ok(())
     }
 
-    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
-        Ok(self.buffer.pop_front())
+    fn next_batch(&mut self, _ctx: &ExecContext) -> Result<Option<Batch>> {
+        // morsels that filtered down to nothing are skipped
+        while let Some(batch) = self.buffer.pop_front() {
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+        Ok(None)
     }
 
     fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
@@ -358,11 +443,11 @@ impl Operator for LocalScanOp {
 
 // ------------------------------------------------------------ RemoteQuery
 
-/// Ships SQL to the back-end and streams the returned rows.
+/// Ships SQL to the back-end and streams the returned rows as batches.
 pub struct RemoteQueryOp {
     sql: String,
     schema: Schema,
-    buffer: VecDeque<Row>,
+    buffer: VecDeque<Batch>,
 }
 
 impl RemoteQueryOp {
@@ -392,11 +477,11 @@ impl Operator for RemoteQueryOp {
                 )));
             }
         }
-        self.buffer = rows.into();
+        self.buffer = rows_to_batches(self.schema.len(), rows, ctx.batch_rows);
         Ok(())
     }
 
-    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+    fn next_batch(&mut self, _ctx: &ExecContext) -> Result<Option<Batch>> {
         Ok(self.buffer.pop_front())
     }
 
@@ -409,7 +494,10 @@ impl Operator for RemoteQueryOp {
 // ------------------------------------------------------------ SwitchUnion
 
 /// The dynamic-plan operator: its selector (the currency guard) is
-/// evaluated once at open; all rows then come from the chosen branch.
+/// evaluated **once** at open; all batches then come from the chosen
+/// branch and the other input is never touched. Batching amortizes the
+/// guard further: one evaluation now covers thousands of rows instead of
+/// being revisited per row of bookkeeping.
 pub struct SwitchUnionOp {
     guard: CurrencyGuard,
     local: BoxedOp,
@@ -446,11 +534,11 @@ impl Operator for SwitchUnionOp {
         }
     }
 
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
         if self.use_local {
-            self.local.next(ctx)
+            self.local.next_batch(ctx)
         } else {
-            self.remote.next(ctx)
+            self.remote.next_batch(ctx)
         }
     }
 
@@ -469,16 +557,22 @@ impl Operator for SwitchUnionOp {
 
 // ----------------------------------------------------------------- Filter
 
-/// Predicate filter.
+/// Predicate filter: narrows each input batch with a selection vector —
+/// survivors are never copied.
 pub struct FilterOp {
     input: BoxedOp,
     predicate: BoundExpr,
+    compiled: Option<PhysExpr>,
 }
 
 impl FilterOp {
     /// Build.
     pub fn new(input: BoxedOp, predicate: BoundExpr) -> FilterOp {
-        FilterOp { input, predicate }
+        FilterOp {
+            input,
+            predicate,
+            compiled: None,
+        }
     }
 }
 
@@ -487,29 +581,63 @@ impl Operator for FilterOp {
         self.input.schema()
     }
     fn open(&mut self, ctx: &ExecContext) -> Result<()> {
-        self.input.open(ctx)
+        self.input.open(ctx)?;
+        self.compiled = Some(PhysExpr::compile(&self.predicate, self.input.schema())?);
+        Ok(())
     }
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
         let now = now_millis(ctx);
-        let schema = self.input.schema().clone();
-        while let Some(row) = self.input.next(ctx)? {
-            if self.predicate.eval_predicate(&row, &schema, now)? {
-                return Ok(Some(row));
+        let predicate = self
+            .compiled
+            .as_ref()
+            .ok_or_else(|| Error::internal("Filter next_batch before open"))?;
+        while let Some(batch) = self.input.next_batch(ctx)? {
+            let len = batch.len();
+            let mut sel: Vec<u32> = Vec::with_capacity(len);
+            for i in 0..len {
+                let p = batch.phys(i);
+                let src = BatchSource {
+                    columns: &batch.columns,
+                    row: p,
+                };
+                if predicate.eval_predicate(&src, now)? {
+                    sel.push(p as u32);
+                }
             }
+            if let Some(metrics) = ctx.metrics.as_deref() {
+                metrics
+                    .histogram(
+                        "rcc_batch_selectivity",
+                        &[],
+                        rcc_obs::DEFAULT_SELECTIVITY_BUCKETS,
+                    )
+                    .observe(sel.len() as f64 / len as f64);
+            }
+            if sel.is_empty() {
+                continue;
+            }
+            if sel.len() == len {
+                return Ok(Some(batch)); // everything survived: keep as-is
+            }
+            return Ok(Some(batch.with_sel(sel)));
         }
         Ok(None)
     }
     fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.compiled = None;
         self.input.close(ctx)
     }
 }
 
 // ---------------------------------------------------------------- Project
 
-/// Expression projection.
+/// Expression projection over whole batches. Bare-column outputs move or
+/// gather the input buffer wholesale; computed outputs evaluate per row
+/// through the compiled expression.
 pub struct ProjectOp {
     input: BoxedOp,
     exprs: Vec<BoundExpr>,
+    compiled: Vec<PhysExpr>,
     schema: Schema,
 }
 
@@ -526,6 +654,7 @@ impl ProjectOp {
         ProjectOp {
             input,
             exprs: exprs.into_iter().map(|(e, _)| e).collect(),
+            compiled: Vec::new(),
             schema,
         }
     }
@@ -536,40 +665,90 @@ impl Operator for ProjectOp {
         &self.schema
     }
     fn open(&mut self, ctx: &ExecContext) -> Result<()> {
-        self.input.open(ctx)
+        self.input.open(ctx)?;
+        self.compiled = PhysExpr::compile_all(&self.exprs, self.input.schema())?;
+        Ok(())
     }
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
         let now = now_millis(ctx);
-        let in_schema = self.input.schema().clone();
-        match self.input.next(ctx)? {
-            Some(row) => {
-                let values: Vec<Value> = self
-                    .exprs
-                    .iter()
-                    .map(|e| e.eval(&row, &in_schema, now))
-                    .collect::<Result<_>>()?;
-                Ok(Some(Row::new(values)))
+        let mut batch = match self.input.next_batch(ctx)? {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        let n = batch.len();
+        let mut outputs: Vec<Option<Vec<Value>>> = vec![None; self.compiled.len()];
+        // computed outputs first — they may read columns that bare-column
+        // outputs move out below
+        for (k, e) in self.compiled.iter().enumerate() {
+            if e.as_column().is_none() {
+                let mut col = Vec::with_capacity(n);
+                for i in 0..n {
+                    let src = BatchSource {
+                        columns: &batch.columns,
+                        row: batch.phys(i),
+                    };
+                    col.push(e.eval(&src, now)?);
+                }
+                outputs[k] = Some(col);
             }
-            None => Ok(None),
         }
+        // bare columns: dense batches move the buffer on its last use and
+        // clone earlier ones; selected batches gather through the selection
+        match batch.sel.clone() {
+            None => {
+                let mut remaining: HashMap<usize, usize> = HashMap::new();
+                for e in &self.compiled {
+                    if let Some(i) = e.as_column() {
+                        *remaining.entry(i).or_insert(0) += 1;
+                    }
+                }
+                for (k, e) in self.compiled.iter().enumerate() {
+                    if let Some(i) = e.as_column() {
+                        let uses = remaining.get_mut(&i).expect("counted above");
+                        *uses -= 1;
+                        outputs[k] = Some(if *uses == 0 {
+                            std::mem::take(&mut batch.columns[i])
+                        } else {
+                            batch.columns[i].clone()
+                        });
+                    }
+                }
+            }
+            Some(sel) => {
+                for (k, e) in self.compiled.iter().enumerate() {
+                    if let Some(i) = e.as_column() {
+                        let col = &batch.columns[i];
+                        outputs[k] = Some(sel.iter().map(|&p| col[p as usize].clone()).collect());
+                    }
+                }
+            }
+        }
+        let columns = outputs
+            .into_iter()
+            .map(|c| c.expect("every output produced"))
+            .collect();
+        Ok(Some(Batch::new(columns, n)))
     }
     fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.compiled.clear();
         self.input.close(ctx)
     }
 }
 
 // --------------------------------------------------------------- HashJoin
 
-/// Hash join: builds on the right input, probes with the left.
+/// Hash join: builds on the right input, probes with whole left batches.
+/// Semi/anti joins narrow the left batch with a selection vector; inner
+/// joins materialize concatenated rows.
 pub struct HashJoinOp {
     left: BoxedOp,
     right: BoxedOp,
     left_keys: Vec<BoundExpr>,
     right_keys: Vec<BoundExpr>,
+    compiled_left: Vec<PhysExpr>,
     kind: JoinKind,
     schema: Schema,
     table: HashMap<Vec<Value>, Vec<Row>>,
-    pending: VecDeque<Row>,
 }
 
 impl HashJoinOp {
@@ -590,25 +769,26 @@ impl HashJoinOp {
             right,
             left_keys,
             right_keys,
+            compiled_left: Vec::new(),
             kind,
             schema,
             table: HashMap::new(),
-            pending: VecDeque::new(),
         }
     }
 }
 
-fn eval_keys(
-    keys: &[BoundExpr],
-    row: &Row,
-    schema: &Schema,
+/// Evaluate join keys for one batch row; `None` when any key is NULL
+/// (NULL keys never match).
+fn eval_batch_keys(
+    keys: &[PhysExpr],
+    src: &BatchSource<'_>,
     now: i64,
 ) -> Result<Option<Vec<Value>>> {
     let mut out = Vec::with_capacity(keys.len());
     for k in keys {
-        let v = k.eval(row, schema, now)?;
+        let v = k.eval(src, now)?;
         if v.is_null() {
-            return Ok(None); // NULL keys never match
+            return Ok(None);
         }
         out.push(v);
     }
@@ -623,44 +803,71 @@ impl Operator for HashJoinOp {
     fn open(&mut self, ctx: &ExecContext) -> Result<()> {
         let now = now_millis(ctx);
         self.right.open(ctx)?;
-        let right_schema = self.right.schema().clone();
-        while let Some(row) = self.right.next(ctx)? {
-            if let Some(key) = eval_keys(&self.right_keys, &row, &right_schema, now)? {
-                self.table.entry(key).or_default().push(row);
+        let right_keys = PhysExpr::compile_all(&self.right_keys, self.right.schema())?;
+        while let Some(batch) = self.right.next_batch(ctx)? {
+            for i in 0..batch.len() {
+                let src = BatchSource {
+                    columns: &batch.columns,
+                    row: batch.phys(i),
+                };
+                if let Some(key) = eval_batch_keys(&right_keys, &src, now)? {
+                    self.table.entry(key).or_default().push(batch.row(i));
+                }
             }
         }
         self.right.close(ctx)?;
-        self.left.open(ctx)
+        self.left.open(ctx)?;
+        self.compiled_left = PhysExpr::compile_all(&self.left_keys, self.left.schema())?;
+        Ok(())
     }
 
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
-        if let Some(row) = self.pending.pop_front() {
-            return Ok(Some(row));
-        }
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
         let now = now_millis(ctx);
-        let left_schema = self.left.schema().clone();
-        while let Some(left_row) = self.left.next(ctx)? {
-            let key = eval_keys(&self.left_keys, &left_row, &left_schema, now)?;
-            let matches = key.as_ref().and_then(|k| self.table.get(k));
+        while let Some(batch) = self.left.next_batch(ctx)? {
             match self.kind {
                 JoinKind::Inner => {
-                    if let Some(ms) = matches {
-                        for m in ms {
-                            self.pending.push_back(left_row.concat(m));
-                        }
-                        if let Some(row) = self.pending.pop_front() {
-                            return Ok(Some(row));
+                    let mut out: Vec<Row> = Vec::new();
+                    for i in 0..batch.len() {
+                        let src = BatchSource {
+                            columns: &batch.columns,
+                            row: batch.phys(i),
+                        };
+                        let key = eval_batch_keys(&self.compiled_left, &src, now)?;
+                        if let Some(ms) = key.as_ref().and_then(|k| self.table.get(k)) {
+                            let left_row = batch.row(i);
+                            for m in ms {
+                                out.push(left_row.concat(m));
+                            }
                         }
                     }
-                }
-                JoinKind::Semi => {
-                    if matches.map(|m| !m.is_empty()).unwrap_or(false) {
-                        return Ok(Some(left_row));
+                    if !out.is_empty() {
+                        return Ok(Some(Batch::from_rows(self.schema.len(), out)));
                     }
                 }
-                JoinKind::Anti => {
-                    if matches.map(|m| m.is_empty()).unwrap_or(true) {
-                        return Ok(Some(left_row));
+                JoinKind::Semi | JoinKind::Anti => {
+                    let want_match = self.kind == JoinKind::Semi;
+                    let mut sel: Vec<u32> = Vec::new();
+                    for i in 0..batch.len() {
+                        let p = batch.phys(i);
+                        let src = BatchSource {
+                            columns: &batch.columns,
+                            row: p,
+                        };
+                        let key = eval_batch_keys(&self.compiled_left, &src, now)?;
+                        let matched = key
+                            .as_ref()
+                            .and_then(|k| self.table.get(k))
+                            .map(|m| !m.is_empty())
+                            .unwrap_or(false);
+                        if matched == want_match {
+                            sel.push(p as u32);
+                        }
+                    }
+                    if sel.len() == batch.len() {
+                        return Ok(Some(batch));
+                    }
+                    if !sel.is_empty() {
+                        return Ok(Some(batch.with_sel(sel)));
                     }
                 }
             }
@@ -670,22 +877,64 @@ impl Operator for HashJoinOp {
 
     fn close(&mut self, ctx: &ExecContext) -> Result<()> {
         self.table.clear();
-        self.pending.clear();
+        self.compiled_left.clear();
         self.left.close(ctx)
     }
 }
 
 // -------------------------------------------------------------- MergeJoin
 
+/// Pulls rows one at a time off a batched input — the streaming shim merge
+/// join needs for its lookahead discipline.
+struct RowStream {
+    op: BoxedOp,
+    batch: Option<Batch>,
+    idx: usize,
+}
+
+impl RowStream {
+    fn new(op: BoxedOp) -> RowStream {
+        RowStream {
+            op,
+            batch: None,
+            idx: 0,
+        }
+    }
+
+    fn next_row(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        loop {
+            if let Some(batch) = &self.batch {
+                if self.idx < batch.len() {
+                    let row = batch.row(self.idx);
+                    self.idx += 1;
+                    return Ok(Some(row));
+                }
+            }
+            match self.op.next_batch(ctx)? {
+                Some(batch) => {
+                    self.batch = Some(batch);
+                    self.idx = 0;
+                }
+                None => {
+                    self.batch = None;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}
+
 /// Merge join over inputs already sorted (non-decreasing) on the join
 /// keys. Handles duplicate keys on both sides by buffering the right-hand
 /// group. Inner joins only — the optimizer routes semi/anti joins through
-/// the hash path.
+/// the hash path. Output rows are re-batched at `ctx.batch_rows`.
 pub struct MergeJoinOp {
-    left: BoxedOp,
-    right: BoxedOp,
+    left: RowStream,
+    right: RowStream,
     left_key: BoundExpr,
     right_key: BoundExpr,
+    compiled_left: Option<PhysExpr>,
+    compiled_right: Option<PhysExpr>,
     schema: Schema,
     /// current right-hand duplicate group and its key
     right_group: Vec<Row>,
@@ -707,10 +956,12 @@ impl MergeJoinOp {
     ) -> MergeJoinOp {
         let schema = left.schema().join(right.schema());
         MergeJoinOp {
-            left,
-            right,
+            left: RowStream::new(left),
+            right: RowStream::new(right),
             left_key,
             right_key,
+            compiled_left: None,
+            compiled_right: None,
             schema,
             right_group: Vec::new(),
             right_group_key: None,
@@ -727,7 +978,7 @@ impl MergeJoinOp {
         if self.right_done {
             return Ok(None);
         }
-        match self.right.next(ctx)? {
+        match self.right.next_row(ctx)? {
             Some(r) => Ok(Some(r)),
             None => {
                 self.right_done = true;
@@ -740,7 +991,10 @@ impl MergeJoinOp {
     /// when the group's key equals `key`.
     fn align_right_group(&mut self, ctx: &ExecContext, key: &Value) -> Result<bool> {
         let now = now_millis(ctx);
-        let right_schema = self.right.schema().clone();
+        let right_key = self
+            .compiled_right
+            .clone()
+            .ok_or_else(|| Error::internal("MergeJoin next before open"))?;
         loop {
             if let Some(gk) = &self.right_group_key {
                 match gk.total_cmp(key) {
@@ -761,10 +1015,10 @@ impl MergeJoinOp {
                         .unwrap_or(false));
                 }
             };
-            let gk = self.right_key.eval(&first, &right_schema, now)?;
+            let gk = right_key.eval(&RowSource(first.values()), now)?;
             let mut group = vec![first];
             while let Some(r) = self.next_right(ctx)? {
-                let k = self.right_key.eval(&r, &right_schema, now)?;
+                let k = right_key.eval(&RowSource(r.values()), now)?;
                 if k == gk {
                     group.push(r);
                 } else {
@@ -774,6 +1028,37 @@ impl MergeJoinOp {
             }
             self.right_group = group;
             self.right_group_key = Some(gk);
+        }
+    }
+
+    /// One output row of the merge, or `None` when the join is drained.
+    fn next_joined_row(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        let now = now_millis(ctx);
+        let left_key = self
+            .compiled_left
+            .clone()
+            .ok_or_else(|| Error::internal("MergeJoin next before open"))?;
+        loop {
+            // emit the remainder of the current (left row × right group)
+            if let Some((row, idx)) = &mut self.left_current {
+                if *idx < self.right_group.len() {
+                    let out = row.concat(&self.right_group[*idx]);
+                    *idx += 1;
+                    return Ok(Some(out));
+                }
+                self.left_current = None;
+            }
+            let left_row = match self.left.next_row(ctx)? {
+                Some(r) => r,
+                None => return Ok(None),
+            };
+            let key = left_key.eval(&RowSource(left_row.values()), now)?;
+            if key.is_null() {
+                continue; // NULL keys never match
+            }
+            if self.align_right_group(ctx, &key)? {
+                self.left_current = Some((left_row, 0));
+            }
         }
     }
 }
@@ -789,41 +1074,33 @@ impl Operator for MergeJoinOp {
         self.right_pending = None;
         self.left_current = None;
         self.right_done = false;
-        self.left.open(ctx)?;
-        self.right.open(ctx)
+        self.left.op.open(ctx)?;
+        self.right.op.open(ctx)?;
+        self.compiled_left = Some(PhysExpr::compile(&self.left_key, self.left.op.schema())?);
+        self.compiled_right = Some(PhysExpr::compile(&self.right_key, self.right.op.schema())?);
+        Ok(())
     }
 
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
-        let now = now_millis(ctx);
-        let left_schema = self.left.schema().clone();
-        loop {
-            // emit the remainder of the current (left row × right group)
-            if let Some((row, idx)) = &mut self.left_current {
-                if *idx < self.right_group.len() {
-                    let out = row.concat(&self.right_group[*idx]);
-                    *idx += 1;
-                    return Ok(Some(out));
-                }
-                self.left_current = None;
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
+        let target = ctx.batch_rows.max(1);
+        let mut out: Vec<Row> = Vec::new();
+        while out.len() < target {
+            match self.next_joined_row(ctx)? {
+                Some(row) => out.push(row),
+                None => break,
             }
-            let left_row = match self.left.next(ctx)? {
-                Some(r) => r,
-                None => return Ok(None),
-            };
-            let key = self.left_key.eval(&left_row, &left_schema, now)?;
-            if key.is_null() {
-                continue; // NULL keys never match
-            }
-            if self.align_right_group(ctx, &key)? {
-                self.left_current = Some((left_row, 0));
-            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(Batch::from_rows(self.schema.len(), out)))
         }
     }
 
     fn close(&mut self, ctx: &ExecContext) -> Result<()> {
         self.right_group.clear();
-        self.left.close(ctx)?;
-        self.right.close(ctx)
+        self.left.op.close(ctx)?;
+        self.right.op.close(ctx)
     }
 }
 
@@ -840,17 +1117,21 @@ enum InnerMode {
     Idle,
 }
 
-/// Index nested-loop join with an optionally guarded inner side.
+/// Index nested-loop join with an optionally guarded inner side, probing
+/// one whole outer batch per `next_batch` call. Semi/anti joins narrow the
+/// outer batch with a selection vector.
 pub struct IndexNLJoinOp {
     outer: BoxedOp,
     outer_key: BoundExpr,
+    compiled_key: Option<PhysExpr>,
     inner: InnerAccess,
     kind: JoinKind,
     schema: Schema,
     mode: InnerMode,
-    pending: VecDeque<Row>,
     /// precomputed mapping from inner schema to the stored table (local mode)
     mapping: Vec<usize>,
+    /// inner residual in stored ordinals (local mode)
+    inner_residual: Option<PhysExpr>,
 }
 
 impl IndexNLJoinOp {
@@ -868,12 +1149,13 @@ impl IndexNLJoinOp {
         IndexNLJoinOp {
             outer,
             outer_key,
+            compiled_key: None,
             inner,
             kind,
             schema,
             mode: InnerMode::Idle,
-            pending: VecDeque::new(),
             mapping: Vec::new(),
+            inner_residual: None,
         }
     }
 
@@ -886,16 +1168,28 @@ impl IndexNLJoinOp {
         let now = now_millis(ctx);
         let mut out = Vec::with_capacity(raw.len());
         for row in raw {
-            let projected = Row::new(self.mapping.iter().map(|&i| row.get(i).clone()).collect());
-            let keep = match &self.inner.residual {
-                Some(p) => p.eval_predicate(&projected, &self.inner.schema, now)?,
+            let keep = match &self.inner_residual {
+                Some(p) => p.eval_predicate(&RowSource(row.values()), now)?,
                 None => true,
             };
             if keep {
-                out.push(projected);
+                out.push(Row::new(
+                    self.mapping.iter().map(|&i| row.get(i).clone()).collect(),
+                ));
             }
         }
         Ok(out)
+    }
+
+    fn matches_for(&self, ctx: &ExecContext, key: &Value) -> Result<Vec<Row>> {
+        if key.is_null() {
+            return Ok(Vec::new()); // NULL keys never match
+        }
+        match &self.mode {
+            InnerMode::Local(snap) => self.seek_local(ctx, snap, key),
+            InnerMode::Hashed(map) => Ok(map.get(key).cloned().unwrap_or_default()),
+            InnerMode::Idle => Err(Error::internal("IndexNLJoin next before open")),
+        }
     }
 }
 
@@ -922,6 +1216,10 @@ impl Operator for IndexNLJoinOp {
                 .iter()
                 .map(|c| table.schema().resolve(None, &c.name))
                 .collect::<Result<_>>()?;
+            self.inner_residual = match &self.inner.residual {
+                Some(p) => Some(PhysExpr::compile(p, &self.inner.schema)?.remap(&self.mapping)),
+                None => None,
+            };
             self.mode = InnerMode::Local(table);
         } else {
             let sql = self
@@ -940,43 +1238,59 @@ impl Operator for IndexNLJoinOp {
             }
             self.mode = InnerMode::Hashed(map);
         }
-        self.outer.open(ctx)
+        self.outer.open(ctx)?;
+        self.compiled_key = Some(PhysExpr::compile(&self.outer_key, self.outer.schema())?);
+        Ok(())
     }
 
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
-        if let Some(row) = self.pending.pop_front() {
-            return Ok(Some(row));
-        }
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
         let now = now_millis(ctx);
-        let outer_schema = self.outer.schema().clone();
-        while let Some(outer_row) = self.outer.next(ctx)? {
-            let key = self.outer_key.eval(&outer_row, &outer_schema, now)?;
-            let matches: Vec<Row> = if key.is_null() {
-                Vec::new()
-            } else {
-                match &self.mode {
-                    InnerMode::Local(snap) => self.seek_local(ctx, snap, &key)?,
-                    InnerMode::Hashed(map) => map.get(&key).cloned().unwrap_or_default(),
-                    InnerMode::Idle => return Err(Error::internal("IndexNLJoin next before open")),
-                }
-            };
+        let outer_key = self
+            .compiled_key
+            .clone()
+            .ok_or_else(|| Error::internal("IndexNLJoin next before open"))?;
+        while let Some(batch) = self.outer.next_batch(ctx)? {
             match self.kind {
                 JoinKind::Inner => {
-                    for m in &matches {
-                        self.pending.push_back(outer_row.concat(m));
+                    let mut out: Vec<Row> = Vec::new();
+                    for i in 0..batch.len() {
+                        let src = BatchSource {
+                            columns: &batch.columns,
+                            row: batch.phys(i),
+                        };
+                        let key = outer_key.eval(&src, now)?;
+                        let matches = self.matches_for(ctx, &key)?;
+                        if !matches.is_empty() {
+                            let outer_row = batch.row(i);
+                            for m in &matches {
+                                out.push(outer_row.concat(m));
+                            }
+                        }
                     }
-                    if let Some(row) = self.pending.pop_front() {
-                        return Ok(Some(row));
+                    if !out.is_empty() {
+                        return Ok(Some(Batch::from_rows(self.schema.len(), out)));
                     }
                 }
-                JoinKind::Semi => {
-                    if !matches.is_empty() {
-                        return Ok(Some(outer_row));
+                JoinKind::Semi | JoinKind::Anti => {
+                    let want_match = self.kind == JoinKind::Semi;
+                    let mut sel: Vec<u32> = Vec::new();
+                    for i in 0..batch.len() {
+                        let p = batch.phys(i);
+                        let src = BatchSource {
+                            columns: &batch.columns,
+                            row: p,
+                        };
+                        let key = outer_key.eval(&src, now)?;
+                        let matched = !self.matches_for(ctx, &key)?.is_empty();
+                        if matched == want_match {
+                            sel.push(p as u32);
+                        }
                     }
-                }
-                JoinKind::Anti => {
-                    if matches.is_empty() {
-                        return Ok(Some(outer_row));
+                    if sel.len() == batch.len() {
+                        return Ok(Some(batch));
+                    }
+                    if !sel.is_empty() {
+                        return Ok(Some(batch.with_sel(sel)));
                     }
                 }
             }
@@ -985,8 +1299,9 @@ impl Operator for IndexNLJoinOp {
     }
 
     fn close(&mut self, ctx: &ExecContext) -> Result<()> {
-        self.pending.clear();
         self.mode = InnerMode::Idle;
+        self.compiled_key = None;
+        self.inner_residual = None;
         self.outer.close(ctx)
     }
 }
@@ -1092,14 +1407,14 @@ impl AggState {
     }
 }
 
-/// Hash aggregation with HAVING.
+/// Hash aggregation with HAVING, consuming whole input batches.
 pub struct HashAggregateOp {
     input: BoxedOp,
     group_by: Vec<BoundExpr>,
     aggs: Vec<AggCall>,
     having: Option<BoundExpr>,
     schema: Schema,
-    results: VecDeque<Row>,
+    results: VecDeque<Batch>,
 }
 
 impl HashAggregateOp {
@@ -1137,33 +1452,49 @@ impl Operator for HashAggregateOp {
     fn open(&mut self, ctx: &ExecContext) -> Result<()> {
         self.input.open(ctx)?;
         let now = now_millis(ctx);
-        let in_schema = self.input.schema().clone();
+        let in_schema = self.input.schema();
+        let group_by = PhysExpr::compile_all(&self.group_by, in_schema)?;
+        let args: Vec<Option<PhysExpr>> = self
+            .aggs
+            .iter()
+            .map(|a| {
+                a.arg
+                    .as_ref()
+                    .map(|e| PhysExpr::compile(e, in_schema))
+                    .transpose()
+            })
+            .collect::<Result<_>>()?;
         // insertion-ordered groups for deterministic output
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
         let mut saw_row = false;
-        while let Some(row) = self.input.next(ctx)? {
-            saw_row = true;
-            let key: Vec<Value> = self
-                .group_by
-                .iter()
-                .map(|e| e.eval(&row, &in_schema, now))
-                .collect::<Result<_>>()?;
-            let states = match groups.get_mut(&key) {
-                Some(s) => s,
-                None => {
-                    order.push(key.clone());
-                    groups
-                        .entry(key.clone())
-                        .or_insert_with(|| self.aggs.iter().map(AggState::new).collect())
-                }
-            };
-            for (call, state) in self.aggs.iter().zip(states.iter_mut()) {
-                let v = match &call.arg {
-                    Some(e) => Some(e.eval(&row, &in_schema, now)?),
-                    None => None,
+        while let Some(batch) = self.input.next_batch(ctx)? {
+            for i in 0..batch.len() {
+                saw_row = true;
+                let src = BatchSource {
+                    columns: &batch.columns,
+                    row: batch.phys(i),
                 };
-                state.update(v)?;
+                let key: Vec<Value> = group_by
+                    .iter()
+                    .map(|e| e.eval(&src, now))
+                    .collect::<Result<_>>()?;
+                let states = match groups.get_mut(&key) {
+                    Some(s) => s,
+                    None => {
+                        order.push(key.clone());
+                        groups
+                            .entry(key.clone())
+                            .or_insert_with(|| self.aggs.iter().map(AggState::new).collect())
+                    }
+                };
+                for (arg, state) in args.iter().zip(states.iter_mut()) {
+                    let v = match arg {
+                        Some(e) => Some(e.eval(&src, now)?),
+                        None => None,
+                    };
+                    state.update(v)?;
+                }
             }
         }
         self.input.close(ctx)?;
@@ -1174,25 +1505,31 @@ impl Operator for HashAggregateOp {
             groups.insert(vec![], self.aggs.iter().map(AggState::new).collect());
         }
 
+        let having = self
+            .having
+            .as_ref()
+            .map(|h| PhysExpr::compile(h, &self.schema))
+            .transpose()?;
+        let mut out_rows = Vec::with_capacity(order.len());
         for key in order {
             let states = groups.remove(&key).expect("group recorded");
             let mut values = key;
             for s in states {
                 values.push(s.finalize());
             }
-            let row = Row::new(values);
-            let keep = match &self.having {
-                Some(h) => h.eval_predicate(&row, &self.schema, now)?,
+            let keep = match &having {
+                Some(h) => h.eval_predicate(&RowSource(&values), now)?,
                 None => true,
             };
             if keep {
-                self.results.push_back(row);
+                out_rows.push(Row::new(values));
             }
         }
+        self.results = rows_to_batches(self.schema.len(), out_rows, ctx.batch_rows);
         Ok(())
     }
 
-    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+    fn next_batch(&mut self, _ctx: &ExecContext) -> Result<Option<Batch>> {
         Ok(self.results.pop_front())
     }
 
@@ -1204,11 +1541,12 @@ impl Operator for HashAggregateOp {
 
 // --------------------------------------------------- Sort, Limit, Distinct
 
-/// Full sort on output ordinals.
+/// Full sort on output ordinals: drains the input, sorts row-major, then
+/// re-batches.
 pub struct SortOp {
     input: BoxedOp,
     keys: Vec<(usize, bool)>,
-    buffer: VecDeque<Row>,
+    buffer: VecDeque<Batch>,
 }
 
 impl SortOp {
@@ -1228,9 +1566,10 @@ impl Operator for SortOp {
     }
     fn open(&mut self, ctx: &ExecContext) -> Result<()> {
         self.input.open(ctx)?;
+        let width = self.input.schema().len();
         let mut rows = Vec::new();
-        while let Some(row) = self.input.next(ctx)? {
-            rows.push(row);
+        while let Some(batch) = self.input.next_batch(ctx)? {
+            rows.extend(batch.into_rows());
         }
         self.input.close(ctx)?;
         let keys = self.keys.clone();
@@ -1244,10 +1583,10 @@ impl Operator for SortOp {
             }
             std::cmp::Ordering::Equal
         });
-        self.buffer = rows.into();
+        self.buffer = rows_to_batches(width, rows, ctx.batch_rows);
         Ok(())
     }
-    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+    fn next_batch(&mut self, _ctx: &ExecContext) -> Result<Option<Batch>> {
         Ok(self.buffer.pop_front())
     }
     fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
@@ -1256,7 +1595,7 @@ impl Operator for SortOp {
     }
 }
 
-/// LIMIT n.
+/// LIMIT n: truncates the batch that crosses the limit.
 pub struct LimitOp {
     input: BoxedOp,
     n: u64,
@@ -1282,14 +1621,18 @@ impl Operator for LimitOp {
         self.produced = 0;
         self.input.open(ctx)
     }
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
         if self.produced >= self.n {
             return Ok(None);
         }
-        match self.input.next(ctx)? {
-            Some(row) => {
-                self.produced += 1;
-                Ok(Some(row))
+        match self.input.next_batch(ctx)? {
+            Some(mut batch) => {
+                let remaining = (self.n - self.produced) as usize;
+                if batch.len() > remaining {
+                    batch.truncate(remaining);
+                }
+                self.produced += batch.len() as u64;
+                Ok(Some(batch))
             }
             None => Ok(None),
         }
@@ -1299,7 +1642,8 @@ impl Operator for LimitOp {
     }
 }
 
-/// DISTINCT over whole rows.
+/// DISTINCT over whole rows, narrowing each batch to its first-seen rows
+/// with a selection vector.
 pub struct DistinctOp {
     input: BoxedOp,
     seen: HashSet<Row>,
@@ -1323,10 +1667,20 @@ impl Operator for DistinctOp {
         self.seen.clear();
         self.input.open(ctx)
     }
-    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
-        while let Some(row) = self.input.next(ctx)? {
-            if self.seen.insert(row.clone()) {
-                return Ok(Some(row));
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
+        while let Some(batch) = self.input.next_batch(ctx)? {
+            let mut sel: Vec<u32> = Vec::new();
+            for i in 0..batch.len() {
+                let p = batch.phys(i);
+                if self.seen.insert(batch.row(i)) {
+                    sel.push(p as u32);
+                }
+            }
+            if sel.len() == batch.len() {
+                return Ok(Some(batch));
+            }
+            if !sel.is_empty() {
+                return Ok(Some(batch.with_sel(sel)));
             }
         }
         Ok(None)

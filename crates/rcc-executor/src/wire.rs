@@ -15,6 +15,7 @@
 //!   per row, per column: u8 value tag, payload
 //! ```
 
+use crate::batch::Batch;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rcc_common::{Column, DataType, Error, Result, Row, Schema, Value};
 
@@ -46,9 +47,34 @@ fn tag_type(tag: u8) -> Result<DataType> {
     })
 }
 
-/// Encode a result set.
-pub fn encode_result(schema: &Schema, rows: &[Row]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + rows.len() * schema.len() * 12);
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Timestamp(t) => {
+            buf.put_u8(TAG_TS);
+            buf.put_i64_le(*t);
+        }
+    }
+}
+
+fn put_header(buf: &mut BytesMut, schema: &Schema) {
     buf.put_u32_le(schema.len() as u32);
     for c in schema.columns() {
         let name = c.name.as_bytes();
@@ -56,32 +82,36 @@ pub fn encode_result(schema: &Schema, rows: &[Row]) -> Bytes {
         buf.put_slice(name);
         buf.put_u8(type_tag(c.data_type));
     }
+}
+
+/// Encode a result set.
+pub fn encode_result(schema: &Schema, rows: &[Row]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + rows.len() * schema.len() * 12);
+    put_header(&mut buf, schema);
     buf.put_u32_le(rows.len() as u32);
     for row in rows {
         for v in row.values() {
-            match v {
-                Value::Null => buf.put_u8(TAG_NULL),
-                Value::Int(i) => {
-                    buf.put_u8(TAG_INT);
-                    buf.put_i64_le(*i);
-                }
-                Value::Float(f) => {
-                    buf.put_u8(TAG_FLOAT);
-                    buf.put_f64_le(*f);
-                }
-                Value::Str(s) => {
-                    buf.put_u8(TAG_STR);
-                    buf.put_u32_le(s.len() as u32);
-                    buf.put_slice(s.as_bytes());
-                }
-                Value::Bool(b) => {
-                    buf.put_u8(TAG_BOOL);
-                    buf.put_u8(*b as u8);
-                }
-                Value::Timestamp(t) => {
-                    buf.put_u8(TAG_TS);
-                    buf.put_i64_le(*t);
-                }
+            put_value(&mut buf, v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Encode a batched result set straight from column buffers — no `Row`
+/// materialization. Byte-identical to [`encode_result`] over the
+/// equivalent rows: the wire layout is row-major, so logical rows are
+/// walked in order, reading values column by column (through the selection
+/// vector if one is present).
+pub fn encode_batches(schema: &Schema, batches: &[Batch]) -> Bytes {
+    let nrows: usize = batches.iter().map(Batch::len).sum();
+    let mut buf = BytesMut::with_capacity(64 + nrows * schema.len() * 12);
+    put_header(&mut buf, schema);
+    buf.put_u32_le(nrows as u32);
+    for batch in batches {
+        for i in 0..batch.len() {
+            let p = batch.phys(i);
+            for col in &batch.columns {
+                put_value(&mut buf, &col[p]);
             }
         }
     }
@@ -225,6 +255,36 @@ mod tests {
         let mut extended = encode_result(&schema, &rows).to_vec();
         extended.push(0xFF);
         assert!(decode_result(Bytes::from(extended)).is_err());
+    }
+
+    /// The batched encoder must be byte-for-byte identical to the row
+    /// encoder — including across batch boundaries and through selection
+    /// vectors.
+    #[test]
+    fn encode_batches_is_byte_identical_to_rows() {
+        let (schema, rows) = sample();
+        let golden = encode_result(&schema, &rows);
+        // one dense batch
+        let one = Batch::from_rows(schema.len(), rows.clone());
+        assert_eq!(encode_batches(&schema, &[one]), golden);
+        // two single-row batches
+        let split: Vec<Batch> = rows
+            .iter()
+            .map(|r| Batch::from_rows(schema.len(), vec![r.clone()]))
+            .collect();
+        assert_eq!(encode_batches(&schema, &split), golden);
+        // a selected batch: rows interleaved with rejects, sel picks the
+        // original two
+        let mut padded = vec![rows[0].clone(), rows[0].clone(), rows[1].clone()];
+        padded.insert(1, Row::new(vec![Value::Int(0); 5]));
+        let selected = Batch::from_rows(schema.len(), padded).with_sel(vec![0, 3]);
+        assert_eq!(encode_batches(&schema, &[selected]), golden);
+        // empty set
+        assert_eq!(
+            encode_batches(&schema, &[]),
+            encode_result(&schema, &[]),
+            "empty batched result matches empty row result"
+        );
     }
 
     #[test]

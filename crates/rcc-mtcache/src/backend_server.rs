@@ -5,7 +5,7 @@ use parking_lot::Mutex;
 use rcc_backend::MasterDb;
 use rcc_catalog::Catalog;
 use rcc_common::{Error, NetworkModel, Result, Row, Schema};
-use rcc_executor::{execute_plan, ExecContext, RemoteService};
+use rcc_executor::{ExecContext, RemoteService};
 use rcc_obs::{MetricsRegistry, TraceHandle, DEFAULT_LATENCY_BUCKETS};
 use rcc_optimizer::{bind_select, optimize, OptimizerConfig};
 use rcc_sql::{parse_statement, Statement};
@@ -212,13 +212,14 @@ impl BackendServer {
         );
         let result = {
             let _s = span("backend:execute");
-            execute_plan(&optimized.plan, &ctx)?
+            rcc_executor::execute_plan_batched(&optimized.plan, &ctx)?
         };
         // results really travel through the wire format, so the latency
-        // model and byte accounting see true serialized sizes
+        // model and byte accounting see true serialized sizes; batches are
+        // serialized straight from their column buffers
         let payload = {
             let _s = span("backend:encode");
-            rcc_executor::wire::encode_result(&result.schema, &result.rows)
+            rcc_executor::wire::encode_batches(&result.schema, &result.batches)
         };
         if let Some(m) = metrics {
             m.counter("rcc_wire_bytes_encoded_total", &[])

@@ -14,8 +14,8 @@ use rcc_common::{
 };
 use rcc_executor::GuardObservation;
 use rcc_executor::{
-    execute_plan, execute_plan_analyzed, ExecContext, ExecCounters, QueryMeter, RemoteService,
-    DEFAULT_MORSEL_ROWS,
+    execute_plan, execute_plan_analyzed, execute_plan_rows, ExecContext, ExecCounters,
+    ExecutionResult, QueryMeter, RemoteService, DEFAULT_BATCH_ROWS, DEFAULT_MORSEL_ROWS,
 };
 use rcc_obs::{
     EventJournal, EventKind, MetricsRegistry, QueryPhase, QueryStats, TraceHandle, TraceRef,
@@ -35,7 +35,7 @@ use rcc_storage::{
 };
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -78,6 +78,11 @@ pub struct MTCache {
     /// Worker pool for morsel-driven parallel scans; `None` keeps every
     /// scan on the session thread (the default).
     scan_pool: RwLock<Option<Arc<ScanPool>>>,
+    /// Target logical rows per column batch in the vectorized engine.
+    batch_rows: AtomicUsize,
+    /// When set, queries run on the row-at-a-time reference engine instead
+    /// of the vectorized one — the A side of batched-vs-row comparisons.
+    row_engine: AtomicBool,
     /// Durable store behind the master (None = classic in-memory rig).
     durability: Option<Arc<DurableStore>>,
     /// State recovered at open, consumed by [`MTCache::finish_recovery`].
@@ -199,6 +204,8 @@ impl MTCache {
             slo_queries: AtomicU64::new(0),
             slo_unsanctioned: AtomicU64::new(0),
             scan_pool: RwLock::new(None),
+            batch_rows: AtomicUsize::new(DEFAULT_BATCH_ROWS),
+            row_engine: AtomicBool::new(false),
             durability,
             recovered: Mutex::new(recovered),
             pending_watermarks: Mutex::new(Vec::new()),
@@ -388,6 +395,35 @@ impl MTCache {
             .gauge("rcc_scan_workers", &[])
             .set(workers.max(1) as f64);
         *self.scan_pool.write() = pool;
+    }
+
+    /// Set the target logical rows per column batch for subsequent
+    /// queries. Values are clamped to at least 1. Safe to call while
+    /// sessions are live — in-flight queries keep the size they started
+    /// with.
+    pub fn set_batch_rows(&self, rows: usize) {
+        self.batch_rows.store(rows.max(1), Ordering::Relaxed);
+    }
+
+    /// Route subsequent queries through the row-at-a-time reference engine
+    /// (`true`) or the vectorized engine (`false`, the default). The two
+    /// produce byte-identical results; the switch exists for differential
+    /// testing and benchmarking.
+    pub fn set_row_engine(&self, on: bool) {
+        self.row_engine.store(on, Ordering::Relaxed);
+    }
+
+    /// Dispatch a plan to whichever engine is selected.
+    fn run_plan(
+        &self,
+        plan: &rcc_optimizer::PhysicalPlan,
+        ctx: &ExecContext,
+    ) -> Result<ExecutionResult> {
+        if self.row_engine.load(Ordering::Relaxed) {
+            execute_plan_rows(plan, ctx)
+        } else {
+            execute_plan(plan, ctx)
+        }
     }
 
     /// Describe the cache-level metric names and mirror the plan cache's
@@ -1358,7 +1394,7 @@ impl MTCache {
 
         let remote_before = self.counters.remote_queries.load(Ordering::Relaxed);
         let exec_span = trace.span("execute");
-        let exec = execute_plan(&optimized.plan, &ctx);
+        let exec = self.run_plan(&optimized.plan, &ctx);
         drop(exec_span);
         match exec {
             Ok(result) => {
@@ -1474,7 +1510,7 @@ impl MTCache {
                 let mut ctx2 = self.fresh_ctx(floors.clone(), trace.share());
                 ctx2.force_local = true;
                 let stale_span = trace.span("execute_stale");
-                let result = execute_plan(&optimized.plan, &ctx2)?;
+                let result = self.run_plan(&optimized.plan, &ctx2)?;
                 drop(stale_span);
                 let guards = ctx2.take_observations();
                 self.record_delivered(&guards, true);
@@ -1688,6 +1724,7 @@ impl MTCache {
             metrics: Some(Arc::clone(&self.metrics)),
             scan_pool: self.scan_pool.read().clone(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            batch_rows: self.batch_rows.load(Ordering::Relaxed).max(1),
             trace,
         }
     }

@@ -25,8 +25,8 @@ mod trace;
 pub use events::{Event, EventJournal, EventKind};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SnapshotValue,
-    DEFAULT_LATENCY_BUCKETS, DEFAULT_MORSEL_BUCKETS, DEFAULT_SLACK_BUCKETS,
-    DEFAULT_STALENESS_BUCKETS,
+    DEFAULT_BATCH_ROWS_BUCKETS, DEFAULT_LATENCY_BUCKETS, DEFAULT_MORSEL_BUCKETS,
+    DEFAULT_SELECTIVITY_BUCKETS, DEFAULT_SLACK_BUCKETS, DEFAULT_STALENESS_BUCKETS,
 };
 pub use stats::{QueryPhase, QueryStats};
 pub use trace::{SpanGuard, SpanRecord, Trace, TraceHandle, TraceRef, Tracer};

@@ -16,6 +16,12 @@ pub const METRICS: &[(&str, &str)] = &[
         "Admin HTTP requests served per route",
     ),
     (
+        "rcc_batch_produced_total",
+        "Column batches produced by executors",
+    ),
+    ("rcc_batch_rows_per_batch", "Rows per batch at query roots"),
+    ("rcc_batch_selectivity", "Filter survival ratio per batch"),
+    (
         "rcc_bufpool_evictions_total",
         "Checkpoint buffer-pool frame evictions",
     ),

@@ -27,6 +27,16 @@ pub const DEFAULT_SLACK_BUCKETS: &[f64] = &[
 pub const DEFAULT_MORSEL_BUCKETS: &[f64] =
     &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
 
+/// Buckets (row counts) for batch cardinality: from near-empty trailing
+/// batches up to oversized scan fills.
+pub const DEFAULT_BATCH_ROWS_BUCKETS: &[f64] = &[
+    1.0, 16.0, 64.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0,
+];
+
+/// Buckets (ratio) for filter selectivity: fraction of a batch surviving
+/// a predicate.
+pub const DEFAULT_SELECTIVITY_BUCKETS: &[f64] = &[0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+
 /// A metric identity: name plus sorted label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct MetricKey {

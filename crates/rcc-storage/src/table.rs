@@ -282,6 +282,56 @@ impl Table {
         }
     }
 
+    /// Columnar variant of [`Table::scan_morsel`]: append the surviving
+    /// rows of the morsel directly into per-column output buffers instead
+    /// of emitting `Row`s. `mapping[c]` names the source ordinal for output
+    /// column `c`, so projection happens during the fill and rejected rows
+    /// are never materialized. `keep` is `Result`-aware so residual
+    /// predicate evaluation errors abort the fill instead of being
+    /// smuggled through a side channel. Returns the number of rows
+    /// appended. Visit order is identical to `scan_morsel`, which keeps
+    /// morsel concatenation bit-identical to a serial scan.
+    pub fn fill_morsel_columns<P>(
+        &self,
+        range: &KeyRange,
+        start: Option<&[Value]>,
+        end: Option<&[Value]>,
+        mapping: &[usize],
+        mut keep: P,
+        cols: &mut [Vec<Value>],
+    ) -> Result<usize>
+    where
+        P: FnMut(&Row) -> Result<bool>,
+    {
+        debug_assert_eq!(mapping.len(), cols.len());
+        let low: Bound<Vec<Value>> = match start {
+            Some(k) => Bound::Included(k.to_vec()),
+            None => Self::composite_low(range),
+        };
+        let mut appended = 0usize;
+        for (key, row) in self.rows.range((low, Bound::Unbounded)) {
+            if let Some(end) = end {
+                if key.as_slice() >= end {
+                    break;
+                }
+            }
+            let first = &key[0];
+            if !range.contains(first) {
+                if Self::above_high(range, first) {
+                    break;
+                }
+                continue;
+            }
+            if keep(row)? {
+                for (c, col) in cols.iter_mut().enumerate() {
+                    col.push(row.get(mapping[c]).clone());
+                }
+                appended += 1;
+            }
+        }
+        Ok(appended)
+    }
+
     /// Split the rows of `range` into key-ordered morsels of roughly
     /// `target_rows` rows each. The returned plan's cut points are actual
     /// clustered keys, so morsel `i` covers `[cut[i-1], cut[i])` and the
