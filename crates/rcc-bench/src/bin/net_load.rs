@@ -161,9 +161,9 @@ fn main() {
     // optimized plan must prove its currency clause (expected failures: 0).
     let verification_failures: u64 = [
         "SELECT c_acctbal FROM customer WHERE c_custkey = 1 \
-         CURRENCY BOUND 30 SEC ON (customer)",
+         CURRENCY BOUND 15 SEC ON (customer)",
         "SELECT o_totalprice FROM orders WHERE o_custkey = 1 \
-         CURRENCY BOUND 30 SEC ON (orders)",
+         CURRENCY BOUND 15 SEC ON (orders)",
     ]
     .iter()
     .map(|sql| {
@@ -189,17 +189,17 @@ fn main() {
     let lint_diagnostics: u64 = [
         (
             "SELECT c_acctbal FROM customer WHERE c_custkey = 1 \
-             CURRENCY BOUND 30 SEC ON (customer)",
+             CURRENCY BOUND 15 SEC ON (customer)",
             0u64,
         ),
         (
             "SELECT o_totalprice FROM orders WHERE o_custkey = 1 \
-             CURRENCY BOUND 30 SEC ON (orders)",
+             CURRENCY BOUND 15 SEC ON (orders)",
             0,
         ),
         (
             "SELECT c_acctbal FROM customer WHERE c_custkey = 1 \
-             CURRENCY BOUND 30 SEC ON (customer), 10 MIN ON (customer)",
+             CURRENCY BOUND 15 SEC ON (customer), 20 SEC ON (customer)",
             1,
         ),
     ]
@@ -269,7 +269,27 @@ fn main() {
 fn workload_sql(rng: &mut StdRng, max_custkey: i64) -> String {
     let key = rng.gen_range(1..=max_custkey);
     // 50/50: a currency-bound customer probe (CR1 is stale → goes remote
-    // over TCP) vs. an orders probe answered from the healthy CR2 view
+    // over TCP) vs. an orders probe answered from the healthy CR2 view.
+    // 15 s sits inside both regions' contingent windows, so the guards are
+    // statically live and really decide at run time.
+    if rng.gen_bool(0.5) {
+        format!(
+            "SELECT c_acctbal FROM customer WHERE c_custkey = {key} \
+             CURRENCY BOUND 15 SEC ON (customer)"
+        )
+    } else {
+        format!(
+            "SELECT o_totalprice FROM orders WHERE o_custkey = {key} \
+             CURRENCY BOUND 15 SEC ON (orders)"
+        )
+    }
+}
+
+/// The epilogue's variant of [`workload_sql`]: 30 s beats both regions'
+/// healthy-replication envelopes (CR1 = 22 s, CR2 = 17 s), so the dataflow
+/// analysis proves every guard always-pass and elides it.
+fn elision_workload_sql(rng: &mut StdRng, max_custkey: i64) -> String {
+    let key = rng.gen_range(1..=max_custkey);
     if rng.gen_bool(0.5) {
         format!(
             "SELECT c_acctbal FROM customer WHERE c_custkey = {key} \
@@ -357,6 +377,23 @@ fn run_closed(
 
     assert_eq!(served, total_queries, "front-end counted every query");
 
+    // Certified-guard-elision epilogue: elision's soundness premise is
+    // healthy replication, so restore CR1 first, then replay the workload
+    // with elision on. The dataflow analysis proves both workload bounds
+    // (30 s) beat their regions' envelopes, so guards must actually be
+    // elided — and the runtime premise cross-check must stay silent.
+    let (guards_elided, interval_violations) =
+        elision_epilogue(cache, addr, opts.queries, max_custkey);
+    println!("  guards elided / interval violations  {guards_elided} / {interval_violations}");
+    assert!(
+        guards_elided > 0,
+        "the 30 s workload bounds beat both envelopes; elision must fire"
+    );
+    assert_eq!(
+        interval_violations, 0,
+        "healthy replication: no elided certificate may be overrun"
+    );
+
     let out = opts.out.as_deref().unwrap_or("BENCH_net.json");
     let json = format!(
         "{{\n  \"bench\": \"net_load\",\n  \"clients\": {},\n  \"queries_per_client\": {},\n  \
@@ -365,7 +402,8 @@ fn run_closed(
          \"latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n  \
          \"transport\": {{ \"retries\": {}, \"unavailable\": {} }},\n  \
          \"verification_failures\": 0,\n  \"lint_diagnostics\": {},\n  \
-         \"robustness_violations\": {}\n}}\n",
+         \"robustness_violations\": {},\n  \
+         \"flow\": {{ \"guards_elided\": {}, \"interval_violations\": {} }}\n}}\n",
         opts.clients,
         opts.queries,
         opts.scale,
@@ -381,10 +419,44 @@ fn run_closed(
         unavailable,
         lint_diagnostics,
         robustness_violations,
+        guards_elided,
+        interval_violations,
     );
     let mut f = std::fs::File::create(out).expect("create output file");
     f.write_all(json.as_bytes()).expect("write output file");
     eprintln!("wrote {out}");
+}
+
+/// Re-run the closed workload over the wire with certified guard elision
+/// enabled, under elision's premise (both regions healthy). Returns the
+/// number of guards elided at compile time and the runtime premise
+/// cross-check count (which must be zero).
+fn elision_epilogue(
+    cache: &Arc<rcc_mtcache::MTCache>,
+    addr: std::net::SocketAddr,
+    queries: usize,
+    max_custkey: i64,
+) -> (u64, u64) {
+    cache.set_region_stalled("CR1", false);
+    cache
+        .advance(rcc_common::Duration::from_secs(30))
+        .expect("advance");
+    cache.set_elide_guards(true);
+    let before = cache
+        .metrics()
+        .snapshot()
+        .counter("rcc_flow_guards_elided_total");
+    let mut client = NetClient::connect(addr, &ClientConfig::default()).expect("connect");
+    let mut rng = StdRng::seed_from_u64(0x51de);
+    for _ in 0..queries {
+        let sql = elision_workload_sql(&mut rng, max_custkey);
+        client.query(&sql).expect("query");
+    }
+    cache.set_elide_guards(false);
+    let snap = cache.metrics().snapshot();
+    let elided = snap.counter("rcc_flow_guards_elided_total") - before;
+    let violations = snap.counter("rcc_flow_interval_violations_total");
+    (elided, violations)
 }
 
 fn run_open(

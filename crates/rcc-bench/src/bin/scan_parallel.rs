@@ -1,7 +1,7 @@
 //! `scan_parallel` — morsel-driven parallel scan benchmark + correctness
 //! sweep, written to `BENCH_scan.json`.
 //!
-//! Five measurements over the paper rig and the storage layer:
+//! Six measurements over the paper rig and the storage layer:
 //!
 //! 1. **Worker scaling**: rows/s of a residual-filtered full scan through
 //!    the whole SQL pipeline at 1/2/4/8 scan workers. Morsel-parallel
@@ -25,6 +25,11 @@
 //! 5. **Batched/row identity**: the whole corpus again, batched versus the
 //!    row engine, in both SwitchUnion pull-up modes; wire encodings must
 //!    be byte-identical (asserted, any mode).
+//! 6. **Guard-elision cost and identity**: the corpus with certified guard
+//!    elision off versus on, in both pull-up modes; wire encodings,
+//!    remote usage, and warnings must be identical, some guards must be
+//!    elided, guard evaluations must drop, and the runtime premise
+//!    cross-check (`rcc_flow_interval_violations_total`) must read zero.
 //!
 //! ```sh
 //! cargo run -p rcc-bench --bin scan_parallel --release -- \
@@ -388,6 +393,65 @@ fn main() {
         "the batched engine must be byte-identical to the row engine on the wire"
     );
 
+    // ------------------- 6. guard elision: cost and identity sweep
+    // the corpus once more, elision off vs. on, in both pull-up modes:
+    // wire encodings, remote usage, and warnings must be identical
+    // (elision only removes checks whose outcome is statically certain),
+    // at least one guard must actually be elided, the elided side must
+    // evaluate strictly fewer guards, and the runtime premise cross-check
+    // must stay silent.
+    let mut elision_queries = 0usize;
+    let mut elision_mismatches = 0usize;
+    let mut guard_evals_off = 0u64;
+    let mut guard_evals_on = 0u64;
+    for pullup in [false, true] {
+        cache.set_pullup_switch_union(pullup);
+        for sql in &corpus {
+            elision_queries += 1;
+            cache.set_elide_guards(false);
+            let off = cache.execute(sql).expect("elision-off corpus query");
+            cache.set_elide_guards(true);
+            let on = cache.execute(sql).expect("elision-on corpus query");
+            guard_evals_off += off.guards.len() as u64;
+            guard_evals_on += on.guards.len() as u64;
+            let off_encoded = wire::encode_result(&off.schema, &off.rows);
+            let on_encoded = wire::encode_result(&on.schema, &on.rows);
+            if off_encoded != on_encoded
+                || off.used_remote != on.used_remote
+                || off.warnings != on.warnings
+            {
+                eprintln!("  ELISION MISMATCH (pullup={pullup}): {sql}");
+                elision_mismatches += 1;
+            }
+        }
+    }
+    cache.set_elide_guards(false);
+    cache.set_pullup_switch_union(false);
+    let snap = cache.metrics().snapshot();
+    let guards_elided = snap.counter("rcc_flow_guards_elided_total");
+    let interval_violations = snap.counter("rcc_flow_interval_violations_total");
+    eprintln!(
+        "  elision identity: {elision_queries} runs, {elision_mismatches} mismatches, \
+         guard evals {guard_evals_off} → {guard_evals_on}, {guards_elided} guards elided"
+    );
+    assert_eq!(
+        elision_mismatches, 0,
+        "elided plans must be byte-identical to guarded plans on the wire"
+    );
+    assert!(
+        guards_elided > 0,
+        "the corpus' extreme bounds must let the analysis elide some guards"
+    );
+    assert!(
+        guard_evals_on < guard_evals_off,
+        "elision must reduce the number of guard evaluations \
+         ({guard_evals_off} → {guard_evals_on})"
+    );
+    assert_eq!(
+        interval_violations, 0,
+        "healthy replication: no elided certificate may be overrun"
+    );
+
     // ------------------------------------------------------------ report
     let scaling_json: Vec<String> = scaling
         .iter()
@@ -414,7 +478,10 @@ fn main() {
          \"locked\": {{ \"reads_per_sec\": {:.1}, \"rows_per_sec\": {:.1}, \"refresh_batches\": {} }},\n    \
          \"reader_ratio_snapshot_vs_locked\": {:.3}\n  }},\n  \
          \"identity_sweep\": {{ \"queries\": {}, \"mismatches\": {} }},\n  \
-         \"engine_identity_sweep\": {{ \"queries\": {}, \"mismatches\": {} }}\n}}\n",
+         \"engine_identity_sweep\": {{ \"queries\": {}, \"mismatches\": {} }},\n  \
+         \"guard_elision\": {{ \"queries\": {}, \"mismatches\": {}, \
+         \"guard_evals_off\": {}, \"guard_evals_on\": {}, \
+         \"guards_elided\": {}, \"interval_violations\": {} }}\n}}\n",
         opts.quick,
         opts.scale,
         cpus,
@@ -439,6 +506,12 @@ fn main() {
         mismatches,
         engine_queries,
         engine_mismatches,
+        elision_queries,
+        elision_mismatches,
+        guard_evals_off,
+        guard_evals_on,
+        guards_elided,
+        interval_violations,
     );
     let mut f = std::fs::File::create(&opts.out).expect("create BENCH_scan.json");
     f.write_all(json.as_bytes()).expect("write BENCH_scan.json");

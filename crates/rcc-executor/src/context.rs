@@ -166,6 +166,9 @@ impl ExecCounters {
 pub struct QueryMeter {
     /// Nanoseconds spent evaluating currency guards.
     pub guard_nanos: AtomicU64,
+    /// Currency guards evaluated (the count behind `guard_nanos`); guard
+    /// elision shows up here as evaluations that no longer happen.
+    pub guard_evals: AtomicU64,
     /// Nanoseconds spent in remote round trips (including decode).
     pub remote_nanos: AtomicU64,
     /// Remote sub-queries issued.
@@ -178,6 +181,11 @@ impl QueryMeter {
     /// Nanoseconds→`Duration` helper for the guard-eval total.
     pub fn guard_eval(&self) -> std::time::Duration {
         std::time::Duration::from_nanos(self.guard_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Number of guard evaluations recorded.
+    pub fn guard_eval_count(&self) -> u64 {
+        self.guard_evals.load(Ordering::Relaxed)
     }
 
     /// Nanoseconds→`Duration` helper for the remote-ship total.

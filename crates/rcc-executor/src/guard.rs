@@ -68,6 +68,7 @@ pub fn evaluate_guard(ctx: &ExecContext, guard: &CurrencyGuard) -> Result<bool> 
     ctx.meter
         .guard_nanos
         .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    ctx.meter.guard_evals.fetch_add(1, Ordering::Relaxed);
     Ok(chose_local)
 }
 
@@ -182,6 +183,7 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed)
                 > 0
         );
+        assert_eq!(ctx.meter.guard_eval_count(), 1);
         // a missing heartbeat records no staleness sample
         let (ctx2, guard2, _) = setup(None);
         let registry2 = Arc::new(rcc_obs::MetricsRegistry::new());

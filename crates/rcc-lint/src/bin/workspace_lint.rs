@@ -19,13 +19,17 @@
 //! * every `const TAG_*: u8` wire-frame tag in `rcc-net` declared exactly
 //!   once in `rcc-net/src/tags.rs`'s `FRAME_TAGS` registry under the same
 //!   byte, every registered tag declared and used, and no wire byte
-//!   reused.
+//!   reused;
+//! * every `L0xx` diagnostic-code literal declared exactly once in
+//!   `rcc-lint/src/lib.rs`'s `codes` module and every declared code used
+//!   (corpora assert exact expected code sets against this registry).
 //!
 //! Violations are fixed at the source, never allowlisted here.
 
 use rcc_lint::source::{
-    check_frame_tags, check_fs_io, check_lock_order, check_metric_names, check_raw_table,
-    collect_registry, collect_tag_registry, prepare, FileKind, SourceFile,
+    check_frame_tags, check_fs_io, check_lint_codes, check_lock_order, check_metric_names,
+    check_raw_table, collect_code_registry, collect_registry, collect_tag_registry, prepare,
+    FileKind, SourceFile,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -82,6 +86,8 @@ struct Workspace {
     metrics_path: String,
     tags: Vec<(u8, String, u32)>,
     tags_path: String,
+    codes: Vec<(String, String, u32)>,
+    codes_path: String,
 }
 
 fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
@@ -95,6 +101,14 @@ fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
     let tags_src = std::fs::read_to_string(root.join(tags_rel))?;
     let tags_file = prepare("rcc-net", tags_rel, FileKind::Lib, &tags_src);
     let tags = collect_tag_registry(&tags_file.toks);
+
+    // The diagnostic-code registry file stays in `files` (it is a normal
+    // library source for the other checks); `check_lint_codes` skips its
+    // declaration literals by line.
+    let codes_rel = "crates/rcc-lint/src/lib.rs";
+    let codes_src = std::fs::read_to_string(root.join(codes_rel))?;
+    let codes_file = prepare("rcc-lint", codes_rel, FileKind::Lib, &codes_src);
+    let codes = collect_code_registry(&codes_file.toks);
 
     let mut files = Vec::new();
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
@@ -138,6 +152,8 @@ fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
         metrics_path: registry_rel.to_string(),
         tags,
         tags_path: tags_rel.to_string(),
+        codes,
+        codes_path: codes_rel.to_string(),
     })
 }
 
@@ -164,12 +180,14 @@ fn main() -> ExitCode {
     findings.extend(check_metric_names(files, &ws.metrics, &ws.metrics_path));
     findings.extend(check_fs_io(files));
     findings.extend(check_frame_tags(files, &ws.tags, &ws.tags_path));
+    findings.extend(check_lint_codes(files, &ws.codes, &ws.codes_path));
 
     for f in &findings {
         eprintln!("{f}");
     }
     println!(
-        "workspace-lint: {} files in {} crates, {} registered metrics, {} registered tags, {} findings",
+        "workspace-lint: {} files in {} crates, {} registered metrics, {} registered tags, \
+         {} declared codes, {} findings",
         files.len(),
         files
             .iter()
@@ -178,6 +196,7 @@ fn main() -> ExitCode {
             .len(),
         ws.metrics.len(),
         ws.tags.len(),
+        ws.codes.len(),
         findings.len()
     );
     if findings.is_empty() {

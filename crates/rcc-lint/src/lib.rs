@@ -43,6 +43,12 @@ pub mod codes {
     /// Positive bound on a base table no cached view covers: nothing
     /// tracks its staleness, so the bound is unverifiable at guard time.
     pub const UNVERIFIABLE_BOUND: &str = "L006";
+    /// Statically-dead currency guard: every cached view that could serve
+    /// this bound has the same compile-time verdict under healthy
+    /// replication (the `rcc-flow` envelope analysis), so the runtime
+    /// branch is already decided — the guard always passes (redundant
+    /// check) or never passes (unreachable relaxed arm).
+    pub const DEAD_GUARD: &str = "L007";
 }
 
 /// One lint finding: a stable code, the offending spec rendered as SQL,
@@ -252,20 +258,24 @@ impl Linter<'_> {
                         // no view covers has nothing to verify the bound
                         // against — the guard can never accept it.
                         if let Some(meta) = meta {
-                            if !spec.bound.is_zero() && self.catalog.views_over(meta.id).is_empty()
-                            {
-                                self.diags.push(Diagnostic {
-                                    code: codes::UNVERIFIABLE_BOUND,
-                                    subject: subject.clone(),
-                                    message: format!(
-                                        "no cached view covers table '{}'; no currency \
-                                         region tracks its staleness, so the bound is \
-                                         unverifiable at guard time",
-                                        meta.name
-                                    ),
-                                    line: spec.line,
-                                    col: spec.col,
-                                });
+                            if !spec.bound.is_zero() {
+                                let views = self.catalog.views_over(meta.id);
+                                if views.is_empty() {
+                                    self.diags.push(Diagnostic {
+                                        code: codes::UNVERIFIABLE_BOUND,
+                                        subject: subject.clone(),
+                                        message: format!(
+                                            "no cached view covers table '{}'; no currency \
+                                             region tracks its staleness, so the bound is \
+                                             unverifiable at guard time",
+                                            meta.name
+                                        ),
+                                        line: spec.line,
+                                        col: spec.col,
+                                    });
+                                } else {
+                                    self.lint_dead_guard(&views, &meta, spec, &subject);
+                                }
                             }
                         }
                     }
@@ -452,6 +462,62 @@ impl Linter<'_> {
         }
     }
 
+    /// L007: a bound every candidate cached view decides identically at
+    /// compile time. The verdict comes from `rcc-flow`'s healthy-replication
+    /// envelope: a bound above every view's envelope always passes (the
+    /// runtime guard is redundant), one below every view's replication
+    /// delay never passes (the relaxed arm is unreachable). A single
+    /// contingent or disagreeing view keeps the guard honest — the lint
+    /// stays silent because the optimizer may pick any covering view.
+    fn lint_dead_guard(
+        &mut self,
+        views: &[Arc<rcc_catalog::CachedViewDef>],
+        meta: &TableMeta,
+        spec: &CurrencySpec,
+        subject: &str,
+    ) {
+        use rcc_flow::GuardVerdict;
+        let mut verdicts = Vec::with_capacity(views.len());
+        for v in views {
+            // An unresolvable region means the catalog is mid-DDL; stay
+            // silent rather than lint against half a topology.
+            let Ok(region) = self.catalog.region(v.region) else {
+                return;
+            };
+            verdicts.push(rcc_flow::region_verdict(&region, spec.bound));
+        }
+        let all_always = verdicts
+            .iter()
+            .all(|v| matches!(v, GuardVerdict::AlwaysPass { .. }));
+        let all_never = verdicts
+            .iter()
+            .all(|v| matches!(v, GuardVerdict::NeverPass));
+        let message = if all_always {
+            format!(
+                "bound {} exceeds the healthy-replication envelope of every \
+                 cached view over '{}'; the guard is always satisfied and the \
+                 runtime check is redundant",
+                spec.bound, meta.name
+            )
+        } else if all_never {
+            format!(
+                "bound {} is below the replication delay of every cached view \
+                 over '{}'; the guard can never pass, so the relaxed arm is \
+                 unreachable and every read goes to the back-end",
+                spec.bound, meta.name
+            )
+        } else {
+            return;
+        };
+        self.diags.push(Diagnostic {
+            code: codes::DEAD_GUARD,
+            subject: subject.to_string(),
+            message,
+            line: spec.line,
+            col: spec.col,
+        });
+    }
+
     /// L004: specs from different blocks whose operand sets overlap with
     /// different bounds — normalization merges them to the tighter bound,
     /// so the looser block's bound silently never applies.
@@ -592,11 +658,15 @@ mod tests {
         diags.iter().map(|d| d.code).collect()
     }
 
+    // Bounds on view-covered tables deliberately sit inside CR1's
+    // contingent window (delay 5 s ≤ B ≤ envelope 22 s) so the guard is
+    // genuinely runtime-dependent and L007 stays out of the expected sets.
+
     #[test]
     fn clean_query_has_no_diagnostics() {
         let d = lint(
             "SELECT c_name FROM customer c WHERE c.c_custkey = 1 \
-             CURRENCY BOUND 10 MIN ON (c) BY c.c_custkey",
+             CURRENCY BOUND 15 SEC ON (c) BY c.c_custkey",
         );
         assert!(d.is_empty(), "{d:?}");
     }
@@ -605,10 +675,10 @@ mod tests {
     fn l001_subsumed_bound_in_one_clause() {
         let d = lint(
             "SELECT c_name FROM customer c \
-             CURRENCY BOUND 10 MIN ON (c), 5 SEC ON (c)",
+             CURRENCY BOUND 15 SEC ON (c), 5 SEC ON (c)",
         );
         assert_eq!(codes_of(&d), vec![codes::SUBSUMED_BOUND]);
-        assert!(d[0].subject.contains("10min"), "{d:?}");
+        assert!(d[0].subject.contains("15s"), "{d:?}");
         assert!(d[0].line >= 1 && d[0].col > 1, "span missing: {d:?}");
     }
 
@@ -616,7 +686,7 @@ mod tests {
     fn l001_duplicate_spec() {
         let d = lint(
             "SELECT c_name FROM customer c \
-             CURRENCY BOUND 10 MIN ON (c), 10 MIN ON (c)",
+             CURRENCY BOUND 15 SEC ON (c), 15 SEC ON (c)",
         );
         assert_eq!(codes_of(&d), vec![codes::SUBSUMED_BOUND]);
     }
@@ -631,7 +701,7 @@ mod tests {
     fn l003_by_not_key() {
         let d = lint(
             "SELECT c_name FROM customer c \
-             CURRENCY BOUND 10 MIN ON (c) BY c.c_name",
+             CURRENCY BOUND 15 SEC ON (c) BY c.c_name",
         );
         // Per-column check and coverage check both fire.
         assert_eq!(
@@ -645,7 +715,7 @@ mod tests {
     fn l003_secondary_index_column_accepted() {
         let d = lint(
             "SELECT c_name FROM customer c \
-             CURRENCY BOUND 10 MIN ON (c) BY c.c_nationkey",
+             CURRENCY BOUND 15 SEC ON (c) BY c.c_nationkey",
         );
         assert!(d.is_empty(), "{d:?}");
     }
@@ -654,13 +724,13 @@ mod tests {
     fn l003_partial_composite_key_coverage() {
         let clean = lint(
             "SELECT o_line FROM orders o \
-             CURRENCY BOUND 10 MIN ON (o) BY o.o_orderkey, o.o_line",
+             CURRENCY BOUND 15 SEC ON (o) BY o.o_orderkey, o.o_line",
         );
         assert!(clean.is_empty(), "{clean:?}");
         // Mutation: drop one BY column of the composite key — flips failing.
         let d = lint(
             "SELECT o_line FROM orders o \
-             CURRENCY BOUND 10 MIN ON (o) BY o.o_orderkey",
+             CURRENCY BOUND 15 SEC ON (o) BY o.o_orderkey",
         );
         assert_eq!(codes_of(&d), vec![codes::BY_NOT_KEY]);
     }
@@ -670,19 +740,19 @@ mod tests {
         let clean = lint(
             "SELECT c_name FROM customer c WHERE EXISTS \
              (SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey \
-              CURRENCY BOUND 10 MIN ON (o, c)) \
-             CURRENCY BOUND 10 MIN ON (c)",
+              CURRENCY BOUND 15 SEC ON (o, c)) \
+             CURRENCY BOUND 15 SEC ON (c)",
         );
         assert!(clean.is_empty(), "{clean:?}");
         // Mutation: swap the outer bound — the looser inner spec is flagged.
         let d = lint(
             "SELECT c_name FROM customer c WHERE EXISTS \
              (SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey \
-              CURRENCY BOUND 10 MIN ON (o, c)) \
+              CURRENCY BOUND 15 SEC ON (o, c)) \
              CURRENCY BOUND 5 SEC ON (c)",
         );
         assert_eq!(codes_of(&d), vec![codes::CROSS_BLOCK_CONFLICT], "{d:?}");
-        assert!(d[0].subject.contains("10min"));
+        assert!(d[0].subject.contains("15s"));
     }
 
     #[test]
@@ -695,7 +765,7 @@ mod tests {
     fn l006_unverifiable_bound_on_uncovered_table() {
         // Mutation: point the bound at a table no cached view covers —
         // flips the clean covered-table query to failing.
-        let covered = lint("SELECT c_name FROM customer c CURRENCY BOUND 10 MIN ON (c)");
+        let covered = lint("SELECT c_name FROM customer c CURRENCY BOUND 15 SEC ON (c)");
         assert!(covered.is_empty(), "{covered:?}");
         let d = lint("SELECT n_name FROM nation n CURRENCY BOUND 10 MIN ON (n)");
         assert_eq!(codes_of(&d), vec![codes::UNVERIFIABLE_BOUND]);
@@ -709,7 +779,7 @@ mod tests {
         let d = lint(
             "SELECT c_name, n_name FROM customer c, nation n \
              WHERE c.c_nationkey = n.n_nationkey \
-             CURRENCY BOUND 10 MIN ON (c, n)",
+             CURRENCY BOUND 15 SEC ON (c, n)",
         );
         assert_eq!(codes_of(&d), vec![codes::UNVERIFIABLE_BOUND], "{d:?}");
     }
@@ -720,6 +790,96 @@ mod tests {
         // it is L005's redundancy, not an unverifiable bound.
         let d = lint("SELECT n_name FROM nation n CURRENCY BOUND 0 SEC ON (n)");
         assert_eq!(codes_of(&d), vec![codes::REDUNDANT_CLAUSE], "{d:?}");
+    }
+
+    #[test]
+    fn l007_always_satisfied_bound_is_dead() {
+        // CR1 envelope H = delay 5 s + interval 15 s + heartbeat 2 s = 22 s.
+        // 30 s > H: under healthy replication the guard cannot fail.
+        let d = lint("SELECT c_name FROM customer c CURRENCY BOUND 30 SEC ON (c)");
+        assert_eq!(codes_of(&d), vec![codes::DEAD_GUARD], "{d:?}");
+        assert!(d[0].message.contains("always satisfied"), "{d:?}");
+    }
+
+    #[test]
+    fn l007_unsatisfiable_bound_is_dead() {
+        // 2 s < delay 5 s: no replica can ever be that fresh.
+        let d = lint("SELECT c_name FROM customer c CURRENCY BOUND 2 SEC ON (c)");
+        assert_eq!(codes_of(&d), vec![codes::DEAD_GUARD], "{d:?}");
+        assert!(d[0].message.contains("unreachable"), "{d:?}");
+    }
+
+    #[test]
+    fn l007_envelope_boundary_is_contingent() {
+        // B == H (22 s) and B == d (5 s) stay contingent — conservative in
+        // both directions, so neither boundary is flagged.
+        let at_h = lint("SELECT c_name FROM customer c CURRENCY BOUND 22 SEC ON (c)");
+        assert!(at_h.is_empty(), "{at_h:?}");
+        let at_d = lint("SELECT c_name FROM customer c CURRENCY BOUND 5 SEC ON (c)");
+        assert!(at_d.is_empty(), "{at_d:?}");
+        // Mutation: one second past the envelope flips to dead.
+        let past = lint("SELECT c_name FROM customer c CURRENCY BOUND 23 SEC ON (c)");
+        assert_eq!(codes_of(&past), vec![codes::DEAD_GUARD]);
+    }
+
+    #[test]
+    fn l007_requires_all_candidate_views_to_agree() {
+        // A second, faster region (H = 5 + 10 + 2 = 17 s) covering orders:
+        // a 20 s bound is always-pass there but contingent on CR1, so the
+        // verdict depends on which view the optimizer picks — no lint.
+        let catalog = catalog();
+        catalog
+            .register_region(rcc_catalog::CurrencyRegion::new(
+                rcc_common::RegionId(2),
+                "CR2",
+                Duration::from_secs(10),
+                Duration::from_secs(5),
+            ))
+            .unwrap();
+        let base = catalog.table("orders").unwrap();
+        let key_ordinals = base
+            .key
+            .iter()
+            .map(|k| base.schema.resolve(None, k).unwrap())
+            .collect();
+        catalog
+            .register_view(rcc_catalog::CachedViewDef {
+                id: catalog.next_view_id(),
+                name: "orders_fast".into(),
+                region: rcc_common::RegionId(2),
+                base_table: base.id,
+                base_table_name: base.name.clone(),
+                columns: base
+                    .schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect(),
+                predicate: None,
+                schema: base.schema.clone(),
+                key_ordinals,
+                local_indexes: Vec::new(),
+            })
+            .unwrap();
+        let stmt =
+            rcc_sql::parse_statement("SELECT o_line FROM orders o CURRENCY BOUND 20 SEC ON (o)")
+                .unwrap();
+        let select = match stmt {
+            rcc_sql::Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let mixed = lint_select(&catalog, &select);
+        assert!(mixed.is_empty(), "mixed verdicts must not lint: {mixed:?}");
+        // Mutation: past both envelopes every view agrees — flips to dead.
+        let stmt =
+            rcc_sql::parse_statement("SELECT o_line FROM orders o CURRENCY BOUND 30 SEC ON (o)")
+                .unwrap();
+        let select = match stmt {
+            rcc_sql::Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let agreed = lint_select(&catalog, &select);
+        assert_eq!(codes_of(&agreed), vec![codes::DEAD_GUARD], "{agreed:?}");
     }
 
     #[test]

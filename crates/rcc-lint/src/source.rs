@@ -28,6 +28,12 @@
 //!   byte) in its `tags::FRAME_TAGS`, every registered tag must be
 //!   declared and used, and no byte is ever reused: the frozen wire format
 //!   is what keeps old and new peers interoperable.
+//! * **Diagnostic-code discipline** — every `L0xx` lint-code string
+//!   literal in the workspace must be declared exactly once in
+//!   `rcc-lint`'s `codes` module, and every declared code must be used
+//!   (by const reference or literal): corpora assert exact expected code
+//!   sets, so a code that drifts or leaks outside the closed registry
+//!   silently rots those assertions.
 //!
 //! Test modules are excluded by truncating each file at its first
 //! `#[cfg(test)]` marker (the repo convention keeps unit tests at the
@@ -62,7 +68,7 @@ pub struct SourceFile {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
     /// Which check fired (`raw-table`, `lock-order`, `metric-names`,
-    /// `fs-io`, `frame-tags`).
+    /// `fs-io`, `frame-tags`, `lint-codes`).
     pub check: &'static str,
     /// Offending file.
     pub path: String,
@@ -678,6 +684,129 @@ pub fn check_frame_tags(
     out
 }
 
+// ------------------------------------------------------------- lint codes
+
+/// Is `s` shaped like a Layer-1 diagnostic code (`L` plus three digits)?
+pub fn is_lint_code(s: &str) -> bool {
+    s.len() == 4 && s.starts_with('L') && s[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+/// Registry entries `(const_name, code, line)` extracted from `rcc-lint`'s
+/// `codes` module tokens: each `const NAME: &str = "L0xx";` declaration.
+pub fn collect_code_registry(toks: &[Tok]) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(6) {
+        if !toks[i].is_ident("const") {
+            continue;
+        }
+        let TokKind::Ident(name) = &toks[i + 1].kind else {
+            continue;
+        };
+        if !toks[i + 2].is_punct(':')
+            || !toks[i + 3].is_punct('&')
+            || !toks[i + 4].is_ident("str")
+            || !toks[i + 5].is_punct('=')
+        {
+            continue;
+        }
+        let TokKind::Str(code) = &toks[i + 6].kind else {
+            continue;
+        };
+        if is_lint_code(code) {
+            out.push((name.clone(), code.clone(), toks[i + 6].line));
+        }
+    }
+    out
+}
+
+/// Enforce the diagnostic-code registry invariant: every `L0xx` string
+/// literal in the workspace names a code declared in `rcc-lint`'s `codes`
+/// module; no code or const is declared twice; and every declared code is
+/// used somewhere — by const reference (`codes::DEAD_GUARD`) or by literal
+/// (a corpus expected-set entry). `registry_path` identifies the file the
+/// registry was extracted from, so its own declarations don't count as
+/// usage sites.
+pub fn check_lint_codes(
+    files: &[SourceFile],
+    registry: &[(String, String, u32)],
+    registry_path: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut by_code: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, u32> = BTreeMap::new();
+    for (name, code, line) in registry {
+        if let Some(first) = by_code.insert(code, *line) {
+            out.push(Finding {
+                check: "lint-codes",
+                path: registry_path.to_string(),
+                line: *line,
+                message: format!("code '{code}' declared twice (first at line {first})"),
+            });
+        }
+        if let Some(first) = by_name.insert(name, *line) {
+            out.push(Finding {
+                check: "lint-codes",
+                path: registry_path.to_string(),
+                line: *line,
+                message: format!("const '{name}' declared twice (first at line {first})"),
+            });
+        }
+    }
+    let declared_at: BTreeSet<(&str, u32)> = registry
+        .iter()
+        .map(|(_, code, line)| (code.as_str(), *line))
+        .collect();
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for f in files {
+        for (i, t) in f.toks.iter().enumerate() {
+            match &t.kind {
+                TokKind::Str(s) if is_lint_code(s) => {
+                    // the declaration itself is not a usage site
+                    if f.path == registry_path && declared_at.contains(&(s.as_str(), t.line)) {
+                        continue;
+                    }
+                    match by_code.get_key_value(s.as_str()) {
+                        Some((code, _)) => {
+                            used.insert(code);
+                        }
+                        None => out.push(Finding {
+                            check: "lint-codes",
+                            path: f.path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "code '{s}' is not declared in rcc-lint's codes module"
+                            ),
+                        }),
+                    }
+                }
+                TokKind::Ident(name) if by_name.contains_key(name.as_str()) => {
+                    // a const reference, not the declaration
+                    if i > 0 && f.toks[i - 1].is_ident("const") {
+                        continue;
+                    }
+                    if let Some((_, code, _)) = registry.iter().find(|(n, _, _)| n == name) {
+                        if let Some(hit) = by_code.get_key_value(code.as_str()) {
+                            used.insert(hit.0);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for (name, code, line) in registry {
+        if by_code.get(code.as_str()) == Some(line) && !used.contains(code.as_str()) {
+            out.push(Finding {
+                check: "lint-codes",
+                path: registry_path.to_string(),
+                line: *line,
+                message: format!("code '{code}' ({name}) is declared but never used"),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1080,6 +1209,120 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(
             findings[0].message.contains("'TAG_A' declared twice"),
+            "{findings:?}"
+        );
+    }
+
+    const CODES_DECL: &str = "pub mod codes {\n\
+         pub const SUBSUMED_BOUND: &str = \"L001\";\n\
+         pub const DEAD_GUARD: &str = \"L007\";\n\
+         }\nfn f() { emit(codes::SUBSUMED_BOUND); }";
+
+    fn code_registry(src: &str) -> Vec<(String, String, u32)> {
+        collect_code_registry(&prepare("rcc-lint", "rcc-lint/src/lib.rs", FileKind::Lib, src).toks)
+    }
+
+    #[test]
+    fn code_registry_roundtrip_from_tokens() {
+        assert_eq!(
+            code_registry(CODES_DECL),
+            vec![
+                ("SUBSUMED_BOUND".to_string(), "L001".to_string(), 2),
+                ("DEAD_GUARD".to_string(), "L007".to_string(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn declared_and_used_codes_are_clean() {
+        // L001 used via const reference in the registry file itself, L007
+        // via a corpus literal in another crate.
+        let lib = prepare("rcc-lint", "rcc-lint/src/lib.rs", FileKind::Lib, CODES_DECL);
+        let corpus = file(
+            "rcc-tpcd",
+            FileKind::Lib,
+            "pub fn expected() -> Vec<&'static str> { vec![\"L007\"] }",
+        );
+        let registry = code_registry(CODES_DECL);
+        let findings = check_lint_codes(&[lib, corpus], &registry, "rcc-lint/src/lib.rs");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn undeclared_code_literal_flagged() {
+        // Mutation: a corpus expects a code the registry doesn't declare —
+        // flips clean to failing.
+        let lib = prepare("rcc-lint", "rcc-lint/src/lib.rs", FileKind::Lib, CODES_DECL);
+        let corpus = file(
+            "rcc-tpcd",
+            FileKind::Lib,
+            "pub fn expected() -> Vec<&'static str> { vec![\"L007\", \"L009\"] }",
+        );
+        let registry = code_registry(CODES_DECL);
+        let findings = check_lint_codes(&[lib, corpus], &registry, "rcc-lint/src/lib.rs");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("'L009' is not declared"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_code_declaration_flagged() {
+        // Mutation: two consts claim the same code — corpora asserting
+        // exact sets can no longer tell the diagnostics apart.
+        let src = "pub mod codes {\n\
+             pub const A: &str = \"L001\";\n\
+             pub const B: &str = \"L001\";\n\
+             }\nfn f() { emit(codes::A); emit(codes::B); }";
+        let lib = prepare("rcc-lint", "rcc-lint/src/lib.rs", FileKind::Lib, src);
+        let registry = code_registry(src);
+        let findings = check_lint_codes(&[lib], &registry, "rcc-lint/src/lib.rs");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("'L001' declared twice"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn unused_code_declaration_flagged() {
+        // Mutation: declare a code nothing references — dead diagnostic
+        // surface, flagged at the declaration.
+        let src = "pub mod codes {\n\
+             pub const LIVE: &str = \"L001\";\n\
+             pub const GHOST: &str = \"L008\";\n\
+             }\nfn f() { emit(codes::LIVE); }";
+        let lib = prepare("rcc-lint", "rcc-lint/src/lib.rs", FileKind::Lib, src);
+        let registry = code_registry(src);
+        let findings = check_lint_codes(&[lib], &registry, "rcc-lint/src/lib.rs");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0]
+                .message
+                .contains("'L008' (GHOST) is declared but never used"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn non_code_strings_and_embedded_mentions_ignored() {
+        // Help text mentioning codes inside a longer string, and other
+        // L-prefixed words, must not trip the check.
+        let lib = prepare("rcc-lint", "rcc-lint/src/lib.rs", FileKind::Lib, CODES_DECL);
+        let other = file(
+            "rcc-mtcache",
+            FileKind::Lib,
+            "const HELP: &str = \"diagnostics labeled by code (L001..L007)\";\n\
+             const W: &str = \"LOUD\"; fn f(label: &str) {}",
+        );
+        let registry = code_registry(CODES_DECL);
+        // L001 is used via const ref in lib; L007 goes unused here on
+        // purpose — embedded mentions must NOT count as usage.
+        let findings = check_lint_codes(&[lib, other], &registry, "rcc-lint/src/lib.rs");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("'L007'") && findings[0].message.contains("never used"),
             "{findings:?}"
         );
     }

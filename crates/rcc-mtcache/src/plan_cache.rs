@@ -15,10 +15,23 @@
 
 use parking_lot::Mutex;
 use rcc_common::{TableId, Value};
+use rcc_flow::{FlowAnalysis, GuardCert};
 use rcc_optimizer::optimize::Optimized;
+use rcc_optimizer::PhysicalPlan;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The guard-elided alternative of a compiled plan, plus the certificates
+/// that justify each removed guard (replayed by `rcc-verify` and by the
+/// debug-build runtime cross-check).
+#[derive(Debug)]
+pub struct ElidedPlan {
+    /// The plan with statically-decided guards removed/collapsed.
+    pub plan: PhysicalPlan,
+    /// One certificate per elided guard.
+    pub certs: Vec<GuardCert>,
+}
 
 /// A compiled query: the optimized plan plus the binding-time metadata the
 /// server needs per execution.
@@ -31,6 +44,13 @@ pub struct CompiledQuery {
     /// Rendered currency-clause lint diagnostics from compile time,
     /// attached to every result served from this plan.
     pub lint: Vec<String>,
+    /// Currency dataflow analysis of the optimized plan (per-node
+    /// delivered-staleness certificates).
+    pub flow: FlowAnalysis,
+    /// Present when guard elision is enabled and the analysis certified at
+    /// least one removal. Served only for sessions with no timeline floors
+    /// and no forced-local degradation — the certificates' premises.
+    pub elided: Option<ElidedPlan>,
 }
 
 /// Compiled-plan cache with epoch-based invalidation.
@@ -128,6 +148,7 @@ mod tests {
     use rcc_optimizer::PhysicalPlan;
 
     fn dummy() -> Arc<CompiledQuery> {
+        let catalog = rcc_catalog::Catalog::new();
         Arc::new(CompiledQuery {
             optimized: Optimized {
                 plan: PhysicalPlan::OneRow,
@@ -137,6 +158,8 @@ mod tests {
             },
             tables: vec![],
             lint: vec![],
+            flow: rcc_flow::analyze(&catalog, &PhysicalPlan::OneRow),
+            elided: None,
         })
     }
 

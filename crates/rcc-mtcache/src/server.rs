@@ -1,7 +1,7 @@
 //! The MTCache server.
 
 use crate::backend_server::BackendServer;
-use crate::plan_cache::{CompiledQuery, PlanCache};
+use crate::plan_cache::{CompiledQuery, ElidedPlan, PlanCache};
 use crate::policy::ViolationPolicy;
 use crate::result::QueryResult;
 use crate::session::Session;
@@ -83,6 +83,11 @@ pub struct MTCache {
     /// When set, queries run on the row-at-a-time reference engine instead
     /// of the vectorized one — the A side of batched-vs-row comparisons.
     row_engine: AtomicBool,
+    /// When set, newly compiled plans also store a guard-elided variant:
+    /// guards the dataflow analysis certified as statically decided are
+    /// removed (always-pass → local arm, never-pass → remote arm). Off by
+    /// default; flipping it invalidates the plan cache.
+    elide_guards: AtomicBool,
     /// Durable store behind the master (None = classic in-memory rig).
     durability: Option<Arc<DurableStore>>,
     /// State recovered at open, consumed by [`MTCache::finish_recovery`].
@@ -206,6 +211,7 @@ impl MTCache {
             scan_pool: RwLock::new(None),
             batch_rows: AtomicUsize::new(DEFAULT_BATCH_ROWS),
             row_engine: AtomicBool::new(false),
+            elide_guards: AtomicBool::new(false),
             durability,
             recovered: Mutex::new(recovered),
             pending_watermarks: Mutex::new(Vec::new()),
@@ -480,7 +486,7 @@ impl MTCache {
         metrics.describe(
             "rcc_lint_diagnostics_total",
             "Currency-clause lint diagnostics emitted at compile time and by \
-             LINT statements, labeled by code (L001..L005).",
+             LINT statements, labeled by code (L001..L007).",
         );
         metrics.describe(
             "rcc_plan_cache_hits_total",
@@ -557,6 +563,17 @@ impl MTCache {
             "rcc_events_total",
             "Structured journal events recorded, per kind \
              (degradation, violation, failover, lint, recovery).",
+        );
+        metrics.describe(
+            "rcc_flow_guards_elided_total",
+            "Currency guards removed at compile time by the certified \
+             dataflow elision pass (set_elide_guards).",
+        );
+        metrics.describe(
+            "rcc_flow_interval_violations_total",
+            "Delivered staleness observed outside a compile-time-certified \
+             flow interval — a broken analysis premise such as unhealthy \
+             replication. Benches assert this stays zero.",
         );
         metrics.describe(
             "rcc_trace_dropped_spans_total",
@@ -668,6 +685,16 @@ impl MTCache {
     /// Enable/disable the SwitchUnion pull-up extension.
     pub fn set_pullup_switch_union(&self, on: bool) {
         self.config.write().pullup_switch_union = on;
+        self.plan_cache.invalidate();
+    }
+
+    /// Enable/disable certified guard elision. When on, compiling a query
+    /// also stores a variant with every statically-decided currency guard
+    /// removed, served to sessions whose state matches the certificates'
+    /// premises (no timeline floors, no forced-local degradation).
+    /// Invalidates the plan cache so the toggle takes effect immediately.
+    pub fn set_elide_guards(&self, on: bool) {
+        self.elide_guards.store(on, Ordering::SeqCst);
         self.plan_cache.invalidate();
     }
 
@@ -898,6 +925,7 @@ impl MTCache {
             )),
             Statement::Verify(select) => self.execute_verify(&select, params),
             Statement::Lint(select) => Ok(self.execute_lint(&select)),
+            Statement::ExplainFlow(select) => self.execute_explain_flow(&select, params),
             Statement::ShowEvents => Ok(self.show_events()),
             Statement::ShowTrace => Ok(self.show_trace()),
             Statement::CreateTemplate(decl) => self.create_template(&decl, session),
@@ -1247,6 +1275,72 @@ impl MTCache {
         })
     }
 
+    /// `EXPLAIN FLOW SELECT ...`: optimize, run the currency dataflow
+    /// analysis, and report one row per plan node — operator, delivered
+    /// staleness interval with its consistency groups, guard verdict, and
+    /// elision decision.
+    fn execute_explain_flow(
+        &self,
+        select: &SelectStmt,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        let graph = bind_select(&self.catalog, select, params)?;
+        let optimized = optimize(&self.catalog, &graph, &self.config.read())?;
+        let analysis = rcc_flow::analyze(&self.catalog, &optimized.plan);
+        let elided = rcc_flow::elide(&optimized.plan, &analysis);
+        let schema = Schema::new(vec![
+            Column::new("operator", rcc_common::DataType::Str),
+            Column::new("interval", rcc_common::DataType::Str),
+            Column::new("verdict", rcc_common::DataType::Str),
+            Column::new("decision", rcc_common::DataType::Str),
+        ]);
+        let rows =
+            analysis
+                .nodes
+                .iter()
+                .map(|n| {
+                    Row::new(vec![
+                        Value::Str(format!("{}{}", "  ".repeat(n.depth), n.label)),
+                        Value::Str(format!("{} {}", n.interval, n.groups)),
+                        Value::Str(
+                            n.verdict
+                                .as_ref()
+                                .map(|v| v.label())
+                                .unwrap_or_else(|| "-".to_string()),
+                        ),
+                        Value::Str(n.decision.map(|d| d.label().to_string()).unwrap_or_else(
+                            || {
+                                if n.verdict.is_some() {
+                                    "keep".to_string()
+                                } else {
+                                    "-".to_string()
+                                }
+                            },
+                        )),
+                    ])
+                })
+                .collect();
+        let warnings = vec![format!(
+            "flow: root interval {}, {} guard(s), {} elidable",
+            analysis.root().interval,
+            analysis.guards.len(),
+            elided.elided.len()
+        )];
+        Ok(QueryResult {
+            schema,
+            rows,
+            plan_choice: optimized.choice,
+            plan_explain: optimized.plan.explain(),
+            est_cost: optimized.cost,
+            guards: Vec::new(),
+            used_remote: false,
+            warnings,
+            timings: Default::default(),
+            tables: Vec::new(),
+            stats: Default::default(),
+        })
+    }
+
     /// Look up or compile the dynamic plan for `sql`, tracing and timing
     /// the bind and optimize steps (both zero on a plan-cache hit).
     fn compile(
@@ -1315,10 +1409,48 @@ impl MTCache {
                 )));
             }
         }
+        // Currency dataflow analysis: per-node staleness intervals and one
+        // certificate per guard. Computed on every compile (EXPLAIN FLOW
+        // and the verifier read it); the elided plan variant is stored only
+        // when the toggle is on and at least one guard was certified away.
+        let flow = rcc_flow::analyze(&self.catalog, &optimized.plan);
+        let hypo = rcc_flow::elide(&optimized.plan, &flow);
+        // Debug builds audit every hypothetical elision — toggle on or off —
+        // with the independent replay in `rcc-verify`, so an analysis bug
+        // surfaces on the first compile, not on the first elided serve.
+        #[cfg(debug_assertions)]
+        {
+            let obligations =
+                rcc_verify::verify_elision(&self.catalog, &optimized.plan, &flow, &hypo.plan);
+            if !rcc_verify::elision_ok(&obligations) {
+                let failed: Vec<String> = obligations
+                    .iter()
+                    .filter(|o| !o.status.is_proved())
+                    .map(|o| o.to_string())
+                    .collect();
+                return Err(Error::analysis(format!(
+                    "guard-elision audit failed for {sql:?}:\n{}",
+                    failed.join("\n")
+                )));
+            }
+        }
+        let elided = if self.elide_guards.load(Ordering::SeqCst) && !hypo.elided.is_empty() {
+            self.metrics
+                .counter("rcc_flow_guards_elided_total", &[])
+                .add(hypo.elided.len() as u64);
+            Some(ElidedPlan {
+                plan: hypo.plan,
+                certs: hypo.elided,
+            })
+        } else {
+            None
+        };
         let c = Arc::new(CompiledQuery {
             optimized,
             tables,
             lint,
+            flow,
+            elided,
         });
         self.plan_cache.put(key, Arc::clone(&c));
         Ok((c, false, bind_time, optimize_time))
@@ -1392,12 +1524,26 @@ impl MTCache {
         let tables = compiled.tables.clone();
         let ctx = self.fresh_ctx(floors.clone(), trace.share());
 
+        // Serve the guard-elided variant only when the certificates'
+        // premises hold for this session: timeline floors can force a
+        // branch past a heartbeat the static analysis trusted, so floored
+        // sessions always run the full guarded plan. The degradation path
+        // below re-executes the guarded plan too (forced local is a
+        // sanctioned premise break, not a certified one).
+        let elided = compiled.elided.as_ref().filter(|_| floors.is_empty());
+        let plan = elided.map(|e| &e.plan).unwrap_or(&optimized.plan);
+
         let remote_before = self.counters.remote_queries.load(Ordering::Relaxed);
         let exec_span = trace.span("execute");
-        let exec = self.run_plan(&optimized.plan, &ctx);
+        let exec = self.run_plan(plan, &ctx);
         drop(exec_span);
         match exec {
             Ok(result) => {
+                if cfg!(debug_assertions) {
+                    if let Some(e) = elided {
+                        self.recheck_elided_certs(&e.certs);
+                    }
+                }
                 let guards = ctx.take_observations();
                 self.record_delivered(&guards, false);
                 let used_remote =
@@ -1640,6 +1786,42 @@ impl MTCache {
     /// Slack = bound − delivered. A query violates the SLO when any guard's
     /// slack goes negative; `sanctioned` says whether that happened under
     /// an explicit policy degradation (`ServeStale`) rather than silently.
+    /// Debug-build runtime cross-check of guard elision: replay every
+    /// certificate whose guard was removed from the served plan against
+    /// the live heartbeat it would have read. Under the certificates'
+    /// premises (healthy replication, no floors, no forced-local serving)
+    /// an always-pass guard's heartbeat must still sit inside the bound;
+    /// an escape increments `rcc_flow_interval_violations_total`, which
+    /// the benches assert stays zero.
+    fn recheck_elided_certs(&self, certs: &[rcc_flow::GuardCert]) {
+        let now = self.clock.now();
+        for cert in certs {
+            if cert.decision != rcc_flow::Decision::ElideLocal {
+                // collapsed-remote arms serve back-end-current data; there
+                // is no staleness claim to recheck
+                continue;
+            }
+            let heartbeat = self
+                .cache_storage
+                .table(&cert.heartbeat_table)
+                .ok()
+                .map(|t| t.snapshot())
+                .and_then(|snap| {
+                    let row = snap.get(&[Value::Int(cert.region.raw() as i64)])?;
+                    row.get(1).as_int().ok().map(Timestamp)
+                });
+            let escaped = match heartbeat {
+                Some(hb) => now.since(hb) >= cert.bound,
+                None => true,
+            };
+            if escaped {
+                self.metrics
+                    .counter("rcc_flow_interval_violations_total", &[])
+                    .inc();
+            }
+        }
+    }
+
     fn record_delivered(&self, guards: &[GuardObservation], sanctioned: bool) {
         if guards.is_empty() {
             return;
@@ -1662,6 +1844,16 @@ impl MTCache {
             let slack_s = g.bound.as_secs_f64() - delivered_s;
             if slack_s < 0.0 {
                 negative_slack = true;
+                if g.chose_local && !sanctioned {
+                    // A guard that *passed* cannot overrun its bound (the
+                    // back-end commit clock never leads the session clock),
+                    // so an unsanctioned local overrun means delivered
+                    // staleness escaped the interval the flow analysis
+                    // certified — a broken premise, not a policy choice.
+                    self.metrics
+                        .counter("rcc_flow_interval_violations_total", &[])
+                        .inc();
+                }
             }
             let region = self
                 .catalog

@@ -38,6 +38,14 @@ pub const METRICS: &[(&str, &str)] = &[
         "Actual staleness of served snapshots",
     ),
     ("rcc_events_total", "Journal events recorded per kind"),
+    (
+        "rcc_flow_guards_elided_total",
+        "Currency guards removed at compile time by certified elision",
+    ),
+    (
+        "rcc_flow_interval_violations_total",
+        "Observed delivered staleness escaping a certified flow interval",
+    ),
     ("rcc_guard_local_total", "Currency guards passed locally"),
     (
         "rcc_guard_remote_total",

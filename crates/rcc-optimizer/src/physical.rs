@@ -342,6 +342,39 @@ impl PhysicalPlan {
         }
     }
 
+    /// The node's direct children, in the canonical traversal order
+    /// (SwitchUnion: local then remote; joins: left/outer then right).
+    /// An index-join's inner access is part of the join node, not a child.
+    /// Walking `[self] ++ children (recursively)` yields the pre-order the
+    /// flow analysis and its verifier pair certificates by.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::OneRow | PhysicalPlan::LocalScan(_) | PhysicalPlan::RemoteQuery(_) => {
+                Vec::new()
+            }
+            PhysicalPlan::SwitchUnion { local, remote, .. } => vec![local, remote],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Distinct { input } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::MergeJoin { left, right, .. } => vec![left, right],
+            PhysicalPlan::IndexNLJoin { outer, .. } => vec![outer],
+        }
+    }
+
+    /// Number of plan nodes (an index-join's inner access counts with its
+    /// join node).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+
     /// Number of currency guards in the plan.
     pub fn guard_count(&self) -> usize {
         match self {

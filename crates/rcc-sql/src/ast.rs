@@ -92,6 +92,11 @@ pub enum Statement {
     /// executing (the front-end complement of [`Statement::Verify`], which
     /// checks optimized plans).
     Lint(Box<SelectStmt>),
+    /// `EXPLAIN FLOW SELECT ...` — optimize the query, run the currency
+    /// dataflow analysis, and report one row per plan node (operator,
+    /// delivered staleness interval, guard verdict, elision decision)
+    /// instead of executing.
+    ExplainFlow(Box<SelectStmt>),
     /// `SHOW EVENTS` — read the cache's bounded event journal
     /// (degradations, violations, failovers, lint findings) as a result
     /// set.

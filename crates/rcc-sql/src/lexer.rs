@@ -194,6 +194,8 @@ const KEYWORDS: &[&str] = &[
     "TEMPLATE",
     "TEMPLATES",
     "AUDIT",
+    "EXPLAIN",
+    "FLOW",
 ];
 
 /// Tokenize `input` into a vector ending with [`TokenKind::Eof`].

@@ -185,6 +185,14 @@ impl Parser {
                     self.expect_kw("TEMPLATES")?;
                     Ok(Statement::AuditTemplates)
                 }
+                "EXPLAIN" => {
+                    self.bump();
+                    self.expect_kw("FLOW")?;
+                    if !self.at_kw("SELECT") {
+                        return Err(self.err("EXPLAIN FLOW expects a SELECT statement"));
+                    }
+                    Ok(Statement::ExplainFlow(Box::new(self.select_stmt()?)))
+                }
                 "SHOW" => {
                     self.bump();
                     let what = self.ident()?;
@@ -1079,6 +1087,22 @@ mod tests {
         assert!(sql.starts_with("LINT SELECT"), "{sql}");
 
         parse_statement("LINT DELETE FROM t").expect_err("LINT must require a SELECT");
+    }
+
+    #[test]
+    fn explain_flow_wraps_a_select() {
+        let stmt =
+            parse_statement("EXPLAIN FLOW SELECT a FROM t CURRENCY BOUND 10 SEC ON (t)").unwrap();
+        let Statement::ExplainFlow(s) = stmt else {
+            panic!("expected Statement::ExplainFlow, got {stmt:?}")
+        };
+        assert!(s.currency.is_some());
+        let sql = crate::unparse::statement_sql(&Statement::ExplainFlow(s));
+        assert!(sql.starts_with("EXPLAIN FLOW SELECT"), "{sql}");
+
+        parse_statement("EXPLAIN SELECT a FROM t").expect_err("bare EXPLAIN must be rejected");
+        parse_statement("EXPLAIN FLOW UPDATE t SET a = 1")
+            .expect_err("EXPLAIN FLOW must require a SELECT");
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub fn statement_sql(stmt: &Statement) -> String {
         Statement::EndTimeordered => "END TIMEORDERED".to_string(),
         Statement::Verify(s) => format!("VERIFY {}", select_sql(s)),
         Statement::Lint(s) => format!("LINT {}", select_sql(s)),
+        Statement::ExplainFlow(s) => format!("EXPLAIN FLOW {}", select_sql(s)),
         Statement::ShowEvents => "SHOW EVENTS".to_string(),
         Statement::ShowTrace => "SHOW TRACE".to_string(),
         Statement::CreateTemplate(t) => {
@@ -355,6 +356,7 @@ mod tests {
             "SELECT * FROM t WHERE ts > GETDATE() - 5000",
             "CREATE TEMPLATE pay ($c, $amt) AS SELECT c_acctbal FROM customer WHERE c_custkey = $c CURRENCY BOUND 10 SEC ON (customer); UPDATE customer SET c_acctbal = $amt WHERE c_custkey = $c; END",
             "AUDIT TEMPLATES",
+            "EXPLAIN FLOW SELECT c_name FROM customer CURRENCY BOUND 30 SEC ON (customer)",
         ] {
             roundtrip(sql);
         }

@@ -120,37 +120,40 @@ fn one_query(rng: &mut StdRng, max_custkey: i64) -> String {
 ///
 /// Written against the audit catalog (`rcc_verify::rig::audit_catalog`):
 /// Customer keyed on `c_custkey` with index `ix_acctbal(c_acctbal)`,
-/// Orders keyed on `(o_custkey, o_orderkey)`.
+/// Orders keyed on `(o_custkey, o_orderkey)`. Bounds on view-covered
+/// tables sit inside the contingent window — above the 5 s propagation
+/// delay, below CR2's 17 s healthy-replication envelope — unless an entry
+/// is deliberately probing the statically-dead-guard lint (L007).
 pub fn adversarial_lint_corpus() -> Vec<(&'static str, &'static [&'static str])> {
     vec![
         // Clean controls: no clause, keyed BY, indexed BY, per-table classes.
         ("SELECT c_name FROM customer WHERE c_custkey = 1", &[]),
         (
             "SELECT c_acctbal FROM customer c WHERE c.c_custkey = 1 \
-             CURRENCY BOUND 10 MIN ON (c) BY c.c_custkey",
+             CURRENCY BOUND 15 SEC ON (c) BY c.c_custkey",
             &[],
         ),
         (
             "SELECT c_name FROM customer c \
-             CURRENCY BOUND 10 MIN ON (c) BY c.c_acctbal",
+             CURRENCY BOUND 15 SEC ON (c) BY c.c_acctbal",
             &[],
         ),
         (
             "SELECT c.c_name, o.o_totalprice FROM customer c, orders o \
              WHERE c.c_custkey = o.o_custkey \
-             CURRENCY BOUND 10 MIN ON (c), 5 SEC ON (o)",
+             CURRENCY BOUND 15 SEC ON (c), 5 SEC ON (o)",
             &[],
         ),
         // L001: the looser overlapping spec can never take effect.
         (
             "SELECT c_name FROM customer c \
-             CURRENCY BOUND 10 MIN ON (c), 5 SEC ON (c)",
+             CURRENCY BOUND 15 SEC ON (c), 5 SEC ON (c)",
             &["L001"],
         ),
         // L001: exact duplicate spec.
         (
             "SELECT c_name FROM customer c \
-             CURRENCY BOUND 10 MIN ON (c), 10 MIN ON (c)",
+             CURRENCY BOUND 15 SEC ON (c), 15 SEC ON (c)",
             &["L001"],
         ),
         // L002: spec names a table absent from every FROM in scope.
@@ -162,22 +165,22 @@ pub fn adversarial_lint_corpus() -> Vec<(&'static str, &'static [&'static str])>
         // columns cover neither the key nor a full index.
         (
             "SELECT c_name FROM customer c \
-             CURRENCY BOUND 10 MIN ON (c) BY c.c_name",
+             CURRENCY BOUND 15 SEC ON (c) BY c.c_name",
             &["L003", "L003"],
         ),
         // L003 once: o_custkey is part of the composite key (per-column
         // check passes) but alone does not cover it.
         (
             "SELECT o_totalprice FROM orders o \
-             CURRENCY BOUND 10 MIN ON (o) BY o.o_custkey",
+             CURRENCY BOUND 15 SEC ON (o) BY o.o_custkey",
             &["L003"],
         ),
-        // L004: inner 10 MIN class shares customer with the outer 5 SEC
+        // L004: inner 15 SEC class shares customer with the outer 5 SEC
         // class; the merge keeps the tighter bound.
         (
             "SELECT c_name FROM customer c WHERE EXISTS \
              (SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey \
-              CURRENCY BOUND 10 MIN ON (o, c)) \
+              CURRENCY BOUND 15 SEC ON (o, c)) \
              CURRENCY BOUND 5 SEC ON (c)",
             &["L004"],
         ),
@@ -204,7 +207,7 @@ pub fn adversarial_lint_corpus() -> Vec<(&'static str, &'static [&'static str])>
         (
             "SELECT c_name, n_name FROM customer c, nation n \
              WHERE c.c_nationkey = n.n_nationkey \
-             CURRENCY BOUND 10 MIN ON (c, n)",
+             CURRENCY BOUND 15 SEC ON (c, n)",
             &["L006"],
         ),
         // L006 composes with L003 (twice: per-column and coverage): the
@@ -213,6 +216,40 @@ pub fn adversarial_lint_corpus() -> Vec<(&'static str, &'static [&'static str])>
             "SELECT n_name FROM nation n \
              CURRENCY BOUND 10 MIN ON (n) BY n.n_name",
             &["L003", "L003", "L006"],
+        ),
+        // L007: 10 MIN beats both envelopes (CR1 = 22 s, CR2 = 17 s), so
+        // every candidate view satisfies the guard statically — the runtime
+        // check is dead weight.
+        (
+            "SELECT c_name FROM customer c CURRENCY BOUND 10 MIN ON (c)",
+            &["L007"],
+        ),
+        // L007 the other way: 2 s is below the 5 s propagation delay, so no
+        // replica can ever satisfy it and the relaxed arm is unreachable.
+        (
+            "SELECT c_name FROM customer c CURRENCY BOUND 2 SEC ON (c)",
+            &["L007"],
+        ),
+        // L007 on a single-view table: orders is covered only by CR2
+        // (envelope 17 s), so 30 s is statically satisfied.
+        (
+            "SELECT o_totalprice FROM orders o \
+             WHERE o_custkey = 1 CURRENCY BOUND 30 SEC ON (o)",
+            &["L007"],
+        ),
+        // Near-miss clean control: 20 s clears CR2's 17 s envelope but not
+        // CR1's 22 s — the candidate views disagree, so the guard is live
+        // and the lint must stay silent.
+        (
+            "SELECT c_name FROM customer c CURRENCY BOUND 20 SEC ON (c)",
+            &[],
+        ),
+        // L007 composes with L003: the bound is statically dead *and* the
+        // BY grouping covers neither the key nor an index.
+        (
+            "SELECT c_name FROM customer c \
+             CURRENCY BOUND 10 MIN ON (c) BY c.c_name",
+            &["L003", "L003", "L007"],
         ),
     ]
 }

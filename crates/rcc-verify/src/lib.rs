@@ -34,7 +34,10 @@
 //! same analysis as a `debug_assertions` audit after every optimization
 //! and surfaces it through the `VERIFY SELECT ...` statement.
 
+pub mod elision;
 pub mod rig;
+
+pub use elision::{elision_ok, verify_elision};
 
 use rcc_catalog::Catalog;
 use rcc_common::{Duration, RegionId};
@@ -62,6 +65,10 @@ pub enum ObligationKind {
     GuardDominatesLocal,
     /// The remote fallback branch is unconditionally C&C-safe.
     RemoteFallbackSafe,
+    /// Guard elision is maximal-but-sound: every elided guard carries a
+    /// certificate whose arithmetic replays from the catalog, and every
+    /// surviving guard is independently contingent (see [`verify_elision`]).
+    ElisionCertified,
 }
 
 impl ObligationKind {
@@ -73,6 +80,7 @@ impl ObligationKind {
             ObligationKind::GuardWellFormed => "guard-well-formed",
             ObligationKind::GuardDominatesLocal => "guard-dominates-local",
             ObligationKind::RemoteFallbackSafe => "remote-fallback-safe",
+            ObligationKind::ElisionCertified => "elision-certified",
         }
     }
 }

@@ -17,7 +17,7 @@ fn lint_statement_reports_diagnostics_as_rows() {
     let r = cache
         .execute(
             "LINT SELECT c_acctbal FROM customer \
-             CURRENCY BOUND 10 MIN ON (customer), 5 SEC ON (customer)",
+             CURRENCY BOUND 15 SEC ON (customer), 5 SEC ON (customer)",
         )
         .unwrap();
     assert_eq!(r.schema.columns().len(), 4);
@@ -33,7 +33,7 @@ fn lint_statement_clean_query_returns_no_rows() {
     let r = cache
         .execute(
             "LINT SELECT c_acctbal FROM customer c WHERE c.c_custkey = 5 \
-             CURRENCY BOUND 30 SEC ON (c) BY c.c_custkey",
+             CURRENCY BOUND 15 SEC ON (c) BY c.c_custkey",
         )
         .unwrap();
     assert!(r.rows.is_empty(), "{:?}", r.rows);
@@ -51,7 +51,7 @@ fn compile_attaches_lint_warnings_and_bumps_metric() {
 
     // The query still executes — lint warns, never blocks.
     let sql = "SELECT c_acctbal FROM customer WHERE c_custkey = 5 \
-               CURRENCY BOUND 30 SEC ON (customer), 10 MIN ON (customer)";
+               CURRENCY BOUND 10 SEC ON (customer), 15 SEC ON (customer)";
     let r = cache.execute(sql).unwrap();
     assert_eq!(r.rows.len(), 1);
     assert!(
@@ -84,7 +84,7 @@ fn clean_queries_execute_without_lint_warnings() {
     let r = cache
         .execute(
             "SELECT c_acctbal FROM customer WHERE c_custkey = 5 \
-             CURRENCY BOUND 30 SEC ON (customer)",
+             CURRENCY BOUND 15 SEC ON (customer)",
         )
         .unwrap();
     assert!(
